@@ -1,0 +1,50 @@
+"""Figure 4(b): pattern frequencies over ranks (the Zipf distribution).
+
+The paper ranks the 21 patterns by frequency per domain and overall and
+observes "a characteristic Zipf-distribution": a small set of top-ranked
+patterns dominates.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_table
+from repro.datasets.patterns import PATTERNS_BY_ID
+from repro.evaluation.survey import pattern_frequencies, ranked_frequencies
+
+
+def test_fig4b_pattern_frequencies(benchmark, datasets):
+    basic = datasets["Basic"]
+
+    def compute():
+        return (
+            ranked_frequencies(basic),
+            pattern_frequencies(basic, by_domain=True),
+        )
+
+    ranked, per_domain = benchmark.pedantic(compute, rounds=3, iterations=1)
+
+    lines = ["rank  pattern               total  " + "  ".join(
+        f"{name[:5]:>5s}" for name in per_domain if name != "Total"
+    )]
+    domains = [name for name in per_domain if name != "Total"]
+    for rank, (pattern_id, count) in enumerate(ranked, start=1):
+        name = PATTERNS_BY_ID[pattern_id].name
+        row = f"{rank:4d}  {name:20s} {count:6d}  "
+        row += "  ".join(
+            f"{per_domain[domain].get(pattern_id, 0):5d}" for domain in domains
+        )
+        lines.append(row)
+    top3 = sum(count for _, count in ranked[:3])
+    total = sum(count for _, count in ranked)
+    lines.append(
+        f"top-3 share: {100 * top3 / total:.0f}%  "
+        "(paper: a few top-ranked patterns dominate, Zipf-like)"
+    )
+    record_table("Figure 4(b): frequencies over ranks", "\n".join(lines))
+
+    benchmark.extra_info["top3_share"] = top3 / total
+
+    # Zipf shape: strictly decreasing head, heavy concentration.
+    counts = [count for _, count in ranked]
+    assert counts[0] >= 2 * counts[min(5, len(counts) - 1)]
+    assert top3 / total >= 0.35

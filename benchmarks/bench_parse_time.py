@@ -1,0 +1,132 @@
+"""Section 5.1 performance claims.
+
+The paper (on a 2003 Pentium IV): "given a query interface of size about 25
+(number of tokens), parsing takes about 1 second.  Parsing 120 query
+interfaces with average size 22 takes less than 100 seconds" -- parsing
+time only, excluding tokenization and merging.
+
+We reproduce the same two measurements: the per-interface parse time at
+size ~25 and the batch parse time over 120 interfaces of average size ~22.
+Absolute numbers on modern hardware are far smaller; the claim that holds
+is the *feasibility shape*: near-interactive parses despite the
+NP-complete worst case.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import record_table
+from repro.datasets.domains import DOMAINS
+from repro.datasets.generator import GeneratorProfile, SourceGenerator
+from repro.grammar.standard import build_standard_grammar
+from repro.html.parser import parse_html
+from repro.parser.parser import BestEffortParser
+from repro.tokens.tokenizer import FormTokenizer
+
+
+def _token_sets(target_count, size_low, size_high, base_seed):
+    """Tokenized forms whose sizes fall within the requested band."""
+    profile = GeneratorProfile(
+        min_conditions=3, max_conditions=7, rare_pattern_prob=0.0
+    )
+    token_sets = []
+    seed = base_seed
+    domains = sorted(DOMAINS)
+    while len(token_sets) < target_count:
+        domain = DOMAINS[domains[seed % len(domains)]]
+        source = SourceGenerator(domain, profile).generate(seed)
+        seed += 1
+        document = parse_html(source.html)
+        tokenizer = FormTokenizer(document)
+        forms = document.forms
+        tokens = tokenizer.tokenize(forms[0] if forms else None)
+        if size_low <= len(tokens) <= size_high:
+            token_sets.append(tokens)
+        if seed - base_seed > 40 * target_count:  # pragma: no cover
+            break
+    return token_sets
+
+
+def test_parse_time_single_interface(benchmark):
+    """One interface of ~25 tokens: the paper's 'about 1 second' case."""
+    (tokens,) = _token_sets(1, 23, 27, base_seed=60_000)
+    parser = BestEffortParser(build_standard_grammar())
+
+    result = benchmark(parser.parse, tokens)
+    assert result.trees
+    benchmark.extra_info["tokens"] = len(tokens)
+    record_table(
+        "Section 5.1: single-interface parse time",
+        f"interface size: {len(tokens)} tokens\n"
+        f"paper: ~1 s on 2003 hardware; measured mean reported by "
+        f"pytest-benchmark above (must be well under 1 s)",
+    )
+
+
+def test_parse_time_scaling(benchmark):
+    """Parse time vs interface size.
+
+    Visual-language membership is NP-complete (Section 5.1); this sweep
+    shows the preference machinery holding growth to something usable
+    across the realistic size band.
+    """
+    bands = ((8, 12), (13, 18), (19, 26), (27, 36), (37, 52))
+    parser = BestEffortParser(build_standard_grammar())
+    samples = {
+        band: _token_sets(4, band[0], band[1], base_seed=62_000 + i * 5_000)
+        for i, band in enumerate(bands)
+    }
+
+    def run():
+        rows = []
+        for band, token_sets in samples.items():
+            if not token_sets:
+                continue
+            started = time.perf_counter()
+            for tokens in token_sets:
+                parser.parse(tokens)
+            elapsed = time.perf_counter() - started
+            mean_size = sum(len(t) for t in token_sets) / len(token_sets)
+            rows.append((mean_size, 1000 * elapsed / len(token_sets)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["avg tokens   ms/interface"]
+    for mean_size, ms in rows:
+        lines.append(f"{mean_size:10.1f}   {ms:10.1f}")
+    lines.append("growth stays polynomial-ish in the realistic band; the "
+                 "NP-complete worst case never materializes under pruning")
+    record_table("Section 5.1 (extended): parse time vs interface size",
+                 "\n".join(lines))
+    assert len(rows) >= 3
+    # Largest band stays interactive.
+    assert rows[-1][1] < 2_000.0
+
+
+def test_parse_time_batch_120(benchmark):
+    """120 interfaces of average size ~22: the paper's '<100 s' case."""
+    token_sets = _token_sets(120, 14, 32, base_seed=61_000)
+    average_size = sum(len(t) for t in token_sets) / len(token_sets)
+    parser = BestEffortParser(build_standard_grammar())
+
+    def parse_all():
+        started = time.perf_counter()
+        for tokens in token_sets:
+            parser.parse(tokens)
+        return time.perf_counter() - started
+
+    elapsed = benchmark.pedantic(parse_all, rounds=1, iterations=1)
+    record_table(
+        "Section 5.1: batch parse time (120 interfaces)",
+        f"interfaces: {len(token_sets)}, average size: {average_size:.1f} "
+        f"tokens\nmeasured: {elapsed:.2f} s total "
+        f"({1000 * elapsed / len(token_sets):.1f} ms/interface)\n"
+        f"paper: < 100 s on 2003 hardware",
+    )
+    benchmark.extra_info["interfaces"] = len(token_sets)
+    benchmark.extra_info["average_size"] = round(average_size, 1)
+    benchmark.extra_info["total_seconds"] = round(elapsed, 3)
+    assert len(token_sets) == 120
+    assert 16 <= average_size <= 28
+    assert elapsed < 100.0

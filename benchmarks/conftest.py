@@ -1,0 +1,52 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures and
+registers a formatted text table with :func:`record_table`; a terminal-
+summary hook prints every registered table after the pytest-benchmark
+timing output, so ``pytest benchmarks/ --benchmark-only`` always shows the
+paper-versus-measured numbers without needing ``-s``.
+
+Dataset scale: set ``REPRO_BENCH_SCALE`` (default ``1.0`` = the paper's
+dataset sizes: 150/30/42/30 sources).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets.repository import standard_datasets
+
+_TABLES: list[tuple[str, str]] = []
+
+
+def record_table(title: str, body: str) -> None:
+    """Register a result table for the end-of-run summary."""
+    _TABLES.append((title, body))
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """The four evaluation datasets at benchmark scale."""
+    return standard_datasets(scale=bench_scale())
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("REPRODUCED EXPERIMENTS (paper vs measured)")
+    write("=" * 78)
+    for title, body in _TABLES:
+        write("")
+        write(f"--- {title}")
+        for line in body.splitlines():
+            write(line)
+    write("")

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Airfare forms: composite dates, bare enumerations, and merger errors.
+
+Two scenarios from the paper:
+
+1. ``Qaa`` (Figure 3(b)): a flight-search form whose conditions include a
+   bare radio pair (trip type), composite month/day date selects, and a
+   flag checkbox -- all recovered as single conditions.
+
+2. The Figure 14 variation: the passenger block is arranged column-by-
+   column with misaligned labels, so the parser ends with *multiple
+   overlapping partial trees*; the merger unions their conditions and
+   reports the contested tokens as conflicts for client-side handling.
+
+Run with::
+
+    python examples/airfare_form.py
+"""
+
+from repro import FormExtractor
+from repro.datasets.fixtures import QAA_HTML, QAA_VARIANT_HTML
+
+
+def main() -> None:
+    extractor = FormExtractor()
+
+    print("=" * 60)
+    print("Qaa: the aa.com-style flight search (Figure 3(b))")
+    print("=" * 60)
+    detail = extractor.extract_detailed(QAA_HTML)
+    print(detail.model.describe())
+    dates = [c for c in detail.model if c.domain.kind == "datetime"]
+    print(f"\ncomposite date conditions: {len(dates)} "
+          f"(each folds several <select>s into one condition)")
+    for condition in dates:
+        print(f"  {condition.attribute}: fields {list(condition.fields)}")
+
+    print()
+    print("=" * 60)
+    print("Figure 14 variation: column-wise layout defeats row patterns")
+    print("=" * 60)
+    detail = extractor.extract_detailed(QAA_VARIANT_HTML)
+    print(f"maximal partial parse trees: {len(detail.parse.trees)}")
+    for index, tree in enumerate(detail.parse.trees, start=1):
+        print(f"  tree {index}: covers {len(tree.coverage)} of "
+              f"{len(detail.tokens)} tokens")
+    print("\nmerged semantic model (union of the partial parses):")
+    print(detail.model.describe())
+    if detail.model.conflicts:
+        print("\nThe merger reports a conflict: as in the paper's example, "
+              "two conditions compete for the same selection list, and the "
+              "client of the extractor gets to arbitrate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Batch evaluation over the four datasets (paper Section 6, Figure 15).
+
+Runs the full form extractor and the pairwise-heuristic baseline over the
+Basic, NewSource, NewDomain, and Random datasets, printing the per-source
+precision/recall distributions, the averages, and the overall metrics --
+the reproduction of the paper's headline "above 85% accuracy across
+random sources" result.
+
+Run with::
+
+    python examples/batch_extraction.py            # paper-scale datasets
+    python examples/batch_extraction.py --quick    # 5x smaller, faster
+"""
+
+import sys
+
+from repro.baseline.heuristic import HeuristicExtractor
+from repro.datasets.repository import standard_datasets
+from repro.evaluation.harness import EvaluationHarness
+
+
+def main() -> None:
+    scale = 0.2 if "--quick" in sys.argv else 1.0
+    datasets = standard_datasets(scale=scale)
+    print("datasets: " + ", ".join(
+        f"{name} ({len(ds)} sources)" for name, ds in datasets.items()
+    ))
+
+    parser_harness = EvaluationHarness()
+    baseline = HeuristicExtractor()
+    baseline_harness = EvaluationHarness(
+        extract=lambda html: list(baseline.extract(html).conditions)
+    )
+
+    print("\n== form extractor (2P grammar + best-effort parser) ==")
+    thresholds = (1.0, 0.9, 0.8, 0.7, 0.6, 0.0)
+    header = "dataset      " + "".join(f" >={t:<4}" for t in thresholds)
+    parser_results = {}
+    for name, dataset in datasets.items():
+        result = parser_harness.evaluate(dataset)
+        parser_results[name] = result
+
+    print("\nFigure 15(a): % of sources per precision bucket")
+    print(header)
+    for name, result in parser_results.items():
+        dist = result.precision_distribution()
+        print(f"{name:12s}" + "".join(f"  {dist[t]:4.0f}%" for t in thresholds))
+
+    print("\nFigure 15(b): % of sources per recall bucket")
+    print(header)
+    for name, result in parser_results.items():
+        dist = result.recall_distribution()
+        print(f"{name:12s}" + "".join(f"  {dist[t]:4.0f}%" for t in thresholds))
+
+    print("\nFigure 15(c)+(d): averages and overall")
+    print("dataset       avg-Ps  avg-Rs  |    Pa      Ra   accuracy")
+    for name, result in parser_results.items():
+        overall = result.overall
+        print(
+            f"{name:12s}  {result.average_precision:.3f}   "
+            f"{result.average_recall:.3f}  |  {overall.precision:.3f}   "
+            f"{overall.recall:.3f}   {result.accuracy:.3f}"
+        )
+
+    print("\n== baseline: pairwise proximity/alignment heuristics ==")
+    print("dataset           Pa      Ra   accuracy   (vs parser)")
+    for name, dataset in datasets.items():
+        result = baseline_harness.evaluate(dataset)
+        overall = result.overall
+        gap = parser_results[name].accuracy - result.accuracy
+        print(
+            f"{name:12s}   {overall.precision:.3f}   {overall.recall:.3f}   "
+            f"{result.accuracy:.3f}      (+{gap:.3f} for the parser)"
+        )
+
+    print(
+        "\npaper reference: ~0.85 overall precision/recall on the first "
+        "three datasets,\nover 0.80 on randomly sampled sources, with no "
+        "cliff on unseen domains."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""A miniature MetaQuerier: mediating across extracted deep-Web sources.
+
+The paper's vision (and the MetaQuerier project it belongs to): onboard
+Web databases *automatically* by extracting their query capabilities, then
+route user queries to the sources that can answer them.  This demo builds
+six simulated book/movie sources, onboards them from their HTML alone, and
+mediates two queries -- showing capability-based source selection, per-
+source planning, provenance-tagged answers, and the reasons incapable
+sources were skipped.
+
+Run with::
+
+    python examples/mediator_demo.py
+"""
+
+from repro.mediator import Mediator
+from repro.query import Constraint
+from repro.webdb import SimulatedSource
+
+
+def main() -> None:
+    mediator = Mediator()
+    for domain, seeds in (("Books", (81_001, 81_002, 81_003)),
+                          ("Movies", (82_005, 82_013, 82_021))):
+        for seed in seeds:
+            source = SimulatedSource.create(domain, seed=seed,
+                                            record_count=80)
+            model = mediator.add_source(source)
+            print(f"onboarded {source.generated.name}: "
+                  f"{len(model.conditions)} conditions extracted from HTML")
+
+    for query in (
+        [Constraint("Format", "Hardcover")],
+        [Constraint("Genre", "Comedy")],
+    ):
+        print("\n" + "=" * 60)
+        print("user query:", "; ".join(str(c) for c in query))
+        answer = mediator.query(query)
+        print(f"capable sources: {answer.sources_queried}")
+        for source_answer in answer.answers:
+            if source_answer.queried:
+                print(f"  {source_answer.source_name}: "
+                      f"{len(source_answer.records)} records "
+                      f"(params {source_answer.plan.params})")
+            else:
+                print(f"  {source_answer.source_name}: skipped -- "
+                      f"{source_answer.skipped_reason}")
+        merged = answer.records
+        print(f"merged answer: {len(merged)} records; first two:")
+        for name, record in merged[:2]:
+            preview = {key: record[key] for key in list(record)[:3]}
+            print(f"  [{name}] {preview}")
+
+    print(
+        "\nEvery source description above was built by the form extractor "
+        "from the page\nHTML -- the hand-written descriptions the paper "
+        "calls 'a major obstacle to\nscale up integration' are gone."
+    )
+
+
+if __name__ == "__main__":
+    main()

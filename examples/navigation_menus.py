@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Best-effort parsing beyond query forms: navigation-menu extraction.
+
+Paper Section 7 conjectures that the framework generalizes to other Web
+design artifacts with concerted structure -- e.g. "the navigational menus
+listing available services ... regularly arranged at the top or left hand
+side of entry pages in E-commerce Web sites."
+
+This example swaps in a *navigation-menu grammar* (menu items are short
+hyperlinks; vertical menus stack left-aligned; a heading may title a
+group) while reusing the tokenizer, scheduler, fix-point parser, pruner,
+and maximizer unchanged, and extracts the services of a synthetic
+e-commerce entry page.
+
+Run with::
+
+    python examples/navigation_menus.py
+"""
+
+from repro.apps.navmenu import NavMenuExtractor, generate_entry_page
+
+
+def main() -> None:
+    html, truth = generate_entry_page(seed=7)
+    print("ground-truth navigation sections:")
+    for title, items in truth.items():
+        print(f"  {title}: {', '.join(items)}")
+
+    extractor = NavMenuExtractor()
+    print(f"\nmenu grammar: {extractor.grammar.stats()}")
+
+    result = extractor.extract(html)
+    print("\nextracted from the rendered page:")
+    for menu in result.menus:
+        title = menu["title"] or "(untitled)"
+        print(f"  {title}: {', '.join(menu['items'])}")
+
+    extracted = {menu["title"]: tuple(menu["items"]) for menu in result.menus}
+    correct = sum(
+        1 for title, items in truth.items() if extracted.get(title) == items
+    )
+    print(f"\nsections recovered exactly: {correct}/{len(truth)}")
+    print("\nall services, flattened:")
+    print("  " + ", ".join(result.services))
+    print(
+        "\nSame parsing machinery, different hidden syntax -- the grammar "
+        "is the only thing that changed."
+    )
+
+
+if __name__ == "__main__":
+    main()

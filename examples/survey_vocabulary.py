@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The motivating survey (paper Section 3.1, Figure 4).
+
+Regenerates the observation that launched the hidden-syntax hypothesis:
+across 150 autonomous sources in three dissimilar domains, the vocabulary
+of condition patterns is small, converges quickly, spans domains, and is
+Zipf-distributed.  Renders ASCII versions of Figures 4(a) and 4(b).
+
+Run with::
+
+    python examples/survey_vocabulary.py
+"""
+
+from repro.datasets.patterns import PATTERNS_BY_ID
+from repro.datasets.repository import build_basic
+from repro.evaluation.survey import (
+    cross_domain_reuse,
+    pattern_frequencies,
+    ranked_frequencies,
+    vocabulary_growth,
+)
+
+
+def ascii_curve(values, width=60, height=12):
+    """Plot a monotone curve as ASCII art."""
+    top = max(values)
+    columns = []
+    step = max(1, len(values) // width)
+    for index in range(0, len(values), step):
+        columns.append(values[index])
+    lines = []
+    for level in range(height, 0, -1):
+        threshold = top * level / height
+        row = "".join("#" if v >= threshold else " " for v in columns)
+        label = f"{threshold:4.0f} |" if level in (height, 1) else "     |"
+        lines.append(label + row)
+    lines.append("     +" + "-" * len(columns))
+    lines.append(f"      1 source {' ' * (len(columns) - 22)} {len(values)} sources")
+    return "\n".join(lines)
+
+
+def ascii_bars(ranked, width=50):
+    top = ranked[0][1]
+    lines = []
+    for rank, (pattern_id, count) in enumerate(ranked, start=1):
+        bar = "#" * max(1, round(width * count / top))
+        name = PATTERNS_BY_ID[pattern_id].name
+        lines.append(f"{rank:3d} {name:20s} {count:4d} {bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    basic = build_basic()  # 150 sources, 50 per domain
+    print(f"Basic dataset: {len(basic)} sources across {basic.domains()}\n")
+
+    growth = vocabulary_growth(basic)
+    print("Figure 4(a): vocabulary growth over sources")
+    print(ascii_curve(growth))
+    print(f"\nfinal vocabulary: {growth[-1]} condition patterns "
+          "(paper: 21 more-than-once patterns)")
+
+    reuse = cross_domain_reuse(basic)
+    print("\nnew patterns introduced per domain:")
+    for domain, count in reuse.items():
+        print(f"  {domain:14s} {count}")
+    print("-> later domains mostly REUSE earlier patterns: the conventions "
+          "are generic,\n   not domain-specific.  This is the concerted "
+          "structure that motivates the\n   hidden-syntax hypothesis.")
+
+    print("\nFigure 4(b): frequencies over ranks (Zipf)")
+    ranked = ranked_frequencies(basic)
+    print(ascii_bars(ranked))
+
+    per_domain = pattern_frequencies(basic, by_domain=True)
+    top_id = ranked[0][0]
+    print(f"\nthe top pattern ({PATTERNS_BY_ID[top_id].name}) per domain: "
+          + ", ".join(
+            f"{name}={counter.get(top_id, 0)}"
+            for name, counter in per_domain.items() if name != "Total"
+        ))
+    print("-> a few frequent patterns pay off across every domain, so even "
+          "a partial\n   grammar captures most forms (paper Section 3.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro: best-effort parsing of Web query interfaces with a hidden syntax.
+
+A from-scratch reproduction of Zhang, He & Chang, "Understanding Web Query
+Interfaces: Best-Effort Parsing with Hidden Syntax" (SIGMOD 2004): the 2P
+grammar, the best-effort parser, the merger, and every substrate the
+pipeline needs (HTML parsing, layout, tokenization), plus synthetic
+datasets and the evaluation harness that regenerate the paper's
+experiments.
+
+Quickstart::
+
+    from repro import FormExtractor
+
+    model = FormExtractor().extract(html_of_a_query_form)
+    for condition in model:
+        print(condition)   # e.g. [Author; {contains}; text]
+"""
+
+from repro.extractor import ExtractionResult, FormExtractor, extract_capabilities
+from repro.grammar import (
+    GrammarBuilder,
+    Instance,
+    Preference,
+    Production,
+    TwoPGrammar,
+    build_standard_grammar,
+)
+from repro.merger import Merger, merge_parse_result
+from repro.parser import (
+    BestEffortParser,
+    ExhaustiveParser,
+    ParseResult,
+    ParserConfig,
+    ParseStats,
+)
+from repro.semantics import Condition, ConditionMatcher, Domain, SemanticModel
+from repro.tokens import FormTokenizer, Token, tokenize_form, tokenize_html
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BestEffortParser",
+    "Condition",
+    "ConditionMatcher",
+    "Domain",
+    "ExhaustiveParser",
+    "ExtractionResult",
+    "FormExtractor",
+    "FormTokenizer",
+    "GrammarBuilder",
+    "Instance",
+    "Merger",
+    "ParseResult",
+    "ParserConfig",
+    "ParseStats",
+    "Preference",
+    "Production",
+    "SemanticModel",
+    "Token",
+    "TwoPGrammar",
+    "build_standard_grammar",
+    "extract_capabilities",
+    "merge_parse_result",
+    "tokenize_form",
+    "tokenize_html",
+    "__version__",
+]

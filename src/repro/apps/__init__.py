@@ -1,0 +1,28 @@
+"""Other applications of the best-effort parsing framework.
+
+Paper Section 7: "many Web design 'artifacts' follow certain concerted
+structure.  For instance, the navigational menus listing available services
+are often regularly arranged at the top or left hand side of entry pages in
+E-commerce Web sites. ... by designing a grammar that captures such
+structure regularities, we can employ our parsing framework to extract the
+services available."
+
+:mod:`repro.apps.navmenu` realizes that suggestion: a different 2P grammar
+over the same token alphabet, driven by the *same* tokenizer, parser,
+scheduler, and pruner, extracts the service menu of a synthetic e-commerce
+entry page.
+"""
+
+from repro.apps.navmenu import (
+    MenuExtraction,
+    NavMenuExtractor,
+    build_menu_grammar,
+    generate_entry_page,
+)
+
+__all__ = [
+    "MenuExtraction",
+    "NavMenuExtractor",
+    "build_menu_grammar",
+    "generate_entry_page",
+]

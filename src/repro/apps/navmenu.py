@@ -1,0 +1,276 @@
+"""Navigation-menu extraction: the parsing framework on a new language.
+
+A different hidden syntax, the same machinery.  The grammar here captures
+the conventions of e-commerce entry-page *navigation menus*:
+
+* a menu item is a short hyperlink text;
+* a vertical menu stacks left-aligned items on consecutive lines;
+* a horizontal menu bar chains items on one line;
+* a menu may carry a (non-link) heading directly above it.
+
+Everything downstream of the grammar -- tokenizer, 2P schedule, fix-point,
+just-in-time pruning, partial-tree maximization -- is reused untouched,
+which is precisely the extensibility claim of paper Sections 3.2 and 7.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.grammar.dsl import GrammarBuilder
+from repro.grammar.grammar import TwoPGrammar
+from repro.grammar.instance import Instance
+from repro.grammar.preference import subsumes
+from repro.grammar.text_heuristics import clean_label
+from repro.html.parser import parse_html
+from repro.parser.parser import BestEffortParser
+from repro.tokens.tokenizer import FormTokenizer
+
+# ---------------------------------------------------------------------------
+# the menu grammar
+# ---------------------------------------------------------------------------
+
+
+def _is_menu_item(tx: Instance) -> bool:
+    sval = str(tx.payload.get("sval", ""))
+    return bool(tx.payload.get("link")) and 0 < len(sval) <= 30
+
+
+def _stacked(a: Instance, b: Instance) -> bool:
+    """Consecutive, left-aligned menu lines."""
+    if abs(a.bbox.left - b.bbox.left) > 8.0:
+        return False
+    return (
+        a.bbox.bottom <= b.bbox.top + 6.0
+        and b.bbox.top - a.bbox.bottom <= 18.0
+    )
+
+
+def _beside(a: Instance, b: Instance) -> bool:
+    """Items of one horizontal menu bar."""
+    return (
+        a.bbox.right <= b.bbox.left + 6.0
+        and b.bbox.left - a.bbox.right <= 60.0
+        and a.bbox.vertical_overlap(b.bbox) > 0
+    )
+
+
+def _heads(title: Instance, menu: Instance) -> bool:
+    """A heading directly above a menu's first item."""
+    head_box = menu.payload.get("head_box", menu.bbox)
+    return (
+        abs(title.bbox.left - head_box.left) <= 12.0
+        and title.bbox.bottom <= head_box.top + 6.0
+        and head_box.top - title.bbox.bottom <= 18.0
+    )
+
+
+def build_menu_grammar() -> TwoPGrammar:
+    """The navigation-menu 2P grammar (start symbol ``Page``)."""
+    g = GrammarBuilder(start="Page", name="navmenu-2P")
+    g.terminals("text", "image", "textbox", "submitbutton", "hrule")
+
+    g.production(
+        "MenuItem", ["text"],
+        constraint=_is_menu_item,
+        constructor=lambda tx: {
+            "items": (clean_label(str(tx.payload.get("sval", ""))),),
+        },
+        name="N-item",
+    )
+    g.production(
+        "MenuTitle", ["text"],
+        constraint=lambda tx: not tx.payload.get("link")
+        and 0 < len(str(tx.payload.get("sval", ""))) <= 30,
+        constructor=lambda tx: {
+            "title": clean_label(str(tx.payload.get("sval", "")))
+        },
+        name="N-title",
+    )
+
+    def _seed(item: Instance) -> dict[str, Any]:
+        return {"items": tuple(item.payload["items"]),
+                "head_box": item.bbox}
+
+    def _extend(menu: Instance, item: Instance) -> dict[str, Any]:
+        return {
+            "items": tuple(menu.payload["items"]) + tuple(item.payload["items"]),
+            "head_box": menu.payload.get("head_box", menu.bbox),
+        }
+
+    for head, relation, suffix in (
+        ("VMenu", _stacked, "v"), ("HMenu", _beside, "h")
+    ):
+        g.production(head, ["MenuItem"], constructor=_seed,
+                     name=f"N-{suffix}seed")
+        g.production(head, [head, "MenuItem"], constraint=relation,
+                     constructor=_extend, name=f"N-{suffix}chain")
+
+    def _menu_payload(menu: Instance, title: Instance | None = None) -> dict:
+        return {
+            "menu": {
+                "title": title.payload["title"] if title is not None else "",
+                "items": tuple(menu.payload["items"]),
+            }
+        }
+
+    for list_symbol in ("VMenu", "HMenu"):
+        g.production(
+            "Menu", ["MenuTitle", list_symbol],
+            constraint=_heads,
+            constructor=lambda title, menu: _menu_payload(menu, title),
+            name=f"N-menu-titled-{list_symbol}",
+        )
+        g.production(
+            "Menu", [list_symbol],
+            constructor=lambda menu: _menu_payload(menu),
+            name=f"N-menu-bare-{list_symbol}",
+        )
+
+    # Page assembly: menus plus everything else (noise), chained strictly
+    # in reading order -- an unordered chain would enumerate every subset
+    # of blocks before the subsumption preference could prune.
+    g.production("Noise", ["text"], name="N-noise")
+    for terminal in ("image", "textbox", "submitbutton", "hrule"):
+        g.production("Noise", [terminal], name=f"N-noise-{terminal}")
+
+    def _reading_key(instance: Instance) -> tuple[float, float]:
+        return (instance.bbox.top, instance.bbox.left)
+
+    for component in ("Menu", "Noise"):
+        g.production(
+            "Block", [component],
+            constructor=lambda inner: {"last_key": _reading_key(inner)},
+            name=f"N-block-{component}",
+        )
+    g.production(
+        "Page", ["Block"],
+        constructor=lambda block: {"last_key": block.payload["last_key"]},
+        name="N-page-seed",
+    )
+    g.production(
+        "Page", ["Page", "Block"],
+        constraint=lambda page, block: (
+            block.payload["last_key"] > page.payload["last_key"]
+        ),
+        constructor=lambda page, block: {
+            "last_key": block.payload["last_key"]
+        },
+        name="N-page-grow",
+    )
+
+    # Preferences: longer menus win; a menu reading of a text beats the
+    # noise reading; titled menus beat the untitled menus they subsume.
+    g.prefer("VMenu", over="VMenu", when=subsumes, name="N-longer-v")
+    g.prefer("HMenu", over="HMenu", when=subsumes, name="N-longer-h")
+    g.prefer("Menu", over="Menu", when=subsumes, name="N-bigger-menu")
+    g.prefer("Menu", over="Noise", name="N-menu-over-noise")
+    g.prefer("Page", over="Page", when=subsumes, name="N-bigger-page")
+    return g.build()
+
+
+# ---------------------------------------------------------------------------
+# extraction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MenuExtraction:
+    """Extracted navigation structure of one entry page."""
+
+    menus: list[dict] = field(default_factory=list)
+
+    @property
+    def services(self) -> list[str]:
+        """All menu entries, in reading order."""
+        entries: list[str] = []
+        for menu in self.menus:
+            entries.extend(menu["items"])
+        return entries
+
+
+class NavMenuExtractor:
+    """Entry-page HTML → navigation menus, via best-effort parsing."""
+
+    def __init__(self) -> None:
+        self.grammar = build_menu_grammar()
+        self.parser = BestEffortParser(self.grammar)
+
+    def extract(self, html: str) -> MenuExtraction:
+        document = parse_html(html)
+        tokens = FormTokenizer(document).tokenize(None)
+        result = self.parser.parse(tokens)
+        menus: list[dict] = []
+        seen: set[int] = set()
+        for tree in result.trees:
+            stack = [tree]
+            while stack:
+                node = stack.pop()
+                payload_menu = node.payload.get("menu")
+                if payload_menu is not None:
+                    if node.uid not in seen:
+                        seen.add(node.uid)
+                        menus.append(dict(payload_menu))
+                    continue
+                stack.extend(node.children)
+        # Keep only plural menus (a lone link is not a navigation menu)
+        # and present them in reading order.
+        menus = [menu for menu in menus if len(menu["items"]) >= 2]
+        return MenuExtraction(menus=menus)
+
+
+# ---------------------------------------------------------------------------
+# synthetic entry pages
+# ---------------------------------------------------------------------------
+
+_SECTIONS = {
+    "Shop": ("Books", "Music", "Movies", "Games", "Electronics"),
+    "Services": ("Track order", "Gift cards", "Wish list", "Registry"),
+    "Help": ("Contact us", "Returns", "Shipping info", "FAQ"),
+    "Account": ("Sign in", "Register", "Order history"),
+}
+
+
+def generate_entry_page(seed: int) -> tuple[str, dict[str, tuple[str, ...]]]:
+    """A synthetic e-commerce entry page and its ground-truth menus.
+
+    The page has a left-hand navigation column with titled link groups, a
+    content area with marketing text, and a small search form -- the
+    layout Section 7 describes.
+    """
+    rng = random.Random(seed)
+    section_names = sorted(_SECTIONS)
+    rng.shuffle(section_names)
+    chosen = section_names[: rng.randint(2, 4)]
+    truth: dict[str, tuple[str, ...]] = {}
+    nav_parts: list[str] = []
+    for name in chosen:
+        items = _SECTIONS[name][: rng.randint(2, len(_SECTIONS[name]))]
+        truth[name] = tuple(items)
+        links = "<br>".join(
+            f'<a href="/{item.lower().replace(" ", "-")}">{item}</a>'
+            for item in items
+        )
+        nav_parts.append(f"<b>{name}</b><br>{links}")
+    nav_html = "<br><br>".join(nav_parts)
+    blurb = rng.choice((
+        "Welcome to our store! Everything ships free this week.",
+        "Millions of products at everyday low prices.",
+    ))
+    html = f"""
+    <html><head><title>MegaStore</title></head><body>
+    <h1>MegaStore</h1>
+    <table cellspacing="8" cellpadding="4">
+    <tr>
+      <td>{nav_html}</td>
+      <td><p>{blurb}</p>
+          <form action="/search">Search: <input type="text" name="q" size="20">
+          <input type="submit" value="Go"></form>
+          <p>Featured today: the editors' picks, updated hourly.</p></td>
+    </tr>
+    </table>
+    </body></html>
+    """
+    return html, truth

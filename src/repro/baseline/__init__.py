@@ -1,0 +1,13 @@
+"""Baseline: pairwise proximity/alignment heuristics (paper Section 2).
+
+Prior work (notably the hidden-Web crawler of Raghavan & Garcia-Molina,
+reference [21]) associates form elements and texts *pairwise* using simple
+proximity and alignment heuristics, with no global interpretation.  This
+package implements that approach as the comparison baseline: it reproduces
+the behaviour the paper argues against -- reasonable on simple label+field
+forms, unable to capture operators, ranges, or composite dates.
+"""
+
+from repro.baseline.heuristic import HeuristicExtractor, heuristic_extract
+
+__all__ = ["HeuristicExtractor", "heuristic_extract"]

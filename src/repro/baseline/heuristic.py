@@ -1,0 +1,174 @@
+"""The pairwise proximity/alignment heuristic extractor.
+
+Algorithm (one local decision per control, no global context):
+
+1. Group radio buttons and checkboxes that share an HTML ``name``.
+2. For every input control (or group), pick the closest text token that
+   lies to its left on the same row, else the closest text above it --
+   the classic "label is left or above" rule of thumb.
+3. Emit one condition per control/group: textboxes become ``contains``
+   text conditions, selects and radio groups become ``=`` enumerations,
+   checkbox groups become ``in`` enumerations.
+
+By construction the baseline cannot represent operator lists (each radio
+group becomes its own enum condition), from/to ranges (two separate
+conditions), or month/day/year dates (three separate conditions) -- the
+failure modes the parsing paradigm was designed to fix.
+"""
+
+from __future__ import annotations
+
+from repro.grammar.text_heuristics import clean_label
+from repro.html.parser import parse_html
+from repro.semantics.condition import Condition, Domain, SemanticModel
+from repro.spatial.relations import DEFAULT_SPATIAL, SpatialConfig, left_of, above
+from repro.tokens.model import Token
+from repro.tokens.tokenizer import FormTokenizer
+
+
+class HeuristicExtractor:
+    """Pairwise label-association baseline."""
+
+    def __init__(self, spatial: SpatialConfig = DEFAULT_SPATIAL):
+        self.spatial = spatial
+
+    # -- public API --------------------------------------------------------------
+
+    def extract(self, html: str, form_index: int = 0) -> SemanticModel:
+        """Extract a semantic model from the *form_index*-th form."""
+        document = parse_html(html)
+        tokenizer = FormTokenizer(document)
+        forms = document.forms
+        form = forms[min(form_index, len(forms) - 1)] if forms else None
+        tokens = tokenizer.tokenize(form)
+        return self.extract_from_tokens(tokens)
+
+    def extract_from_tokens(self, tokens: list[Token]) -> SemanticModel:
+        """Associate each control with its nearest label and emit conditions."""
+        texts = [token for token in tokens if token.terminal == "text"]
+        conditions: list[Condition] = []
+        for unit in self._control_units(tokens):
+            conditions.append(self._condition_for(unit, texts))
+        return SemanticModel(conditions=conditions)
+
+    # -- grouping -------------------------------------------------------------------
+
+    @staticmethod
+    def _control_units(tokens: list[Token]) -> list[list[Token]]:
+        """Controls as units: widgets sharing a name group together."""
+        units: list[list[Token]] = []
+        groups: dict[str, list[Token]] = {}
+        for token in tokens:
+            if token.terminal in ("radiobutton", "checkbox"):
+                key = f"{token.terminal}:{token.name or id(token)}"
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = group = []
+                    units.append(group)
+                group.append(token)
+            elif token.is_input:
+                units.append([token])
+        return units
+
+    # -- label association ----------------------------------------------------------
+
+    def _nearest_label(
+        self, anchor: Token, texts: list[Token]
+    ) -> Token | None:
+        """Closest text left of *anchor* on its row, else closest above."""
+        left_candidates = [
+            text
+            for text in texts
+            if left_of(text.bbox, anchor.bbox, self.spatial)
+        ]
+        if left_candidates:
+            return min(
+                left_candidates, key=lambda text: anchor.bbox.gap(text.bbox)
+            )
+        above_candidates = [
+            text
+            for text in texts
+            if above(text.bbox, anchor.bbox, self.spatial)
+        ]
+        if above_candidates:
+            return min(
+                above_candidates, key=lambda text: anchor.bbox.gap(text.bbox)
+            )
+        return None
+
+    def _condition_for(
+        self, unit: list[Token], texts: list[Token]
+    ) -> Condition:
+        anchor = unit[0]
+        fields = tuple(
+            dict.fromkeys(token.name for token in unit if token.name)
+        )
+        if anchor.terminal in ("radiobutton", "checkbox"):
+            bindings = []
+            for widget in unit:
+                label = self._widget_label(widget, texts)
+                if label:
+                    bindings.append(
+                        (label, widget.name or "",
+                         str(widget.attrs.get("value", "")))
+                    )
+            values = tuple(label for label, _, _ in bindings)
+            label_token = self._nearest_label(anchor, texts)
+            attribute = (
+                clean_label(label_token.sval) if label_token is not None else ""
+            )
+            multi = anchor.terminal == "checkbox"
+            return Condition(
+                attribute=attribute,
+                operators=("in",) if multi else ("=",),
+                domain=Domain("enum", values),
+                fields=fields,
+                value_bindings=tuple(bindings),
+            )
+        if anchor.terminal in ("selectlist", "listbox"):
+            label_token = self._nearest_label(anchor, texts)
+            attribute = (
+                clean_label(label_token.sval) if label_token is not None else ""
+            )
+            values = tuple(
+                option.label for option in anchor.options if option.label
+            )
+            name = anchor.name or ""
+            return Condition(
+                attribute=attribute,
+                operators=("=",),
+                domain=Domain("enum", values),
+                fields=fields,
+                value_bindings=tuple(
+                    (option.label, name, option.value)
+                    for option in anchor.options
+                    if option.label
+                ),
+            )
+        label_token = self._nearest_label(anchor, texts)
+        attribute = (
+            clean_label(label_token.sval) if label_token is not None else ""
+        )
+        return Condition(
+            attribute=attribute,
+            operators=("contains",),
+            domain=Domain("text"),
+            fields=fields,
+        )
+
+    def _widget_label(self, widget: Token, texts: list[Token]) -> str:
+        """The text immediately right of a radio/checkbox widget."""
+        right_candidates = [
+            text
+            for text in texts
+            if left_of(widget.bbox, text.bbox, self.spatial)
+        ]
+        if not right_candidates:
+            return ""
+        best = min(right_candidates, key=lambda text: widget.bbox.gap(text.bbox))
+        return clean_label(best.sval)
+
+
+def heuristic_extract(html: str) -> SemanticModel:
+    """One-shot baseline extraction."""
+    return HeuristicExtractor().extract(html)

@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``extract FILE``  -- extract a query form's semantic model from an HTML
+  file (``-`` reads stdin); ``--json`` emits the serialized model,
+  ``--trace`` adds pipeline statistics, ``--form N`` picks the N-th form.
+* ``evaluate``      -- run the Figure 15 evaluation over the four
+  synthetic datasets (``--scale`` shrinks them for a quick look).
+* ``grammar``       -- print the derived global grammar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.evaluation.harness import EvaluationHarness
+from repro.extractor import FormExtractor
+from repro.grammar.standard import build_standard_grammar
+from repro.semantics.serialize import model_to_json
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    if args.file == "-":
+        html = sys.stdin.read()
+    else:
+        try:
+            with open(args.file, encoding="utf-8", errors="replace") as fh:
+                html = fh.read()
+        except OSError as error:
+            print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
+            return 2
+    extractor = FormExtractor()
+    detail = extractor.extract_detailed(html, form_index=args.form)
+    if args.json:
+        print(model_to_json(detail.model))
+    else:
+        output = detail.model.describe()
+        print(output if output else "(no conditions extracted)")
+    if args.render:
+        from repro.debug import render_parse_summary, render_tokens
+
+        print("\n# rendered token layout:", file=sys.stderr)
+        print(render_tokens(detail.tokens), file=sys.stderr)
+        print("\n# parse forest:", file=sys.stderr)
+        print(
+            render_parse_summary(detail.parse.trees, detail.tokens),
+            file=sys.stderr,
+        )
+    if args.trace:
+        stats = detail.parse.stats
+        print(
+            f"\n# tokens={stats.tokens} trees={len(detail.parse.trees)} "
+            f"instances={stats.instances_created} "
+            f"pruned={stats.instances_pruned} "
+            f"time={stats.elapsed_seconds * 1000:.1f}ms",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.datasets.repository import standard_datasets
+
+    datasets = standard_datasets(scale=args.scale)
+    harness = EvaluationHarness()
+    print("dataset       n     Pa      Ra    accuracy")
+    for name, dataset in datasets.items():
+        result = harness.evaluate(dataset)
+        overall = result.overall
+        print(
+            f"{name:12s} {len(dataset):3d}  {overall.precision:.3f}   "
+            f"{overall.recall:.3f}   {result.accuracy:.3f}"
+        )
+    return 0
+
+
+def _cmd_grammar(_args: argparse.Namespace) -> int:
+    grammar = build_standard_grammar()
+    print(grammar.describe())
+    stats = grammar.stats()
+    print(
+        f"\n# {stats['productions']} productions, "
+        f"{stats['nonterminals']} nonterminals, "
+        f"{stats['terminals']} terminals, "
+        f"{stats['preferences']} preferences"
+    )
+    return 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Best-effort parsing of Web query interfaces "
+        "(SIGMOD 2004 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    extract = subparsers.add_parser(
+        "extract", help="extract a form's semantic model from HTML"
+    )
+    extract.add_argument("file", help="HTML file path, or - for stdin")
+    extract.add_argument("--form", type=int, default=0,
+                         help="which form on the page (default 0)")
+    extract.add_argument("--json", action="store_true",
+                         help="emit the serialized model as JSON")
+    extract.add_argument("--trace", action="store_true",
+                         help="print pipeline statistics to stderr")
+    extract.add_argument("--render", action="store_true",
+                         help="print an ASCII sketch of the rendered "
+                              "tokens and the parse forest to stderr")
+    extract.set_defaults(func=_cmd_extract)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="run the Figure 15 evaluation"
+    )
+    evaluate.add_argument("--scale", type=float, default=0.2,
+                          help="dataset scale (1.0 = paper sizes)")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    grammar = subparsers.add_parser(
+        "grammar", help="print the derived global grammar"
+    )
+    grammar.set_defaults(func=_cmd_grammar)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Synthetic datasets standing in for TEL-8 / invisibleweb.net.
+
+The paper evaluates on four datasets of live deep-Web sources (Basic,
+NewSource, NewDomain, Random).  Offline, we substitute generators that
+produce HTML query forms from the same *pattern vocabulary* the paper
+surveys -- 21 in-grammar condition patterns with a Zipf frequency
+distribution, plus rare out-of-grammar patterns that exercise grammar
+incompleteness -- together with ground-truth semantic models.
+
+The accuracy-relevant quantities the paper measures (pattern-vocabulary
+growth, rank-frequency shape, per-source and overall precision/recall) are
+functions of this pattern mix, so the substitution preserves the
+experiments' behaviour; see DESIGN.md for the full argument.
+"""
+
+from repro.datasets.domains import DOMAINS, AttributeSpec, DomainSpec
+from repro.datasets.fixtures import (
+    QAA_HTML,
+    QAA_VARIANT_HTML,
+    QAM_FRAGMENT_HTML,
+    QAM_HTML,
+    qaa_ground_truth,
+    qam_ground_truth,
+)
+from repro.datasets.generator import GeneratedSource, SourceGenerator
+from repro.datasets.patterns import PATTERNS, PatternSpec
+from repro.datasets.repository import Dataset, build_dataset, standard_datasets
+
+__all__ = [
+    "AttributeSpec",
+    "DOMAINS",
+    "Dataset",
+    "DomainSpec",
+    "GeneratedSource",
+    "PATTERNS",
+    "PatternSpec",
+    "QAA_HTML",
+    "QAA_VARIANT_HTML",
+    "QAM_FRAGMENT_HTML",
+    "QAM_HTML",
+    "SourceGenerator",
+    "build_dataset",
+    "qaa_ground_truth",
+    "qam_ground_truth",
+    "standard_datasets",
+]

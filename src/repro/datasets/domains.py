@@ -1,0 +1,401 @@
+"""Domain vocabularies for the synthetic source generator.
+
+Mirrors the paper's evaluation domains: the Basic/NewSource datasets draw
+from Books, Automobiles, and Airfares; the NewDomain dataset from six
+further domains (the paper used five TEL-8 domains plus RealEstates); the
+Random dataset samples across everything.
+
+Each domain lists :class:`AttributeSpec` entries -- queryable attributes
+with the *kind* of condition they support, enumerated values where
+applicable, and the operator wordings sources attach to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One queryable attribute of a domain.
+
+    Attributes:
+        label: Attribute label as shown on forms (generators add decoration
+            such as trailing colons).
+        kind: ``"text"`` (keyword box), ``"enum"`` (finite choices),
+            ``"range"`` (numeric interval), ``"date"`` (calendar selects),
+            or ``"flag"`` (a lone yes/no checkbox).
+        values: Enumerated values for ``enum`` kinds (and endpoint menus
+            for enumerated ranges).
+        operators: Operator wordings for text attributes that sources
+            commonly expose as radio or select modifiers; empty when the
+            attribute is typically a plain keyword match.
+        unit: Unit text some sources print after the input field.
+        field_name: HTML control name used in generated markup.
+        numeric_range: Plausible record-value interval for ``range``
+            attributes (used by the simulated databases).
+    """
+
+    label: str
+    kind: str
+    values: tuple[str, ...] = ()
+    operators: tuple[str, ...] = ()
+    unit: str = ""
+    field_name: str = ""
+    numeric_range: tuple[float, float] = (0.0, 100.0)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("text", "enum", "range", "date", "flag"):
+            raise ValueError(f"unknown attribute kind {self.kind!r}")
+        if not self.field_name:
+            slug = "".join(
+                ch if ch.isalnum() else "_" for ch in self.label.lower()
+            ).strip("_")
+            object.__setattr__(self, "field_name", slug or "field")
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """A deep-Web domain: its name and queryable attributes."""
+
+    name: str
+    attributes: tuple[AttributeSpec, ...] = field(default_factory=tuple)
+    #: Sentences generators sprinkle around forms as decoration.
+    blurbs: tuple[str, ...] = ()
+
+    def by_kind(self, kind: str) -> list[AttributeSpec]:
+        return [spec for spec in self.attributes if spec.kind == kind]
+
+
+_NAME_OPS = (
+    "first name/initials and last name",
+    "start(s) of last name",
+    "exact name",
+)
+_WORD_OPS = ("all of the words", "any of the words", "exact phrase")
+_TITLE_OPS = ("title word(s)", "start(s) of title word(s)", "exact start of title")
+_MATCH_OPS = ("contains", "starts with", "exact match")
+
+_PRICE_STEPS = ("under $5", "$5 to $10", "$10 to $20", "$20 to $50", "over $50")
+_BIG_PRICE_STEPS = (
+    "under $5,000", "$5,000 - $10,000", "$10,000 - $20,000",
+    "$20,000 - $35,000", "over $35,000",
+)
+
+
+BOOKS = DomainSpec(
+    name="Books",
+    attributes=(
+        AttributeSpec("Author", "text", operators=_NAME_OPS),
+        AttributeSpec("Title", "text", operators=_TITLE_OPS),
+        AttributeSpec("Keywords", "text", operators=_WORD_OPS),
+        AttributeSpec("ISBN", "text"),
+        AttributeSpec("Publisher", "text", operators=_MATCH_OPS),
+        AttributeSpec(
+            "Subject", "enum",
+            values=("Arts", "Biography", "Computers", "Fiction", "History",
+                    "Science", "Travel"),
+        ),
+        AttributeSpec(
+            "Format", "enum",
+            values=("Hardcover", "Paperback", "Audio", "E-book"),
+        ),
+        AttributeSpec(
+            "Condition", "enum", values=("New", "Used", "Collectible"),
+        ),
+        AttributeSpec(
+            "Reader age", "enum",
+            values=("All ages", "Young adult", "Children"),
+        ),
+        AttributeSpec("Price", "range", values=_PRICE_STEPS,
+                      numeric_range=(1.0, 100.0)),
+        AttributeSpec("Publication year", "range",
+                      values=("1970", "1980", "1990", "2000", "2004"),
+                      numeric_range=(1950.0, 2004.0)),
+        AttributeSpec("In stock only", "flag"),
+        AttributeSpec(
+            "Language", "enum",
+            values=("English", "French", "German", "Spanish"),
+        ),
+    ),
+    blurbs=(
+        "Search our catalog of over two million titles.",
+        "Fields marked * are required.",
+        "New! Browse this week's bestsellers.",
+    ),
+)
+
+
+AUTOMOBILES = DomainSpec(
+    name="Automobiles",
+    attributes=(
+        AttributeSpec(
+            "Make", "enum",
+            values=("Acura", "BMW", "Chevrolet", "Ford", "Honda", "Toyota"),
+        ),
+        AttributeSpec("Model", "text", operators=_MATCH_OPS),
+        AttributeSpec("Keywords", "text", operators=_WORD_OPS),
+        AttributeSpec("Zip code", "text"),
+        AttributeSpec("Price", "range", values=_BIG_PRICE_STEPS,
+                      numeric_range=(2000.0, 60000.0)),
+        AttributeSpec("Year", "range",
+                      values=("1995", "1998", "2000", "2002", "2004"),
+                      numeric_range=(1990.0, 2004.0)),
+        AttributeSpec("Mileage", "range", unit="miles",
+                      values=("10,000", "30,000", "60,000", "100,000"),
+                      numeric_range=(0.0, 150000.0)),
+        AttributeSpec(
+            "Body style", "enum",
+            values=("Convertible", "Coupe", "Sedan", "SUV", "Truck", "Wagon"),
+        ),
+        AttributeSpec(
+            "Color", "enum",
+            values=("Black", "Blue", "Green", "Red", "Silver", "White"),
+        ),
+        AttributeSpec("Transmission", "enum", values=("Automatic", "Manual")),
+        AttributeSpec("New or used", "enum", values=("New", "Used")),
+        AttributeSpec(
+            "Distance from zip", "enum", unit="miles",
+            values=("10", "25", "50", "100", "250"),
+        ),
+        AttributeSpec("Photos only", "flag"),
+        AttributeSpec(
+            "Features", "enum",
+            values=("Air conditioning", "Leather seats", "Sunroof"),
+        ),
+    ),
+    blurbs=(
+        "Find your next car among 400,000 listings.",
+        "Tip: leave fields blank to broaden your search.",
+    ),
+)
+
+
+AIRFARES = DomainSpec(
+    name="Airfares",
+    attributes=(
+        AttributeSpec("From", "text"),
+        AttributeSpec("To", "text"),
+        AttributeSpec("Departure date", "date"),
+        AttributeSpec("Return date", "date"),
+        AttributeSpec(
+            "Passengers", "enum", values=("1", "2", "3", "4", "5", "6"),
+        ),
+        AttributeSpec("Adults", "enum", values=("1", "2", "3", "4")),
+        AttributeSpec("Children", "enum", values=("0", "1", "2", "3")),
+        AttributeSpec("Seniors", "enum", values=("0", "1", "2")),
+        AttributeSpec(
+            "Cabin", "enum",
+            values=("Economy", "Business", "First"),
+        ),
+        AttributeSpec(
+            "Trip type", "enum", values=("Round trip", "One way"),
+        ),
+        AttributeSpec(
+            "Departure time", "enum",
+            values=("Morning", "Noon", "Afternoon", "Evening"),
+        ),
+        AttributeSpec(
+            "Airline", "enum",
+            values=("Any airline", "American", "Delta", "United", "Northwest"),
+        ),
+        AttributeSpec("Nonstop flights only", "flag"),
+        AttributeSpec("Flexible dates", "flag"),
+    ),
+    blurbs=(
+        "Book flights to more than 300 destinations.",
+        "All fares include taxes and fees.",
+    ),
+)
+
+
+MOVIES = DomainSpec(
+    name="Movies",
+    attributes=(
+        AttributeSpec("Title", "text", operators=_TITLE_OPS),
+        AttributeSpec("Director", "text", operators=_NAME_OPS),
+        AttributeSpec("Actor", "text", operators=_NAME_OPS),
+        AttributeSpec("Keywords", "text", operators=_WORD_OPS),
+        AttributeSpec(
+            "Genre", "enum",
+            values=("Action", "Comedy", "Documentary", "Drama", "Horror",
+                    "Sci-Fi"),
+        ),
+        AttributeSpec(
+            "Rating", "enum", values=("G", "PG", "PG-13", "R"),
+        ),
+        AttributeSpec(
+            "Format", "enum", values=("DVD", "VHS", "Blu-ray"),
+        ),
+        AttributeSpec("Release year", "range",
+                      values=("1970", "1980", "1990", "2000", "2004"),
+                      numeric_range=(1950.0, 2004.0)),
+        AttributeSpec("Price", "range", values=_PRICE_STEPS,
+                      numeric_range=(1.0, 60.0)),
+        AttributeSpec("In stock only", "flag"),
+    ),
+    blurbs=("Search 60,000 movie listings.",),
+)
+
+
+MUSIC = DomainSpec(
+    name="MusicRecords",
+    attributes=(
+        AttributeSpec("Artist", "text", operators=_NAME_OPS),
+        AttributeSpec("Album title", "text", operators=_TITLE_OPS),
+        AttributeSpec("Song title", "text", operators=_TITLE_OPS),
+        AttributeSpec("Keywords", "text", operators=_WORD_OPS),
+        AttributeSpec(
+            "Genre", "enum",
+            values=("Blues", "Classical", "Country", "Jazz", "Pop", "Rock"),
+        ),
+        AttributeSpec("Label", "text", operators=_MATCH_OPS),
+        AttributeSpec(
+            "Format", "enum", values=("CD", "Vinyl", "Cassette"),
+        ),
+        AttributeSpec("Price", "range", values=_PRICE_STEPS,
+                      numeric_range=(1.0, 60.0)),
+        AttributeSpec("Release year", "range",
+                      values=("1960", "1970", "1980", "1990", "2000"),
+                      numeric_range=(1950.0, 2004.0)),
+        AttributeSpec("Used items only", "flag"),
+    ),
+    blurbs=("Find albums, singles, and rare pressings.",),
+)
+
+
+HOTELS = DomainSpec(
+    name="Hotels",
+    attributes=(
+        AttributeSpec("City", "text"),
+        AttributeSpec("Hotel name", "text", operators=_MATCH_OPS),
+        AttributeSpec("Check-in date", "date"),
+        AttributeSpec("Check-out date", "date"),
+        AttributeSpec("Guests", "enum", values=("1", "2", "3", "4", "5")),
+        AttributeSpec("Rooms", "enum", values=("1", "2", "3", "4")),
+        AttributeSpec(
+            "Star rating", "enum",
+            values=("2 stars", "3 stars", "4 stars", "5 stars"),
+        ),
+        AttributeSpec("Price per night", "range",
+                      values=("$50", "$100", "$150", "$200", "$300"),
+                      numeric_range=(30.0, 400.0)),
+        AttributeSpec(
+            "Amenities", "enum",
+            values=("Pool", "Fitness center", "Restaurant", "Pets allowed"),
+        ),
+        AttributeSpec("Ocean view only", "flag"),
+    ),
+    blurbs=("Compare rates at 25,000 hotels worldwide.",),
+)
+
+
+CAR_RENTALS = DomainSpec(
+    name="CarRentals",
+    attributes=(
+        AttributeSpec("Pick-up city", "text"),
+        AttributeSpec("Drop-off city", "text"),
+        AttributeSpec("Pick-up date", "date"),
+        AttributeSpec("Drop-off date", "date"),
+        AttributeSpec(
+            "Car type", "enum",
+            values=("Economy", "Compact", "Midsize", "Full size", "SUV",
+                    "Van"),
+        ),
+        AttributeSpec(
+            "Rental company", "enum",
+            values=("Any company", "Alamo", "Avis", "Budget", "Hertz"),
+        ),
+        AttributeSpec("Driver age", "enum", values=("18-24", "25-69", "70+")),
+        AttributeSpec("Daily rate", "range",
+                      values=("$20", "$35", "$50", "$75", "$100"),
+                      numeric_range=(15.0, 120.0)),
+        AttributeSpec("Automatic transmission only", "flag"),
+    ),
+    blurbs=("Reserve a car in three easy steps.",),
+)
+
+
+JOBS = DomainSpec(
+    name="Jobs",
+    attributes=(
+        AttributeSpec("Keywords", "text", operators=_WORD_OPS),
+        AttributeSpec("Job title", "text", operators=_MATCH_OPS),
+        AttributeSpec("Company", "text", operators=_MATCH_OPS),
+        AttributeSpec("City", "text"),
+        AttributeSpec(
+            "State", "enum",
+            values=("Any state", "California", "Illinois", "New York",
+                    "Texas", "Washington"),
+        ),
+        AttributeSpec(
+            "Category", "enum",
+            values=("Accounting", "Engineering", "Healthcare", "Marketing",
+                    "Sales", "Software"),
+        ),
+        AttributeSpec("Salary", "range",
+                      values=("$30,000", "$50,000", "$75,000", "$100,000"),
+                      numeric_range=(25000.0, 150000.0)),
+        AttributeSpec("Job type", "enum",
+                      values=("Full time", "Part time", "Contract")),
+        AttributeSpec(
+            "Posted within", "enum",
+            values=("1 day", "7 days", "30 days", "60 days"),
+        ),
+        AttributeSpec("Telecommute OK", "flag"),
+    ),
+    blurbs=("Over 800,000 openings updated daily.",),
+)
+
+
+REAL_ESTATE = DomainSpec(
+    name="RealEstates",
+    attributes=(
+        AttributeSpec("City", "text"),
+        AttributeSpec(
+            "State", "enum",
+            values=("Any state", "Arizona", "California", "Florida",
+                    "Illinois", "Nevada"),
+        ),
+        AttributeSpec("Zip code", "text"),
+        AttributeSpec(
+            "Property type", "enum",
+            values=("Single family", "Condo", "Townhouse", "Multi-family",
+                    "Land"),
+        ),
+        AttributeSpec("Bedrooms", "enum", values=("1+", "2+", "3+", "4+")),
+        AttributeSpec("Bathrooms", "enum", values=("1+", "2+", "3+")),
+        AttributeSpec("Price", "range",
+                      values=("$100,000", "$200,000", "$350,000", "$500,000",
+                              "$750,000"),
+                      numeric_range=(50000.0, 900000.0)),
+        AttributeSpec("Square feet", "range",
+                      values=("1,000", "1,500", "2,000", "3,000"),
+                      numeric_range=(500.0, 5000.0)),
+        AttributeSpec("Year built", "range",
+                      values=("1950", "1970", "1990", "2000"),
+                      numeric_range=(1900.0, 2004.0)),
+        AttributeSpec(
+            "Features", "enum",
+            values=("Garage", "Pool", "Fireplace", "Waterfront"),
+        ),
+        AttributeSpec("New construction only", "flag"),
+    ),
+    blurbs=("Browse homes for sale in 50 states.",),
+)
+
+
+#: All domains, keyed by name.  The first three form the Basic/NewSource
+#: pool; the remaining six form the NewDomain pool; Random samples all.
+DOMAINS: dict[str, DomainSpec] = {
+    domain.name: domain
+    for domain in (
+        BOOKS, AUTOMOBILES, AIRFARES,
+        MOVIES, MUSIC, HOTELS, CAR_RENTALS, JOBS, REAL_ESTATE,
+    )
+}
+
+BASIC_DOMAINS: tuple[str, ...] = ("Books", "Automobiles", "Airfares")
+NEW_DOMAINS: tuple[str, ...] = (
+    "Movies", "MusicRecords", "Hotels", "CarRentals", "Jobs", "RealEstates"
+)

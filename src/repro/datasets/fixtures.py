@@ -1,0 +1,217 @@
+"""Handcrafted fixtures modelled on the paper's running examples.
+
+* ``QAM_HTML`` -- a books advanced-search form modelled on Figure 3(a)
+  (amazon.com): author and title with radio operator lists, plus subject,
+  ISBN, and publisher conditions.
+* ``QAM_FRAGMENT_HTML`` -- the author+title fragment of Figure 5 whose
+  token set the paper uses to quantify ambiguity (Section 4.2.1: the
+  correct parse has 42 instances; brute force produces hundreds).
+* ``QAA_HTML`` -- an airfare form modelled on Figure 3(b) (aa.com).
+* ``QAA_VARIANT_HTML`` -- the Figure 14 variation whose lower part is
+  arranged column-by-column, defeating the row-wise form patterns: parsing
+  yields several partial trees, and the "number of passengers" label
+  competes with "Adults" for the same selection list -- the paper's example
+  of a merger-reported *conflict*.
+"""
+
+from __future__ import annotations
+
+from repro.semantics.condition import Condition, Domain
+
+_AUTHOR_OPS = (
+    "first name/initials and last name",
+    "start(s) of last name",
+    "exact name",
+)
+_TITLE_OPS = ("title word(s)", "start(s) of title word(s)", "exact start of title")
+
+
+QAM_HTML = """
+<html><head><title>Books Search</title></head><body>
+<h2>Advanced Search</h2>
+<form action="/books-search" method="get">
+<table cellspacing="4" cellpadding="2">
+<tr><td><b>Author</b>:</td><td><input type="text" name="author" size="30"></td></tr>
+<tr><td></td><td>
+  <input type="radio" name="author_mode" value="fl" checked> first name/initials and last name
+  <input type="radio" name="author_mode" value="sl"> start(s) of last name
+  <input type="radio" name="author_mode" value="ex"> exact name
+</td></tr>
+<tr><td><b>Title</b>:</td><td><input type="text" name="title" size="30"></td></tr>
+<tr><td></td><td>
+  <input type="radio" name="title_mode" value="tw" checked> title word(s)
+  <input type="radio" name="title_mode" value="st"> start(s) of title word(s)
+  <input type="radio" name="title_mode" value="ex"> exact start of title
+</td></tr>
+<tr><td>Subject:</td><td><select name="subject">
+  <option>All subjects</option><option>Arts</option><option>Computers</option>
+  <option>Fiction</option><option>History</option></select></td></tr>
+<tr><td>ISBN:</td><td><input type="text" name="isbn" size="16"></td></tr>
+<tr><td>Publisher:</td><td><input type="text" name="publisher" size="24"></td></tr>
+</table>
+<br><input type="submit" value="Search Now">
+</form>
+</body></html>
+"""
+
+
+def qam_ground_truth() -> list[Condition]:
+    """Semantic model of ``QAM_HTML`` (five conditions, as in Section 1)."""
+    return [
+        Condition("Author", _AUTHOR_OPS, Domain("text"), ("author",)),
+        Condition("Title", _TITLE_OPS, Domain("text"), ("title",)),
+        Condition(
+            "Subject", ("=",),
+            Domain("enum", ("All subjects", "Arts", "Computers", "Fiction",
+                            "History")),
+            ("subject",),
+        ),
+        Condition("ISBN", ("contains",), Domain("text"), ("isbn",)),
+        Condition("Publisher", ("contains",), Domain("text"), ("publisher",)),
+    ]
+
+
+#: The Figure 5 fragment: author and title rows only (16 tokens:
+#: 2 texts + 2 textboxes + 6 radios + 6 radio label texts).
+QAM_FRAGMENT_HTML = """
+<html><body>
+<form action="/books-search">
+<table cellspacing="4" cellpadding="2">
+<tr><td>Author</td><td><input type="text" name="query-0" size="28"></td></tr>
+<tr><td></td><td>
+  <input type="radio" name="field-0" value="fl" checked> first name/initials and last name
+  <input type="radio" name="field-0" value="sl"> start(s) of last name
+  <input type="radio" name="field-0" value="ex"> exact name
+</td></tr>
+<tr><td>Title</td><td><input type="text" name="query-1" size="28"></td></tr>
+<tr><td></td><td>
+  <input type="radio" name="field-1" value="tw" checked> title word(s)
+  <input type="radio" name="field-1" value="st"> start(s) of title word(s)
+  <input type="radio" name="field-1" value="ex"> exact start of title
+</td></tr>
+</table>
+</form>
+</body></html>
+"""
+
+
+def qam_fragment_ground_truth() -> list[Condition]:
+    """Semantic model of the Figure 5 fragment (two conditions)."""
+    return [
+        Condition("Author", _AUTHOR_OPS, Domain("text"), ("query-0",)),
+        Condition("Title", _TITLE_OPS, Domain("text"), ("query-1",)),
+    ]
+
+
+_MONTH_OPTIONS = "".join(
+    f"<option>{month}</option>"
+    for month in ("January", "February", "March", "April", "May", "June",
+                  "July", "August", "September", "October", "November",
+                  "December")
+)
+_DAY_OPTIONS = "".join(f"<option>{day}</option>" for day in range(1, 32))
+
+
+QAA_HTML = f"""
+<html><head><title>Flight Search</title></head><body>
+<h2>Reservations</h2>
+<form action="/flights" method="get">
+<table cellspacing="4" cellpadding="2">
+<tr><td colspan="2">
+  <input type="radio" name="triptype" value="rt" checked> Round trip
+  <input type="radio" name="triptype" value="ow"> One way
+</td></tr>
+<tr><td>From:</td><td><input type="text" name="orig" size="18"></td>
+    <td>To:</td><td><input type="text" name="dest" size="18"></td></tr>
+<tr><td>Departure date:</td><td colspan="3">
+  <select name="dep_m">{_MONTH_OPTIONS}</select>
+  <select name="dep_d">{_DAY_OPTIONS}</select>
+</td></tr>
+<tr><td>Return date:</td><td colspan="3">
+  <select name="ret_m">{_MONTH_OPTIONS}</select>
+  <select name="ret_d">{_DAY_OPTIONS}</select>
+</td></tr>
+<tr><td>Passengers:</td><td colspan="3"><select name="pax">
+  <option>1</option><option>2</option><option>3</option>
+  <option>4</option><option>5</option><option>6</option></select></td></tr>
+<tr><td>Cabin:</td><td colspan="3"><select name="cabin">
+  <option>Economy</option><option>Business</option><option>First</option>
+</select></td></tr>
+<tr><td colspan="4"><input type="checkbox" name="nonstop" value="1"> Nonstop flights only</td></tr>
+</table>
+<br><input type="submit" value="Find flights">
+</form>
+</body></html>
+"""
+
+
+def qaa_ground_truth() -> list[Condition]:
+    """Semantic model of ``QAA_HTML`` (eight conditions)."""
+    return [
+        Condition("", ("=",), Domain("enum", ("Round trip", "One way")),
+                  ("triptype",)),
+        Condition("From", ("contains",), Domain("text"), ("orig",)),
+        Condition("To", ("contains",), Domain("text"), ("dest",)),
+        Condition("Departure date", ("=",), Domain("datetime"),
+                  ("dep_m", "dep_d")),
+        Condition("Return date", ("=",), Domain("datetime"),
+                  ("ret_m", "ret_d")),
+        Condition("Passengers", ("=",),
+                  Domain("enum", ("1", "2", "3", "4", "5", "6")), ("pax",)),
+        Condition("Cabin", ("=",),
+                  Domain("enum", ("Economy", "Business", "First")), ("cabin",)),
+        Condition("", ("in",), Domain("enum", ("Nonstop flights only",)),
+                  ("nonstop",)),
+    ]
+
+
+#: Figure 14 variation: the passenger block is arranged column-by-column
+#: with the per-column labels packed onto one line above three wide
+#: selects.  The labels do not align with their columns, so the label run
+#: competes for both the adults and the children selects -- the parser
+#: yields overlapping partial trees and the merger reports the contested
+#: tokens as *conflicts*, exactly the error class the paper's Figure 14
+#: example illustrates.
+QAA_VARIANT_HTML = f"""
+<html><head><title>Flight Search</title></head><body>
+<form action="/flights" method="get">
+<table cellspacing="4" cellpadding="2">
+<tr><td>From:</td><td><input type="text" name="orig" size="18"></td>
+    <td>To:</td><td><input type="text" name="dest" size="18"></td></tr>
+<tr><td>Departure date:</td><td colspan="3">
+  <select name="dep_m">{_MONTH_OPTIONS}</select>
+  <select name="dep_d">{_DAY_OPTIONS}</select>
+</td></tr>
+</table>
+<table cellspacing="2" cellpadding="0">
+<tr><td>Number of passengers</td></tr>
+<tr><td>Adults &nbsp; Children &nbsp; Seniors</td></tr>
+<tr><td>
+<select name="adults"><option>Any number</option><option>1</option>
+  <option>2</option><option>3</option></select>
+<select name="children"><option>Any number</option><option>0</option>
+  <option>1</option></select>
+<select name="seniors"><option>Any number</option><option>0</option>
+  <option>1</option></select>
+</td></tr>
+</table>
+<input type="submit" value="Find flights">
+</form>
+</body></html>
+"""
+
+
+def qaa_variant_ground_truth() -> list[Condition]:
+    """Semantic model of ``QAA_VARIANT_HTML`` (six conditions)."""
+    return [
+        Condition("From", ("contains",), Domain("text"), ("orig",)),
+        Condition("To", ("contains",), Domain("text"), ("dest",)),
+        Condition("Departure date", ("=",), Domain("datetime"),
+                  ("dep_m", "dep_d")),
+        Condition("Adults", ("=",),
+                  Domain("enum", ("Any number", "1", "2", "3")), ("adults",)),
+        Condition("Children", ("=",),
+                  Domain("enum", ("Any number", "0", "1")), ("children",)),
+        Condition("Seniors", ("=",),
+                  Domain("enum", ("Any number", "0", "1")), ("seniors",)),
+    ]

@@ -1,0 +1,304 @@
+"""Synthetic deep-Web source generator.
+
+Produces complete HTML pages containing a query form assembled from the
+pattern catalog, together with the form's ground-truth semantic model.
+Generation is fully deterministic given a seed, so datasets are
+reproducible across runs and machines.
+
+Realism knobs follow the paper's observations:
+
+* pattern choice is Zipf-distributed over the catalog's frequency ranks
+  (Figure 4(b));
+* a tunable fraction of sources uses one rare out-of-grammar pattern
+  (grammar incompleteness, Section 5.3);
+* pages carry decoration -- headings, marketing blurbs, required-field
+  legends, submit/reset rows -- that the parser must see through;
+* forms use either a two-column table layout or a flowing ``<br>`` layout,
+  and neighbouring one-row conditions sometimes share a table row (the
+  aa.com-style multi-condition row).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.domains import DomainSpec
+from repro.datasets.patterns import (
+    IN_GRAMMAR_PATTERNS,
+    OUT_OF_GRAMMAR_PATTERNS,
+    PatternSpec,
+    RenderedPattern,
+    zipf_weight,
+)
+from repro.semantics.condition import Condition
+
+
+@dataclass
+class GeneratedSource:
+    """One synthetic deep-Web source."""
+
+    name: str
+    domain: str
+    html: str
+    truth: list[Condition]
+    patterns_used: list[int] = field(default_factory=list)
+    seed: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<GeneratedSource {self.name} domain={self.domain} "
+            f"conditions={len(self.truth)} patterns={self.patterns_used}>"
+        )
+
+
+@dataclass(frozen=True)
+class GeneratorProfile:
+    """Complexity profile of generated sources.
+
+    Attributes:
+        min_conditions / max_conditions: Range of conditions per form.
+        rare_pattern_prob: Chance a source uses one out-of-grammar pattern.
+        flow_layout_prob: Chance of a ``<br>``-flow layout instead of a
+            two-column table.
+        pair_rows_prob: Chance of merging two one-row conditions onto one
+            table row.
+        blurb_prob: Chance of marketing text around the form.
+        extra_condition_prob: Chance of appending a generic site condition
+            (sort order / results per page).
+    """
+
+    min_conditions: int = 2
+    max_conditions: int = 8
+    rare_pattern_prob: float = 0.30
+    second_rare_prob: float = 0.35
+    flow_layout_prob: float = 0.3
+    pair_rows_prob: float = 0.35
+    blurb_prob: float = 0.6
+    extra_condition_prob: float = 0.2
+
+
+#: Profile matching the paper's note that NewSource forms were simpler.
+SIMPLE_PROFILE = GeneratorProfile(
+    min_conditions=2, max_conditions=5, rare_pattern_prob=0.16,
+)
+
+#: Profile for randomly sampled sources (more heterogeneous).
+RANDOM_PROFILE = GeneratorProfile(
+    min_conditions=1, max_conditions=8, rare_pattern_prob=0.42,
+    flow_layout_prob=0.4,
+)
+
+
+class SourceGenerator:
+    """Generates query-interface pages for one domain."""
+
+    def __init__(
+        self,
+        domain: DomainSpec,
+        profile: GeneratorProfile | None = None,
+    ):
+        self.domain = domain
+        self.profile = profile or GeneratorProfile()
+
+    # -- public API -----------------------------------------------------------
+
+    def generate(self, seed: int, name: str | None = None) -> GeneratedSource:
+        """Generate one source deterministically from *seed*."""
+        rng = random.Random(seed)
+        profile = self.profile
+
+        rendered, patterns_used, truth = self._pick_conditions(rng)
+        use_flow = rng.random() < profile.flow_layout_prob
+        body_parts: list[str] = []
+
+        heading = f"<h2>{self.domain.name} Search</h2>"
+        body_parts.append(heading)
+        if self.domain.blurbs and rng.random() < profile.blurb_prob:
+            body_parts.append(f"<p>{rng.choice(self.domain.blurbs)}</p>")
+
+        form_inner = (
+            self._render_flow(rendered, rng)
+            if use_flow
+            else self._render_table(rendered, rng)
+        )
+        submit_row = self._submit_row(rng)
+        form = f'<form action="/search" method="get">{form_inner}{submit_row}</form>'
+        body_parts.append(form)
+        if rng.random() < 0.3:
+            body_parts.append("<p>Results open in a new window.</p>")
+
+        html = (
+            "<html><head><title>"
+            f"{self.domain.name} search</title></head><body>"
+            + "".join(body_parts)
+            + "</body></html>"
+        )
+        return GeneratedSource(
+            name=name or f"{self.domain.name.lower()}-{seed}",
+            domain=self.domain.name,
+            html=html,
+            truth=truth,
+            patterns_used=patterns_used,
+            seed=seed,
+        )
+
+    def generate_many(self, count: int, base_seed: int) -> list[GeneratedSource]:
+        """Generate *count* sources with consecutive seeds."""
+        return [self.generate(base_seed + index) for index in range(count)]
+
+    # -- condition selection ---------------------------------------------------------
+
+    def _pick_conditions(
+        self, rng: random.Random
+    ) -> tuple[list[RenderedPattern], list[int], list[Condition]]:
+        profile = self.profile
+        count = rng.randint(profile.min_conditions, profile.max_conditions)
+        attributes = list(self.domain.attributes)
+        rng.shuffle(attributes)
+        chosen = attributes[:count]
+
+        rare_budget = 0
+        if rng.random() < profile.rare_pattern_prob:
+            rare_budget = 2 if rng.random() < profile.second_rare_prob else 1
+        rendered: list[RenderedPattern] = []
+        patterns_used: list[int] = []
+        truth: list[Condition] = []
+
+        for index, spec in enumerate(chosen):
+            pattern = None
+            if rare_budget > 0:
+                rare_options = [
+                    p for p in OUT_OF_GRAMMAR_PATTERNS if p.applicable(spec)
+                ]
+                if rare_options:
+                    pattern = rng.choice(rare_options)
+                    rare_budget -= 1
+            if pattern is None:
+                pattern = self._zipf_choice(spec, rng)
+            if pattern is None:
+                continue
+            occurrence = pattern.render(spec, self.domain, rng)
+            occurrence.pattern_id = pattern.id
+            rendered.append(occurrence)
+            patterns_used.append(pattern.id)
+            truth.extend(occurrence.conditions)
+
+        if rendered and rng.random() < profile.extra_condition_prob:
+            extra = self._site_condition(rng)
+            rendered.append(extra)
+            patterns_used.append(extra.pattern_id)
+            truth.extend(extra.conditions)
+        return rendered, patterns_used, truth
+
+    @staticmethod
+    def _zipf_choice(spec, rng: random.Random) -> PatternSpec | None:
+        options = [p for p in IN_GRAMMAR_PATTERNS if p.applicable(spec)]
+        if not options:
+            return None
+        weights = [zipf_weight(p.rank) for p in options]
+        return rng.choices(options, weights=weights, k=1)[0]
+
+    def _site_condition(self, rng: random.Random) -> RenderedPattern:
+        """A generic site-wide condition (sort order / page size)."""
+        from repro.datasets.domains import AttributeSpec
+        from repro.datasets.patterns import PATTERNS_BY_ID
+
+        if rng.random() < 0.5:
+            spec = AttributeSpec(
+                "Sort results by", "enum",
+                values=("Best match", "Price", "Newest first"),
+                field_name="sort",
+            )
+        else:
+            spec = AttributeSpec(
+                "Results per page", "enum",
+                values=("10", "25", "50"),
+                field_name="pagesize",
+            )
+        pattern = PATTERNS_BY_ID[8]  # sel-left
+        occurrence = pattern.render(spec, self.domain, rng)
+        occurrence.pattern_id = pattern.id
+        return occurrence
+
+    # -- layout assembly -----------------------------------------------------------
+
+    @staticmethod
+    def _render_table(
+        rendered: list[RenderedPattern], rng: random.Random
+    ) -> str:
+        rows_html: list[str] = []
+        pending_pair: tuple[str, str] | None = None
+        wide = False
+
+        # First pass decides whether any row will be paired (4 columns).
+        pairable = [
+            r for r in rendered if len(r.rows) == 1 and r.rows[0][0] is not None
+        ]
+        do_pair = len(pairable) >= 2 and rng.random() < 0.35
+        paired_ids = set()
+        if do_pair:
+            paired_ids = {id(pairable[0]), id(pairable[1])}
+            wide = True
+
+        for occurrence in rendered:
+            if occurrence.rows_html is not None:
+                rows_html.append(occurrence.rows_html)
+                continue
+            if id(occurrence) in paired_ids:
+                label, control = occurrence.rows[0]
+                if pending_pair is None:
+                    pending_pair = (label or "", control)
+                    continue
+                left_label, left_control = pending_pair
+                rows_html.append(
+                    f"<tr><td>{left_label}</td><td>{left_control}</td>"
+                    f"<td>{label}</td><td>{control}</td></tr>"
+                )
+                pending_pair = None
+                continue
+            for label, control in occurrence.rows:
+                span = 3 if wide else 1
+                if label is None:
+                    total = 4 if wide else 2
+                    rows_html.append(
+                        f'<tr><td colspan="{total}">{control}</td></tr>'
+                    )
+                else:
+                    rows_html.append(
+                        f'<tr><td>{label}</td>'
+                        f'<td colspan="{span}">{control}</td></tr>'
+                    )
+        if pending_pair is not None:
+            left_label, left_control = pending_pair
+            span = 3 if wide else 1
+            rows_html.append(
+                f'<tr><td>{left_label}</td><td colspan="{span}">{left_control}</td></tr>'
+            )
+        spacing = rng.choice((2, 4, 6))
+        return (
+            f'<table cellspacing="{spacing}" cellpadding="2">'
+            + "".join(rows_html)
+            + "</table>"
+        )
+
+    @staticmethod
+    def _render_flow(rendered: list[RenderedPattern], rng: random.Random) -> str:
+        parts: list[str] = []
+        for occurrence in rendered:
+            for label, control in occurrence.rows:
+                if label is None:
+                    parts.append(f"{control}<br>")
+                elif label:
+                    parts.append(f"{label} {control}<br>")
+                else:
+                    parts.append(f"{control}<br>")
+        return "".join(parts)
+
+    @staticmethod
+    def _submit_row(rng: random.Random) -> str:
+        submit_label = rng.choice(("Search", "Search Now", "Go", "Find it"))
+        parts = [f'<input type="submit" value="{submit_label}">']
+        if rng.random() < 0.4:
+            parts.append('<input type="reset" value="Clear">')
+        return "<br>" + " ".join(parts)

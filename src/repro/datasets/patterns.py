@@ -1,0 +1,571 @@
+"""The condition-pattern catalog.
+
+The paper's survey of 150 sources found ~25 condition patterns, of which 21
+occur more than once (Section 3.1, Figure 4).  This module is the synthetic
+equivalent: each :class:`PatternSpec` renders an attribute as HTML in one
+fixed visual arrangement and emits the ground-truth condition(s) the
+arrangement expresses.  Patterns 1-21 are covered by the derived global
+grammar (:mod:`repro.grammar.standard`); patterns 22-25 are the rare
+out-of-grammar conventions that exercise grammar *incompleteness* -- the
+best-effort parser must degrade gracefully on them, exactly as the paper's
+parser does on unseen real-world patterns.
+
+Ground-truth conventions intentionally mirror the extraction conventions
+documented in :mod:`repro.grammar.standard` (e.g. a plain keyword box
+supports the single implicit ``contains`` operator; a select condition's
+domain enumerates all option labels including placeholders), so that the
+evaluation measures *parsing* quality rather than annotation style.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.datasets.domains import AttributeSpec, DomainSpec
+from repro.semantics.condition import Condition, Domain
+
+_MONTHS = ("January", "February", "March", "April", "May", "June", "July",
+           "August", "September", "October", "November", "December")
+
+
+@dataclass
+class RenderedPattern:
+    """One rendered pattern occurrence.
+
+    ``rows`` feed a two-column table layout: ``(label_cell, control_cell)``
+    pairs, with ``None`` labels meaning the control cell spans both columns.
+    The generator may also rebuild the rows into a flowing (``<br>``
+    separated) layout; both preserve the pattern's topology.
+    """
+
+    rows: list[tuple[str | None, str]]
+    conditions: list[Condition]
+    pattern_id: int = 0
+    #: Raw ``<tr>...`` markup for table layouts that the (label, control)
+    #: rows cannot express (e.g. a rowspanning label); when set, table
+    #: assembly injects it verbatim and flow assembly falls back to rows.
+    rows_html: str | None = None
+
+
+#: Renderer signature: (attribute, domain, rng) -> rendered occurrence.
+Renderer = Callable[[AttributeSpec, DomainSpec, random.Random], RenderedPattern]
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """Catalog entry for one condition pattern."""
+
+    id: int
+    name: str
+    kind: str
+    in_grammar: bool
+    rank: int
+    render: Renderer = field(compare=False)
+
+    def applicable(self, spec: AttributeSpec) -> bool:
+        """True when the pattern can present *spec*."""
+        if spec.kind != self.kind:
+            return False
+        if self.id in (4, 5, 6, 7) and not spec.operators:
+            return False
+        if self.id == 10 and not 2 <= len(spec.values) <= 7:
+            return False
+        if self.id == 11 and len(spec.values) != 2:
+            return False
+        if self.id == 12 and not 2 <= len(spec.values) <= 4:
+            return False
+        if self.id in (16, 17) and not spec.values:
+            return False
+        if self.id == 20 and spec.label not in ("Keywords",):
+            return False
+        if self.id == 21 and not spec.unit:
+            return False
+        if self.id == 22 and not spec.operators:
+            return False
+        if self.id == 23 and not 3 <= len(spec.values) <= 8:
+            return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# HTML building blocks
+# ---------------------------------------------------------------------------
+
+
+def _label_html(label: str, rng: random.Random) -> str:
+    style = rng.random()
+    if style < 0.45:
+        return f"{label}:"
+    if style < 0.70:
+        return f"<b>{label}</b>:"
+    if style < 0.90:
+        return label
+    return f"{label}*:"
+
+
+def _textbox(name: str, rng: random.Random) -> str:
+    size = rng.choice((12, 15, 18, 20, 24, 30))
+    return f'<input type="text" name="{name}" size="{size}">'
+
+
+def _select(name: str, values: tuple[str, ...], multiple: bool = False,
+            size: int = 1) -> str:
+    options = "".join(f"<option>{value}</option>" for value in values)
+    extra = " multiple" if multiple else ""
+    if size > 1:
+        extra += f' size="{size}"'
+    return f'<select name="{name}"{extra}>{options}</select>'
+
+
+def _radio(name: str, value: str, label: str, checked: bool = False) -> str:
+    mark = " checked" if checked else ""
+    return f'<input type="radio" name="{name}" value="{value}"{mark}> {label}'
+
+
+def _checkbox(name: str, value: str, label: str) -> str:
+    return f'<input type="checkbox" name="{name}" value="{value}"> {label}'
+
+
+def _radio_group(name: str, labels: tuple[str, ...], sep: str) -> str:
+    return sep.join(
+        _radio(name, f"v{i}", label, checked=(i == 0))
+        for i, label in enumerate(labels)
+    )
+
+
+def _checkbox_group(name: str, labels: tuple[str, ...], sep: str) -> str:
+    return sep.join(
+        _checkbox(name, f"v{i}", label) for i, label in enumerate(labels)
+    )
+
+
+def _maybe_placeholder(spec: AttributeSpec, rng: random.Random) -> tuple[str, ...]:
+    """Enum values, sometimes with a leading placeholder option."""
+    values = spec.values
+    if values and not values[0].lower().startswith(("any", "all")) and rng.random() < 0.4:
+        placeholder = rng.choice((f"All {spec.label.lower()}s", "Any", "All"))
+        return (placeholder,) + values
+    return values
+
+
+# -- ground-truth helpers ------------------------------------------------------
+
+
+def _text_condition(spec: AttributeSpec, bare: bool = False) -> Condition:
+    return Condition(
+        attribute="" if bare else spec.label,
+        operators=("contains",),
+        domain=Domain("text"),
+        fields=(spec.field_name,),
+    )
+
+
+def _op_condition(spec: AttributeSpec, mode_values: tuple[str, ...]) -> Condition:
+    """Text condition with explicit operator choices and their bindings."""
+    mode_field = f"{spec.field_name}_mode"
+    return Condition(
+        attribute=spec.label,
+        operators=spec.operators,
+        domain=Domain("text"),
+        fields=(spec.field_name, mode_field),
+        operator_bindings=tuple(
+            (operator, mode_field, value)
+            for operator, value in zip(spec.operators, mode_values)
+        ),
+    )
+
+
+def _enum_condition(
+    spec: AttributeSpec, values: tuple[str, ...], multi: bool = False,
+    bare: bool = False, submit_values: tuple[str, ...] | None = None,
+) -> Condition:
+    """Enumerated condition; ``submit_values`` defaults to the labels
+    (selects without explicit option values submit the label text)."""
+    if submit_values is None:
+        submit_values = values
+    return Condition(
+        attribute="" if bare else spec.label,
+        operators=("in",) if multi else ("=",),
+        domain=Domain("enum", values),
+        fields=(spec.field_name,),
+        value_bindings=tuple(
+            (label, spec.field_name, value)
+            for label, value in zip(values, submit_values)
+        ),
+    )
+
+
+def _range_condition(spec: AttributeSpec) -> Condition:
+    lo_field = f"{spec.field_name}_lo"
+    hi_field = f"{spec.field_name}_hi"
+    return Condition(
+        attribute=spec.label,
+        operators=("between",),
+        domain=Domain("range"),
+        fields=(lo_field, hi_field),
+        field_roles=((lo_field, "lo"), (hi_field, "hi")),
+    )
+
+
+def _date_condition(
+    spec: AttributeSpec, parts: tuple[str, ...] = ("month", "day", "year")
+) -> Condition:
+    suffix = {"month": "m", "day": "d", "year": "y"}
+    fields = tuple(f"{spec.field_name}_{suffix[part]}" for part in parts)
+    return Condition(
+        attribute=spec.label,
+        operators=("=",),
+        domain=Domain("datetime"),
+        fields=fields,
+        field_roles=tuple(zip(fields, parts)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# pattern renderers (1-21: in-grammar)
+# ---------------------------------------------------------------------------
+
+
+def _p1_textval_left(spec, domain, rng) -> RenderedPattern:
+    label = _label_html(spec.label, rng)
+    if rng.random() < 0.2:
+        # Some sources use explicit <label for> markup.
+        label = f'<label for="{spec.field_name}">{label}</label>'
+    return RenderedPattern(
+        rows=[(label, _textbox(spec.field_name, rng))],
+        conditions=[_text_condition(spec)],
+    )
+
+
+def _p2_textval_above(spec, domain, rng) -> RenderedPattern:
+    html = f"{_label_html(spec.label, rng)}<br>{_textbox(spec.field_name, rng)}"
+    return RenderedPattern(rows=[(None, html)], conditions=[_text_condition(spec)])
+
+
+def _p3_textval_below(spec, domain, rng) -> RenderedPattern:
+    html = f"{_textbox(spec.field_name, rng)}<br>{_label_html(spec.label, rng)}"
+    return RenderedPattern(rows=[(None, html)], conditions=[_text_condition(spec)])
+
+
+def _p4_textop_below(spec, domain, rng) -> RenderedPattern:
+    radios = _radio_group(f"{spec.field_name}_mode", spec.operators, "<br>")
+    return RenderedPattern(
+        rows=[
+            (_label_html(spec.label, rng), _textbox(spec.field_name, rng)),
+            ("", radios),
+        ],
+        conditions=[_op_condition(spec, tuple(f"v{i}" for i in range(len(spec.operators))))],
+    )
+
+
+def _p5_textop_right(spec, domain, rng) -> RenderedPattern:
+    radios = _radio_group(f"{spec.field_name}_mode", spec.operators, " ")
+    html = f"{_textbox(spec.field_name, rng)} {radios}"
+    return RenderedPattern(
+        rows=[(_label_html(spec.label, rng), html)],
+        conditions=[_op_condition(spec, tuple(f"v{i}" for i in range(len(spec.operators))))],
+    )
+
+
+def _p6_textopsel_mid(spec, domain, rng) -> RenderedPattern:
+    op_select = _select(f"{spec.field_name}_mode", spec.operators)
+    html = f"{op_select} {_textbox(spec.field_name, rng)}"
+    return RenderedPattern(
+        rows=[(_label_html(spec.label, rng), html)],
+        conditions=[_op_condition(spec, spec.operators)],
+    )
+
+
+def _p7_textopsel_below(spec, domain, rng) -> RenderedPattern:
+    op_select = _select(f"{spec.field_name}_mode", spec.operators)
+    html = f"{_textbox(spec.field_name, rng)}<br>{op_select}"
+    return RenderedPattern(
+        rows=[(_label_html(spec.label, rng), html)],
+        conditions=[_op_condition(spec, spec.operators)],
+    )
+
+
+def _p8_sel_left(spec, domain, rng) -> RenderedPattern:
+    values = _maybe_placeholder(spec, rng)
+    return RenderedPattern(
+        rows=[(_label_html(spec.label, rng), _select(spec.field_name, values))],
+        conditions=[_enum_condition(spec, values)],
+    )
+
+
+def _p9_sel_above(spec, domain, rng) -> RenderedPattern:
+    values = _maybe_placeholder(spec, rng)
+    html = f"{_label_html(spec.label, rng)}<br>{_select(spec.field_name, values)}"
+    return RenderedPattern(
+        rows=[(None, html)], conditions=[_enum_condition(spec, values)]
+    )
+
+
+def _p10_enumrb_labeled(spec, domain, rng) -> RenderedPattern:
+    sep = " " if len(spec.values) <= 4 else "<br>"
+    radios = _radio_group(spec.field_name, spec.values, sep)
+    return RenderedPattern(
+        rows=[(_label_html(spec.label, rng), radios)],
+        conditions=[_enum_condition(spec, spec.values, submit_values=tuple(f"v{i}" for i in range(len(spec.values))))],
+    )
+
+
+def _p11_enumrb_bare(spec, domain, rng) -> RenderedPattern:
+    radios = _radio_group(spec.field_name, spec.values, " ")
+    return RenderedPattern(
+        rows=[(None, radios)],
+        conditions=[
+            _enum_condition(spec, spec.values, bare=True, submit_values=tuple(f"v{i}" for i in range(len(spec.values))))
+        ],
+    )
+
+
+def _p12_enumcb_labeled(spec, domain, rng) -> RenderedPattern:
+    sep = " " if len(spec.values) <= 3 else "<br>"
+    boxes = _checkbox_group(spec.field_name, spec.values, sep)
+    return RenderedPattern(
+        rows=[(_label_html(spec.label, rng), boxes)],
+        conditions=[
+            _enum_condition(spec, spec.values, multi=True, submit_values=tuple(f"v{i}" for i in range(len(spec.values))))
+        ],
+    )
+
+
+def _p13_flag(spec, domain, rng) -> RenderedPattern:
+    html = _checkbox(spec.field_name, "1", spec.label)
+    return RenderedPattern(
+        rows=[(None, html)],
+        conditions=[
+            Condition(
+                attribute="",
+                operators=("in",),
+                domain=Domain("enum", (spec.label,)),
+                fields=(spec.field_name,),
+                value_bindings=((spec.label, spec.field_name, "1"),),
+            )
+        ],
+    )
+
+
+def _p14_range_text_row(spec, domain, rng) -> RenderedPattern:
+    lo = f'<input type="text" name="{spec.field_name}_lo" size="8">'
+    hi = f'<input type="text" name="{spec.field_name}_hi" size="8">'
+    style = rng.random()
+    if style < 0.5:
+        html = f"from {lo} to {hi}"
+    else:
+        html = f"{lo} to {hi}"
+    return RenderedPattern(
+        rows=[(_label_html(spec.label, rng), html)],
+        conditions=[_range_condition(spec)],
+    )
+
+
+def _p15_range_text_stacked(spec, domain, rng) -> RenderedPattern:
+    lo = f'<input type="text" name="{spec.field_name}_lo" size="8">'
+    hi = f'<input type="text" name="{spec.field_name}_hi" size="8">'
+    html = f"min {lo}<br>max {hi}"
+    label = _label_html(spec.label, rng)
+    rows_html = None
+    if rng.random() < 0.35:
+        # Some sources span the label over the two endpoint rows.
+        rows_html = (
+            f'<tr><td rowspan="2">{label}</td><td>min {lo}</td></tr>'
+            f"<tr><td>max {hi}</td></tr>"
+        )
+    return RenderedPattern(
+        rows=[(label, html)],
+        conditions=[_range_condition(spec)],
+        rows_html=rows_html,
+    )
+
+
+def _p16_range_sel_row(spec, domain, rng) -> RenderedPattern:
+    lo = _select(f"{spec.field_name}_lo", spec.values)
+    hi = _select(f"{spec.field_name}_hi", spec.values)
+    html = f"from {lo} to {hi}"
+    return RenderedPattern(
+        rows=[(_label_html(spec.label, rng), html)],
+        conditions=[_range_condition(spec)],
+    )
+
+
+def _p17_range_sel_pair(spec, domain, rng) -> RenderedPattern:
+    lo = _select(f"{spec.field_name}_lo", spec.values)
+    hi = _select(f"{spec.field_name}_hi", spec.values)
+    joiner = rng.choice(("to", "-"))
+    html = f"{lo} {joiner} {hi}"
+    return RenderedPattern(
+        rows=[(_label_html(spec.label, rng), html)],
+        conditions=[_range_condition(spec)],
+    )
+
+
+def _date_selects(field_name: str, rng: random.Random,
+                  parts: tuple[str, ...]) -> str:
+    pieces = []
+    for part in parts:
+        if part == "month":
+            pieces.append(_select(f"{field_name}_m", _MONTHS))
+        elif part == "day":
+            pieces.append(
+                _select(f"{field_name}_d", tuple(str(d) for d in range(1, 32)))
+            )
+        else:
+            pieces.append(
+                _select(f"{field_name}_y", ("2004", "2005", "2006"))
+            )
+    return " ".join(pieces)
+
+
+def _p18_date3(spec, domain, rng) -> RenderedPattern:
+    order = rng.choice((("month", "day", "year"), ("day", "month", "year")))
+    html = _date_selects(spec.field_name, rng, order)
+    return RenderedPattern(
+        rows=[(_label_html(spec.label, rng), html)],
+        conditions=[_date_condition(spec, order)],
+    )
+
+
+def _p19_date2(spec, domain, rng) -> RenderedPattern:
+    order = rng.choice((("month", "day"), ("day", "month"), ("month", "year")))
+    html = _date_selects(spec.field_name, rng, order)
+    return RenderedPattern(
+        rows=[(_label_html(spec.label, rng), html)],
+        conditions=[_date_condition(spec, order)],
+    )
+
+
+def _p20_bare_keyword(spec, domain, rng) -> RenderedPattern:
+    return RenderedPattern(
+        rows=[(None, _textbox(spec.field_name, rng))],
+        conditions=[_text_condition(spec, bare=True)],
+    )
+
+
+def _p21_textval_unit(spec, domain, rng) -> RenderedPattern:
+    box = f'<input type="text" name="{spec.field_name}" size="8">'
+    html = f"{box} {spec.unit}"
+    return RenderedPattern(
+        rows=[(_label_html(spec.label, rng), html)],
+        conditions=[_text_condition(spec)],
+    )
+
+
+# ---------------------------------------------------------------------------
+# pattern renderers (22-25: out-of-grammar, rare)
+# ---------------------------------------------------------------------------
+
+
+def _p22_field_selector(spec, domain, rng) -> RenderedPattern:
+    """Radios choose *which attribute* the single textbox searches."""
+    others = [s for s in domain.attributes if s.kind == "text" and s is not spec]
+    second = others[0].label if others else "Keywords"
+    radios = _radio_group(
+        f"{spec.field_name}_which", (spec.label, second), " "
+    )
+    html = f"{radios} {_textbox(spec.field_name, rng)}"
+    return RenderedPattern(
+        rows=[("Search in:", html)],
+        conditions=[
+            Condition(
+                attribute="",
+                operators=(spec.label, second),
+                domain=Domain("text"),
+                fields=(spec.field_name,),
+            )
+        ],
+    )
+
+
+def _p23_double_list(spec, domain, rng) -> RenderedPattern:
+    """Dual list-mover: available values + chosen values + buttons."""
+    source = _select(spec.field_name, spec.values, multiple=True, size=4)
+    chosen = _select(f"{spec.field_name}_chosen", (), multiple=True, size=4)
+    html = (
+        f"{source} "
+        '<input type="button" value="Add &gt;"> '
+        '<input type="button" value="&lt; Remove"> '
+        f"{chosen}"
+    )
+    return RenderedPattern(
+        rows=[(_label_html(spec.label, rng), html)],
+        conditions=[_enum_condition(spec, spec.values, multi=True)],
+    )
+
+
+def _p24_label_right(spec, domain, rng) -> RenderedPattern:
+    """The attribute name trails the field: "Stay for [box] nights"."""
+    html = f"Stay for {_textbox(spec.field_name, rng)} {spec.label.lower()}"
+    return RenderedPattern(
+        rows=[(None, html)],
+        conditions=[_text_condition(spec)],
+    )
+
+
+def _p25_legend_group(spec, domain, rng) -> RenderedPattern:
+    """A fieldset legend names the attribute of two bare selects."""
+    values = spec.values or ("1", "2", "3")
+    lo = _select(f"{spec.field_name}_lo", values)
+    hi = _select(f"{spec.field_name}_hi", values)
+    html = (
+        f"<fieldset><legend>{spec.label}</legend>{lo} {hi}</fieldset>"
+    )
+    return RenderedPattern(
+        rows=[(None, html)],
+        conditions=[_range_condition(spec)],
+    )
+
+
+# ---------------------------------------------------------------------------
+# the catalog
+# ---------------------------------------------------------------------------
+
+#: All 25 patterns.  ``rank`` orders the 21 in-grammar patterns by the
+#: Zipf frequency the survey (Figure 4(b)) assigns them; out-of-grammar
+#: patterns have rank 0 and a separate occurrence probability.
+PATTERNS: tuple[PatternSpec, ...] = (
+    PatternSpec(1, "textval-left", "text", True, 1, _p1_textval_left),
+    PatternSpec(2, "textval-above", "text", True, 3, _p2_textval_above),
+    PatternSpec(3, "textval-below", "text", True, 18, _p3_textval_below),
+    PatternSpec(4, "textop-rb-below", "text", True, 11, _p4_textop_below),
+    PatternSpec(5, "textop-rb-right", "text", True, 17, _p5_textop_right),
+    PatternSpec(6, "textopsel-mid", "text", True, 12, _p6_textopsel_mid),
+    PatternSpec(7, "textopsel-below", "text", True, 20, _p7_textopsel_below),
+    PatternSpec(8, "sel-left", "enum", True, 2, _p8_sel_left),
+    PatternSpec(9, "sel-above", "enum", True, 4, _p9_sel_above),
+    PatternSpec(10, "enumrb-labeled", "enum", True, 5, _p10_enumrb_labeled),
+    PatternSpec(11, "enumrb-bare", "enum", True, 10, _p11_enumrb_bare),
+    PatternSpec(12, "enumcb-labeled", "enum", True, 13, _p12_enumcb_labeled),
+    PatternSpec(13, "flag", "flag", True, 7, _p13_flag),
+    PatternSpec(14, "range-text-row", "range", True, 8, _p14_range_text_row),
+    PatternSpec(15, "range-text-stacked", "range", True, 19,
+                _p15_range_text_stacked),
+    PatternSpec(16, "range-sel-row", "range", True, 9, _p16_range_sel_row),
+    PatternSpec(17, "range-sel-pair", "range", True, 16, _p17_range_sel_pair),
+    PatternSpec(18, "date3", "date", True, 6, _p18_date3),
+    PatternSpec(19, "date2", "date", True, 15, _p19_date2),
+    PatternSpec(20, "bare-keyword", "text", True, 14, _p20_bare_keyword),
+    PatternSpec(21, "textval-unit", "range", True, 21, _p21_textval_unit),
+    PatternSpec(22, "field-selector-rb", "text", False, 0, _p22_field_selector),
+    PatternSpec(23, "double-list", "enum", False, 0, _p23_double_list),
+    PatternSpec(24, "label-right", "text", False, 0, _p24_label_right),
+    PatternSpec(25, "legend-group", "range", False, 0, _p25_legend_group),
+)
+
+PATTERNS_BY_ID: dict[int, PatternSpec] = {spec.id: spec for spec in PATTERNS}
+IN_GRAMMAR_PATTERNS: tuple[PatternSpec, ...] = tuple(
+    spec for spec in PATTERNS if spec.in_grammar
+)
+OUT_OF_GRAMMAR_PATTERNS: tuple[PatternSpec, ...] = tuple(
+    spec for spec in PATTERNS if not spec.in_grammar
+)
+
+
+def zipf_weight(rank: int, exponent: float = 1.1) -> float:
+    """Zipf weight for a pattern of the given frequency *rank* (1-based)."""
+    if rank <= 0:
+        return 0.0
+    return 1.0 / (rank ** exponent)

@@ -1,0 +1,131 @@
+"""Dataset assembly: the four evaluation datasets of paper Section 6.
+
+* **Basic** -- 150 sources, 50 in each of Books, Automobiles, Airfares;
+  the dataset the grammar is (notionally) derived from.
+* **NewSource** -- 10 extra sources per Basic domain (30 total), generated
+  with the *simple* profile: the paper observes these randomly collected
+  forms were simpler than the survey's deliberately complex picks, and
+  scored best.
+* **NewDomain** -- 7 sources in each of six unseen domains (42 total).
+* **Random** -- 30 sources sampled across all domains with the most
+  heterogeneous profile (standing in for invisible-web.net sampling).
+
+All datasets are deterministic: the same seeds produce the same pages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.domains import BASIC_DOMAINS, DOMAINS, NEW_DOMAINS
+from repro.datasets.generator import (
+    RANDOM_PROFILE,
+    SIMPLE_PROFILE,
+    GeneratedSource,
+    GeneratorProfile,
+    SourceGenerator,
+)
+
+
+@dataclass
+class Dataset:
+    """A named collection of generated sources."""
+
+    name: str
+    sources: list[GeneratedSource] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    def __iter__(self):
+        return iter(self.sources)
+
+    def domains(self) -> list[str]:
+        """Distinct domains present, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for source in self.sources:
+            seen.setdefault(source.domain, None)
+        return list(seen)
+
+
+def build_dataset(
+    name: str,
+    domain_counts: dict[str, int],
+    base_seed: int,
+    profile: GeneratorProfile | None = None,
+) -> Dataset:
+    """Build a dataset with *domain_counts* sources per domain."""
+    sources: list[GeneratedSource] = []
+    seed = base_seed
+    for domain_name, count in domain_counts.items():
+        generator = SourceGenerator(DOMAINS[domain_name], profile)
+        for index in range(count):
+            sources.append(
+                generator.generate(
+                    seed, name=f"{domain_name.lower()}-{index:03d}"
+                )
+            )
+            seed += 1
+    return Dataset(name=name, sources=sources)
+
+
+def build_basic(sources_per_domain: int = 50) -> Dataset:
+    """The Basic dataset: 3 domains x 50 sources."""
+    return build_dataset(
+        "Basic",
+        {domain: sources_per_domain for domain in BASIC_DOMAINS},
+        base_seed=1_000,
+    )
+
+
+def build_new_source(sources_per_domain: int = 10) -> Dataset:
+    """The NewSource dataset: 10 extra (simpler) sources per Basic domain."""
+    return build_dataset(
+        "NewSource",
+        {domain: sources_per_domain for domain in BASIC_DOMAINS},
+        base_seed=2_000,
+        profile=SIMPLE_PROFILE,
+    )
+
+
+def build_new_domain(sources_per_domain: int = 7) -> Dataset:
+    """The NewDomain dataset: 7 sources in each of six unseen domains."""
+    return build_dataset(
+        "NewDomain",
+        {domain: sources_per_domain for domain in NEW_DOMAINS},
+        base_seed=3_000,
+    )
+
+
+def build_random(count: int = 30, seed: int = 4_000) -> Dataset:
+    """The Random dataset: *count* sources sampled across all domains."""
+    rng = random.Random(seed)
+    domain_names = sorted(DOMAINS)
+    sources: list[GeneratedSource] = []
+    for index in range(count):
+        domain_name = rng.choice(domain_names)
+        generator = SourceGenerator(DOMAINS[domain_name], RANDOM_PROFILE)
+        sources.append(
+            generator.generate(seed + 1 + index, name=f"random-{index:03d}")
+        )
+    return Dataset(name="Random", sources=sources)
+
+
+def standard_datasets(scale: float = 1.0) -> dict[str, Dataset]:
+    """All four datasets at the paper's sizes (or scaled for quick runs).
+
+    Args:
+        scale: Multiplier on per-domain source counts (e.g. ``0.2`` builds a
+            five-times-smaller suite for fast tests).
+    """
+    per_basic = max(1, round(50 * scale))
+    per_new_source = max(1, round(10 * scale))
+    per_new_domain = max(1, round(7 * scale))
+    random_count = max(1, round(30 * scale))
+    return {
+        "Basic": build_basic(per_basic),
+        "NewSource": build_new_source(per_new_source),
+        "NewDomain": build_new_domain(per_new_domain),
+        "Random": build_random(random_count),
+    }

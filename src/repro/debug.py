@@ -1,0 +1,116 @@
+"""Debug visualization: ASCII renderings of token layouts and parses.
+
+When a form extracts badly, the first question is "what did the parser
+actually see?"  These helpers render the tokenizer's output as an ASCII
+approximation of the page, and a parse forest as an annotated outline --
+cheap, dependency-free introspection for tests, examples, and the
+``--render`` flag of the CLI.
+"""
+
+from __future__ import annotations
+
+from repro.grammar.instance import Instance
+from repro.tokens.model import Token
+
+#: Pixels per character cell horizontally / per row vertically.
+_X_SCALE = 8.0
+_Y_SCALE = 19.0
+
+_GLYPHS = {
+    "textbox": "[______]",
+    "password": "[******]",
+    "textarea": "[======]",
+    "selectlist": "[___|v]",
+    "listbox": "[≡≡≡≡≡]",
+    "radiobutton": "( )",
+    "checkbox": "[ ]",
+    "submitbutton": "<submit>",
+    "resetbutton": "<reset>",
+    "pushbutton": "<button>",
+    "imagebutton": "<img-btn>",
+    "filebox": "[file...]",
+    "image": "(img)",
+    "hiddenfield": "",
+    "hrule": "--------",
+}
+
+
+def render_tokens(tokens: list[Token], width: int = 100) -> str:
+    """Render *tokens* as an ASCII sketch of the page.
+
+    Text tokens print their string value; controls print a glyph.  The
+    grid is scaled from pixel coordinates, clipped at *width* columns.
+    """
+    if not tokens:
+        return "(no tokens)"
+    min_x = min(token.bbox.left for token in tokens)
+    min_y = min(token.bbox.top for token in tokens)
+    rows: dict[int, list[tuple[int, str]]] = {}
+    for token in tokens:
+        row = int((token.bbox.center_y - min_y) / _Y_SCALE)
+        column = int((token.bbox.left - min_x) / _X_SCALE)
+        label = (
+            token.sval if token.terminal == "text"
+            else _GLYPHS.get(token.terminal, "?")
+        )
+        if not label:
+            continue
+        rows.setdefault(row, []).append((column, label))
+
+    lines: list[str] = []
+    for row_index in range(max(rows) + 1 if rows else 0):
+        cells = sorted(rows.get(row_index, []))
+        line = ""
+        for column, label in cells:
+            if column > len(line):
+                line += " " * (column - len(line))
+            elif line:
+                line += " "
+            line += label
+        lines.append(line[:width].rstrip())
+    return "\n".join(lines)
+
+
+def render_parse_summary(trees: list[Instance], tokens: list[Token]) -> str:
+    """One-line-per-tree summary of a parse forest."""
+    if not trees:
+        return "(no parse trees)"
+    total = len(tokens)
+    lines = []
+    for index, tree in enumerate(trees, start=1):
+        conditions = sum(
+            1 for node in tree.descendants()
+            if node.payload.get("condition") is not None
+        )
+        lines.append(
+            f"tree {index}: {tree.symbol}, covers "
+            f"{len(tree.coverage)}/{total} tokens, "
+            f"{conditions} condition(s), {tree.size()} instances"
+        )
+    return "\n".join(lines)
+
+
+def render_conditions_with_anchors(
+    trees: list[Instance], tokens: list[Token]
+) -> str:
+    """Conditions plus the source tokens each one claimed."""
+    by_id = {token.id: token for token in tokens}
+    lines: list[str] = []
+    seen: set[int] = set()
+    for tree in trees:
+        stack = [tree]
+        while stack:
+            node = stack.pop()
+            condition = node.payload.get("condition")
+            if condition is not None:
+                if node.uid not in seen:
+                    seen.add(node.uid)
+                    anchors = ", ".join(
+                        (by_id[tid].sval or by_id[tid].terminal)
+                        for tid in sorted(node.coverage)
+                        if tid in by_id
+                    )
+                    lines.append(f"{condition}\n    from: {anchors}")
+                continue
+            stack.extend(node.children)
+    return "\n".join(lines) if lines else "(no conditions)"

@@ -1,0 +1,32 @@
+"""Evaluation harness: metrics, dataset runs, and the vocabulary survey.
+
+Implements the paper's Section 6 measurement methodology: per-source and
+overall precision/recall over extracted conditions
+(:mod:`repro.evaluation.metrics`), batch extraction over datasets
+(:mod:`repro.evaluation.harness`), and the Section 3.1 survey of condition
+patterns as building blocks (:mod:`repro.evaluation.survey`).
+"""
+
+from repro.evaluation.harness import DatasetResult, EvaluationHarness, SourceResult
+from repro.evaluation.metrics import (
+    distribution_over_thresholds,
+    overall_metrics,
+    per_source_metrics,
+)
+from repro.evaluation.survey import (
+    pattern_frequencies,
+    pattern_occurrence_matrix,
+    vocabulary_growth,
+)
+
+__all__ = [
+    "DatasetResult",
+    "EvaluationHarness",
+    "SourceResult",
+    "distribution_over_thresholds",
+    "overall_metrics",
+    "pattern_frequencies",
+    "pattern_occurrence_matrix",
+    "per_source_metrics",
+    "vocabulary_growth",
+]

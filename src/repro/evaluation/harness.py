@@ -1,0 +1,141 @@
+"""Batch evaluation: run an extractor over datasets, collect Figure 15.
+
+The harness abstracts over extractors (the form extractor, or the heuristic
+baseline) through a simple callable interface: anything mapping HTML to a
+list of conditions can be evaluated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.datasets.generator import GeneratedSource
+from repro.datasets.repository import Dataset
+from repro.evaluation.metrics import (
+    SourceMetrics,
+    average,
+    distribution_over_thresholds,
+    overall_metrics,
+    per_source_metrics,
+)
+from repro.extractor import FormExtractor
+from repro.semantics.condition import Condition
+from repro.semantics.matching import ConditionMatcher
+
+#: An extractor for evaluation purposes: html -> extracted conditions.
+ExtractFn = Callable[[str], list[Condition]]
+
+
+@dataclass
+class SourceResult:
+    """Evaluation outcome for one source."""
+
+    source: GeneratedSource
+    extracted: list[Condition]
+    metrics: SourceMetrics
+    elapsed_seconds: float = 0.0
+
+    @property
+    def precision(self) -> float:
+        return self.metrics.precision
+
+    @property
+    def recall(self) -> float:
+        return self.metrics.recall
+
+
+@dataclass
+class DatasetResult:
+    """Evaluation outcome for one dataset."""
+
+    name: str
+    results: list[SourceResult] = field(default_factory=list)
+
+    # -- aggregate views ----------------------------------------------------------
+
+    @property
+    def precisions(self) -> list[float]:
+        return [result.precision for result in self.results]
+
+    @property
+    def recalls(self) -> list[float]:
+        return [result.recall for result in self.results]
+
+    @property
+    def average_precision(self) -> float:
+        """Figure 15(c): mean per-source precision."""
+        return average(self.precisions)
+
+    @property
+    def average_recall(self) -> float:
+        """Figure 15(c): mean per-source recall."""
+        return average(self.recalls)
+
+    @property
+    def overall(self) -> SourceMetrics:
+        """Figure 15(d): metrics over all conditions aggregated."""
+        return overall_metrics([result.metrics for result in self.results])
+
+    @property
+    def accuracy(self) -> float:
+        """The paper's headline number: ``(Pa + Ra) / 2``."""
+        overall = self.overall
+        return (overall.precision + overall.recall) / 2.0
+
+    def precision_distribution(self) -> dict[float, float]:
+        """Figure 15(a): % of sources per precision bucket."""
+        return distribution_over_thresholds(self.precisions)
+
+    def recall_distribution(self) -> dict[float, float]:
+        """Figure 15(b): % of sources per recall bucket."""
+        return distribution_over_thresholds(self.recalls)
+
+    @property
+    def total_elapsed(self) -> float:
+        return sum(result.elapsed_seconds for result in self.results)
+
+
+class EvaluationHarness:
+    """Runs an extraction function over datasets and scores it."""
+
+    def __init__(
+        self,
+        extract: ExtractFn | None = None,
+        matcher: ConditionMatcher | None = None,
+    ):
+        if extract is None:
+            extractor = FormExtractor()
+
+            def extract(html: str) -> list[Condition]:
+                return list(extractor.extract(html).conditions)
+
+        self.extract = extract
+        self.matcher = matcher or ConditionMatcher()
+
+    def evaluate_source(self, source: GeneratedSource) -> SourceResult:
+        """Extract from one source and score against its ground truth."""
+        started = time.perf_counter()
+        extracted = self.extract(source.html)
+        elapsed = time.perf_counter() - started
+        metrics = per_source_metrics(extracted, source.truth, self.matcher)
+        return SourceResult(
+            source=source,
+            extracted=extracted,
+            metrics=metrics,
+            elapsed_seconds=elapsed,
+        )
+
+    def evaluate(self, dataset: Dataset) -> DatasetResult:
+        """Evaluate every source of *dataset*."""
+        result = DatasetResult(name=dataset.name)
+        for source in dataset:
+            result.results.append(self.evaluate_source(source))
+        return result
+
+    def evaluate_all(
+        self, datasets: Iterable[Dataset]
+    ) -> dict[str, DatasetResult]:
+        """Evaluate several datasets, keyed by name."""
+        return {dataset.name: self.evaluate(dataset) for dataset in datasets}

@@ -1,0 +1,108 @@
+"""Precision/recall metrics (paper Section 6.1).
+
+Two granularities, as in the paper:
+
+* **per-source**: for interface q, ``Ps(q) = |Cs ∩ Es| / |Es|`` and
+  ``Rs(q) = |Cs ∩ Es| / |Cs|`` where ``Cs`` is the ground-truth condition
+  set and ``Es`` the extracted set (intersection computed by the condition
+  matcher, one-to-one);
+* **overall**: aggregate the same counts over all sources of a dataset
+  (``Pa``, ``Ra``).  The paper's headline "accuracy" is ``(Pa + Ra) / 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.semantics.condition import Condition
+from repro.semantics.matching import ConditionMatcher
+
+#: Precision-axis thresholds of Figure 15(a)/(b): a source falls in the
+#: bucket of the highest threshold its score reaches.
+FIGURE15_THRESHOLDS: tuple[float, ...] = (1.0, 0.9, 0.8, 0.7, 0.6, 0.0)
+
+
+@dataclass(frozen=True)
+class SourceMetrics:
+    """Per-source counts and derived precision/recall."""
+
+    matched: int
+    extracted: int
+    expected: int
+
+    @property
+    def precision(self) -> float:
+        """``Ps``: fraction of extracted conditions that are correct.
+
+        An extraction with no conditions has precision 1.0 when nothing was
+        expected, else 0.0 -- extracting nothing from a real form is a miss,
+        not a vacuous success.
+        """
+        if self.extracted == 0:
+            return 1.0 if self.expected == 0 else 0.0
+        return self.matched / self.extracted
+
+    @property
+    def recall(self) -> float:
+        """``Rs``: fraction of ground-truth conditions extracted."""
+        if self.expected == 0:
+            return 1.0
+        return self.matched / self.expected
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 0.0 if p + r == 0 else 2 * p * r / (p + r)
+
+
+def per_source_metrics(
+    extracted: list[Condition],
+    truth: list[Condition],
+    matcher: ConditionMatcher | None = None,
+) -> SourceMetrics:
+    """Match *extracted* against *truth* and count."""
+    matcher = matcher or ConditionMatcher()
+    pairs = matcher.match_sets(extracted, truth)
+    return SourceMetrics(
+        matched=len(pairs), extracted=len(extracted), expected=len(truth)
+    )
+
+
+def overall_metrics(per_source: list[SourceMetrics]) -> SourceMetrics:
+    """Aggregate counts over a dataset (the paper's ``Pa``/``Ra``)."""
+    return SourceMetrics(
+        matched=sum(m.matched for m in per_source),
+        extracted=sum(m.extracted for m in per_source),
+        expected=sum(m.expected for m in per_source),
+    )
+
+
+def distribution_over_thresholds(
+    scores: list[float],
+    thresholds: tuple[float, ...] = FIGURE15_THRESHOLDS,
+) -> dict[float, float]:
+    """Percentage of sources whose score reaches each threshold bucket.
+
+    Reproduces the x-axis of Figure 15(a)/(b): a source with score ``s``
+    lands in the bucket of the highest threshold ``t`` with ``s >= t``
+    (scores are clamped into [0, 1] first).  Returned values are
+    percentages that sum to 100 (up to rounding).
+    """
+    if not scores:
+        return {threshold: 0.0 for threshold in thresholds}
+    counts = {threshold: 0 for threshold in thresholds}
+    for raw in scores:
+        score = min(1.0, max(0.0, raw))
+        for threshold in thresholds:  # descending
+            if score >= threshold:
+                counts[threshold] += 1
+                break
+    total = len(scores)
+    return {
+        threshold: 100.0 * count / total for threshold, count in counts.items()
+    }
+
+
+def average(scores: list[float]) -> float:
+    """Arithmetic mean, 0.0 for an empty list."""
+    return sum(scores) / len(scores) if scores else 0.0

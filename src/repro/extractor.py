@@ -1,0 +1,94 @@
+"""The form extractor: the end-to-end pipeline of paper Figure 2.
+
+Given an HTML query form, the extractor tokenizes the rendered page, parses
+the tokens against the 2P grammar with the best-effort parser, and merges
+the resulting partial parse trees into the form's query capabilities::
+
+    from repro import FormExtractor
+
+    extractor = FormExtractor()
+    model = extractor.extract(html)
+    for condition in model:
+        print(condition)      # [Author; {contains}; text] ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grammar.grammar import TwoPGrammar
+from repro.grammar.standard import build_standard_grammar
+from repro.html.dom import Document, Element
+from repro.html.parser import parse_html
+from repro.merger.merger import Merger, MergeReport
+from repro.parser.parser import BestEffortParser, ParseResult, ParserConfig
+from repro.semantics.condition import SemanticModel
+from repro.tokens.tokenizer import FormTokenizer
+from repro.tokens.model import Token
+
+
+@dataclass
+class ExtractionResult:
+    """Full trace of one extraction, for clients that need more than the
+    semantic model (error handling, visualization, debugging)."""
+
+    model: SemanticModel
+    parse: ParseResult
+    report: MergeReport
+    tokens: list[Token]
+
+
+class FormExtractor:
+    """HTML query form → semantic model (query capabilities)."""
+
+    def __init__(
+        self,
+        grammar: TwoPGrammar | None = None,
+        parser_config: ParserConfig | None = None,
+    ):
+        self.grammar = grammar if grammar is not None else build_standard_grammar()
+        self.parser = BestEffortParser(self.grammar, parser_config)
+        self.merger = Merger()
+
+    # -- main entry points --------------------------------------------------------
+
+    def extract(self, html: str, form_index: int = 0) -> SemanticModel:
+        """Extract the semantic model of the *form_index*-th form in *html*."""
+        return self.extract_detailed(html, form_index).model
+
+    def extract_detailed(self, html: str, form_index: int = 0) -> ExtractionResult:
+        """Extract, returning the full pipeline trace."""
+        document = parse_html(html)
+        return self.extract_from_document(document, form_index)
+
+    def extract_from_document(
+        self, document: Document, form_index: int = 0
+    ) -> ExtractionResult:
+        """Extract from an already-parsed document."""
+        tokenizer = FormTokenizer(document)
+        form = self._pick_form(document, form_index)
+        tokens = tokenizer.tokenize(form)
+        return self.extract_from_tokens(tokens)
+
+    def extract_from_tokens(self, tokens: list[Token]) -> ExtractionResult:
+        """Parse and merge an existing token set."""
+        parse = self.parser.parse(tokens)
+        report = self.merger.merge(parse)
+        return ExtractionResult(
+            model=report.model, parse=parse, report=report, tokens=tokens
+        )
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @staticmethod
+    def _pick_form(document: Document, form_index: int) -> Element | None:
+        forms = document.forms
+        if not forms:
+            return None
+        index = min(form_index, len(forms) - 1)
+        return forms[index]
+
+
+def extract_capabilities(html: str) -> SemanticModel:
+    """One-shot extraction with the default grammar."""
+    return FormExtractor().extract(html)

@@ -1,0 +1,30 @@
+"""The 2P grammar: productions *and* preferences (paper Section 4).
+
+A 2P grammar is the five-tuple ``⟨Σ, N, s, Pd, Pf⟩`` of Definition 1:
+terminals, nonterminals, a start symbol, production rules, and preference
+rules.  Productions (Definition 2) are ``⟨H, M, C, F⟩`` -- head, component
+multiset, spatial constraint, and constructor.  Preferences (Definition 3)
+are ``⟨I, U, W⟩`` -- the pair of conflicting instance types, the conflicting
+condition, and the winning criteria.
+
+:mod:`repro.grammar.dsl` offers a declarative builder;
+:mod:`repro.grammar.standard` holds the derived global grammar used in the
+paper's experiments.
+"""
+
+from repro.grammar.grammar import GrammarError, TwoPGrammar
+from repro.grammar.instance import Instance
+from repro.grammar.preference import Preference
+from repro.grammar.production import Production
+from repro.grammar.dsl import GrammarBuilder
+from repro.grammar.standard import build_standard_grammar
+
+__all__ = [
+    "GrammarBuilder",
+    "GrammarError",
+    "Instance",
+    "Preference",
+    "Production",
+    "TwoPGrammar",
+    "build_standard_grammar",
+]

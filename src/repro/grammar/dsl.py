@@ -1,0 +1,103 @@
+"""Declarative builder for 2P grammars.
+
+The paper stresses that pattern specification should be *declarative*:
+"patterns are simply declared by productions that encode their visual
+characteristics" (Section 3.2).  :class:`GrammarBuilder` keeps grammar
+definitions close to the paper's notation::
+
+    g = GrammarBuilder(start="QI")
+    g.terminals("text", "textbox", "radiobutton")
+    g.production("RBU", ["radiobutton", "text"],
+                 constraint=lambda rb, tx: left_of(rb.bbox, tx.bbox),
+                 constructor=lambda rb, tx: {"label": tx.payload["sval"]})
+    g.prefer("RBU", over="Attr")
+    grammar = g.build()
+
+Nonterminals are declared implicitly by appearing as production heads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.grammar.grammar import GrammarError, TwoPGrammar
+from repro.grammar.preference import Predicate, Preference, always
+from repro.grammar.production import Constraint, Constructor, Production
+
+
+class GrammarBuilder:
+    """Accumulates productions and preferences, then builds a grammar."""
+
+    def __init__(self, start: str, name: str = "2P-grammar"):
+        self._start = start
+        self._name = name
+        self._terminals: set[str] = set()
+        self._productions: list[Production] = []
+        self._preferences: list[Preference] = []
+
+    # -- declarations -------------------------------------------------------------
+
+    def terminals(self, *names: str) -> "GrammarBuilder":
+        """Declare terminal symbols."""
+        self._terminals.update(names)
+        return self
+
+    def production(
+        self,
+        head: str,
+        components: Iterable[str],
+        constraint: Constraint | None = None,
+        constructor: Constructor | None = None,
+        name: str = "",
+    ) -> "GrammarBuilder":
+        """Declare one production ``head -> components``."""
+        kwargs: dict = {}
+        if constraint is not None:
+            kwargs["constraint"] = constraint
+        if constructor is not None:
+            kwargs["constructor"] = constructor
+        self._productions.append(
+            Production(
+                head=head,
+                components=tuple(components),
+                name=name,
+                **kwargs,
+            )
+        )
+        return self
+
+    def prefer(
+        self,
+        winner: str,
+        over: str,
+        when: Predicate = always,
+        criteria: Predicate = always,
+        name: str = "",
+    ) -> "GrammarBuilder":
+        """Declare a preference: *winner* beats *over* when the rule applies."""
+        self._preferences.append(
+            Preference(
+                winner_symbol=winner,
+                loser_symbol=over,
+                condition=when,
+                criteria=criteria,
+                name=name,
+            )
+        )
+        return self
+
+    # -- building -------------------------------------------------------------------
+
+    def build(self) -> TwoPGrammar:
+        """Validate and return the finished :class:`TwoPGrammar`."""
+        nonterminals = {production.head for production in self._productions}
+        if not nonterminals:
+            raise GrammarError("grammar declares no productions")
+        return TwoPGrammar(
+            terminals=frozenset(self._terminals),
+            nonterminals=frozenset(nonterminals),
+            start=self._start,
+            productions=tuple(self._productions),
+            preferences=tuple(self._preferences),
+            name=self._name,
+        )

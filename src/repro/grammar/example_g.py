@@ -1,0 +1,153 @@
+"""The paper's example grammar G (Figure 6, Example 1).
+
+Eleven productions (P1-P11) over the terminals ``text``, ``textbox``,
+``radiobutton``, with start symbol ``QI``, plus the two preferences of
+Example 4 (R1: an RBU beats an Attr on a shared text token; R2: the longer
+RBList beats the shorter it subsumes).
+
+This small grammar exists for fidelity: the paper's ambiguity numbers in
+Section 4.2.1 (the Figure 5 fragment has one correct parse of 42 instances,
+while brute-force enumeration explodes) and the derivations of Figures 7-9
+are all stated against G.  The unit tests and the pruning-ablation
+benchmark use it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.grammar.dsl import GrammarBuilder
+from repro.grammar.grammar import TwoPGrammar
+from repro.grammar.instance import Instance
+from repro.grammar.preference import subsumes
+from repro.spatial import SpatialConfig, above, below, left_of
+from repro.spatial.relations import DEFAULT_SPATIAL
+
+
+def build_example_grammar(
+    spatial: SpatialConfig = DEFAULT_SPATIAL,
+) -> TwoPGrammar:
+    """Build grammar G exactly as Figure 6 lists it.
+
+    Productions (same numbering as the paper):
+
+    * P1  ``QI -> HQI | Above(QI, HQI)``
+    * P2  ``HQI -> CP | Left(HQI, CP)``
+    * P3  ``CP -> TextVal | TextOp | EnumRB``
+    * P4  ``TextVal -> Left(Attr, Val) | Above(Attr, Val) | Below(Attr, Val)``
+    * P5  ``TextOp -> Left(Attr, Val) ∧ Below(Op, Val)``
+    * P6  ``Op -> RBList``
+    * P7  ``EnumRB -> RBList``
+    * P8  ``RBList -> RBU | Left(RBList, RBU)``
+    * P9  ``RBU -> Left(radiobutton, text)``
+    * P10 ``Attr -> text``
+    * P11 ``Val -> textbox``
+    """
+    g = GrammarBuilder(start="QI", name="example-G")
+    g.terminals("text", "textbox", "radiobutton")
+
+    def L(a: Instance, b: Instance) -> bool:
+        return left_of(a.bbox, b.bbox, spatial)
+
+    def A(a: Instance, b: Instance) -> bool:
+        return above(a.bbox, b.bbox, spatial)
+
+    def B(a: Instance, b: Instance) -> bool:
+        return below(a.bbox, b.bbox, spatial)
+
+    # P10, P11: leaf roles.
+    g.production(
+        "Attr", ["text"],
+        constructor=lambda tx: {"attribute": tx.payload.get("sval", "")},
+        name="P10",
+    )
+    g.production(
+        "Val", ["textbox"],
+        constructor=lambda box: {"fields": (box.payload.get("name"),)},
+        name="P11",
+    )
+
+    # P9: a radio button and the text to its right.
+    g.production(
+        "RBU", ["radiobutton", "text"],
+        constraint=L,
+        constructor=lambda rb, tx: {"labels": (tx.payload.get("sval", ""),)},
+        name="P9",
+    )
+
+    # P8: radio-button lists, recursively.
+    g.production("RBList", ["RBU"],
+                 constructor=lambda unit: dict(unit.payload), name="P8a")
+    g.production(
+        "RBList", ["RBList", "RBU"],
+        constraint=L,
+        constructor=lambda lst, unit: {
+            "labels": tuple(lst.payload["labels"]) + tuple(unit.payload["labels"])
+        },
+        name="P8b",
+    )
+
+    # P6, P7: a list is an operator choice or an enumerated domain.
+    g.production(
+        "Op", ["RBList"],
+        constructor=lambda lst: {"operators": tuple(lst.payload["labels"])},
+        name="P6",
+    )
+    g.production(
+        "EnumRB", ["RBList"],
+        constructor=lambda lst: {"values": tuple(lst.payload["labels"])},
+        name="P7",
+    )
+
+    # P5: TextOp (e.g. the author condition of Qam).
+    g.production(
+        "TextOp", ["Attr", "Val", "Op"],
+        constraint=lambda attr, val, op: L(attr, val) and B(op, val),
+        constructor=lambda attr, val, op: {
+            "attribute": attr.payload.get("attribute"),
+            "operators": op.payload.get("operators"),
+        },
+        name="P5",
+    )
+
+    # P4: TextVal in three arrangements.
+    def _textval(attr: Instance, val: Instance) -> dict[str, Any]:
+        return {"attribute": attr.payload.get("attribute")}
+
+    g.production("TextVal", ["Attr", "Val"], constraint=L,
+                 constructor=_textval, name="P4a")
+    g.production("TextVal", ["Attr", "Val"], constraint=A,
+                 constructor=_textval, name="P4b")
+    g.production("TextVal", ["Attr", "Val"], constraint=B,
+                 constructor=_textval, name="P4c")
+
+    # P3: condition patterns.
+    for component in ("TextVal", "TextOp", "EnumRB"):
+        g.production("CP", [component], name=f"P3-{component}")
+
+    # P2: horizontal assembly of a row.
+    def _row(left: Instance, right: Instance) -> bool:
+        a, b = left.bbox, right.bbox
+        return a.right <= b.left + 8.0 and a.vertical_overlap(b) > 0
+
+    g.production("HQI", ["CP"], name="P2a")
+    g.production("HQI", ["HQI", "CP"], constraint=_row, name="P2b")
+
+    # P1: vertical assembly of the interface.
+    def _stacked(upper: Instance, lower: Instance) -> bool:
+        a, b = upper.bbox, lower.bbox
+        return a.bottom <= b.top + 10.0 and b.top - a.bottom <= 90.0
+
+    g.production("QI", ["HQI"], name="P1a")
+    g.production("QI", ["QI", "HQI"], constraint=_stacked, name="P1b")
+
+    # Preferences R1 and R2 of Example 4.
+    g.prefer("RBU", over="Attr", name="R1")
+    g.prefer("RBList", over="RBList", when=subsumes, name="R2")
+    # The assembly-level analogues keep the fix-point from drowning in
+    # sub-row and sub-interface fragments (Section 4.2.1 discusses exactly
+    # this aggregation effect).
+    g.prefer("QI", over="QI", when=subsumes, name="R-qi")
+    g.prefer("HQI", over="HQI", when=subsumes, name="R-hqi")
+
+    return g.build()

@@ -1,0 +1,113 @@
+"""The 2P grammar container: ``⟨Σ, N, s, Pd, Pf⟩`` (paper Definition 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grammar.preference import Preference
+from repro.grammar.production import Production
+
+
+class GrammarError(ValueError):
+    """Raised when a grammar is structurally invalid."""
+
+
+@dataclass
+class TwoPGrammar:
+    """A 2P grammar: terminals, nonterminals, start symbol, productions,
+    preferences.
+
+    The container validates referential integrity (every production symbol
+    is declared; the start symbol is a nonterminal; preferences reference
+    declared symbols) and offers the lookup methods the parser needs.
+    """
+
+    terminals: frozenset[str]
+    nonterminals: frozenset[str]
+    start: str
+    productions: tuple[Production, ...]
+    preferences: tuple[Preference, ...] = ()
+    name: str = "2P-grammar"
+    _by_head: dict[str, list[Production]] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self.validate()
+        by_head: dict[str, list[Production]] = {}
+        for production in self.productions:
+            by_head.setdefault(production.head, []).append(production)
+        self._by_head = by_head
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`GrammarError` if broken."""
+        overlap = self.terminals & self.nonterminals
+        if overlap:
+            raise GrammarError(f"symbols both terminal and nonterminal: {overlap}")
+        alphabet = self.terminals | self.nonterminals
+        if self.start not in self.nonterminals:
+            raise GrammarError(f"start symbol {self.start!r} is not a nonterminal")
+        for production in self.productions:
+            if production.head not in self.nonterminals:
+                raise GrammarError(
+                    f"production {production.name}: head {production.head!r} "
+                    "is not a declared nonterminal"
+                )
+            for component in production.components:
+                if component not in alphabet:
+                    raise GrammarError(
+                        f"production {production.name}: component "
+                        f"{component!r} is not declared"
+                    )
+        for preference in self.preferences:
+            for symbol in (preference.winner_symbol, preference.loser_symbol):
+                if symbol not in alphabet:
+                    raise GrammarError(
+                        f"preference {preference.name}: symbol {symbol!r} "
+                        "is not declared"
+                    )
+
+    # -- lookups ----------------------------------------------------------------
+
+    def productions_for(self, head: str) -> list[Production]:
+        """Productions whose head is *head* (empty list for terminals)."""
+        return self._by_head.get(head, [])
+
+    def preferences_involving(self, symbol: str) -> list[Preference]:
+        """Preferences where *symbol* is the winner or loser type."""
+        return [
+            preference
+            for preference in self.preferences
+            if symbol in (preference.winner_symbol, preference.loser_symbol)
+        ]
+
+    def component_heads(self, symbol: str) -> set[str]:
+        """Heads of productions that use *symbol* as a component."""
+        return {
+            production.head
+            for production in self.productions
+            if symbol in production.components
+        }
+
+    # -- reporting -----------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Grammar size summary (the paper reports 82/39/16)."""
+        return {
+            "productions": len(self.productions),
+            "nonterminals": len(self.nonterminals),
+            "terminals": len(self.terminals),
+            "preferences": len(self.preferences),
+        }
+
+    def describe(self) -> str:
+        """Readable listing of productions and preferences."""
+        lines = [f"grammar {self.name}: start={self.start}"]
+        lines.append("productions:")
+        lines.extend(f"  {production}" for production in self.productions)
+        if self.preferences:
+            lines.append("preferences:")
+            lines.extend(f"  {preference}" for preference in self.preferences)
+        return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Parse instances: nodes of the (possibly partial) parse trees.
+
+An *instance* is one application of a grammar symbol to a region of the
+form: terminal instances wrap tokens; nonterminal instances are produced by
+a production from component instances.  Every instance knows its bounding
+box, the set of token ids it covers, its semantic payload (attribute
+labels, operator lists, assembled conditions), its children, and -- for the
+pruning machinery -- its live parents.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.layout.box import BBox
+from repro.tokens.model import Token
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.grammar.production import Production
+
+_instance_counter = itertools.count()
+
+
+class Instance:
+    """One node in a parse forest.
+
+    Instances are identity-hashed and carry a serial ``uid`` so data
+    structures are deterministic.  ``alive`` flips to ``False`` when a
+    preference invalidates the instance (directly or by rollback).
+    """
+
+    __slots__ = (
+        "uid",
+        "symbol",
+        "children",
+        "coverage",
+        "bbox",
+        "payload",
+        "token",
+        "production",
+        "parents",
+        "alive",
+    )
+
+    def __init__(
+        self,
+        symbol: str,
+        bbox: BBox,
+        children: tuple["Instance", ...] = (),
+        coverage: frozenset[int] | None = None,
+        payload: dict[str, Any] | None = None,
+        token: Token | None = None,
+        production: "Production | None" = None,
+    ):
+        self.uid: int = next(_instance_counter)
+        self.symbol = symbol
+        self.children = children
+        if coverage is None:
+            coverage = frozenset().union(*(c.coverage for c in children)) if children else frozenset()
+        self.coverage: frozenset[int] = coverage
+        self.bbox = bbox
+        self.payload: dict[str, Any] = payload or {}
+        self.token = token
+        self.production = production
+        self.parents: list["Instance"] = []
+        self.alive = True
+
+    # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def for_token(cls, token: Token) -> "Instance":
+        """Wrap *token* as a terminal instance."""
+        return cls(
+            symbol=token.terminal,
+            bbox=token.bbox,
+            coverage=frozenset({token.id}),
+            payload=dict(token.attrs),
+            token=token,
+        )
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.token is not None
+
+    # -- tree structure -----------------------------------------------------------
+
+    def descendants(self) -> Iterator["Instance"]:
+        """Yield self and every node below it (pre-order)."""
+        stack: list[Instance] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def is_ancestor_of(self, other: "Instance") -> bool:
+        """True when *other* occurs in this instance's subtree (strictly)."""
+        if other is self:
+            return False
+        stack = list(self.children)
+        while stack:
+            node = stack.pop()
+            if node is other:
+                return True
+            stack.extend(node.children)
+        return False
+
+    def size(self) -> int:
+        """Number of nodes in this subtree (paper counts both T and NT)."""
+        return sum(1 for _ in self.descendants())
+
+    def tokens(self) -> list[Token]:
+        """Tokens at the leaves, in uid order."""
+        return sorted(
+            (node.token for node in self.descendants() if node.token is not None),
+            key=lambda token: token.id,
+        )
+
+    def find_all(self, symbol: str) -> Iterator["Instance"]:
+        """Yield descendants (including self) labelled *symbol*."""
+        for node in self.descendants():
+            if node.symbol == symbol:
+                yield node
+
+    # -- conflicts ----------------------------------------------------------------
+
+    def conflicts_with(self, other: "Instance") -> bool:
+        """True when the instances compete for a token.
+
+        Two instances conflict when their coverages intersect and neither is
+        part of the other's derivation (a list trivially "overlaps" its own
+        sublist component; that is composition, not conflict).
+        """
+        if other is self:
+            return False
+        if not (self.coverage & other.coverage):
+            return False
+        return not (self.is_ancestor_of(other) or other.is_ancestor_of(self))
+
+    # -- presentation --------------------------------------------------------------
+
+    def pretty(self, indent: int = 0) -> str:
+        """Multi-line tree rendering, useful in tests and examples."""
+        pad = "  " * indent
+        if self.token is not None:
+            label = self.token.sval if self.token.terminal == "text" else (
+                self.token.name or ""
+            )
+            own = f"{pad}{self.symbol} {label!r}".rstrip()
+        else:
+            own = f"{pad}{self.symbol}"
+        lines = [own]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        status = "" if self.alive else " DEAD"
+        return (
+            f"<Instance #{self.uid} {self.symbol} "
+            f"cov={sorted(self.coverage)}{status}>"
+        )

@@ -1,0 +1,108 @@
+"""Productions: ``⟨H, M, C, F⟩`` (paper Definition 2).
+
+A production rewrites a multiset of component symbols into a head symbol,
+guarded by a *constraint* (a boolean expression over the component
+instances, typically spatial) and finished by a *constructor* (a function
+computing the new instance's semantic payload -- the paper's example is
+computing the new ``TextOp``'s position from its components; here the
+bounding box union is automatic and the constructor contributes semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.grammar.instance import Instance
+from repro.layout.box import BBox
+
+#: A constraint receives the component instances in declaration order.
+Constraint = Callable[..., bool]
+
+#: A constructor returns the payload dict of the new head instance.
+Constructor = Callable[..., "dict[str, Any] | None"]
+
+
+def _always(*_: Instance) -> bool:
+    return True
+
+
+def _empty_payload(*_: Instance) -> dict[str, Any]:
+    return {}
+
+
+@dataclass(frozen=True)
+class Production:
+    """One grammar rule.
+
+    Attributes:
+        head: The nonterminal being defined.
+        components: Component symbols, in constraint-argument order.  The
+            paper treats M as a multiset; fixing an order lets constraints
+            and constructors take positional arguments, and repeated symbols
+            are still allowed.
+        constraint: Boolean test over the component instances.  The
+            framework additionally enforces that components are pairwise
+            distinct and cover disjoint tokens (a construct cannot use one
+            token twice).
+        constructor: Computes the payload of the new instance.  Returning
+            ``None`` vetoes the construction (a semantic constraint).
+        name: Identifier used in schedules, dedup keys, and debugging.
+    """
+
+    head: str
+    components: tuple[str, ...]
+    constraint: Constraint = _always
+    constructor: Constructor = _empty_payload
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError(f"production {self.name or self.head} has no components")
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"{self.head}<-{'+'.join(self.components)}"
+            )
+
+    def try_apply(self, components: tuple[Instance, ...]) -> Instance | None:
+        """Instantiate the head from *components*, or ``None`` if rejected.
+
+        Checks pairwise distinctness, coverage disjointness, and the
+        declared constraint, then runs the constructor.
+        """
+        seen: set[int] = set()
+        coverage: set[int] = set()
+        for component in components:
+            if component.uid in seen:
+                return None
+            seen.add(component.uid)
+            if coverage & component.coverage:
+                return None
+            coverage |= component.coverage
+        if not self.constraint(*components):
+            return None
+        payload = self.constructor(*components)
+        if payload is None:
+            return None
+        bbox = _union_boxes(components)
+        instance = Instance(
+            symbol=self.head,
+            bbox=bbox,
+            children=components,
+            coverage=frozenset(coverage),
+            payload=payload,
+            production=self,
+        )
+        for component in components:
+            component.parents.append(instance)
+        return instance
+
+    def __str__(self) -> str:
+        return f"{self.head} -> {' '.join(self.components)}"
+
+
+def _union_boxes(instances: tuple[Instance, ...]) -> BBox:
+    box = instances[0].bbox
+    for instance in instances[1:]:
+        box = box.union(instance.bbox)
+    return box

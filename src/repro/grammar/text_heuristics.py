@@ -1,0 +1,214 @@
+"""Lexical cues used by the derived grammar's constraints.
+
+The hidden syntax is visual, but a few constraints are lexical: a select
+whose options read "contains / starts with / exact phrase" presents
+*operators*, not values; a text "from" beside an input marks a *range
+endpoint*; three adjacent selects listing months, days, and years form a
+*date*.  These detectors are deliberately conservative -- they gate pattern
+productions, and a false positive steals tokens from the right pattern.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.tokens.model import SelectOption
+
+#: Phrases that signal a query operator/modifier choice.
+OPERATOR_KEYWORDS: tuple[str, ...] = (
+    "contain",
+    "exact",
+    "start",
+    "begin",
+    "end with",
+    "ends with",
+    "equal",
+    "match",
+    "keyword",
+    "all words",
+    "any words",
+    "all of the words",
+    "any of the words",
+    "phrase",
+    "is exactly",
+    "at least",
+    "at most",
+    "less than",
+    "greater than",
+    "before",
+    "after",
+    "between",
+    "first name",
+    "last name",
+    "full name",
+)
+
+#: Texts that mark a range endpoint next to an input field.  A trailing
+#: colon is deliberately NOT allowed: "From:" is how airfare forms label a
+#: departure-city *attribute*, while a bare "from" marks a range endpoint.
+_RANGE_MARK_RE = re.compile(
+    r"^(from|to|and|min(imum)?|max(imum)?|low(est)?|high(est)?|between|"
+    r"over|under|at least|at most|up to|starting|ending|-|–|—)$",
+    re.IGNORECASE,
+)
+
+_MONTHS = (
+    "january", "february", "march", "april", "may", "june", "july",
+    "august", "september", "october", "november", "december",
+)
+_MONTH_ABBREVS = tuple(month[:3] for month in _MONTHS)
+
+_YEAR_RE = re.compile(r"^(19|20)\d{2}$")
+_TIME_RE = re.compile(r"^\d{1,2}(:\d{2})?\s*(am|pm)?$", re.IGNORECASE)
+
+
+def clean_label(text: str) -> str:
+    """Normalize a label for use as an attribute name.
+
+    Drops decoration that forms attach to labels -- trailing colons,
+    required-field asterisks, surrounding whitespace -- but preserves the
+    label's own casing and wording.
+    """
+    cleaned = text.strip()
+    previous = None
+    while cleaned != previous:
+        previous = cleaned
+        cleaned = cleaned.strip("*").strip()
+        while cleaned.endswith((":", "?")):
+            cleaned = cleaned[:-1].strip()
+    return cleaned
+
+
+def is_attribute_like(text: str) -> bool:
+    """True when *text* could plausibly name a queried attribute.
+
+    Attribute labels are short noun phrases ("Author:", "Departure date").
+    Full sentences (marketing blurbs, instructions) are rejected: they end
+    with sentence punctuation or run too long.
+    """
+    cleaned = clean_label(text)
+    if not cleaned or len(cleaned) > 45:
+        return False
+    if cleaned.endswith((".", "!")):
+        return False
+    if len(cleaned.split()) > 6:
+        return False
+    # Pure punctuation or a lone symbol cannot name an attribute.
+    return any(ch.isalnum() for ch in cleaned)
+
+
+def is_operator_text(text: str) -> bool:
+    """True when *text* reads like an operator/modifier description."""
+    lowered = text.lower()
+    return any(keyword in lowered for keyword in OPERATOR_KEYWORDS)
+
+
+def is_range_mark(text: str) -> bool:
+    """True when *text* marks a range endpoint ("from", "to", "max"...)."""
+    return _RANGE_MARK_RE.match(text.strip()) is not None
+
+
+_ATTR_MARK_RE = re.compile(
+    r"^(?P<attr>.+?)\s*[:\-]?\s+(?P<mark>from|between|min|minimum)\s*:?$",
+    re.IGNORECASE,
+)
+
+
+def split_attr_mark(text: str) -> tuple[str, str] | None:
+    """Split a combined "Price: from" label into (attribute, range mark).
+
+    In flowing layouts the attribute label and the first range-endpoint
+    mark render as one text run; this recovers both parts.  Returns
+    ``None`` when *text* is not of that shape.
+    """
+    match = _ATTR_MARK_RE.match(text.strip())
+    if match is None:
+        return None
+    attribute = clean_label(match.group("attr"))
+    if not attribute or not is_attribute_like(attribute):
+        return None
+    return attribute, match.group("mark").lower()
+
+
+def _labels(options: tuple[SelectOption, ...]) -> list[str]:
+    return [option.label.strip() for option in options if option.label.strip()]
+
+
+def is_operator_select(options: tuple[SelectOption, ...]) -> bool:
+    """True when a select's options enumerate operators, not values.
+
+    Requires at least half of the (non-placeholder) options to read like
+    operators, with a minimum of two such options.
+    """
+    labels = _labels(options)
+    if len(labels) < 2:
+        return False
+    operator_count = sum(1 for label in labels if is_operator_text(label))
+    return operator_count >= 2 and operator_count * 2 >= len(labels)
+
+
+def is_month_select(options: tuple[SelectOption, ...]) -> bool:
+    """True when the options enumerate calendar months."""
+    labels = [label.lower() for label in _labels(options)]
+    if not 3 <= len(labels) <= 14:
+        return False
+    hits = sum(
+        1
+        for label in labels
+        if label.startswith(_MONTH_ABBREVS) or label in _MONTHS
+    )
+    return hits >= max(3, len(labels) - 2)
+
+
+def is_day_select(options: tuple[SelectOption, ...]) -> bool:
+    """True when the options enumerate days of the month (1..31)."""
+    labels = _labels(options)
+    if not 20 <= len(labels) <= 33:
+        return False
+    numeric = [label for label in labels if label.isdigit()]
+    if len(numeric) < len(labels) - 2:
+        return False
+    values = sorted(int(label) for label in numeric)
+    return bool(values) and values[0] <= 2 and 28 <= values[-1] <= 31
+
+
+def is_year_select(options: tuple[SelectOption, ...]) -> bool:
+    """True when the options enumerate years (e.g. 1990..2010)."""
+    labels = _labels(options)
+    if not 2 <= len(labels) <= 120:
+        return False
+    hits = sum(1 for label in labels if _YEAR_RE.match(label))
+    return hits >= max(2, len(labels) - 2)
+
+
+def is_time_select(options: tuple[SelectOption, ...]) -> bool:
+    """True when the options enumerate clock times."""
+    labels = _labels(options)
+    if len(labels) < 3:
+        return False
+    hits = sum(1 for label in labels if _TIME_RE.match(label))
+    return hits >= max(3, len(labels) - 2)
+
+
+def date_signature(options: tuple[SelectOption, ...]) -> str | None:
+    """Classify a select as a date part: "month", "day", "year", or None."""
+    if is_month_select(options):
+        return "month"
+    if is_day_select(options):
+        return "day"
+    if is_year_select(options):
+        return "year"
+    return None
+
+
+def is_unit_text(text: str) -> bool:
+    """True when *text* looks like a measurement unit after a field."""
+    cleaned = text.strip().lower().strip(".")
+    if not cleaned or len(cleaned) > 14:
+        return False
+    units = {
+        "miles", "mile", "km", "kilometers", "$", "usd", "dollars",
+        "years", "days", "pages", "mb", "kb", "gb", "%", "percent",
+        "lbs", "kg", "nights", "people", "per page", "results",
+    }
+    return cleaned in units

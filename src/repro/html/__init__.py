@@ -1,0 +1,54 @@
+"""HTML substrate: lexer, DOM model, and a forgiving tree builder.
+
+The paper's form extractor relies on a browser's HTML DOM API (Internet
+Explorer in the original implementation) to access tags and their rendered
+positions.  This package provides the DOM half of that substrate: a
+from-scratch HTML lexer (:mod:`repro.html.tokenizer`), a DOM node model
+(:mod:`repro.html.dom`), and a forgiving, browser-style tree builder
+(:mod:`repro.html.parser`) that never rejects its input -- real Web query
+forms are frequently malformed, and the extractor must accept them anyway.
+
+Typical usage::
+
+    from repro.html import parse_html
+
+    document = parse_html("<form><input name='q'></form>")
+    form = document.find("form")
+"""
+
+from repro.html.dom import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    Text,
+)
+from repro.html.entities import decode_entities
+from repro.html.parser import HTMLTreeBuilder, parse_html
+from repro.html.tokenizer import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    HTMLLexer,
+    LexToken,
+    StartTagToken,
+    TextToken,
+)
+
+__all__ = [
+    "Comment",
+    "CommentToken",
+    "DoctypeToken",
+    "Document",
+    "Element",
+    "EndTagToken",
+    "HTMLLexer",
+    "HTMLTreeBuilder",
+    "LexToken",
+    "Node",
+    "StartTagToken",
+    "Text",
+    "TextToken",
+    "decode_entities",
+    "parse_html",
+]

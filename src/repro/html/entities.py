@@ -1,0 +1,163 @@
+"""HTML character-reference (entity) decoding.
+
+Implements the subset of HTML entity handling that Web query forms actually
+use: the full set of numeric character references (decimal and hexadecimal)
+plus the named entities that appear in form markup (``&amp;``, ``&nbsp;``,
+punctuation, currency symbols, accented Latin letters).  Unknown references
+are passed through verbatim, mirroring browser behaviour -- the extractor
+must never lose text because of an unrecognized entity.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Named entities that occur in practice on query forms.  This is a curated
+# subset of the HTML 4 table; numeric references cover everything else.
+NAMED_ENTITIES: dict[str, str] = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+    "nbsp": " ",
+    "copy": "©",
+    "reg": "®",
+    "trade": "™",
+    "deg": "°",
+    "plusmn": "±",
+    "middot": "·",
+    "laquo": "«",
+    "raquo": "»",
+    "ldquo": "“",
+    "rdquo": "”",
+    "lsquo": "‘",
+    "rsquo": "’",
+    "ndash": "–",
+    "mdash": "—",
+    "hellip": "…",
+    "bull": "•",
+    "sect": "§",
+    "para": "¶",
+    "cent": "¢",
+    "pound": "£",
+    "yen": "¥",
+    "euro": "€",
+    "curren": "¤",
+    "frac12": "½",
+    "frac14": "¼",
+    "frac34": "¾",
+    "sup1": "¹",
+    "sup2": "²",
+    "sup3": "³",
+    "times": "×",
+    "divide": "÷",
+    "iexcl": "¡",
+    "iquest": "¿",
+    "agrave": "à",
+    "aacute": "á",
+    "acirc": "â",
+    "atilde": "ã",
+    "auml": "ä",
+    "aring": "å",
+    "aelig": "æ",
+    "ccedil": "ç",
+    "egrave": "è",
+    "eacute": "é",
+    "ecirc": "ê",
+    "euml": "ë",
+    "igrave": "ì",
+    "iacute": "í",
+    "icirc": "î",
+    "iuml": "ï",
+    "ntilde": "ñ",
+    "ograve": "ò",
+    "oacute": "ó",
+    "ocirc": "ô",
+    "otilde": "õ",
+    "ouml": "ö",
+    "oslash": "ø",
+    "ugrave": "ù",
+    "uacute": "ú",
+    "ucirc": "û",
+    "uuml": "ü",
+    "yacute": "ý",
+    "yuml": "ÿ",
+    "szlig": "ß",
+    "Agrave": "À",
+    "Aacute": "Á",
+    "Auml": "Ä",
+    "Eacute": "É",
+    "Ouml": "Ö",
+    "Uuml": "Ü",
+    "Ntilde": "Ñ",
+    "Ccedil": "Ç",
+}
+
+_ENTITY_RE = re.compile(
+    r"&(?:"
+    r"#[xX](?P<hex>[0-9a-fA-F]{1,6})"
+    r"|#(?P<dec>[0-9]{1,7})"
+    r"|(?P<named>[a-zA-Z][a-zA-Z0-9]{1,31})"
+    r");?"
+)
+
+# Windows-1252 mappings for the C1 range, which browsers apply to numeric
+# references in 0x80-0x9F (forms in the wild use &#146; for apostrophes).
+_CP1252_OVERRIDES: dict[int, str] = {
+    0x80: "€", 0x82: "‚", 0x83: "ƒ", 0x84: "„",
+    0x85: "…", 0x86: "†", 0x87: "‡", 0x88: "ˆ",
+    0x89: "‰", 0x8A: "Š", 0x8B: "‹", 0x8C: "Œ",
+    0x8E: "Ž", 0x91: "‘", 0x92: "’", 0x93: "“",
+    0x94: "”", 0x95: "•", 0x96: "–", 0x97: "—",
+    0x98: "˜", 0x99: "™", 0x9A: "š", 0x9B: "›",
+    0x9C: "œ", 0x9E: "ž", 0x9F: "Ÿ",
+}
+
+
+def _decode_codepoint(value: int) -> str:
+    """Map a numeric character reference to text, browser-style."""
+    if value in _CP1252_OVERRIDES:
+        return _CP1252_OVERRIDES[value]
+    if value == 0 or value > 0x10FFFF or 0xD800 <= value <= 0xDFFF:
+        return "�"
+    return chr(value)
+
+
+def _replace(match: re.Match[str]) -> str:
+    hex_digits = match.group("hex")
+    if hex_digits is not None:
+        return _decode_codepoint(int(hex_digits, 16))
+    dec_digits = match.group("dec")
+    if dec_digits is not None:
+        return _decode_codepoint(int(dec_digits, 10))
+    name = match.group("named")
+    if name in NAMED_ENTITIES:
+        return NAMED_ENTITIES[name]
+    # Try case-insensitive fallback before giving up.
+    lowered = name.lower()
+    if lowered in NAMED_ENTITIES:
+        return NAMED_ENTITIES[lowered]
+    return match.group(0)
+
+
+def decode_entities(text: str) -> str:
+    """Decode HTML character references in *text*.
+
+    Both named (``&amp;``) and numeric (``&#38;``, ``&#x26;``) references are
+    handled; a missing trailing semicolon is tolerated.  Unknown named
+    references are left untouched, as browsers do.
+    """
+    if "&" not in text:
+        return text
+    return _ENTITY_RE.sub(_replace, text)
+
+
+def encode_entities(text: str) -> str:
+    """Escape the characters that are unsafe in HTML text content."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )

@@ -1,0 +1,161 @@
+"""Forgiving HTML tree builder.
+
+Assembles the lexer's token stream into a :class:`~repro.html.dom.Document`.
+Mirrors the error-recovery behaviours of browser parsers that matter for
+query forms in the wild:
+
+* void elements (``<input>``, ``<br>`` ...) never take children;
+* ``<p>``, ``<li>``, ``<option>``, ``<tr>``, ``<td>`` and friends are
+  implicitly closed by a sibling opener;
+* unmatched end tags are ignored;
+* an end tag for an open ancestor pops every element in between;
+* the builder never raises on any input.
+"""
+
+from __future__ import annotations
+
+from repro.html.dom import Comment, Document, Element, Node, Text
+from repro.html.tokenizer import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    HTMLLexer,
+    StartTagToken,
+    TextToken,
+)
+
+#: Elements that cannot have content.
+VOID_ELEMENTS = frozenset(
+    {
+        "area", "base", "br", "col", "embed", "hr", "img", "input",
+        "link", "meta", "param", "source", "track", "wbr",
+    }
+)
+
+#: For each tag, the set of open tags a new instance implicitly closes.
+_IMPLICIT_CLOSERS: dict[str, frozenset[str]] = {
+    "p": frozenset({"p"}),
+    "li": frozenset({"li"}),
+    "dt": frozenset({"dt", "dd"}),
+    "dd": frozenset({"dt", "dd"}),
+    "option": frozenset({"option"}),
+    "optgroup": frozenset({"option", "optgroup"}),
+    "tr": frozenset({"tr", "td", "th"}),
+    "td": frozenset({"td", "th"}),
+    "th": frozenset({"td", "th"}),
+    "thead": frozenset({"thead", "tbody", "tfoot", "tr", "td", "th"}),
+    "tbody": frozenset({"thead", "tbody", "tfoot", "tr", "td", "th"}),
+    "tfoot": frozenset({"thead", "tbody", "tfoot", "tr", "td", "th"}),
+}
+
+#: Tags whose implicit closing must not escape these container tags.
+_CLOSE_BARRIERS: dict[str, frozenset[str]] = {
+    "li": frozenset({"ul", "ol"}),
+    "option": frozenset({"select", "optgroup"}),
+    "optgroup": frozenset({"select"}),
+    "tr": frozenset({"table", "thead", "tbody", "tfoot"}),
+    "td": frozenset({"tr", "table"}),
+    "th": frozenset({"tr", "table"}),
+    "dt": frozenset({"dl"}),
+    "dd": frozenset({"dl"}),
+}
+
+
+class HTMLTreeBuilder:
+    """Build a DOM tree from HTML text without ever rejecting the input."""
+
+    def __init__(self) -> None:
+        self._document = Document()
+        self._stack: list[Element] = []
+
+    # -- public API -----------------------------------------------------------
+
+    def parse(self, html: str) -> Document:
+        """Parse *html* and return the resulting :class:`Document`."""
+        for token in HTMLLexer(html).tokens():
+            if isinstance(token, TextToken):
+                self._handle_text(token)
+            elif isinstance(token, StartTagToken):
+                self._handle_start_tag(token)
+            elif isinstance(token, EndTagToken):
+                self._handle_end_tag(token)
+            elif isinstance(token, CommentToken):
+                self._current().append_child(Comment(token.data))
+            elif isinstance(token, DoctypeToken):
+                if self._document.doctype is None:
+                    self._document.doctype = token.data
+        return self._document
+
+    # -- token handlers ---------------------------------------------------------
+
+    def _current(self) -> Node:
+        return self._stack[-1] if self._stack else self._document
+
+    def _handle_text(self, token: TextToken) -> None:
+        if not token.data:
+            return
+        parent = self._current()
+        # Merge adjacent text nodes so layout sees contiguous runs.
+        if parent.children and isinstance(parent.children[-1], Text):
+            last = parent.children[-1]
+            last.data += token.data
+            return
+        parent.append_child(Text(token.data))
+
+    def _handle_start_tag(self, token: StartTagToken) -> None:
+        name = token.name
+        self._close_open_select(name)
+        self._apply_implicit_closes(name)
+        element = Element(name, token.attributes)
+        self._current().append_child(element)
+        if name in VOID_ELEMENTS or token.self_closing:
+            return
+        self._stack.append(element)
+
+    def _close_open_select(self, name: str) -> None:
+        """An unterminated ``<select>`` closes at the next non-option tag.
+
+        Browsers never let page content nest inside a select (the HTML5
+        "in select" insertion mode); without this, one missing
+        ``</select>`` would swallow -- and hide -- the rest of the form.
+        """
+        if name in ("option", "optgroup"):
+            return
+        for index in range(len(self._stack) - 1, -1, -1):
+            tag = self._stack[index].tag
+            if tag == "select":
+                del self._stack[index:]
+                return
+            if tag not in ("option", "optgroup"):
+                return
+
+    def _apply_implicit_closes(self, name: str) -> None:
+        closers = _IMPLICIT_CLOSERS.get(name)
+        if closers is None:
+            return
+        barriers = _CLOSE_BARRIERS.get(name, frozenset())
+        # Pop elements the new tag implicitly closes, stopping at barriers.
+        while self._stack:
+            top = self._stack[-1].tag
+            if top in barriers:
+                break
+            if top in closers:
+                self._stack.pop()
+                continue
+            break
+
+    def _handle_end_tag(self, token: EndTagToken) -> None:
+        name = token.name
+        if name in VOID_ELEMENTS:
+            return  # e.g. stray </br>
+        # Find the matching open element, if any.
+        for index in range(len(self._stack) - 1, -1, -1):
+            if self._stack[index].tag == name:
+                del self._stack[index:]
+                return
+        # Unmatched end tag: ignore, as browsers do.
+
+
+def parse_html(html: str) -> Document:
+    """Parse *html* into a :class:`Document` (never raises)."""
+    return HTMLTreeBuilder().parse(html)

@@ -1,0 +1,59 @@
+"""Serializing DOM trees back to HTML.
+
+The inverse of the tree builder, for tooling: dataset inspection, fixture
+generation, and test round-trips.  Serialization is normalizing rather
+than byte-faithful -- tag case, attribute quoting, and implied closing
+tags come out canonical -- but re-parsing serialized output always yields
+an equivalent tree (asserted by property tests).
+"""
+
+from __future__ import annotations
+
+from repro.html.dom import Comment, Document, Element, Node, Text
+from repro.html.entities import encode_entities
+from repro.html.parser import VOID_ELEMENTS
+
+#: Rawtext elements whose content must not be entity-encoded.
+_RAWTEXT = frozenset({"script", "style"})
+
+
+def serialize(node: Node) -> str:
+    """Serialize *node* (and descendants) to HTML text."""
+    parts: list[str] = []
+    _write(node, parts, raw=False)
+    return "".join(parts)
+
+
+def _write(node: Node, parts: list[str], raw: bool) -> None:
+    if isinstance(node, Document):
+        if node.doctype is not None:
+            parts.append(f"<!DOCTYPE {node.doctype}>")
+        for child in node.children:
+            _write(child, parts, raw)
+        return
+    if isinstance(node, Text):
+        parts.append(node.data if raw else encode_entities(node.data))
+        return
+    if isinstance(node, Comment):
+        parts.append(f"<!--{node.data}-->")
+        return
+    if isinstance(node, Element):
+        parts.append(_open_tag(node))
+        if node.tag in VOID_ELEMENTS:
+            return
+        child_raw = raw or node.tag in _RAWTEXT
+        for child in node.children:
+            _write(child, parts, child_raw)
+        parts.append(f"</{node.tag}>")
+
+
+def _open_tag(element: Element) -> str:
+    attributes = "".join(
+        f' {name}="{_attr_value(value)}"' if value else f" {name}"
+        for name, value in element.attributes.items()
+    )
+    return f"<{element.tag}{attributes}>"
+
+
+def _attr_value(value: str) -> str:
+    return value.replace("&", "&amp;").replace('"', "&quot;")

@@ -1,0 +1,267 @@
+"""HTML lexer: splits raw markup into a flat stream of lexical tokens.
+
+This is the first stage of the DOM substrate.  It is deliberately forgiving:
+any byte sequence lexes to *some* token stream, because query forms on the
+deep Web are routinely malformed and the form extractor must not reject them
+(the "best-effort" philosophy starts here).
+
+The lexer understands start tags with quoted/unquoted/valueless attributes,
+end tags, comments (including bogus ones), doctypes, and the raw-text
+elements ``script`` and ``style`` whose content must not be tokenized as
+markup.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.html.entities import decode_entities
+
+# Elements whose content is raw text until the matching close tag.
+RAWTEXT_ELEMENTS = frozenset({"script", "style", "textarea", "title"})
+
+_TAG_NAME_RE = re.compile(r"[a-zA-Z][a-zA-Z0-9:_.-]*")
+_ATTR_RE = re.compile(
+    r"""\s*(?P<name>[^\s=/>]+)"""
+    r"""(?:\s*=\s*(?P<value>"[^"]*"|'[^']*'|[^\s>]*))?"""
+)
+_WS_RE = re.compile(r"\s+")
+
+
+@dataclass(frozen=True)
+class LexToken:
+    """Base class for lexical tokens.  ``position`` is the source offset."""
+
+    position: int
+
+
+@dataclass(frozen=True)
+class TextToken(LexToken):
+    """A run of character data (entities already decoded)."""
+
+    data: str = ""
+
+
+@dataclass(frozen=True)
+class StartTagToken(LexToken):
+    """An opening tag, e.g. ``<input type="text" name=q>``."""
+
+    name: str = ""
+    attributes: dict[str, str] = field(default_factory=dict)
+    self_closing: bool = False
+
+
+@dataclass(frozen=True)
+class EndTagToken(LexToken):
+    """A closing tag, e.g. ``</form>``."""
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class CommentToken(LexToken):
+    """An HTML comment; preserved so tooling can round-trip documents."""
+
+    data: str = ""
+
+
+@dataclass(frozen=True)
+class DoctypeToken(LexToken):
+    """A ``<!DOCTYPE ...>`` declaration (content kept verbatim)."""
+
+    data: str = ""
+
+
+class HTMLLexer:
+    """Convert an HTML string into a stream of :class:`LexToken`.
+
+    The lexer never raises on malformed input.  A stray ``<`` that does not
+    begin a plausible tag is treated as literal text, as browsers do.
+    """
+
+    def __init__(self, html: str):
+        self._html = html
+        self._length = len(html)
+        self._pos = 0
+        # When set, we are inside a rawtext element and only its end tag
+        # terminates the text run.
+        self._rawtext_tag: str | None = None
+
+    def tokens(self) -> Iterator[LexToken]:
+        """Yield lexical tokens until the input is exhausted."""
+        while self._pos < self._length:
+            if self._rawtext_tag is not None:
+                token = self._lex_rawtext()
+                if token is not None:
+                    yield token
+                continue
+            lt = self._html.find("<", self._pos)
+            if lt == -1:
+                yield self._text_token(self._pos, self._html[self._pos:])
+                self._pos = self._length
+                break
+            if lt > self._pos:
+                yield self._text_token(self._pos, self._html[self._pos:lt])
+                self._pos = lt
+                continue
+            token = self._lex_angle()
+            if token is not None:
+                yield token
+
+    # ------------------------------------------------------------------
+    # internal lexing helpers
+    # ------------------------------------------------------------------
+
+    def _text_token(self, position: int, raw: str) -> TextToken:
+        return TextToken(position=position, data=decode_entities(raw))
+
+    def _lex_rawtext(self) -> LexToken | None:
+        """Lex content of a rawtext element up to its end tag."""
+        assert self._rawtext_tag is not None
+        close_re = re.compile(
+            r"</\s*" + re.escape(self._rawtext_tag) + r"\s*>", re.IGNORECASE
+        )
+        match = close_re.search(self._html, self._pos)
+        tag = self._rawtext_tag
+        if match is None:
+            # Unterminated rawtext: consume everything.
+            start = self._pos
+            data = self._html[start:]
+            self._pos = self._length
+            self._rawtext_tag = None
+            if data:
+                return TextToken(position=start, data=data)
+            return None
+        start = self._pos
+        data = self._html[start : match.start()]
+        self._pos = match.end()
+        self._rawtext_tag = None
+        if data:
+            # Rawtext content is not entity-decoded except in textarea,
+            # where browsers do decode character references.
+            if tag == "textarea":
+                data = decode_entities(data)
+            return TextToken(position=start, data=data)
+        return None
+
+    def _lex_angle(self) -> LexToken | None:
+        """Lex a construct starting with ``<`` at the current position."""
+        html = self._html
+        start = self._pos
+        nxt = html[start + 1] if start + 1 < self._length else ""
+
+        if nxt == "!":
+            return self._lex_markup_declaration()
+        if nxt == "?":
+            # Bogus comment per the HTML spec: <? ... >
+            end = html.find(">", start)
+            end = self._length if end == -1 else end
+            data = html[start + 2 : end]
+            self._pos = min(end + 1, self._length)
+            return CommentToken(position=start, data=data)
+        if nxt == "/":
+            return self._lex_end_tag()
+        if _TAG_NAME_RE.match(html, start + 1):
+            return self._lex_start_tag()
+        # Literal "<" followed by junk -- emit it as text.
+        self._pos = start + 1
+        return TextToken(position=start, data="<")
+
+    def _lex_markup_declaration(self) -> LexToken:
+        html = self._html
+        start = self._pos
+        if html.startswith("<!--", start):
+            end = html.find("-->", start + 4)
+            if end == -1:
+                data = html[start + 4 :]
+                self._pos = self._length
+            else:
+                data = html[start + 4 : end]
+                self._pos = end + 3
+            return CommentToken(position=start, data=data)
+        # DOCTYPE or a bogus declaration.
+        end = html.find(">", start)
+        end = self._length if end == -1 else end
+        body = html[start + 2 : end]
+        self._pos = min(end + 1, self._length)
+        if body.lower().startswith("doctype"):
+            return DoctypeToken(position=start, data=body[7:].strip())
+        return CommentToken(position=start, data=body)
+
+    def _lex_end_tag(self) -> LexToken:
+        html = self._html
+        start = self._pos
+        match = _TAG_NAME_RE.match(html, start + 2)
+        if match is None:
+            # "</" followed by junk: browsers treat "</>" as nothing and
+            # "</ x" as a bogus comment; we fold both into a comment.
+            end = html.find(">", start)
+            end = self._length if end == -1 else end
+            data = html[start + 2 : end]
+            self._pos = min(end + 1, self._length)
+            return CommentToken(position=start, data=data)
+        name = match.group(0).lower()
+        end = html.find(">", match.end())
+        self._pos = self._length if end == -1 else end + 1
+        return EndTagToken(position=start, name=name)
+
+    def _lex_start_tag(self) -> LexToken:
+        html = self._html
+        start = self._pos
+        match = _TAG_NAME_RE.match(html, start + 1)
+        assert match is not None
+        name = match.group(0).lower()
+        cursor = match.end()
+        attributes: dict[str, str] = {}
+        self_closing = False
+
+        while cursor < self._length:
+            # Skip whitespace between attributes.
+            ws = _WS_RE.match(html, cursor)
+            if ws:
+                cursor = ws.end()
+            if cursor >= self._length:
+                break
+            ch = html[cursor]
+            if ch == ">":
+                cursor += 1
+                break
+            if ch == "/":
+                if cursor + 1 < self._length and html[cursor + 1] == ">":
+                    self_closing = True
+                    cursor += 2
+                    break
+                cursor += 1
+                continue
+            attr = _ATTR_RE.match(html, cursor)
+            if attr is None or attr.end() == cursor:
+                cursor += 1
+                continue
+            attr_name = attr.group("name").lower()
+            raw_value = attr.group("value")
+            if raw_value is None:
+                value = ""
+            elif raw_value[:1] in {'"', "'"}:
+                value = raw_value[1:-1] if len(raw_value) >= 2 else ""
+            else:
+                value = raw_value
+            if attr_name not in attributes:
+                attributes[attr_name] = decode_entities(value)
+            cursor = attr.end()
+
+        self._pos = cursor
+        if name in RAWTEXT_ELEMENTS and not self_closing:
+            self._rawtext_tag = name
+        return StartTagToken(
+            position=start,
+            name=name,
+            attributes=attributes,
+            self_closing=self_closing,
+        )
+
+
+def lex_html(html: str) -> list[LexToken]:
+    """Convenience wrapper: lex *html* into a token list."""
+    return list(HTMLLexer(html).tokens())

@@ -1,0 +1,30 @@
+"""Layout substrate: renders a DOM tree into absolute bounding boxes.
+
+The original system obtained element positions from Internet Explorer's
+rendering engine; the best-effort parser consumes nothing but token types
+and bounding boxes.  This package substitutes a deterministic layout engine
+supporting the HTML constructs query forms actually use: block stacking,
+inline flow with line wrapping, ``<br>``, tables (including nesting and
+``colspan``), and intrinsic sizes for every form control type.
+
+Determinism matters: tests assert exact topology (left-of, above, aligned)
+against these coordinates.
+"""
+
+from repro.layout.box import BBox
+from repro.layout.engine import ControlBox, LayoutEngine, LayoutResult, TextFragment, layout_document
+from repro.layout.fonts import FontMetrics, DEFAULT_FONT
+from repro.layout.style import Display, display_of
+
+__all__ = [
+    "BBox",
+    "ControlBox",
+    "DEFAULT_FONT",
+    "Display",
+    "FontMetrics",
+    "LayoutEngine",
+    "LayoutResult",
+    "TextFragment",
+    "display_of",
+    "layout_document",
+]

@@ -1,0 +1,79 @@
+"""Font metrics for text measurement.
+
+The layout engine needs the pixel width of text runs to place tokens.  We
+model a proportional UI font (13 px body text, as classic browsers default
+to) with a per-character advance-width table.  The exact values do not have
+to match any real font -- only the *topology* of the rendered form matters
+to the parser -- but a proportional table keeps layouts looking like real
+renderings (short labels are narrow, option strings are wide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Advance widths (px) for the modelled 13 px proportional font.
+_NARROW = set("iljt!.,:;'|()[]")
+_MEDIUM_NARROW = set("frI-\" ")
+_WIDE = set("mwMW@%")
+_UPPER = set("ABCDEFGHJKLNOPQRSTUVXYZ")
+
+
+def _char_width(ch: str) -> int:
+    if ch in _NARROW:
+        return 4
+    if ch in _MEDIUM_NARROW:
+        return 5
+    if ch in _WIDE:
+        return 11
+    if ch in _UPPER:
+        return 9
+    if ch.isdigit():
+        return 7
+    return 7
+
+
+@dataclass(frozen=True)
+class FontMetrics:
+    """Measures text in a simple proportional font.
+
+    Attributes:
+        line_height: Vertical extent of one line box, in pixels.
+        ascent: Distance from the line top to the text baseline.
+        scale: Multiplier applied to all advance widths (e.g. headings).
+    """
+
+    line_height: int = 19
+    ascent: int = 15
+    scale: float = 1.0
+    _cache: dict[str, float] = field(default_factory=dict, compare=False, repr=False)
+
+    def char_width(self, ch: str) -> float:
+        """Advance width of a single character."""
+        return _char_width(ch) * self.scale
+
+    def text_width(self, text: str) -> float:
+        """Total advance width of *text* (no kerning, no ligatures)."""
+        cached = self._cache.get(text)
+        if cached is not None:
+            return cached
+        width = sum(_char_width(ch) for ch in text) * self.scale
+        if len(text) < 64:
+            self._cache[text] = width
+        return width
+
+    def fit_chars(self, text: str, max_width: float) -> int:
+        """How many leading characters of *text* fit in *max_width* pixels."""
+        used = 0.0
+        for index, ch in enumerate(text):
+            used += self.char_width(ch)
+            if used > max_width:
+                return index
+        return len(text)
+
+
+#: Metrics for ordinary form text.
+DEFAULT_FONT = FontMetrics()
+
+#: Metrics for emphasized/heading text (forms often bold their section titles).
+BOLD_FONT = FontMetrics(scale=1.1)

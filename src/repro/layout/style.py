@@ -1,0 +1,118 @@
+"""Minimal style resolution: how each element participates in layout.
+
+Real browsers resolve CSS; query forms of the studied era styled themselves
+almost entirely with structural HTML (tables, ``<br>``, ``<b>``), so a
+static tag → display mapping captures what the layout engine needs.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.html.dom import Element
+
+
+class Display(Enum):
+    """Layout participation modes."""
+
+    BLOCK = "block"
+    INLINE = "inline"
+    TABLE = "table"
+    TABLE_ROW_GROUP = "table-row-group"
+    TABLE_ROW = "table-row"
+    TABLE_CELL = "table-cell"
+    LIST_ITEM = "list-item"
+    NONE = "none"
+
+
+_BLOCK_TAGS = frozenset(
+    {
+        "address", "article", "aside", "blockquote", "center", "dd", "div",
+        "dl", "dt", "fieldset", "figure", "footer", "form", "h1", "h2",
+        "h3", "h4", "h5", "h6", "header", "hr", "legend", "main", "nav",
+        "ol", "p", "pre", "section", "ul", "body", "html",
+    }
+)
+
+_INLINE_TAGS = frozenset(
+    {
+        "a", "abbr", "b", "bdo", "big", "br", "button", "cite", "code",
+        "em", "font", "i", "img", "input", "kbd", "label", "q", "s",
+        "samp", "select", "small", "span", "strike", "strong", "sub",
+        "sup", "textarea", "tt", "u", "var", "wbr", "nobr",
+    }
+)
+
+_HIDDEN_TAGS = frozenset(
+    {
+        "head", "meta", "link", "script", "style", "title", "base",
+        "noscript", "template", "option", "optgroup", "colgroup", "col",
+        "map", "area", "datalist", "param",
+    }
+)
+
+#: Vertical margin (px) applied above and below specific block tags.
+BLOCK_VERTICAL_MARGIN: dict[str, int] = {
+    "p": 10,
+    "h1": 14,
+    "h2": 12,
+    "h3": 10,
+    "h4": 9,
+    "h5": 8,
+    "h6": 8,
+    "ul": 8,
+    "ol": 8,
+    "dl": 8,
+    "blockquote": 10,
+    "fieldset": 6,
+    "hr": 8,
+    "table": 2,
+}
+
+#: Extra left indentation (px) for specific block tags.
+BLOCK_LEFT_INDENT: dict[str, int] = {
+    "ul": 30,
+    "ol": 30,
+    "dd": 30,
+    "blockquote": 30,
+    "li": 0,
+    "fieldset": 4,
+}
+
+#: Default cell padding/spacing used when a table does not specify any.
+DEFAULT_CELLPADDING = 2
+DEFAULT_CELLSPACING = 2
+
+
+def display_of(element: Element) -> Display:
+    """Resolve the display mode of *element*.
+
+    Hidden inputs and ``display``-suppressed structural tags map to
+    :data:`Display.NONE` so they produce neither geometry nor tokens.
+    """
+    tag = element.tag
+    if tag in _HIDDEN_TAGS:
+        return Display.NONE
+    if tag == "input" and (element.get("type") or "text").lower() == "hidden":
+        return Display.NONE
+    if tag == "table":
+        return Display.TABLE
+    if tag in ("thead", "tbody", "tfoot"):
+        return Display.TABLE_ROW_GROUP
+    if tag == "tr":
+        return Display.TABLE_ROW
+    if tag in ("td", "th"):
+        return Display.TABLE_CELL
+    if tag == "li":
+        return Display.LIST_ITEM
+    if tag in _BLOCK_TAGS:
+        return Display.BLOCK
+    if tag in _INLINE_TAGS:
+        return Display.INLINE
+    # Unknown tags render inline, matching browser behaviour.
+    return Display.INLINE
+
+
+def is_bold_context(element: Element) -> bool:
+    """True when text inside *element* renders bold (b/strong/headings/th)."""
+    return element.tag in ("b", "strong", "h1", "h2", "h3", "h4", "h5", "h6", "th")

@@ -1,0 +1,25 @@
+"""Learning support for grammar derivation (paper Section 7).
+
+The paper derives its global grammar by hand and asks whether "techniques
+such as machine learning can be explored to automate such grammar
+creation".  This package implements the tractable core of that program:
+*calibrating* the derived grammar's spatial conventions from annotated
+sources.  Given training sources with ground-truth semantic models, the
+calibrator extracts, identifies which parsed conditions were correct,
+harvests the spatial statistics of their winning interpretations (label-to-
+field gaps, arrangement frequencies), and fits adjacency thresholds --
+turning the hand-picked constants of :class:`~repro.spatial.SpatialConfig`
+into measured conventions.
+"""
+
+from repro.learning.calibrate import (
+    ArrangementStats,
+    SpatialCalibrator,
+    calibrate_spatial_config,
+)
+
+__all__ = [
+    "ArrangementStats",
+    "SpatialCalibrator",
+    "calibrate_spatial_config",
+]

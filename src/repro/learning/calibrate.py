@@ -1,0 +1,150 @@
+"""Calibrating spatial conventions from annotated sources.
+
+Procedure (a supervised pass over training sources):
+
+1. extract each training source with the current grammar;
+2. match extracted conditions against the source's ground truth;
+3. for every *correct* condition, walk back to its CP parse node and
+   harvest the binding geometry its payload recorded (``attr_gap``,
+   ``arrangement``);
+4. fit thresholds at a high percentile of the observed distribution plus
+   slack -- the measured form of "adjacency is implied" (Section 4.1).
+
+The calibrator never sees which thresholds produced the current grammar;
+it rediscovers them from the evidence, and
+``benchmarks/bench_learning_calibration.py`` checks that a grammar rebuilt
+from the learned config holds accuracy on held-out sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.generator import GeneratedSource
+from repro.extractor import FormExtractor
+from repro.semantics.matching import ConditionMatcher
+from repro.spatial.relations import DEFAULT_SPATIAL, SpatialConfig
+
+
+@dataclass
+class ArrangementStats:
+    """Geometry harvested from correctly-parsed conditions."""
+
+    #: Label-to-field gaps of correct "left" attachments.
+    left_gaps: list[float] = field(default_factory=list)
+    #: Label-to-field gaps of correct "above"/"below" attachments.
+    vertical_gaps: list[float] = field(default_factory=list)
+    #: How often each arrangement carried a correct condition.
+    arrangement_counts: dict[str, int] = field(default_factory=dict)
+    sources_used: int = 0
+    conditions_used: int = 0
+
+    def observe(self, arrangement: str, gap: float | None) -> None:
+        self.arrangement_counts[arrangement] = (
+            self.arrangement_counts.get(arrangement, 0) + 1
+        )
+        if gap is None:
+            return
+        if arrangement == "left":
+            self.left_gaps.append(gap)
+        elif arrangement in ("above", "below"):
+            self.vertical_gaps.append(gap)
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+class SpatialCalibrator:
+    """Harvests arrangement statistics and fits a spatial config."""
+
+    def __init__(
+        self,
+        extractor: FormExtractor | None = None,
+        matcher: ConditionMatcher | None = None,
+    ):
+        self.extractor = extractor or FormExtractor()
+        self.matcher = matcher or ConditionMatcher()
+        self.stats = ArrangementStats()
+
+    # -- harvesting ----------------------------------------------------------------
+
+    def observe_source(self, source: GeneratedSource) -> None:
+        """Extract one training source and harvest its correct conditions."""
+        detail = self.extractor.extract_detailed(source.html)
+        pairs = self.matcher.match_sets(
+            list(detail.model.conditions), list(source.truth)
+        )
+        correct = {id(extracted) for extracted, _ in pairs}
+        self.stats.sources_used += 1
+
+        seen_nodes: set[int] = set()
+        for tree in detail.parse.trees:
+            stack = [tree]
+            while stack:
+                node = stack.pop()
+                condition = node.payload.get("condition")
+                if condition is not None:
+                    if node.uid not in seen_nodes and any(
+                        condition is extracted or condition == extracted
+                        for extracted in detail.model.conditions
+                        if id(extracted) in correct
+                    ):
+                        seen_nodes.add(node.uid)
+                        self.stats.conditions_used += 1
+                        self.stats.observe(
+                            str(node.payload.get("arrangement", "bare")),
+                            node.payload.get("attr_gap"),
+                        )
+                    continue
+                stack.extend(node.children)
+
+    def observe_many(self, sources: list[GeneratedSource]) -> None:
+        for source in sources:
+            self.observe_source(source)
+
+    # -- fitting ----------------------------------------------------------------------
+
+    def fit(
+        self,
+        percentile: float = 0.98,
+        slack: float = 1.25,
+        base: SpatialConfig = DEFAULT_SPATIAL,
+    ) -> SpatialConfig:
+        """A spatial config fitted to the harvested evidence.
+
+        Thresholds land at the *percentile*-th observed gap times *slack*;
+        dimensions with no evidence keep the base configuration's value.
+        """
+        horizontal = base.max_horizontal_gap
+        if self.stats.left_gaps:
+            horizontal = max(
+                20.0, _percentile(self.stats.left_gaps, percentile) * slack
+            )
+        vertical = base.max_vertical_gap
+        if self.stats.vertical_gaps:
+            vertical = max(
+                8.0, _percentile(self.stats.vertical_gaps, percentile) * slack
+            )
+        return SpatialConfig(
+            max_horizontal_gap=horizontal,
+            max_vertical_gap=vertical,
+            alignment_tolerance=base.alignment_tolerance,
+            min_row_overlap=base.min_row_overlap,
+            min_column_overlap=base.min_column_overlap,
+        )
+
+
+def calibrate_spatial_config(
+    sources: list[GeneratedSource],
+    percentile: float = 0.98,
+    slack: float = 1.25,
+) -> tuple[SpatialConfig, ArrangementStats]:
+    """One-call calibration over *sources*."""
+    calibrator = SpatialCalibrator()
+    calibrator.observe_many(sources)
+    return calibrator.fit(percentile=percentile, slack=slack), calibrator.stats

@@ -1,0 +1,14 @@
+"""A minimal deep-Web mediator built on the form extractor.
+
+The paper's opening motivation: with ~10^5 databases online, "large-scale
+integration [is] a real necessity", and automatic capability extraction is
+"the very first step".  This package supplies the last step for the
+simulated ecosystem: a :class:`Mediator` that onboards sources by
+extracting their capabilities from HTML, routes a user query to the
+sources that can answer it, plans per-source submissions, and merges the
+returned records with provenance.
+"""
+
+from repro.mediator.mediator import Mediator, MediatedAnswer, SourceAnswer
+
+__all__ = ["MediatedAnswer", "Mediator", "SourceAnswer"]

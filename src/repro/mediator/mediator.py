@@ -1,0 +1,128 @@
+"""Routing user queries across extracted deep-Web sources.
+
+Onboarding is fully automatic: ``add_source`` runs the form extractor on
+the source's HTML and keeps the extracted semantic model as the source
+description (paper Section 1: mediation "relies on such source
+descriptions ... largely constructed by hands today").  Querying then:
+
+1. plans the user constraints against every source's extracted model;
+2. skips sources that cannot honour all constraints (capability-based
+   source selection);
+3. submits to the capable sources and collects their records with
+   provenance;
+4. reports per-source planning outcomes so callers see *why* a source
+   was skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extractor import FormExtractor
+from repro.query.planner import Constraint, QueryPlan, QueryPlanner
+from repro.semantics.condition import SemanticModel
+from repro.webdb.records import Record
+from repro.webdb.source import SimulatedSource
+
+
+@dataclass
+class SourceAnswer:
+    """One source's contribution to a mediated query."""
+
+    source_name: str
+    plan: QueryPlan
+    records: list[Record] = field(default_factory=list)
+    queried: bool = False
+
+    @property
+    def skipped_reason(self) -> str:
+        if self.queried:
+            return ""
+        return "; ".join(
+            f"{constraint}: {reason}"
+            for constraint, reason in self.plan.unplanned
+        )
+
+
+@dataclass
+class MediatedAnswer:
+    """The merged result of a mediated query."""
+
+    answers: list[SourceAnswer] = field(default_factory=list)
+
+    @property
+    def records(self) -> list[tuple[str, Record]]:
+        """All records, tagged with their source of origin."""
+        merged: list[tuple[str, Record]] = []
+        for answer in self.answers:
+            merged.extend((answer.source_name, record) for record in answer.records)
+        return merged
+
+    @property
+    def sources_queried(self) -> list[str]:
+        return [a.source_name for a in self.answers if a.queried]
+
+    @property
+    def sources_skipped(self) -> list[str]:
+        return [a.source_name for a in self.answers if not a.queried]
+
+
+class Mediator:
+    """Extract-once, query-many mediation over simulated sources."""
+
+    def __init__(self, extractor: FormExtractor | None = None):
+        self.extractor = extractor or FormExtractor()
+        self._sources: list[SimulatedSource] = []
+        self._models: dict[str, SemanticModel] = {}
+        self._planners: dict[str, QueryPlanner] = {}
+
+    # -- onboarding ---------------------------------------------------------------
+
+    def add_source(self, source: SimulatedSource) -> SemanticModel:
+        """Onboard *source*: extract and store its source description."""
+        model = self.extractor.extract(source.html)
+        name = source.generated.name
+        self._sources.append(source)
+        self._models[name] = model
+        self._planners[name] = QueryPlanner(model)
+        return model
+
+    @property
+    def source_names(self) -> list[str]:
+        return [source.generated.name for source in self._sources]
+
+    def description_of(self, source_name: str) -> SemanticModel | None:
+        """The stored (extracted) description of an onboarded source."""
+        return self._models.get(source_name)
+
+    # -- querying ------------------------------------------------------------------
+
+    def query(
+        self, constraints: list[Constraint], partial: bool = False
+    ) -> MediatedAnswer:
+        """Pose *constraints* to every capable source.
+
+        With ``partial=False`` a source is queried only when every
+        constraint planned; with ``partial=True`` sources answering a
+        subset are queried too (their answers are supersets of the exact
+        answer -- the mediator's client must post-filter).
+        """
+        result = MediatedAnswer()
+        for source in self._sources:
+            name = source.generated.name
+            plan = self._planners[name].plan(constraints)
+            answer = SourceAnswer(source_name=name, plan=plan)
+            if plan.complete or (partial and plan.planned):
+                answer.records = source.submit(plan.params)
+                answer.queried = True
+            result.answers.append(answer)
+        return result
+
+    def capable_sources(self, constraints: list[Constraint]) -> list[str]:
+        """Names of sources whose extracted model plans every constraint."""
+        capable = []
+        for source in self._sources:
+            name = source.generated.name
+            if self._planners[name].plan(constraints).complete:
+                capable.append(name)
+        return capable

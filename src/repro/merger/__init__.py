@@ -1,0 +1,11 @@
+"""Merger: parse trees → semantic model (paper Section 3.4, back end).
+
+The parser emits multiple partial parse trees; the merger unions their
+extracted conditions into one semantic model and reports extraction errors:
+*conflicts* (a token claimed by more than one condition) and *missing
+elements* (tokens no informative parse tree covers).
+"""
+
+from repro.merger.merger import Merger, merge_parse_result
+
+__all__ = ["Merger", "merge_parse_result"]

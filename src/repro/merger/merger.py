@@ -1,0 +1,190 @@
+"""Combining partial parses into the final semantic model.
+
+Since each maximal parse tree covers a different part of the form, taking
+the union of their extracted conditions enhances coverage (the paper's
+aa.com example in Figure 14: three partial trees whose union spans the whole
+interface).  The merger also produces the error report a downstream client
+needs:
+
+* **conflict** -- the same token is used by different conditions (the
+  paper's example: one tree attaches the number select to "passengers", a
+  competing tree to "adults");
+* **missing element** -- a token covered by no (informative) parse tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grammar.instance import Instance
+from repro.parser.parser import ParseResult
+from repro.semantics.condition import Condition, SemanticModel
+from repro.tokens.model import Token
+
+
+@dataclass(frozen=True)
+class ExtractedCondition:
+    """A condition plus the tokens its parse subtree covered."""
+
+    condition: Condition
+    coverage: frozenset[int]
+    #: uid of the condition-bearing parse node.  Maximal trees form a DAG
+    #: and may share CP nodes; sharing is composition, not conflict.
+    node_uid: int
+
+
+@dataclass
+class MergeReport:
+    """Detailed merger output, wrapped into a :class:`SemanticModel`."""
+
+    model: SemanticModel
+    extracted: list[ExtractedCondition] = field(default_factory=list)
+    conflict_tokens: list[Token] = field(default_factory=list)
+    missing_tokens: list[Token] = field(default_factory=list)
+    #: Text tokens the parse interpreted only as noise (``Note``): covered
+    #: by some tree but claimed by no condition.  Together with
+    #: ``missing_tokens`` these are the candidates for the textual-
+    #: similarity recovery of paper Section 7.
+    unclaimed_text_tokens: list[Token] = field(default_factory=list)
+
+
+class Merger:
+    """Union conditions across parse trees; report conflicts and misses."""
+
+    #: CP instances carry their condition under this payload key.
+    CONDITION_KEY = "condition"
+
+    def merge(self, result: ParseResult) -> MergeReport:
+        """Merge *result*'s maximal trees into one semantic model."""
+        extracted = self._collect_conditions(result.trees)
+        conditions = self._dedupe([entry.condition for entry in extracted])
+        conflict_tokens = self._conflicts(extracted, result.tokens)
+        missing_tokens = self._missing(result, extracted)
+        unclaimed = self._unclaimed_texts(result, extracted, missing_tokens)
+        model = SemanticModel(
+            conditions=conditions,
+            conflicts=[self._describe_token(token) for token in conflict_tokens],
+            missing=[self._describe_token(token) for token in missing_tokens],
+        )
+        return MergeReport(
+            model=model,
+            extracted=extracted,
+            conflict_tokens=conflict_tokens,
+            missing_tokens=missing_tokens,
+            unclaimed_text_tokens=unclaimed,
+        )
+
+    # -- condition collection ----------------------------------------------------
+
+    def _collect_conditions(self, trees: list[Instance]) -> list[ExtractedCondition]:
+        """Conditions of the outermost CP nodes of every maximal tree.
+
+        Only outermost condition-bearing nodes count: a ``CP`` nested in
+        another ``CP``'s subtree would double-report its tokens.
+        """
+        extracted: list[ExtractedCondition] = []
+        seen_nodes: set[int] = set()
+        for tree in trees:
+            stack = [tree]
+            while stack:
+                node = stack.pop()
+                condition = node.payload.get(self.CONDITION_KEY)
+                if condition is not None:
+                    if node.uid not in seen_nodes:
+                        seen_nodes.add(node.uid)
+                        extracted.append(
+                            ExtractedCondition(
+                                condition=condition,
+                                coverage=node.coverage,
+                                node_uid=node.uid,
+                            )
+                        )
+                    continue  # do not descend into a reported condition
+                stack.extend(node.children)
+        # Reading order keeps output deterministic.
+        extracted.sort(key=lambda entry: min(entry.coverage))
+        return extracted
+
+    @staticmethod
+    def _dedupe(conditions: list[Condition]) -> list[Condition]:
+        """Drop exact duplicates (overlapping trees reuse CP instances)."""
+        seen: set[Condition] = set()
+        unique: list[Condition] = []
+        for condition in conditions:
+            if condition not in seen:
+                seen.add(condition)
+                unique.append(condition)
+        return unique
+
+    # -- error reporting -----------------------------------------------------------
+
+    @staticmethod
+    def _conflicts(
+        extracted: list[ExtractedCondition], tokens: list[Token]
+    ) -> list[Token]:
+        """Tokens claimed by two different conditions."""
+        claimed: dict[int, set[int]] = {}
+        for entry in extracted:
+            for token_id in entry.coverage:
+                claimed.setdefault(token_id, set()).add(entry.node_uid)
+        by_id = {token.id: token for token in tokens}
+        return [
+            by_id[token_id]
+            for token_id, claimers in sorted(claimed.items())
+            if len(claimers) > 1 and token_id in by_id
+        ]
+
+    @staticmethod
+    def _missing(
+        result: ParseResult, extracted: list[ExtractedCondition]
+    ) -> list[Token]:
+        """Input-capable tokens that no informative tree covers.
+
+        A tree is *informative* when it contains a condition or spans more
+        than one token; a stray single-text "tree" does not make its token
+        understood.
+        """
+        informative: set[int] = set()
+        for tree in result.trees:
+            has_condition = any(
+                node.payload.get(Merger.CONDITION_KEY) is not None
+                for node in tree.descendants()
+            )
+            if has_condition or len(tree.coverage) > 1:
+                informative |= tree.coverage
+        return [
+            token
+            for token in result.tokens
+            if token.id not in informative and not token.is_decoration
+        ]
+
+    @staticmethod
+    def _unclaimed_texts(
+        result: ParseResult,
+        extracted: list[ExtractedCondition],
+        missing_tokens: list[Token],
+    ) -> list[Token]:
+        """Text tokens interpreted only as noise (no condition claims them)."""
+        claimed: set[int] = set()
+        for entry in extracted:
+            claimed |= entry.coverage
+        missing_ids = {token.id for token in missing_tokens}
+        return [
+            token
+            for token in result.tokens
+            if token.terminal == "text"
+            and token.id not in claimed
+            and token.id not in missing_ids
+        ]
+
+    @staticmethod
+    def _describe_token(token: Token) -> str:
+        if token.terminal == "text":
+            return f"text {token.sval!r}"
+        name = token.name
+        return f"{token.terminal}" + (f" {name!r}" if name else "")
+
+
+def merge_parse_result(result: ParseResult) -> SemanticModel:
+    """Convenience wrapper returning just the semantic model."""
+    return Merger().merge(result).model

@@ -1,0 +1,62 @@
+"""Partial-tree maximization (paper Section 5.3).
+
+When the grammar cannot interpret the whole interface, the parser ends with
+many partial derivation trees.  The best-effort semantics keeps the
+*maximum* ones: trees whose covered-token set is not subsumed by another
+surviving tree's.  Overlapping-but-incomparable trees are all kept (the
+merger will report their overlap as conflicts); a complete parse is the
+special case that subsumes everything.
+"""
+
+from __future__ import annotations
+
+from repro.grammar.instance import Instance
+
+
+def candidate_roots(instances: list[Instance]) -> list[Instance]:
+    """Live nonterminal instances that no live parent can extend further."""
+    roots = []
+    for instance in instances:
+        if not instance.alive or instance.is_terminal:
+            continue
+        if any(parent.alive for parent in instance.parents):
+            continue
+        roots.append(instance)
+    return roots
+
+
+def maximal_roots(instances: list[Instance]) -> list[Instance]:
+    """Maximum partial trees under token-coverage subsumption.
+
+    A candidate is dropped when another candidate's coverage strictly
+    contains its own.  Among candidates with identical coverage only one
+    survives: the one with the larger derivation (more nodes -- "looking
+    at larger context", Section 5.3), then the earlier-derived, keeping
+    results deterministic.
+    """
+    candidates = candidate_roots(instances)
+    # Sort once: larger coverage first, then richer interpretation, then
+    # earlier derivation.
+    candidates.sort(
+        key=lambda inst: (-len(inst.coverage), -inst.size(), inst.uid)
+    )
+    kept: list[Instance] = []
+    for candidate in candidates:
+        subsumed = False
+        for winner in kept:
+            if candidate.coverage <= winner.coverage:
+                subsumed = True
+                break
+        if not subsumed:
+            kept.append(candidate)
+    # Present trees in reading order.
+    kept.sort(key=lambda inst: (inst.bbox.top, inst.bbox.left, inst.uid))
+    return kept
+
+
+def covered_tokens(roots: list[Instance]) -> frozenset[int]:
+    """Union of the token ids covered by *roots*."""
+    covered: set[int] = set()
+    for root in roots:
+        covered |= root.coverage
+    return frozenset(covered)

@@ -1,0 +1,322 @@
+"""The best-effort parsing algorithm ``2PParser`` (paper Figure 11).
+
+Phases:
+
+1. **Parse construction with just-in-time pruning.**  Symbols are
+   instantiated one by one in the 2P schedule order; each symbol runs a
+   fix-point over its productions (handling self-recursive rules such as
+   ``RBList -> RBList RBU``); at the end of each symbol's instantiation,
+   every preference involving that symbol is enforced, and each invalidated
+   instance is *rolled back* -- its live ancestors are invalidated too, so
+   a false instance's descendants (in the derivation sense: the parents it
+   helped build) never survive it.
+
+2. **Partial-tree maximization** (``PRHandler``): keep the maximum partial
+   trees under coverage subsumption.
+
+Visual-language parsing is NP-complete in general (paper Section 5.1); a
+configurable instance budget keeps pathological inputs from running away --
+when the budget trips, construction stops and the trees built so far are
+maximized, which is exactly the best-effort contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.grammar.grammar import TwoPGrammar
+from repro.grammar.instance import Instance
+from repro.grammar.preference import Preference
+from repro.grammar.production import Production
+from repro.parser.maximization import covered_tokens, maximal_roots
+from repro.parser.schedule import Schedule, build_schedule
+from repro.tokens.model import Token
+
+
+@dataclass
+class ParserConfig:
+    """Tunables for the parsing algorithm.
+
+    Attributes:
+        enable_preferences: When ``False``, the parser degenerates into the
+            brute-force exhaustive algorithm of Section 4.2.1 (the ablation
+            baseline) -- every interpretation is kept.
+        max_instances: Hard budget on created instances; exceeding it stops
+            construction (best-effort degradation, never an exception).
+        max_combos_per_instance: Bound on candidate combinations *examined*
+            per budgeted instance -- without it, a degenerate grammar can
+            spend unbounded time rejecting combinations without ever
+            reaching the instance budget.
+    """
+
+    enable_preferences: bool = True
+    max_instances: int = 200_000
+    max_combos_per_instance: int = 60
+
+    @property
+    def max_combos(self) -> int:
+        return self.max_instances * self.max_combos_per_instance
+
+
+@dataclass
+class ParseStats:
+    """Counters describing one parse (used by the ablation experiments)."""
+
+    tokens: int = 0
+    instances_created: int = 0
+    instances_pruned: int = 0
+    rollback_kills: int = 0
+    preference_applications: int = 0
+    fixpoint_rounds: int = 0
+    combos_examined: int = 0
+    truncated: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def instances_alive(self) -> int:
+        return self.instances_created - self.instances_pruned - self.rollback_kills
+
+
+@dataclass
+class ParseResult:
+    """Output of one parse: maximal partial trees plus bookkeeping."""
+
+    trees: list[Instance]
+    tokens: list[Token]
+    instances: list[Instance] = field(default_factory=list)
+    stats: ParseStats = field(default_factory=ParseStats)
+
+    @property
+    def covered(self) -> frozenset[int]:
+        """Token ids covered by the maximal trees."""
+        return covered_tokens(self.trees)
+
+    @property
+    def uncovered_tokens(self) -> list[Token]:
+        """Tokens no maximal tree interprets (the merger's "missing")."""
+        covered = self.covered
+        return [token for token in self.tokens if token.id not in covered]
+
+    @property
+    def is_complete(self) -> bool:
+        """True when a single tree covers every token."""
+        return len(self.trees) == 1 and len(self.covered) == len(self.tokens)
+
+    def complete_parses(self, start_symbol: str = "QI") -> list[Instance]:
+        """All start-symbol instances covering every token.
+
+        In exhaustive mode each is one alternative complete interpretation
+        (the paper counts 25 such parse trees for the Figure 5 fragment);
+        in best-effort mode at most the surviving ones remain.
+        """
+        everything = frozenset(token.id for token in self.tokens)
+        return [
+            instance
+            for instance in self.instances
+            if instance.symbol == start_symbol and instance.coverage == everything
+        ]
+
+    def temporary_instances(self) -> list[Instance]:
+        """Instances that ended up in no maximal tree (paper Section 4.2.1).
+
+        These are the "temporary instances" whose proliferation the
+        just-in-time pruning exists to control.
+        """
+        useful: set[int] = set()
+        for tree in self.trees:
+            for node in tree.descendants():
+                useful.add(node.uid)
+        return [
+            instance
+            for instance in self.instances
+            if instance.uid not in useful and not instance.is_terminal
+        ]
+
+
+class BestEffortParser:
+    """Parser for a 2P grammar over visual tokens."""
+
+    def __init__(self, grammar: TwoPGrammar, config: ParserConfig | None = None):
+        self.grammar = grammar
+        self.config = config or ParserConfig()
+        self.schedule: Schedule = build_schedule(grammar)
+
+    # -- public API -------------------------------------------------------------
+
+    def parse(self, tokens: list[Token]) -> ParseResult:
+        """Parse *tokens* into maximum partial trees (never raises on input)."""
+        started = time.perf_counter()
+        stats = ParseStats(tokens=len(tokens))
+        store: dict[str, list[Instance]] = {}
+        by_token: dict[int, list[Instance]] = {}
+        all_instances: list[Instance] = []
+
+        def register(instance: Instance) -> None:
+            store.setdefault(instance.symbol, []).append(instance)
+            all_instances.append(instance)
+            for token_id in instance.coverage:
+                by_token.setdefault(token_id, []).append(instance)
+
+        for token in tokens:
+            register(Instance.for_token(token))
+
+        budget_left = self.config.max_instances
+        for symbol in self.schedule.order:
+            created = self._instantiate(symbol, store, register, stats, budget_left)
+            budget_left -= created
+            if budget_left <= 0:
+                stats.truncated = True
+            if self.config.enable_preferences:
+                for preference in self.grammar.preferences_involving(symbol):
+                    self._enforce(preference, store, by_token, stats)
+            if stats.truncated:
+                break
+
+        trees = maximal_roots(all_instances)
+        stats.elapsed_seconds = time.perf_counter() - started
+        return ParseResult(
+            trees=trees, tokens=tokens, instances=all_instances, stats=stats
+        )
+
+    # -- phase 1: fix-point instantiation ------------------------------------------
+
+    def _instantiate(
+        self,
+        symbol: str,
+        store: dict[str, list[Instance]],
+        register,
+        stats: ParseStats,
+        budget_left: int,
+    ) -> int:
+        """Run ``instantiate(A)`` (paper Figure 11); return #created."""
+        productions = self.grammar.productions_for(symbol)
+        if not productions:
+            return 0
+        seen_keys: set[tuple[str, tuple[int, ...]]] = set()
+        created_total = 0
+        while True:
+            stats.fixpoint_rounds += 1
+            new_instances: list[Instance] = []
+            for production in productions:
+                remaining = budget_left - created_total - len(new_instances)
+                if remaining <= 0:
+                    stats.truncated = True
+                    break
+                new_instances.extend(
+                    self._apply(production, store, seen_keys, stats, remaining)
+                )
+            for instance in new_instances:
+                register(instance)
+            created_total += len(new_instances)
+            if not new_instances or stats.truncated:
+                return created_total
+
+    def _apply(
+        self,
+        production: Production,
+        store: dict[str, list[Instance]],
+        seen_keys: set[tuple[str, tuple[int, ...]]],
+        stats: ParseStats,
+        budget: int,
+    ) -> list[Instance]:
+        """Apply one production against the current live instances,
+        creating at most *budget* new instances."""
+        pools: list[list[Instance]] = []
+        for component in production.components:
+            pool = [inst for inst in store.get(component, []) if inst.alive]
+            if not pool:
+                return []
+            pools.append(pool)
+        created: list[Instance] = []
+        combo_budget = self.config.max_combos
+        for combo in itertools.product(*pools):
+            if len(created) >= budget or stats.combos_examined >= combo_budget:
+                stats.truncated = True
+                break
+            key = (production.name, tuple(inst.uid for inst in combo))
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            stats.combos_examined += 1
+            instance = production.try_apply(combo)
+            if instance is not None:
+                stats.instances_created += 1
+                created.append(instance)
+        return created
+
+    # -- just-in-time pruning ---------------------------------------------------------
+
+    def _enforce(
+        self,
+        preference: Preference,
+        store: dict[str, list[Instance]],
+        by_token: dict[int, list[Instance]],
+        stats: ParseStats,
+    ) -> None:
+        """Enforce one preference: invalidate losers, roll back ancestors."""
+        losers = [
+            inst for inst in store.get(preference.loser_symbol, []) if inst.alive
+        ]
+        for loser in losers:
+            if not loser.alive:
+                continue  # may have died from an earlier rollback this pass
+            winner = self._find_winner(preference, loser, by_token)
+            if winner is not None:
+                stats.preference_applications += 1
+                self._rollback(loser, stats)
+
+    @staticmethod
+    def _find_winner(
+        preference: Preference,
+        loser: Instance,
+        by_token: dict[int, list[Instance]],
+    ) -> Instance | None:
+        """A live winner-type instance that beats *loser*, if any."""
+        seen: set[int] = set()
+        for token_id in loser.coverage:
+            for candidate in by_token.get(token_id, ()):  # shares a token
+                if (
+                    candidate.alive
+                    and candidate.uid not in seen
+                    and candidate.symbol == preference.winner_symbol
+                ):
+                    seen.add(candidate.uid)
+                    if preference.applies(candidate, loser):
+                        return candidate
+        return None
+
+    def _rollback(self, instance: Instance, stats: ParseStats) -> None:
+        """Invalidate *instance* and every live ancestor built from it."""
+        stack = [instance]
+        first = True
+        while stack:
+            node = stack.pop()
+            if not node.alive or node.is_terminal:
+                continue
+            node.alive = False
+            if first:
+                stats.instances_pruned += 1
+                first = False
+            else:
+                stats.rollback_kills += 1
+            stack.extend(parent for parent in node.parents if parent.alive)
+
+
+class ExhaustiveParser(BestEffortParser):
+    """The brute-force baseline of Section 4.2.1.
+
+    Identical fix-point construction, but no preferences are ever enforced:
+    every interpretation survives to the end, where only partial-tree
+    maximization runs.  Used by the ablation benchmarks to reproduce the
+    "773 instances / 25 parse trees" blow-up the paper reports for the
+    amazon.com fragment.
+    """
+
+    def __init__(self, grammar: TwoPGrammar, config: ParserConfig | None = None):
+        base = config or ParserConfig()
+        super().__init__(
+            grammar,
+            ParserConfig(enable_preferences=False, max_instances=base.max_instances),
+        )

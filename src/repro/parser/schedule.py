@@ -1,0 +1,155 @@
+"""The 2P schedule graph (paper Section 5.2, Figures 12-13).
+
+Just-in-time pruning needs instances generated in an order where every
+preference's winner-type instances exist before the loser-type's, so that a
+false instance is pruned the moment it is generated, before it breeds more
+ambiguity.  The schedule graph encodes two requirements as "must run
+before" edges over the grammar's symbols:
+
+* **d-edges** (from productions): a head symbol runs after all of its
+  component symbols (children-parent order).  These are mandatory; cyclic
+  d-edges (other than self-recursion, which the per-symbol fix-point
+  handles) make the grammar unschedulable.
+* **r-edges** (from preferences): a winner symbol runs before the loser
+  symbol.  These are an optimization; when an r-edge would close a cycle,
+  it is *transformed* -- the winner is instead ordered before every parent
+  of the loser, which still prevents false instances from breeding -- and
+  if even the transformed edges close cycles, the r-edge is *relaxed*
+  (dropped) and rollback compensates for the late pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grammar.grammar import TwoPGrammar
+from repro.grammar.preference import Preference
+
+
+class ScheduleError(ValueError):
+    """Raised when the mandatory d-edges are cyclic."""
+
+
+@dataclass
+class Schedule:
+    """Result of scheduling a grammar.
+
+    Attributes:
+        order: Nonterminals in instantiation order.
+        transformed: Preferences whose r-edge was replaced by indirect
+            r-edges to the loser's parents.
+        relaxed: Preferences whose ordering could not be honoured at all;
+            their pruning relies on rollback.
+        edges: The final "runs before" adjacency used for the topological
+            sort (useful for tests and visualization).
+    """
+
+    order: list[str]
+    transformed: list[Preference] = field(default_factory=list)
+    relaxed: list[Preference] = field(default_factory=list)
+    edges: dict[str, set[str]] = field(default_factory=dict)
+
+    def position(self, symbol: str) -> int:
+        """Index of *symbol* in the instantiation order."""
+        return self.order.index(symbol)
+
+
+def _has_path(edges: dict[str, set[str]], source: str, target: str) -> bool:
+    """True when *target* is reachable from *source*."""
+    if source == target:
+        return True
+    seen = {source}
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        for successor in edges.get(node, ()):
+            if successor == target:
+                return True
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return False
+
+
+def _would_cycle(edges: dict[str, set[str]], source: str, target: str) -> bool:
+    """True when adding ``source -> target`` would create a cycle."""
+    return _has_path(edges, target, source)
+
+
+def build_schedule(grammar: TwoPGrammar) -> Schedule:
+    """Build the 2P schedule graph and a topological instantiation order."""
+    nodes: list[str] = []
+    seen_nodes: set[str] = set()
+    for production in grammar.productions:
+        if production.head not in seen_nodes:
+            seen_nodes.add(production.head)
+            nodes.append(production.head)
+
+    edges: dict[str, set[str]] = {node: set() for node in nodes}
+
+    # d-edges: component runs before head (self-recursion handled by the
+    # per-symbol fix-point, so self-edges are omitted).
+    for production in grammar.productions:
+        head = production.head
+        for component in production.components:
+            if component in seen_nodes and component != head:
+                if _would_cycle(edges, component, head):
+                    raise ScheduleError(
+                        f"d-edges are cyclic: adding {component} -> {head} "
+                        f"(production {production.name}) closes a cycle"
+                    )
+                edges[component].add(head)
+
+    transformed: list[Preference] = []
+    relaxed: list[Preference] = []
+
+    # r-edges, added greedily in declaration order (paper Section 5.2).
+    for preference in grammar.preferences:
+        winner = preference.winner_symbol
+        loser = preference.loser_symbol
+        if winner == loser:
+            continue  # self-cycles do not affect scheduling
+        if winner not in seen_nodes or loser not in seen_nodes:
+            relaxed.append(preference)
+            continue
+        if not _would_cycle(edges, winner, loser):
+            edges[winner].add(loser)
+            continue
+        # Transformation: order the winner before every parent of the loser
+        # instead; the loser's false instances then still cannot breed.
+        parent_heads = {
+            head
+            for head in grammar.component_heads(loser)
+            if head != winner and head != loser and head in seen_nodes
+        }
+        if parent_heads and all(
+            not _would_cycle(edges, winner, parent) for parent in parent_heads
+        ):
+            for parent in parent_heads:
+                edges[winner].add(parent)
+            transformed.append(preference)
+        else:
+            relaxed.append(preference)
+
+    order = _topological_order(nodes, edges)
+    return Schedule(order=order, transformed=transformed, relaxed=relaxed, edges=edges)
+
+
+def _topological_order(nodes: list[str], edges: dict[str, set[str]]) -> list[str]:
+    """Kahn's algorithm, stable with respect to declaration order."""
+    indegree: dict[str, int] = {node: 0 for node in nodes}
+    for source, targets in edges.items():
+        for target in targets:
+            indegree[target] += 1
+    ready = [node for node in nodes if indegree[node] == 0]
+    order: list[str] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for target in sorted(edges.get(node, ()), key=nodes.index):
+            indegree[target] -= 1
+            if indegree[target] == 0:
+                ready.append(target)
+    if len(order) != len(nodes):  # pragma: no cover - guarded by d-edge check
+        raise ScheduleError("schedule graph is cyclic after relaxation")
+    return order

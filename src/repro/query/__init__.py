@@ -1,0 +1,18 @@
+"""Query planning: pose user queries through extracted capabilities.
+
+A capability description earns its keep when a mediator can *use* it: take
+a user constraint like ``author exact-name "Tom Clancy"`` and translate it
+into the form parameters the source expects.  :class:`QueryPlanner` does
+exactly that against any :class:`~repro.semantics.condition.SemanticModel`
+-- ground truth or extracted -- which makes end-to-end correctness
+measurable (see ``benchmarks/bench_query_answerability.py``).
+"""
+
+from repro.query.planner import (
+    Constraint,
+    PlanError,
+    QueryPlan,
+    QueryPlanner,
+)
+
+__all__ = ["Constraint", "PlanError", "QueryPlan", "QueryPlanner"]

@@ -1,0 +1,194 @@
+"""Translating user constraints into form submissions.
+
+The planner resolves each :class:`Constraint` against a semantic model's
+conditions (by normalized attribute label), then uses the condition's
+*bindings* -- which fields to fill, which hidden values select which
+operator or enumerated choice, which fields play range-endpoint or
+date-part roles -- to emit a :class:`~repro.webdb.source.Submission`.
+
+Constraints that cannot be honoured are collected, not raised, unless
+``strict`` is requested: a mediator typically degrades a query rather than
+abandoning it (the same best-effort philosophy as the parser).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.semantics.condition import Condition, SemanticModel
+from repro.semantics.matching import normalize_attribute
+
+
+class PlanError(ValueError):
+    """Raised in strict mode when a constraint cannot be planned."""
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One user-level constraint.
+
+    Attributes:
+        attribute: The attribute to constrain (matched case-insensitively
+            against the model's condition labels).
+        value: The constraining value; its shape follows the condition's
+            domain -- a string for text and enum domains, a tuple of value
+            labels for multi-enum, ``(lo, hi)`` for ranges (either endpoint
+            may be ``None``), ``(month, day, year)`` for dates.
+        operator: Operator wording to select, when the condition offers a
+            choice; ``None`` keeps the source's default.
+    """
+
+    attribute: str
+    value: Any
+    operator: str | None = None
+
+    def __str__(self) -> str:
+        op = self.operator or "="
+        return f"{self.attribute} {op} {self.value!r}"
+
+
+@dataclass
+class QueryPlan:
+    """The outcome of planning a query against one source."""
+
+    params: dict[str, list[str]] = field(default_factory=dict)
+    planned: list[Constraint] = field(default_factory=list)
+    unplanned: list[tuple[Constraint, str]] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every constraint was translated."""
+        return not self.unplanned
+
+    def add(self, field_name: str, value: str) -> None:
+        self.params.setdefault(field_name, []).append(value)
+
+
+class QueryPlanner:
+    """Plans queries against one source's semantic model."""
+
+    def __init__(self, model: SemanticModel):
+        self.model = model
+        self._by_attribute: dict[str, Condition] = {}
+        for condition in model.conditions:
+            key = normalize_attribute(condition.attribute)
+            self._by_attribute.setdefault(key, condition)
+
+    # -- public API ----------------------------------------------------------------
+
+    def condition_for(self, attribute: str) -> Condition | None:
+        """The model's condition for *attribute*, if any."""
+        return self._by_attribute.get(normalize_attribute(attribute))
+
+    def plan(
+        self, constraints: list[Constraint], strict: bool = False
+    ) -> QueryPlan:
+        """Translate *constraints* into form parameters.
+
+        In strict mode the first untranslatable constraint raises
+        :class:`PlanError`; otherwise it is recorded in ``plan.unplanned``.
+        """
+        plan = QueryPlan()
+        for constraint in constraints:
+            reason = self._plan_one(constraint, plan)
+            if reason is None:
+                plan.planned.append(constraint)
+            else:
+                if strict:
+                    raise PlanError(f"{constraint}: {reason}")
+                plan.unplanned.append((constraint, reason))
+        return plan
+
+    # -- per-constraint translation ----------------------------------------------
+
+    def _plan_one(self, constraint: Constraint, plan: QueryPlan) -> str | None:
+        condition = self.condition_for(constraint.attribute)
+        if condition is None:
+            return "no condition for attribute"
+        kind = condition.domain.kind
+        if kind == "text":
+            return self._plan_text(constraint, condition, plan)
+        if kind == "enum":
+            return self._plan_enum(constraint, condition, plan)
+        if kind == "range":
+            return self._plan_range(constraint, condition, plan)
+        if kind == "datetime":
+            return self._plan_date(constraint, condition, plan)
+        return f"unsupported domain kind {kind!r}"  # pragma: no cover
+
+    @staticmethod
+    def _plan_text(
+        constraint: Constraint, condition: Condition, plan: QueryPlan
+    ) -> str | None:
+        if not condition.fields:
+            return "condition exposes no input field"
+        plan.add(condition.fields[0], str(constraint.value))
+        if constraint.operator is not None:
+            binding = condition.operator_binding(constraint.operator)
+            if binding is None:
+                return f"operator {constraint.operator!r} not supported"
+            mode_field, mode_value = binding
+            plan.add(mode_field, mode_value)
+        return None
+
+    @staticmethod
+    def _plan_enum(
+        constraint: Constraint, condition: Condition, plan: QueryPlan
+    ) -> str | None:
+        values = constraint.value
+        if isinstance(values, str):
+            values = (values,)
+        for label in values:
+            binding = None
+            wanted = normalize_attribute(str(label))
+            for value_label, bind_field, bind_value in condition.value_bindings:
+                if normalize_attribute(value_label) == wanted:
+                    binding = (bind_field, bind_value)
+                    break
+            if binding is None:
+                return f"value {label!r} not in the enumerated domain"
+            plan.add(*binding)
+        return None
+
+    @staticmethod
+    def _plan_range(
+        constraint: Constraint, condition: Condition, plan: QueryPlan
+    ) -> str | None:
+        try:
+            low, high = constraint.value
+        except (TypeError, ValueError):
+            return "range constraints need a (low, high) pair"
+        lo_field = condition.field_for_role("lo")
+        hi_field = condition.field_for_role("hi")
+        if low is not None:
+            if lo_field is None:
+                return "no low-endpoint field"
+            plan.add(lo_field, str(low))
+        if high is not None:
+            if hi_field is None:
+                return "no high-endpoint field"
+            plan.add(hi_field, str(high))
+        return None
+
+    @staticmethod
+    def _plan_date(
+        constraint: Constraint, condition: Condition, plan: QueryPlan
+    ) -> str | None:
+        try:
+            month, day, year = constraint.value
+        except (TypeError, ValueError):
+            return "date constraints need a (month, day, year) triple"
+        parts = {"month": month, "day": day, "year": year}
+        planned_any = False
+        for role, value in parts.items():
+            if value is None:
+                continue
+            field_name = condition.field_for_role(role)
+            if field_name is None:
+                continue  # the form may only expose month/day
+            plan.add(field_name, str(value))
+            planned_any = True
+        if not planned_any:
+            return "no date-part fields available"
+        return None

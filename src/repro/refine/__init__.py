@@ -1,0 +1,18 @@
+"""Post-extraction refinement (paper Section 7, first discussion item).
+
+The merger reports *conflicts* and *missing elements* for "further
+client-side handling"; the paper suggests resolving them with cross-source
+knowledge: "to resolve the conflict in a specific query interface, we can
+leverage the correctly parsed conditions from other query interfaces of
+the same domain", and "to handle missing elements, we find it promising to
+explore matching non-associated tokens by their textual similarity."
+
+This package implements both suggestions: :class:`DomainKnowledge`
+accumulates attribute statistics from many extractions of one domain, and
+:class:`DomainRefiner` uses it to arbitrate conflicting conditions and to
+label bare conditions from nearby unclaimed text.
+"""
+
+from repro.refine.resolver import DomainKnowledge, DomainRefiner, RefineStats
+
+__all__ = ["DomainKnowledge", "DomainRefiner", "RefineStats"]

@@ -1,0 +1,242 @@
+"""Cross-source conflict resolution and missing-element recovery.
+
+Two mechanisms, both driven by :class:`DomainKnowledge` -- attribute
+statistics harvested from (many) extractions over one domain:
+
+* **Conflict arbitration.**  When the merger reports that two conditions
+  compete for a token, keep the competitor whose attribute is *known* for
+  the domain (seen in other, conflict-free extractions); among several
+  known competitors keep the most popular; drop the rest.  When no
+  competitor is known, keep the one covering more tokens (deterministic
+  tie-break by extraction order).
+
+* **Missing-text recovery.**  An extracted condition with an empty
+  attribute label plus a nearby unclaimed text token whose content is
+  textually similar to a known domain attribute is almost certainly a
+  mis-grouped labelled condition: adopt the token's text as the
+  attribute.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from difflib import SequenceMatcher
+
+from repro.extractor import ExtractionResult
+from repro.semantics.condition import Condition, SemanticModel
+from repro.semantics.matching import normalize_attribute
+
+
+@dataclass
+class DomainKnowledge:
+    """Attribute statistics for one domain, harvested from extractions."""
+
+    attribute_counts: Counter = field(default_factory=Counter)
+    sources_seen: int = 0
+
+    # -- building -----------------------------------------------------------
+
+    def observe_model(self, model: SemanticModel) -> None:
+        """Add one source's extraction to the statistics.
+
+        Only conflict-free extractions teach attribute names: a conflicted
+        source is exactly the kind of evidence we must not learn from.
+        """
+        self.sources_seen += 1
+        if model.conflicts:
+            return
+        for condition in model.conditions:
+            key = normalize_attribute(condition.attribute)
+            if key:
+                self.attribute_counts[key] += 1
+
+    @classmethod
+    def from_models(cls, models: list[SemanticModel]) -> "DomainKnowledge":
+        knowledge = cls()
+        for model in models:
+            knowledge.observe_model(model)
+        return knowledge
+
+    # -- queries ------------------------------------------------------------
+
+    def popularity(self, attribute: str) -> int:
+        return self.attribute_counts.get(normalize_attribute(attribute), 0)
+
+    def is_known(self, attribute: str, min_support: int = 1) -> bool:
+        return self.popularity(attribute) >= min_support
+
+    def best_match(
+        self, text: str, min_similarity: float = 0.75
+    ) -> str | None:
+        """The known attribute most similar to *text*, if similar enough."""
+        candidate = normalize_attribute(text)
+        if not candidate:
+            return None
+        best_name = None
+        best_score = min_similarity
+        for known in self.attribute_counts:
+            score = SequenceMatcher(None, candidate, known).ratio()
+            if score > best_score or (
+                score == best_score and best_name is None
+            ):
+                best_score = score
+                best_name = known
+        return best_name
+
+
+@dataclass
+class RefineStats:
+    """What a refinement pass changed."""
+
+    conflicts_resolved: int = 0
+    conditions_dropped: int = 0
+    attributes_recovered: int = 0
+
+
+class DomainRefiner:
+    """Applies domain knowledge to one extraction result."""
+
+    def __init__(self, knowledge: DomainKnowledge, min_support: int = 2):
+        self.knowledge = knowledge
+        self.min_support = min_support
+
+    # -- public API ------------------------------------------------------------
+
+    def refine(self, result: ExtractionResult) -> tuple[SemanticModel, RefineStats]:
+        """Return a refined copy of the result's semantic model."""
+        stats = RefineStats()
+        conditions = self._resolve_conflicts(result, stats)
+        conditions = self._recover_missing(result, conditions, stats)
+        refined = SemanticModel(
+            conditions=conditions,
+            conflicts=[] if stats.conflicts_resolved else list(
+                result.model.conflicts
+            ),
+            missing=list(result.model.missing),
+        )
+        return refined, stats
+
+    # -- conflict arbitration -----------------------------------------------------
+
+    def _resolve_conflicts(
+        self, result: ExtractionResult, stats: RefineStats
+    ) -> list[Condition]:
+        conditions = list(result.model.conditions)
+        if not result.report.conflict_tokens:
+            return conditions
+
+        # Group the extracted entries competing for each conflict token.
+        entries = result.report.extracted
+        losers: set[int] = set()
+        for token in result.report.conflict_tokens:
+            competitors = [
+                entry for entry in entries
+                if token.id in entry.coverage and entry.node_uid not in losers
+            ]
+            if len(competitors) < 2:
+                continue
+            winner = self._arbitrate(competitors)
+            stats.conflicts_resolved += 1
+            for entry in competitors:
+                if entry is not winner:
+                    losers.add(entry.node_uid)
+
+        if not losers:
+            return conditions
+        dropped_conditions = {
+            entry.condition
+            for entry in entries
+            if entry.node_uid in losers
+        }
+        kept_conditions = {
+            entry.condition
+            for entry in entries
+            if entry.node_uid not in losers
+        }
+        refined = []
+        for condition in conditions:
+            if condition in dropped_conditions and condition not in kept_conditions:
+                stats.conditions_dropped += 1
+                continue
+            refined.append(condition)
+        return refined
+
+    def _arbitrate(self, competitors):
+        """Pick the winning entry among conflicting extractions."""
+        def known_rank(entry) -> tuple:
+            popularity = self.knowledge.popularity(entry.condition.attribute)
+            known = popularity >= self.min_support
+            return (known, popularity, len(entry.coverage), -entry.node_uid)
+
+        return max(competitors, key=known_rank)
+
+    # -- missing-text recovery ------------------------------------------------------
+
+    def _recover_missing(
+        self,
+        result: ExtractionResult,
+        conditions: list[Condition],
+        stats: RefineStats,
+    ) -> list[Condition]:
+        missing_texts = [
+            token for token in result.report.missing_tokens
+            if token.terminal == "text"
+        ]
+        # Texts the parse shrugged off as noise are candidates too: a
+        # detached label is usually *covered* (as a Note) yet unclaimed.
+        missing_texts.extend(result.report.unclaimed_text_tokens)
+        if not missing_texts:
+            return conditions
+
+        coverage_by_condition = {
+            entry.condition: entry.coverage
+            for entry in result.report.extracted
+        }
+        tokens_by_id = {token.id: token for token in result.tokens}
+        refined = []
+        for condition in conditions:
+            if condition.attribute.strip():
+                refined.append(condition)
+                continue
+            adopted = self._adopt_label(
+                condition, coverage_by_condition, tokens_by_id, missing_texts
+            )
+            if adopted is not None:
+                stats.attributes_recovered += 1
+                refined.append(adopted)
+            else:
+                refined.append(condition)
+        return refined
+
+    def _adopt_label(
+        self, condition, coverage_by_condition, tokens_by_id, missing_texts
+    ) -> Condition | None:
+        coverage = coverage_by_condition.get(condition)
+        if not coverage:
+            return None
+        own_tokens = [
+            tokens_by_id[token_id]
+            for token_id in coverage
+            if token_id in tokens_by_id
+        ]
+        if not own_tokens:
+            return None
+        box = own_tokens[0].bbox
+        for token in own_tokens[1:]:
+            box = box.union(token.bbox)
+        best = None
+        best_gap = 60.0  # a label floats at most a couple of lines away
+        for token in missing_texts:
+            known = self.knowledge.best_match(token.sval)
+            if known is None:
+                continue
+            gap = box.gap(token.bbox)
+            if gap < best_gap:
+                best_gap = gap
+                best = token
+        if best is None:
+            return None
+        from repro.grammar.text_heuristics import clean_label
+
+        return replace(condition, attribute=clean_label(best.sval))

@@ -1,0 +1,20 @@
+"""Semantic model of a query interface.
+
+A query interface's semantics is the set of query *conditions* it supports;
+each condition is the three-tuple ``[attribute; operators; domain]`` of
+paper Section 1 (e.g. ``[author; {"first name...", "start...", "exact
+name"}; text]``).  This package defines the condition model and the
+matching logic the evaluation harness uses to compare extracted conditions
+against ground truth.
+"""
+
+from repro.semantics.condition import Condition, Domain, SemanticModel
+from repro.semantics.matching import ConditionMatcher, normalize_attribute
+
+__all__ = [
+    "Condition",
+    "ConditionMatcher",
+    "Domain",
+    "SemanticModel",
+    "normalize_attribute",
+]

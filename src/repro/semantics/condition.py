@@ -1,0 +1,140 @@
+"""Conditions, domains, and semantic models.
+
+The output of the form extractor (and the ground truth of the synthetic
+datasets) is a :class:`SemanticModel`: a set of :class:`Condition` values,
+each the paper's ``[attribute; operators; domain]`` three-tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Domain:
+    """The set of values a condition accepts.
+
+    ``kind`` is one of:
+
+    * ``"text"``  -- free-form text (a textbox/textarea);
+    * ``"enum"``  -- a finite list of values (select options, radio groups,
+      checkbox groups), carried in ``values``;
+    * ``"range"`` -- a pair of endpoints (two inputs or two selects), whose
+      allowed endpoint values (if enumerated) are carried in ``values``;
+    * ``"datetime"`` -- a composite date or time (month/day/year selects).
+    """
+
+    kind: str
+    values: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("text", "enum", "range", "datetime"):
+            raise ValueError(f"unknown domain kind: {self.kind!r}")
+
+    def __str__(self) -> str:
+        if self.kind == "enum":
+            preview = ", ".join(self.values[:4])
+            if len(self.values) > 4:
+                preview += ", ..."
+            return "{" + preview + "}"
+        return self.kind
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One query condition ``[attribute; operators; domain]``.
+
+    Attributes:
+        attribute: The queried attribute label, as presented on the form
+            (e.g. ``"Author"``).
+        operators: The operator/modifier choices the form offers.  A plain
+            keyword box exposes the single implicit ``"contains"`` operator.
+        domain: Allowed input values.
+        fields: HTML control names involved, in visual order -- the handle a
+            downstream form-filling client needs to actually pose a query.
+        operator_bindings: ``(operator label, field, submit value)`` triples:
+            how to *select* each operator when posing a query (e.g. check
+            the radio named ``author_mode`` with value ``ex`` for the
+            "exact name" operator).  Empty when the sole operator is
+            implicit.
+        value_bindings: ``(value label, field, submit value)`` triples for
+            enumerated domains: how to submit each allowed value.
+        field_roles: ``(field, role)`` pairs for composite conditions:
+            ``lo``/``hi`` endpoints of a range, ``month``/``day``/``year``
+            parts of a date.
+
+    The binding attributes make the extracted model *actionable* -- a
+    mediator can translate a user query into an HTTP submission -- while
+    the evaluation matcher deliberately ignores them (they are reachable
+    only through correct parsing anyway).
+    """
+
+    attribute: str
+    operators: tuple[str, ...] = ("contains",)
+    domain: Domain = Domain("text")
+    fields: tuple[str, ...] = ()
+    operator_bindings: tuple[tuple[str, str, str], ...] = ()
+    value_bindings: tuple[tuple[str, str, str], ...] = ()
+    field_roles: tuple[tuple[str, str], ...] = ()
+
+    def __str__(self) -> str:
+        ops = ", ".join(self.operators)
+        return f"[{self.attribute}; {{{ops}}}; {self.domain}]"
+
+    # -- binding lookups ----------------------------------------------------
+
+    def operator_binding(self, operator: str) -> tuple[str, str] | None:
+        """The ``(field, value)`` submission that selects *operator*."""
+        for label, field, value in self.operator_bindings:
+            if label == operator:
+                return (field, value)
+        return None
+
+    def value_binding(self, label: str) -> tuple[str, str] | None:
+        """The ``(field, value)`` submission for enumerated value *label*."""
+        for value_label, field, value in self.value_bindings:
+            if value_label == label:
+                return (field, value)
+        return None
+
+    def field_for_role(self, role: str) -> str | None:
+        """The field playing *role* (``lo``, ``hi``, ``month``, ...)."""
+        for field, field_role in self.field_roles:
+            if field_role == role:
+                return field
+        return None
+
+
+@dataclass
+class SemanticModel:
+    """The extracted (or ground-truth) capability description of one form.
+
+    Besides the conditions themselves, the model carries the extraction
+    error report of the merger (paper Section 3.4): tokens claimed by more
+    than one condition (*conflicts*) and tokens covered by no parse tree
+    (*missing elements*).
+    """
+
+    conditions: list[Condition] = field(default_factory=list)
+    conflicts: list[str] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Condition]:
+        return iter(self.conditions)
+
+    def __len__(self) -> int:
+        return len(self.conditions)
+
+    def attributes(self) -> list[str]:
+        """Attribute labels of all conditions, in order."""
+        return [condition.attribute for condition in self.conditions]
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [str(condition) for condition in self.conditions]
+        if self.conflicts:
+            lines.append(f"! conflicts: {', '.join(self.conflicts)}")
+        if self.missing:
+            lines.append(f"! missing: {', '.join(self.missing)}")
+        return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Condition matching for evaluation.
+
+The paper measures precision and recall by comparing the extracted condition
+set against a manually built semantic model.  Matching must tolerate
+presentation noise (``"Author:"`` vs ``"author"``) while still catching real
+extraction mistakes (wrong grouping, wrong domain, stolen operators), so the
+matcher normalizes labels and compares the three tuple positions
+structurally.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.semantics.condition import Condition
+
+_PUNCT_RE = re.compile(r"[^0-9a-z$ ]+")
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize_attribute(label: str) -> str:
+    """Normalize an attribute label for comparison.
+
+    Lower-cases, strips punctuation (trailing ``:``, parenthesised hints),
+    and collapses whitespace: ``"  Author: "`` → ``"author"``.
+    """
+    text = label.lower()
+    text = re.sub(r"\([^)]*\)", " ", text)
+    text = _PUNCT_RE.sub(" ", text)
+    return _WS_RE.sub(" ", text).strip()
+
+
+def _normalize_values(values: tuple[str, ...]) -> frozenset[str]:
+    return frozenset(normalize_attribute(value) for value in values if value.strip())
+
+
+@dataclass(frozen=True)
+class ConditionMatcher:
+    """Decides whether an extracted condition matches a ground-truth one.
+
+    Attributes:
+        require_operators: Compare the operator sets (normalized).
+        require_domain_kind: Compare ``domain.kind``.
+        require_domain_values: Compare enumerated domain values as sets.
+    """
+
+    require_operators: bool = True
+    require_domain_kind: bool = True
+    require_domain_values: bool = True
+
+    def matches(self, extracted: Condition, truth: Condition) -> bool:
+        """True when *extracted* correctly reproduces *truth*."""
+        if normalize_attribute(extracted.attribute) != normalize_attribute(
+            truth.attribute
+        ):
+            return False
+        if self.require_domain_kind and extracted.domain.kind != truth.domain.kind:
+            return False
+        if self.require_domain_values and _normalize_values(
+            extracted.domain.values
+        ) != _normalize_values(truth.domain.values):
+            return False
+        if self.require_operators and _normalize_values(
+            extracted.operators
+        ) != _normalize_values(truth.operators):
+            return False
+        return True
+
+    def match_sets(
+        self, extracted: list[Condition], truth: list[Condition]
+    ) -> list[tuple[Condition, Condition]]:
+        """Greedy one-to-one matching between the two condition lists.
+
+        Each ground-truth condition matches at most one extracted condition
+        and vice versa, so duplicated extractions cost precision rather than
+        being double-counted.
+        """
+        pairs: list[tuple[Condition, Condition]] = []
+        remaining = list(truth)
+        for candidate in extracted:
+            for index, target in enumerate(remaining):
+                if self.matches(candidate, target):
+                    pairs.append((candidate, target))
+                    del remaining[index]
+                    break
+        return pairs
+
+
+#: Matcher used by the headline experiments.
+DEFAULT_MATCHER = ConditionMatcher()

@@ -1,0 +1,100 @@
+"""JSON (de)serialization of semantic models.
+
+Source descriptions are the artifact mediators store and ship (the paper's
+Section 1: mediation "generally relies on such source descriptions").
+These functions give :class:`Condition` and :class:`SemanticModel` a
+stable, versioned JSON representation with a lossless round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.semantics.condition import Condition, Domain, SemanticModel
+
+#: Format version stamped into every document.
+FORMAT_VERSION = 1
+
+
+def condition_to_dict(condition: Condition) -> dict[str, Any]:
+    """Plain-data representation of one condition."""
+    data: dict[str, Any] = {
+        "attribute": condition.attribute,
+        "operators": list(condition.operators),
+        "domain": {
+            "kind": condition.domain.kind,
+            "values": list(condition.domain.values),
+        },
+        "fields": list(condition.fields),
+    }
+    if condition.operator_bindings:
+        data["operator_bindings"] = [
+            list(binding) for binding in condition.operator_bindings
+        ]
+    if condition.value_bindings:
+        data["value_bindings"] = [
+            list(binding) for binding in condition.value_bindings
+        ]
+    if condition.field_roles:
+        data["field_roles"] = [list(pair) for pair in condition.field_roles]
+    return data
+
+
+def condition_from_dict(data: dict[str, Any]) -> Condition:
+    """Rebuild a condition from :func:`condition_to_dict` output."""
+    domain_data = data.get("domain", {})
+    return Condition(
+        attribute=str(data.get("attribute", "")),
+        operators=tuple(data.get("operators", ("contains",))),
+        domain=Domain(
+            kind=str(domain_data.get("kind", "text")),
+            values=tuple(domain_data.get("values", ())),
+        ),
+        fields=tuple(data.get("fields", ())),
+        operator_bindings=tuple(
+            tuple(binding) for binding in data.get("operator_bindings", ())
+        ),
+        value_bindings=tuple(
+            tuple(binding) for binding in data.get("value_bindings", ())
+        ),
+        field_roles=tuple(
+            tuple(pair) for pair in data.get("field_roles", ())
+        ),
+    )
+
+
+def model_to_dict(model: SemanticModel) -> dict[str, Any]:
+    """Plain-data representation of a semantic model."""
+    return {
+        "format": FORMAT_VERSION,
+        "conditions": [
+            condition_to_dict(condition) for condition in model.conditions
+        ],
+        "conflicts": list(model.conflicts),
+        "missing": list(model.missing),
+    }
+
+
+def model_from_dict(data: dict[str, Any]) -> SemanticModel:
+    """Rebuild a semantic model from :func:`model_to_dict` output."""
+    version = data.get("format", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {version!r}")
+    return SemanticModel(
+        conditions=[
+            condition_from_dict(entry) for entry in data.get("conditions", ())
+        ],
+        conflicts=list(data.get("conflicts", ())),
+        missing=list(data.get("missing", ())),
+    )
+
+
+def model_to_json(model: SemanticModel, indent: int | None = 2) -> str:
+    """Serialize *model* to a JSON string."""
+    return json.dumps(model_to_dict(model), indent=indent, ensure_ascii=False)
+
+
+def model_from_json(text: str) -> SemanticModel:
+    """Parse a model serialized by :func:`model_to_json`."""
+    return model_from_dict(json.loads(text))

@@ -1,0 +1,40 @@
+"""Spatial relations between visual tokens.
+
+The 2P grammar's productions constrain components with two-dimensional
+topology -- ``left``, ``above``, ``below``, alignment -- with adjacency
+implied in every relation (paper Section 4.1).  This package defines those
+predicates over :class:`~repro.layout.box.BBox` values, parameterized by a
+:class:`SpatialConfig` of adjacency thresholds.
+"""
+
+from repro.spatial.relations import (
+    DEFAULT_SPATIAL,
+    SpatialConfig,
+    above,
+    below,
+    bottom_aligned,
+    horizontally_adjacent,
+    left_aligned,
+    left_of,
+    right_of,
+    same_column,
+    same_row,
+    top_aligned,
+    vertically_adjacent,
+)
+
+__all__ = [
+    "DEFAULT_SPATIAL",
+    "SpatialConfig",
+    "above",
+    "below",
+    "bottom_aligned",
+    "horizontally_adjacent",
+    "left_aligned",
+    "left_of",
+    "right_of",
+    "same_column",
+    "same_row",
+    "top_aligned",
+    "vertically_adjacent",
+]

@@ -1,0 +1,129 @@
+"""Topological predicates used by grammar constraints.
+
+All relations imply *adjacency* (paper Section 4.1: "adjacency is implied in
+all spatial relations and thus omitted in the constraint names").  A label
+40 px left of its text box is "left" of it; a label in a different column
+300 px away is not.  The thresholds live in :class:`SpatialConfig` so tests
+and alternative grammars can tighten or relax them.
+
+Conventions: x grows rightward, y grows downward, boxes are
+``(left, right, top, bottom)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.layout.box import BBox
+
+
+@dataclass(frozen=True)
+class SpatialConfig:
+    """Adjacency and alignment tolerances, in pixels.
+
+    Attributes:
+        max_horizontal_gap: Largest x-separation for ``left``/``right``.
+            Forms align labels and fields in table columns, so the gap can
+            be substantially wider than one space.
+        max_vertical_gap: Largest y-separation for ``above``/``below``.
+        alignment_tolerance: Slack when comparing edges for alignment.
+        min_row_overlap: Fraction of the shorter box's height that must be
+            shared for two boxes to sit on the same text row.
+        min_column_overlap: Same, horizontally, for column relations.
+    """
+
+    max_horizontal_gap: float = 170.0
+    max_vertical_gap: float = 28.0
+    alignment_tolerance: float = 6.0
+    min_row_overlap: float = 0.5
+    min_column_overlap: float = 0.3
+
+
+#: Shared default configuration.
+DEFAULT_SPATIAL = SpatialConfig()
+
+
+def same_row(a: BBox, b: BBox, config: SpatialConfig = DEFAULT_SPATIAL) -> bool:
+    """True when the boxes share a horizontal band (one visual row)."""
+    shorter = min(a.height, b.height)
+    if shorter <= 0:
+        return a.vertical_overlap(b) > 0 or a.vertical_gap(b) == 0
+    return a.vertical_overlap(b) >= config.min_row_overlap * shorter
+
+
+def same_column(a: BBox, b: BBox, config: SpatialConfig = DEFAULT_SPATIAL) -> bool:
+    """True when the boxes share a vertical band (one visual column)."""
+    narrower = min(a.width, b.width)
+    if narrower <= 0:
+        return a.horizontal_overlap(b) > 0 or a.horizontal_gap(b) == 0
+    return a.horizontal_overlap(b) >= config.min_column_overlap * narrower
+
+
+def left_of(a: BBox, b: BBox, config: SpatialConfig = DEFAULT_SPATIAL) -> bool:
+    """True when *a* sits immediately to the left of *b* on the same row.
+
+    The alignment tolerance permits a slight overlap, so a strict center
+    ordering keeps the relation antisymmetric even for boxes narrower than
+    the tolerance.
+    """
+    if a.center_x >= b.center_x:
+        return False
+    if a.right > b.left + config.alignment_tolerance:
+        return False
+    if b.left - a.right > config.max_horizontal_gap:
+        return False
+    return same_row(a, b, config)
+
+
+def right_of(a: BBox, b: BBox, config: SpatialConfig = DEFAULT_SPATIAL) -> bool:
+    """True when *a* sits immediately to the right of *b* on the same row."""
+    return left_of(b, a, config)
+
+
+def above(a: BBox, b: BBox, config: SpatialConfig = DEFAULT_SPATIAL) -> bool:
+    """True when *a* sits immediately above *b* in the same column.
+
+    Strict center ordering keeps the relation antisymmetric (see
+    :func:`left_of`).
+    """
+    if a.center_y >= b.center_y:
+        return False
+    if a.bottom > b.top + config.alignment_tolerance:
+        return False
+    if b.top - a.bottom > config.max_vertical_gap:
+        return False
+    return same_column(a, b, config)
+
+
+def below(a: BBox, b: BBox, config: SpatialConfig = DEFAULT_SPATIAL) -> bool:
+    """True when *a* sits immediately below *b* in the same column."""
+    return above(b, a, config)
+
+
+def left_aligned(a: BBox, b: BBox, config: SpatialConfig = DEFAULT_SPATIAL) -> bool:
+    """True when the boxes share their left edge (within tolerance)."""
+    return abs(a.left - b.left) <= config.alignment_tolerance
+
+
+def top_aligned(a: BBox, b: BBox, config: SpatialConfig = DEFAULT_SPATIAL) -> bool:
+    """True when the boxes share their top edge (within tolerance)."""
+    return abs(a.top - b.top) <= config.alignment_tolerance
+
+
+def bottom_aligned(a: BBox, b: BBox, config: SpatialConfig = DEFAULT_SPATIAL) -> bool:
+    """True when the boxes share their bottom edge (within tolerance)."""
+    return abs(a.bottom - b.bottom) <= config.alignment_tolerance
+
+
+def horizontally_adjacent(
+    a: BBox, b: BBox, config: SpatialConfig = DEFAULT_SPATIAL
+) -> bool:
+    """True when the boxes are close along x, in either order."""
+    return left_of(a, b, config) or left_of(b, a, config)
+
+
+def vertically_adjacent(
+    a: BBox, b: BBox, config: SpatialConfig = DEFAULT_SPATIAL
+) -> bool:
+    """True when the boxes are close along y, in either order."""
+    return above(a, b, config) or above(b, a, config)

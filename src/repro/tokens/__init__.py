@@ -1,0 +1,20 @@
+"""Form tokenizer: rendered DOM → visual tokens (grammar terminals).
+
+The tokenizer is the front end of the form extractor (paper Figure 2 / 5):
+it converts an HTML query form into a set of tokens, each an instance of a
+grammar terminal with a universal ``pos`` bounding-box attribute plus
+terminal-specific attributes (``sval`` for text, ``name``/``options`` for
+controls, ...).
+"""
+
+from repro.tokens.model import TERMINALS, SelectOption, Token
+from repro.tokens.tokenizer import FormTokenizer, tokenize_form, tokenize_html
+
+__all__ = [
+    "FormTokenizer",
+    "SelectOption",
+    "TERMINALS",
+    "Token",
+    "tokenize_form",
+    "tokenize_html",
+]

@@ -1,0 +1,117 @@
+"""Token model: terminal instances with bounding boxes and attributes.
+
+Tokens are the atomic units of the visual grammatical composition (paper
+Section 3.4).  Each token has a *terminal type* drawn from :data:`TERMINALS`
+(the alphabet Σ of the 2P grammar), the universal ``pos`` bounding box, and
+terminal-specific attributes: a text token carries its string value
+``sval``; a select list its option strings; a radio button its group name,
+value, and label-ready position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.layout.box import BBox
+
+#: The 16 terminal types of the derived global grammar (paper Section 6
+#: reports "82 productions with 39 nonterminals and 16 terminals").
+TERMINALS: frozenset[str] = frozenset(
+    {
+        "text",          # a visually contiguous run of page text
+        "textbox",       # <input type=text>
+        "password",      # <input type=password>
+        "textarea",      # <textarea>
+        "selectlist",    # <select> rendered as a drop-down
+        "listbox",       # <select size=n> rendered as a scrolling list
+        "radiobutton",   # <input type=radio>
+        "checkbox",      # <input type=checkbox>
+        "submitbutton",  # <input type=submit>
+        "resetbutton",   # <input type=reset>
+        "pushbutton",    # <input type=button> / <button>
+        "imagebutton",   # <input type=image>
+        "filebox",       # <input type=file>
+        "image",         # <img>
+        "hiddenfield",   # <input type=hidden> (kept for capability output)
+        "hrule",         # <hr> separators, useful as layout fences
+    }
+)
+
+#: Terminals that accept user input and can anchor a query condition.
+INPUT_TERMINALS: frozenset[str] = frozenset(
+    {
+        "textbox", "password", "textarea", "selectlist", "listbox",
+        "radiobutton", "checkbox", "filebox",
+    }
+)
+
+#: Terminals that act as form plumbing rather than condition content.
+DECORATION_TERMINALS: frozenset[str] = frozenset(
+    {"submitbutton", "resetbutton", "pushbutton", "imagebutton", "image", "hrule"}
+)
+
+
+@dataclass(frozen=True)
+class SelectOption:
+    """One ``<option>`` of a select control."""
+
+    label: str
+    value: str
+    selected: bool = False
+
+
+@dataclass(frozen=True)
+class Token:
+    """An atomic visual element of a query form.
+
+    Attributes:
+        id: Dense per-form serial; parse-tree coverage is a set of these.
+        terminal: One of :data:`TERMINALS`.
+        bbox: Rendered bounding box (the paper's universal ``pos``).
+        attrs: Terminal-specific attributes (``sval``, ``name``, ``value``,
+            ``options``, ``checked``, ``bold``...).
+    """
+
+    id: int
+    terminal: str
+    bbox: BBox
+    attrs: dict[str, Any] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.terminal not in TERMINALS:
+            raise ValueError(f"unknown terminal type: {self.terminal!r}")
+
+    # -- convenience accessors ------------------------------------------------
+
+    @property
+    def sval(self) -> str:
+        """String value of a text token (empty for non-text tokens)."""
+        return str(self.attrs.get("sval", ""))
+
+    @property
+    def name(self) -> str | None:
+        """The HTML ``name`` attribute of a control token."""
+        value = self.attrs.get("name")
+        return None if value is None else str(value)
+
+    @property
+    def options(self) -> tuple[SelectOption, ...]:
+        """Options of a select token (empty tuple otherwise)."""
+        return tuple(self.attrs.get("options", ()))
+
+    @property
+    def is_input(self) -> bool:
+        return self.terminal in INPUT_TERMINALS
+
+    @property
+    def is_decoration(self) -> bool:
+        return self.terminal in DECORATION_TERMINALS
+
+    def __repr__(self) -> str:
+        detail = ""
+        if self.terminal == "text":
+            detail = f" sval={self.sval!r}"
+        elif self.name:
+            detail = f" name={self.name!r}"
+        return f"<Token #{self.id} {self.terminal}{detail} pos={self.bbox.as_tuple()}>"

@@ -1,0 +1,26 @@
+"""Simulated deep-Web sources: databases behind query forms.
+
+The paper's motivation is large-scale integration of Web *databases*: the
+form is only the entrance, and a capability description is useful exactly
+insofar as it lets a mediator pose queries.  This package closes that loop
+offline: a :class:`SimulatedSource` owns a synthetic record database,
+serves the generated query-form HTML, and answers submitted form
+parameters by evaluating the form's query semantics over its records --
+a stand-in for the live deep-Web sources behind TEL-8.
+
+Together with :mod:`repro.query`, this enables the end-to-end experiment
+the paper implies but could not run offline: extract a source's
+capabilities from its HTML alone, translate a user query through the
+extracted model, submit, and check that the right records come back.
+"""
+
+from repro.webdb.records import Record, generate_records
+from repro.webdb.source import ResultPage, SimulatedSource, Submission
+
+__all__ = [
+    "Record",
+    "ResultPage",
+    "SimulatedSource",
+    "Submission",
+    "generate_records",
+]

@@ -1,0 +1,93 @@
+"""Synthetic record databases for the simulated deep-Web sources.
+
+Each record maps attribute labels (the domain vocabulary's labels) to
+values whose types follow the attribute kind: free text for ``text``
+attributes, one of the enumerated values for ``enum``, a number for
+``range``, a ``(month, day, year)`` triple for ``date``, and a boolean
+for ``flag``.  Generation is seed-deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.datasets.domains import AttributeSpec, DomainSpec
+
+#: A database row: attribute label → value.
+Record = dict[str, Any]
+
+_FIRST_NAMES = (
+    "Alice", "Carlos", "Diana", "Erik", "Fatima", "George", "Hana",
+    "Igor", "Julia", "Kwame", "Laura", "Miguel", "Nadia", "Oscar",
+    "Priya", "Quinn", "Rosa", "Tom", "Uma", "Victor", "Wen", "Yuki",
+)
+_LAST_NAMES = (
+    "Anders", "Baker", "Chen", "Diaz", "Evans", "Fischer", "Garcia",
+    "Huang", "Ivanov", "Jones", "Kim", "Lopez", "Meyer", "Novak",
+    "Okafor", "Park", "Quist", "Rossi", "Silva", "Tanaka", "Weber",
+    "Clancy",
+)
+_NOUNS = (
+    "river", "garden", "night", "city", "mountain", "summer", "shadow",
+    "harbor", "winter", "island", "forest", "road", "storm", "light",
+    "dream", "stone", "valley", "ocean", "journey", "secret",
+)
+_MONTHS = ("January", "February", "March", "April", "May", "June", "July",
+           "August", "September", "October", "November", "December")
+
+
+def _text_value(spec: AttributeSpec, rng: random.Random) -> str:
+    """A plausible free-text value for *spec* (name-ish or title-ish)."""
+    label = spec.label.lower()
+    if any(word in label for word in ("author", "artist", "director",
+                                      "actor", "name", "company")):
+        return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+    if any(word in label for word in ("city", "from", "to", "location",
+                                      "pick-up", "drop-off")):
+        return rng.choice(
+            ("Chicago", "Boston", "Denver", "Seattle", "Austin", "Miami",
+             "Portland", "Phoenix")
+        )
+    if "zip" in label:
+        return f"{rng.randint(10000, 99999)}"
+    if "isbn" in label:
+        return "".join(str(rng.randint(0, 9)) for _ in range(10))
+    words = rng.sample(_NOUNS, k=rng.randint(2, 4))
+    return " ".join(words).capitalize()
+
+
+def _value_for(spec: AttributeSpec, rng: random.Random) -> Any:
+    if spec.kind == "text":
+        return _text_value(spec, rng)
+    if spec.kind == "enum":
+        return rng.choice(spec.values) if spec.values else ""
+    if spec.kind == "range":
+        low, high = spec.numeric_range
+        if high <= low:
+            high = low + 1
+        value = rng.uniform(low, high)
+        return round(value, 2)
+    if spec.kind == "date":
+        return (
+            rng.choice(_MONTHS),
+            rng.randint(1, 28),
+            rng.randint(2004, 2006),
+        )
+    if spec.kind == "flag":
+        return rng.random() < 0.5
+    raise ValueError(f"unknown kind {spec.kind!r}")  # pragma: no cover
+
+
+def generate_records(
+    domain: DomainSpec, count: int, seed: int
+) -> list[Record]:
+    """Generate *count* records for *domain*, deterministically."""
+    rng = random.Random(seed)
+    records: list[Record] = []
+    for _ in range(count):
+        record: Record = {}
+        for spec in domain.attributes:
+            record[spec.label] = _value_for(spec, rng)
+        records.append(record)
+    return records

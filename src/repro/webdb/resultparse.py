@@ -1,0 +1,65 @@
+"""Parsing result pages back into records.
+
+The other half of talking to a deep-Web source: after submitting a query,
+the mediator must read the *result page*.  Full wrapper induction is its
+own literature (the paper's Section 2 cites RoadRunner and wrapper
+induction); here we implement the structured-table case that
+:meth:`~repro.webdb.source.SimulatedSource.result_page` produces -- a
+header row of attribute labels over data rows -- using the same HTML
+substrate as the extractor.
+"""
+
+from __future__ import annotations
+
+from repro.html.dom import Document, Element
+from repro.html.parser import parse_html
+from repro.webdb.records import Record
+
+
+def _cell_text(cell: Element) -> str:
+    return " ".join(cell.text_content().split())
+
+
+def parse_result_page(html: str) -> tuple[int, list[Record]]:
+    """Parse a result page into ``(total_count, records)``.
+
+    ``total_count`` is the figure announced in the page heading (which may
+    exceed the number of listed rows when the source truncates); records
+    map header labels to cell text.
+    """
+    document = parse_html(html)
+    total = _announced_total(document)
+    table = document.find("table")
+    if table is None:
+        return total, []
+    rows = [
+        row for row in table.find_all("tr")
+    ]
+    if not rows:
+        return total, []
+    header = [
+        _cell_text(cell)
+        for cell in rows[0].child_elements()
+        if cell.tag in ("th", "td")
+    ]
+    records: list[Record] = []
+    for row in rows[1:]:
+        cells = [
+            _cell_text(cell)
+            for cell in row.child_elements()
+            if cell.tag in ("th", "td")
+        ]
+        record: Record = {}
+        for index, label in enumerate(header):
+            record[label] = cells[index] if index < len(cells) else ""
+        records.append(record)
+    return total, records
+
+
+def _announced_total(document: Document) -> int:
+    for heading in document.find_all("h3"):
+        text = heading.text_content()
+        digits = "".join(ch for ch in text.split(" ")[0] if ch.isdigit())
+        if digits:
+            return int(digits)
+    return 0

@@ -1,0 +1,268 @@
+"""A simulated deep-Web source: form + database + query semantics.
+
+``SimulatedSource`` plays the role of one live source: it serves the
+query-form HTML produced by the dataset generator, owns a synthetic
+record table, and implements ``submit(params) -> records`` by evaluating
+the *form's* query semantics (carried by the ground-truth conditions'
+bindings) over the records.  The extractor never sees the ground truth --
+it works from the HTML alone, exactly as against a real site.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.datasets.domains import DOMAINS, DomainSpec
+from repro.datasets.generator import GeneratedSource, SourceGenerator
+from repro.semantics.condition import Condition
+from repro.semantics.matching import normalize_attribute
+from repro.webdb.records import Record, generate_records
+
+#: Submitted form parameters.  Multi-valued fields (checkbox groups,
+#: multi-selects) carry several values, so every value is a list.
+Submission = dict[str, list[str]]
+
+_NUMBER_RE = re.compile(r"-?\d+(?:\.\d+)?")
+
+
+def _numeric(text: str) -> float | None:
+    """Parse the numeric payload of a form value ("$5,000" → 5000.0)."""
+    cleaned = text.replace(",", "")
+    match = _NUMBER_RE.search(cleaned)
+    return float(match.group(0)) if match else None
+
+
+def _text_matches(operator: str, needle: str, haystack: str) -> bool:
+    """Apply a text operator; unknown wordings default to containment."""
+    needle_cf = needle.casefold().strip()
+    haystack_cf = haystack.casefold()
+    if not needle_cf:
+        return True
+    lowered = operator.casefold()
+    if "exact" in lowered:
+        return haystack_cf == needle_cf
+    if "start" in lowered or "begin" in lowered:
+        return haystack_cf.startswith(needle_cf)
+    if "all" in lowered and "word" in lowered:
+        return all(word in haystack_cf for word in needle_cf.split())
+    if "any" in lowered and "word" in lowered:
+        return any(word in haystack_cf for word in needle_cf.split())
+    return needle_cf in haystack_cf
+
+
+def _is_placeholder(label: str) -> bool:
+    """Placeholder options ("Any", "All subjects") impose no constraint."""
+    return label.casefold().startswith(("any", "all")) or not label.strip()
+
+
+@dataclass
+class ResultPage:
+    """The response to one form submission."""
+
+    records: list[Record]
+    html: str
+
+
+class SimulatedSource:
+    """One deep-Web source: form HTML in front, record table behind."""
+
+    def __init__(
+        self,
+        generated: GeneratedSource,
+        records: list[Record] | None = None,
+        record_count: int = 200,
+    ):
+        self.generated = generated
+        self.domain: DomainSpec = DOMAINS[generated.domain]
+        if records is None:
+            records = generate_records(
+                self.domain, record_count, seed=generated.seed + 777
+            )
+        self.records = records
+        self._conditions = list(generated.truth)
+
+    # -- construction helpers ----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, domain_name: str, seed: int, record_count: int = 200
+    ) -> "SimulatedSource":
+        """Build a source for *domain_name* from a single seed."""
+        generated = SourceGenerator(DOMAINS[domain_name]).generate(seed)
+        return cls(generated, record_count=record_count)
+
+    # -- the public face a crawler sees ------------------------------------------
+
+    @property
+    def html(self) -> str:
+        """The query-interface page (all the extractor may look at)."""
+        return self.generated.html
+
+    def submit(self, params: Submission) -> list[Record]:
+        """Answer a form submission: records satisfying every constraint."""
+        return [
+            record
+            for record in self.records
+            if all(
+                self._satisfies(condition, params, record)
+                for condition in self._conditions
+            )
+        ]
+
+    def result_page(self, params: Submission) -> ResultPage:
+        """Submit and render an HTML result listing."""
+        records = self.submit(params)
+        rows = []
+        attributes = [spec.label for spec in self.domain.attributes[:5]]
+        header = "".join(f"<th>{label}</th>" for label in attributes)
+        for record in records[:50]:
+            cells = "".join(
+                f"<td>{record.get(label, '')}</td>" for label in attributes
+            )
+            rows.append(f"<tr>{cells}</tr>")
+        html = (
+            "<html><body>"
+            f"<h3>{len(records)} results</h3>"
+            f"<table><tr>{header}</tr>{''.join(rows)}</table>"
+            "</body></html>"
+        )
+        return ResultPage(records=records, html=html)
+
+    # -- query semantics -----------------------------------------------------------
+
+    def _satisfies(
+        self, condition: Condition, params: Submission, record: Record
+    ) -> bool:
+        kind = condition.domain.kind
+        if kind == "text":
+            return self._satisfies_text(condition, params, record)
+        if kind == "enum":
+            return self._satisfies_enum(condition, params, record)
+        if kind == "range":
+            return self._satisfies_range(condition, params, record)
+        if kind == "datetime":
+            return self._satisfies_date(condition, params, record)
+        return True  # pragma: no cover
+
+    def _record_value(self, condition: Condition) -> str | None:
+        """Which record attribute the condition constrains."""
+        wanted = normalize_attribute(condition.attribute)
+        for spec in self.domain.attributes:
+            if normalize_attribute(spec.label) == wanted:
+                return spec.label
+        return None
+
+    def _satisfies_text(
+        self, condition: Condition, params: Submission, record: Record
+    ) -> bool:
+        text_field = condition.fields[0] if condition.fields else None
+        if text_field is None:
+            return True
+        values = params.get(text_field, [])
+        needle = values[0] if values else ""
+        if not needle.strip():
+            return True
+        operator = condition.operators[0] if condition.operators else "contains"
+        # An operator choice submitted through the mode field overrides.
+        for label, mode_field, mode_value in condition.operator_bindings:
+            if mode_value in params.get(mode_field, []):
+                operator = label
+                break
+        label = self._record_value(condition)
+        if label is None:
+            # A bare keyword box searches the whole record.
+            haystack = " ".join(str(v) for v in record.values())
+            return _text_matches(operator, needle, haystack)
+        return _text_matches(operator, needle, str(record.get(label, "")))
+
+    def _satisfies_enum(
+        self, condition: Condition, params: Submission, record: Record
+    ) -> bool:
+        chosen: list[str] = []
+        for label, bind_field, bind_value in condition.value_bindings:
+            if bind_value in params.get(bind_field, []):
+                chosen.append(label)
+        if not chosen or all(_is_placeholder(label) for label in chosen):
+            return True
+        label_attr = self._record_value(condition)
+        if label_attr is None:
+            # A bare enumeration: the chosen *values* identify the record
+            # attribute -- a checked flag ("In stock only") or a value of
+            # some enumerated attribute ("Round trip" → Trip type).
+            return self._satisfies_bare_enum(chosen, record)
+        record_value = str(record.get(label_attr, ""))
+        return any(
+            record_value.casefold() == choice.casefold() for choice in chosen
+        )
+
+    def _satisfies_bare_enum(self, chosen: list[str], record: Record) -> bool:
+        for choice in chosen:
+            if _is_placeholder(choice):
+                continue
+            choice_cf = normalize_attribute(choice)
+            matched = False
+            for spec in self.domain.attributes:
+                if spec.kind == "flag" and normalize_attribute(
+                    spec.label
+                ) == choice_cf:
+                    if not record.get(spec.label):
+                        return False
+                    matched = True
+                    break
+                if spec.kind == "enum" and any(
+                    normalize_attribute(value) == choice_cf
+                    for value in spec.values
+                ):
+                    if normalize_attribute(
+                        str(record.get(spec.label, ""))
+                    ) != choice_cf:
+                        return False
+                    matched = True
+                    break
+            if not matched:
+                continue  # unknown value: no constraint derivable
+        return True
+
+    def _satisfies_range(
+        self, condition: Condition, params: Submission, record: Record
+    ) -> bool:
+        label = self._record_value(condition)
+        if label is None:
+            return True
+        raw = record.get(label)
+        try:
+            value = float(raw)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return True
+        low = high = None
+        lo_field = condition.field_for_role("lo")
+        hi_field = condition.field_for_role("hi")
+        if lo_field and params.get(lo_field):
+            low = _numeric(params[lo_field][0])
+        if hi_field and params.get(hi_field):
+            high = _numeric(params[hi_field][0])
+        if low is not None and value < low:
+            return False
+        if high is not None and value > high:
+            return False
+        return True
+
+    def _satisfies_date(
+        self, condition: Condition, params: Submission, record: Record
+    ) -> bool:
+        label = self._record_value(condition)
+        if label is None:
+            return True
+        raw = record.get(label)
+        if not isinstance(raw, tuple) or len(raw) != 3:
+            return True
+        month, day, year = raw
+        wanted = {"month": str(month), "day": str(day), "year": str(year)}
+        for part, expected in wanted.items():
+            field_name = condition.field_for_role(part)
+            if field_name and params.get(field_name):
+                submitted = params[field_name][0]
+                if submitted.casefold() != expected.casefold():
+                    return False
+        return True

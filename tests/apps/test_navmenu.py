@@ -1,0 +1,93 @@
+"""Tests for the navigation-menu application (paper Section 7)."""
+
+import pytest
+
+from repro.apps.navmenu import (
+    NavMenuExtractor,
+    build_menu_grammar,
+    generate_entry_page,
+)
+from repro.parser.schedule import build_schedule
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return NavMenuExtractor()
+
+
+class TestGrammar:
+    def test_builds_and_validates(self):
+        grammar = build_menu_grammar()
+        grammar.validate()
+        assert grammar.start == "Page"
+
+    def test_schedulable(self):
+        schedule = build_schedule(build_menu_grammar())
+        assert schedule.order[-1] == "Page"
+
+    def test_shares_token_alphabet(self):
+        grammar = build_menu_grammar()
+        assert "text" in grammar.terminals
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_entry_page(3) == generate_entry_page(3)
+
+    def test_truth_shapes(self):
+        _, truth = generate_entry_page(5)
+        assert 2 <= len(truth) <= 4
+        for items in truth.values():
+            assert len(items) >= 2
+
+
+class TestExtraction:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_recovers_all_menus(self, extractor, seed):
+        html, truth = generate_entry_page(seed)
+        result = extractor.extract(html)
+        extracted = {menu["title"]: tuple(menu["items"]) for menu in result.menus}
+        for title, items in truth.items():
+            assert title in extracted, f"menu {title!r} missing"
+            assert extracted[title] == items
+
+    def test_no_spurious_menus_from_body_text(self, extractor):
+        html, truth = generate_entry_page(1)
+        result = extractor.extract(html)
+        # Every extracted menu corresponds to a ground-truth section.
+        extracted_titles = {menu["title"] for menu in result.menus}
+        assert extracted_titles <= set(truth)
+
+    def test_services_flattened(self, extractor):
+        html, truth = generate_entry_page(2)
+        result = extractor.extract(html)
+        flat = result.services
+        for items in truth.values():
+            for item in items:
+                assert item in flat
+
+    def test_horizontal_menu_bar(self, extractor):
+        html = """
+        <html><body>
+        <a href="/home">Home</a> <a href="/shop">Shop</a>
+        <a href="/help">Help</a> <a href="/contact">Contact</a>
+        <p>Some body text that is not a menu item at all, truly.</p>
+        </body></html>
+        """
+        result = extractor.extract(html)
+        assert len(result.menus) == 1
+        assert result.menus[0]["items"] == ("Home", "Shop", "Help", "Contact")
+
+    def test_plain_text_column_is_not_a_menu(self, extractor):
+        html = """
+        <html><body>
+        one<br>two<br>three<br>four
+        </body></html>
+        """
+        result = extractor.extract(html)
+        assert result.menus == []
+
+    def test_single_link_is_not_a_menu(self, extractor):
+        html = '<html><body><a href="/x">Lonely</a></body></html>'
+        result = extractor.extract(html)
+        assert result.menus == []

@@ -1,0 +1,127 @@
+"""Tests for the pairwise proximity/alignment baseline."""
+
+import pytest
+
+from repro.baseline.heuristic import HeuristicExtractor, heuristic_extract
+from repro.datasets.fixtures import QAM_HTML, qam_ground_truth
+from repro.evaluation.metrics import per_source_metrics
+from repro.extractor import FormExtractor
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return HeuristicExtractor()
+
+
+class TestSimpleAssociation:
+    def test_label_left_of_field(self, baseline):
+        model = baseline.extract("<form>Author: <input name=a></form>")
+        (condition,) = model.conditions
+        assert condition.attribute == "Author"
+        assert condition.domain.kind == "text"
+
+    def test_label_above_field(self, baseline):
+        model = baseline.extract("<form>Author:<br><input name=a></form>")
+        (condition,) = model.conditions
+        assert condition.attribute == "Author"
+
+    def test_left_preferred_over_above(self, baseline):
+        model = baseline.extract(
+            "<form>Above-label<br>Left-label: <input name=a></form>"
+        )
+        (condition,) = model.conditions
+        assert condition.attribute == "Left-label"
+
+    def test_select_becomes_enum(self, baseline):
+        model = baseline.extract(
+            "<form>Subject: <select name=s>"
+            "<option>Arts</option><option>Fiction</option></select></form>"
+        )
+        (condition,) = model.conditions
+        assert condition.domain.kind == "enum"
+        assert condition.domain.values == ("Arts", "Fiction")
+
+    def test_radio_group_by_name(self, baseline):
+        model = baseline.extract(
+            "<form>"
+            "<input type=radio name=g value=1> One "
+            "<input type=radio name=g value=2> Two"
+            "</form>"
+        )
+        (condition,) = model.conditions
+        assert condition.operators == ("=",)
+        assert set(condition.domain.values) == {"One", "Two"}
+
+    def test_checkbox_group_is_multi(self, baseline):
+        model = baseline.extract(
+            "<form>"
+            "<input type=checkbox name=f value=1> Pool "
+            "<input type=checkbox name=f value=2> Gym"
+            "</form>"
+        )
+        (condition,) = model.conditions
+        assert condition.operators == ("in",)
+
+    def test_unlabeled_field(self, baseline):
+        model = baseline.extract("<form><input name=q></form>")
+        (condition,) = model.conditions
+        assert condition.attribute == ""
+
+
+class TestKnownWeaknesses:
+    """The failure modes the parsing paradigm fixes (paper Section 2)."""
+
+    def test_operator_radios_become_spurious_condition(self, baseline):
+        model = baseline.extract(
+            "<form><table>"
+            "<tr><td>Author:</td><td><input type=text name=a></td></tr>"
+            "<tr><td></td><td>"
+            "<input type=radio name=m value=1> exact name "
+            "<input type=radio name=m value=2> starts with"
+            "</td></tr></table></form>"
+        )
+        # Two conditions instead of one: the radio operators are not folded
+        # into the author condition.
+        assert len(model.conditions) == 2
+
+    def test_range_split_into_two_conditions(self, baseline):
+        model = baseline.extract(
+            "<form>Price: from <input name=lo size=6> to "
+            "<input name=hi size=6></form>"
+        )
+        assert len(model.conditions) == 2
+
+    def test_date_split_into_three_conditions(self, baseline):
+        months = "".join(
+            f"<option>{m}</option>"
+            for m in ("January", "February", "March", "April", "May",
+                      "June", "July", "August", "September", "October",
+                      "November", "December")
+        )
+        days = "".join(f"<option>{d}</option>" for d in range(1, 32))
+        model = baseline.extract(
+            f"<form>Date: <select name=m>{months}</select>"
+            f"<select name=d>{days}</select>"
+            "<select name=y><option>2004</option><option>2005</option>"
+            "</select></form>"
+        )
+        assert len(model.conditions) == 3
+
+
+class TestComparison:
+    def test_parser_beats_baseline_on_qam(self):
+        truth = qam_ground_truth()
+        parser_model = FormExtractor().extract(QAM_HTML)
+        baseline_model = heuristic_extract(QAM_HTML)
+        parser_metrics = per_source_metrics(
+            list(parser_model.conditions), truth
+        )
+        baseline_metrics = per_source_metrics(
+            list(baseline_model.conditions), truth
+        )
+        assert parser_metrics.recall > baseline_metrics.recall
+        assert parser_metrics.precision > baseline_metrics.precision
+
+    def test_baseline_never_raises(self, baseline):
+        for html in ("", "<form></form>", "<input>", "<form><select></form>"):
+            baseline.extract(html)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammar.example_g import build_example_grammar
+from repro.grammar.standard import build_standard_grammar
+from repro.layout.box import BBox
+from repro.tokens.model import Token
+
+
+@pytest.fixture(scope="session")
+def standard_grammar():
+    """The derived global grammar (built once per session)."""
+    return build_standard_grammar()
+
+
+@pytest.fixture(scope="session")
+def example_grammar():
+    """The paper's example grammar G (Figure 6)."""
+    return build_example_grammar()
+
+
+def make_token(
+    token_id: int,
+    terminal: str,
+    left: float,
+    top: float,
+    width: float = 60.0,
+    height: float = 19.0,
+    **attrs,
+) -> Token:
+    """Construct a token at an absolute position (test helper)."""
+    return Token(
+        id=token_id,
+        terminal=terminal,
+        bbox=BBox(left, left + width, top, top + height),
+        attrs=attrs,
+    )
+
+
+@pytest.fixture()
+def token_factory():
+    """Factory fixture building positioned tokens with auto ids."""
+    counter = {"next": 0}
+
+    def factory(terminal: str, left: float, top: float, width: float = 60.0,
+                height: float = 19.0, **attrs) -> Token:
+        token = make_token(
+            counter["next"], terminal, left, top, width, height, **attrs
+        )
+        counter["next"] += 1
+        return token
+
+    return factory

@@ -1,0 +1,101 @@
+"""Tests for the handcrafted paper fixtures."""
+
+import pytest
+
+from repro.datasets.fixtures import (
+    QAA_HTML,
+    QAA_VARIANT_HTML,
+    QAM_FRAGMENT_HTML,
+    QAM_HTML,
+    qaa_ground_truth,
+    qaa_variant_ground_truth,
+    qam_fragment_ground_truth,
+    qam_ground_truth,
+)
+from repro.evaluation.metrics import per_source_metrics
+from repro.extractor import FormExtractor
+from repro.html.parser import parse_html
+from repro.tokens.tokenizer import tokenize_html
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return FormExtractor()
+
+
+class TestQamFixture:
+    def test_five_conditions(self):
+        # Paper Section 1: amazon.com supports five conditions.
+        assert len(qam_ground_truth()) == 5
+
+    def test_author_operators_match_paper(self):
+        author = qam_ground_truth()[0]
+        assert author.operators == (
+            "first name/initials and last name",
+            "start(s) of last name",
+            "exact name",
+        )
+
+    def test_single_form(self):
+        assert len(parse_html(QAM_HTML).forms) == 1
+
+    def test_perfect_extraction(self, extractor):
+        metrics = per_source_metrics(
+            list(extractor.extract(QAM_HTML).conditions), qam_ground_truth()
+        )
+        assert metrics.precision == metrics.recall == 1.0
+
+
+class TestQamFragment:
+    def test_sixteen_tokens(self):
+        # Paper Figure 5: exactly 16 tokens.
+        assert len(tokenize_html(QAM_FRAGMENT_HTML)) == 16
+
+    def test_field_names_match_figure5(self):
+        tokens = tokenize_html(QAM_FRAGMENT_HTML)
+        names = {t.name for t in tokens if t.terminal == "textbox"}
+        assert names == {"query-0", "query-1"}  # Figure 5's t0/t1 names
+        radio_names = {t.name for t in tokens if t.terminal == "radiobutton"}
+        assert radio_names == {"field-0", "field-1"}
+
+    def test_two_conditions(self):
+        assert len(qam_fragment_ground_truth()) == 2
+
+
+class TestQaaFixture:
+    def test_eight_conditions(self):
+        assert len(qaa_ground_truth()) == 8
+
+    def test_bare_trip_type(self):
+        trip = qaa_ground_truth()[0]
+        assert trip.attribute == ""
+        assert trip.domain.values == ("Round trip", "One way")
+
+    def test_perfect_extraction(self, extractor):
+        metrics = per_source_metrics(
+            list(extractor.extract(QAA_HTML).conditions), qaa_ground_truth()
+        )
+        assert metrics.precision == metrics.recall == 1.0
+
+
+class TestQaaVariant:
+    def test_six_conditions_in_truth(self):
+        assert len(qaa_variant_ground_truth()) == 6
+
+    def test_extraction_degrades_with_conflict(self, extractor):
+        # The column-wise block defeats row-wise patterns: the paper's
+        # Figure 14 scenario.  Extraction is partial and conflicted.
+        detail = extractor.extract_detailed(QAA_VARIANT_HTML)
+        metrics = per_source_metrics(
+            list(detail.model.conditions), qaa_variant_ground_truth()
+        )
+        assert metrics.recall < 1.0
+        assert detail.model.conflicts
+        assert len(detail.parse.trees) > 1
+
+    def test_upper_rows_still_extracted(self, extractor):
+        # Partial-tree maximization: the well-formed upper part of the
+        # interface is still understood.
+        model = extractor.extract(QAA_VARIANT_HTML)
+        attributes = {c.attribute for c in model}
+        assert {"From", "To", "Departure date"} <= attributes

@@ -1,0 +1,49 @@
+"""Property-style invariants of the source generator, over many seeds."""
+
+import pytest
+
+from repro.datasets.domains import DOMAINS
+from repro.datasets.generator import SourceGenerator
+from repro.datasets.patterns import PATTERNS_BY_ID
+from repro.html.parser import parse_html
+from repro.tokens.tokenizer import FormTokenizer
+
+DOMAIN_SEEDS = [
+    (domain, seed)
+    for domain in ("Books", "Airfares", "Hotels")
+    for seed in range(55_000, 55_008)
+]
+
+
+@pytest.mark.parametrize("domain,seed", DOMAIN_SEEDS)
+class TestGeneratedSourceInvariants:
+    def test_single_well_formed_form(self, domain, seed):
+        source = SourceGenerator(DOMAINS[domain]).generate(seed)
+        document = parse_html(source.html)
+        assert len(document.forms) == 1
+
+    def test_truth_fields_exist_in_markup(self, domain, seed):
+        source = SourceGenerator(DOMAINS[domain]).generate(seed)
+        for condition in source.truth:
+            for field_name in condition.fields:
+                assert f'name="{field_name}"' in source.html, (
+                    condition, field_name,
+                )
+
+    def test_patterns_used_are_catalogued(self, domain, seed):
+        source = SourceGenerator(DOMAINS[domain]).generate(seed)
+        assert all(p in PATTERNS_BY_ID for p in source.patterns_used)
+
+    def test_tokens_well_formed(self, domain, seed):
+        source = SourceGenerator(DOMAINS[domain]).generate(seed)
+        document = parse_html(source.html)
+        tokens = FormTokenizer(document).tokenize(document.forms[0])
+        assert [t.id for t in tokens] == list(range(len(tokens)))
+        tops = [t.bbox.top for t in tokens]
+        assert tops == sorted(tops)
+        for token in tokens:
+            assert token.bbox.width >= 0 and token.bbox.height >= 0
+
+    def test_every_truth_condition_has_input(self, domain, seed):
+        source = SourceGenerator(DOMAINS[domain]).generate(seed)
+        assert all(condition.fields for condition in source.truth)

@@ -1,0 +1,162 @@
+"""Tests for the source generator and dataset repository."""
+
+import pytest
+
+from repro.datasets.domains import BASIC_DOMAINS, DOMAINS, NEW_DOMAINS
+from repro.datasets.generator import (
+    GeneratorProfile,
+    SIMPLE_PROFILE,
+    SourceGenerator,
+)
+from repro.datasets.patterns import PATTERNS_BY_ID
+from repro.datasets.repository import (
+    build_basic,
+    build_dataset,
+    build_new_domain,
+    build_new_source,
+    build_random,
+    standard_datasets,
+)
+from repro.html.parser import parse_html
+
+
+class TestDomains:
+    def test_nine_domains(self):
+        assert len(DOMAINS) == 9
+
+    def test_basic_and_new_disjoint(self):
+        assert not (set(BASIC_DOMAINS) & set(NEW_DOMAINS))
+
+    def test_every_domain_has_attributes(self):
+        for domain in DOMAINS.values():
+            assert len(domain.attributes) >= 8
+
+    def test_kind_coverage(self):
+        # The Basic domains must exercise every attribute kind.
+        kinds = set()
+        for name in BASIC_DOMAINS:
+            kinds.update(spec.kind for spec in DOMAINS[name].attributes)
+        assert kinds == {"text", "enum", "range", "date", "flag"}
+
+    def test_field_names_generated(self):
+        spec = DOMAINS["Books"].attributes[0]
+        assert spec.field_name
+
+    def test_by_kind(self):
+        books = DOMAINS["Books"]
+        assert all(s.kind == "enum" for s in books.by_kind("enum"))
+
+    def test_invalid_kind_rejected(self):
+        from repro.datasets.domains import AttributeSpec
+
+        with pytest.raises(ValueError):
+            AttributeSpec("X", "weird")
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        generator = SourceGenerator(DOMAINS["Books"])
+        first = generator.generate(42)
+        second = generator.generate(42)
+        assert first.html == second.html
+        assert first.truth == second.truth
+        assert first.patterns_used == second.patterns_used
+
+    def test_different_seeds_differ(self):
+        generator = SourceGenerator(DOMAINS["Books"])
+        assert generator.generate(1).html != generator.generate(2).html
+
+    def test_html_is_parseable_with_one_form(self):
+        generator = SourceGenerator(DOMAINS["Airfares"])
+        for seed in range(10):
+            source = generator.generate(seed)
+            document = parse_html(source.html)
+            assert len(document.forms) == 1
+
+    def test_truth_nonempty(self):
+        generator = SourceGenerator(DOMAINS["Automobiles"])
+        for seed in range(10):
+            source = generator.generate(seed)
+            assert source.truth
+            assert len(source.patterns_used) >= 1
+
+    def test_condition_count_respects_profile(self):
+        profile = GeneratorProfile(min_conditions=2, max_conditions=3,
+                                   extra_condition_prob=0.0,
+                                   rare_pattern_prob=0.0)
+        generator = SourceGenerator(DOMAINS["Books"], profile)
+        for seed in range(20):
+            source = generator.generate(seed)
+            assert 2 <= len(source.patterns_used) <= 3
+
+    def test_rare_patterns_obey_probability(self):
+        never = GeneratorProfile(rare_pattern_prob=0.0)
+        generator = SourceGenerator(DOMAINS["Books"], never)
+        for seed in range(30):
+            source = generator.generate(seed)
+            assert all(
+                PATTERNS_BY_ID[p].in_grammar for p in source.patterns_used
+            )
+
+    def test_rare_patterns_appear_when_forced(self):
+        always = GeneratorProfile(rare_pattern_prob=1.0)
+        generator = SourceGenerator(DOMAINS["Books"], always)
+        rare_seen = sum(
+            any(
+                not PATTERNS_BY_ID[p].in_grammar
+                for p in generator.generate(seed).patterns_used
+            )
+            for seed in range(20)
+        )
+        assert rare_seen >= 15  # some attributes admit no rare pattern
+
+    def test_generate_many(self):
+        generator = SourceGenerator(DOMAINS["Books"])
+        sources = generator.generate_many(5, base_seed=100)
+        assert len(sources) == 5
+        assert len({s.html for s in sources}) == 5
+
+
+class TestRepository:
+    def test_basic_shape(self):
+        dataset = build_basic(sources_per_domain=4)
+        assert len(dataset) == 12
+        assert dataset.domains() == list(BASIC_DOMAINS)
+
+    def test_new_source_uses_simple_profile(self):
+        dataset = build_new_source(sources_per_domain=5)
+        assert len(dataset) == 15
+        max_conditions = max(len(s.patterns_used) for s in dataset)
+        assert max_conditions <= SIMPLE_PROFILE.max_conditions + 1
+
+    def test_new_domain_covers_six_domains(self):
+        dataset = build_new_domain(sources_per_domain=2)
+        assert len(dataset) == 12
+        assert set(dataset.domains()) == set(NEW_DOMAINS)
+
+    def test_random_samples_many_domains(self):
+        dataset = build_random(count=30)
+        assert len(dataset) == 30
+        assert len(dataset.domains()) >= 4
+
+    def test_datasets_reproducible(self):
+        first = build_basic(3)
+        second = build_basic(3)
+        assert [s.html for s in first] == [s.html for s in second]
+
+    def test_standard_datasets_full_sizes(self):
+        datasets = standard_datasets()
+        assert len(datasets["Basic"]) == 150
+        assert len(datasets["NewSource"]) == 30
+        assert len(datasets["NewDomain"]) == 42
+        assert len(datasets["Random"]) == 30
+
+    def test_standard_datasets_scaled(self):
+        datasets = standard_datasets(scale=0.1)
+        assert len(datasets["Basic"]) == 15
+        assert all(len(ds) >= 1 for ds in datasets.values())
+
+    def test_build_dataset_custom(self):
+        dataset = build_dataset("Custom", {"Books": 2, "Hotels": 1}, 9_000)
+        assert len(dataset) == 3
+        assert dataset.name == "Custom"

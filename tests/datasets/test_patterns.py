@@ -1,0 +1,175 @@
+"""Tests for the condition-pattern catalog."""
+
+import random
+
+import pytest
+
+from repro.datasets.domains import DOMAINS, AttributeSpec
+from repro.datasets.patterns import (
+    IN_GRAMMAR_PATTERNS,
+    OUT_OF_GRAMMAR_PATTERNS,
+    PATTERNS,
+    PATTERNS_BY_ID,
+    zipf_weight,
+)
+from repro.extractor import FormExtractor
+from repro.evaluation.metrics import per_source_metrics
+
+BOOKS = DOMAINS["Books"]
+
+
+def render(pattern_id, spec, seed=7):
+    pattern = PATTERNS_BY_ID[pattern_id]
+    assert pattern.applicable(spec), f"pattern {pattern_id} not applicable"
+    return pattern.render(spec, BOOKS, random.Random(seed))
+
+
+def wrap_form(occurrence):
+    rows = []
+    for label, control in occurrence.rows:
+        if label is None:
+            rows.append(f'<tr><td colspan="2">{control}</td></tr>')
+        else:
+            rows.append(f"<tr><td>{label}</td><td>{control}</td></tr>")
+    return (
+        "<html><body><form action='/s'>"
+        f"<table cellspacing='4' cellpadding='2'>{''.join(rows)}</table>"
+        "<input type='submit' value='Search'>"
+        "</form></body></html>"
+    )
+
+
+class TestCatalogShape:
+    def test_twenty_five_patterns(self):
+        # Paper Section 3.1: 25 condition patterns overall.
+        assert len(PATTERNS) == 25
+
+    def test_twenty_one_in_grammar(self):
+        # ... of which 21 occur more than once and are in the grammar.
+        assert len(IN_GRAMMAR_PATTERNS) == 21
+
+    def test_four_rare(self):
+        assert len(OUT_OF_GRAMMAR_PATTERNS) == 4
+
+    def test_unique_ids(self):
+        assert len({p.id for p in PATTERNS}) == 25
+
+    def test_ranks_cover_1_to_21(self):
+        ranks = sorted(p.rank for p in IN_GRAMMAR_PATTERNS)
+        assert ranks == list(range(1, 22))
+
+    def test_zipf_weights_decreasing(self):
+        weights = [zipf_weight(rank) for rank in range(1, 22)]
+        assert weights == sorted(weights, reverse=True)
+        assert zipf_weight(0) == 0.0
+
+
+class TestApplicability:
+    def test_text_patterns_need_text_kind(self):
+        spec = AttributeSpec("Subject", "enum", values=("a", "b"))
+        assert not PATTERNS_BY_ID[1].applicable(spec)
+
+    def test_operator_patterns_need_operators(self):
+        plain = AttributeSpec("ISBN", "text")
+        rich = AttributeSpec("Author", "text", operators=("exact name", "x"))
+        assert not PATTERNS_BY_ID[4].applicable(plain)
+        assert PATTERNS_BY_ID[4].applicable(rich)
+
+    def test_bare_radio_needs_two_values(self):
+        two = AttributeSpec("Trip", "enum", values=("RT", "OW"))
+        many = AttributeSpec("Genre", "enum", values=("a", "b", "c"))
+        assert PATTERNS_BY_ID[11].applicable(two)
+        assert not PATTERNS_BY_ID[11].applicable(many)
+
+    def test_unit_pattern_needs_unit(self):
+        with_unit = AttributeSpec("Mileage", "range", unit="miles")
+        without = AttributeSpec("Price", "range")
+        assert PATTERNS_BY_ID[21].applicable(with_unit)
+        assert not PATTERNS_BY_ID[21].applicable(without)
+
+
+class TestGroundTruthConsistency:
+    """Every in-grammar pattern, rendered alone, must extract perfectly.
+
+    This is the keystone consistency check between the generator's ground
+    truth conventions and the grammar's extraction conventions.
+    """
+
+    @pytest.fixture(scope="class")
+    def extractor(self):
+        return FormExtractor()
+
+    @pytest.mark.parametrize("pattern", IN_GRAMMAR_PATTERNS,
+                             ids=lambda p: p.name)
+    def test_pattern_round_trips(self, pattern, extractor):
+        specs = [
+            spec for spec in BOOKS.attributes if pattern.applicable(spec)
+        ]
+        if not specs:
+            # Some patterns need attributes the Books domain lacks; use any
+            # domain that has one.
+            for domain in DOMAINS.values():
+                specs = [
+                    spec for spec in domain.attributes
+                    if pattern.applicable(spec)
+                ]
+                if specs:
+                    break
+        assert specs, f"no domain offers an attribute for {pattern.name}"
+        spec = specs[0]
+        for seed in (1, 2, 3):
+            occurrence = pattern.render(spec, BOOKS, random.Random(seed))
+            html = wrap_form(occurrence)
+            model = extractor.extract(html)
+            metrics = per_source_metrics(
+                list(model.conditions), occurrence.conditions
+            )
+            assert metrics.recall == 1.0, (
+                f"{pattern.name} seed {seed}: expected "
+                f"{[str(c) for c in occurrence.conditions]}, got "
+                f"{[str(c) for c in model.conditions]}"
+            )
+            assert metrics.precision == 1.0, (
+                f"{pattern.name} seed {seed}: got "
+                f"{[str(c) for c in model.conditions]}"
+            )
+
+
+class TestRarePatterns:
+    def test_rare_patterns_render(self):
+        for pattern in OUT_OF_GRAMMAR_PATTERNS:
+            for domain in DOMAINS.values():
+                specs = [
+                    s for s in domain.attributes if pattern.applicable(s)
+                ]
+                if specs:
+                    occurrence = pattern.render(
+                        specs[0], domain, random.Random(1)
+                    )
+                    assert occurrence.rows
+                    assert occurrence.conditions
+                    break
+            else:
+                pytest.fail(f"no spec for rare pattern {pattern.name}")
+
+    def test_rare_patterns_defeat_extractor(self):
+        # Grammar incompleteness: at least one rare pattern must actually
+        # cost accuracy (otherwise the incompleteness experiment is void).
+        extractor = FormExtractor()
+        degraded = 0
+        for pattern in OUT_OF_GRAMMAR_PATTERNS:
+            for domain in DOMAINS.values():
+                specs = [
+                    s for s in domain.attributes if pattern.applicable(s)
+                ]
+                if not specs:
+                    continue
+                occurrence = pattern.render(specs[0], domain, random.Random(1))
+                model = extractor.extract(wrap_form(occurrence))
+                metrics = per_source_metrics(
+                    list(model.conditions), occurrence.conditions
+                )
+                if metrics.precision < 1.0 or metrics.recall < 1.0:
+                    degraded += 1
+                break
+        assert degraded >= 3

@@ -1,0 +1,131 @@
+"""Tests for the evaluation harness and the Figure 4 survey functions."""
+
+import pytest
+
+from repro.datasets.repository import build_basic, build_dataset
+from repro.evaluation.harness import DatasetResult, EvaluationHarness
+from repro.evaluation.survey import (
+    cross_domain_reuse,
+    pattern_frequencies,
+    pattern_occurrence_matrix,
+    ranked_frequencies,
+    vocabulary_growth,
+)
+from repro.semantics.condition import Condition
+
+
+@pytest.fixture(scope="module")
+def small_basic():
+    return build_basic(sources_per_domain=6)
+
+
+@pytest.fixture(scope="module")
+def evaluated(small_basic):
+    return EvaluationHarness().evaluate(small_basic)
+
+
+class TestHarness:
+    def test_result_per_source(self, small_basic, evaluated):
+        assert len(evaluated.results) == len(small_basic)
+
+    def test_scores_in_range(self, evaluated):
+        for result in evaluated.results:
+            assert 0.0 <= result.precision <= 1.0
+            assert 0.0 <= result.recall <= 1.0
+
+    def test_overall_consistent_with_counts(self, evaluated):
+        overall = evaluated.overall
+        assert overall.matched <= overall.extracted
+        assert overall.matched <= overall.expected
+
+    def test_accuracy_definition(self, evaluated):
+        overall = evaluated.overall
+        assert evaluated.accuracy == pytest.approx(
+            (overall.precision + overall.recall) / 2
+        )
+
+    def test_distributions_shape(self, evaluated):
+        for dist in (
+            evaluated.precision_distribution(),
+            evaluated.recall_distribution(),
+        ):
+            assert set(dist) == {1.0, 0.9, 0.8, 0.7, 0.6, 0.0}
+            assert sum(dist.values()) == pytest.approx(100.0)
+
+    def test_reasonable_accuracy_on_basic(self, evaluated):
+        # The paper's headline: around 0.85 overall accuracy.
+        assert evaluated.accuracy >= 0.75
+
+    def test_custom_extract_fn(self, small_basic):
+        harness = EvaluationHarness(extract=lambda html: [])
+        result = harness.evaluate(small_basic)
+        assert result.overall.recall == 0.0
+
+    def test_evaluate_all(self, small_basic):
+        harness = EvaluationHarness(extract=lambda html: [Condition("X")])
+        results = harness.evaluate_all([small_basic])
+        assert set(results) == {"Basic"}
+        assert isinstance(results["Basic"], DatasetResult)
+
+    def test_timing_recorded(self, evaluated):
+        assert evaluated.total_elapsed > 0
+
+
+class TestSurvey:
+    def test_occurrence_matrix_marks(self, small_basic):
+        marks = pattern_occurrence_matrix(small_basic)
+        assert marks
+        source_indices = {index for index, _ in marks}
+        assert max(source_indices) < len(small_basic)
+        # Distinct per source: no duplicate marks.
+        assert len(marks) == len(set(marks))
+
+    def test_vocabulary_growth_monotone(self, small_basic):
+        growth = vocabulary_growth(small_basic)
+        assert len(growth) == len(small_basic)
+        assert all(b >= a for a, b in zip(growth, growth[1:]))
+
+    def test_vocabulary_flattens(self):
+        # Figure 4(a): most of the vocabulary appears early.
+        dataset = build_basic(sources_per_domain=25)
+        growth = vocabulary_growth(dataset)
+        midpoint = growth[len(growth) // 2]
+        # Airfares (the last domain) contributes the date patterns, so the
+        # curve keeps a small tail; the bulk still appears early.
+        assert midpoint >= 0.7 * growth[-1]
+
+    def test_frequencies_total(self, small_basic):
+        counts = pattern_frequencies(small_basic)["Total"]
+        total_uses = sum(len(s.patterns_used) for s in small_basic)
+        assert sum(counts.values()) == total_uses
+
+    def test_frequencies_by_domain(self, small_basic):
+        result = pattern_frequencies(small_basic, by_domain=True)
+        domain_sum = sum(
+            sum(counter.values())
+            for name, counter in result.items()
+            if name != "Total"
+        )
+        assert domain_sum == sum(result["Total"].values())
+
+    def test_ranked_frequencies_descending(self, small_basic):
+        ranked = ranked_frequencies(small_basic)
+        counts = [count for _, count in ranked]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_zipf_shape(self):
+        # Figure 4(b): the top pattern dominates.
+        dataset = build_basic(sources_per_domain=30)
+        ranked = ranked_frequencies(dataset)
+        assert ranked[0][1] >= 3 * ranked[min(8, len(ranked) - 1)][1]
+
+    def test_cross_domain_reuse(self):
+        # Figure 4(a): later domains mostly reuse earlier patterns.
+        dataset = build_basic(sources_per_domain=25)
+        introduced = cross_domain_reuse(dataset)
+        first_domain = dataset.sources[0].domain
+        later = [
+            count for name, count in introduced.items()
+            if name != first_domain
+        ]
+        assert introduced[first_domain] > sum(later)

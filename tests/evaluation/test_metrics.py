@@ -1,0 +1,120 @@
+"""Tests for the precision/recall metrics (paper Section 6.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    FIGURE15_THRESHOLDS,
+    SourceMetrics,
+    average,
+    distribution_over_thresholds,
+    overall_metrics,
+    per_source_metrics,
+)
+from repro.semantics.condition import Condition, Domain
+
+
+def cond(attribute, kind="text", operators=("contains",), values=()):
+    return Condition(attribute, operators, Domain(kind, values))
+
+
+class TestSourceMetrics:
+    def test_perfect(self):
+        metrics = SourceMetrics(matched=4, extracted=4, expected=4)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+
+    def test_partial(self):
+        metrics = SourceMetrics(matched=3, extracted=4, expected=6)
+        assert metrics.precision == 0.75
+        assert metrics.recall == 0.5
+
+    def test_nothing_extracted_from_real_form(self):
+        metrics = SourceMetrics(matched=0, extracted=0, expected=3)
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+
+    def test_empty_form(self):
+        metrics = SourceMetrics(matched=0, extracted=0, expected=0)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+
+    def test_f1_zero_when_both_zero(self):
+        metrics = SourceMetrics(matched=0, extracted=2, expected=2)
+        assert metrics.f1 == 0.0
+
+
+class TestPerSource:
+    def test_computed_via_matcher(self):
+        truth = [cond("A"), cond("B")]
+        extracted = [cond("A"), cond("C")]
+        metrics = per_source_metrics(extracted, truth)
+        assert metrics.matched == 1
+        assert metrics.precision == 0.5
+        assert metrics.recall == 0.5
+
+    def test_paper_formula(self):
+        # Ps = |Cs ∩ Es| / |Es|, Rs = |Cs ∩ Es| / |Cs|.
+        truth = [cond(x) for x in "ABCDE"]
+        extracted = [cond(x) for x in "ABCX"]
+        metrics = per_source_metrics(extracted, truth)
+        assert metrics.precision == pytest.approx(3 / 4)
+        assert metrics.recall == pytest.approx(3 / 5)
+
+
+class TestOverall:
+    def test_aggregates_counts_not_ratios(self):
+        first = SourceMetrics(matched=1, extracted=1, expected=1)
+        second = SourceMetrics(matched=0, extracted=3, expected=1)
+        overall = overall_metrics([first, second])
+        assert overall.precision == pytest.approx(1 / 4)
+        assert overall.recall == pytest.approx(1 / 2)
+
+    def test_empty(self):
+        overall = overall_metrics([])
+        assert overall.precision == 1.0
+
+
+class TestDistribution:
+    def test_figure15_thresholds(self):
+        assert FIGURE15_THRESHOLDS == (1.0, 0.9, 0.8, 0.7, 0.6, 0.0)
+
+    def test_bucket_assignment(self):
+        scores = [1.0, 0.95, 0.85, 0.5]
+        dist = distribution_over_thresholds(scores)
+        assert dist[1.0] == 25.0
+        assert dist[0.9] == 25.0
+        assert dist[0.8] == 25.0
+        assert dist[0.0] == 25.0
+
+    def test_percentages_sum_to_100(self):
+        scores = [0.1, 0.2, 0.5, 0.77, 0.93, 1.0, 1.0]
+        dist = distribution_over_thresholds(scores)
+        assert sum(dist.values()) == pytest.approx(100.0)
+
+    def test_empty_scores(self):
+        dist = distribution_over_thresholds([])
+        assert all(v == 0.0 for v in dist.values())
+
+    @given(st.lists(st.floats(min_value=0, max_value=1,
+                              allow_nan=False), min_size=1, max_size=60))
+    def test_distribution_total_invariant(self, scores):
+        dist = distribution_over_thresholds(scores)
+        assert sum(dist.values()) == pytest.approx(100.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
+                    min_size=1, max_size=40))
+    def test_perfect_bucket_counts_ones(self, scores):
+        dist = distribution_over_thresholds(scores)
+        ones = sum(1 for s in scores if s >= 1.0)
+        assert dist[1.0] == pytest.approx(100.0 * ones / len(scores))
+
+
+class TestAverage:
+    def test_mean(self):
+        assert average([1.0, 0.5]) == 0.75
+
+    def test_empty(self):
+        assert average([]) == 0.0

@@ -1,0 +1,140 @@
+"""End-to-end tests for the form extractor on the paper's fixtures."""
+
+import pytest
+
+from repro.datasets.fixtures import (
+    QAA_HTML,
+    QAM_FRAGMENT_HTML,
+    QAM_HTML,
+    qaa_ground_truth,
+    qam_fragment_ground_truth,
+    qam_ground_truth,
+)
+from repro.evaluation.metrics import per_source_metrics
+from repro.extractor import FormExtractor, extract_capabilities
+from repro.semantics.condition import Domain
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return FormExtractor()
+
+
+class TestQam:
+    """Figure 3(a): the amazon.com books form."""
+
+    def test_perfect_extraction(self, extractor):
+        model = extractor.extract(QAM_HTML)
+        metrics = per_source_metrics(list(model.conditions), qam_ground_truth())
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+
+    def test_author_condition_shape(self, extractor):
+        model = extractor.extract(QAM_HTML)
+        author = next(c for c in model if c.attribute == "Author")
+        assert author.domain == Domain("text")
+        assert author.operators == (
+            "first name/initials and last name",
+            "start(s) of last name",
+            "exact name",
+        )
+        assert "author" in author.fields
+
+    def test_subject_enumeration(self, extractor):
+        model = extractor.extract(QAM_HTML)
+        subject = next(c for c in model if c.attribute == "Subject")
+        assert subject.domain.kind == "enum"
+        assert "Fiction" in subject.domain.values
+
+    def test_single_complete_parse(self, extractor):
+        detail = extractor.extract_detailed(QAM_HTML)
+        assert detail.parse.is_complete
+
+
+class TestQaa:
+    """Figure 3(b): the aa.com airfare form."""
+
+    def test_perfect_extraction(self, extractor):
+        model = extractor.extract(QAA_HTML)
+        metrics = per_source_metrics(list(model.conditions), qaa_ground_truth())
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+
+    def test_trip_type_is_bare_enum(self, extractor):
+        model = extractor.extract(QAA_HTML)
+        trip = next(c for c in model if "Round trip" in c.domain.values)
+        assert trip.attribute == ""
+
+    def test_dates_are_composite(self, extractor):
+        model = extractor.extract(QAA_HTML)
+        dates = [c for c in model if c.domain.kind == "datetime"]
+        assert {c.attribute for c in dates} == {
+            "Departure date", "Return date",
+        }
+        departure = next(c for c in dates if c.attribute == "Departure date")
+        assert set(departure.fields) == {"dep_m", "dep_d"}
+
+    def test_checkbox_flag(self, extractor):
+        model = extractor.extract(QAA_HTML)
+        flag = next(
+            c for c in model if "Nonstop flights only" in c.domain.values
+        )
+        assert flag.operators == ("in",)
+
+
+class TestFragment:
+    def test_fragment_extraction(self, extractor):
+        model = extractor.extract(QAM_FRAGMENT_HTML)
+        metrics = per_source_metrics(
+            list(model.conditions), qam_fragment_ground_truth()
+        )
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+
+
+class TestApiSurface:
+    def test_one_shot_helper(self):
+        model = extract_capabilities(QAM_HTML)
+        assert len(model) == 5
+
+    def test_form_index_clamped(self, extractor):
+        model = extractor.extract(QAM_HTML, form_index=5)
+        assert len(model) == 5  # falls back to the only form
+
+    def test_no_form_page(self, extractor):
+        model = extractor.extract("<html><body>No form here</body></html>")
+        assert list(model.conditions) == []
+
+    def test_empty_page(self, extractor):
+        model = extractor.extract("")
+        assert list(model.conditions) == []
+
+    def test_extract_detailed_carries_trace(self, extractor):
+        detail = extractor.extract_detailed(QAM_HTML)
+        assert detail.tokens
+        assert detail.parse.stats.instances_created > 0
+        assert detail.report.model is detail.model
+
+    def test_deterministic_output(self, extractor):
+        first = extractor.extract(QAM_HTML)
+        second = extractor.extract(QAM_HTML)
+        assert list(first.conditions) == list(second.conditions)
+
+    def test_custom_grammar_accepted(self, example_grammar):
+        custom = FormExtractor(grammar=example_grammar)
+        model = custom.extract(QAM_FRAGMENT_HTML)
+        # Grammar G has no condition constructors, so no conditions come
+        # out -- but extraction must run cleanly.
+        assert model.conditions == []
+
+
+class TestRobustness:
+    @pytest.mark.parametrize("html", [
+        "<form></form>",
+        "<form><input></form>",
+        "<form>" + "<input name=q>" * 20 + "</form>",
+        "<form><table><tr></tr></table></form>",
+        "<form>text only, no controls</form>",
+    ])
+    def test_never_raises(self, extractor, html):
+        extractor.extract(html)

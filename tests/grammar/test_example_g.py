@@ -1,0 +1,97 @@
+"""Structural tests for the paper's example grammar G (Figure 6)."""
+
+import pytest
+
+from repro.grammar.example_g import build_example_grammar
+from repro.parser.parser import BestEffortParser
+from repro.parser.schedule import build_schedule
+from tests.conftest import make_token
+
+
+@pytest.fixture(scope="module")
+def grammar():
+    return build_example_grammar()
+
+
+class TestStructure:
+    def test_terminals_match_figure6(self, grammar):
+        assert grammar.terminals == frozenset(
+            {"text", "textbox", "radiobutton"}
+        )
+
+    def test_start_symbol(self, grammar):
+        assert grammar.start == "QI"
+
+    def test_nonterminals_match_figure6(self, grammar):
+        assert grammar.nonterminals == frozenset(
+            {"QI", "HQI", "CP", "TextVal", "TextOp", "Op", "EnumRB",
+             "RBList", "RBU", "Attr", "Val"}
+        )
+
+    def test_production_numbering(self, grammar):
+        names = {production.name for production in grammar.productions}
+        # Figure 6's labels P1..P11 appear (alternatives suffixed a/b/c).
+        for label in ("P1a", "P1b", "P2a", "P2b", "P4a", "P4b", "P4c",
+                      "P5", "P6", "P7", "P8a", "P8b", "P9", "P10", "P11"):
+            assert label in names
+
+    def test_preferences_r1_r2(self, grammar):
+        names = {preference.name for preference in grammar.preferences}
+        assert {"R1", "R2"} <= names
+
+    def test_schedule_rbu_before_attr(self, grammar):
+        # Paper Figure 12: RBU must be scheduled before Attr so that R1
+        # prunes Attr readings of radio labels at generation time.
+        order = build_schedule(grammar).order
+        assert order.index("RBU") < order.index("Attr")
+
+
+class TestSmallParses:
+    def row(self, *specs):
+        tokens = []
+        x = 0.0
+        for index, (terminal, width) in enumerate(specs):
+            tokens.append(
+                make_token(index, terminal, x, 0.0, width=width,
+                           height=13.0 if terminal == "radiobutton" else 19.0,
+                           sval=f"w{index}", name=f"f{index}")
+            )
+            x += width + 5.0
+        return tokens
+
+    def test_textval_parse(self, grammar):
+        tokens = self.row(("text", 50), ("textbox", 140))
+        result = BestEffortParser(grammar).parse(tokens)
+        assert result.is_complete
+        tree = result.trees[0]
+        assert list(tree.find_all("TextVal"))
+
+    def test_enumrb_parse(self, grammar):
+        tokens = self.row(
+            ("radiobutton", 13), ("text", 40),
+            ("radiobutton", 13), ("text", 40),
+        )
+        result = BestEffortParser(grammar).parse(tokens)
+        assert result.is_complete
+        tree = result.trees[0]
+        (enum,) = tree.find_all("EnumRB")
+        assert enum.payload["values"] == ("w1", "w3")
+
+    def test_r2_prunes_short_lists(self, grammar):
+        tokens = self.row(
+            ("radiobutton", 13), ("text", 40),
+            ("radiobutton", 13), ("text", 40),
+            ("radiobutton", 13), ("text", 40),
+        )
+        result = BestEffortParser(grammar).parse(tokens)
+        alive = [
+            i for i in result.instances if i.symbol == "RBList" and i.alive
+        ]
+        top = max(alive, key=lambda i: len(i.coverage))
+        assert len(top.coverage) == 6
+        # No surviving list conflicts with the maximal one.
+        assert not any(top.conflicts_with(other) for other in alive)
+
+    def test_empty_input(self, grammar):
+        result = BestEffortParser(grammar).parse([])
+        assert result.trees == []

@@ -1,0 +1,135 @@
+"""Tests for the TwoPGrammar container and the builder DSL."""
+
+import pytest
+
+from repro.grammar.dsl import GrammarBuilder
+from repro.grammar.grammar import GrammarError, TwoPGrammar
+from repro.grammar.preference import Preference
+from repro.grammar.production import Production
+
+
+def tiny_grammar():
+    g = GrammarBuilder(start="S")
+    g.terminals("t")
+    g.production("A", ["t"])
+    g.production("S", ["A"])
+    g.prefer("S", over="A")
+    return g.build()
+
+
+class TestValidation:
+    def test_valid_grammar_builds(self):
+        grammar = tiny_grammar()
+        assert grammar.start == "S"
+        assert grammar.terminals == frozenset({"t"})
+        assert grammar.nonterminals == frozenset({"A", "S"})
+
+    def test_start_must_be_nonterminal(self):
+        with pytest.raises(GrammarError):
+            TwoPGrammar(
+                terminals=frozenset({"t"}),
+                nonterminals=frozenset({"A"}),
+                start="t",
+                productions=(Production(head="A", components=("t",)),),
+            )
+
+    def test_undeclared_component_rejected(self):
+        with pytest.raises(GrammarError):
+            TwoPGrammar(
+                terminals=frozenset({"t"}),
+                nonterminals=frozenset({"A"}),
+                start="A",
+                productions=(Production(head="A", components=("ghost",)),),
+            )
+
+    def test_undeclared_head_rejected(self):
+        with pytest.raises(GrammarError):
+            TwoPGrammar(
+                terminals=frozenset({"t"}),
+                nonterminals=frozenset({"A"}),
+                start="A",
+                productions=(
+                    Production(head="A", components=("t",)),
+                    Production(head="B", components=("t",)),
+                ),
+            )
+
+    def test_terminal_nonterminal_overlap_rejected(self):
+        with pytest.raises(GrammarError):
+            TwoPGrammar(
+                terminals=frozenset({"A"}),
+                nonterminals=frozenset({"A"}),
+                start="A",
+                productions=(Production(head="A", components=("A",)),),
+            )
+
+    def test_preference_symbols_checked(self):
+        with pytest.raises(GrammarError):
+            TwoPGrammar(
+                terminals=frozenset({"t"}),
+                nonterminals=frozenset({"A"}),
+                start="A",
+                productions=(Production(head="A", components=("t",)),),
+                preferences=(Preference("A", "ghost"),),
+            )
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(GrammarError):
+            GrammarBuilder(start="S").build()
+
+
+class TestLookups:
+    def test_productions_for(self):
+        grammar = tiny_grammar()
+        assert len(grammar.productions_for("A")) == 1
+        assert grammar.productions_for("t") == []
+
+    def test_preferences_involving(self):
+        grammar = tiny_grammar()
+        assert len(grammar.preferences_involving("S")) == 1
+        assert len(grammar.preferences_involving("A")) == 1
+        assert grammar.preferences_involving("t") == []
+
+    def test_component_heads(self):
+        grammar = tiny_grammar()
+        assert grammar.component_heads("A") == {"S"}
+        assert grammar.component_heads("t") == {"A"}
+        assert grammar.component_heads("S") == set()
+
+    def test_stats(self):
+        stats = tiny_grammar().stats()
+        assert stats == {
+            "productions": 2,
+            "nonterminals": 2,
+            "terminals": 1,
+            "preferences": 1,
+        }
+
+    def test_describe_lists_rules(self):
+        text = tiny_grammar().describe()
+        assert "A -> t" in text
+        assert "prefer S over A" in text
+
+
+class TestStandardGrammarShape:
+    def test_scale_comparable_to_paper(self, standard_grammar):
+        # Paper Section 6: 82 productions, 39 nonterminals, 16 terminals.
+        stats = standard_grammar.stats()
+        assert stats["terminals"] == 16
+        assert 50 <= stats["productions"] <= 110
+        assert 15 <= stats["nonterminals"] <= 45
+        assert stats["preferences"] >= 10
+
+    def test_start_symbol_is_qi(self, standard_grammar):
+        assert standard_grammar.start == "QI"
+
+    def test_validates(self, standard_grammar):
+        standard_grammar.validate()
+
+    def test_example_grammar_matches_figure6(self, example_grammar):
+        assert example_grammar.start == "QI"
+        assert example_grammar.terminals == frozenset(
+            {"text", "textbox", "radiobutton"}
+        )
+        # Figure 6 lists 11 numbered productions; alternatives expand them.
+        assert len(example_grammar.productions) >= 11

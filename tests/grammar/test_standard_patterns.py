@@ -1,0 +1,280 @@
+"""Direct pattern tests for the standard grammar on hand-built HTML.
+
+Each test isolates one condition pattern of the catalog in a minimal form
+and asserts the extracted condition's full shape -- a finer-grained
+regression net than the generator round-trip (which samples layouts).
+"""
+
+import pytest
+
+from repro.extractor import FormExtractor
+from repro.semantics.condition import Domain
+
+_MONTHS = "".join(
+    f"<option>{m}</option>"
+    for m in ("January", "February", "March", "April", "May", "June", "July",
+              "August", "September", "October", "November", "December")
+)
+_DAYS = "".join(f"<option>{d}</option>" for d in range(1, 32))
+_YEARS = "<option>2004</option><option>2005</option><option>2006</option>"
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return FormExtractor()
+
+
+def extract(extractor, body):
+    html = f"<html><body><form action='/s'>{body}" \
+           "<br><input type='submit' value='Go'></form></body></html>"
+    return extractor.extract(html)
+
+
+def the_condition(model, attribute):
+    matches = [c for c in model if c.attribute == attribute]
+    assert len(matches) == 1, [str(c) for c in model]
+    return matches[0]
+
+
+class TestTextPatterns:
+    def test_textval_left(self, extractor):
+        model = extract(extractor, "Author: <input name=a size=20>")
+        condition = the_condition(model, "Author")
+        assert condition.operators == ("contains",)
+        assert condition.domain == Domain("text")
+        assert condition.fields == ("a",)
+
+    def test_textval_above(self, extractor):
+        model = extract(extractor, "Author:<br><input name=a size=20>")
+        assert the_condition(model, "Author").domain.kind == "text"
+
+    def test_textval_below(self, extractor):
+        model = extract(extractor, "<input name=a size=20><br>Author")
+        assert the_condition(model, "Author").domain.kind == "text"
+
+    def test_textarea_counts_as_text(self, extractor):
+        model = extract(
+            extractor, "Comments: <textarea name=c rows=3 cols=30></textarea>"
+        )
+        assert the_condition(model, "Comments").fields == ("c",)
+
+    def test_password_counts_as_text(self, extractor):
+        model = extract(extractor, "PIN: <input type=password name=p size=8>")
+        assert the_condition(model, "PIN").fields == ("p",)
+
+    def test_textval_unit(self, extractor):
+        model = extract(
+            extractor, "Distance: <input name=d size=6> miles"
+        )
+        condition = the_condition(model, "Distance")
+        assert condition.domain.kind == "text"
+
+
+class TestOperatorPatterns:
+    RADIOS = (
+        "<input type=radio name=m value=x checked> exact name "
+        "<input type=radio name=m value=s> starts with"
+    )
+
+    def test_textop_below(self, extractor):
+        model = extract(
+            extractor,
+            f"Author: <input name=a size=24><br>{self.RADIOS}",
+        )
+        condition = the_condition(model, "Author")
+        assert condition.operators == ("exact name", "starts with")
+        assert condition.operator_binding("exact name") == ("m", "x")
+
+    def test_textop_right(self, extractor):
+        model = extract(
+            extractor, f"Author: <input name=a size=10> {self.RADIOS}"
+        )
+        assert the_condition(model, "Author").operators == (
+            "exact name", "starts with",
+        )
+
+    def test_textopsel_mid(self, extractor):
+        model = extract(
+            extractor,
+            "Title: <select name=m><option>contains</option>"
+            "<option>exact phrase</option><option>starts with</option>"
+            "</select> <input name=t size=20>",
+        )
+        condition = the_condition(model, "Title")
+        assert "exact phrase" in condition.operators
+        assert condition.operator_binding("contains") == ("m", "contains")
+
+    def test_textopsel_below(self, extractor):
+        model = extract(
+            extractor,
+            "Title: <input name=t size=20><br>"
+            "<select name=m><option>contains</option>"
+            "<option>exact phrase</option></select>",
+        )
+        assert "contains" in the_condition(model, "Title").operators
+
+
+class TestEnumPatterns:
+    def test_sel_left(self, extractor):
+        model = extract(
+            extractor,
+            "Color: <select name=c><option>Red</option>"
+            "<option value='b'>Blue</option></select>",
+        )
+        condition = the_condition(model, "Color")
+        assert condition.domain == Domain("enum", ("Red", "Blue"))
+        assert condition.value_binding("Blue") == ("c", "b")
+
+    def test_sel_above(self, extractor):
+        model = extract(
+            extractor,
+            "Color:<br><select name=c><option>Red</option>"
+            "<option>Blue</option></select>",
+        )
+        assert the_condition(model, "Color").domain.kind == "enum"
+
+    def test_enumrb_labeled(self, extractor):
+        model = extract(
+            extractor,
+            "Condition: <input type=radio name=k value=n checked> New "
+            "<input type=radio name=k value=u> Used",
+        )
+        condition = the_condition(model, "Condition")
+        assert condition.operators == ("=",)
+        assert condition.domain.values == ("New", "Used")
+        assert condition.value_binding("Used") == ("k", "u")
+
+    def test_enumrb_bare(self, extractor):
+        model = extract(
+            extractor,
+            "<input type=radio name=t value=rt checked> Round trip "
+            "<input type=radio name=t value=ow> One way",
+        )
+        condition = the_condition(model, "")
+        assert condition.domain.values == ("Round trip", "One way")
+
+    def test_enumcb_labeled(self, extractor):
+        model = extract(
+            extractor,
+            "Features: <input type=checkbox name=f value=1> Pool "
+            "<input type=checkbox name=f value=2> Gym",
+        )
+        condition = the_condition(model, "Features")
+        assert condition.operators == ("in",)
+
+    def test_flag(self, extractor):
+        model = extract(
+            extractor,
+            "<input type=checkbox name=stock value=1> In stock only",
+        )
+        condition = the_condition(model, "")
+        assert condition.operators == ("in",)
+        assert condition.domain.values == ("In stock only",)
+        assert condition.value_binding("In stock only") == ("stock", "1")
+
+    def test_listbox(self, extractor):
+        model = extract(
+            extractor,
+            "Genres: <select name=g size=3 multiple><option>Jazz</option>"
+            "<option>Rock</option><option>Folk</option></select>",
+        )
+        condition = the_condition(model, "Genres")
+        assert condition.domain.values == ("Jazz", "Rock", "Folk")
+
+
+class TestRangePatterns:
+    def test_range_text_row(self, extractor):
+        model = extract(
+            extractor,
+            "Price: from <input name=lo size=6> to <input name=hi size=6>",
+        )
+        condition = the_condition(model, "Price")
+        assert condition.operators == ("between",)
+        assert condition.domain.kind == "range"
+        assert condition.field_for_role("lo") == "lo"
+        assert condition.field_for_role("hi") == "hi"
+
+    def test_range_mid_mark(self, extractor):
+        model = extract(
+            extractor,
+            "Year: <input name=lo size=6> to <input name=hi size=6>",
+        )
+        assert the_condition(model, "Year").domain.kind == "range"
+
+    def test_range_sel_row(self, extractor):
+        model = extract(
+            extractor,
+            "Price: from <select name=lo><option>$10</option>"
+            "<option>$20</option></select> to <select name=hi>"
+            "<option>$10</option><option>$20</option></select>",
+        )
+        assert the_condition(model, "Price").domain.kind == "range"
+
+    def test_range_stacked(self, extractor):
+        model = extract(
+            extractor,
+            "<table><tr><td>Salary:</td><td>"
+            "min <input name=lo size=8><br>max <input name=hi size=8>"
+            "</td></tr></table>",
+        )
+        assert the_condition(model, "Salary").domain.kind == "range"
+
+    def test_fused_label_mark(self, extractor):
+        model = extract(
+            extractor,
+            "Price: from <input name=lo size=6> to <input name=hi size=6>"
+            "<br>",
+        )
+        condition = the_condition(model, "Price")
+        assert condition.field_roles == (("lo", "lo"), ("hi", "hi"))
+
+
+class TestDatePatterns:
+    def test_date3(self, extractor):
+        model = extract(
+            extractor,
+            f"Departure: <select name=m>{_MONTHS}</select> "
+            f"<select name=d>{_DAYS}</select> "
+            f"<select name=y>{_YEARS}</select>",
+        )
+        condition = the_condition(model, "Departure")
+        assert condition.domain.kind == "datetime"
+        assert condition.field_for_role("month") == "m"
+        assert condition.field_for_role("day") == "d"
+        assert condition.field_for_role("year") == "y"
+
+    def test_date2(self, extractor):
+        model = extract(
+            extractor,
+            f"Check-in: <select name=m>{_MONTHS}</select> "
+            f"<select name=d>{_DAYS}</select>",
+        )
+        condition = the_condition(model, "Check-in")
+        assert condition.domain.kind == "datetime"
+        assert condition.field_for_role("year") is None
+
+    def test_day_month_order(self, extractor):
+        model = extract(
+            extractor,
+            f"Date: <select name=d>{_DAYS}</select> "
+            f"<select name=m>{_MONTHS}</select>",
+        )
+        condition = the_condition(model, "Date")
+        assert condition.field_for_role("day") == "d"
+        assert condition.field_for_role("month") == "m"
+
+    def test_two_generic_selects_are_not_a_date(self, extractor):
+        model = extract(
+            extractor,
+            "X: <select name=a><option>p</option><option>q</option></select> "
+            "<select name=b><option>r</option><option>s</option></select>",
+        )
+        assert all(c.domain.kind != "datetime" for c in model)
+
+
+class TestBarePatterns:
+    def test_bare_keyword_box(self, extractor):
+        model = extract(extractor, "<input name=q size=30>")
+        condition = the_condition(model, "")
+        assert condition.domain.kind == "text"
+        assert condition.fields == ("q",)

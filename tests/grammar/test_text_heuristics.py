@@ -1,0 +1,171 @@
+"""Tests for the lexical cues used by grammar constraints."""
+
+import pytest
+
+from repro.grammar.text_heuristics import (
+    clean_label,
+    date_signature,
+    is_attribute_like,
+    is_day_select,
+    is_month_select,
+    is_operator_select,
+    is_operator_text,
+    is_range_mark,
+    is_time_select,
+    is_unit_text,
+    is_year_select,
+    split_attr_mark,
+)
+from repro.tokens.model import SelectOption
+
+
+def options(*labels):
+    return tuple(SelectOption(label, label) for label in labels)
+
+
+class TestCleanLabel:
+    @pytest.mark.parametrize("raw,expected", [
+        ("Author:", "Author"),
+        ("Author*:", "Author"),
+        ("  Title  ", "Title"),
+        ("Price?", "Price"),
+        ("*Required*", "Required"),
+        ("Departure date", "Departure date"),
+    ])
+    def test_decoration_stripped(self, raw, expected):
+        assert clean_label(raw) == expected
+
+
+class TestAttributeLike:
+    @pytest.mark.parametrize("text", [
+        "Author", "Author:", "Departure date", "Price (USD)", "ZIP",
+        "Number of passengers",
+    ])
+    def test_accepts_labels(self, text):
+        assert is_attribute_like(text)
+
+    @pytest.mark.parametrize("text", [
+        "", "   ", "***", "Search our catalog of over two million titles.",
+        "Click here to browse this week's bestsellers!",
+        "a label that runs on for far too many characters to be an attribute",
+        "one two three four five six seven",
+    ])
+    def test_rejects_sentences_and_noise(self, text):
+        assert not is_attribute_like(text)
+
+
+class TestOperatorText:
+    @pytest.mark.parametrize("text", [
+        "contains", "exact name", "starts with", "all of the words",
+        "first name/initials and last name", "less than",
+    ])
+    def test_operator_phrases(self, text):
+        assert is_operator_text(text)
+
+    @pytest.mark.parametrize("text", ["Author", "Fiction", "New", "$5"])
+    def test_plain_values(self, text):
+        assert not is_operator_text(text)
+
+
+class TestRangeMark:
+    @pytest.mark.parametrize("text", [
+        "from", "to", "From", "TO", "min", "Max", "between", "and",
+        "under", "over", "-", "up to", "at least",
+    ])
+    def test_marks(self, text):
+        assert is_range_mark(text)
+
+    @pytest.mark.parametrize("text", [
+        "From:",  # colon marks an attribute (airfare From:/To:)
+        "fromage", "total", "Author", "",
+    ])
+    def test_non_marks(self, text):
+        assert not is_range_mark(text)
+
+
+class TestSplitAttrMark:
+    def test_price_from(self):
+        assert split_attr_mark("Price: from") == ("Price", "from")
+
+    def test_year_between(self):
+        assert split_attr_mark("Year between") == ("Year", "between")
+
+    def test_decorated(self):
+        assert split_attr_mark("Release year*: min") == ("Release year", "min")
+
+    def test_plain_label_is_none(self):
+        assert split_attr_mark("Price:") is None
+
+    def test_bare_mark_is_none(self):
+        assert split_attr_mark("from") is None
+
+
+class TestOperatorSelect:
+    def test_operator_options(self):
+        assert is_operator_select(
+            options("contains", "starts with", "exact phrase")
+        )
+
+    def test_value_options(self):
+        assert not is_operator_select(options("Economy", "Business", "First"))
+
+    def test_mixed_majority_required(self):
+        assert not is_operator_select(
+            options("contains", "Red", "Blue", "Green", "Black")
+        )
+
+    def test_too_few_options(self):
+        assert not is_operator_select(options("contains"))
+
+
+class TestDateSignatures:
+    MONTHS = options(
+        "January", "February", "March", "April", "May", "June", "July",
+        "August", "September", "October", "November", "December",
+    )
+    DAYS = options(*[str(d) for d in range(1, 32)])
+    YEARS = options("2004", "2005", "2006")
+
+    def test_month_select(self):
+        assert is_month_select(self.MONTHS)
+        assert date_signature(self.MONTHS) == "month"
+
+    def test_month_abbreviations(self):
+        abbrev = options("Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                         "Jul", "Aug", "Sep", "Oct", "Nov", "Dec")
+        assert is_month_select(abbrev)
+
+    def test_month_with_placeholder(self):
+        padded = options("Month", *[o.label for o in self.MONTHS])
+        assert is_month_select(padded)
+
+    def test_day_select(self):
+        assert is_day_select(self.DAYS)
+        assert date_signature(self.DAYS) == "day"
+
+    def test_year_select(self):
+        assert is_year_select(self.YEARS)
+        assert date_signature(self.YEARS) == "year"
+
+    def test_generic_enum_is_none(self):
+        assert date_signature(options("Economy", "Business")) is None
+
+    def test_small_numeric_select_not_days(self):
+        assert not is_day_select(options("1", "2", "3", "4"))
+
+    def test_prices_are_not_years(self):
+        assert not is_year_select(options("$100", "$200", "$300"))
+
+    def test_time_select(self):
+        assert is_time_select(options("9:00 am", "12:00 pm", "6:30 pm"))
+        assert not is_time_select(options("Morning", "Noon", "Evening"))
+
+
+class TestUnitText:
+    @pytest.mark.parametrize("text", ["miles", "km", "$", "years", "%"])
+    def test_units(self, text):
+        assert is_unit_text(text)
+
+    @pytest.mark.parametrize("text", ["Author", "from", "", "a bag of words"])
+    def test_non_units(self, text):
+        assert not is_unit_text(text)

@@ -1,0 +1,94 @@
+"""Tests for HTML entity decoding."""
+
+import pytest
+
+from repro.html.entities import decode_entities, encode_entities
+
+
+class TestNamedEntities:
+    def test_amp(self):
+        assert decode_entities("Books &amp; Music") == "Books & Music"
+
+    def test_lt_gt(self):
+        assert decode_entities("&lt;form&gt;") == "<form>"
+
+    def test_quot_apos(self):
+        assert decode_entities("&quot;x&apos;") == "\"x'"
+
+    def test_nbsp_becomes_space(self):
+        assert decode_entities("a&nbsp;b") == "a b"
+
+    def test_missing_semicolon_tolerated(self):
+        assert decode_entities("Books &amp Music") == "Books & Music"
+
+    def test_unknown_named_entity_passes_through(self):
+        assert decode_entities("&bogusentity;") == "&bogusentity;"
+
+    def test_case_insensitive_fallback(self):
+        assert decode_entities("&AMP;") == "&"
+
+    def test_accented_letters(self):
+        assert decode_entities("caf&eacute;") == "café"
+
+    def test_currency(self):
+        assert decode_entities("&pound;10 &euro;20") == "£10 €20"
+
+    def test_punctuation_dashes(self):
+        assert decode_entities("a&ndash;b&mdash;c") == "a–b—c"
+
+
+class TestNumericEntities:
+    def test_decimal(self):
+        assert decode_entities("&#65;") == "A"
+
+    def test_hexadecimal(self):
+        assert decode_entities("&#x41;") == "A"
+
+    def test_hex_uppercase_marker(self):
+        assert decode_entities("&#X42;") == "B"
+
+    def test_decimal_without_semicolon(self):
+        assert decode_entities("&#65 x") == "A x"
+
+    def test_cp1252_apostrophe(self):
+        # Forms in the wild use &#146; for a right single quote.
+        assert decode_entities("it&#146;s") == "it’s"
+
+    def test_null_replaced(self):
+        assert decode_entities("&#0;") == "�"
+
+    def test_surrogate_replaced(self):
+        assert decode_entities("&#xD800;") == "�"
+
+    def test_out_of_range_replaced(self):
+        assert decode_entities("&#1114112;") == "�"
+
+    def test_euro_via_cp1252(self):
+        assert decode_entities("&#128;") == "€"
+
+
+class TestEdgeCases:
+    def test_no_ampersand_fast_path(self):
+        text = "plain text"
+        assert decode_entities(text) is text
+
+    def test_lone_ampersand(self):
+        assert decode_entities("AT&T") == "AT&T"
+
+    def test_consecutive_entities(self):
+        assert decode_entities("&lt;&gt;&amp;") == "<>&"
+
+    def test_empty_string(self):
+        assert decode_entities("") == ""
+
+
+class TestEncode:
+    def test_round_trip_specials(self):
+        original = '<a href="x">&'
+        assert decode_entities(encode_entities(original)) == original
+
+    @pytest.mark.parametrize("ch,expected", [
+        ("&", "&amp;"), ("<", "&lt;"), (">", "&gt;"), ('"', "&quot;"),
+    ])
+    def test_each_special(self, ch, expected):
+        assert encode_entities(ch) == expected

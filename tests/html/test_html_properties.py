@@ -1,0 +1,87 @@
+"""Property-based tests: the HTML substrate never rejects any input."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.html.dom import Element, Text
+from repro.html.entities import decode_entities, encode_entities
+from repro.html.parser import parse_html
+from repro.html.tokenizer import lex_html
+
+# Text with a bias toward markup-significant characters.
+markupish = st.text(
+    alphabet=st.sampled_from(
+        list("<>&\"'/=! abcdefgh-;#x0123") + ["\n", "\t"]
+    ),
+    max_size=200,
+)
+
+
+class TestRobustness:
+    @given(markupish)
+    @settings(max_examples=300)
+    def test_lexer_never_raises(self, text):
+        lex_html(text)
+
+    @given(markupish)
+    @settings(max_examples=300)
+    def test_tree_builder_never_raises(self, text):
+        parse_html(text)
+
+    @given(st.text(max_size=200))
+    def test_arbitrary_unicode_never_raises(self, text):
+        parse_html(text)
+
+    @given(markupish)
+    def test_parents_consistent(self, text):
+        document = parse_html(text)
+        for node in document.iter():
+            for child in node.children:
+                assert child.parent is node
+
+    @given(markupish)
+    def test_no_children_under_void_elements(self, text):
+        document = parse_html(text)
+        for element in document.iter_elements():
+            if element.tag in ("input", "br", "hr", "img"):
+                assert element.children == []
+
+
+class TestEntityProperties:
+    @given(st.text(max_size=100))
+    def test_encode_decode_round_trip(self, text):
+        assert decode_entities(encode_entities(text)) == text
+
+    @given(st.integers(min_value=1, max_value=0x10FFFF))
+    def test_numeric_references_decode_to_one_char(self, codepoint):
+        decoded = decode_entities(f"&#{codepoint};")
+        assert len(decoded) == 1
+
+    @given(st.text(alphabet="abcdefghijklmnop &;#", max_size=80))
+    def test_decoding_is_idempotent_without_amp(self, text):
+        once = decode_entities(text)
+        if "&" not in once:
+            assert decode_entities(once) == once
+
+
+class TestTextPreservation:
+    @given(
+        st.text(
+            alphabet=st.characters(
+                blacklist_characters="<>&", blacklist_categories=("Cs", "Cc")
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_plain_text_survives(self, text):
+        document = parse_html(f"<p>{text}</p>")
+        assert document.text_content() == text
+
+    @given(st.lists(st.sampled_from(["b", "i", "span", "div"]), max_size=6))
+    def test_nested_wrappers_preserve_text(self, wrappers):
+        inner = "payload"
+        html = inner
+        for tag in wrappers:
+            html = f"<{tag}>{html}</{tag}>"
+        assert parse_html(html).text_content() == inner

@@ -1,0 +1,164 @@
+"""Tests for the HTML lexer."""
+
+from repro.html.tokenizer import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    StartTagToken,
+    TextToken,
+    lex_html,
+)
+
+
+def kinds(tokens):
+    return [type(token).__name__ for token in tokens]
+
+
+class TestBasicLexing:
+    def test_text_only(self):
+        tokens = lex_html("hello world")
+        assert kinds(tokens) == ["TextToken"]
+        assert tokens[0].data == "hello world"
+
+    def test_simple_element(self):
+        tokens = lex_html("<b>hi</b>")
+        assert kinds(tokens) == ["StartTagToken", "TextToken", "EndTagToken"]
+        assert tokens[0].name == "b"
+        assert tokens[2].name == "b"
+
+    def test_tag_names_lowercased(self):
+        tokens = lex_html("<INPUT TYPE=TEXT>")
+        assert tokens[0].name == "input"
+        assert tokens[0].attributes == {"type": "TEXT"}
+
+    def test_self_closing(self):
+        (token,) = lex_html("<br/>")
+        assert isinstance(token, StartTagToken)
+        assert token.self_closing
+
+    def test_positions_recorded(self):
+        tokens = lex_html("ab<i>")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 2
+
+
+class TestAttributes:
+    def test_double_quoted(self):
+        (token,) = lex_html('<input name="query">')
+        assert token.attributes == {"name": "query"}
+
+    def test_single_quoted(self):
+        (token,) = lex_html("<input name='q'>")
+        assert token.attributes == {"name": "q"}
+
+    def test_unquoted(self):
+        (token,) = lex_html("<input size=30>")
+        assert token.attributes == {"size": "30"}
+
+    def test_valueless(self):
+        (token,) = lex_html("<input checked>")
+        assert token.attributes == {"checked": ""}
+
+    def test_mixed(self):
+        (token,) = lex_html('<input type=radio name="m" checked value=\'1\'>')
+        assert token.attributes == {
+            "type": "radio", "name": "m", "checked": "", "value": "1",
+        }
+
+    def test_attribute_names_lowercased(self):
+        (token,) = lex_html("<input NAME=q>")
+        assert "name" in token.attributes
+
+    def test_first_duplicate_wins(self):
+        (token,) = lex_html("<input name=a name=b>")
+        assert token.attributes["name"] == "a"
+
+    def test_entities_in_attribute_values(self):
+        (token,) = lex_html('<input value="a&amp;b">')
+        assert token.attributes["value"] == "a&b"
+
+    def test_attributes_across_newlines(self):
+        (token,) = lex_html('<input\n  type="text"\n  name="q"\n>')
+        assert token.attributes == {"type": "text", "name": "q"}
+
+
+class TestMarkupDeclarations:
+    def test_comment(self):
+        (token,) = lex_html("<!-- note -->")
+        assert isinstance(token, CommentToken)
+        assert token.data == " note "
+
+    def test_unterminated_comment(self):
+        (token,) = lex_html("<!-- never ends")
+        assert isinstance(token, CommentToken)
+
+    def test_doctype(self):
+        (token,) = lex_html("<!DOCTYPE html>")
+        assert isinstance(token, DoctypeToken)
+        assert token.data == "html"
+
+    def test_bogus_declaration_is_comment(self):
+        (token,) = lex_html("<!whatever>")
+        assert isinstance(token, CommentToken)
+
+    def test_processing_instruction_is_comment(self):
+        (token,) = lex_html("<?php echo 1 ?>")
+        assert isinstance(token, CommentToken)
+
+
+class TestRawText:
+    def test_script_content_not_parsed(self):
+        tokens = lex_html("<script>if (a<b) {}</script>after")
+        assert kinds(tokens) == ["StartTagToken", "TextToken", "TextToken"]
+        assert tokens[1].data == "if (a<b) {}"
+        assert tokens[2].data == "after"
+
+    def test_style_content(self):
+        tokens = lex_html("<style>a > b {color: red}</style>")
+        assert tokens[1].data == "a > b {color: red}"
+
+    def test_textarea_decodes_entities(self):
+        tokens = lex_html("<textarea>a&amp;b</textarea>")
+        assert tokens[1].data == "a&b"
+
+    def test_script_entities_not_decoded(self):
+        tokens = lex_html("<script>a&amp;b</script>")
+        assert tokens[1].data == "a&amp;b"
+
+    def test_case_insensitive_close(self):
+        tokens = lex_html("<script>x</SCRIPT>done")
+        assert tokens[-1].data == "done"
+
+    def test_unterminated_rawtext(self):
+        tokens = lex_html("<script>x = 1;")
+        assert tokens[-1].data == "x = 1;"
+
+
+class TestMalformedInput:
+    def test_stray_lt_is_text(self):
+        tokens = lex_html("a < b")
+        merged = "".join(t.data for t in tokens if isinstance(t, TextToken))
+        assert merged == "a < b"
+
+    def test_unclosed_tag_at_eof(self):
+        tokens = lex_html("<input type=text")
+        assert isinstance(tokens[0], StartTagToken)
+
+    def test_end_tag_junk_is_comment(self):
+        tokens = lex_html("</ oops>")
+        assert isinstance(tokens[0], CommentToken)
+
+    def test_end_tag_with_attributes_ignored(self):
+        (token,) = lex_html("</form class=x>")
+        assert isinstance(token, EndTagToken)
+        assert token.name == "form"
+
+    def test_never_raises(self):
+        # A small gauntlet of malformed fragments.
+        for fragment in ("<", "<>", "<<<", "< input>", "<a b=c", "&#;",
+                         "<!---->", "</>", "<a 'x'>"):
+            lex_html(fragment)  # must not raise
+
+    def test_entities_decoded_in_text(self):
+        tokens = lex_html("Price &lt; 10")
+        assert tokens[0].data == "Price < 10"

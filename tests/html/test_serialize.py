@@ -1,0 +1,106 @@
+"""Tests for DOM → HTML serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.fixtures import QAA_HTML, QAM_HTML
+from repro.html.dom import Element, Text
+from repro.html.parser import parse_html
+from repro.html.serialize import serialize
+
+
+def tree_shape(node):
+    """Structural fingerprint of a DOM tree (ignores comments)."""
+    if isinstance(node, Text):
+        return ("#text", node.data)
+    if isinstance(node, Element):
+        return (
+            node.tag,
+            tuple(sorted(node.attributes.items())),
+            tuple(
+                tree_shape(child)
+                for child in node.children
+                if isinstance(child, (Element, Text))
+            ),
+        )
+    return (
+        "#doc",
+        tuple(
+            tree_shape(child)
+            for child in node.children
+            if isinstance(child, (Element, Text))
+        ),
+    )
+
+
+class TestBasics:
+    def test_element_round_trip(self):
+        html = '<div class="x"><b>bold</b> plain</div>'
+        assert serialize(parse_html(html)) == html
+
+    def test_void_elements_not_closed(self):
+        out = serialize(parse_html("<input name=q><br>"))
+        assert "</input>" not in out
+        assert "</br>" not in out
+
+    def test_valueless_attribute(self):
+        out = serialize(parse_html("<input checked>"))
+        assert "<input checked>" in out
+
+    def test_entities_encoded(self):
+        out = serialize(parse_html("<p>a &amp; b &lt; c</p>"))
+        assert "a &amp; b &lt; c" in out
+
+    def test_attribute_quotes_escaped(self):
+        document = parse_html("<div></div>")
+        div = document.find("div")
+        div.attributes["title"] = 'say "hi" & bye'
+        out = serialize(document)
+        assert 'title="say &quot;hi&quot; &amp; bye"' in out
+
+    def test_comment_preserved(self):
+        out = serialize(parse_html("<!-- note -->"))
+        assert "<!-- note -->" in out
+
+    def test_doctype(self):
+        out = serialize(parse_html("<!DOCTYPE html><p>x</p>"))
+        assert out.startswith("<!DOCTYPE html>")
+
+    def test_script_content_raw(self):
+        out = serialize(parse_html("<script>a && b < c</script>"))
+        assert "a && b < c" in out
+
+
+class TestStability:
+    def test_reparse_equivalent_fixture(self):
+        for html in (QAM_HTML, QAA_HTML):
+            first = parse_html(html)
+            second = parse_html(serialize(first))
+            assert tree_shape(first) == tree_shape(second)
+
+    def test_serialization_idempotent(self):
+        once = serialize(parse_html(QAM_HTML))
+        twice = serialize(parse_html(once))
+        assert once == twice
+
+    @given(st.text(
+        alphabet=st.sampled_from(list("<>&\"'/=! abct-;#x01")),
+        max_size=120,
+    ))
+    @settings(max_examples=200)
+    def test_reparse_fixpoint_on_soup(self, soup):
+        # After one normalize pass, serialize∘parse is a fixpoint.
+        normalized = serialize(parse_html(soup))
+        assert serialize(parse_html(normalized)) == normalized
+
+    @given(st.lists(
+        st.sampled_from(["div", "span", "b", "p", "table", "td", "form"]),
+        max_size=5,
+    ))
+    def test_nested_structures_round_trip(self, tags):
+        html = "payload"
+        for tag in tags:
+            html = f"<{tag}>{html}</{tag}>"
+        first = parse_html(html)
+        second = parse_html(serialize(first))
+        assert tree_shape(first) == tree_shape(second)

@@ -1,0 +1,166 @@
+"""Tests for the forgiving HTML tree builder."""
+
+from repro.html.dom import Comment, Element, Text
+from repro.html.parser import parse_html
+
+
+def tags(node):
+    return [e.tag for e in node.iter_elements()]
+
+
+class TestBasicTrees:
+    def test_nesting(self):
+        document = parse_html("<html><body><form></form></body></html>")
+        assert tags(document) == ["html", "body", "form"]
+
+    def test_text_nodes(self):
+        document = parse_html("<b>Author</b>")
+        b = document.find("b")
+        assert isinstance(b.children[0], Text)
+        assert b.children[0].data == "Author"
+
+    def test_adjacent_text_merged(self):
+        document = parse_html("a&amp;b")
+        assert len(document.children) == 1
+        assert document.children[0].data == "a&b"
+
+    def test_comment_preserved(self):
+        document = parse_html("<!-- hi -->")
+        assert isinstance(document.children[0], Comment)
+
+    def test_doctype_recorded(self):
+        document = parse_html("<!DOCTYPE html><html></html>")
+        assert document.doctype == "html"
+
+    def test_attributes_preserved(self):
+        document = parse_html('<input type="text" name="q" size=30>')
+        element = document.find("input")
+        assert element.get("size") == "30"
+
+
+class TestVoidElements:
+    def test_input_takes_no_children(self):
+        document = parse_html("<input>text after")
+        element = document.find("input")
+        assert element.children == []
+        assert document.text_content() == "text after"
+
+    def test_br_hr_img(self):
+        document = parse_html("a<br>b<hr>c<img src=x>d")
+        assert document.text_content() == "abcd"
+
+    def test_stray_end_br_ignored(self):
+        document = parse_html("a</br>b")
+        assert document.text_content() == "ab"
+
+
+class TestImplicitClosing:
+    def test_sibling_p_closes_p(self):
+        document = parse_html("<p>one<p>two")
+        paragraphs = list(document.find_all("p"))
+        assert len(paragraphs) == 2
+        assert paragraphs[0].text_content() == "one"
+
+    def test_sibling_li_closes_li(self):
+        document = parse_html("<ul><li>a<li>b</ul>")
+        items = list(document.find_all("li"))
+        assert [i.text_content() for i in items] == ["a", "b"]
+
+    def test_nested_list_is_barrier(self):
+        document = parse_html("<ul><li>a<ul><li>a1</ul><li>b</ul>")
+        outer = document.find("ul")
+        outer_items = [
+            e for e in outer.child_elements() if e.tag == "li"
+        ]
+        assert len(outer_items) == 2
+
+    def test_option_closes_option(self):
+        document = parse_html(
+            "<select><option>x<option>y<option>z</select>"
+        )
+        options = list(document.find_all("option"))
+        assert [o.text_content() for o in options] == ["x", "y", "z"]
+
+    def test_td_closes_td(self):
+        document = parse_html("<table><tr><td>a<td>b</tr></table>")
+        cells = list(document.find_all("td"))
+        assert [c.text_content() for c in cells] == ["a", "b"]
+
+    def test_tr_closes_tr(self):
+        document = parse_html("<table><tr><td>a<tr><td>b</table>")
+        rows = list(document.find_all("tr"))
+        assert len(rows) == 2
+
+    def test_tr_stays_inside_table(self):
+        document = parse_html(
+            "<table><tr><td>a</td></tr><tr><td>b</td></tr></table>"
+        )
+        table = document.find("table")
+        assert all(
+            row.parent is table for row in document.find_all("tr")
+        )
+
+    def test_dt_dd_siblings(self):
+        document = parse_html("<dl><dt>t<dd>d<dt>t2</dl>")
+        assert len(list(document.find_all("dt"))) == 2
+        assert len(list(document.find_all("dd"))) == 1
+
+
+class TestErrorRecovery:
+    def test_unmatched_end_tag_ignored(self):
+        document = parse_html("a</div>b")
+        assert document.text_content() == "ab"
+
+    def test_end_tag_pops_intermediates(self):
+        document = parse_html("<div><b>bold</div>after")
+        div = document.find("div")
+        assert div.text_content() == "bold"
+        # "after" must be outside the div.
+        assert document.text_content() == "boldafter"
+
+    def test_unclosed_everything(self):
+        document = parse_html("<form><table><tr><td><input name=q")
+        assert document.find("input") is not None
+
+    def test_never_raises_on_garbage(self):
+        for garbage in (
+            "", "<", "<<>><", "</////>", "<table></form></html><td>",
+            "\x00\x01", "<a" * 50,
+        ):
+            parse_html(garbage)  # must not raise
+
+    def test_self_closing_nonvoid(self):
+        document = parse_html("<div/>text")
+        div = document.find("div")
+        assert div.children == []
+
+
+class TestRealisticForm:
+    HTML = """
+    <html><body>
+    <form action="/search" method="get">
+      <table>
+        <tr><td><b>Author</b>:</td>
+            <td><input type="text" name="author" size="30"></td></tr>
+        <tr><td>Subject:</td>
+            <td><select name="subject">
+                  <option value="">All</option>
+                  <option>Fiction</option>
+                </select></td></tr>
+      </table>
+      <input type="submit" value="Search">
+    </form>
+    </body></html>
+    """
+
+    def test_structure(self):
+        document = parse_html(self.HTML)
+        form = document.find("form")
+        assert form.get("action") == "/search"
+        assert len(list(form.find_all("tr"))) == 2
+        assert len(list(form.find_all("input"))) == 2
+        select = form.find("select")
+        options = list(select.find_all("option"))
+        assert [o.text_content().strip() for o in options] == [
+            "All", "Fiction",
+        ]

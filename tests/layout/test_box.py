@@ -1,0 +1,173 @@
+"""Tests and property tests for BBox geometry."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.layout.box import BBox, union_all
+
+
+def boxes():
+    coords = st.floats(
+        min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False
+    )
+    return st.builds(
+        lambda x1, x2, y1, y2: BBox(min(x1, x2), max(x1, x2), min(y1, y2),
+                                    max(y1, y2)),
+        coords, coords, coords, coords,
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        box = BBox(0, 10, 0, 5)
+        assert box.width == 10
+        assert box.height == 5
+        assert box.area == 50
+
+    def test_zero_area_allowed(self):
+        BBox(3, 3, 4, 4)
+
+    def test_invalid_horizontal(self):
+        with pytest.raises(ValueError):
+            BBox(10, 0, 0, 5)
+
+    def test_invalid_vertical(self):
+        with pytest.raises(ValueError):
+            BBox(0, 10, 5, 0)
+
+    def test_as_tuple_paper_order(self):
+        # The paper's pos is (left, right, top, bottom), Figure 5.
+        assert BBox(10, 40, 10, 20).as_tuple() == (10, 40, 10, 20)
+
+    def test_center(self):
+        assert BBox(0, 10, 0, 20).center == (5, 10)
+
+
+class TestPredicates:
+    def test_intersects_overlap(self):
+        assert BBox(0, 10, 0, 10).intersects(BBox(5, 15, 5, 15))
+
+    def test_intersects_touching_edges(self):
+        assert BBox(0, 10, 0, 10).intersects(BBox(10, 20, 0, 10))
+
+    def test_disjoint(self):
+        assert not BBox(0, 10, 0, 10).intersects(BBox(11, 20, 0, 10))
+
+    def test_contains(self):
+        assert BBox(0, 10, 0, 10).contains(BBox(2, 8, 2, 8))
+        assert not BBox(2, 8, 2, 8).contains(BBox(0, 10, 0, 10))
+
+    def test_contains_self(self):
+        box = BBox(0, 10, 0, 10)
+        assert box.contains(box)
+
+    def test_contains_point(self):
+        box = BBox(0, 10, 0, 10)
+        assert box.contains_point(5, 5)
+        assert box.contains_point(0, 0)
+        assert not box.contains_point(11, 5)
+
+
+class TestOverlapAndGap:
+    def test_horizontal_overlap(self):
+        assert BBox(0, 10, 0, 5).horizontal_overlap(BBox(5, 20, 0, 5)) == 5
+
+    def test_vertical_overlap_zero(self):
+        assert BBox(0, 10, 0, 5).vertical_overlap(BBox(0, 10, 6, 9)) == 0
+
+    def test_horizontal_gap(self):
+        assert BBox(0, 10, 0, 5).horizontal_gap(BBox(14, 20, 0, 5)) == 4
+        assert BBox(14, 20, 0, 5).horizontal_gap(BBox(0, 10, 0, 5)) == 4
+
+    def test_gap_diagonal(self):
+        gap = BBox(0, 10, 0, 10).gap(BBox(13, 20, 14, 20))
+        assert gap == pytest.approx(math.hypot(3, 4))
+
+    def test_gap_zero_when_overlapping(self):
+        assert BBox(0, 10, 0, 10).gap(BBox(5, 15, 5, 15)) == 0
+
+    def test_center_distance(self):
+        assert BBox(0, 2, 0, 2).center_distance(BBox(3, 5, 4, 6)) == 5
+
+
+class TestCombining:
+    def test_union(self):
+        assert BBox(0, 5, 0, 5).union(BBox(3, 10, -2, 4)) == BBox(0, 10, -2, 5)
+
+    def test_intersection(self):
+        assert BBox(0, 10, 0, 10).intersection(BBox(5, 15, 5, 15)) == BBox(
+            5, 10, 5, 10
+        )
+
+    def test_intersection_disjoint_is_none(self):
+        assert BBox(0, 1, 0, 1).intersection(BBox(5, 6, 5, 6)) is None
+
+    def test_translate(self):
+        assert BBox(0, 1, 0, 1).translate(5, -2) == BBox(5, 6, -2, -1)
+
+    def test_inflate(self):
+        assert BBox(5, 6, 5, 6).inflate(2) == BBox(3, 8, 3, 8)
+
+    def test_inflate_negative_clamps(self):
+        box = BBox(0, 2, 0, 2).inflate(-5)
+        assert box.width == 0 and box.height == 0
+
+    def test_union_all(self):
+        result = union_all([BBox(0, 1, 0, 1), BBox(5, 6, 5, 6)])
+        assert result == BBox(0, 6, 0, 6)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            union_all([])
+
+
+class TestProperties:
+    @given(boxes(), boxes())
+    def test_union_contains_both(self, a, b):
+        union = a.union(b)
+        assert union.contains(a) and union.contains(b)
+
+    @given(boxes(), boxes())
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(boxes(), boxes(), boxes())
+    def test_union_associative(self, a, b, c):
+        left = a.union(b).union(c)
+        right = a.union(b.union(c))
+        assert left.as_tuple() == pytest.approx(right.as_tuple())
+
+    @given(boxes(), boxes())
+    def test_intersection_within_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains(inter) and b.contains(inter)
+
+    @given(boxes(), boxes())
+    def test_intersects_iff_intersection(self, a, b):
+        assert a.intersects(b) == (a.intersection(b) is not None)
+
+    @given(boxes(), boxes())
+    def test_gap_symmetric(self, a, b):
+        assert a.gap(b) == pytest.approx(b.gap(a))
+
+    @given(boxes(), boxes())
+    def test_gap_zero_iff_intersecting(self, a, b):
+        if a.intersects(b):
+            assert a.gap(b) == 0
+        else:
+            assert a.gap(b) > 0
+
+    @given(boxes())
+    def test_inflate_then_contains(self, box):
+        assert box.inflate(1).contains(box)
+
+    @given(boxes(), st.floats(min_value=-50, max_value=50,
+                              allow_nan=False))
+    def test_translate_preserves_size(self, box, delta):
+        moved = box.translate(delta, -delta)
+        assert moved.width == pytest.approx(box.width)
+        assert moved.height == pytest.approx(box.height)

@@ -1,0 +1,204 @@
+"""Tests for the layout engine: block stacking, inline flow, controls."""
+
+import pytest
+
+from repro.html.parser import parse_html
+from repro.layout.engine import (
+    BODY_MARGIN,
+    control_size,
+    layout_document,
+)
+
+
+def layout(html, width=960):
+    return layout_document(parse_html(html), viewport_width=width)
+
+
+def fragment_map(result):
+    return {fragment.text: fragment.box for fragment in result.fragments}
+
+
+class TestBlockLayout:
+    def test_body_margin(self):
+        result = layout("<html><body>x</body></html>")
+        (fragment,) = result.fragments
+        assert fragment.box.left == BODY_MARGIN
+        assert fragment.box.top == BODY_MARGIN
+
+    def test_blocks_stack_vertically(self):
+        result = layout("<div>one</div><div>two</div>")
+        boxes = fragment_map(result)
+        assert boxes["one"].bottom <= boxes["two"].top
+
+    def test_paragraph_margins(self):
+        plain = layout("<div>a</div><div>b</div>")
+        spaced = layout("<p>a</p><p>b</p>")
+        gap_plain = fragment_map(plain)["b"].top - fragment_map(plain)["a"].bottom
+        gap_spaced = (
+            fragment_map(spaced)["b"].top - fragment_map(spaced)["a"].bottom
+        )
+        assert gap_spaced > gap_plain
+
+    def test_heading_taller_text(self):
+        result = layout("<h2>Title</h2>")
+        (fragment,) = result.fragments
+        assert fragment.bold
+
+    def test_list_items_indent(self):
+        result = layout("<ul><li>item</li></ul>")
+        (fragment,) = result.fragments
+        assert fragment.box.left > BODY_MARGIN
+
+    def test_hr_produces_box(self):
+        result = layout("a<hr>b")
+        boxes = fragment_map(result)
+        assert boxes["a"].bottom < boxes["b"].top
+
+
+class TestInlineFlow:
+    def test_words_flow_left_to_right(self):
+        result = layout("<span>alpha</span> <span>beta</span>")
+        boxes = fragment_map(result)
+        assert boxes["alpha"].right < boxes["beta"].left
+
+    def test_same_line_same_top(self):
+        result = layout("one two three")
+        tops = {f.box.top for f in result.fragments}
+        assert len(tops) == 1
+
+    def test_br_breaks_line(self):
+        result = layout("one<br>two")
+        boxes = fragment_map(result)
+        assert boxes["one"].bottom <= boxes["two"].top
+        assert boxes["one"].left == boxes["two"].left
+
+    def test_double_br_leaves_blank_line(self):
+        single = layout("a<br>b")
+        double = layout("a<br><br>b")
+        gap1 = fragment_map(single)["b"].top - fragment_map(single)["a"].bottom
+        gap2 = fragment_map(double)["b"].top - fragment_map(double)["a"].bottom
+        assert gap2 > gap1
+
+    def test_wrapping_at_viewport(self):
+        result = layout("word " * 60, width=300)
+        lines = {f.box.top for f in result.fragments}
+        assert len(lines) > 1
+        assert all(f.box.right <= 300 for f in result.fragments)
+
+    def test_whitespace_collapsed(self):
+        result = layout("<span>a\n\n   b</span>")
+        (fragment,) = result.fragments
+        assert fragment.text == "a b"
+
+    def test_bold_flag_propagates(self):
+        result = layout("<b><i>deep</i></b>")
+        (fragment,) = result.fragments
+        assert fragment.bold
+
+    def test_fragments_merge_same_node(self):
+        result = layout("one two three")
+        assert len(result.fragments) == 1
+        assert result.fragments[0].text == "one two three"
+
+
+class TestControls:
+    def test_textbox_size_attribute(self):
+        small = control_size(parse_html('<input size="5">').find("input"))
+        large = control_size(parse_html('<input size="40">').find("input"))
+        assert large[0] > small[0]
+
+    def test_radio_is_small_square(self):
+        width, height = control_size(
+            parse_html('<input type="radio">').find("input")
+        )
+        assert width == height == 13
+
+    def test_select_sized_by_longest_option(self):
+        short = parse_html("<select><option>a</option></select>").find("select")
+        long = parse_html(
+            "<select><option>a very long option label</option></select>"
+        ).find("select")
+        assert control_size(long)[0] > control_size(short)[0]
+
+    def test_listbox_taller(self):
+        dropdown = parse_html(
+            "<select><option>a<option>b<option>c</select>"
+        ).find("select")
+        listbox = parse_html(
+            '<select size="3"><option>a<option>b<option>c</select>'
+        ).find("select")
+        assert control_size(listbox)[1] > control_size(dropdown)[1]
+
+    def test_textarea_rows_cols(self):
+        small = parse_html('<textarea rows="2" cols="10"></textarea>').find(
+            "textarea"
+        )
+        big = parse_html('<textarea rows="6" cols="40"></textarea>').find(
+            "textarea"
+        )
+        assert control_size(big)[0] > control_size(small)[0]
+        assert control_size(big)[1] > control_size(small)[1]
+
+    def test_submit_sized_by_label(self):
+        short = parse_html('<input type="submit" value="Go">').find("input")
+        long = parse_html(
+            '<input type="submit" value="Search Our Catalog Now">'
+        ).find("input")
+        assert control_size(long)[0] > control_size(short)[0]
+
+    def test_hidden_input_not_rendered(self):
+        result = layout('<input type="hidden" name="h" value="1">')
+        assert result.controls == []
+
+    def test_controls_on_text_line_share_row(self):
+        result = layout("Author <input type=text name=a>")
+        (fragment,) = result.fragments
+        (control,) = result.controls
+        assert fragment.box.vertical_overlap(control.box) > 0
+        assert fragment.box.right <= control.box.left
+
+    def test_invalid_size_attribute_falls_back(self):
+        element = parse_html('<input size="wide">').find("input")
+        assert control_size(element)[0] > 0
+
+
+class TestContainerBoxes:
+    def test_form_gets_union_box(self):
+        result = layout("<form>content <input name=q></form>")
+        document_form = None
+        for eid, element in result.elements_by_id.items():
+            if element.tag == "form":
+                document_form = result.element_boxes[eid]
+        assert document_form is not None
+
+    def test_element_boxes_cover_fragments(self):
+        html = "<div id=wrap>text inside</div>"
+        document = parse_html(html)
+        result = layout_document(document)
+        div = document.find("div")
+        box = result.box_of(div)
+        (fragment,) = result.fragments
+        assert box.contains(fragment.box)
+
+    def test_height_tracks_content(self):
+        short = layout("one line")
+        tall = layout("line<br>" * 10)
+        assert tall.height > short.height
+
+
+class TestDeterminism:
+    HTML = """
+    <form><table><tr><td>Author:</td><td><input name=a size=20></td></tr>
+    <tr><td>Price:</td><td><select name=p><option>low<option>high</select>
+    </td></tr></table></form>
+    """
+
+    def test_layout_is_deterministic(self):
+        first = layout(self.HTML)
+        second = layout(self.HTML)
+        assert [f.box for f in first.fragments] == [
+            f.box for f in second.fragments
+        ]
+        assert [c.box for c in first.controls] == [
+            c.box for c in second.controls
+        ]

@@ -1,0 +1,110 @@
+"""Tests for font metrics and style resolution."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.html.dom import Element
+from repro.layout.fonts import BOLD_FONT, DEFAULT_FONT, FontMetrics
+from repro.layout.style import (
+    BLOCK_VERTICAL_MARGIN,
+    Display,
+    display_of,
+    is_bold_context,
+)
+
+
+class TestFontMetrics:
+    def test_empty_text(self):
+        assert DEFAULT_FONT.text_width("") == 0
+
+    def test_width_additive(self):
+        assert DEFAULT_FONT.text_width("ab") == (
+            DEFAULT_FONT.char_width("a") + DEFAULT_FONT.char_width("b")
+        )
+
+    def test_narrow_narrower_than_wide(self):
+        assert DEFAULT_FONT.text_width("iii") < DEFAULT_FONT.text_width("mmm")
+
+    def test_bold_wider(self):
+        assert BOLD_FONT.text_width("Author") > DEFAULT_FONT.text_width("Author")
+
+    def test_longer_text_wider(self):
+        assert DEFAULT_FONT.text_width("abcdef") > DEFAULT_FONT.text_width("abc")
+
+    def test_fit_chars_all(self):
+        assert DEFAULT_FONT.fit_chars("abc", 1000) == 3
+
+    def test_fit_chars_none(self):
+        assert DEFAULT_FONT.fit_chars("abc", 1) == 0
+
+    def test_fit_chars_partial(self):
+        text = "abcdef"
+        width = DEFAULT_FONT.text_width("abc")
+        assert DEFAULT_FONT.fit_chars(text, width) == 3
+
+    def test_cache_consistency(self):
+        font = FontMetrics()
+        first = font.text_width("Publisher")
+        second = font.text_width("Publisher")
+        assert first == second
+
+    @given(st.text(max_size=50), st.text(max_size=50))
+    def test_concatenation_additive(self, a, b):
+        font = FontMetrics()
+        assert font.text_width(a + b) == font.text_width(a) + font.text_width(b)
+
+    @given(st.text(max_size=60))
+    def test_width_nonnegative(self, text):
+        assert DEFAULT_FONT.text_width(text) >= 0
+
+
+class TestDisplayResolution:
+    def test_block_tags(self):
+        for tag in ("div", "p", "form", "h1", "ul", "fieldset"):
+            assert display_of(Element(tag)) is Display.BLOCK
+
+    def test_inline_tags(self):
+        for tag in ("b", "span", "input", "select", "label", "a"):
+            assert display_of(Element(tag)) is Display.INLINE
+
+    def test_table_parts(self):
+        assert display_of(Element("table")) is Display.TABLE
+        assert display_of(Element("tr")) is Display.TABLE_ROW
+        assert display_of(Element("td")) is Display.TABLE_CELL
+        assert display_of(Element("tbody")) is Display.TABLE_ROW_GROUP
+
+    def test_list_item(self):
+        assert display_of(Element("li")) is Display.LIST_ITEM
+
+    def test_hidden_structural_tags(self):
+        for tag in ("head", "script", "style", "option", "title"):
+            assert display_of(Element(tag)) is Display.NONE
+
+    def test_hidden_input(self):
+        element = Element("input", {"type": "hidden"})
+        assert display_of(element) is Display.NONE
+
+    def test_visible_input(self):
+        assert display_of(Element("input", {"type": "text"})) is Display.INLINE
+        assert display_of(Element("input")) is Display.INLINE
+
+    def test_unknown_tag_is_inline(self):
+        assert display_of(Element("custom-widget")) is Display.INLINE
+
+
+class TestBoldContext:
+    def test_bold_tags(self):
+        for tag in ("b", "strong", "h1", "h3", "th"):
+            assert is_bold_context(Element(tag))
+
+    def test_regular_tags(self):
+        for tag in ("i", "span", "td", "div"):
+            assert not is_bold_context(Element(tag))
+
+
+class TestMargins:
+    def test_paragraph_has_margin(self):
+        assert BLOCK_VERTICAL_MARGIN["p"] > 0
+
+    def test_headings_ordered(self):
+        assert BLOCK_VERTICAL_MARGIN["h1"] >= BLOCK_VERTICAL_MARGIN["h3"]

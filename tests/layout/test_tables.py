@@ -1,0 +1,195 @@
+"""Tests for table layout: columns, spans, padding, nesting."""
+
+from repro.html.parser import parse_html
+from repro.layout.engine import layout_document
+
+
+def layout(html, width=960):
+    return layout_document(parse_html(html), viewport_width=width)
+
+
+def frag(result, text):
+    for fragment in result.fragments:
+        if fragment.text == text:
+            return fragment.box
+    raise AssertionError(f"fragment {text!r} not found")
+
+
+class TestColumns:
+    def test_cells_side_by_side(self):
+        result = layout("<table><tr><td>left</td><td>right</td></tr></table>")
+        assert frag(result, "left").right <= frag(result, "right").left
+        assert frag(result, "left").top == frag(result, "right").top
+
+    def test_rows_stack(self):
+        result = layout(
+            "<table><tr><td>r1</td></tr><tr><td>r2</td></tr></table>"
+        )
+        assert frag(result, "r1").bottom <= frag(result, "r2").top
+
+    def test_column_alignment_across_rows(self):
+        result = layout(
+            "<table>"
+            "<tr><td>a-very-wide-label-here</td><td>v1</td></tr>"
+            "<tr><td>b</td><td>v2</td></tr>"
+            "</table>"
+        )
+        assert frag(result, "v1").left == frag(result, "v2").left
+
+    def test_column_width_from_widest_cell(self):
+        result = layout(
+            "<table>"
+            "<tr><td>wide-content-cell</td><td>x</td></tr>"
+            "<tr><td>n</td><td>y</td></tr>"
+            "</table>"
+        )
+        # Column 2 starts after the widest cell of column 1.
+        assert frag(result, "x").left > frag(result, "wide-content-cell").right - 1
+
+
+class TestSpacingAndPadding:
+    def test_cellspacing_separates_columns(self):
+        tight = layout(
+            '<table cellspacing="0"><tr><td>a</td><td>b</td></tr></table>'
+        )
+        loose = layout(
+            '<table cellspacing="12"><tr><td>a</td><td>b</td></tr></table>'
+        )
+        gap_tight = frag(tight, "b").left - frag(tight, "a").right
+        gap_loose = frag(loose, "b").left - frag(loose, "a").right
+        assert gap_loose > gap_tight
+
+    def test_cellpadding_insets_content(self):
+        tight = layout(
+            '<table cellpadding="0"><tr><td>a</td></tr></table>'
+        )
+        padded = layout(
+            '<table cellpadding="10"><tr><td>a</td></tr></table>'
+        )
+        assert frag(padded, "a").left > frag(tight, "a").left
+
+
+class TestColspan:
+    def test_colspan_spans_columns(self):
+        result = layout(
+            "<table>"
+            '<tr><td colspan="2">header-spanning</td></tr>'
+            "<tr><td>col-one-content</td><td>col-two</td></tr>"
+            "</table>"
+        )
+        header = frag(result, "header-spanning")
+        col2 = frag(result, "col-two")
+        assert header.left < col2.left
+
+    def test_row_with_fewer_cells(self):
+        result = layout(
+            "<table>"
+            "<tr><td>a</td><td>b</td></tr>"
+            "<tr><td>only</td></tr>"
+            "</table>"
+        )
+        assert frag(result, "only").top > frag(result, "a").bottom
+
+
+class TestRowspan:
+    def test_rowspan_blocks_column(self):
+        result = layout(
+            "<table>"
+            '<tr><td rowspan="2">tall-cell</td><td>r1c2</td></tr>'
+            "<tr><td>r2c2</td></tr>"
+            "</table>"
+        )
+        tall = frag(result, "tall-cell")
+        first = frag(result, "r1c2")
+        second = frag(result, "r2c2")
+        # The second row's cell lands in column 2, not under the spanner.
+        assert second.left == first.left
+        assert second.left > tall.right
+
+    def test_rowspan_rows_still_stack(self):
+        result = layout(
+            "<table>"
+            '<tr><td rowspan="2">a</td><td>b</td></tr>'
+            "<tr><td>c</td></tr>"
+            "<tr><td>d</td><td>e</td></tr>"
+            "</table>"
+        )
+        assert frag(result, "b").bottom <= frag(result, "c").top
+        # After the span expires, column 1 is usable again.
+        assert frag(result, "d").left == frag(result, "a").left
+
+    def test_rowspan_with_form_controls(self):
+        result = layout(
+            "<table>"
+            '<tr><td rowspan="2">Date range</td>'
+            "<td>from <input name=lo size=6></td></tr>"
+            "<tr><td>to <input name=hi size=6></td></tr>"
+            "</table>"
+        )
+        lo, hi = result.controls
+        # Both endpoint rows sit in the same (second) column...
+        assert frag(result, "from").left == frag(result, "to").left
+        # ...stacked under each other.
+        assert lo.box.bottom <= hi.box.top
+
+    def test_oversized_rowspan_tolerated(self):
+        layout(
+            '<table><tr><td rowspan="99">a</td><td>b</td></tr></table>'
+        )  # must not raise
+
+
+class TestRowGroups:
+    def test_thead_tbody(self):
+        result = layout(
+            "<table><thead><tr><td>head</td></tr></thead>"
+            "<tbody><tr><td>body</td></tr></tbody></table>"
+        )
+        assert frag(result, "head").bottom <= frag(result, "body").top
+
+
+class TestNestedTables:
+    def test_nested_table_inside_cell(self):
+        result = layout(
+            "<table><tr><td>"
+            "<table><tr><td>inner</td></tr></table>"
+            "</td><td>outer</td></tr></table>"
+        )
+        assert frag(result, "inner").left < frag(result, "outer").left
+
+
+class TestControlsInTables:
+    def test_label_and_field_in_row(self):
+        result = layout(
+            "<table><tr><td>Author:</td>"
+            "<td><input type=text name=a size=20></td></tr></table>"
+        )
+        (control,) = result.controls
+        label = frag(result, "Author:")
+        assert label.right <= control.box.left
+        assert label.vertical_overlap(control.box) > 0
+
+    def test_multirow_cell_height(self):
+        result = layout(
+            "<table><tr>"
+            "<td>short</td>"
+            "<td>line1<br>line2<br>line3</td>"
+            "</tr></table>"
+        )
+        assert frag(result, "line3").bottom > frag(result, "short").bottom
+
+
+class TestDegenerateTables:
+    def test_empty_table(self):
+        layout("<table></table>")  # must not raise
+
+    def test_table_without_rows(self):
+        layout("<table><td>stray</td></table>")  # must not raise
+
+    def test_tr_outside_table_treated_as_block(self):
+        result = layout("<tr><td>orphan</td></tr>")
+        assert frag(result, "orphan") is not None
+
+    def test_overwide_table_scales_down(self):
+        cells = "".join(f"<td>cell-number-{i}-content</td>" for i in range(12))
+        result = layout(f"<table><tr>{cells}</tr></table>", width=400)
+        assert all(f.box.left < 500 for f in result.fragments)

@@ -1,0 +1,92 @@
+"""Tests for spatial-convention calibration."""
+
+import pytest
+
+from repro.datasets.repository import build_basic, build_new_domain
+from repro.evaluation.harness import EvaluationHarness
+from repro.extractor import FormExtractor
+from repro.grammar.standard import build_standard_grammar
+from repro.learning.calibrate import (
+    SpatialCalibrator,
+    _percentile,
+    calibrate_spatial_config,
+)
+from repro.spatial.relations import DEFAULT_SPATIAL
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    train = build_basic(sources_per_domain=8).sources
+    return calibrate_spatial_config(train)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert _percentile([], 0.9) == 0.0
+
+    def test_single(self):
+        assert _percentile([5.0], 0.5) == 5.0
+
+    def test_max(self):
+        assert _percentile([1.0, 2.0, 3.0], 1.0) == 3.0
+
+    def test_median(self):
+        assert _percentile([1.0, 2.0, 9.0], 0.5) == 2.0
+
+
+class TestHarvesting:
+    def test_statistics_collected(self, calibrated):
+        _, stats = calibrated
+        assert stats.sources_used == 24
+        assert stats.conditions_used > 50
+        assert stats.left_gaps, "no left-attachment evidence harvested"
+        assert "left" in stats.arrangement_counts
+
+    def test_left_dominates(self, calibrated):
+        # The left arrangement is the dominant convention -- the empirical
+        # basis for the R6a/R6b "horizontal beats vertical" preferences.
+        _, stats = calibrated
+        counts = stats.arrangement_counts
+        assert counts["left"] > counts.get("above", 0)
+
+    def test_gaps_are_positive_and_bounded(self, calibrated):
+        _, stats = calibrated
+        assert all(0 <= gap <= 400 for gap in stats.left_gaps)
+
+
+class TestFitting:
+    def test_learned_config_valid(self, calibrated):
+        config, _ = calibrated
+        assert 20.0 <= config.max_horizontal_gap <= 400.0
+        assert 8.0 <= config.max_vertical_gap <= 100.0
+
+    def test_learned_tighter_or_equal_to_default(self, calibrated):
+        # The hand-set threshold is deliberately generous; the evidence
+        # supports something tighter.
+        config, _ = calibrated
+        assert config.max_horizontal_gap <= DEFAULT_SPATIAL.max_horizontal_gap
+
+    def test_no_evidence_keeps_base(self):
+        calibrator = SpatialCalibrator()
+        config = calibrator.fit()
+        assert config.max_horizontal_gap == DEFAULT_SPATIAL.max_horizontal_gap
+        assert config.max_vertical_gap == DEFAULT_SPATIAL.max_vertical_gap
+
+    def test_slack_scales_threshold(self, calibrated):
+        train = build_basic(sources_per_domain=3).sources
+        tight, _ = calibrate_spatial_config(train, slack=1.0)
+        loose, _ = calibrate_spatial_config(train, slack=2.0)
+        assert loose.max_horizontal_gap >= tight.max_horizontal_gap
+
+
+class TestGeneralization:
+    def test_learned_config_holds_accuracy_on_held_out(self, calibrated):
+        config, _ = calibrated
+        learned = FormExtractor(grammar=build_standard_grammar(spatial=config))
+        harness = EvaluationHarness(
+            extract=lambda html: list(learned.extract(html).conditions)
+        )
+        held_out = build_new_domain(sources_per_domain=3)
+        learned_result = harness.evaluate(held_out)
+        default_result = EvaluationHarness().evaluate(held_out)
+        assert learned_result.accuracy >= default_result.accuracy - 0.03

@@ -1,0 +1,123 @@
+"""Tests for the mediator and the result-page parser."""
+
+import pytest
+
+from repro.mediator import Mediator
+from repro.query.planner import Constraint
+from repro.semantics.matching import normalize_attribute
+from repro.webdb.resultparse import parse_result_page
+from repro.webdb.source import SimulatedSource
+
+
+@pytest.fixture(scope="module")
+def mediator():
+    med = Mediator()
+    for seed in (81_001, 81_002, 81_003, 81_004):
+        med.add_source(
+            SimulatedSource.create("Books", seed=seed, record_count=60)
+        )
+    return med
+
+
+def source_of(mediator, name):
+    return next(
+        source for source in mediator._sources
+        if source.generated.name == name
+    )
+
+
+class TestOnboarding:
+    def test_descriptions_stored(self, mediator):
+        assert len(mediator.source_names) == 4
+        for name in mediator.source_names:
+            model = mediator.description_of(name)
+            assert model is not None
+            assert len(model.conditions) > 0
+
+    def test_description_is_extracted_not_truth(self, mediator):
+        # The mediator must not have peeked at ground truth: descriptions
+        # come from FormExtractor over HTML.
+        name = mediator.source_names[0]
+        source = source_of(mediator, name)
+        model = mediator.description_of(name)
+        extracted_attrs = {
+            normalize_attribute(c.attribute) for c in model.conditions
+        }
+        truth_attrs = {
+            normalize_attribute(c.attribute) for c in source.generated.truth
+        }
+        # Extracted attributes overlap the truth heavily (sanity), and the
+        # description exists independently of it.
+        assert extracted_attrs & truth_attrs
+
+
+class TestRouting:
+    def test_capability_based_selection(self, mediator):
+        query = [Constraint("Format", "Hardcover")]
+        capable = mediator.capable_sources(query)
+        answer = mediator.query(query)
+        assert answer.sources_queried == capable
+        for name in answer.sources_skipped:
+            assert name not in capable
+
+    def test_skipped_sources_carry_reasons(self, mediator):
+        query = [Constraint("Quantum flux", "yes")]
+        answer = mediator.query(query)
+        assert answer.sources_queried == []
+        for source_answer in answer.answers:
+            assert "no condition" in source_answer.skipped_reason
+
+    def test_records_tagged_with_provenance(self, mediator):
+        query = [Constraint("Format", "Hardcover")]
+        answer = mediator.query(query)
+        for name, record in answer.records:
+            assert name in answer.sources_queried
+            assert record["Format"] == "Hardcover"
+
+    def test_partial_mode_queries_more(self, mediator):
+        query = [
+            Constraint("Format", "Hardcover"),
+            Constraint("Quantum flux", "yes"),
+        ]
+        strict = mediator.query(query)
+        partial = mediator.query(query, partial=True)
+        assert len(partial.sources_queried) >= len(strict.sources_queried)
+
+    def test_empty_query_hits_every_source(self, mediator):
+        answer = mediator.query([])
+        assert set(answer.sources_queried) == set(mediator.source_names)
+
+
+class TestResultPageParsing:
+    @pytest.fixture(scope="class")
+    def source(self):
+        return SimulatedSource.create("Books", seed=81_001, record_count=60)
+
+    def test_round_trip_counts(self, source):
+        page = source.result_page({})
+        total, records = parse_result_page(page.html)
+        assert total == len(page.records)
+        assert len(records) == min(50, len(page.records))
+
+    def test_round_trip_values(self, source):
+        page = source.result_page({})
+        _, records = parse_result_page(page.html)
+        original = page.records[0]
+        parsed = records[0]
+        for label, value in parsed.items():
+            assert value == str(original[label])
+
+    def test_empty_result_page(self, source):
+        page = source.result_page(
+            {"nonexistent_field": ["x"]}
+        )
+        total, records = parse_result_page(page.html)
+        assert total == len(page.records)
+
+    def test_pageless_html(self):
+        total, records = parse_result_page("<html><body>nope</body></html>")
+        assert total == 0
+        assert records == []
+
+    def test_garbage_html(self):
+        parse_result_page("<<<>>>")  # must not raise

@@ -1,0 +1,87 @@
+"""Tests for the merger: condition union, conflicts, missing elements."""
+
+import pytest
+
+from repro.datasets.fixtures import QAA_VARIANT_HTML, QAM_HTML
+from repro.extractor import FormExtractor
+from repro.merger.merger import Merger, merge_parse_result
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return FormExtractor()
+
+
+class TestConditionCollection:
+    def test_qam_yields_five_conditions(self, extractor):
+        model = extractor.extract(QAM_HTML)
+        assert len(model) == 5
+        assert model.attributes() == [
+            "Author", "Title", "Subject", "ISBN", "Publisher",
+        ]
+
+    def test_conditions_in_reading_order(self, extractor):
+        model = extractor.extract(QAM_HTML)
+        assert model.attributes()[0] == "Author"
+
+    def test_duplicate_conditions_deduped(self, extractor):
+        detail = extractor.extract_detailed(QAM_HTML)
+        conditions = detail.model.conditions
+        assert len(conditions) == len(set(conditions))
+
+    def test_nested_conditions_not_double_reported(self, extractor):
+        # Each extracted condition's coverage must be disjoint from every
+        # other condition in the same tree.
+        detail = extractor.extract_detailed(QAM_HTML)
+        entries = detail.report.extracted
+        for i, first in enumerate(entries):
+            for second in entries[i + 1:]:
+                overlap = first.coverage & second.coverage
+                # Overlap may only come from *different* trees competing.
+                if overlap:
+                    assert first.node_uid != second.node_uid
+
+
+class TestErrorReporting:
+    def test_clean_form_has_no_errors(self, extractor):
+        model = extractor.extract(QAM_HTML)
+        assert model.conflicts == []
+        assert model.missing == []
+
+    def test_variant_reports_conflicts(self, extractor):
+        # The Figure 14-style variant: the merged label run competes for
+        # two selects (paper: "they conflict by competing for the number
+        # selection").
+        detail = extractor.extract_detailed(QAA_VARIANT_HTML)
+        assert detail.model.conflicts
+        assert len(detail.parse.trees) > 1
+
+    def test_missing_excludes_decoration(self, extractor):
+        # Submit buttons etc. never count as missing content.
+        model = extractor.extract(QAM_HTML)
+        assert all("submit" not in item for item in model.missing)
+
+    def test_unparseable_junk_reported_missing(self, extractor):
+        html = """
+        <form>
+        Keyword: <input name=q><br><br><br>
+        <select name=mystery></select>
+        </form>
+        """
+        detail = extractor.extract_detailed(html)
+        # The empty, unattached select may be mis-modelled but the form's
+        # real condition must still come out.
+        assert any(c.attribute == "Keyword" for c in detail.model.conditions)
+
+
+class TestMergeParseResult:
+    def test_wrapper_returns_model(self, extractor):
+        detail = extractor.extract_detailed(QAM_HTML)
+        model = merge_parse_result(detail.parse)
+        assert model.attributes() == detail.model.attributes()
+
+    def test_merger_reusable(self, extractor):
+        merger = Merger()
+        first = merger.merge(extractor.extract_detailed(QAM_HTML).parse)
+        second = merger.merge(extractor.extract_detailed(QAM_HTML).parse)
+        assert first.model.attributes() == second.model.attributes()

@@ -1,0 +1,133 @@
+"""Paper-faithful parsing scenarios: Figures 5, 7-9 and Section 4.2.1.
+
+These tests exercise the example grammar G of Figure 6 against the
+amazon.com fragment of Figure 5, asserting the behaviours the paper
+describes: the RBU-vs-Attr ambiguity (Example 2, Figure 7), the radio-list
+grouping ambiguity (Example 3, Figures 8-9), the 42-instance correct
+parse, and the brute-force blow-up that just-in-time pruning controls.
+"""
+
+import pytest
+
+from repro.datasets.fixtures import QAM_FRAGMENT_HTML
+from repro.parser.parser import BestEffortParser, ExhaustiveParser
+from repro.tokens.tokenizer import tokenize_html
+
+
+@pytest.fixture(scope="module")
+def fragment_tokens():
+    return tokenize_html(QAM_FRAGMENT_HTML)
+
+
+@pytest.fixture(scope="module")
+def best_effort_result(example_grammar, fragment_tokens):
+    return BestEffortParser(example_grammar).parse(fragment_tokens)
+
+
+@pytest.fixture(scope="module")
+def exhaustive_result(example_grammar, fragment_tokens):
+    return ExhaustiveParser(example_grammar).parse(fragment_tokens)
+
+
+class TestFigure5Tokens:
+    def test_sixteen_tokens(self, fragment_tokens):
+        # Figure 5: the fragment tokenizes into 16 tokens.
+        assert len(fragment_tokens) == 16
+
+    def test_token_mix(self, fragment_tokens):
+        from collections import Counter
+
+        counts = Counter(t.terminal for t in fragment_tokens)
+        assert counts == {"text": 8, "radiobutton": 6, "textbox": 2}
+
+    def test_author_token_attributes(self, fragment_tokens):
+        author = next(t for t in fragment_tokens if t.sval == "Author")
+        assert author.terminal == "text"
+        # pos is the universal attribute (Figure 5).
+        assert author.bbox.width > 0
+
+
+class TestCorrectParse:
+    def test_single_complete_tree(self, best_effort_result):
+        assert best_effort_result.is_complete
+        assert len(best_effort_result.trees) == 1
+
+    def test_paper_instance_count(self, best_effort_result):
+        # Section 4.2.1: "one correct parse tree containing 42 instances
+        # (26 non-terminals and 16 terminals)".
+        tree = best_effort_result.trees[0]
+        assert tree.size() == 42
+        terminals = sum(1 for n in tree.descendants() if n.is_terminal)
+        assert terminals == 16
+        assert tree.size() - terminals == 26
+
+    def test_textop_interpretation_wins(self, best_effort_result):
+        # Figure 9 parse tree 1: the radio list is the author's operator.
+        tree = best_effort_result.trees[0]
+        textops = list(tree.find_all("TextOp"))
+        assert len(textops) == 2  # author and title
+        enums = list(tree.find_all("EnumRB"))
+        assert enums == []
+
+    def test_operator_payloads(self, best_effort_result):
+        tree = best_effort_result.trees[0]
+        operator_sets = {
+            textop.payload["operators"]
+            for textop in tree.find_all("TextOp")
+        }
+        assert (
+            "first name/initials and last name",
+            "start(s) of last name",
+            "exact name",
+        ) in operator_sets
+
+
+class TestAmbiguityControl:
+    def test_rbu_beats_attr_on_radio_labels(
+        self, best_effort_result, fragment_tokens
+    ):
+        # Example 2 / Example 5: the Attr reading of a radio label is
+        # pruned by the RBU interpretation (preference R1).
+        label_ids = {
+            t.id for t in fragment_tokens
+            if t.sval.startswith(("first name", "start(s)", "exact name"))
+        }
+        for instance in best_effort_result.instances:
+            if instance.symbol == "Attr" and instance.coverage <= label_ids:
+                assert not instance.alive
+
+    def test_full_rblist_survives_r2(self, best_effort_result):
+        # Example 3 / Figure 8: the length-3 list interpretation wins.
+        alive_lists = [
+            i
+            for i in best_effort_result.instances
+            if i.symbol == "RBList" and i.alive
+        ]
+        assert max(len(i.coverage) for i in alive_lists) == 6
+
+    def test_pruning_reduces_instances(
+        self, best_effort_result, exhaustive_result
+    ):
+        # Section 4.2.1's headline: brute force explodes, pruning doesn't.
+        pruned = best_effort_result.stats.instances_created
+        brute = exhaustive_result.stats.instances_created
+        assert brute > 10 * pruned
+
+    def test_exhaustive_has_many_complete_parses(self, exhaustive_result):
+        # The paper reports 25 parse trees for its grammar; the exact count
+        # depends on thresholds, but global ambiguity must be plural.
+        assert len(exhaustive_result.complete_parses("QI")) > 1
+
+    def test_exhaustive_temporary_instances_dominate(self, exhaustive_result):
+        # Paper: 645 of 773 instances were temporary.
+        temporary = len(exhaustive_result.temporary_instances())
+        created = exhaustive_result.stats.instances_created
+        assert temporary > created / 2
+
+    def test_best_effort_same_final_tree_as_exhaustive_max(
+        self, best_effort_result, exhaustive_result
+    ):
+        # Pruning must not change the chosen maximal interpretation.
+        best = best_effort_result.trees[0]
+        exhaustive_best = exhaustive_result.trees[0]
+        assert best.coverage == exhaustive_best.coverage

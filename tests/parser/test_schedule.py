@@ -1,0 +1,162 @@
+"""Tests for the 2P schedule graph (paper Section 5.2)."""
+
+import pytest
+
+from repro.grammar.dsl import GrammarBuilder
+from repro.parser.schedule import ScheduleError, build_schedule
+
+
+def builder():
+    g = GrammarBuilder(start="S")
+    g.terminals("t")
+    return g
+
+
+class TestDEdges:
+    def test_children_before_parents(self):
+        g = builder()
+        g.production("A", ["t"])
+        g.production("B", ["A"])
+        g.production("S", ["B"])
+        order = build_schedule(g.build()).order
+        assert order.index("A") < order.index("B") < order.index("S")
+
+    def test_self_recursion_allowed(self):
+        g = builder()
+        g.production("L", ["t"])
+        g.production("L", ["L", "t"])
+        g.production("S", ["L"])
+        schedule = build_schedule(g.build())
+        assert "L" in schedule.order
+
+    def test_mutual_recursion_rejected(self):
+        g = builder()
+        g.production("A", ["B"])
+        g.production("B", ["A"])
+        g.production("A", ["t"])
+        g.production("S", ["A"])
+        with pytest.raises(ScheduleError):
+            build_schedule(g.build())
+
+    def test_diamond_schedules(self):
+        g = builder()
+        g.production("A", ["t"])
+        g.production("B", ["A"])
+        g.production("C", ["A"])
+        g.production("S", ["B", "C"])
+        order = build_schedule(g.build()).order
+        assert order.index("A") < order.index("B")
+        assert order.index("A") < order.index("C")
+        assert order.index("S") == len(order) - 1
+
+
+class TestREdges:
+    def test_winner_before_loser(self):
+        # Paper Figure 12: RBU must be scheduled before Attr.
+        g = builder()
+        g.production("Attr", ["t"])
+        g.production("RBU", ["t"])
+        g.production("S", ["Attr", "RBU"])
+        g.prefer("RBU", over="Attr")
+        order = build_schedule(g.build()).order
+        assert order.index("RBU") < order.index("Attr")
+
+    def test_self_preference_ignored_for_scheduling(self):
+        g = builder()
+        g.production("L", ["t"])
+        g.production("S", ["L"])
+        g.prefer("L", over="L")
+        schedule = build_schedule(g.build())
+        assert schedule.relaxed == []
+        assert schedule.transformed == []
+
+    def test_conflicting_r_edge_transformed(self):
+        # Paper Figure 13: B and C share construct A; mutually-preferring
+        # r-edges form a cycle; the transformation orders the winner
+        # before the loser's parents instead.
+        g = builder()
+        g.production("A", ["t"])
+        g.production("B", ["A"])
+        g.production("C", ["A"])
+        g.production("E", ["B"])
+        g.production("F", ["B"])
+        g.production("D", ["C"])
+        g.production("S", ["E", "F", "D"])
+        g.prefer("B", over="C", name="RCB")
+        g.prefer("C", over="B", name="RBC")
+        schedule = build_schedule(g.build())
+        order = schedule.order
+        # First preference fits directly; the second is transformed: C is
+        # ordered before B's parents E and F.
+        assert order.index("B") < order.index("C")
+        assert len(schedule.transformed) == 1
+        assert schedule.transformed[0].name == "RBC"
+        assert order.index("C") < order.index("E")
+        assert order.index("C") < order.index("F")
+
+    def test_untransformable_r_edge_relaxed(self):
+        # The loser has no other parent, so transformation cannot apply
+        # and the preference is relaxed (rollback compensates).
+        g = builder()
+        g.production("A", ["t"])
+        g.production("B", ["A"])
+        g.production("S", ["B"])
+        # B is built FROM A, so "A before B" holds via d-edge; preferring
+        # B over... A creates winner-edge B->A conflicting with d-edge.
+        g.prefer("B", over="A", name="cyclic")
+        schedule = build_schedule(g.build())
+        names = [p.name for p in schedule.relaxed + schedule.transformed]
+        assert "cyclic" in names
+
+    def test_all_symbols_scheduled_exactly_once(self):
+        g = builder()
+        for head in "ABCDE":
+            g.production(head, ["t"])
+        g.production("S", list("ABCDE"))
+        g.prefer("E", over="A")
+        g.prefer("D", over="B")
+        order = build_schedule(g.build()).order
+        assert sorted(order) == sorted(set(order))
+        assert set(order) == {"A", "B", "C", "D", "E", "S"}
+
+
+class TestDeterminism:
+    def test_same_grammar_same_order(self):
+        def make():
+            g = builder()
+            g.production("A", ["t"])
+            g.production("B", ["t"])
+            g.production("S", ["A", "B"])
+            g.prefer("B", over="A")
+            return build_schedule(g.build()).order
+
+        assert make() == make()
+
+
+class TestStandardGrammarSchedule:
+    def test_schedulable(self, standard_grammar):
+        schedule = build_schedule(standard_grammar)
+        assert schedule.order[-1] == "QI"
+
+    def test_jit_invariants(self, standard_grammar):
+        schedule = build_schedule(standard_grammar)
+        position = {s: i for i, s in enumerate(schedule.order)}
+        relaxed = {p.name for p in schedule.relaxed}
+        transformed = {p.name for p in schedule.transformed}
+        for preference in standard_grammar.preferences:
+            if preference.winner_symbol == preference.loser_symbol:
+                continue
+            if preference.name in relaxed or preference.name in transformed:
+                continue
+            assert (
+                position[preference.winner_symbol]
+                < position[preference.loser_symbol]
+            )
+
+    def test_components_precede_heads(self, standard_grammar):
+        schedule = build_schedule(standard_grammar)
+        position = {s: i for i, s in enumerate(schedule.order)}
+        for production in standard_grammar.productions:
+            for component in production.components:
+                if component in position and component != production.head:
+                    assert position[component] < position[production.head]

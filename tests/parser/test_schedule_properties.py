@@ -1,0 +1,99 @@
+"""Property-based tests for the 2P schedule graph on random grammars."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar.dsl import GrammarBuilder
+from repro.parser.schedule import build_schedule
+
+_SYMBOLS = [f"N{i}" for i in range(8)]
+
+
+@st.composite
+def random_grammars(draw):
+    """Random layered grammars (d-edges acyclic by construction) with
+    arbitrary preferences."""
+    layer_count = draw(st.integers(min_value=2, max_value=4))
+    layers: list[list[str]] = [["t"]]
+    symbol_iter = iter(_SYMBOLS)
+    for _ in range(layer_count):
+        size = draw(st.integers(min_value=1, max_value=2))
+        layers.append([next(symbol_iter) for _ in range(size)])
+
+    g = GrammarBuilder(start=layers[-1][0])
+    g.terminals("t")
+    for depth in range(1, len(layers)):
+        below = [s for layer in layers[:depth] for s in layer]
+        for symbol in layers[depth]:
+            component_count = draw(st.integers(min_value=1, max_value=2))
+            components = [
+                below[draw(st.integers(0, len(below) - 1))]
+                for _ in range(component_count)
+            ]
+            g.production(symbol, components)
+    # Ensure the start symbol can reach everything is not required; the
+    # scheduler works on the production set alone.
+    nonterminals = [s for layer in layers[1:] for s in layer]
+    preference_count = draw(st.integers(min_value=0, max_value=6))
+    for _ in range(preference_count):
+        winner = nonterminals[draw(st.integers(0, len(nonterminals) - 1))]
+        loser = nonterminals[draw(st.integers(0, len(nonterminals) - 1))]
+        g.prefer(winner, over=loser)
+    return g.build()
+
+
+class TestScheduleProperties:
+    @given(random_grammars())
+    @settings(max_examples=120, deadline=None)
+    def test_schedules_without_error(self, grammar):
+        schedule = build_schedule(grammar)
+        assert set(schedule.order) == {
+            production.head for production in grammar.productions
+        }
+
+    @given(random_grammars())
+    @settings(max_examples=120, deadline=None)
+    def test_components_always_precede_heads(self, grammar):
+        schedule = build_schedule(grammar)
+        position = {s: i for i, s in enumerate(schedule.order)}
+        for production in grammar.productions:
+            for component in production.components:
+                if component in position and component != production.head:
+                    assert position[component] < position[production.head]
+
+    @given(random_grammars())
+    @settings(max_examples=120, deadline=None)
+    def test_honoured_preferences_ordered(self, grammar):
+        schedule = build_schedule(grammar)
+        position = {s: i for i, s in enumerate(schedule.order)}
+        weakened = {p.name for p in schedule.relaxed} | {
+            p.name for p in schedule.transformed
+        }
+        for preference in grammar.preferences:
+            if preference.winner_symbol == preference.loser_symbol:
+                continue
+            if preference.name in weakened:
+                continue
+            assert (
+                position[preference.winner_symbol]
+                < position[preference.loser_symbol]
+            ), preference.name
+
+    @given(random_grammars())
+    @settings(max_examples=60, deadline=None)
+    def test_transformed_preferences_order_losers_parents(self, grammar):
+        schedule = build_schedule(grammar)
+        position = {s: i for i, s in enumerate(schedule.order)}
+        for preference in schedule.transformed:
+            winner = preference.winner_symbol
+            for parent in grammar.component_heads(preference.loser_symbol):
+                if parent in (winner, preference.loser_symbol):
+                    continue
+                assert position[winner] < position[parent], (
+                    preference.name, parent,
+                )
+
+    @given(random_grammars())
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic(self, grammar):
+        assert build_schedule(grammar).order == build_schedule(grammar).order

@@ -1,0 +1,145 @@
+"""Tests for the query planner."""
+
+import pytest
+
+from repro.query.planner import Constraint, PlanError, QueryPlanner
+from repro.semantics.condition import Condition, Domain, SemanticModel
+
+
+def model():
+    return SemanticModel(conditions=[
+        Condition(
+            "Author", ("first name", "exact name"), Domain("text"),
+            fields=("author", "author_mode"),
+            operator_bindings=(
+                ("first name", "author_mode", "fl"),
+                ("exact name", "author_mode", "ex"),
+            ),
+        ),
+        Condition(
+            "Subject", ("=",), Domain("enum", ("Arts", "Fiction")),
+            fields=("subject",),
+            value_bindings=(
+                ("Arts", "subject", "Arts"),
+                ("Fiction", "subject", "Fiction"),
+            ),
+        ),
+        Condition(
+            "Features", ("in",), Domain("enum", ("Pool", "Gym")),
+            fields=("features",),
+            value_bindings=(
+                ("Pool", "features", "v0"),
+                ("Gym", "features", "v1"),
+            ),
+        ),
+        Condition(
+            "Price", ("between",), Domain("range"),
+            fields=("price_lo", "price_hi"),
+            field_roles=(("price_lo", "lo"), ("price_hi", "hi")),
+        ),
+        Condition(
+            "Departure date", ("=",), Domain("datetime"),
+            fields=("dep_m", "dep_d"),
+            field_roles=(("dep_m", "month"), ("dep_d", "day")),
+        ),
+    ])
+
+
+@pytest.fixture()
+def planner():
+    return QueryPlanner(model())
+
+
+class TestLookup:
+    def test_condition_for_normalizes(self, planner):
+        assert planner.condition_for("author:").attribute == "Author"
+        assert planner.condition_for("AUTHOR").attribute == "Author"
+        assert planner.condition_for("publisher") is None
+
+
+class TestTextPlanning:
+    def test_simple_fill(self, planner):
+        plan = planner.plan([Constraint("Author", "tom clancy")])
+        assert plan.complete
+        assert plan.params == {"author": ["tom clancy"]}
+
+    def test_operator_selection(self, planner):
+        plan = planner.plan(
+            [Constraint("Author", "tom clancy", operator="exact name")]
+        )
+        assert plan.params == {
+            "author": ["tom clancy"], "author_mode": ["ex"],
+        }
+
+    def test_unknown_operator_unplanned(self, planner):
+        plan = planner.plan(
+            [Constraint("Author", "x", operator="soundex")]
+        )
+        assert not plan.complete
+        assert "soundex" in plan.unplanned[0][1]
+
+
+class TestEnumPlanning:
+    def test_single_value(self, planner):
+        plan = planner.plan([Constraint("Subject", "Fiction")])
+        assert plan.params == {"subject": ["Fiction"]}
+
+    def test_value_matching_normalized(self, planner):
+        plan = planner.plan([Constraint("Subject", "fiction")])
+        assert plan.complete
+
+    def test_multi_value(self, planner):
+        plan = planner.plan([Constraint("Features", ("Pool", "Gym"))])
+        assert plan.params == {"features": ["v0", "v1"]}
+
+    def test_out_of_domain_value(self, planner):
+        plan = planner.plan([Constraint("Subject", "Cooking")])
+        assert not plan.complete
+
+
+class TestRangePlanning:
+    def test_both_endpoints(self, planner):
+        plan = planner.plan([Constraint("Price", (5, 20))])
+        assert plan.params == {"price_lo": ["5"], "price_hi": ["20"]}
+
+    def test_open_endpoint(self, planner):
+        plan = planner.plan([Constraint("Price", (None, 20))])
+        assert plan.params == {"price_hi": ["20"]}
+
+    def test_malformed_value(self, planner):
+        plan = planner.plan([Constraint("Price", 12)])
+        assert not plan.complete
+
+
+class TestDatePlanning:
+    def test_full_date(self, planner):
+        plan = planner.plan(
+            [Constraint("Departure date", ("March", 15, 2005))]
+        )
+        # The model only exposes month/day fields; the year is dropped.
+        assert plan.params == {"dep_m": ["March"], "dep_d": ["15"]}
+        assert plan.complete
+
+    def test_partial_date(self, planner):
+        plan = planner.plan([Constraint("Departure date", ("March", None, None))])
+        assert plan.params == {"dep_m": ["March"]}
+
+
+class TestErrorHandling:
+    def test_unknown_attribute_collected(self, planner):
+        plan = planner.plan([Constraint("Publisher", "x")])
+        assert len(plan.unplanned) == 1
+        assert plan.planned == []
+
+    def test_strict_mode_raises(self, planner):
+        with pytest.raises(PlanError):
+            planner.plan([Constraint("Publisher", "x")], strict=True)
+
+    def test_mixed_outcome(self, planner):
+        plan = planner.plan([
+            Constraint("Author", "x"),
+            Constraint("Publisher", "y"),
+        ])
+        assert len(plan.planned) == 1
+        assert len(plan.unplanned) == 1
+        assert plan.params == {"author": ["x"]}

@@ -1,0 +1,133 @@
+"""Tests for cross-source refinement (paper Section 7 suggestions)."""
+
+import pytest
+
+from repro.datasets.fixtures import QAA_HTML, QAA_VARIANT_HTML
+from repro.datasets.repository import build_dataset
+from repro.extractor import FormExtractor
+from repro.refine import DomainKnowledge, DomainRefiner
+from repro.semantics.condition import Condition, SemanticModel
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return FormExtractor()
+
+
+@pytest.fixture(scope="module")
+def airfare_knowledge(extractor):
+    dataset = build_dataset("K", {"Airfares": 12}, base_seed=7_000)
+    knowledge = DomainKnowledge()
+    for source in dataset:
+        knowledge.observe_model(extractor.extract(source.html))
+    knowledge.observe_model(extractor.extract(QAA_HTML))
+    return knowledge
+
+
+class TestDomainKnowledge:
+    def test_counts_normalized_attributes(self):
+        knowledge = DomainKnowledge()
+        knowledge.observe_model(
+            SemanticModel(conditions=[Condition("Author:")])
+        )
+        knowledge.observe_model(
+            SemanticModel(conditions=[Condition("author")])
+        )
+        assert knowledge.popularity("AUTHOR") == 2
+        assert knowledge.sources_seen == 2
+
+    def test_conflicted_sources_do_not_teach(self):
+        knowledge = DomainKnowledge()
+        knowledge.observe_model(
+            SemanticModel(
+                conditions=[Condition("Author")], conflicts=["textbox 'x'"]
+            )
+        )
+        assert knowledge.popularity("Author") == 0
+        assert knowledge.sources_seen == 1
+
+    def test_empty_attributes_not_counted(self):
+        knowledge = DomainKnowledge()
+        knowledge.observe_model(SemanticModel(conditions=[Condition("")]))
+        assert not knowledge.attribute_counts
+
+    def test_is_known_threshold(self, airfare_knowledge):
+        assert airfare_knowledge.is_known("Adults", min_support=2)
+        assert not airfare_knowledge.is_known("Quantum flux", min_support=1)
+
+    def test_best_match_similarity(self, airfare_knowledge):
+        assert airfare_knowledge.best_match("Adults:") == "adults"
+        assert airfare_knowledge.best_match("Adultes") == "adults"
+        assert airfare_knowledge.best_match("xyzzy") is None
+
+
+class TestConflictResolution:
+    def test_variant_conflict_resolved(self, extractor, airfare_knowledge):
+        detail = extractor.extract_detailed(QAA_VARIANT_HTML)
+        assert detail.model.conflicts  # precondition
+        before = len(detail.model.conditions)
+        refined, stats = DomainRefiner(airfare_knowledge).refine(detail)
+        assert stats.conflicts_resolved >= 1
+        assert stats.conditions_dropped >= 1
+        assert len(refined.conditions) < before
+        assert refined.conflicts == []
+
+    def test_clean_extraction_unchanged(self, extractor, airfare_knowledge):
+        detail = extractor.extract_detailed(QAA_HTML)
+        refined, stats = DomainRefiner(airfare_knowledge).refine(detail)
+        assert stats.conflicts_resolved == 0
+        assert stats.conditions_dropped == 0
+        assert refined.conditions == list(detail.model.conditions)
+
+    def test_known_attribute_beats_unknown(self, extractor):
+        # Build knowledge where one competitor's attribute is well known.
+        knowledge = DomainKnowledge()
+        for _ in range(3):
+            knowledge.observe_model(
+                SemanticModel(conditions=[Condition("Adults")])
+            )
+        detail = extractor.extract_detailed(QAA_VARIANT_HTML)
+        refined, stats = DomainRefiner(knowledge).refine(detail)
+        # The merged-label competitors are unknown; arbitration keeps one.
+        assert stats.conflicts_resolved >= 1
+
+
+class TestMissingRecovery:
+    HTML = """
+    <html><body><form action="/f">
+    <table cellspacing="20" cellpadding="2">
+    <tr><td>Cabin</td></tr>
+    </table>
+    <select name="cabin"><option>Economy</option><option>Business</option>
+    <option>First</option></select>
+    <input type="submit" value="Go">
+    </form></body></html>
+    """
+
+    def test_bare_condition_adopts_similar_missing_text(self, extractor):
+        # The wide spacing detaches the "Cabin" label from its select:
+        # extraction yields a bare enum condition plus an unclaimed text.
+        detail = extractor.extract_detailed(self.HTML)
+        bare = [c for c in detail.model.conditions if not c.attribute]
+        assert bare
+        assert (
+            detail.report.missing_tokens
+            or detail.report.unclaimed_text_tokens
+        )
+        knowledge = DomainKnowledge()
+        for _ in range(3):
+            knowledge.observe_model(
+                SemanticModel(conditions=[Condition("Cabin")])
+            )
+        refined, stats = DomainRefiner(knowledge).refine(detail)
+        assert stats.attributes_recovered == 1
+        assert any(c.attribute == "Cabin" for c in refined.conditions)
+
+    def test_no_recovery_without_similar_knowledge(self, extractor):
+        detail = extractor.extract_detailed(self.HTML)
+        knowledge = DomainKnowledge()
+        knowledge.observe_model(
+            SemanticModel(conditions=[Condition("Completely different")])
+        )
+        refined, stats = DomainRefiner(knowledge).refine(detail)
+        assert stats.attributes_recovered == 0

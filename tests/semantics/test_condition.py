@@ -1,0 +1,79 @@
+"""Tests for the condition/domain/semantic-model types."""
+
+import pytest
+
+from repro.semantics.condition import Condition, Domain, SemanticModel
+
+
+class TestDomain:
+    def test_valid_kinds(self):
+        for kind in ("text", "enum", "range", "datetime"):
+            Domain(kind)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Domain("bool")
+
+    def test_str_text(self):
+        assert str(Domain("text")) == "text"
+
+    def test_str_enum_preview(self):
+        domain = Domain("enum", ("a", "b", "c", "d", "e"))
+        rendered = str(domain)
+        assert rendered.startswith("{a, b, c, d")
+        assert "..." in rendered
+
+    def test_enum_values_preserved(self):
+        domain = Domain("enum", ("New", "Used"))
+        assert domain.values == ("New", "Used")
+
+    def test_hashable(self):
+        assert hash(Domain("enum", ("a",))) == hash(Domain("enum", ("a",)))
+
+
+class TestCondition:
+    def test_defaults(self):
+        condition = Condition("Author")
+        assert condition.operators == ("contains",)
+        assert condition.domain.kind == "text"
+
+    def test_str_matches_paper_notation(self):
+        condition = Condition("Author", ("exact name",), Domain("text"))
+        assert str(condition) == "[Author; {exact name}; text]"
+
+    def test_equality_and_hash(self):
+        a = Condition("X", ("=",), Domain("enum", ("1",)), ("f",))
+        b = Condition("X", ("=",), Domain("enum", ("1",)), ("f",))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_fields(self):
+        a = Condition("X", fields=("f1",))
+        b = Condition("X", fields=("f2",))
+        assert a != b
+
+
+class TestSemanticModel:
+    def test_iteration_and_len(self):
+        model = SemanticModel(conditions=[Condition("A"), Condition("B")])
+        assert len(model) == 2
+        assert [c.attribute for c in model] == ["A", "B"]
+
+    def test_attributes(self):
+        model = SemanticModel(conditions=[Condition("A"), Condition("B")])
+        assert model.attributes() == ["A", "B"]
+
+    def test_describe_includes_errors(self):
+        model = SemanticModel(
+            conditions=[Condition("A")],
+            conflicts=["selectlist 'n'"],
+            missing=["text 'orphan'"],
+        )
+        text = model.describe()
+        assert "[A;" in text
+        assert "conflicts" in text
+        assert "missing" in text
+
+    def test_describe_clean_model_has_no_error_lines(self):
+        model = SemanticModel(conditions=[Condition("A")])
+        assert "!" not in model.describe()

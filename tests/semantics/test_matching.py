@@ -1,0 +1,112 @@
+"""Tests for condition matching and label normalization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semantics.condition import Condition, Domain
+from repro.semantics.matching import ConditionMatcher, normalize_attribute
+
+
+class TestNormalization:
+    def test_case_folded(self):
+        assert normalize_attribute("AUTHOR") == "author"
+
+    def test_trailing_colon(self):
+        assert normalize_attribute("Author:") == "author"
+
+    def test_asterisk_and_whitespace(self):
+        assert normalize_attribute("  Author*: ") == "author"
+
+    def test_parenthesised_hint_removed(self):
+        assert normalize_attribute("Price (USD)") == "price"
+
+    def test_inner_whitespace_collapsed(self):
+        assert normalize_attribute("departure   date") == "departure date"
+
+    def test_dollar_kept(self):
+        assert normalize_attribute("$5 to $20") == "$5 to $20"
+
+    @given(st.text(max_size=40))
+    def test_idempotent(self, text):
+        once = normalize_attribute(text)
+        assert normalize_attribute(once) == once
+
+
+def cond(attribute="Author", operators=("contains",), kind="text",
+         values=(), fields=("f",)):
+    return Condition(attribute, operators, Domain(kind, values), fields)
+
+
+class TestMatcher:
+    def setup_method(self):
+        self.matcher = ConditionMatcher()
+
+    def test_exact_match(self):
+        assert self.matcher.matches(cond(), cond())
+
+    def test_label_decoration_ignored(self):
+        assert self.matcher.matches(cond("Author*:"), cond("author"))
+
+    def test_fields_ignored(self):
+        assert self.matcher.matches(cond(fields=("a",)), cond(fields=("b",)))
+
+    def test_attribute_mismatch(self):
+        assert not self.matcher.matches(cond("Author"), cond("Title"))
+
+    def test_domain_kind_mismatch(self):
+        assert not self.matcher.matches(cond(kind="text"), cond(kind="range"))
+
+    def test_enum_values_as_sets(self):
+        a = cond(kind="enum", values=("New", "Used"), operators=("=",))
+        b = cond(kind="enum", values=("used", "NEW"), operators=("=",))
+        assert self.matcher.matches(a, b)
+
+    def test_enum_values_mismatch(self):
+        a = cond(kind="enum", values=("New",), operators=("=",))
+        b = cond(kind="enum", values=("New", "Used"), operators=("=",))
+        assert not self.matcher.matches(a, b)
+
+    def test_operator_mismatch(self):
+        assert not self.matcher.matches(
+            cond(operators=("contains",)), cond(operators=("exact",))
+        )
+
+    def test_lenient_matcher_ignores_operators(self):
+        lenient = ConditionMatcher(require_operators=False)
+        assert lenient.matches(
+            cond(operators=("contains",)), cond(operators=("exact",))
+        )
+
+    def test_lenient_domain_values(self):
+        lenient = ConditionMatcher(require_domain_values=False)
+        a = cond(kind="enum", values=("x",), operators=("=",))
+        b = cond(kind="enum", values=("y",), operators=("=",))
+        assert lenient.matches(a, b)
+
+
+class TestMatchSets:
+    def setup_method(self):
+        self.matcher = ConditionMatcher()
+
+    def test_one_to_one(self):
+        truth = [cond("A"), cond("B")]
+        extracted = [cond("B"), cond("A")]
+        pairs = self.matcher.match_sets(extracted, truth)
+        assert len(pairs) == 2
+
+    def test_duplicates_not_double_counted(self):
+        truth = [cond("A")]
+        extracted = [cond("A"), cond("A")]
+        pairs = self.matcher.match_sets(extracted, truth)
+        assert len(pairs) == 1
+
+    def test_empty_sides(self):
+        assert self.matcher.match_sets([], [cond()]) == []
+        assert self.matcher.match_sets([cond()], []) == []
+
+    def test_partial_overlap(self):
+        truth = [cond("A"), cond("B"), cond("C")]
+        extracted = [cond("B"), cond("X")]
+        pairs = self.matcher.match_sets(extracted, truth)
+        assert len(pairs) == 1
+        assert pairs[0][1].attribute == "B"

@@ -1,0 +1,101 @@
+"""Tests for semantic-model JSON serialization."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets.fixtures import QAM_HTML
+from repro.extractor import FormExtractor
+from repro.semantics.condition import Condition, Domain, SemanticModel
+from repro.semantics.serialize import (
+    condition_from_dict,
+    condition_to_dict,
+    model_from_dict,
+    model_from_json,
+    model_to_dict,
+    model_to_json,
+)
+
+labels = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=24
+)
+label_tuples = st.lists(labels, max_size=4).map(tuple)
+
+
+def conditions():
+    domains = st.one_of(
+        st.just(Domain("text")),
+        st.just(Domain("range")),
+        st.just(Domain("datetime")),
+        label_tuples.map(lambda values: Domain("enum", values)),
+    )
+    triples = st.lists(
+        st.tuples(labels, labels, labels), max_size=3
+    ).map(tuple)
+    pairs = st.lists(st.tuples(labels, labels), max_size=3).map(tuple)
+    return st.builds(
+        Condition,
+        attribute=labels,
+        operators=label_tuples,
+        domain=domains,
+        fields=label_tuples,
+        operator_bindings=triples,
+        value_bindings=triples,
+        field_roles=pairs,
+    )
+
+
+class TestRoundTrip:
+    @given(conditions())
+    def test_condition_round_trip(self, condition):
+        assert condition_from_dict(condition_to_dict(condition)) == condition
+
+    @given(st.lists(conditions(), max_size=6))
+    def test_model_round_trip(self, condition_list):
+        model = SemanticModel(conditions=condition_list)
+        rebuilt = model_from_json(model_to_json(model))
+        assert rebuilt.conditions == model.conditions
+
+    def test_extraction_round_trips(self):
+        model = FormExtractor().extract(QAM_HTML)
+        rebuilt = model_from_json(model_to_json(model))
+        assert rebuilt.conditions == list(model.conditions)
+
+    def test_error_reports_round_trip(self):
+        model = SemanticModel(
+            conditions=[Condition("A")],
+            conflicts=["selectlist 'n'"],
+            missing=["text 'x'"],
+        )
+        rebuilt = model_from_json(model_to_json(model))
+        assert rebuilt.conflicts == model.conflicts
+        assert rebuilt.missing == model.missing
+
+
+class TestFormat:
+    def test_valid_json(self):
+        model = SemanticModel(conditions=[Condition("Author")])
+        document = json.loads(model_to_json(model))
+        assert document["format"] == 1
+        assert document["conditions"][0]["attribute"] == "Author"
+
+    def test_compact_mode(self):
+        model = SemanticModel(conditions=[Condition("A")])
+        assert "\n" not in model_to_json(model, indent=None)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            model_from_dict({"format": 99, "conditions": []})
+
+    def test_optional_keys_omitted_when_empty(self):
+        data = condition_to_dict(Condition("A"))
+        assert "operator_bindings" not in data
+        assert "value_bindings" not in data
+        assert "field_roles" not in data
+
+    def test_lenient_defaults(self):
+        condition = condition_from_dict({"attribute": "X"})
+        assert condition.operators == ("contains",)
+        assert condition.domain.kind == "text"

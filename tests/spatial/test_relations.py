@@ -1,0 +1,170 @@
+"""Tests and properties for the spatial relations."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.layout.box import BBox
+from repro.spatial.relations import (
+    DEFAULT_SPATIAL,
+    SpatialConfig,
+    above,
+    below,
+    bottom_aligned,
+    horizontally_adjacent,
+    left_aligned,
+    left_of,
+    right_of,
+    same_column,
+    same_row,
+    top_aligned,
+    vertically_adjacent,
+)
+
+# A text-like box and a field-like box on one row.
+LABEL = BBox(10, 60, 10, 29)
+FIELD = BBox(70, 220, 10, 32)
+FIELD_BELOW = BBox(10, 160, 35, 57)
+FAR_RIGHT = BBox(600, 700, 10, 29)
+FAR_DOWN = BBox(10, 60, 300, 319)
+
+
+class TestRowColumn:
+    def test_same_row_true(self):
+        assert same_row(LABEL, FIELD)
+
+    def test_same_row_false_for_stacked(self):
+        assert not same_row(LABEL, FAR_DOWN)
+
+    def test_same_row_partial_overlap(self):
+        a = BBox(0, 10, 0, 20)
+        b = BBox(20, 30, 12, 32)  # overlap 8 < 0.5 * 20
+        assert not same_row(a, b)
+
+    def test_same_column_true(self):
+        assert same_column(LABEL, FIELD_BELOW)
+
+    def test_same_column_false(self):
+        assert not same_column(LABEL, BBox(500, 600, 35, 57))
+
+    def test_zero_height_boxes(self):
+        flat = BBox(0, 10, 5, 5)
+        assert same_row(flat, BBox(12, 20, 5, 5))
+
+
+class TestLeftRight:
+    def test_left_of_adjacent(self):
+        assert left_of(LABEL, FIELD)
+
+    def test_right_of_mirror(self):
+        assert right_of(FIELD, LABEL)
+
+    def test_left_of_requires_order(self):
+        assert not left_of(FIELD, LABEL)
+
+    def test_left_of_rejects_distant(self):
+        assert not left_of(LABEL, FAR_RIGHT)
+
+    def test_left_of_rejects_different_rows(self):
+        assert not left_of(LABEL, BBox(70, 220, 100, 122))
+
+    def test_slight_overlap_tolerated(self):
+        overlapping = BBox(10, 72, 10, 29)  # 2px into the field
+        assert left_of(overlapping, FIELD)
+
+    def test_custom_config_tightens(self):
+        tight = SpatialConfig(max_horizontal_gap=5.0)
+        assert not left_of(LABEL, FIELD, tight)  # gap is 10
+
+
+class TestAboveBelow:
+    def test_above_adjacent(self):
+        assert above(LABEL, FIELD_BELOW)
+
+    def test_below_mirror(self):
+        assert below(FIELD_BELOW, LABEL)
+
+    def test_above_rejects_distant(self):
+        assert not above(LABEL, FAR_DOWN)
+
+    def test_above_requires_column(self):
+        shifted = BBox(500, 600, 35, 57)
+        assert not above(LABEL, shifted)
+
+    def test_custom_vertical_gap(self):
+        tight = SpatialConfig(max_vertical_gap=2.0)
+        assert not above(LABEL, FIELD_BELOW, tight)  # gap is 6
+
+
+class TestAlignment:
+    def test_left_aligned(self):
+        assert left_aligned(LABEL, FIELD_BELOW)
+        assert not left_aligned(LABEL, FIELD)
+
+    def test_top_aligned(self):
+        assert top_aligned(LABEL, FIELD)
+
+    def test_bottom_aligned(self):
+        a = BBox(0, 10, 0, 20)
+        b = BBox(20, 30, 5, 21)
+        assert bottom_aligned(a, b)
+
+    def test_adjacency_helpers(self):
+        assert horizontally_adjacent(FIELD, LABEL)
+        assert vertically_adjacent(FIELD_BELOW, LABEL)
+
+
+def reasonable_boxes():
+    coord = st.floats(min_value=0, max_value=800, allow_nan=False)
+    size = st.floats(min_value=1, max_value=200, allow_nan=False)
+    return st.builds(
+        lambda x, y, w, h: BBox(x, x + w, y, y + h), coord, coord, size, size
+    )
+
+
+class TestProperties:
+    @given(reasonable_boxes(), reasonable_boxes())
+    def test_left_of_antisymmetric(self, a, b):
+        if left_of(a, b):
+            assert not left_of(b, a)
+
+    @given(reasonable_boxes(), reasonable_boxes())
+    def test_above_antisymmetric(self, a, b):
+        if above(a, b):
+            assert not above(b, a)
+
+    @given(reasonable_boxes(), reasonable_boxes())
+    def test_below_is_above_swapped(self, a, b):
+        assert below(a, b) == above(b, a)
+
+    @given(reasonable_boxes(), reasonable_boxes())
+    def test_same_row_symmetric(self, a, b):
+        assert same_row(a, b) == same_row(b, a)
+
+    @given(reasonable_boxes(), reasonable_boxes())
+    def test_same_column_symmetric(self, a, b):
+        assert same_column(a, b) == same_column(b, a)
+
+    @given(reasonable_boxes())
+    def test_box_same_row_with_itself(self, box):
+        assert same_row(box, box)
+        assert same_column(box, box)
+
+    @given(reasonable_boxes())
+    def test_box_not_beside_itself(self, box):
+        assert not left_of(box, box)
+        assert not above(box, box)
+
+    @given(reasonable_boxes(), reasonable_boxes())
+    def test_left_of_implies_row_overlap(self, a, b):
+        if left_of(a, b):
+            assert same_row(a, b)
+
+    @given(
+        reasonable_boxes(),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    def test_translation_invariance(self, box, dx):
+        partner = box.translate(box.width + 5, 0)
+        assert left_of(box, partner) == left_of(
+            box.translate(dx, dx), partner.translate(dx, dx)
+        )

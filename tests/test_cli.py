@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.fixtures import QAM_HTML
+
+
+@pytest.fixture()
+def qam_file(tmp_path):
+    path = tmp_path / "qam.html"
+    path.write_text(QAM_HTML, encoding="utf-8")
+    return str(path)
+
+
+class TestExtract:
+    def test_plain_output(self, qam_file, capsys):
+        assert main(["extract", qam_file]) == 0
+        output = capsys.readouterr().out
+        assert "[Author;" in output
+        assert "[Publisher;" in output
+
+    def test_json_output(self, qam_file, capsys):
+        assert main(["extract", qam_file, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == 1
+        attributes = [c["attribute"] for c in document["conditions"]]
+        assert "Author" in attributes
+
+    def test_trace_goes_to_stderr(self, qam_file, capsys):
+        assert main(["extract", qam_file, "--trace"]) == 0
+        captured = capsys.readouterr()
+        assert "tokens=" in captured.err
+        assert "tokens=" not in captured.out
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(QAM_HTML))
+        assert main(["extract", "-"]) == 0
+        assert "[Author;" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["extract", "/no/such/file.html"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_page(self, tmp_path, capsys):
+        path = tmp_path / "empty.html"
+        path.write_text("<html></html>")
+        assert main(["extract", str(path)]) == 0
+        assert "no conditions" in capsys.readouterr().out
+
+
+class TestEvaluate:
+    def test_quick_evaluation(self, capsys):
+        assert main(["evaluate", "--scale", "0.05"]) == 0
+        output = capsys.readouterr().out
+        assert "Basic" in output
+        assert "Random" in output
+
+
+class TestGrammar:
+    def test_grammar_listing(self, capsys):
+        assert main(["grammar"]) == 0
+        output = capsys.readouterr().out
+        assert "QI -> " in output
+        assert "productions" in output
+
+
+class TestParserErrors:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,83 @@
+"""Tests for the debug visualization helpers."""
+
+import pytest
+
+from repro.datasets.fixtures import QAM_HTML
+from repro.debug import (
+    render_conditions_with_anchors,
+    render_parse_summary,
+    render_tokens,
+)
+from repro.extractor import FormExtractor
+
+
+@pytest.fixture(scope="module")
+def detail():
+    return FormExtractor().extract_detailed(QAM_HTML)
+
+
+class TestRenderTokens:
+    def test_empty(self):
+        assert render_tokens([]) == "(no tokens)"
+
+    def test_labels_and_glyphs_appear(self, detail):
+        sketch = render_tokens(detail.tokens)
+        assert "Author:" in sketch
+        assert "[______]" in sketch    # textbox glyph
+        assert "( )" in sketch         # radio glyph
+        assert "[___|v]" in sketch     # select glyph
+
+    def test_reading_order_top_to_bottom(self, detail):
+        sketch = render_tokens(detail.tokens)
+        lines = sketch.splitlines()
+        author_row = next(i for i, l in enumerate(lines) if "Author:" in l)
+        publisher_row = next(
+            i for i, l in enumerate(lines) if "Publisher:" in l
+        )
+        assert author_row < publisher_row
+
+    def test_clipped_to_width(self, detail):
+        sketch = render_tokens(detail.tokens, width=40)
+        assert all(len(line) <= 40 for line in sketch.splitlines())
+
+
+class TestRenderParseSummary:
+    def test_empty(self, detail):
+        assert render_parse_summary([], detail.tokens) == "(no parse trees)"
+
+    def test_summary_fields(self, detail):
+        summary = render_parse_summary(detail.parse.trees, detail.tokens)
+        assert "tree 1: QI" in summary
+        assert "5 condition(s)" in summary
+
+    def test_coverage_fraction(self, detail):
+        summary = render_parse_summary(detail.parse.trees, detail.tokens)
+        total = len(detail.tokens)
+        assert f"{total}/{total} tokens" in summary
+
+
+class TestRenderConditions:
+    def test_anchors_listed(self, detail):
+        text = render_conditions_with_anchors(
+            detail.parse.trees, detail.tokens
+        )
+        assert "[Author;" in text
+        assert "from: " in text
+        assert "Author:" in text
+
+    def test_empty_forest(self, detail):
+        assert "(no conditions)" in render_conditions_with_anchors(
+            [], detail.tokens
+        )
+
+
+class TestCliRenderFlag:
+    def test_render_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "form.html"
+        path.write_text(QAM_HTML)
+        assert main(["extract", str(path), "--render"]) == 0
+        err = capsys.readouterr().err
+        assert "rendered token layout" in err
+        assert "parse forest" in err

@@ -1,0 +1,79 @@
+"""Smoke tests: every example script runs cleanly.
+
+Examples are documentation; these tests keep them from rotting.  Each is
+executed in a subprocess (as a user would run it) and must exit 0 with
+the output landmarks its docstring promises.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "[Author;" in output
+        assert "parse tree" in output
+
+    def test_airfare_form(self):
+        output = run_example("airfare_form.py")
+        assert "composite date conditions: 2" in output
+        assert "conflict" in output.lower()
+
+    def test_custom_grammar(self):
+        output = run_example("custom_grammar.py")
+        assert "[children; {contains}; text]" in output
+        assert "untouched" in output
+
+    def test_survey_vocabulary(self):
+        output = run_example("survey_vocabulary.py")
+        assert "Figure 4(a)" in output
+        assert "Figure 4(b)" in output
+        assert "sel-left" in output
+
+    def test_batch_extraction_quick(self):
+        output = run_example("batch_extraction.py", "--quick")
+        assert "Figure 15(a)" in output
+        assert "baseline" in output
+
+    def test_end_to_end_query(self):
+        output = run_example("end_to_end_query.py")
+        assert "MATCH" in output
+        assert "MISMATCH" not in output
+
+    def test_mediator_demo(self):
+        output = run_example("mediator_demo.py")
+        assert "onboarded" in output
+        assert "capable sources" in output
+        assert "merged answer" in output
+
+    def test_navigation_menus(self):
+        output = run_example("navigation_menus.py")
+        assert "sections recovered exactly: 4/4" in output
+
+
+class TestExampleHygiene:
+    @pytest.mark.parametrize(
+        "script", sorted(p.name for p in EXAMPLES.glob("*.py"))
+    )
+    def test_has_docstring_and_main(self, script):
+        source = (EXAMPLES / script).read_text(encoding="utf-8")
+        assert source.lstrip().startswith(("#!", '"""'))
+        assert 'if __name__ == "__main__":' in source
+        assert "Run with::" in source

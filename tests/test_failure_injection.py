@@ -1,0 +1,143 @@
+"""Failure injection: the extractor must degrade, never die.
+
+The best-effort contract stated operationally: we take well-formed
+generated sources and break them -- truncate the HTML mid-tag, strip
+closing tags, drop attributes, splice junk, shuffle structure -- and the
+extractor must still return a semantic model (possibly a worse one)
+without raising.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.repository import build_basic
+from repro.extractor import FormExtractor
+from repro.merger.merger import Merger
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return FormExtractor()
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return build_basic(sources_per_domain=3).sources
+
+
+def mutate_truncate(html: str, rng: random.Random) -> str:
+    cut = rng.randint(len(html) // 3, len(html) - 1)
+    return html[:cut]
+
+
+def mutate_strip_closers(html: str, rng: random.Random) -> str:
+    for tag in ("</td>", "</tr>", "</table>", "</form>", "</select>"):
+        html = html.replace(tag, "")
+    return html
+
+
+def mutate_drop_quotes(html: str, rng: random.Random) -> str:
+    return html.replace('"', "")
+
+def mutate_splice_junk(html: str, rng: random.Random) -> str:
+    junk = "<<<&&& <p <input <!-- never closed"
+    position = rng.randint(0, len(html))
+    return html[:position] + junk + html[position:]
+
+
+def mutate_uppercase(html: str, rng: random.Random) -> str:
+    return html.upper()
+
+
+def mutate_double_form(html: str, rng: random.Random) -> str:
+    return html.replace("<form", "<form><form", 1)
+
+
+def mutate_strip_names(html: str, rng: random.Random) -> str:
+    import re
+
+    return re.sub(r'name="[^"]*"', "", html)
+
+
+MUTATIONS = [
+    mutate_truncate,
+    mutate_strip_closers,
+    mutate_drop_quotes,
+    mutate_splice_junk,
+    mutate_uppercase,
+    mutate_double_form,
+    mutate_strip_names,
+]
+
+
+class TestMutatedSources:
+    @pytest.mark.parametrize("mutation", MUTATIONS,
+                             ids=lambda m: m.__name__)
+    def test_extractor_survives(self, extractor, sources, mutation):
+        rng = random.Random(99)
+        for source in sources:
+            mutated = mutation(source.html, rng)
+            detail = extractor.extract_detailed(mutated)
+            assert detail.model is not None
+            # Structural invariants still hold on broken input.
+            token_ids = {token.id for token in detail.tokens}
+            for tree in detail.parse.trees:
+                assert tree.coverage <= token_ids
+
+    def test_strip_closers_keeps_most_conditions(self, extractor, sources):
+        # Browsers recover from missing </td>/</tr>; so must we -- this is
+        # a *quality* floor, not just a no-crash floor.
+        rng = random.Random(7)
+        kept = 0
+        total = 0
+        for source in sources:
+            base = len(extractor.extract(source.html).conditions)
+            broken = len(
+                extractor.extract(
+                    mutate_strip_closers(source.html, rng)
+                ).conditions
+            )
+            total += base
+            kept += min(base, broken)
+        assert kept >= 0.8 * total
+
+    def test_merger_handles_mutants(self, extractor, sources):
+        rng = random.Random(3)
+        merger = Merger()
+        for source in sources[:4]:
+            mutated = mutate_splice_junk(source.html, rng)
+            detail = extractor.extract_detailed(mutated)
+            report = merger.merge(detail.parse)
+            assert report.model is not None
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("html", [
+        "",
+        " ",
+        "\x00" * 64,
+        "<form>" * 50,
+        "<input>" * 40,
+        "<table>" + "<tr><td>" * 60,
+        "<form><select>" + "<option>x" * 500 + "</select></form>",
+        "<form>" + "word " * 600 + "</form>",
+    ], ids=["empty", "blank", "nulls", "nested-forms", "input-spam",
+            "ragged-table", "huge-select", "text-wall"])
+    def test_survives(self, extractor, html):
+        model = extractor.extract(html)
+        assert model is not None
+
+    def test_enormous_flat_form_respects_budget(self, extractor):
+        from repro.parser.parser import ParserConfig
+
+        html = "<form>" + "".join(
+            f"Label{i}: <input name=f{i} size=8> " for i in range(70)
+        ) + "</form>"
+        bounded = FormExtractor(
+            parser_config=ParserConfig(max_instances=5_000)
+        )
+        detail = bounded.extract_detailed(html)
+        assert detail.parse.stats.instances_created <= 5_000 + 200

@@ -1,0 +1,86 @@
+"""Whole-dataset integration tests: robustness and accuracy floors.
+
+These run the full pipeline over complete generated datasets -- the same
+inputs the benchmarks use -- asserting the invariants that make the
+benchmark results trustworthy.
+"""
+
+import pytest
+
+from repro.datasets.patterns import PATTERNS_BY_ID
+from repro.datasets.repository import standard_datasets
+from repro.evaluation.harness import EvaluationHarness
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return standard_datasets(scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def evaluated(datasets):
+    harness = EvaluationHarness()
+    return {name: harness.evaluate(ds) for name, ds in datasets.items()}
+
+
+class TestRobustness:
+    def test_every_source_extracts_without_error(self, evaluated):
+        # The harness would have raised otherwise; assert totals.
+        for name, result in evaluated.items():
+            assert len(result.results) > 0, name
+
+    def test_every_source_yields_conditions(self, evaluated):
+        for name, result in evaluated.items():
+            for source_result in result.results:
+                assert source_result.extracted, source_result.source.name
+
+    def test_scores_bounded(self, evaluated):
+        for result in evaluated.values():
+            for source_result in result.results:
+                assert 0.0 <= source_result.precision <= 1.0
+                assert 0.0 <= source_result.recall <= 1.0
+
+
+class TestAccuracyFloors:
+    def test_paper_band(self, evaluated):
+        for name, result in evaluated.items():
+            assert result.accuracy >= 0.75, (name, result.accuracy)
+
+    def test_no_cliff_across_datasets(self, evaluated):
+        accuracies = [result.accuracy for result in evaluated.values()]
+        assert max(accuracies) - min(accuracies) <= 0.2
+
+    def test_in_grammar_sources_extract_perfectly(self, evaluated):
+        imperfect_clean = []
+        for result in evaluated.values():
+            for source_result in result.results:
+                rare = any(
+                    not PATTERNS_BY_ID[p].in_grammar
+                    for p in source_result.source.patterns_used
+                )
+                if not rare and (
+                    source_result.precision < 1.0
+                    or source_result.recall < 1.0
+                ):
+                    imperfect_clean.append(source_result.source.name)
+        assert imperfect_clean == [], imperfect_clean
+
+    def test_rare_pattern_sources_are_the_error_channel(self, evaluated):
+        # Every imperfect source must contain a rare pattern -- the
+        # controlled incompleteness channel of the experiment design.
+        for result in evaluated.values():
+            for source_result in result.results:
+                if source_result.precision < 1.0 or source_result.recall < 1.0:
+                    assert any(
+                        not PATTERNS_BY_ID[p].in_grammar
+                        for p in source_result.source.patterns_used
+                    ), source_result.source.name
+
+
+class TestDeterminism:
+    def test_dataset_evaluation_reproducible(self, datasets):
+        harness = EvaluationHarness()
+        first = harness.evaluate(datasets["NewSource"])
+        second = harness.evaluate(datasets["NewSource"])
+        assert first.precisions == second.precisions
+        assert first.recalls == second.recalls

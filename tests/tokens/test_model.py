@@ -1,0 +1,79 @@
+"""Tests for the token model."""
+
+import pytest
+
+from repro.layout.box import BBox
+from repro.tokens.model import (
+    DECORATION_TERMINALS,
+    INPUT_TERMINALS,
+    TERMINALS,
+    SelectOption,
+    Token,
+)
+
+
+def make(terminal="text", **attrs):
+    return Token(id=0, terminal=terminal, bbox=BBox(0, 10, 0, 10), attrs=attrs)
+
+
+class TestTerminalAlphabet:
+    def test_sixteen_terminals(self):
+        # The paper's derived grammar uses 16 terminals (Section 6).
+        assert len(TERMINALS) == 16
+
+    def test_inputs_subset_of_terminals(self):
+        assert INPUT_TERMINALS <= TERMINALS
+
+    def test_decoration_subset(self):
+        assert DECORATION_TERMINALS <= TERMINALS
+
+    def test_inputs_and_decoration_disjoint(self):
+        assert not (INPUT_TERMINALS & DECORATION_TERMINALS)
+
+
+class TestToken:
+    def test_unknown_terminal_rejected(self):
+        with pytest.raises(ValueError):
+            make("wibble")
+
+    def test_sval_accessor(self):
+        assert make("text", sval="Author").sval == "Author"
+        assert make("textbox").sval == ""
+
+    def test_name_accessor(self):
+        assert make("textbox", name="q").name == "q"
+        assert make("textbox").name is None
+
+    def test_options_accessor(self):
+        options = (SelectOption("a", "a"), SelectOption("b", "b"))
+        token = make("selectlist", options=options)
+        assert token.options == options
+        assert make("textbox").options == ()
+
+    def test_is_input(self):
+        assert make("textbox").is_input
+        assert make("radiobutton").is_input
+        assert not make("text").is_input
+        assert not make("submitbutton").is_input
+
+    def test_is_decoration(self):
+        assert make("submitbutton").is_decoration
+        assert make("hrule").is_decoration
+        assert not make("checkbox").is_decoration
+
+    def test_repr_includes_sval(self):
+        assert "Author" in repr(make("text", sval="Author"))
+
+    def test_repr_includes_name(self):
+        assert "q" in repr(make("textbox", name="q"))
+
+
+class TestSelectOption:
+    def test_fields(self):
+        option = SelectOption("Label", "value", selected=True)
+        assert option.label == "Label"
+        assert option.value == "value"
+        assert option.selected
+
+    def test_equality(self):
+        assert SelectOption("a", "a") == SelectOption("a", "a")

@@ -1,0 +1,137 @@
+"""Focused tests for the simulated sources' query semantics."""
+
+import pytest
+
+from repro.semantics.condition import Condition, Domain
+from repro.datasets.domains import DOMAINS
+from repro.datasets.generator import GeneratedSource
+from repro.webdb.records import generate_records
+from repro.webdb.source import SimulatedSource
+
+
+def make_source(conditions, domain="Books", record_count=60):
+    generated = GeneratedSource(
+        name="synthetic", domain=domain, html="<form></form>",
+        truth=conditions, seed=123,
+    )
+    return SimulatedSource(generated, record_count=record_count)
+
+
+@pytest.fixture(scope="module")
+def author_source():
+    condition = Condition(
+        "Author",
+        ("contains", "starts with", "exact name"),
+        Domain("text"),
+        fields=("author", "author_mode"),
+        operator_bindings=(
+            ("contains", "author_mode", "c"),
+            ("starts with", "author_mode", "s"),
+            ("exact name", "author_mode", "x"),
+        ),
+    )
+    return make_source([condition])
+
+
+class TestOperatorOverride:
+    def test_default_operator_is_first(self, author_source):
+        target = author_source.records[0]["Author"]
+        fragment = target.split()[1]  # last name only
+        results = author_source.submit({"author": [fragment]})
+        assert target in [record["Author"] for record in results]
+
+    def test_exact_operator_narrows(self, author_source):
+        target = author_source.records[0]["Author"]
+        fragment = target.split()[1]
+        loose = author_source.submit({"author": [fragment]})
+        exact = author_source.submit(
+            {"author": [fragment], "author_mode": ["x"]}
+        )
+        assert len(exact) <= len(loose)
+        assert all(record["Author"].lower() == fragment.lower()
+                   for record in exact)
+
+    def test_exact_full_value_matches(self, author_source):
+        target = author_source.records[0]["Author"]
+        results = author_source.submit(
+            {"author": [target], "author_mode": ["x"]}
+        )
+        assert author_source.records[0] in results
+
+    def test_starts_with(self, author_source):
+        target = author_source.records[0]["Author"]
+        prefix = target[:4]
+        results = author_source.submit(
+            {"author": [prefix], "author_mode": ["s"]}
+        )
+        assert all(
+            record["Author"].lower().startswith(prefix.lower())
+            for record in results
+        )
+        assert author_source.records[0] in results
+
+
+class TestDateSemantics:
+    @pytest.fixture(scope="class")
+    def date_source(self):
+        condition = Condition(
+            "Check-in date", ("=",), Domain("datetime"),
+            fields=("m", "d", "y"),
+            field_roles=(("m", "month"), ("d", "day"), ("y", "year")),
+        )
+        return make_source([condition], domain="Hotels")
+
+    def test_full_date_filter(self, date_source):
+        month, day, year = date_source.records[0]["Check-in date"]
+        results = date_source.submit(
+            {"m": [month], "d": [str(day)], "y": [str(year)]}
+        )
+        assert date_source.records[0] in results
+        for record in results:
+            assert record["Check-in date"] == (month, day, year)
+
+    def test_partial_date_filter(self, date_source):
+        month, _, _ = date_source.records[0]["Check-in date"]
+        results = date_source.submit({"m": [month]})
+        assert all(
+            record["Check-in date"][0] == month for record in results
+        )
+        assert len(results) > 0
+
+    def test_month_case_insensitive(self, date_source):
+        month, _, _ = date_source.records[0]["Check-in date"]
+        assert date_source.submit({"m": [month.upper()]}) == \
+            date_source.submit({"m": [month]})
+
+
+class TestMultiValueEnums:
+    @pytest.fixture(scope="class")
+    def format_source(self):
+        condition = Condition(
+            "Format", ("in",),
+            Domain("enum", ("Hardcover", "Paperback", "Audio", "E-book")),
+            fields=("fmt",),
+            value_bindings=(
+                ("Hardcover", "fmt", "v0"), ("Paperback", "fmt", "v1"),
+                ("Audio", "fmt", "v2"), ("E-book", "fmt", "v3"),
+            ),
+        )
+        return make_source([condition])
+
+    def test_two_choices_union(self, format_source):
+        both = format_source.submit({"fmt": ["v0", "v1"]})
+        assert all(
+            record["Format"] in ("Hardcover", "Paperback") for record in both
+        )
+        only_hard = format_source.submit({"fmt": ["v0"]})
+        assert len(both) >= len(only_hard)
+
+    def test_unknown_submit_value_ignored(self, format_source):
+        assert format_source.submit({"fmt": ["v99"]}) == format_source.records
+
+
+class TestRecordDeterminism:
+    def test_same_seed_same_database(self):
+        first = generate_records(DOMAINS["Books"], 30, seed=5)
+        second = generate_records(DOMAINS["Books"], 30, seed=5)
+        assert first == second

@@ -1,0 +1,72 @@
+"""Tests for synthetic record generation."""
+
+from repro.datasets.domains import DOMAINS
+from repro.webdb.records import generate_records
+
+
+class TestGeneration:
+    def test_count(self):
+        records = generate_records(DOMAINS["Books"], 25, seed=1)
+        assert len(records) == 25
+
+    def test_deterministic(self):
+        first = generate_records(DOMAINS["Books"], 10, seed=5)
+        second = generate_records(DOMAINS["Books"], 10, seed=5)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = generate_records(DOMAINS["Books"], 10, seed=1)
+        second = generate_records(DOMAINS["Books"], 10, seed=2)
+        assert first != second
+
+    def test_all_attributes_present(self):
+        (record,) = generate_records(DOMAINS["Airfares"], 1, seed=3)
+        labels = {spec.label for spec in DOMAINS["Airfares"].attributes}
+        assert set(record) == labels
+
+
+class TestValueShapes:
+    def test_enum_values_from_vocabulary(self):
+        records = generate_records(DOMAINS["Books"], 50, seed=7)
+        subject_values = {
+            spec.label: set(spec.values)
+            for spec in DOMAINS["Books"].attributes
+            if spec.kind == "enum"
+        }
+        for record in records:
+            for label, allowed in subject_values.items():
+                assert record[label] in allowed
+
+    def test_range_values_numeric_and_bounded(self):
+        records = generate_records(DOMAINS["Automobiles"], 50, seed=9)
+        for spec in DOMAINS["Automobiles"].attributes:
+            if spec.kind != "range":
+                continue
+            low, high = spec.numeric_range
+            for record in records:
+                assert low <= record[spec.label] <= high
+
+    def test_date_values_are_triples(self):
+        records = generate_records(DOMAINS["Hotels"], 20, seed=11)
+        for record in records:
+            month, day, year = record["Check-in date"]
+            assert isinstance(month, str)
+            assert 1 <= day <= 28
+            assert 2004 <= year <= 2006
+
+    def test_flag_values_are_bool(self):
+        records = generate_records(DOMAINS["Books"], 20, seed=13)
+        assert all(
+            isinstance(record["In stock only"], bool) for record in records
+        )
+
+    def test_name_attributes_look_like_names(self):
+        records = generate_records(DOMAINS["Books"], 20, seed=15)
+        assert all(len(record["Author"].split()) == 2 for record in records)
+
+    def test_zip_is_five_digits(self):
+        records = generate_records(DOMAINS["Automobiles"], 10, seed=17)
+        assert all(
+            len(record["Zip code"]) == 5 and record["Zip code"].isdigit()
+            for record in records
+        )

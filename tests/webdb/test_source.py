@@ -1,0 +1,171 @@
+"""Tests for the simulated deep-Web source."""
+
+import pytest
+
+from repro.semantics.matching import normalize_attribute
+from repro.webdb.source import SimulatedSource, _numeric, _text_matches
+
+
+@pytest.fixture(scope="module")
+def books():
+    return SimulatedSource.create("Books", seed=90_001, record_count=120)
+
+
+@pytest.fixture(scope="module")
+def airfares():
+    return SimulatedSource.create("Airfares", seed=90_002, record_count=120)
+
+
+def truth_condition(source, kind, named=True):
+    for condition in source.generated.truth:
+        if condition.domain.kind == kind and bool(condition.attribute) == named:
+            return condition
+    return None
+
+
+class TestHelpers:
+    @pytest.mark.parametrize("raw,expected", [
+        ("$5,000", 5000.0), ("10", 10.0), ("3.5 stars", 3.5),
+        ("under $5", 5.0), ("no digits", None), ("-4", -4.0),
+    ])
+    def test_numeric(self, raw, expected):
+        assert _numeric(raw) == expected
+
+    def test_text_operator_contains(self):
+        assert _text_matches("contains", "stone", "The Stone Ocean")
+        assert not _text_matches("contains", "granite", "The Stone Ocean")
+
+    def test_text_operator_exact(self):
+        assert _text_matches("exact name", "tom clancy", "Tom Clancy")
+        assert not _text_matches("exact name", "tom", "Tom Clancy")
+
+    def test_text_operator_starts(self):
+        assert _text_matches("starts with", "tom", "Tom Clancy")
+        assert not _text_matches("starts with", "clancy", "Tom Clancy")
+
+    def test_text_operator_all_words(self):
+        assert _text_matches("all of the words", "ocean stone", "stone ocean")
+        assert not _text_matches("all of the words", "ocean lake", "stone ocean")
+
+    def test_text_operator_any_words(self):
+        assert _text_matches("any of the words", "ocean lake", "stone ocean")
+
+    def test_empty_needle_matches(self):
+        assert _text_matches("contains", "  ", "anything")
+
+
+class TestSubmission:
+    def test_empty_submission_returns_everything(self, books):
+        assert books.submit({}) == books.records
+
+    def test_enum_filter(self, books):
+        condition = truth_condition(books, "enum")
+        if condition is None:
+            pytest.skip("this seed produced no named enum condition")
+        label = next(
+            value for value in condition.domain.values
+            if not value.lower().startswith(("all", "any"))
+        )
+        binding = condition.value_binding(label)
+        assert binding is not None
+        bind_field, bind_value = binding
+        results = books.submit({bind_field: [bind_value]})
+        attribute = next(
+            spec.label for spec in books.domain.attributes
+            if normalize_attribute(spec.label)
+            == normalize_attribute(condition.attribute)
+        )
+        assert results
+        assert all(record[attribute] == label for record in results)
+        assert len(results) < len(books.records)
+
+    def test_placeholder_choice_does_not_filter(self, books):
+        condition = truth_condition(books, "enum")
+        if condition is None:
+            pytest.skip("no enum condition")
+        placeholder = next(
+            (
+                (field, value)
+                for label, field, value in condition.value_bindings
+                if label.lower().startswith(("all", "any"))
+            ),
+            None,
+        )
+        if placeholder is None:
+            pytest.skip("no placeholder option in this source")
+        field, value = placeholder
+        assert books.submit({field: [value]}) == books.records
+
+    def test_text_filter(self, books):
+        condition = truth_condition(books, "text")
+        if condition is None:
+            pytest.skip("no text condition")
+        attribute = next(
+            (
+                spec.label for spec in books.domain.attributes
+                if normalize_attribute(spec.label)
+                == normalize_attribute(condition.attribute)
+            ),
+            None,
+        )
+        if attribute is None:
+            pytest.skip("bare keyword condition")
+        target = str(books.records[0][attribute]).split()[0]
+        results = books.submit({condition.fields[0]: [target]})
+        assert books.records[0] in results
+        for record in results:
+            assert target.casefold() in str(record[attribute]).casefold()
+
+    def test_range_filter(self, books):
+        condition = truth_condition(books, "range")
+        if condition is None:
+            pytest.skip("no range condition")
+        lo_field = condition.field_for_role("lo")
+        hi_field = condition.field_for_role("hi")
+        attribute = next(
+            spec.label for spec in books.domain.attributes
+            if normalize_attribute(spec.label)
+            == normalize_attribute(condition.attribute)
+        )
+        values = sorted(record[attribute] for record in books.records)
+        low, high = values[len(values) // 4], values[3 * len(values) // 4]
+        results = books.submit(
+            {lo_field: [str(low)], hi_field: [str(high)]}
+        )
+        assert results
+        assert all(low <= record[attribute] <= high for record in results)
+
+    def test_nonsense_filter_returns_nothing(self, books):
+        condition = truth_condition(books, "text")
+        if condition is None:
+            pytest.skip("no text condition")
+        results = books.submit(
+            {condition.fields[0]: ["zzzz-no-record-contains-this"]}
+        )
+        assert results == []
+
+
+class TestResultPage:
+    def test_result_page_renders(self, books):
+        page = books.result_page({})
+        assert f"{len(books.records)} results" in page.html
+        assert "<table>" in page.html
+
+    def test_result_page_records_match_submit(self, books):
+        page = books.result_page({})
+        assert page.records == books.submit({})
+
+
+class TestSourceConstruction:
+    def test_html_is_generated_form(self, books):
+        assert "<form" in books.html
+
+    def test_deterministic(self):
+        first = SimulatedSource.create("Books", seed=4321, record_count=10)
+        second = SimulatedSource.create("Books", seed=4321, record_count=10)
+        assert first.html == second.html
+        assert first.records == second.records
+
+    def test_record_count(self):
+        source = SimulatedSource.create("Jobs", seed=1, record_count=37)
+        assert len(source.records) == 37
