@@ -1,0 +1,82 @@
+"""Batch extraction throughput: serial vs process-pool workers.
+
+The 120-interface corpus of ``bench_parse_time`` rerun through
+:class:`repro.batch.BatchExtractor` with ``jobs=1`` and ``jobs=4``.
+Parsing is CPU-bound and forms are independent, so on a multi-core
+machine the pool should approach linear scaling (minus IPC and the
+per-worker grammar build).
+
+Correctness is asserted unconditionally: the parallel run must return
+the same models in the same order as the serial run.  The wall-clock
+speedup assertion is gated on the machine actually having >= 4 usable
+cores -- on a single-core container four workers merely time-share one
+CPU and the measurement would test the scheduler, not this code.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.bench_parse_time import _token_sets
+from benchmarks.conftest import record_metric, record_table
+from repro.batch import BatchExtractor
+
+PARALLEL_JOBS = 4
+
+
+def _usable_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def test_batch_parallel_speedup(benchmark):
+    token_sets = _token_sets(120, 14, 32, base_seed=61_000)
+    cores = _usable_cores()
+
+    serial = BatchExtractor(jobs=1).extract_tokens(token_sets)
+    parallel = benchmark.pedantic(
+        lambda: BatchExtractor(jobs=PARALLEL_JOBS).extract_tokens(token_sets),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Parallelism must never change the answer.
+    assert not serial.errors and not parallel.errors
+    assert [str(m.conditions) for m in parallel.models] == [
+        str(m.conditions) for m in serial.models
+    ]
+    assert parallel.stats.combos_examined == serial.stats.combos_examined
+
+    speedup = serial.wall_seconds / max(1e-9, parallel.wall_seconds)
+    overlap = parallel.cpu_seconds / max(1e-9, parallel.wall_seconds)
+    record_metric("batch120.parallel.jobs", PARALLEL_JOBS)
+    record_metric("batch120.parallel.usable_cores", cores)
+    record_metric(
+        "batch120.parallel.serial_wall_seconds",
+        round(serial.wall_seconds, 4),
+    )
+    record_metric(
+        "batch120.parallel.wall_seconds", round(parallel.wall_seconds, 4)
+    )
+    record_metric("batch120.parallel.speedup", round(speedup, 2))
+    record_metric("batch120.parallel.worker_overlap", round(overlap, 2))
+    record_table(
+        f"Batch extraction: serial vs {PARALLEL_JOBS} worker processes "
+        f"(120 interfaces)",
+        f"serial:  {serial.describe()}\n"
+        f"pool:    {parallel.describe()}\n"
+        f"speedup: {speedup:.2f}x wall-clock on {cores} usable core(s)"
+        + (
+            ""
+            if cores >= PARALLEL_JOBS
+            else f"\nNOTE: fewer than {PARALLEL_JOBS} cores -- the >=2x "
+            f"speedup bar is not asserted on this machine"
+        ),
+    )
+    if cores >= PARALLEL_JOBS:
+        assert speedup >= 2.0
+    else:
+        # Workers still ran and overlapped; the pool machinery is sound.
+        assert overlap > 1.0

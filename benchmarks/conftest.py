@@ -8,22 +8,60 @@ paper-versus-measured numbers without needing ``-s``.
 
 Dataset scale: set ``REPRO_BENCH_SCALE`` (default ``1.0`` = the paper's
 dataset sizes: 150/30/42/30 sources).
+
+Parse-performance benchmarks additionally call :func:`record_metric`;
+the collected numbers are merged into ``BENCH_parse.json`` at the repo
+root after the run, so the perf trajectory stays machine-readable across
+PRs (override the path with ``REPRO_BENCH_JSON``).
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.datasets.repository import standard_datasets
 
 _TABLES: list[tuple[str, str]] = []
+_METRICS: dict[str, object] = {}
 
 
 def record_table(title: str, body: str) -> None:
     """Register a result table for the end-of-run summary."""
     _TABLES.append((title, body))
+
+
+def record_metric(key: str, value: object) -> None:
+    """Register one machine-readable number for ``BENCH_parse.json``."""
+    _METRICS[key] = value
+
+
+def _bench_json_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_parse.json"
+
+
+def _flush_metrics() -> Path | None:
+    """Merge this run's metrics into the JSON report on disk."""
+    if not _METRICS:
+        return None
+    path = _bench_json_path()
+    merged: dict[str, object] = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):  # unreadable/corrupt: start over
+            merged = {}
+    merged.update(_METRICS)
+    path.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 def bench_scale() -> float:
@@ -37,6 +75,11 @@ def datasets():
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    json_path = _flush_metrics()
+    if json_path is not None:
+        terminalreporter.write_line(
+            f"\nparse-performance metrics merged into {json_path}"
+        )
     if not _TABLES:
         return
     write = terminalreporter.write_line

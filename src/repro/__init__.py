@@ -16,6 +16,7 @@ Quickstart::
         print(condition)   # e.g. [Author; {contains}; text]
 """
 
+from repro.batch import BatchExtractor, BatchRecord, BatchReport
 from repro.extractor import ExtractionResult, FormExtractor, extract_capabilities
 from repro.grammar import (
     GrammarBuilder,
@@ -39,6 +40,9 @@ from repro.tokens import FormTokenizer, Token, tokenize_form, tokenize_html
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchExtractor",
+    "BatchRecord",
+    "BatchReport",
     "BestEffortParser",
     "Condition",
     "ConditionMatcher",

@@ -1,0 +1,16 @@
+"""Parallel batch extraction engine (production-scale throughput layer).
+
+The paper's pipeline handles one form at a time; large-scale integration
+(the MetaQuerier motivation) must extract capabilities from thousands of
+interfaces.  This package adds the throughput layer: a process-pool batch
+extractor with per-worker parser reuse, chunked scheduling, ordered
+results, and aggregate statistics.
+"""
+
+from repro.batch.extractor import (
+    BatchExtractor,
+    BatchRecord,
+    BatchReport,
+)
+
+__all__ = ["BatchExtractor", "BatchRecord", "BatchReport"]

@@ -6,7 +6,8 @@ Commands:
   file (``-`` reads stdin); ``--json`` emits the serialized model,
   ``--trace`` adds pipeline statistics, ``--form N`` picks the N-th form.
 * ``evaluate``      -- run the Figure 15 evaluation over the four
-  synthetic datasets (``--scale`` shrinks them for a quick look).
+  synthetic datasets (``--scale`` shrinks them for a quick look;
+  ``--jobs N`` fans extraction over N worker processes).
 * ``grammar``       -- print the derived global grammar.
 """
 
@@ -64,7 +65,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.datasets.repository import standard_datasets
 
     datasets = standard_datasets(scale=args.scale)
-    harness = EvaluationHarness()
+    harness = EvaluationHarness(jobs=args.jobs)
     print("dataset       n     Pa      Ra    accuracy")
     for name, dataset in datasets.items():
         result = harness.evaluate(dataset)
@@ -87,6 +88,13 @@ def _cmd_grammar(_args: argparse.Namespace) -> int:
         f"{stats['preferences']} preferences"
     )
     return 0
+
+
+def _job_count(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {jobs}")
+    return jobs
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -117,6 +125,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--scale", type=float, default=0.2,
                           help="dataset scale (1.0 = paper sizes)")
+    evaluate.add_argument("--jobs", type=_job_count, default=1,
+                          help="worker processes for extraction "
+                               "(default 1 = serial)")
     evaluate.set_defaults(func=_cmd_evaluate)
 
     grammar = subparsers.add_parser(

@@ -98,13 +98,26 @@ class DatasetResult:
 
 
 class EvaluationHarness:
-    """Runs an extraction function over datasets and scores it."""
+    """Runs an extraction function over datasets and scores it.
+
+    Extraction goes through the batch engine
+    (:class:`repro.batch.BatchExtractor`) whenever the default extractor is
+    in use: ``jobs=1`` (the default) runs serially in-process, exactly as a
+    hand-written loop would; ``jobs=N`` fans sources over ``N`` worker
+    processes.  A custom ``extract`` callable cannot be shipped to workers
+    (it may close over anything), so it always runs serially.
+    """
 
     def __init__(
         self,
         extract: ExtractFn | None = None,
         matcher: ConditionMatcher | None = None,
+        jobs: int = 1,
     ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.custom_extract = extract is not None
         if extract is None:
             extractor = FormExtractor()
 
@@ -119,6 +132,37 @@ class EvaluationHarness:
         started = time.perf_counter()
         extracted = self.extract(source.html)
         elapsed = time.perf_counter() - started
+        return self._score(source, extracted, elapsed)
+
+    def evaluate(self, dataset: Dataset) -> DatasetResult:
+        """Evaluate every source of *dataset*."""
+        result = DatasetResult(name=dataset.name)
+        sources = list(dataset)
+        if self.jobs > 1 and not self.custom_extract:
+            from repro.batch import BatchExtractor
+
+            batch = BatchExtractor(jobs=self.jobs)
+            records = batch.iter_html(source.html for source in sources)
+            for source, record in zip(sources, records):
+                extracted = (
+                    list(record.model.conditions)
+                    if record.model is not None
+                    else []
+                )
+                result.results.append(
+                    self._score(source, extracted, record.elapsed_seconds)
+                )
+            return result
+        for source in sources:
+            result.results.append(self.evaluate_source(source))
+        return result
+
+    def _score(
+        self,
+        source: GeneratedSource,
+        extracted: list[Condition],
+        elapsed: float,
+    ) -> SourceResult:
         metrics = per_source_metrics(extracted, source.truth, self.matcher)
         return SourceResult(
             source=source,
@@ -126,13 +170,6 @@ class EvaluationHarness:
             metrics=metrics,
             elapsed_seconds=elapsed,
         )
-
-    def evaluate(self, dataset: Dataset) -> DatasetResult:
-        """Evaluate every source of *dataset*."""
-        result = DatasetResult(name=dataset.name)
-        for source in dataset:
-            result.results.append(self.evaluate_source(source))
-        return result
 
     def evaluate_all(
         self, datasets: Iterable[Dataset]

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.grammar.cache import cached_standard_grammar
 from repro.grammar.grammar import TwoPGrammar
-from repro.grammar.standard import build_standard_grammar
 from repro.html.dom import Document, Element
 from repro.html.parser import parse_html
 from repro.merger.merger import Merger, MergeReport
@@ -46,7 +46,9 @@ class FormExtractor:
         grammar: TwoPGrammar | None = None,
         parser_config: ParserConfig | None = None,
     ):
-        self.grammar = grammar if grammar is not None else build_standard_grammar()
+        # The cached grammar is shared across extractors (and with it the
+        # cached schedule), so per-form extractor construction stays cheap.
+        self.grammar = grammar if grammar is not None else cached_standard_grammar()
         self.parser = BestEffortParser(self.grammar, parser_config)
         self.merger = Merger()
 

@@ -12,6 +12,7 @@ condition, and the winning criteria.
 paper's experiments.
 """
 
+from repro.grammar.cache import cached_schedule, cached_standard_grammar
 from repro.grammar.grammar import GrammarError, TwoPGrammar
 from repro.grammar.instance import Instance
 from repro.grammar.preference import Preference
@@ -27,4 +28,6 @@ __all__ = [
     "Production",
     "TwoPGrammar",
     "build_standard_grammar",
+    "cached_schedule",
+    "cached_standard_grammar",
 ]

@@ -1,0 +1,97 @@
+"""Keyed caches for grammar construction and schedule compilation.
+
+Building the standard grammar allocates a few hundred closures and the
+schedule compiler runs a graph analysis over it; neither depends on
+anything but its inputs, so both are pure functions worth memoizing.  This
+matters for throughput work: constructing one parser per form (as the
+evaluation harness and the batch extractor's workers do) must not pay the
+grammar/schedule build cost per form.
+
+Two caches live here:
+
+* :func:`cached_standard_grammar` -- memoizes
+  :func:`repro.grammar.standard.build_standard_grammar` per
+  :class:`~repro.spatial.relations.SpatialConfig` (a frozen, hashable
+  dataclass).
+* :func:`cached_schedule` -- memoizes
+  :func:`repro.parser.schedule.build_schedule` per grammar *identity*.
+  :class:`~repro.grammar.grammar.TwoPGrammar` is mutable (hence
+  unhashable), so the cache keys on ``id()`` and holds the grammar
+  weakly: entries die with their grammar, and a recycled ``id`` cannot
+  resurface a stale schedule.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING
+
+from repro.grammar.grammar import TwoPGrammar
+from repro.spatial.relations import DEFAULT_SPATIAL, SpatialConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parser.schedule import Schedule
+
+_grammar_cache: dict[SpatialConfig, TwoPGrammar] = {}
+
+#: grammar id -> (weakref to grammar, compiled schedule).  The weakref both
+#: validates the entry (identity check) and triggers eviction on collection.
+_schedule_cache: dict[int, tuple["weakref.ref[TwoPGrammar]", "Schedule"]] = {}
+
+
+def cached_standard_grammar(
+    spatial: SpatialConfig = DEFAULT_SPATIAL,
+) -> TwoPGrammar:
+    """The standard grammar for *spatial*, built at most once per config.
+
+    Callers share the returned grammar object; the parser never mutates
+    it, and sharing is what lets :func:`cached_schedule` hit.
+    """
+    grammar = _grammar_cache.get(spatial)
+    if grammar is None:
+        from repro.grammar.standard import build_standard_grammar
+
+        grammar = build_standard_grammar(spatial)
+        _grammar_cache[spatial] = grammar
+    return grammar
+
+
+def cached_schedule(grammar: TwoPGrammar) -> "Schedule":
+    """The compiled 2P schedule for *grammar*, built at most once.
+
+    Keyed on object identity: two structurally equal grammars built
+    separately get separate schedules, which is fine -- the win is the
+    common case of many parsers sharing one (cached) grammar.
+    """
+    # Imported lazily: repro.parser.schedule imports grammar modules, and a
+    # module-level import here would close the cycle.
+    from repro.parser.schedule import build_schedule
+
+    key = id(grammar)
+    entry = _schedule_cache.get(key)
+    if entry is not None:
+        ref, schedule = entry
+        if ref() is grammar:
+            return schedule
+        del _schedule_cache[key]  # id was recycled by a dead grammar
+    schedule = build_schedule(grammar)
+
+    def _evict(_ref: "weakref.ref[TwoPGrammar]", _key: int = key) -> None:
+        _schedule_cache.pop(_key, None)
+
+    _schedule_cache[key] = (weakref.ref(grammar, _evict), schedule)
+    return schedule
+
+
+def cache_stats() -> dict[str, int]:
+    """Sizes of the two caches (for tests and diagnostics)."""
+    return {
+        "grammars": len(_grammar_cache),
+        "schedules": len(_schedule_cache),
+    }
+
+
+def clear_caches() -> None:
+    """Empty both caches (test isolation hook)."""
+    _grammar_cache.clear()
+    _schedule_cache.clear()

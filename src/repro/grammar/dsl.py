@@ -49,8 +49,14 @@ class GrammarBuilder:
         constraint: Constraint | None = None,
         constructor: Constructor | None = None,
         name: str = "",
+        bounds: Iterable[tuple[int, int, float | None, float | None]] = (),
     ) -> "GrammarBuilder":
-        """Declare one production ``head -> components``."""
+        """Declare one production ``head -> components``.
+
+        ``bounds`` optionally declares conservative spatial envelopes
+        between component positions (see :class:`Production`); the parser
+        uses them to pre-filter candidate combinations.
+        """
         kwargs: dict = {}
         if constraint is not None:
             kwargs["constraint"] = constraint
@@ -61,6 +67,7 @@ class GrammarBuilder:
                 head=head,
                 components=tuple(components),
                 name=name,
+                bounds=tuple(bounds),
                 **kwargs,
             )
         )

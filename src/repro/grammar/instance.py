@@ -41,6 +41,7 @@ class Instance:
         "production",
         "parents",
         "alive",
+        "_descendant_uids",
     )
 
     def __init__(
@@ -65,6 +66,7 @@ class Instance:
         self.production = production
         self.parents: list["Instance"] = []
         self.alive = True
+        self._descendant_uids: frozenset[int] | None = None
 
     # -- construction helpers ---------------------------------------------------
 
@@ -93,17 +95,42 @@ class Instance:
             yield node
             stack.extend(node.children)
 
+    def descendant_uids(self) -> frozenset[int]:
+        """Uids of this instance and every node below it (cached).
+
+        Children are fixed at construction, so the set is computed once and
+        memoized; subtrees shared across the parse DAG reuse their cache.
+        """
+        cached = self._descendant_uids
+        if cached is not None:
+            return cached
+        # Resolve bottom-up without recursion: push nodes whose children
+        # are not all cached yet, then combine.
+        stack: list[Instance] = [self]
+        while stack:
+            node = stack[-1]
+            if node._descendant_uids is not None:
+                stack.pop()
+                continue
+            pending = [
+                child for child in node.children
+                if child._descendant_uids is None
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            uids = {node.uid}
+            for child in node.children:
+                uids.update(child._descendant_uids)  # type: ignore[arg-type]
+            node._descendant_uids = frozenset(uids)
+            stack.pop()
+        return self._descendant_uids  # type: ignore[return-value]
+
     def is_ancestor_of(self, other: "Instance") -> bool:
         """True when *other* occurs in this instance's subtree (strictly)."""
         if other is self:
             return False
-        stack = list(self.children)
-        while stack:
-            node = stack.pop()
-            if node is other:
-                return True
-            stack.extend(node.children)
-        return False
+        return other.uid in self.descendant_uids()
 
     def size(self) -> int:
         """Number of nodes in this subtree (paper counts both T and NT)."""

@@ -22,6 +22,26 @@ Constraint = Callable[..., bool]
 #: A constructor returns the payload dict of the new head instance.
 Constructor = Callable[..., "dict[str, Any] | None"]
 
+#: One axis of a spatial envelope:
+#:
+#: * ``None`` -- the axis is unconstrained;
+#: * a float ``m`` -- the boxes' symmetric axis gap must be at most ``m``;
+#: * a pair ``(lo, hi)`` -- the *signed displacement* of component ``j``
+#:   relative to component ``i`` must fall in ``[lo, hi]`` (either end
+#:   ``None`` for unbounded).  Horizontally the displacement is
+#:   ``j.left - i.right``; vertically it is ``j.top - i.bottom`` -- so a
+#:   pair encodes *ordering* ("j starts after i ends, within reach"),
+#:   which symmetric gaps cannot.
+AxisSpec = "float | tuple[float | None, float | None] | None"
+
+#: A declarative spatial envelope ``(i, j, h_spec, v_spec)`` over component
+#: positions ``i < j``: for a combination to possibly satisfy the
+#: production's constraint, components ``i`` and ``j`` must satisfy both
+#: :data:`AxisSpec` tests.  Bounds are *conservative* -- they may admit
+#: combinations the constraint later rejects, but must never exclude one
+#: it would accept.
+SpatialBound = "tuple[int, int, AxisSpec, AxisSpec]"
+
 
 def _always(*_: Instance) -> bool:
     return True
@@ -48,6 +68,10 @@ class Production:
         constructor: Computes the payload of the new instance.  Returning
             ``None`` vetoes the construction (a semantic constraint).
         name: Identifier used in schedules, dedup keys, and debugging.
+        bounds: Optional declarative spatial envelopes (see
+            :data:`SpatialBound`).  The parser uses them to pre-filter
+            candidate pools before calling :meth:`try_apply`; an empty tuple
+            means every combination must be tested.
     """
 
     head: str
@@ -55,6 +79,13 @@ class Production:
     constraint: Constraint = _always
     constructor: Constructor = _empty_payload
     name: str = field(default="")
+    bounds: tuple[tuple, ...] = ()
+    #: ``bounds_by_target[j]`` lists the ``(i, h_spec, v_spec)`` checks
+    #: whose later component is position ``j`` (precomputed for the
+    #: parser's enumeration hot path).
+    bounds_by_target: tuple[tuple[tuple, ...], ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
 
     def __post_init__(self) -> None:
         if not self.components:
@@ -63,6 +94,42 @@ class Production:
             object.__setattr__(
                 self, "name", f"{self.head}<-{'+'.join(self.components)}"
             )
+        normalized: list[tuple] = []
+        for i, j, h_spec, v_spec in self.bounds:
+            # Signed axis specs are directional, so positions cannot be
+            # silently swapped; declare bounds with i < j.
+            if not (0 <= i < j < len(self.components)):
+                raise ValueError(
+                    f"production {self.name}: bound ({i}, {j}) must satisfy "
+                    f"0 <= i < j < {len(self.components)}"
+                )
+            for spec in (h_spec, v_spec):
+                if spec is None or isinstance(spec, (int, float)):
+                    continue
+                if (
+                    isinstance(spec, tuple)
+                    and len(spec) == 2
+                    and all(
+                        end is None or isinstance(end, (int, float))
+                        for end in spec
+                    )
+                ):
+                    continue
+                raise ValueError(
+                    f"production {self.name}: invalid axis spec {spec!r}"
+                )
+            normalized.append((i, j, h_spec, v_spec))
+        normalized.sort(key=lambda bound: (bound[1], bound[0]))
+        object.__setattr__(self, "bounds", tuple(normalized))
+        by_target = [
+            tuple(
+                (i, h_spec, v_spec)
+                for i, j, h_spec, v_spec in normalized
+                if j == position
+            )
+            for position in range(len(self.components))
+        ]
+        object.__setattr__(self, "bounds_by_target", tuple(by_target))
 
     def try_apply(self, components: tuple[Instance, ...]) -> Instance | None:
         """Instantiate the head from *components*, or ``None`` if rejected.

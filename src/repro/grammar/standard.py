@@ -81,6 +81,12 @@ _VALUE_SPATIAL = SpatialConfig(max_horizontal_gap=30.0)
 _ROW_GAP = 360.0
 _STACK_GAP = 90.0
 
+#: Slack added to every declared spatial bound so the declarative envelope
+#: stays strictly looser than the constraint it pre-filters for (bounds
+#: must be conservative: never exclude a combination the constraint
+#: accepts).
+_BOUND_SLACK = 2.0
+
 
 # ---------------------------------------------------------------------------
 # payload helpers
@@ -261,6 +267,29 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
         """Tight left-adjacency for pieces within one condition."""
         return left_of(a.bbox, b.bbox, _VALUE_SPATIAL)
 
+    # Conservative per-axis envelopes for the relations above (see
+    # ``Production.bounds``).  ``left_of(a, b)`` pins the *signed*
+    # displacement ``b.left - a.right`` into ``[-tolerance, reach]`` (b
+    # starts where a ends, modulo the overlap tolerance) and implies
+    # same-row (vertical gap zero); ``above(a, b)`` is the transposed
+    # statement.  Signed intervals encode the ordering, which is what
+    # eliminates the bulk of the cartesian product.
+    def row_bound(i: int, j: int, config: SpatialConfig = spatial):
+        """Envelope of a ``left_of``-style constraint between i and j."""
+        reach = (
+            -(config.alignment_tolerance + _BOUND_SLACK),
+            config.max_horizontal_gap + _BOUND_SLACK,
+        )
+        return (i, j, reach, _BOUND_SLACK)
+
+    def col_bound(i: int, j: int, config: SpatialConfig = spatial):
+        """Envelope of an ``above``-style constraint (i above j)."""
+        reach = (
+            -(config.alignment_tolerance + _BOUND_SLACK),
+            config.max_vertical_gap + _BOUND_SLACK,
+        )
+        return (i, j, _BOUND_SLACK, reach)
+
     # -- leaf roles ---------------------------------------------------------
 
     g.production(
@@ -332,10 +361,10 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
 
     g.production("RBU", ["radiobutton", "text"],
                  constraint=_unit_constraint, constructor=_unit_payload,
-                 name="P-rbu")
+                 name="P-rbu", bounds=[row_bound(0, 1, _UNIT_SPATIAL)])
     g.production("CBU", ["checkbox", "text"],
                  constraint=_unit_constraint, constructor=_unit_payload,
-                 name="P-cbu")
+                 name="P-cbu", bounds=[row_bound(0, 1, _UNIT_SPATIAL)])
 
     def _list_seed(unit: Instance) -> dict[str, Any]:
         payload = dict(unit.payload)
@@ -384,12 +413,18 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
             return True
         return a.horizontal_overlap(b) > 0
 
+    # _chain_col accepts any horizontal offset but at most a 12 px line
+    # break (6 px overlap tolerance); _chain_row is ordinary left-adjacency.
+    chain_col_bound = (0, 1, None,
+                       (-(6.0 + _BOUND_SLACK), 12.0 + _BOUND_SLACK))
     for head, unit in (("RBList", "RBU"), ("CBList", "CBU")):
         g.production(head, [unit], constructor=_list_seed, name=f"P-{head}-seed")
         g.production(head, [head, unit], constraint=_chain_row,
-                     constructor=_list_extend, name=f"P-{head}-row")
+                     constructor=_list_extend, name=f"P-{head}-row",
+                     bounds=[row_bound(0, 1)])
         g.production(head, [head, unit], constraint=_chain_col,
-                     constructor=_list_extend, name=f"P-{head}-col")
+                     constructor=_list_extend, name=f"P-{head}-col",
+                     bounds=[chain_col_bound])
 
     # A radio list whose labels read like operators can serve as an
     # operator choice (paper P6: Op -> RBList).
@@ -439,9 +474,11 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
         return {"fields": _fields(value), "kind": value.payload.get("kind", "text")}
 
     g.production("RVUnit", ["RangeMark", "Val"], constraint=TL,
-                 constructor=_rv_payload, name="P-rvunit-text")
+                 constructor=_rv_payload, name="P-rvunit-text",
+                 bounds=[row_bound(0, 1, _VALUE_SPATIAL)])
     g.production("RVUnit", ["RangeMark", "SelVal"], constraint=TL,
-                 constructor=_rv_payload, name="P-rvunit-sel")
+                 constructor=_rv_payload, name="P-rvunit-sel",
+                 bounds=[row_bound(0, 1, _VALUE_SPATIAL)])
 
     def _range_pair(first: Instance, second: Instance) -> dict[str, Any]:
         return {"fields": _fields(first, second), "kind": "range"}
@@ -450,18 +487,22 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
         return {"fields": _fields(first, second), "kind": "range"}
 
     g.production("RangeVal", ["RVUnit", "RVUnit"], constraint=TL,
-                 constructor=_range_pair, name="P-range-row")
+                 constructor=_range_pair, name="P-range-row",
+                 bounds=[row_bound(0, 1, _VALUE_SPATIAL)])
     g.production("RangeVal", ["RVUnit", "RVUnit"], constraint=A,
-                 constructor=_range_pair, name="P-range-col")
+                 constructor=_range_pair, name="P-range-col",
+                 bounds=[col_bound(0, 1)])
     g.production(
         "RangeVal", ["Val", "RangeMark", "Val"],
         constraint=lambda v1, mk, v2: TL(v1, mk) and TL(mk, v2),
         constructor=_range_mid, name="P-range-mid-text",
+        bounds=[row_bound(0, 1, _VALUE_SPATIAL), row_bound(1, 2, _VALUE_SPATIAL)],
     )
     g.production(
         "RangeVal", ["SelVal", "RangeMark", "SelVal"],
         constraint=lambda v1, mk, v2: TL(v1, mk) and TL(mk, v2),
         constructor=_range_mid, name="P-range-mid-sel",
+        bounds=[row_bound(0, 1, _VALUE_SPATIAL), row_bound(1, 2, _VALUE_SPATIAL)],
     )
 
     def _date3_constraint(s1: Instance, s2: Instance, s3: Instance) -> bool:
@@ -491,10 +532,12 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
 
     g.production("DateVal", ["SelVal", "SelVal", "SelVal"],
                  constraint=_date3_constraint, constructor=_date_payload,
-                 name="P-date3")
+                 name="P-date3",
+                 bounds=[row_bound(0, 1, _VALUE_SPATIAL),
+                         row_bound(1, 2, _VALUE_SPATIAL)])
     g.production("DateVal", ["SelVal", "SelVal"],
                  constraint=_date2_constraint, constructor=_date_payload,
-                 name="P-date2")
+                 name="P-date2", bounds=[row_bound(0, 1, _VALUE_SPATIAL)])
 
     # -- condition patterns (CP) -------------------------------------------------------
 
@@ -507,10 +550,19 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
 
         return build
 
-    for relation, suffix in ((L, "left"), (AttrA, "above"), (AttrB, "below")):
+    for relation, suffix, bound in (
+        (L, "left", row_bound(0, 1)),
+        (AttrA, "above", col_bound(0, 1, _ATTR_ABOVE_SPATIAL)),
+        # AttrB reverses the vertical order (the value sits above its
+        # label), so it gets a symmetric envelope instead of col_bound's
+        # signed i-above-j interval.
+        (AttrB, "below",
+         (0, 1, _BOUND_SLACK,
+          _ATTR_ABOVE_SPATIAL.max_vertical_gap + _BOUND_SLACK)),
+    ):
         g.production("CP", ["Attr", "Val"], constraint=relation,
                      constructor=_textval(suffix),
-                     name=f"P-cp-textval-{suffix}")
+                     name=f"P-cp-textval-{suffix}", bounds=[bound])
 
     # A <label for="..."> is explicit DOM evidence: the association holds
     # regardless of geometry (a detached label still binds its control).
@@ -545,6 +597,7 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
             arrangement="left", attr=attr, val=val,
         ),
         name="P-cp-textval-unit",
+        bounds=[row_bound(0, 1), row_bound(1, 2, _VALUE_SPATIAL)],
     )
 
     def _textop(arrangement: str):
@@ -573,21 +626,28 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
         row_box = attr.bbox.union(val.bbox)
         return op.bbox.horizontal_overlap(row_box) > 0
 
+    # _op_below hangs the group at most 28 px under the field row, at any
+    # horizontal offset that still overlaps the row.
+    op_below_bound = (1, 2, None,
+                      (-(6.0 + _BOUND_SLACK), 28.0 + _BOUND_SLACK))
     g.production(
         "CP", ["Attr", "Val", "OpRB"],
         constraint=lambda attr, val, op: L(attr, val)
         and _op_below(attr, val, op),
         constructor=_textop("left"), name="P-cp-textop-below",
+        bounds=[row_bound(0, 1), op_below_bound],
     )
     g.production(
         "CP", ["Attr", "Val", "OpRB"],
         constraint=lambda attr, val, op: L(attr, val) and TL(val, op),
         constructor=_textop("left"), name="P-cp-textop-right",
+        bounds=[row_bound(0, 1), row_bound(1, 2, _VALUE_SPATIAL)],
     )
     g.production(
         "CP", ["Attr", "Val", "OpRB"],
         constraint=lambda attr, val, op: AttrA(attr, val) and B(op, val),
         constructor=_textop("above"), name="P-cp-textop-stacked",
+        bounds=[col_bound(0, 1, _ATTR_ABOVE_SPATIAL), col_bound(1, 2)],
     )
 
     def _textopsel(arrangement: str):
@@ -608,12 +668,19 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
         constraint=lambda attr, op, val: L(attr, op) and TL(op, val),
         constructor=_textopsel("left"),
         name="P-cp-textopsel-mid",
+        bounds=[row_bound(0, 1), row_bound(1, 2, _VALUE_SPATIAL)],
     )
     g.production(
         "CP", ["Attr", "OpSelect", "Val"],
         constraint=lambda attr, op, val: L(attr, val) and B(op, val),
         constructor=_textopsel("left"),
         name="P-cp-textopsel-below",
+        # The op-select hangs *below* the value (j above i), so the
+        # vertical envelope is symmetric rather than col_bound's signed
+        # i-above-j interval.
+        bounds=[row_bound(0, 2),
+                (1, 2, _BOUND_SLACK,
+                 spatial.max_vertical_gap + _BOUND_SLACK)],
     )
 
     def _sel_bindings(sel: Instance) -> tuple[tuple[str, str, str], ...]:
@@ -637,9 +704,13 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
 
         return build
 
-    for relation, suffix in ((L, "left"), (AttrA, "above")):
+    for relation, suffix, bound in (
+        (L, "left", row_bound(0, 1)),
+        (AttrA, "above", col_bound(0, 1, _ATTR_ABOVE_SPATIAL)),
+    ):
         g.production("CP", ["Attr", "SelVal"], constraint=relation,
-                     constructor=_selcp(suffix), name=f"P-cp-sel-{suffix}")
+                     constructor=_selcp(suffix), name=f"P-cp-sel-{suffix}",
+                     bounds=[bound])
 
     def _enum_payload(
         attr: Instance | None, lst: Instance, multi: bool, arrangement: str
@@ -675,16 +746,26 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
     def _list_left(attr: Instance, lst: Instance) -> bool:
         return L(attr, lst) or _heads_list(attr, lst)
 
-    for relation, suffix in ((_list_left, "left"), (AttrA, "above")):
+    # ``_heads_list`` measures against the list's first-unit box; a
+    # wrapped list's union box can extend back past the label, so only a
+    # *symmetric* gap envelope (which shrinks as the box grows) stays
+    # conservative for the left arrangement -- no signed interval here.
+    list_left_bound = (
+        0, 1, spatial.max_horizontal_gap + _BOUND_SLACK, _BOUND_SLACK,
+    )
+    for relation, suffix, bound in (
+        (_list_left, "left", list_left_bound),
+        (AttrA, "above", col_bound(0, 1, _ATTR_ABOVE_SPATIAL)),
+    ):
         g.production(
             "CP", ["Attr", "RBList"], constraint=relation,
             constructor=_enum_cp(False, suffix),
-            name=f"P-cp-enumrb-{suffix}",
+            name=f"P-cp-enumrb-{suffix}", bounds=[bound],
         )
         g.production(
             "CP", ["Attr", "CBList"], constraint=relation,
             constructor=_enum_cp(True, suffix),
-            name=f"P-cp-enumcb-{suffix}",
+            name=f"P-cp-enumcb-{suffix}", bounds=[bound],
         )
     g.production("CP", ["RBList"],
                  constructor=lambda lst: _enum_payload(None, lst, False, "bare"),
@@ -710,9 +791,13 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
 
         return build
 
-    for relation, suffix in ((L, "left"), (AttrA, "above")):
+    for relation, suffix, bound in (
+        (L, "left", row_bound(0, 1)),
+        (AttrA, "above", col_bound(0, 1, _ATTR_ABOVE_SPATIAL)),
+    ):
         g.production("CP", ["Attr", "RangeVal"], constraint=relation,
-                     constructor=_rangecp(suffix), name=f"P-cp-range-{suffix}")
+                     constructor=_rangecp(suffix),
+                     name=f"P-cp-range-{suffix}", bounds=[bound])
 
     # In flowing layouts the attribute label and the first endpoint mark
     # fuse into one text run ("Price: from"); AttrMark recovers both roles.
@@ -727,17 +812,22 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
             field_roles=_range_roles(fields),
         )
 
+    range_mark_bounds = [
+        row_bound(0, 1, _VALUE_SPATIAL),
+        row_bound(1, 2, _VALUE_SPATIAL),
+        row_bound(2, 3, _VALUE_SPATIAL),
+    ]
     g.production(
         "CP", ["AttrMark", "Val", "RangeMark", "Val"],
         constraint=lambda am, v1, mk, v2: TL(am, v1) and TL(v1, mk) and TL(mk, v2),
         constructor=lambda am, v1, mk, v2: _rangecp_mark(am, v1, v2),
-        name="P-cp-range-mark-text",
+        name="P-cp-range-mark-text", bounds=range_mark_bounds,
     )
     g.production(
         "CP", ["AttrMark", "SelVal", "RangeMark", "SelVal"],
         constraint=lambda am, v1, mk, v2: TL(am, v1) and TL(v1, mk) and TL(mk, v2),
         constructor=lambda am, v1, mk, v2: _rangecp_mark(am, v1, v2),
-        name="P-cp-range-mark-sel",
+        name="P-cp-range-mark-sel", bounds=range_mark_bounds,
     )
     def _next_line(a: Instance, b: Instance) -> bool:
         """*b* sits on the line directly below *a* (no column requirement:
@@ -752,6 +842,8 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
         constraint=lambda am, v1, rv: TL(am, v1) and _next_line(v1, rv),
         constructor=lambda am, v1, rv: _rangecp_mark(am, v1, rv),
         name="P-cp-range-mark-stacked",
+        bounds=[row_bound(0, 1, _VALUE_SPATIAL),
+                (1, 2, None, (-(6.0 + _BOUND_SLACK), 12.0 + _BOUND_SLACK))],
     )
 
     def _datecp(arrangement: str):
@@ -766,9 +858,13 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
 
         return build
 
-    for relation, suffix in ((L, "left"), (AttrA, "above")):
+    for relation, suffix, bound in (
+        (L, "left", row_bound(0, 1)),
+        (AttrA, "above", col_bound(0, 1, _ATTR_ABOVE_SPATIAL)),
+    ):
         g.production("CP", ["Attr", "DateVal"], constraint=relation,
-                     constructor=_datecp(suffix), name=f"P-cp-date-{suffix}")
+                     constructor=_datecp(suffix), name=f"P-cp-date-{suffix}",
+                     bounds=[bound])
 
     g.production(
         "CP", ["Val"],
@@ -804,9 +900,17 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
     for component in ("CP", "Decor", "Note"):
         g.production("Item", [component], name=f"P-item-{component.lower()}")
     g.production("HQI", ["Item"], name="P-hqi-seed")
-    g.production("HQI", ["HQI", "Item"], constraint=_row_chain, name="P-hqi-chain")
+    # _row_chain tolerates a 12 px center offset (which caps the axis gap
+    # of non-overlapping boxes) within the row reach; _stack accepts any
+    # horizontal offset within the section gap.
+    g.production("HQI", ["HQI", "Item"], constraint=_row_chain,
+                 name="P-hqi-chain",
+                 bounds=[(0, 1, (-(8.0 + _BOUND_SLACK), _ROW_GAP + _BOUND_SLACK),
+                          12.0 + _BOUND_SLACK)])
     g.production("QI", ["HQI"], name="P-qi-seed")
-    g.production("QI", ["QI", "HQI"], constraint=_stack, name="P-qi-stack")
+    g.production("QI", ["QI", "HQI"], constraint=_stack, name="P-qi-stack",
+                 bounds=[(0, 1, None,
+                          (-(10.0 + _BOUND_SLACK), _STACK_GAP + _BOUND_SLACK))])
 
     # -- preferences (Pf) ------------------------------------------------------------
 

@@ -25,8 +25,10 @@ from repro.parser.parser import (
 )
 from repro.parser.maximization import maximal_roots
 from repro.parser.schedule import Schedule, ScheduleError, build_schedule
+from repro.parser.spatial_index import BandIndex
 
 __all__ = [
+    "BandIndex",
     "BestEffortParser",
     "ExhaustiveParser",
     "ParseResult",

@@ -18,21 +18,54 @@ Visual-language parsing is NP-complete in general (paper Section 5.1); a
 configurable instance budget keeps pathological inputs from running away --
 when the budget trips, construction stops and the trees built so far are
 maximized, which is exactly the best-effort contract.
+
+Fix-point evaluation strategies
+-------------------------------
+
+Two interchangeable evaluation modes produce identical parse forests:
+
+* ``"seminaive"`` (default) -- *frontier-based* evaluation in the Datalog
+  semi-naive tradition: round *k* of a symbol's fix-point only enumerates
+  combinations containing at least one instance created in round *k - 1*
+  (the frontier), so no combination is ever examined twice and no dedup
+  set is needed.  Productions additionally declare conservative spatial
+  ``bounds`` which, together with a per-symbol :class:`BandIndex`, pre-
+  filter candidate pools down to geometrically plausible neighbours before
+  :meth:`Production.try_apply` runs.
+* ``"naive"`` -- the original loop: every round re-enumerates the full
+  cartesian product of component pools and skips already-seen combinations
+  through a ``seen_keys`` set.  Kept as the equivalence baseline (see
+  ``tests/parser/test_seminaive_equivalence.py``) and for the ablation
+  benchmarks.
+
+For every grammar whose self-recursive productions use their head symbol
+in at most one component position (all practical 2P grammars, including
+the standard one), the two modes create instances in the *same order*, so
+parse forests, statistics invariants, and merger output are identical.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.grammar.grammar import TwoPGrammar
 from repro.grammar.instance import Instance
 from repro.grammar.preference import Preference
 from repro.grammar.production import Production
 from repro.parser.maximization import covered_tokens, maximal_roots
-from repro.parser.schedule import Schedule, build_schedule
+from repro.parser.schedule import Schedule
+from repro.parser.spatial_index import (
+    MIN_INDEXED_POOL,
+    BandIndex,
+    h_allows,
+    v_allows,
+)
 from repro.tokens.model import Token
+
+#: Recognised fix-point evaluation strategies.
+EVALUATION_MODES = ("seminaive", "naive")
 
 
 @dataclass
@@ -48,15 +81,31 @@ class ParserConfig:
         max_combos_per_instance: Bound on candidate combinations *examined*
             per budgeted instance -- without it, a degenerate grammar can
             spend unbounded time rejecting combinations without ever
-            reaching the instance budget.
+            reaching the instance budget.  The budget is accounted per
+            ``parse()`` call: each symbol's fix-point may examine at most
+            ``max_combos_per_instance`` combinations per instance still in
+            the budget when the symbol starts, so one pathological
+            production truncates *itself* instead of starving the symbols
+            scheduled after it.
+        evaluation: Fix-point strategy, ``"seminaive"`` (default) or
+            ``"naive"`` (see module docstring).
     """
 
     enable_preferences: bool = True
     max_instances: int = 200_000
     max_combos_per_instance: int = 60
+    evaluation: str = "seminaive"
+
+    def __post_init__(self) -> None:
+        if self.evaluation not in EVALUATION_MODES:
+            raise ValueError(
+                f"unknown evaluation mode {self.evaluation!r}; "
+                f"expected one of {EVALUATION_MODES}"
+            )
 
     @property
     def max_combos(self) -> int:
+        """Whole-parse ceiling on examined combinations."""
         return self.max_instances * self.max_combos_per_instance
 
 
@@ -71,6 +120,11 @@ class ParseStats:
     preference_applications: int = 0
     fixpoint_rounds: int = 0
     combos_examined: int = 0
+    #: Candidate components rejected by declarative spatial bounds before
+    #: any combination containing them was examined (semi-naive mode only).
+    combos_prefiltered: int = 0
+    #: Symbols whose fix-point exhausted its per-symbol combination budget.
+    symbol_truncations: int = 0
     truncated: bool = False
     elapsed_seconds: float = 0.0
 
@@ -135,13 +189,68 @@ class ParseResult:
         ]
 
 
+class _ParseState:
+    """Per-parse mutable bookkeeping shared by the construction phases."""
+
+    __slots__ = (
+        "store",
+        "by_token",
+        "all_instances",
+        "instances_left",
+        "combos_left",
+        "compacted_at_kills",
+    )
+
+    def __init__(self, instances_left: int, combos_left: int):
+        self.store: dict[str, list[Instance]] = {}
+        self.by_token: dict[int, list[Instance]] = {}
+        self.all_instances: list[Instance] = []
+        self.instances_left = instances_left
+        self.combos_left = combos_left
+        self.compacted_at_kills = 0
+
+    def register(self, instance: Instance) -> None:
+        self.store.setdefault(instance.symbol, []).append(instance)
+        self.all_instances.append(instance)
+        for token_id in instance.coverage:
+            self.by_token.setdefault(token_id, []).append(instance)
+
+    def compact(self) -> None:
+        """Drop dead instances from the lookup lists.
+
+        ``all_instances`` keeps everything (maximization and the result
+        object need the dead for accounting); only the ``store`` pools and
+        the ``by_token`` reverse index -- the structures ``_find_winner``
+        and pool snapshots iterate -- are compacted.  Relative order is
+        preserved, so enumeration order and winner selection are
+        unaffected.
+        """
+        for instances in self.store.values():
+            if any(not instance.alive for instance in instances):
+                instances[:] = [i for i in instances if i.alive]
+        for instances in self.by_token.values():
+            if any(not instance.alive for instance in instances):
+                instances[:] = [i for i in instances if i.alive]
+
+
+class _SymbolBudget:
+    """Combination allowance for one symbol's fix-point."""
+
+    __slots__ = ("combos_left",)
+
+    def __init__(self, combos_left: int):
+        self.combos_left = combos_left
+
+
 class BestEffortParser:
     """Parser for a 2P grammar over visual tokens."""
 
     def __init__(self, grammar: TwoPGrammar, config: ParserConfig | None = None):
+        from repro.grammar.cache import cached_schedule
+
         self.grammar = grammar
         self.config = config or ParserConfig()
-        self.schedule: Schedule = build_schedule(grammar)
+        self.schedule: Schedule = cached_schedule(grammar)
 
     # -- public API -------------------------------------------------------------
 
@@ -149,75 +258,355 @@ class BestEffortParser:
         """Parse *tokens* into maximum partial trees (never raises on input)."""
         started = time.perf_counter()
         stats = ParseStats(tokens=len(tokens))
-        store: dict[str, list[Instance]] = {}
-        by_token: dict[int, list[Instance]] = {}
-        all_instances: list[Instance] = []
-
-        def register(instance: Instance) -> None:
-            store.setdefault(instance.symbol, []).append(instance)
-            all_instances.append(instance)
-            for token_id in instance.coverage:
-                by_token.setdefault(token_id, []).append(instance)
-
+        state = _ParseState(
+            instances_left=self.config.max_instances,
+            combos_left=self.config.max_combos,
+        )
         for token in tokens:
-            register(Instance.for_token(token))
+            state.register(Instance.for_token(token))
 
-        budget_left = self.config.max_instances
         for symbol in self.schedule.order:
-            created = self._instantiate(symbol, store, register, stats, budget_left)
-            budget_left -= created
-            if budget_left <= 0:
+            created = self._instantiate(symbol, state, stats)
+            state.instances_left -= created
+            exhausted = state.instances_left <= 0 or state.combos_left <= 0
+            if exhausted:
                 stats.truncated = True
             if self.config.enable_preferences:
                 for preference in self.grammar.preferences_involving(symbol):
-                    self._enforce(preference, store, by_token, stats)
-            if stats.truncated:
+                    self._enforce(preference, state, stats)
+                self._maybe_compact(state, stats)
+            if exhausted:
                 break
 
-        trees = maximal_roots(all_instances)
+        trees = maximal_roots(state.all_instances)
         stats.elapsed_seconds = time.perf_counter() - started
         return ParseResult(
-            trees=trees, tokens=tokens, instances=all_instances, stats=stats
+            trees=trees,
+            tokens=tokens,
+            instances=state.all_instances,
+            stats=stats,
         )
 
     # -- phase 1: fix-point instantiation ------------------------------------------
 
     def _instantiate(
-        self,
-        symbol: str,
-        store: dict[str, list[Instance]],
-        register,
-        stats: ParseStats,
-        budget_left: int,
+        self, symbol: str, state: _ParseState, stats: ParseStats
     ) -> int:
         """Run ``instantiate(A)`` (paper Figure 11); return #created."""
         productions = self.grammar.productions_for(symbol)
         if not productions:
             return 0
+        # Per-symbol combination allowance: proportional to the instance
+        # budget remaining for this parse, so a pathological production
+        # cannot burn the combination budget owed to later symbols.
+        cap = _SymbolBudget(
+            self.config.max_combos_per_instance * max(1, state.instances_left)
+        )
+        if self.config.evaluation == "naive":
+            created = self._instantiate_naive(symbol, productions, state, cap, stats)
+        else:
+            created = self._instantiate_seminaive(
+                symbol, productions, state, cap, stats
+            )
+        if cap.combos_left <= 0:
+            stats.symbol_truncations += 1
+        return created
+
+    def _instantiate_seminaive(
+        self,
+        symbol: str,
+        productions: list[Production],
+        state: _ParseState,
+        cap: _SymbolBudget,
+        stats: ParseStats,
+    ) -> int:
+        """Frontier-based fix-point: round *k* only enumerates combinations
+        containing at least one instance created in round *k - 1*."""
+        store = state.store
+        # Pools of non-head components are frozen for the whole fix-point:
+        # no other symbol is instantiated and no preference is enforced
+        # until this symbol completes, so snapshot (and index) them once.
+        fixed_pools: dict[str, list[Instance]] = {}
+        for production in productions:
+            for component in production.components:
+                if component != symbol and component not in fixed_pools:
+                    fixed_pools[component] = [
+                        inst for inst in store.get(component, []) if inst.alive
+                    ]
+        indexes: dict[str, BandIndex] = {}
+        recursive = [p for p in productions if symbol in p.components]
+        head_pool: list[Instance] = [
+            inst for inst in store.get(symbol, []) if inst.alive
+        ]
+        created_total = 0
+        delta_len = 0
+        first_round = True
+        stop = False
+        while True:
+            stats.fixpoint_rounds += 1
+            new_instances: list[Instance] = []
+            old_len = len(head_pool) - delta_len
+            for production in productions if first_round else recursive:
+                plans = self._round_plans(
+                    production, symbol, fixed_pools, head_pool, old_len,
+                    first_round,
+                )
+                for pools in plans:
+                    remaining = (
+                        state.instances_left - created_total - len(new_instances)
+                    )
+                    if remaining <= 0:
+                        stats.truncated = True
+                        stop = True
+                        break
+                    new_instances.extend(
+                        self._apply_seminaive(
+                            production, pools, fixed_pools, indexes,
+                            state, cap, stats, remaining,
+                        )
+                    )
+                    if cap.combos_left <= 0 or state.combos_left <= 0:
+                        stats.truncated = True
+                        stop = True
+                        break
+                if stop:
+                    break
+            for instance in new_instances:
+                state.register(instance)
+                head_pool.append(instance)
+            created_total += len(new_instances)
+            delta_len = len(new_instances)
+            first_round = False
+            if stop or not new_instances:
+                return created_total
+
+    @staticmethod
+    def _round_plans(
+        production: Production,
+        symbol: str,
+        fixed_pools: dict[str, list[Instance]],
+        head_pool: list[Instance],
+        old_len: int,
+        first_round: bool,
+    ) -> list[list[list[Instance]]]:
+        """Pool assignments enumerating this round's new combinations.
+
+        First round: one plan over the full pools.  Later rounds: the
+        frontier (instances created last round, the tail of *head_pool*)
+        must appear in at least one head-component position; the standard
+        semi-naive partition assigns, for each head position *d*, the
+        frontier to *d*, only pre-frontier instances to head positions
+        before *d*, and the full pool to head positions after *d* --
+        exactly the combinations not enumerated in any earlier round, each
+        exactly once.
+        """
+        components = production.components
+        if first_round:
+            return [
+                [
+                    head_pool if component == symbol else fixed_pools[component]
+                    for component in components
+                ]
+            ]
+        growing = [
+            index for index, component in enumerate(components)
+            if component == symbol
+        ]
+        old = head_pool[:old_len]
+        delta = head_pool[old_len:]
+        plans: list[list[list[Instance]]] = []
+        for d in growing:
+            pools: list[list[Instance]] = []
+            for index, component in enumerate(components):
+                if component != symbol:
+                    pools.append(fixed_pools[component])
+                elif index < d:
+                    pools.append(old)
+                elif index == d:
+                    pools.append(delta)
+                else:
+                    pools.append(head_pool)
+            plans.append(pools)
+        return plans
+
+    def _apply_seminaive(
+        self,
+        production: Production,
+        pools: list[list[Instance]],
+        fixed_pools: dict[str, list[Instance]],
+        indexes: dict[str, BandIndex],
+        state: _ParseState,
+        cap: _SymbolBudget,
+        stats: ParseStats,
+        budget: int,
+    ) -> list[Instance]:
+        """Apply one production over one pool plan, creating at most
+        *budget* new instances."""
+        for pool in pools:
+            if not pool:
+                return []
+        created: list[Instance] = []
+        for combo in self._combos(production, pools, fixed_pools, indexes, stats):
+            if (
+                len(created) >= budget
+                or cap.combos_left <= 0
+                or state.combos_left <= 0
+            ):
+                stats.truncated = True
+                break
+            cap.combos_left -= 1
+            state.combos_left -= 1
+            stats.combos_examined += 1
+            instance = production.try_apply(combo)
+            if instance is not None:
+                stats.instances_created += 1
+                created.append(instance)
+        return created
+
+    def _combos(
+        self,
+        production: Production,
+        pools: list[list[Instance]],
+        fixed_pools: dict[str, list[Instance]],
+        indexes: dict[str, BandIndex],
+        stats: ParseStats,
+    ):
+        """Enumerate candidate combinations, pre-filtered by the
+        production's declarative spatial bounds.
+
+        Candidates at every position are visited in ``uid`` order (the
+        pool order), whether produced by a plain filtered scan or by a
+        :class:`BandIndex` query, so the combination order matches the
+        naive cartesian product with bound-violating combinations
+        removed.
+        """
+        components = production.components
+        bounds_by_target = production.bounds_by_target
+        n = len(pools)
+        if n == 1:
+            for instance in pools[0]:
+                yield (instance,)
+            return
+        if not production.bounds:
+            yield from itertools.product(*pools)
+            return
+        combo: list[Instance] = [None] * n  # type: ignore[list-item]
+
+        def candidates(position: int) -> list[Instance]:
+            pool = pools[position]
+            checks = bounds_by_target[position]
+            if not checks:
+                return pool
+            # Indexed path: the pool is the frozen full pool of a fixed
+            # component, large enough that banding beats a linear scan.
+            component = components[position]
+            fixed = fixed_pools.get(component)
+            primary = None
+            if (
+                fixed is not None
+                and pool is fixed
+                and len(pool) >= MIN_INDEXED_POOL
+            ):
+                for check in checks:
+                    if check[2] is not None:  # needs a vertical bound
+                        primary = check
+                        break
+            if primary is not None:
+                index = indexes.get(component)
+                if index is None:
+                    index = BandIndex(fixed)
+                    indexes[component] = index
+                anchor, h_spec, v_spec = primary
+                selected = index.near(combo[anchor].bbox, h_spec, v_spec)
+                if len(checks) > 1:
+                    selected = [
+                        cand for cand in selected
+                        if self._passes(cand, checks, combo, skip=primary)
+                    ]
+                stats.combos_prefiltered += len(pool) - len(selected)
+                return selected
+            selected = [
+                cand for cand in pool if self._passes(cand, checks, combo)
+            ]
+            stats.combos_prefiltered += len(pool) - len(selected)
+            return selected
+
+        def expand(position: int):
+            if position == n:
+                yield tuple(combo)
+                return
+            for candidate in candidates(position):
+                combo[position] = candidate
+                yield from expand(position + 1)
+
+        yield from expand(0)
+
+    @staticmethod
+    def _passes(
+        candidate: Instance,
+        checks: tuple[tuple, ...],
+        combo: list[Instance],
+        skip: tuple | None = None,
+    ) -> bool:
+        box = candidate.bbox
+        for check in checks:
+            if check is skip:
+                continue
+            anchor, h_spec, v_spec = check
+            other = combo[anchor].bbox
+            if not h_allows(h_spec, other, box):
+                return False
+            if not v_allows(v_spec, other, box):
+                return False
+        return True
+
+    # -- naive baseline (the original loop, kept for equivalence) -------------------
+
+    def _instantiate_naive(
+        self,
+        symbol: str,
+        productions: list[Production],
+        state: _ParseState,
+        cap: _SymbolBudget,
+        stats: ParseStats,
+    ) -> int:
+        """The original fix-point: full cartesian re-enumeration each round
+        with a ``seen_keys`` dedup set and no spatial pre-filtering."""
         seen_keys: set[tuple[str, tuple[int, ...]]] = set()
         created_total = 0
+        stop = False
         while True:
             stats.fixpoint_rounds += 1
             new_instances: list[Instance] = []
             for production in productions:
-                remaining = budget_left - created_total - len(new_instances)
+                remaining = (
+                    state.instances_left - created_total - len(new_instances)
+                )
                 if remaining <= 0:
                     stats.truncated = True
+                    stop = True
                     break
                 new_instances.extend(
-                    self._apply(production, store, seen_keys, stats, remaining)
+                    self._apply_naive(
+                        production, state, seen_keys, cap, stats, remaining
+                    )
                 )
+                if cap.combos_left <= 0 or state.combos_left <= 0:
+                    stats.truncated = True
+                    stop = True
+                    break
             for instance in new_instances:
-                register(instance)
+                state.register(instance)
             created_total += len(new_instances)
-            if not new_instances or stats.truncated:
+            if stop or not new_instances:
                 return created_total
 
-    def _apply(
+    def _apply_naive(
         self,
         production: Production,
-        store: dict[str, list[Instance]],
+        state: _ParseState,
         seen_keys: set[tuple[str, tuple[int, ...]]],
+        cap: _SymbolBudget,
         stats: ParseStats,
         budget: int,
     ) -> list[Instance]:
@@ -225,20 +614,27 @@ class BestEffortParser:
         creating at most *budget* new instances."""
         pools: list[list[Instance]] = []
         for component in production.components:
-            pool = [inst for inst in store.get(component, []) if inst.alive]
+            pool = [
+                inst for inst in state.store.get(component, []) if inst.alive
+            ]
             if not pool:
                 return []
             pools.append(pool)
         created: list[Instance] = []
-        combo_budget = self.config.max_combos
         for combo in itertools.product(*pools):
-            if len(created) >= budget or stats.combos_examined >= combo_budget:
+            if (
+                len(created) >= budget
+                or cap.combos_left <= 0
+                or state.combos_left <= 0
+            ):
                 stats.truncated = True
                 break
             key = (production.name, tuple(inst.uid for inst in combo))
             if key in seen_keys:
                 continue
             seen_keys.add(key)
+            cap.combos_left -= 1
+            state.combos_left -= 1
             stats.combos_examined += 1
             instance = production.try_apply(combo)
             if instance is not None:
@@ -251,21 +647,36 @@ class BestEffortParser:
     def _enforce(
         self,
         preference: Preference,
-        store: dict[str, list[Instance]],
-        by_token: dict[int, list[Instance]],
+        state: _ParseState,
         stats: ParseStats,
     ) -> None:
         """Enforce one preference: invalidate losers, roll back ancestors."""
         losers = [
-            inst for inst in store.get(preference.loser_symbol, []) if inst.alive
+            inst
+            for inst in state.store.get(preference.loser_symbol, [])
+            if inst.alive
         ]
         for loser in losers:
             if not loser.alive:
                 continue  # may have died from an earlier rollback this pass
-            winner = self._find_winner(preference, loser, by_token)
+            winner = self._find_winner(preference, loser, state.by_token)
             if winner is not None:
                 stats.preference_applications += 1
                 self._rollback(loser, stats)
+
+    def _maybe_compact(self, state: _ParseState, stats: ParseStats) -> None:
+        """Compact the lookup lists once enough instances have died.
+
+        Amortized: a sweep costs O(live + dead) and only runs after the
+        dead amount to a quarter of everything registered, so
+        ``_find_winner`` and pool snapshots never scan long runs of
+        tombstones.
+        """
+        kills = stats.instances_pruned + stats.rollback_kills
+        dead_since = kills - state.compacted_at_kills
+        if dead_since * 4 >= max(64, len(state.all_instances)):
+            state.compact()
+            state.compacted_at_kills = kills
 
     @staticmethod
     def _find_winner(
@@ -316,7 +727,4 @@ class ExhaustiveParser(BestEffortParser):
 
     def __init__(self, grammar: TwoPGrammar, config: ParserConfig | None = None):
         base = config or ParserConfig()
-        super().__init__(
-            grammar,
-            ParserConfig(enable_preferences=False, max_instances=base.max_instances),
-        )
+        super().__init__(grammar, replace(base, enable_preferences=False))

@@ -1,0 +1,132 @@
+"""Spatial banding index for candidate-pool pre-filtering.
+
+Every spatial relation of the grammar implies *adjacency* (paper Section
+4.1), so a production annotated with declarative bounds (see
+:mod:`repro.grammar.production`) only ever combines instances that sit
+within a bounded envelope of each other.  Instead of testing every pair in
+the cartesian product, the parser buckets each symbol's instances into
+horizontal *bands* (intervals of y) and fetches only the instances whose
+bands intersect the query envelope -- an indexed nested-loop join over the
+form's geometry.
+
+The index is conservative by construction: a query returns exactly the
+pool members satisfying the requested axis specs against the query box, so
+a production constraint is never starved of a combination it would accept.
+"""
+
+from __future__ import annotations
+
+from repro.grammar.instance import Instance
+from repro.layout.box import BBox
+
+#: Pools smaller than this are cheaper to scan than to index.
+MIN_INDEXED_POOL = 8
+
+
+def h_allows(spec, anchor: BBox, candidate: BBox) -> bool:
+    """Does *candidate* satisfy the horizontal axis *spec* against *anchor*?
+
+    *anchor* is the earlier component (position ``i``), *candidate* the
+    later one (position ``j``); see ``AxisSpec`` for the spec forms.
+    """
+    if spec is None:
+        return True
+    if type(spec) is tuple:
+        displacement = candidate.left - anchor.right
+        lo, hi = spec
+        if lo is not None and displacement < lo:
+            return False
+        return hi is None or displacement <= hi
+    return anchor.horizontal_gap(candidate) <= spec
+
+
+def v_allows(spec, anchor: BBox, candidate: BBox) -> bool:
+    """Vertical-axis counterpart of :func:`h_allows`."""
+    if spec is None:
+        return True
+    if type(spec) is tuple:
+        displacement = candidate.top - anchor.bottom
+        lo, hi = spec
+        if lo is not None and displacement < lo:
+            return False
+        return hi is None or displacement <= hi
+    return anchor.vertical_gap(candidate) <= spec
+
+
+class BandIndex:
+    """Y-band bucketed index over one symbol's instance pool.
+
+    The pool is frozen at construction (the parser indexes only pools that
+    cannot grow during the current fix-point).  Queries return candidates
+    in ``uid`` order, matching plain pool iteration, so enumeration order
+    -- and therefore parse determinism -- is unaffected by indexing.
+
+    Each instance is stored in every band its y-span touches, so its *top*
+    band is always among them; both the span-intersection query (symmetric
+    specs) and the top-interval query (signed specs) therefore find every
+    qualifying instance by scanning a contiguous band range.
+    """
+
+    __slots__ = ("band_height", "bands", "instances", "min_top", "max_bottom")
+
+    def __init__(self, instances: list[Instance], band_height: float = 48.0):
+        self.band_height = band_height
+        self.instances = instances
+        self.bands: dict[int, list[Instance]] = {}
+        min_top = float("inf")
+        max_bottom = float("-inf")
+        for instance in instances:
+            box = instance.bbox
+            min_top = min(min_top, box.top)
+            max_bottom = max(max_bottom, box.bottom)
+            first = int(box.top // band_height)
+            last = int(box.bottom // band_height)
+            for band in range(first, last + 1):
+                self.bands.setdefault(band, []).append(instance)
+        self.min_top = min_top
+        self.max_bottom = max_bottom
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def near(self, box: BBox, h_spec, v_spec) -> list[Instance]:
+        """Pool members satisfying both axis specs against *box*.
+
+        Results are in ``uid`` order.  With ``v_spec`` ``None`` this
+        degenerates to a filtered scan of the full pool (callers should
+        prefer a vertically-constrained spec as the banding key).
+        """
+        if v_spec is None or not self.instances:
+            candidates: list[Instance] = self.instances
+        else:
+            if type(v_spec) is tuple:
+                # Signed: candidate.top must land in [bottom+lo, bottom+hi].
+                lo, hi = v_spec
+                top = self.min_top if lo is None else box.bottom + lo
+                bottom = self.max_bottom if hi is None else box.bottom + hi
+            else:
+                # Symmetric: candidate span within v_spec of the query span.
+                top = box.top - v_spec
+                bottom = box.bottom + v_spec
+            if top > self.max_bottom or bottom < self.min_top:
+                return []
+            first = int(top // self.band_height)
+            last = int(bottom // self.band_height)
+            if last - first + 1 >= len(self.bands):
+                candidates = self.instances
+            else:
+                seen: set[int] = set()
+                collected: list[Instance] = []
+                for band in range(first, last + 1):
+                    for instance in self.bands.get(band, ()):
+                        if instance.uid not in seen:
+                            seen.add(instance.uid)
+                            collected.append(instance)
+                collected.sort(key=lambda instance: instance.uid)
+                candidates = collected
+        return [
+            instance
+            for instance in candidates
+            if h_allows(h_spec, box, instance.bbox)
+            and v_allows(v_spec, box, instance.bbox)
+        ]

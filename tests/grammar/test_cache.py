@@ -1,0 +1,81 @@
+"""Grammar / schedule memoization (`repro.grammar.cache`)."""
+
+from __future__ import annotations
+
+import gc
+from dataclasses import replace
+
+import pytest
+
+from repro.grammar.cache import (
+    cache_stats,
+    cached_schedule,
+    cached_standard_grammar,
+    clear_caches,
+)
+from repro.grammar.standard import build_standard_grammar
+from repro.parser.parser import BestEffortParser
+from repro.spatial.relations import DEFAULT_SPATIAL
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestGrammarCache:
+    def test_same_config_returns_same_object(self):
+        first = cached_standard_grammar()
+        second = cached_standard_grammar()
+        assert first is second
+        assert cache_stats()["grammars"] == 1
+
+    def test_distinct_configs_get_distinct_grammars(self):
+        base = cached_standard_grammar()
+        wider = replace(DEFAULT_SPATIAL, max_horizontal_gap=400.0)
+        other = cached_standard_grammar(wider)
+        assert other is not base
+        assert cache_stats()["grammars"] == 2
+
+    def test_cached_grammar_matches_a_fresh_build(self):
+        cached = cached_standard_grammar()
+        fresh = build_standard_grammar()
+        assert cached.stats() == fresh.stats()
+        assert cached.describe() == fresh.describe()
+
+
+class TestScheduleCache:
+    def test_keyed_on_identity(self):
+        grammar = cached_standard_grammar()
+        assert cached_schedule(grammar) is cached_schedule(grammar)
+        assert cache_stats()["schedules"] == 1
+
+    def test_separate_grammars_separate_schedules(self):
+        a = build_standard_grammar()
+        b = build_standard_grammar()
+        schedule_a = cached_schedule(a)
+        schedule_b = cached_schedule(b)
+        assert schedule_a is not schedule_b
+        assert schedule_a.order == schedule_b.order
+        assert cache_stats()["schedules"] == 2
+
+    def test_entry_evicted_when_grammar_dies(self):
+        grammar = build_standard_grammar()
+        cached_schedule(grammar)
+        assert cache_stats()["schedules"] == 1
+        del grammar
+        gc.collect()
+        assert cache_stats()["schedules"] == 0
+
+    def test_parsers_sharing_a_grammar_share_the_schedule(self):
+        grammar = cached_standard_grammar()
+        first = BestEffortParser(grammar)
+        second = BestEffortParser(grammar)
+        assert first.schedule is second.schedule
+
+    def test_clear_caches(self):
+        cached_schedule(cached_standard_grammar())
+        clear_caches()
+        assert cache_stats() == {"grammars": 0, "schedules": 0}

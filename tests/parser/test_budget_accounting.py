@@ -1,0 +1,130 @@
+"""Combination-budget accounting: per-parse reset, per-symbol caps.
+
+Two regressions are pinned here:
+
+* ``ExhaustiveParser`` used to rebuild its config from scratch, silently
+  dropping a caller-supplied ``max_combos_per_instance``.
+* the combination budget used to be burnable in full by one pathological
+  production, starving every later symbol in the schedule; it is now a
+  per-``parse()`` global pool plus a per-symbol cap proportional to the
+  remaining instance budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammar.dsl import GrammarBuilder
+from repro.parser.parser import (
+    BestEffortParser,
+    ExhaustiveParser,
+    ParserConfig,
+)
+from tests.conftest import make_token
+
+
+def explosive_grammar():
+    """``B`` enumerates |A|^3 combinations and never matches; ``Y`` is a
+    cheap later symbol that must still get its turn."""
+    g = GrammarBuilder(start="S")
+    g.terminals("radiobutton", "text")
+    g.production("A", ["radiobutton"], name="seed-a")
+    g.production(
+        "B", ["A", "A", "A"],
+        constraint=lambda x, y, z: False,
+        name="explode",
+    )
+    g.production("Y", ["A", "text"], name="victim")
+    g.production("S", ["B"], name="top-b")
+    g.production("S", ["Y"], name="top-y")
+    return g.build()
+
+
+def explosive_tokens(a_count=8):
+    tokens = [
+        make_token(i, "radiobutton", 50.0 * i, 0.0) for i in range(a_count)
+    ]
+    tokens.append(make_token(a_count, "text", 50.0 * a_count, 0.0))
+    return tokens
+
+
+class TestExhaustiveParserConfig:
+    def test_caller_combo_budget_preserved(self):
+        grammar = explosive_grammar()
+        config = ParserConfig(max_combos_per_instance=7, max_instances=123)
+        parser = ExhaustiveParser(grammar, config)
+        assert parser.config.max_combos_per_instance == 7
+        assert parser.config.max_instances == 123
+        assert parser.config.enable_preferences is False
+
+    def test_default_config_still_disables_preferences(self):
+        parser = ExhaustiveParser(explosive_grammar())
+        defaults = ParserConfig()
+        assert parser.config.enable_preferences is False
+        assert (
+            parser.config.max_combos_per_instance
+            == defaults.max_combos_per_instance
+        )
+
+    def test_evaluation_mode_validated(self):
+        with pytest.raises(ValueError):
+            ParserConfig(evaluation="magic")
+
+
+@pytest.mark.parametrize("mode", ["seminaive", "naive"])
+class TestPerSymbolCap:
+    def test_pathological_symbol_cannot_starve_later_symbols(self, mode):
+        grammar = explosive_grammar()
+        schedule = BestEffortParser(grammar).schedule
+        # Precondition: the explosive symbol really runs first.
+        assert schedule.order.index("B") < schedule.order.index("Y")
+        config = ParserConfig(
+            max_instances=20, max_combos_per_instance=4, evaluation=mode
+        )
+        result = BestEffortParser(grammar, config).parse(explosive_tokens())
+        stats = result.stats
+        # B blew its per-symbol cap ...
+        assert stats.symbol_truncations >= 1
+        assert stats.truncated
+        # ... yet Y still instantiated from the remaining global budget.
+        victims = [
+            inst
+            for inst in result.instances
+            if inst.symbol == "Y" and inst.alive
+        ]
+        assert len(victims) == 8
+
+    def test_unbudgeted_parse_finds_everything(self, mode):
+        grammar = explosive_grammar()
+        config = ParserConfig(evaluation=mode)
+        result = BestEffortParser(grammar, config).parse(explosive_tokens())
+        assert not result.stats.truncated
+        assert result.stats.symbol_truncations == 0
+        assert (
+            len([i for i in result.instances if i.symbol == "Y" and i.alive])
+            == 8
+        )
+
+    def test_budget_resets_between_parses(self, mode):
+        """The combo pool is per-``parse()``, not per parser lifetime."""
+        grammar = explosive_grammar()
+        config = ParserConfig(
+            max_instances=20, max_combos_per_instance=4, evaluation=mode
+        )
+        parser = BestEffortParser(grammar, config)
+        tokens = explosive_tokens()
+        first = parser.parse(tokens)
+        second = parser.parse(tokens)
+        assert second.stats.combos_examined == first.stats.combos_examined
+        assert second.stats.instances_created == first.stats.instances_created
+        assert len(second.trees) == len(first.trees)
+
+    def test_global_budget_still_bounds_the_parse(self, mode):
+        grammar = explosive_grammar()
+        config = ParserConfig(
+            max_instances=3, max_combos_per_instance=2, evaluation=mode
+        )
+        result = BestEffortParser(grammar, config).parse(explosive_tokens())
+        stats = result.stats
+        assert stats.truncated
+        assert stats.combos_examined <= config.max_combos
