@@ -16,7 +16,6 @@ CPU and the measurement would test the scheduler, not this code.
 from __future__ import annotations
 
 import os
-import time
 
 from benchmarks.bench_parse_time import _token_sets
 from benchmarks.conftest import record_metric, record_table

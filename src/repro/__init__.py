@@ -16,8 +16,26 @@ Quickstart::
         print(condition)   # e.g. [Author; {contains}; text]
 """
 
-from repro.batch import BatchExtractor, BatchRecord, BatchReport
-from repro.extractor import ExtractionResult, FormExtractor, extract_capabilities
+from repro.batch import (
+    BatchExtractor,
+    BatchRecord,
+    BatchReport,
+    BatchStream,
+    ExtractionTimeout,
+)
+from repro.extractor import (
+    ExtractionResult,
+    FormExtractor,
+    FormNotFoundError,
+    extract_capabilities,
+)
+from repro.observability import (
+    MetricsRegistry,
+    Span,
+    Trace,
+    configure_logging,
+    get_global_registry,
+)
 from repro.grammar import (
     GrammarBuilder,
     Instance,
@@ -43,26 +61,34 @@ __all__ = [
     "BatchExtractor",
     "BatchRecord",
     "BatchReport",
+    "BatchStream",
     "BestEffortParser",
     "Condition",
     "ConditionMatcher",
     "Domain",
     "ExhaustiveParser",
     "ExtractionResult",
+    "ExtractionTimeout",
     "FormExtractor",
+    "FormNotFoundError",
     "FormTokenizer",
     "GrammarBuilder",
     "Instance",
     "Merger",
+    "MetricsRegistry",
     "ParseResult",
     "ParserConfig",
     "ParseStats",
     "Preference",
     "Production",
     "SemanticModel",
+    "Span",
     "Token",
+    "Trace",
     "TwoPGrammar",
     "build_standard_grammar",
+    "configure_logging",
+    "get_global_registry",
     "extract_capabilities",
     "merge_parse_result",
     "tokenize_form",

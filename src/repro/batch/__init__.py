@@ -4,13 +4,23 @@ The paper's pipeline handles one form at a time; large-scale integration
 (the MetaQuerier motivation) must extract capabilities from thousands of
 interfaces.  This package adds the throughput layer: a process-pool batch
 extractor with per-worker parser reuse, chunked scheduling, ordered
-results, and aggregate statistics.
+results, aggregate statistics, and fault tolerance (per-form timeouts,
+retry with backoff, crashed-pool recovery with serial-isolation
+degradation).
 """
 
 from repro.batch.extractor import (
     BatchExtractor,
     BatchRecord,
     BatchReport,
+    BatchStream,
+    ExtractionTimeout,
 )
 
-__all__ = ["BatchExtractor", "BatchRecord", "BatchReport"]
+__all__ = [
+    "BatchExtractor",
+    "BatchRecord",
+    "BatchReport",
+    "BatchStream",
+    "ExtractionTimeout",
+]

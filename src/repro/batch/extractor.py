@@ -1,4 +1,4 @@
-"""Parallel batch extraction over a process pool.
+"""Parallel batch extraction over a fault-tolerant process pool.
 
 Parsing dominates extraction cost and each form is independent, so batch
 throughput scales with cores.  :class:`BatchExtractor` fans tokenized forms
@@ -17,30 +17,69 @@ throughput scales with cores.  :class:`BatchExtractor` fans tokenized forms
   order, as they become available.
 * **Serial fallback** -- ``jobs=1`` (the default) runs everything in the
   calling process with no executor, byte-identical to a plain
-  :class:`FormExtractor` loop.
+  :class:`FormExtractor` loop.  The serial path builds its own local
+  extractor; the module-global worker state is strictly worker-side, so
+  nested or concurrent batches in one process never clobber each other.
 
 A worker never lets one bad form poison the batch: per-form failures come
 back as records with ``error`` set (best-effort at the batch level, just
-as the parser is best-effort at the form level).
+as the parser is best-effort at the form level).  Three fault-tolerance
+layers back that contract up:
+
+* **Per-form timeout** -- a worker-side watchdog (``SIGALRM`` where
+  available) aborts a form stuck past ``timeout`` seconds and reports it
+  as a ``Timeout:`` error record, keeping the worker alive for the rest
+  of the batch.
+* **Retry with backoff** -- ``retries=N`` re-runs a failed form up to
+  ``N`` extra times (exponential backoff from ``retry_backoff``) before
+  its error record becomes final; :attr:`BatchRecord.attempts` reports
+  the count.
+* **Pool recovery** -- a crashed worker (OOM kill, segfault) breaks the
+  whole ``ProcessPoolExecutor``; the extractor rebuilds the pool and
+  requeues every unfinished form.  After ``max_pool_restarts`` full-pool
+  deaths it degrades to an *isolation* pool (one worker, one form in
+  flight) where a further crash identifies its culprit exactly: that one
+  form is recorded as ``WorkerCrash``, everything else proceeds.  A
+  crashed worker therefore costs one record marked ``error``, never the
+  batch.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import logging
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
-from repro.extractor import FormExtractor
+from repro.extractor import ExtractionResult, FormExtractor
 from repro.grammar.grammar import TwoPGrammar
+from repro.observability.logs import get_logger, log_event
 from repro.parser.parser import ParserConfig, ParseStats
 from repro.semantics.condition import SemanticModel
 from repro.tokens.model import Token
+
+_logger = get_logger("repro.batch")
 
 #: Builds the grammar inside a worker process.  Must be picklable by
 #: reference (a module-level function), not a closure; ``None`` selects the
 #: cached standard grammar.
 GrammarFactory = Callable[[], TwoPGrammar]
+
+#: A custom per-form job for :meth:`BatchExtractor.iter_custom`: receives
+#: the worker's extractor and one payload, returns an
+#: :class:`ExtractionResult`.  Must be a module-level callable so it
+#: pickles by reference.
+CustomJob = Callable[[FormExtractor, Any], ExtractionResult]
+
+
+class ExtractionTimeout(Exception):
+    """A form exceeded the per-form extraction timeout."""
 
 
 @dataclass
@@ -52,6 +91,13 @@ class BatchRecord:
     stats: ParseStats | None = None
     elapsed_seconds: float = 0.0
     error: str | None = None
+    #: Times this form was attempted (1 unless retries kicked in).
+    attempts: int = 1
+    #: Non-fatal degradations (e.g. the no-``<form>`` whole-page fallback).
+    warnings: list[str] = field(default_factory=list)
+    #: Serialized per-stage :class:`~repro.observability.Trace`
+    #: (``Trace.to_dict()``); plain data so it crosses the process boundary.
+    trace: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -65,6 +111,10 @@ class BatchReport:
     records: list[BatchRecord] = field(default_factory=list)
     jobs: int = 1
     wall_seconds: float = 0.0
+    #: Process-pool rebuilds forced by crashed workers during the run.
+    pool_restarts: int = 0
+    #: True when crashes degraded the run to the single-worker isolation pool.
+    degraded: bool = False
 
     @property
     def models(self) -> list[SemanticModel | None]:
@@ -77,23 +127,22 @@ class BatchReport:
 
     @property
     def stats(self) -> ParseStats:
-        """Element-wise sum of the per-form parse statistics."""
+        """Element-wise sum of the per-form parse statistics.
+
+        Summed dynamically over the :class:`ParseStats` fields (booleans
+        OR together), so new counters aggregate without touching this.
+        """
         total = ParseStats()
         for record in self.records:
             stats = record.stats
             if stats is None:
                 continue
-            total.tokens += stats.tokens
-            total.instances_created += stats.instances_created
-            total.instances_pruned += stats.instances_pruned
-            total.rollback_kills += stats.rollback_kills
-            total.preference_applications += stats.preference_applications
-            total.fixpoint_rounds += stats.fixpoint_rounds
-            total.combos_examined += stats.combos_examined
-            total.combos_prefiltered += stats.combos_prefiltered
-            total.symbol_truncations += stats.symbol_truncations
-            total.truncated = total.truncated or stats.truncated
-            total.elapsed_seconds += stats.elapsed_seconds
+            for spec in dataclasses.fields(ParseStats):
+                value = getattr(stats, spec.name)
+                if isinstance(value, bool):
+                    setattr(total, spec.name, getattr(total, spec.name) or value)
+                else:
+                    setattr(total, spec.name, getattr(total, spec.name) + value)
         return total
 
     @property
@@ -115,6 +164,11 @@ class BatchReport:
             "combos_examined": stats.combos_examined,
             "combos_prefiltered": stats.combos_prefiltered,
             "truncated_any": stats.truncated,
+            "pool_restarts": self.pool_restarts,
+            "degraded": self.degraded,
+            "retried_forms": sum(
+                1 for record in self.records if record.attempts > 1
+            ),
         }
 
     def describe(self) -> str:
@@ -125,7 +179,7 @@ class BatchReport:
             if numbers["wall_seconds"] > 0
             else 0.0
         )
-        return (
+        text = (
             f"{numbers['forms']} forms with {self.jobs} job(s) in "
             f"{numbers['wall_seconds']:.2f}s wall "
             f"({numbers['cpu_seconds']:.2f}s cpu, {speedup:.1f}x overlap); "
@@ -134,13 +188,81 @@ class BatchReport:
             f"{numbers['combos_examined']} combos examined, "
             f"{numbers['errors']} error(s)"
         )
+        if self.pool_restarts:
+            text += (
+                f"; {self.pool_restarts} pool restart(s)"
+                + (" [degraded to isolation]" if self.degraded else "")
+            )
+        return text
+
+
+class _RunInfo:
+    """Wall-clock and fault bookkeeping for one batch run.
+
+    ``started`` is stamped when the work actually starts (first record
+    pulled), not when the iterator is created or collected, so
+    ``wall_seconds`` is meaningful however lazily the stream is consumed.
+    """
+
+    __slots__ = ("started", "finished", "pool_restarts", "degraded")
+
+    def __init__(self) -> None:
+        self.started: float | None = None
+        self.finished: float | None = None
+        self.pool_restarts = 0
+        self.degraded = False
+
+    @property
+    def wall_seconds(self) -> float:
+        if self.started is None:
+            return 0.0
+        end = self.finished if self.finished is not None else time.perf_counter()
+        return end - self.started
+
+
+class BatchStream(Iterator[BatchRecord]):
+    """Ordered stream of :class:`BatchRecord` s with run bookkeeping.
+
+    Iterating pulls records in input order as they finish.  The stream
+    retains every record it yields so :meth:`report` can aggregate them;
+    :attr:`info` exposes the wall clock and pool-restart counters while
+    the run is still in flight.
+    """
+
+    def __init__(self, generator: Iterator[BatchRecord], info: _RunInfo, jobs: int):
+        self._generator = generator
+        self.info = info
+        self.jobs = jobs
+        self.records: list[BatchRecord] = []
+
+    def __iter__(self) -> "BatchStream":
+        return self
+
+    def __next__(self) -> BatchRecord:
+        record = next(self._generator)
+        self.records.append(record)
+        return record
+
+    def report(self) -> BatchReport:
+        """Drain whatever remains and aggregate the whole run."""
+        for _ in self:
+            pass
+        return BatchReport(
+            records=list(self.records),
+            jobs=self.jobs,
+            wall_seconds=self.info.wall_seconds,
+            pool_restarts=self.info.pool_restarts,
+            degraded=self.info.degraded,
+        )
 
 
 # -- worker-side machinery ----------------------------------------------------------
 #
 # Everything the pool touches must be picklable by reference: module-level
 # functions only, with per-worker state in a module global set up by the
-# initializer.
+# initializer.  The global is strictly worker-side: the serial (jobs=1)
+# path builds a local extractor instead, so it cannot clobber state for a
+# nested or concurrent batch in the same process.
 
 _worker_extractor: FormExtractor | None = None
 
@@ -151,40 +273,111 @@ def _init_worker(
 ) -> None:
     """Pool initializer: build the extractor once per worker process."""
     global _worker_extractor
+    _worker_extractor = _build_extractor(grammar_factory, parser_config)
+
+
+def _build_extractor(
+    grammar_factory: GrammarFactory | None,
+    parser_config: ParserConfig | None,
+) -> FormExtractor:
     grammar = grammar_factory() if grammar_factory is not None else None
-    _worker_extractor = FormExtractor(
-        grammar=grammar, parser_config=parser_config
+    return FormExtractor(grammar=grammar, parser_config=parser_config)
+
+
+def _require_worker_extractor() -> FormExtractor:
+    if _worker_extractor is None:
+        raise RuntimeError(
+            "worker extractor not initialized -- _init_worker did not run"
+        )
+    return _worker_extractor
+
+
+@contextmanager
+def _watchdog(timeout: float | None):
+    """Abort the enclosed block after *timeout* seconds.
+
+    Implemented with ``SIGALRM``/``setitimer``, which interrupts pure-
+    Python work from inside the process -- the worker survives to take the
+    next form.  Where the signal is unavailable (non-main thread, non-Unix
+    platforms) the watchdog is a no-op; the pool-recovery layer still
+    bounds the damage a stuck worker can do.
+    """
+    usable = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
     )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):  # noqa: ARG001 - signal handler signature
+        raise ExtractionTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
-def _extract_tokens_job(job: tuple[int, list[Token]]) -> BatchRecord:
-    index, tokens = job
-    assert _worker_extractor is not None  # initializer always ran
-    return _run(index, lambda: _worker_extractor.extract_from_tokens(tokens))
-
-
-def _extract_html_job(job: tuple[int, str]) -> BatchRecord:
-    index, html = job
-    assert _worker_extractor is not None
-    return _run(index, lambda: _worker_extractor.extract_detailed(html))
-
-
-def _run(index: int, extract: Callable) -> BatchRecord:
+def _extract_one(
+    extractor: FormExtractor,
+    kind: str,
+    index: int,
+    payload: Any,
+    timeout: float | None,
+) -> BatchRecord:
+    """Run one form through *extractor*; failures become error records."""
     started = time.perf_counter()
     try:
-        result = extract()
+        with _watchdog(timeout):
+            if kind == "html":
+                result = extractor.extract_detailed(payload)
+            elif kind == "tokens":
+                result = extractor.extract_from_tokens(payload)
+            else:  # "custom"
+                job_fn, arg = payload
+                result = job_fn(extractor, arg)
+    except ExtractionTimeout:
+        return BatchRecord(
+            index=index,
+            elapsed_seconds=time.perf_counter() - started,
+            error=f"Timeout: extraction exceeded {timeout:g}s",
+        )
     except Exception as exc:  # noqa: BLE001 - reported, not raised
         return BatchRecord(
             index=index,
             elapsed_seconds=time.perf_counter() - started,
             error=f"{type(exc).__name__}: {exc}",
         )
-    return BatchRecord(
+    record = BatchRecord(
         index=index,
         model=result.model,
         stats=result.parse.stats,
         elapsed_seconds=time.perf_counter() - started,
     )
+    trace = getattr(result, "trace", None)
+    if trace is not None:
+        record.trace = trace.to_dict()
+        record.warnings = list(trace.warnings)
+    return record
+
+
+def _extract_chunk(
+    kind: str,
+    chunk: list[tuple[int, Any]],
+    timeout: float | None,
+) -> list[BatchRecord]:
+    """Worker entry point: run one chunk of (index, payload) jobs."""
+    extractor = _require_worker_extractor()
+    return [
+        _extract_one(extractor, kind, index, payload, timeout)
+        for index, payload in chunk
+    ]
 
 
 class BatchExtractor:
@@ -201,6 +394,18 @@ class BatchExtractor:
         parser_config: Optional :class:`ParserConfig` shipped to workers.
         chunksize: Inputs dispatched per IPC round-trip.  Default: split
             the batch into about four waves per worker, minimum one input.
+        timeout: Per-form wall-clock budget in seconds (``None`` = no
+            limit).  Enforced by a worker-side watchdog; a form over
+            budget becomes a ``Timeout:`` error record.
+        retries: Extra attempts for a failed form before its error record
+            is final (default 0 -- extraction is deterministic, so retries
+            only help against transient faults: crashes, timeouts under
+            load, flaky custom jobs).
+        retry_backoff: Base of the exponential backoff between attempts
+            (``retry_backoff * 2**(attempt-1)`` seconds).
+        max_pool_restarts: Full-pool rebuilds allowed after worker crashes
+            before degrading to the single-worker isolation pool that
+            pinpoints crashing forms one at a time.
     """
 
     def __init__(
@@ -209,61 +414,282 @@ class BatchExtractor:
         grammar_factory: GrammarFactory | None = None,
         parser_config: ParserConfig | None = None,
         chunksize: int | None = None,
+        timeout: float | None = None,
+        retries: int = 0,
+        retry_backoff: float = 0.1,
+        max_pool_restarts: int = 2,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
+        if max_pool_restarts < 0:
+            raise ValueError(
+                f"max_pool_restarts must be >= 0, got {max_pool_restarts}"
+            )
         self.jobs = jobs
         self.grammar_factory = grammar_factory
         self.parser_config = parser_config
         self.chunksize = chunksize
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.max_pool_restarts = max_pool_restarts
+        self._serial_extractor: FormExtractor | None = None
 
     # -- token-set batches ------------------------------------------------------
 
-    def iter_tokens(
-        self, token_sets: Iterable[list[Token]]
-    ) -> Iterator[BatchRecord]:
+    def iter_tokens(self, token_sets: Iterable[list[Token]]) -> BatchStream:
         """Extract each token set; yield records in input order."""
-        return self._iter(list(token_sets), _extract_tokens_job)
+        return self._stream(list(token_sets), "tokens")
 
     def extract_tokens(self, token_sets: Iterable[list[Token]]) -> BatchReport:
         """Extract every token set into an aggregated report."""
-        return self._collect(self.iter_tokens(token_sets))
+        return self.iter_tokens(token_sets).report()
 
     # -- html batches ------------------------------------------------------------
 
-    def iter_html(self, sources: Iterable[str]) -> Iterator[BatchRecord]:
+    def iter_html(self, sources: Iterable[str]) -> BatchStream:
         """Extract the first form of each HTML page; records in input order."""
-        return self._iter(list(sources), _extract_html_job)
+        return self._stream(list(sources), "html")
 
     def extract_html(self, sources: Iterable[str]) -> BatchReport:
         """Extract every HTML page into an aggregated report."""
-        return self._collect(self.iter_html(sources))
+        return self.iter_html(sources).report()
+
+    # -- custom jobs -------------------------------------------------------------
+
+    def iter_custom(self, job_fn: CustomJob, items: Iterable[Any]) -> BatchStream:
+        """Run a custom per-form job (module-level callable) over *items*.
+
+        The job receives ``(extractor, item)`` in the worker and returns an
+        :class:`ExtractionResult`.  This is also the fault-injection seam
+        the failure-tolerance tests use: a job that hangs or kills its
+        process exercises the timeout and pool-recovery machinery.
+        """
+        return self._stream([(job_fn, item) for item in items], "custom")
+
+    def extract_custom(
+        self, job_fn: CustomJob, items: Iterable[Any]
+    ) -> BatchReport:
+        """Run a custom job over every item into an aggregated report."""
+        return self.iter_custom(job_fn, items).report()
 
     # -- internals ----------------------------------------------------------------
 
-    def _iter(self, items: list, job_fn: Callable) -> Iterator[BatchRecord]:
-        jobs = list(enumerate(items))
-        if self.jobs == 1:
-            _init_worker(self.grammar_factory, self.parser_config)
-            for job in jobs:
-                yield job_fn(job)
-            return
-        chunksize = self.chunksize or max(
-            1, len(jobs) // (self.jobs * 4) or 1
-        )
-        with ProcessPoolExecutor(
-            max_workers=self.jobs,
+    def _stream(self, items: list, kind: str) -> BatchStream:
+        info = _RunInfo()
+        return BatchStream(self._iter(items, kind, info), info, self.jobs)
+
+    def _iter(
+        self, items: list, kind: str, info: _RunInfo
+    ) -> Iterator[BatchRecord]:
+        # Generator body: nothing runs until the first record is pulled,
+        # and that is exactly when the wall clock starts.
+        info.started = time.perf_counter()
+        try:
+            jobs = list(enumerate(items))
+            if self.jobs == 1:
+                yield from self._iter_serial(jobs, kind)
+            else:
+                yield from self._iter_pool(jobs, kind, info)
+        finally:
+            info.finished = time.perf_counter()
+
+    # -- serial path --------------------------------------------------------------
+
+    def _local_extractor(self) -> FormExtractor:
+        """The in-process extractor for ``jobs=1`` (never the worker global)."""
+        if self._serial_extractor is None:
+            self._serial_extractor = _build_extractor(
+                self.grammar_factory, self.parser_config
+            )
+        return self._serial_extractor
+
+    def _iter_serial(
+        self, jobs: list[tuple[int, Any]], kind: str
+    ) -> Iterator[BatchRecord]:
+        extractor = self._local_extractor()
+        for index, payload in jobs:
+            attempts = 0
+            while True:
+                attempts += 1
+                record = _extract_one(
+                    extractor, kind, index, payload, self.timeout
+                )
+                record.attempts = attempts
+                if record.ok or attempts > self.retries:
+                    break
+                self._backoff(attempts, index, record.error)
+            yield record
+
+    # -- pooled path --------------------------------------------------------------
+
+    def _iter_pool(
+        self, jobs: list[tuple[int, Any]], kind: str, info: _RunInfo
+    ) -> Iterator[BatchRecord]:
+        payloads = dict(jobs)
+        attempts = {index: 0 for index in payloads}
+        results: dict[int, BatchRecord] = {}
+        remaining = set(payloads)
+        next_emit = 0
+
+        def emit_ready() -> Iterator[BatchRecord]:
+            nonlocal next_emit
+            while next_emit in results:
+                yield results.pop(next_emit)
+                next_emit += 1
+
+        def finalize(record: BatchRecord) -> bool:
+            """Account one attempt; True when the record is final."""
+            index = record.index
+            attempts[index] += 1
+            record.attempts = attempts[index]
+            if record.error is not None and attempts[index] <= self.retries:
+                self._backoff(attempts[index], index, record.error)
+                return False
+            results[index] = record
+            remaining.discard(index)
+            return True
+
+        while remaining:
+            isolated = info.pool_restarts >= self.max_pool_restarts
+            if isolated and not info.degraded:
+                info.degraded = True
+                log_event(
+                    _logger, logging.WARNING, "batch.degraded_isolation",
+                    pool_restarts=info.pool_restarts,
+                    unresolved=len(remaining),
+                )
+            pool = self._new_pool(workers=1 if isolated else self.jobs)
+            try:
+                runner = (
+                    self._run_isolated(
+                        pool, kind, payloads, remaining, finalize, info
+                    )
+                    if isolated
+                    else self._run_pooled(pool, kind, payloads, remaining, finalize)
+                )
+                for _ in runner:
+                    yield from emit_ready()
+            except BrokenProcessPool:
+                info.pool_restarts += 1
+                log_event(
+                    _logger, logging.WARNING, "batch.pool_died",
+                    pool_restarts=info.pool_restarts,
+                    unresolved=len(remaining),
+                    degrading=info.pool_restarts >= self.max_pool_restarts,
+                )
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            yield from emit_ready()
+        yield from emit_ready()
+
+    def _new_pool(self, workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
             initializer=_init_worker,
             initargs=(self.grammar_factory, self.parser_config),
-        ) as pool:
-            # ``map`` preserves input order and dispatches in chunks.
-            yield from pool.map(job_fn, jobs, chunksize=chunksize)
-
-    def _collect(self, records: Iterator[BatchRecord]) -> BatchReport:
-        started = time.perf_counter()
-        collected = list(records)
-        return BatchReport(
-            records=collected,
-            jobs=self.jobs,
-            wall_seconds=time.perf_counter() - started,
         )
+
+    def _run_pooled(
+        self,
+        pool: ProcessPoolExecutor,
+        kind: str,
+        payloads: dict[int, Any],
+        remaining: set[int],
+        finalize: Callable[[BatchRecord], bool],
+    ) -> Iterator[None]:
+        """Normal mode: chunked fan-out over the full pool.
+
+        Yields (nothing meaningful) after each completed future so the
+        caller can flush ordered records.  Raises
+        :class:`BrokenProcessPool` when a worker crash kills the pool;
+        everything not yet finalized stays in *remaining* for the caller
+        to requeue on a fresh pool.
+        """
+        todo = sorted(remaining)
+        chunksize = self.chunksize or max(1, len(todo) // (self.jobs * 4) or 1)
+        inflight: dict[Future, list[int]] = {}
+        for start in range(0, len(todo), chunksize):
+            indices = todo[start:start + chunksize]
+            future = pool.submit(
+                _extract_chunk, kind,
+                [(index, payloads[index]) for index in indices],
+                self.timeout,
+            )
+            inflight[future] = indices
+        while inflight:
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                indices = inflight.pop(future)
+                # Raises BrokenProcessPool when the pool died under this
+                # chunk; the orchestrator handles recovery.
+                for record in future.result():
+                    if not finalize(record):
+                        retry = pool.submit(
+                            _extract_chunk, kind,
+                            [(record.index, payloads[record.index])],
+                            self.timeout,
+                        )
+                        inflight[retry] = [record.index]
+            yield None
+
+    def _run_isolated(
+        self,
+        pool: ProcessPoolExecutor,
+        kind: str,
+        payloads: dict[int, Any],
+        remaining: set[int],
+        finalize: Callable[[BatchRecord], bool],
+        info: _RunInfo,
+    ) -> Iterator[None]:
+        """Degraded mode: one worker, one form in flight.
+
+        A pool death now identifies its culprit exactly -- that form is
+        recorded as a ``WorkerCrash`` error (or retried, if attempts
+        remain) on a rebuilt pool, and the batch marches on.
+        """
+        current = pool
+        try:
+            for index in sorted(remaining):
+                while index in remaining:
+                    try:
+                        record = current.submit(
+                            _extract_chunk, kind,
+                            [(index, payloads[index])],
+                            self.timeout,
+                        ).result()[0]
+                    except BrokenProcessPool:
+                        info.pool_restarts += 1
+                        log_event(
+                            _logger, logging.WARNING, "batch.worker_crash",
+                            index=index, pool_restarts=info.pool_restarts,
+                        )
+                        record = BatchRecord(
+                            index=index,
+                            error="WorkerCrash: worker process died "
+                                  "extracting this form",
+                        )
+                        current.shutdown(wait=False, cancel_futures=True)
+                        current = self._new_pool(workers=1)
+                    finalize(record)
+                    yield None
+        finally:
+            if current is not pool:
+                current.shutdown(wait=False, cancel_futures=True)
+
+    def _backoff(self, attempt: int, index: int, error: str | None) -> None:
+        log_event(
+            _logger, logging.INFO, "batch.retry",
+            index=index, attempt=attempt, error=error,
+        )
+        delay = self.retry_backoff * (2 ** (attempt - 1))
+        if delay > 0:
+            time.sleep(delay)

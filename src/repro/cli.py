@@ -4,11 +4,18 @@ Commands:
 
 * ``extract FILE``  -- extract a query form's semantic model from an HTML
   file (``-`` reads stdin); ``--json`` emits the serialized model,
-  ``--trace`` adds pipeline statistics, ``--form N`` picks the N-th form.
+  ``--trace`` adds per-stage pipeline spans and statistics, ``--form N``
+  picks the N-th form (out-of-range indices are an error, not a guess).
 * ``evaluate``      -- run the Figure 15 evaluation over the four
   synthetic datasets (``--scale`` shrinks them for a quick look;
-  ``--jobs N`` fans extraction over N worker processes).
+  ``--jobs N`` fans extraction over N worker processes; ``--metrics
+  out.json`` dumps aggregated pipeline counters and per-stage span
+  histograms; ``--timeout``/``--retries`` set the batch engine's
+  fault-tolerance knobs; ``--trace`` prints the stage timing summary).
 * ``grammar``       -- print the derived global grammar.
+
+Global flags: ``--log-level LEVEL`` enables structured logging to stderr,
+``--log-json`` switches it to JSON lines.
 """
 
 from __future__ import annotations
@@ -17,8 +24,10 @@ import argparse
 import sys
 
 from repro.evaluation.harness import EvaluationHarness
-from repro.extractor import FormExtractor
+from repro.extractor import FormExtractor, FormNotFoundError
 from repro.grammar.standard import build_standard_grammar
+from repro.observability.logs import configure_logging
+from repro.observability.metrics import MetricsRegistry
 from repro.semantics.serialize import model_to_json
 
 
@@ -33,7 +42,13 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
             return 2
     extractor = FormExtractor()
-    detail = extractor.extract_detailed(html, form_index=args.form)
+    try:
+        detail = extractor.extract_detailed(html, form_index=args.form)
+    except FormNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for warning in detail.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     if args.json:
         print(model_to_json(detail.model))
     else:
@@ -58,14 +73,29 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             f"time={stats.elapsed_seconds * 1000:.1f}ms",
             file=sys.stderr,
         )
+        for span in detail.trace.spans:
+            counters = " ".join(
+                f"{name}={value}" for name, value in sorted(span.counters.items())
+            )
+            print(
+                f"# span {span.name}: {span.seconds * 1000:.2f}ms"
+                + (f" {counters}" if counters else ""),
+                file=sys.stderr,
+            )
     return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.datasets.repository import standard_datasets
 
+    registry = MetricsRegistry()
     datasets = standard_datasets(scale=args.scale)
-    harness = EvaluationHarness(jobs=args.jobs)
+    harness = EvaluationHarness(
+        jobs=args.jobs,
+        metrics=registry,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
     print("dataset       n     Pa      Ra    accuracy")
     for name, dataset in datasets.items():
         result = harness.evaluate(dataset)
@@ -74,6 +104,29 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             f"{name:12s} {len(dataset):3d}  {overall.precision:.3f}   "
             f"{overall.recall:.3f}   {result.accuracy:.3f}"
         )
+    if args.trace:
+        snapshot = registry.to_dict()
+        print("\n# per-stage span durations (seconds):", file=sys.stderr)
+        for name, histogram in snapshot["histograms"].items():
+            if not name.startswith("span.") or not name.endswith(".seconds"):
+                continue
+            print(
+                f"# {name}: count={histogram['count']} "
+                f"total={histogram['total']:.3f} mean={histogram['mean']:.5f} "
+                f"max={histogram['max']:.5f}",
+                file=sys.stderr,
+            )
+    if args.metrics:
+        try:
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                fh.write(registry.to_json())
+                fh.write("\n")
+        except OSError as error:
+            print(
+                f"error: cannot write {args.metrics}: {error}", file=sys.stderr
+            )
+            return 2
+        print(f"# metrics written to {args.metrics}", file=sys.stderr)
     return 0
 
 
@@ -97,11 +150,34 @@ def _job_count(value: str) -> int:
     return jobs
 
 
+def _positive_seconds(value: str) -> float:
+    seconds = float(value)
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {seconds}")
+    return seconds
+
+
+def _retry_count(value: str) -> int:
+    retries = int(value)
+    if retries < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {retries}")
+    return retries
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Best-effort parsing of Web query interfaces "
         "(SIGMOD 2004 reproduction)",
+    )
+    parser.add_argument(
+        "--log-level", default=None,
+        help="enable structured logging to stderr at this level "
+             "(DEBUG, INFO, WARNING, ...)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured logs as JSON lines (implies --log-level INFO)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -114,7 +190,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     extract.add_argument("--json", action="store_true",
                          help="emit the serialized model as JSON")
     extract.add_argument("--trace", action="store_true",
-                         help="print pipeline statistics to stderr")
+                         help="print per-stage pipeline spans and "
+                              "statistics to stderr")
     extract.add_argument("--render", action="store_true",
                          help="print an ASCII sketch of the rendered "
                               "tokens and the parse forest to stderr")
@@ -128,6 +205,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--jobs", type=_job_count, default=1,
                           help="worker processes for extraction "
                                "(default 1 = serial)")
+    evaluate.add_argument("--metrics", metavar="PATH", default=None,
+                          help="write aggregated pipeline metrics "
+                               "(counters + span histograms) as JSON")
+    evaluate.add_argument("--trace", action="store_true",
+                          help="print the per-stage timing summary "
+                               "to stderr")
+    evaluate.add_argument("--timeout", type=_positive_seconds, default=None,
+                          help="per-form extraction budget in seconds")
+    evaluate.add_argument("--retries", type=_retry_count, default=0,
+                          help="extra attempts for failed forms "
+                               "(default 0)")
     evaluate.set_defaults(func=_cmd_evaluate)
 
     grammar = subparsers.add_parser(
@@ -140,6 +228,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_arg_parser()
     args = parser.parse_args(argv)
+    if args.log_json or args.log_level is not None:
+        configure_logging(
+            json_output=args.log_json,
+            level=(args.log_level or "INFO").upper(),
+        )
     return args.func(args)
 
 

@@ -3,6 +3,11 @@
 The harness abstracts over extractors (the form extractor, or the heuristic
 baseline) through a simple callable interface: anything mapping HTML to a
 list of conditions can be evaluated.
+
+When the default extractor is in use, every source flows through the batch
+engine and its per-stage traces are folded into an optional
+:class:`~repro.observability.MetricsRegistry` -- corpus-scale evaluation
+with per-form diagnosability (``repro evaluate --metrics out.json``).
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from repro.evaluation.metrics import (
     per_source_metrics,
 )
 from repro.extractor import FormExtractor
+from repro.observability.metrics import MetricsRegistry
 from repro.semantics.condition import Condition
 from repro.semantics.matching import ConditionMatcher
 
@@ -106,6 +112,19 @@ class EvaluationHarness:
     hand-written loop would; ``jobs=N`` fans sources over ``N`` worker
     processes.  A custom ``extract`` callable cannot be shipped to workers
     (it may close over anything), so it always runs serially.
+
+    Args:
+        extract: Custom ``html -> conditions`` callable (default: the
+            standard :class:`FormExtractor`).
+        matcher: Condition equivalence used for scoring.
+        jobs: Worker processes for the default-extractor path.
+        metrics: Registry receiving one trace per evaluated source plus
+            batch fault counters (default-extractor path only -- a custom
+            callable yields no traces).
+        timeout: Per-form extraction budget in seconds, enforced by the
+            batch engine's watchdog (default-extractor path only).
+        retries: Extra attempts for failed forms before their error
+            record is final.
     """
 
     def __init__(
@@ -113,10 +132,16 @@ class EvaluationHarness:
         extract: ExtractFn | None = None,
         matcher: ConditionMatcher | None = None,
         jobs: int = 1,
+        metrics: MetricsRegistry | None = None,
+        timeout: float | None = None,
+        retries: int = 0,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.metrics = metrics
+        self.timeout = timeout
+        self.retries = retries
         self.custom_extract = extract is not None
         if extract is None:
             extractor = FormExtractor()
@@ -135,15 +160,29 @@ class EvaluationHarness:
         return self._score(source, extracted, elapsed)
 
     def evaluate(self, dataset: Dataset) -> DatasetResult:
-        """Evaluate every source of *dataset*."""
+        """Evaluate every source of *dataset*.
+
+        With the default extractor every source flows through the batch
+        engine -- serially in-process for ``jobs=1``, over worker
+        processes otherwise -- so per-form failures (exceptions, timeouts,
+        worker crashes) score as empty extractions instead of aborting the
+        evaluation, and per-stage traces reach the metrics registry.
+        """
         result = DatasetResult(name=dataset.name)
         sources = list(dataset)
-        if self.jobs > 1 and not self.custom_extract:
+        if not self.custom_extract:
             from repro.batch import BatchExtractor
 
-            batch = BatchExtractor(jobs=self.jobs)
-            records = batch.iter_html(source.html for source in sources)
-            for source, record in zip(sources, records):
+            batch = BatchExtractor(
+                jobs=self.jobs, timeout=self.timeout, retries=self.retries
+            )
+            stream = batch.iter_html(source.html for source in sources)
+            for source, record in zip(sources, stream):
+                if self.metrics is not None:
+                    if record.trace is not None:
+                        self.metrics.record_trace(record.trace)
+                    if record.error is not None:
+                        self.metrics.inc("evaluate.form_errors")
                 extracted = (
                     list(record.model.conditions)
                     if record.model is not None
@@ -152,6 +191,12 @@ class EvaluationHarness:
                 result.results.append(
                     self._score(source, extracted, record.elapsed_seconds)
                 )
+            if self.metrics is not None:
+                report = stream.report()
+                self.metrics.inc("evaluate.sources", len(sources))
+                self.metrics.inc("batch.pool_restarts", report.pool_restarts)
+                if report.degraded:
+                    self.metrics.inc("batch.degraded_runs")
             return result
         for source in sources:
             result.results.append(self.evaluate_source(source))

@@ -10,21 +10,52 @@ the resulting partial parse trees into the form's query capabilities::
     model = extractor.extract(html)
     for condition in model:
         print(condition)      # [Author; {contains}; text] ...
+
+Every extraction additionally records a :class:`~repro.observability.Trace`
+of per-stage spans (``html-parse``, ``tokenize``, ``parse.construct``,
+``parse.maximize``, ``merge``) with durations and counters, available on
+:attr:`ExtractionResult.trace` and folded into a
+:class:`~repro.observability.MetricsRegistry` -- the extractor is
+best-effort by design, so degradations (no ``<form>`` element, budget
+truncation) are *surfaced* as warnings and tags, never silently absorbed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import dataclass, field
 
 from repro.grammar.cache import cached_standard_grammar
 from repro.grammar.grammar import TwoPGrammar
 from repro.html.dom import Document, Element
 from repro.html.parser import parse_html
 from repro.merger.merger import Merger, MergeReport
+from repro.observability.logs import get_logger, log_event
+from repro.observability.metrics import MetricsRegistry, get_global_registry
+from repro.observability.trace import Trace
 from repro.parser.parser import BestEffortParser, ParseResult, ParserConfig
 from repro.semantics.condition import SemanticModel
 from repro.tokens.tokenizer import FormTokenizer
 from repro.tokens.model import Token
+
+_logger = get_logger("repro.extractor")
+
+
+class FormNotFoundError(LookupError):
+    """Raised when ``form_index`` does not name a form of the document.
+
+    Carries the requested index and the number of forms actually present,
+    so batch clients can report the miss precisely instead of silently
+    extracting the wrong form.
+    """
+
+    def __init__(self, form_index: int, form_count: int):
+        self.form_index = form_index
+        self.form_count = form_count
+        super().__init__(
+            f"form index {form_index} out of range: "
+            f"document has {form_count} form(s)"
+        )
 
 
 @dataclass
@@ -36,21 +67,37 @@ class ExtractionResult:
     parse: ParseResult
     report: MergeReport
     tokens: list[Token]
+    trace: Trace = field(default_factory=Trace)
+
+    @property
+    def warnings(self) -> list[str]:
+        """Non-fatal degradations recorded along the pipeline."""
+        return self.trace.warnings
 
 
 class FormExtractor:
-    """HTML query form → semantic model (query capabilities)."""
+    """HTML query form → semantic model (query capabilities).
+
+    Args:
+        grammar: The 2P grammar (default: the cached standard grammar).
+        parser_config: Parser tunables (budgets, evaluation mode).
+        metrics: Registry receiving one trace per extraction.  ``None``
+            (default) records into the process-wide global registry; pass
+            a dedicated registry to isolate measurements.
+    """
 
     def __init__(
         self,
         grammar: TwoPGrammar | None = None,
         parser_config: ParserConfig | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         # The cached grammar is shared across extractors (and with it the
         # cached schedule), so per-form extractor construction stays cheap.
         self.grammar = grammar if grammar is not None else cached_standard_grammar()
         self.parser = BestEffortParser(self.grammar, parser_config)
         self.merger = Merger()
+        self.metrics = metrics if metrics is not None else get_global_registry()
 
     # -- main entry points --------------------------------------------------------
 
@@ -60,25 +107,83 @@ class FormExtractor:
 
     def extract_detailed(self, html: str, form_index: int = 0) -> ExtractionResult:
         """Extract, returning the full pipeline trace."""
-        document = parse_html(html)
-        return self.extract_from_document(document, form_index)
+        trace = Trace()
+        with trace.span("html-parse") as span:
+            document = parse_html(html)
+            span.count("chars", len(html))
+        return self.extract_from_document(document, form_index, trace=trace)
 
     def extract_from_document(
-        self, document: Document, form_index: int = 0
+        self,
+        document: Document,
+        form_index: int = 0,
+        trace: Trace | None = None,
     ) -> ExtractionResult:
-        """Extract from an already-parsed document."""
-        tokenizer = FormTokenizer(document)
-        form = self._pick_form(document, form_index)
-        tokens = tokenizer.tokenize(form)
-        return self.extract_from_tokens(tokens)
+        """Extract from an already-parsed document.
 
-    def extract_from_tokens(self, tokens: list[Token]) -> ExtractionResult:
+        Raises:
+            FormNotFoundError: *form_index* is out of range for the
+                document's forms.  A document with no ``<form>`` element at
+                all still tokenizes the whole page for ``form_index=0``
+                (some sites write bare controls), but the fallback is
+                recorded in the result's trace and warnings.
+        """
+        trace = trace if trace is not None else Trace()
+        with trace.span("tokenize") as span:
+            tokenizer = FormTokenizer(document)
+            form = self._pick_form(document, form_index)
+            if form is None:
+                trace.tags["form_fallback"] = True
+                trace.warn(
+                    "document has no <form> element; tokenized the whole page"
+                )
+                log_event(
+                    _logger, logging.WARNING, "extract.no_form_fallback",
+                    form_index=form_index,
+                )
+            tokens = tokenizer.tokenize(form)
+            span.count("tokens", len(tokens))
+            span.count("forms_on_page", len(document.forms))
+        return self.extract_from_tokens(tokens, trace=trace)
+
+    def extract_from_tokens(
+        self, tokens: list[Token], trace: Trace | None = None
+    ) -> ExtractionResult:
         """Parse and merge an existing token set."""
+        trace = trace if trace is not None else Trace()
         parse = self.parser.parse(tokens)
-        report = self.merger.merge(parse)
-        return ExtractionResult(
-            model=report.model, parse=parse, report=report, tokens=tokens
+        stats = parse.stats
+        construct = trace.add_span(
+            "parse.construct", stats.construction_seconds, counters=stats.counters()
         )
+        if stats.truncated:
+            construct.tags["truncated"] = True
+        trace.add_span(
+            "parse.maximize",
+            stats.maximization_seconds,
+            counters={"trees": len(parse.trees)},
+        )
+        with trace.span("merge") as span:
+            report = self.merger.merge(parse)
+            span.counters.update(report.counters())
+        result = ExtractionResult(
+            model=report.model,
+            parse=parse,
+            report=report,
+            tokens=tokens,
+            trace=trace,
+        )
+        self.metrics.record_trace(trace)
+        log_event(
+            _logger, logging.DEBUG, "extract.complete",
+            tokens=len(tokens),
+            conditions=len(report.model.conditions),
+            conflicts=len(report.conflict_tokens),
+            missing=len(report.missing_tokens),
+            truncated=stats.truncated,
+            seconds=round(trace.total_seconds, 6),
+        )
+        return result
 
     # -- helpers ---------------------------------------------------------------------
 
@@ -86,9 +191,12 @@ class FormExtractor:
     def _pick_form(document: Document, form_index: int) -> Element | None:
         forms = document.forms
         if not forms:
-            return None
-        index = min(form_index, len(forms) - 1)
-        return forms[index]
+            if form_index == 0:
+                return None  # whole-page fallback, recorded by the caller
+            raise FormNotFoundError(form_index, 0)
+        if not 0 <= form_index < len(forms):
+            raise FormNotFoundError(form_index, len(forms))
+        return forms[form_index]
 
 
 def extract_capabilities(html: str) -> SemanticModel:

@@ -61,7 +61,7 @@ from repro.grammar.text_heuristics import (
 )
 from repro.semantics.condition import Condition, Domain
 from repro.spatial import SpatialConfig, above, below, left_of
-from repro.spatial.relations import DEFAULT_SPATIAL, same_row
+from repro.spatial.relations import DEFAULT_SPATIAL
 
 #: Radio/checkbox labels hug their widget; a tighter gap than general
 #: label-to-field adjacency.

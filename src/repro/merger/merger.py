@@ -47,6 +47,21 @@ class MergeReport:
     #: similarity recovery of paper Section 7.
     unclaimed_text_tokens: list[Token] = field(default_factory=list)
 
+    def counters(self) -> dict[str, int]:
+        """The merge outcome as flat counters (trace spans, metrics).
+
+        ``conflicts``/``missing``/``unclaimed_texts`` are exactly the error
+        report the paper's best-effort contract promises, so they are
+        first-class observability signals, not debug trivia.
+        """
+        return {
+            "conditions": len(self.model.conditions),
+            "extracted_nodes": len(self.extracted),
+            "conflicts": len(self.conflict_tokens),
+            "missing": len(self.missing_tokens),
+            "unclaimed_texts": len(self.unclaimed_text_tokens),
+        }
+
 
 class Merger:
     """Union conditions across parse trees; report conflicts and misses."""

@@ -1,0 +1,42 @@
+"""Observability: tracing, metrics, and structured logging for the pipeline.
+
+The extractor is *best-effort by design* -- partial parses plus an explicit
+error report are the product, so failures must be surfaced, never swallowed.
+This package is the surfacing machinery:
+
+* :mod:`repro.observability.trace` -- per-extraction :class:`Trace` objects
+  made of per-stage :class:`Span`\\ s (html-parse, tokenize, parse
+  construction, maximization, merge) carrying durations, counters, and
+  outcome tags.
+* :mod:`repro.observability.metrics` -- a process-wide
+  :class:`MetricsRegistry` aggregating counters and histograms across many
+  extractions, serializable to JSON for the CLI
+  (``repro evaluate --metrics out.json``) and the evaluation harness.
+* :mod:`repro.observability.logs` -- structured logging helpers: every
+  pipeline event is a message plus key/value fields, renderable as plain
+  text or JSON lines (``--log-json``).
+
+Everything here is stdlib-only and adds near-zero overhead when unused: a
+trace is a handful of small dataclasses per extraction, and the library
+never configures logging handlers unless :func:`configure_logging` is
+called.
+"""
+
+from repro.observability.logs import configure_logging, get_logger, log_event
+from repro.observability.metrics import (
+    MetricsRegistry,
+    get_global_registry,
+    reset_global_registry,
+)
+from repro.observability.trace import Span, Trace
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "configure_logging",
+    "get_global_registry",
+    "get_logger",
+    "log_event",
+    "reset_global_registry",
+]

@@ -1,0 +1,114 @@
+"""Structured logging: events with key/value fields, plain or JSON lines.
+
+The library logs through the stdlib under the ``repro`` namespace and never
+configures handlers on import (a :class:`logging.NullHandler` keeps it
+silent by default, per library convention).  Applications and the CLI opt
+in with :func:`configure_logging`, choosing human-readable lines or JSON
+lines (``--log-json``) suitable for log shippers.
+
+Events are emitted through :func:`log_event`::
+
+    log_event(logger, logging.WARNING, "batch.pool_died",
+              restarts=2, pending=17)
+
+which renders as::
+
+    repro.batch WARNING batch.pool_died restarts=2 pending=17        # plain
+    {"ts": ..., "level": "WARNING", "logger": "repro.batch",
+     "event": "batch.pool_died", "restarts": 2, "pending": 17}       # json
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (idempotent)."""
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: object
+) -> None:
+    """Emit one structured event: a stable name plus key/value fields."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"event_fields": fields})
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record; structured fields inlined."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "event_fields", None)
+        if fields:
+            for key, value in fields.items():
+                payload.setdefault(key, _jsonable(value))
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=False)
+
+
+class PlainEventFormatter(logging.Formatter):
+    """``logger LEVEL event key=value ...`` -- grep-friendly plain lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [record.name, record.levelname, record.getMessage()]
+        fields = getattr(record, "event_fields", None)
+        if fields:
+            parts.extend(f"{key}={_jsonable(value)}" for key, value in fields.items())
+        line = " ".join(str(part) for part in parts)
+        if record.exc_info and record.exc_info[0] is not None:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def configure_logging(
+    json_output: bool = False,
+    level: int | str = logging.INFO,
+    stream: IO[str] | None = None,
+) -> logging.Handler:
+    """Attach one stream handler to the ``repro`` logger tree.
+
+    Replaces any handler a previous call attached (idempotent for the CLI,
+    which may be invoked repeatedly in one process -- tests do).  Returns
+    the handler so callers can detach it.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_configured", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLineFormatter() if json_output else PlainEventFormatter())
+    handler._repro_configured = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler
+
+
+#: Re-exported so call sites can timestamp without importing ``time``.
+now = time.time

@@ -1,0 +1,151 @@
+"""Process-wide metrics: named counters and histograms, JSON-serializable.
+
+A :class:`MetricsRegistry` aggregates what individual traces measure:
+counters (monotonic totals -- forms extracted, instances created, pool
+restarts) and histograms (distributions -- per-stage seconds, tokens per
+form).  Histograms keep streaming summaries (count/total/min/max) rather
+than raw samples, so a registry stays O(metric names) no matter how many
+forms flow through it.
+
+Thread-safe: the batch engine's result-collection thread and the caller
+may record concurrently.  Registries are process-local; worker processes
+ship their measurements back as plain trace dicts which the parent feeds
+into its registry (see :meth:`MetricsRegistry.record_trace`).
+
+A module-level default registry (:func:`get_global_registry`) serves code
+that wants zero plumbing; tests reset it with
+:func:`reset_global_registry`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of one observed distribution."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named counters + histograms with a lock around every mutation."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._histograms: dict[str, HistogramSummary] = {}
+
+    # -- recording ---------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add *amount* to counter *name* (creating it at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of histogram *name*."""
+        with self._lock:
+            summary = self._histograms.get(name)
+            if summary is None:
+                summary = self._histograms[name] = HistogramSummary()
+            summary.observe(value)
+
+    def record_counters(self, mapping: dict[str, float], prefix: str = "") -> None:
+        """Bulk-increment counters from a plain dict."""
+        for name, amount in mapping.items():
+            self.inc(prefix + name, amount)
+
+    def record_trace(self, trace: dict | object) -> None:
+        """Fold one extraction trace into the registry.
+
+        Accepts a :class:`~repro.observability.trace.Trace` or its
+        ``to_dict()`` form (what crosses the process boundary).  Each span
+        becomes a ``span.<name>.seconds`` histogram sample plus
+        ``span.<name>.<counter>`` counter increments; the trace outcome
+        increments ``extract.ok`` / ``extract.error``.
+        """
+        payload = trace if isinstance(trace, dict) else trace.to_dict()
+        outcome = payload.get("outcome", "ok")
+        self.inc(f"extract.{outcome}")
+        self.observe("span.total.seconds", payload.get("total_seconds", 0.0))
+        for span in payload.get("spans", []):
+            name = span["name"]
+            self.observe(f"span.{name}.seconds", span.get("seconds", 0.0))
+            for counter, amount in span.get("counters", {}).items():
+                self.inc(f"span.{name}.{counter}", amount)
+        for _ in payload.get("warnings", []):
+            self.inc("extract.warnings")
+
+    # -- reading -----------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> HistogramSummary | None:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def to_dict(self) -> dict:
+        """Stable-ordered snapshot: ``{"counters": ..., "histograms": ...}``."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: self._counters[name] for name in sorted(self._counters)
+                },
+                "histograms": {
+                    name: self._histograms[name].to_dict()
+                    for name in sorted(self._histograms)
+                },
+            }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+
+_global_registry = MetricsRegistry()
+
+
+def get_global_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _global_registry
+
+
+def reset_global_registry() -> None:
+    """Clear the default registry (test isolation)."""
+    _global_registry.reset()

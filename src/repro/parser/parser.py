@@ -127,10 +127,30 @@ class ParseStats:
     symbol_truncations: int = 0
     truncated: bool = False
     elapsed_seconds: float = 0.0
+    #: Phase split of ``elapsed_seconds``: fix-point construction plus
+    #: just-in-time pruning vs. partial-tree maximization.  Feeds the
+    #: per-stage spans of :mod:`repro.observability`.
+    construction_seconds: float = 0.0
+    maximization_seconds: float = 0.0
 
     @property
     def instances_alive(self) -> int:
         return self.instances_created - self.instances_pruned - self.rollback_kills
+
+    def counters(self) -> dict[str, int]:
+        """The integer counters as a flat dict (trace spans, metrics)."""
+        return {
+            "tokens": self.tokens,
+            "instances_created": self.instances_created,
+            "instances_pruned": self.instances_pruned,
+            "rollback_kills": self.rollback_kills,
+            "preference_applications": self.preference_applications,
+            "fixpoint_rounds": self.fixpoint_rounds,
+            "combos_examined": self.combos_examined,
+            "combos_prefiltered": self.combos_prefiltered,
+            "symbol_truncations": self.symbol_truncations,
+            "truncated": int(self.truncated),
+        }
 
 
 @dataclass
@@ -278,7 +298,10 @@ class BestEffortParser:
             if exhausted:
                 break
 
+        construction_done = time.perf_counter()
+        stats.construction_seconds = construction_done - started
         trees = maximal_roots(state.all_instances)
+        stats.maximization_seconds = time.perf_counter() - construction_done
         stats.elapsed_seconds = time.perf_counter() - started
         return ParseResult(
             trees=trees,

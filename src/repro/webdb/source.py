@@ -11,7 +11,7 @@ it works from the HTML alone, exactly as against a real site.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.datasets.domains import DOMAINS, DomainSpec
 from repro.datasets.generator import GeneratedSource, SourceGenerator

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datasets.repository import build_basic, build_dataset
+from repro.datasets.repository import build_basic
 from repro.evaluation.harness import DatasetResult, EvaluationHarness
 from repro.evaluation.survey import (
     cross_domain_reuse,
@@ -69,6 +69,27 @@ class TestHarness:
 
     def test_timing_recorded(self, evaluated):
         assert evaluated.total_elapsed > 0
+
+    def test_metrics_registry_matches_parse_stats(self, small_basic):
+        from repro.batch import BatchExtractor
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        EvaluationHarness(metrics=registry).evaluate(small_basic)
+        reference = BatchExtractor(jobs=1).extract_html(
+            [source.html for source in small_basic]
+        )
+        assert registry.counter("evaluate.sources") == len(small_basic)
+        assert registry.counter("extract.ok") == len(small_basic)
+        for name, expected in reference.stats.counters().items():
+            assert registry.counter(f"span.parse.construct.{name}") == expected
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_parallel_evaluation_matches_serial(self, small_basic, jobs):
+        serial = EvaluationHarness().evaluate(small_basic)
+        other = EvaluationHarness(jobs=jobs).evaluate(small_basic)
+        assert other.overall.precision == serial.overall.precision
+        assert other.overall.recall == serial.overall.recall
 
 
 class TestSurvey:

@@ -11,7 +11,11 @@ from repro.datasets.fixtures import (
     qam_ground_truth,
 )
 from repro.evaluation.metrics import per_source_metrics
-from repro.extractor import FormExtractor, extract_capabilities
+from repro.extractor import (
+    FormExtractor,
+    FormNotFoundError,
+    extract_capabilities,
+)
 from repro.semantics.condition import Domain
 
 
@@ -97,13 +101,32 @@ class TestApiSurface:
         model = extract_capabilities(QAM_HTML)
         assert len(model) == 5
 
-    def test_form_index_clamped(self, extractor):
-        model = extractor.extract(QAM_HTML, form_index=5)
-        assert len(model) == 5  # falls back to the only form
+    def test_out_of_range_form_index_raises(self, extractor):
+        with pytest.raises(FormNotFoundError) as excinfo:
+            extractor.extract(QAM_HTML, form_index=5)
+        assert excinfo.value.form_index == 5
+        assert excinfo.value.form_count == 1
+        assert "5" in str(excinfo.value) and "1 form" in str(excinfo.value)
+
+    def test_negative_form_index_raises(self, extractor):
+        with pytest.raises(FormNotFoundError):
+            extractor.extract(QAM_HTML, form_index=-1)
+
+    def test_form_index_on_formless_page_raises(self, extractor):
+        with pytest.raises(FormNotFoundError) as excinfo:
+            extractor.extract("<html><body>nothing</body></html>", form_index=2)
+        assert excinfo.value.form_count == 0
 
     def test_no_form_page(self, extractor):
         model = extractor.extract("<html><body>No form here</body></html>")
         assert list(model.conditions) == []
+
+    def test_no_form_fallback_is_recorded(self, extractor):
+        detail = extractor.extract_detailed(
+            "<html><body>Query: <input name=q></body></html>"
+        )
+        assert any("no <form> element" in warning for warning in detail.warnings)
+        assert detail.trace.tags.get("form_fallback") is True
 
     def test_empty_page(self, extractor):
         model = extractor.extract("")
@@ -114,6 +137,39 @@ class TestApiSurface:
         assert detail.tokens
         assert detail.parse.stats.instances_created > 0
         assert detail.report.model is detail.model
+
+    def test_trace_spans_cover_the_pipeline(self, extractor):
+        detail = extractor.extract_detailed(QAM_HTML)
+        assert [span.name for span in detail.trace.spans] == [
+            "html-parse", "tokenize", "parse.construct",
+            "parse.maximize", "merge",
+        ]
+        construct = detail.trace.span_named("parse.construct")
+        assert construct.counters == detail.parse.stats.counters()
+        merge = detail.trace.span_named("merge")
+        assert merge.counters["conditions"] == len(detail.model.conditions)
+        assert detail.trace.outcome == "ok"
+        assert not detail.warnings
+        stats = detail.parse.stats
+        assert stats.elapsed_seconds == pytest.approx(
+            stats.construction_seconds + stats.maximization_seconds, abs=1e-3
+        )
+
+    def test_extractions_feed_metrics_registry(self):
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        extractor = FormExtractor(metrics=registry)
+        extractor.extract(QAM_HTML)
+        extractor.extract(QAM_HTML)
+        assert registry.counter("extract.ok") == 2
+        histogram = registry.histogram("span.parse.construct.seconds")
+        assert histogram is not None and histogram.count == 2
+        assert registry.counter(
+            "span.parse.construct.instances_created"
+        ) == 2 * extractor.extract_detailed(
+            QAM_HTML
+        ).parse.stats.instances_created
 
     def test_deterministic_output(self, extractor):
         first = extractor.extract(QAM_HTML)

@@ -1,7 +1,6 @@
 """Tests for parse instances."""
 
 from repro.grammar.instance import Instance
-from repro.layout.box import BBox
 from tests.conftest import make_token
 
 

@@ -3,7 +3,6 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.html.dom import Element, Text
 from repro.html.entities import decode_entities, encode_entities
 from repro.html.parser import parse_html
 from repro.html.tokenizer import lex_html

@@ -1,6 +1,6 @@
 """Tests for the forgiving HTML tree builder."""
 
-from repro.html.dom import Comment, Element, Text
+from repro.html.dom import Comment, Text
 from repro.html.parser import parse_html
 
 

@@ -1,6 +1,5 @@
 """Tests for the layout engine: block stacking, inline flow, controls."""
 
-import pytest
 
 from repro.html.parser import parse_html
 from repro.layout.engine import (

@@ -1,0 +1,193 @@
+"""Unit tests for the observability layer: traces, metrics, structured logs."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.observability.logs import (
+    JsonLineFormatter,
+    configure_logging,
+    get_logger,
+    log_event,
+)
+from repro.observability.metrics import (
+    MetricsRegistry,
+    get_global_registry,
+    reset_global_registry,
+)
+from repro.observability.trace import Span, Trace
+
+
+class TestTrace:
+    def test_span_context_manager_times_and_appends(self):
+        trace = Trace()
+        with trace.span("tokenize") as span:
+            span.count("tokens", 7)
+        assert [s.name for s in trace.spans] == ["tokenize"]
+        assert trace.spans[0].seconds >= 0
+        assert trace.spans[0].counters == {"tokens": 7}
+        assert trace.outcome == "ok"
+
+    def test_span_records_errors_and_reraises(self):
+        trace = Trace()
+        with pytest.raises(ValueError):
+            with trace.span("parse"):
+                raise ValueError("boom")
+        assert trace.outcome == "error"
+        assert trace.spans[0].tags["error"] == "ValueError"
+
+    def test_add_span_and_lookup(self):
+        trace = Trace()
+        trace.add_span("parse.construct", 0.5, counters={"instances": 3})
+        trace.add_span("parse.maximize", 0.25)
+        assert trace.span_named("parse.maximize").seconds == 0.25
+        assert trace.span_named("nope") is None
+        assert trace.total_seconds == pytest.approx(0.75)
+
+    def test_warnings_and_tags(self):
+        trace = Trace()
+        trace.warn("no form element")
+        trace.tags["form_fallback"] = True
+        payload = trace.to_dict()
+        assert payload["warnings"] == ["no form element"]
+        assert payload["tags"] == {"form_fallback": True}
+
+    def test_round_trips_through_dict(self):
+        trace = Trace()
+        with trace.span("merge") as span:
+            span.count("conditions", 2)
+            span.tags["note"] = "x"
+        trace.warn("w")
+        clone = Trace.from_dict(json.loads(json.dumps(trace.to_dict())))
+        assert [s.name for s in clone.spans] == ["merge"]
+        assert clone.spans[0].counters == {"conditions": 2}
+        assert clone.spans[0].tags == {"note": "x"}
+        assert clone.warnings == ["w"]
+
+    def test_span_count_accumulates(self):
+        span = Span(name="s")
+        span.count("x")
+        span.count("x", 4)
+        assert span.counters == {"x": 5}
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        assert registry.counter("a") == 5
+        assert registry.counter("missing") == 0
+
+    def test_histograms(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 3.0, 2.0):
+            registry.observe("h", value)
+        histogram = registry.histogram("h")
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 3.0
+        assert histogram.mean == 2.0
+
+    def test_record_trace_folds_spans_and_counters(self):
+        trace = Trace()
+        trace.add_span("parse.construct", 0.5, counters={"instances_created": 9})
+        trace.warn("degraded")
+        registry = MetricsRegistry()
+        registry.record_trace(trace)
+        registry.record_trace(trace.to_dict())  # dict form, as shipped by workers
+        assert registry.counter("extract.ok") == 2
+        assert registry.counter("span.parse.construct.instances_created") == 18
+        assert registry.counter("extract.warnings") == 2
+        assert registry.histogram("span.parse.construct.seconds").count == 2
+
+    def test_to_json_is_valid_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("z")
+        registry.inc("a")
+        registry.observe("h", 1.5)
+        payload = json.loads(registry.to_json())
+        assert list(payload["counters"]) == ["a", "z"]
+        assert payload["histograms"]["h"]["count"] == 1
+
+    def test_empty_histogram_serializes_zeroes(self):
+        from repro.observability.metrics import HistogramSummary
+
+        assert HistogramSummary().to_dict() == {
+            "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+    def test_global_registry_reset(self):
+        get_global_registry().inc("test.marker")
+        assert get_global_registry().counter("test.marker") >= 1
+        reset_global_registry()
+        assert get_global_registry().counter("test.marker") == 0
+
+
+class TestStructuredLogs:
+    def teardown_method(self):
+        # Detach whatever handler a test attached.
+        root = logging.getLogger("repro")
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_configured", False):
+                root.removeHandler(handler)
+
+    def test_get_logger_namespaces(self):
+        assert get_logger("batch").name == "repro.batch"
+        assert get_logger("repro.extractor").name == "repro.extractor"
+
+    def test_plain_lines_carry_fields(self):
+        stream = io.StringIO()
+        configure_logging(level=logging.INFO, stream=stream)
+        log_event(get_logger("test"), logging.INFO, "unit.event", n=3, ok=True)
+        line = stream.getvalue().strip()
+        assert "unit.event" in line
+        assert "n=3" in line and "ok=True" in line
+
+    def test_json_lines_are_parseable(self):
+        stream = io.StringIO()
+        configure_logging(json_output=True, level=logging.DEBUG, stream=stream)
+        log_event(
+            get_logger("test"), logging.WARNING, "unit.json_event",
+            index=4, error="Timeout: 2s",
+        )
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["event"] == "unit.json_event"
+        assert payload["level"] == "WARNING"
+        assert payload["logger"] == "repro.test"
+        assert payload["index"] == 4
+        assert payload["error"] == "Timeout: 2s"
+
+    def test_configure_twice_replaces_handler(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging(stream=first)
+        configure_logging(stream=second)
+        log_event(get_logger("test"), logging.INFO, "only.second")
+        assert "only.second" not in first.getvalue()
+        assert "only.second" in second.getvalue()
+
+    def test_exception_rendered_in_json(self):
+        formatter = JsonLineFormatter()
+        try:
+            raise RuntimeError("bad")
+        except RuntimeError:
+            import sys
+
+            record = logging.LogRecord(
+                "repro.test", logging.ERROR, __file__, 1, "evt",
+                None, sys.exc_info(),
+            )
+        payload = json.loads(formatter.format(record))
+        assert "RuntimeError: bad" in payload["exception"]
+
+    def test_silent_by_default(self, capsys):
+        # No configure_logging call -> NullHandler swallows everything.
+        log_event(get_logger("quiet"), logging.WARNING, "should.not.appear")
+        captured = capsys.readouterr()
+        assert "should.not.appear" not in captured.err + captured.out

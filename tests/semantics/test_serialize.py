@@ -14,7 +14,6 @@ from repro.semantics.serialize import (
     condition_to_dict,
     model_from_dict,
     model_from_json,
-    model_to_dict,
     model_to_json,
 )
 

@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 
 from repro.layout.box import BBox
 from repro.spatial.relations import (
-    DEFAULT_SPATIAL,
     SpatialConfig,
     above,
     below,

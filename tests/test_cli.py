@@ -35,6 +35,37 @@ class TestExtract:
         assert "tokens=" in captured.err
         assert "tokens=" not in captured.out
 
+    def test_trace_prints_pipeline_spans(self, qam_file, capsys):
+        assert main(["extract", qam_file, "--trace"]) == 0
+        err = capsys.readouterr().err
+        for stage in ("html-parse", "tokenize", "parse.construct",
+                      "parse.maximize", "merge"):
+            assert f"span {stage}:" in err
+
+    def test_out_of_range_form_is_an_error(self, qam_file, capsys):
+        assert main(["extract", qam_file, "--form", "7"]) == 2
+        err = capsys.readouterr().err
+        assert "out of range" in err
+
+    def test_no_form_fallback_warns(self, tmp_path, capsys):
+        path = tmp_path / "bare.html"
+        path.write_text("<html><body>Query: <input name=q></body></html>")
+        assert main(["extract", str(path)]) == 0
+        assert "no <form> element" in capsys.readouterr().err
+
+    def test_log_json_emits_json_lines(self, tmp_path, capsys):
+        path = tmp_path / "bare.html"
+        path.write_text("<html><body>Query: <input name=q></body></html>")
+        assert main(["--log-json", "extract", str(path)]) == 0
+        err = capsys.readouterr().err
+        json_lines = [
+            json.loads(line) for line in err.splitlines()
+            if line.startswith("{")
+        ]
+        assert any(
+            line["event"] == "extract.no_form_fallback" for line in json_lines
+        )
+
     def test_stdin(self, capsys, monkeypatch):
         import io
 
@@ -59,6 +90,40 @@ class TestEvaluate:
         output = capsys.readouterr().out
         assert "Basic" in output
         assert "Random" in output
+
+    def test_metrics_json_with_parallel_jobs(self, tmp_path, capsys):
+        # ISSUE acceptance: `evaluate --jobs 4 --metrics out.json` emits
+        # valid JSON with per-stage span durations and pipeline counters
+        # matching ParseStats.
+        out = tmp_path / "metrics.json"
+        assert main([
+            "evaluate", "--scale", "0.05", "--jobs", "4",
+            "--metrics", str(out),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        extracted = payload["counters"]["extract.ok"]
+        assert extracted > 0
+        for stage in ("html-parse", "tokenize", "parse.construct",
+                      "parse.maximize", "merge"):
+            histogram = payload["histograms"][f"span.{stage}.seconds"]
+            assert histogram["count"] == extracted
+            assert histogram["total"] >= 0.0
+        from repro.parser.parser import ParseStats
+
+        stats_names = set(ParseStats().counters())
+        construct = {
+            name.removeprefix("span.parse.construct.")
+            for name in payload["counters"]
+            if name.startswith("span.parse.construct.")
+        }
+        assert construct == stats_names
+        assert payload["counters"]["span.parse.construct.instances_created"] > 0
+
+    def test_evaluate_trace_summary(self, capsys):
+        assert main(["evaluate", "--scale", "0.05", "--trace"]) == 0
+        err = capsys.readouterr().err
+        assert "span.parse.construct.seconds" in err
+        assert "mean=" in err
 
 
 class TestGrammar:
