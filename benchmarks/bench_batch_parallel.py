@@ -1,45 +1,53 @@
-"""Batch extraction throughput: serial vs process-pool workers.
+"""Batch extraction throughput: serial vs pool, cold vs cached.
 
 The 120-interface corpus of ``bench_parse_time`` rerun through
-:class:`repro.batch.BatchExtractor` with ``jobs=1`` and ``jobs=4``.
-Parsing is CPU-bound and forms are independent, so on a multi-core
-machine the pool should approach linear scaling (minus IPC and the
-per-worker grammar build).
+:class:`repro.batch.BatchExtractor` three ways:
 
-Correctness is asserted unconditionally: the parallel run must return
-the same models in the same order as the serial run.  The wall-clock
-speedup assertion is gated on the machine actually having >= 4 usable
-cores -- on a single-core container four workers merely time-share one
-CPU and the measurement would test the scheduler, not this code.
+* ``jobs=1`` -- the serial baseline;
+* ``jobs=4`` -- the process pool (clamped to the usable cores, so on a
+  single-core container this is a one-worker pool and measures the pool
+  machinery's overhead, not parallelism);
+* ``jobs=1, cache=True`` twice -- the second pass is served entirely from
+  the content-addressed extraction cache.
+
+Correctness is asserted unconditionally: every variant must return the
+same models (and the same aggregate combo counts) as the serial cold
+run.  The wall-clock assertions are tiered on the machine's actual
+parallelism: >= 4 usable cores demands a 2x speedup, >= 2 cores demands
+1.2x, and a single core demands only that the pool does not *regress*
+past its overhead allowance -- that case is recorded in the metrics so
+the regression gate knows the speedup number is meaningless there.
 """
 
 from __future__ import annotations
 
-import os
-
 from benchmarks.bench_parse_time import _token_sets
-from benchmarks.conftest import record_metric, record_table
-from repro.batch import BatchExtractor
+from benchmarks.conftest import bench_batch_count, record_metric, record_table
+from repro.batch import BatchExtractor, usable_cores
 
 PARALLEL_JOBS = 4
 
-
-def _usable_cores() -> int:
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
+#: Single-core allowance: a one-worker pool adds fork + IPC + chunk
+#: bookkeeping on top of the serial loop.  Multiplicative slack for the
+#: steady-state overhead plus a constant term for pool start-up, which
+#: does not shrink with the batch.
+SINGLE_CORE_SLACK = 1.35
+SINGLE_CORE_STARTUP_SECONDS = 0.25
 
 
 def test_batch_parallel_speedup(benchmark):
-    token_sets = _token_sets(120, 14, 32, base_seed=61_000)
-    cores = _usable_cores()
+    token_sets = _token_sets(bench_batch_count(), 14, 32, base_seed=61_000)
+    cores = usable_cores()
+    effective_jobs = min(PARALLEL_JOBS, cores)
 
-    serial = BatchExtractor(jobs=1).extract_tokens(token_sets)
-    parallel = benchmark.pedantic(
-        lambda: BatchExtractor(jobs=PARALLEL_JOBS).extract_tokens(token_sets),
-        rounds=1,
-        iterations=1,
-    )
+    with BatchExtractor(jobs=1) as serial_batch:
+        serial = serial_batch.extract_tokens(token_sets)
+    with BatchExtractor(jobs=PARALLEL_JOBS) as parallel_batch:
+        parallel = benchmark.pedantic(
+            lambda: parallel_batch.extract_tokens(token_sets),
+            rounds=1,
+            iterations=1,
+        )
 
     # Parallelism must never change the answer.
     assert not serial.errors and not parallel.errors
@@ -50,8 +58,11 @@ def test_batch_parallel_speedup(benchmark):
 
     speedup = serial.wall_seconds / max(1e-9, parallel.wall_seconds)
     overlap = parallel.cpu_seconds / max(1e-9, parallel.wall_seconds)
+    record_metric("batch120.forms", len(token_sets))
     record_metric("batch120.parallel.jobs", PARALLEL_JOBS)
+    record_metric("batch120.parallel.effective_jobs", effective_jobs)
     record_metric("batch120.parallel.usable_cores", cores)
+    record_metric("batch120.parallel.single_core", cores < 2)
     record_metric(
         "batch120.parallel.serial_wall_seconds",
         round(serial.wall_seconds, 4),
@@ -62,20 +73,69 @@ def test_batch_parallel_speedup(benchmark):
     record_metric("batch120.parallel.speedup", round(speedup, 2))
     record_metric("batch120.parallel.worker_overlap", round(overlap, 2))
     record_table(
-        f"Batch extraction: serial vs {PARALLEL_JOBS} worker processes "
-        f"(120 interfaces)",
+        f"Batch extraction: serial vs {PARALLEL_JOBS}-job pool "
+        f"({len(token_sets)} interfaces)",
         f"serial:  {serial.describe()}\n"
         f"pool:    {parallel.describe()}\n"
-        f"speedup: {speedup:.2f}x wall-clock on {cores} usable core(s)"
+        f"speedup: {speedup:.2f}x wall-clock with {effective_jobs} "
+        f"worker(s) on {cores} usable core(s)"
         + (
             ""
-            if cores >= PARALLEL_JOBS
-            else f"\nNOTE: fewer than {PARALLEL_JOBS} cores -- the >=2x "
-            f"speedup bar is not asserted on this machine"
+            if cores >= 2
+            else "\nNOTE: single usable core -- the pool is clamped to one "
+            "worker; asserting no regression vs serial instead of a speedup"
         ),
     )
     if cores >= PARALLEL_JOBS:
         assert speedup >= 2.0
+    elif cores >= 2:
+        assert speedup >= 1.2
     else:
-        # Workers still ran and overlapped; the pool machinery is sound.
-        assert overlap > 1.0
+        # One usable core: the clamped one-worker pool cannot beat the
+        # serial loop; it must merely stay within its overhead allowance.
+        assert parallel.wall_seconds <= (
+            serial.wall_seconds * SINGLE_CORE_SLACK
+            + SINGLE_CORE_STARTUP_SECONDS
+        )
+
+
+def test_batch_cached_second_pass(benchmark):
+    """Second pass over an identical corpus served from the cache."""
+    token_sets = _token_sets(bench_batch_count(), 14, 32, base_seed=61_000)
+
+    with BatchExtractor(jobs=1, cache=True) as batch:
+        cold = batch.extract_tokens(token_sets)
+        cached = benchmark.pedantic(
+            lambda: batch.extract_tokens(token_sets),
+            rounds=1,
+            iterations=1,
+        )
+
+    # The cache must never change the answer: replayed models and stats
+    # are deep-equal to the cold extraction's.
+    assert not cold.errors and not cached.errors
+    assert [str(m.conditions) for m in cached.models] == [
+        str(m.conditions) for m in cold.models
+    ]
+    assert cached.stats.combos_examined == cold.stats.combos_examined
+
+    hit_rate = cached.cache_hit_rate
+    speedup = cold.wall_seconds / max(1e-9, cached.wall_seconds)
+    record_metric(
+        "batch120.cold.wall_seconds", round(cold.wall_seconds, 4)
+    )
+    record_metric(
+        "batch120.cached.wall_seconds", round(cached.wall_seconds, 4)
+    )
+    record_metric("batch120.cache.hit_rate", round(hit_rate, 4))
+    record_metric("batch120.cached.speedup", round(speedup, 2))
+    record_table(
+        f"Batch extraction: cold vs cached pass "
+        f"({len(token_sets)} interfaces)",
+        f"cold:   {cold.describe()}\n"
+        f"cached: {cached.describe()}\n"
+        f"hit rate {hit_rate:.0%}, {speedup:.1f}x faster than the cold "
+        f"pass (replay skips tokenize geometry, parse, and merge)",
+    )
+    assert hit_rate >= 0.95
+    assert speedup >= 5.0

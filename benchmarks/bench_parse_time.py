@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.conftest import record_metric, record_table
+from benchmarks.conftest import bench_batch_count, record_metric, record_table
 from repro.datasets.domains import DOMAINS
 from repro.datasets.generator import GeneratorProfile, SourceGenerator
 from repro.grammar.standard import build_standard_grammar
@@ -106,7 +106,8 @@ def test_parse_time_scaling(benchmark):
 
 def test_parse_time_batch_120(benchmark):
     """120 interfaces of average size ~22: the paper's '<100 s' case."""
-    token_sets = _token_sets(120, 14, 32, base_seed=61_000)
+    batch_count = bench_batch_count()
+    token_sets = _token_sets(batch_count, 14, 32, base_seed=61_000)
     average_size = sum(len(t) for t in token_sets) / len(token_sets)
     parser = BestEffortParser(build_standard_grammar())
 
@@ -129,7 +130,8 @@ def test_parse_time_batch_120(benchmark):
     benchmark.extra_info["total_seconds"] = round(elapsed, 3)
     record_metric("batch120.seminaive.wall_seconds", round(elapsed, 4))
     record_metric("batch120.average_size", round(average_size, 1))
-    assert len(token_sets) == 120
+    record_metric("batch120.forms", len(token_sets))
+    assert len(token_sets) == batch_count
     assert 16 <= average_size <= 28
     assert elapsed < 100.0
 
@@ -142,7 +144,7 @@ def test_parse_time_batch_seminaive_vs_naive(benchmark):
     equivalence suite pins identical output -- so the whole difference
     here is enumeration avoided.
     """
-    token_sets = _token_sets(120, 14, 32, base_seed=61_000)
+    token_sets = _token_sets(bench_batch_count(), 14, 32, base_seed=61_000)
     grammar = build_standard_grammar()
 
     def run(mode):
@@ -164,6 +166,7 @@ def test_parse_time_batch_seminaive_vs_naive(benchmark):
     record_metric("batch120.seminaive.combos_examined", fast_combos)
     record_metric("batch120.combo_reduction", round(combo_ratio, 2))
     record_metric("batch120.singleprocess_speedup", round(speedup, 2))
+    record_metric("batch120.forms", len(token_sets))
     record_table(
         "Semi-naive vs naive fix-point (120 interfaces)",
         f"combos examined: {naive_combos} naive -> {fast_combos} "

@@ -1,0 +1,128 @@
+"""Gate on the scale-free performance numbers in ``BENCH_parse.json``.
+
+Run after the parse/batch benchmarks regenerate the JSON report::
+
+    python benchmarks/check_bench_regression.py [path/to/BENCH_parse.json]
+
+Exits non-zero when any checked quantity regresses past its tolerance.
+Only *scale-free* quantities are checked -- ratios and per-form averages
+that stay comparable whether the run used the full 120-interface corpus
+or a reduced ``REPRO_BENCH_BATCH`` smoke batch:
+
+* ``seminaive`` combos examined **per form** -- the semi-naive
+  evaluator's enumeration work must not creep back up;
+* ``combo_reduction`` -- semi-naive vs naive enumeration ratio;
+* ``cache.hit_rate`` -- an identical second pass must be served from the
+  extraction cache;
+* ``cached.speedup`` -- a cache replay must stay far cheaper than a
+  parse;
+* ``parallel.speedup`` -- pooled extraction must beat serial where the
+  machine has real parallelism; on a recorded single-core run the pool
+  must merely stay within its overhead allowance vs serial.
+
+Absolute wall-clock numbers are reported for context but never gated --
+they measure the machine, not the code.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+# Tolerances.  Current measured values: ~436 combos/form on the full
+# 120-interface corpus (~504 on the 30-interface smoke batch, whose form
+# mix skews larger), 7.5x combo reduction, 1.0 cache hit rate, >20x
+# cached speedup.  A lost prefilter or band index blows combos/form up
+# by an order of magnitude, so ~10% headroom over the smoke value still
+# catches every real regression.
+MAX_COMBOS_PER_FORM = 560.0
+MIN_COMBO_REDUCTION = 3.0
+MIN_CACHE_HIT_RATE = 0.95
+MIN_CACHED_SPEEDUP = 5.0
+MIN_PARALLEL_SPEEDUP = 1.2
+# Single-core allowance, mirroring bench_batch_parallel.py.
+SINGLE_CORE_SLACK = 1.35
+SINGLE_CORE_STARTUP_SECONDS = 0.25
+
+
+def _require(metrics: dict, key: str) -> float:
+    if key not in metrics:
+        raise SystemExit(f"FAIL: metric {key!r} missing from the report -- "
+                         f"did the benchmarks run?")
+    return metrics[key]
+
+
+def check(metrics: dict) -> list[str]:
+    """All regression findings for one metrics report (empty = pass)."""
+    problems: list[str] = []
+
+    def gate(label: str, value: float, ok: bool, bar: str) -> None:
+        status = "ok  " if ok else "FAIL"
+        print(f"  {status}  {label} = {value:g}  (bar: {bar})")
+        if not ok:
+            problems.append(f"{label} = {value:g} violates {bar}")
+
+    forms = _require(metrics, "batch120.forms")
+    combos = _require(metrics, "batch120.seminaive.combos_examined")
+    per_form = combos / max(1, forms)
+    print(f"report covers {forms} interfaces")
+    gate(
+        "seminaive combos per form", round(per_form, 1),
+        per_form <= MAX_COMBOS_PER_FORM, f"<= {MAX_COMBOS_PER_FORM:g}",
+    )
+    reduction = _require(metrics, "batch120.combo_reduction")
+    gate(
+        "combo reduction (naive/seminaive)", reduction,
+        reduction >= MIN_COMBO_REDUCTION, f">= {MIN_COMBO_REDUCTION:g}",
+    )
+    hit_rate = _require(metrics, "batch120.cache.hit_rate")
+    gate(
+        "cache hit rate (second pass)", hit_rate,
+        hit_rate >= MIN_CACHE_HIT_RATE, f">= {MIN_CACHE_HIT_RATE:g}",
+    )
+    cached_speedup = _require(metrics, "batch120.cached.speedup")
+    gate(
+        "cached-pass speedup", cached_speedup,
+        cached_speedup >= MIN_CACHED_SPEEDUP, f">= {MIN_CACHED_SPEEDUP:g}",
+    )
+    if metrics.get("batch120.parallel.single_core"):
+        serial = _require(metrics, "batch120.parallel.serial_wall_seconds")
+        pooled = _require(metrics, "batch120.parallel.wall_seconds")
+        allowance = serial * SINGLE_CORE_SLACK + SINGLE_CORE_STARTUP_SECONDS
+        gate(
+            "single-core pool wall seconds", pooled,
+            pooled <= allowance,
+            f"<= serial*{SINGLE_CORE_SLACK:g}+{SINGLE_CORE_STARTUP_SECONDS:g}"
+            f" = {allowance:.3f}",
+        )
+    else:
+        speedup = _require(metrics, "batch120.parallel.speedup")
+        gate(
+            "parallel speedup", speedup,
+            speedup >= MIN_PARALLEL_SPEEDUP, f">= {MIN_PARALLEL_SPEEDUP:g}",
+        )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    default = Path(__file__).resolve().parent.parent / "BENCH_parse.json"
+    path = Path(argv[1]) if len(argv) > 1 else default
+    try:
+        metrics = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        print(f"FAIL: cannot read {path}: {error}")
+        return 1
+    print(f"checking {path}")
+    problems = check(metrics)
+    if problems:
+        print(f"\n{len(problems)} regression(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\nall performance gates pass")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -7,7 +7,12 @@ timing output, so ``pytest benchmarks/ --benchmark-only`` always shows the
 paper-versus-measured numbers without needing ``-s``.
 
 Dataset scale: set ``REPRO_BENCH_SCALE`` (default ``1.0`` = the paper's
-dataset sizes: 150/30/42/30 sources).
+dataset sizes: 150/30/42/30 sources).  Batch size for the 120-interface
+parse/throughput benchmarks: set ``REPRO_BENCH_BATCH`` (default ``120`` =
+the paper's corpus; CI smoke runs use a reduced batch).  The recorded
+``batch120.forms`` metric says which batch size produced the numbers, and
+the regression gate (``check_bench_regression.py``) checks scale-free
+quantities only.
 
 Parse-performance benchmarks additionally call :func:`record_metric`;
 the collected numbers are merged into ``BENCH_parse.json`` at the repo
@@ -66,6 +71,11 @@ def _flush_metrics() -> Path | None:
 
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_batch_count() -> int:
+    """Interfaces in the '120-interface' batch benchmarks (env-tunable)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_BATCH", "120")))
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,7 @@ retry with backoff, crashed-pool recovery with serial-isolation
 degradation).
 """
 
+from repro.batch.cpu import usable_cores
 from repro.batch.extractor import (
     BatchExtractor,
     BatchRecord,
@@ -23,4 +24,5 @@ __all__ = [
     "BatchReport",
     "BatchStream",
     "ExtractionTimeout",
+    "usable_cores",
 ]

@@ -1,0 +1,82 @@
+"""Usable-core detection for sizing worker pools and benchmarks.
+
+``os.cpu_count()`` reports the machine, not the process: CPU affinity
+masks (taskset, slurm, pinned containers) and cgroup CPU quotas (Docker
+``--cpus``, Kubernetes limits) can leave a 64-core box with one usable
+core.  Benchmarks that size expectations off ``cpu_count()`` then demand
+parallel speedups the scheduler cannot deliver, and pools that spawn
+``cpu_count()`` workers just thrash.  :func:`usable_cores` reports what
+this process can actually run on: the affinity mask where the platform has
+one, narrowed by any cgroup quota, falling back to ``cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: cgroup mount points probed for CPU quotas (v2 unified, then v1 legacy).
+_CGROUP_V2_CPU_MAX = "/sys/fs/cgroup/cpu.max"
+_CGROUP_V1_QUOTA = "/sys/fs/cgroup/cpu/cpu.cfs_quota_us"
+_CGROUP_V1_PERIOD = "/sys/fs/cgroup/cpu/cpu.cfs_period_us"
+
+
+def _read_text(path: str) -> str | None:
+    try:
+        return Path(path).read_text(encoding="ascii").strip()
+    except (OSError, UnicodeDecodeError):
+        return None
+
+
+def cgroup_cpu_quota() -> int | None:
+    """Whole cores allowed by the cgroup CPU quota, or ``None``.
+
+    Reads cgroup v2 ``cpu.max`` (``"<quota> <period>"`` or ``"max ..."``)
+    first, then cgroup v1 ``cpu.cfs_quota_us`` / ``cpu.cfs_period_us``
+    (quota ``-1`` means unlimited).  A fractional quota rounds up: half a
+    core still needs one worker.
+    """
+    raw = _read_text(_CGROUP_V2_CPU_MAX)
+    if raw is not None:
+        fields = raw.split()
+        if len(fields) == 2 and fields[0] != "max":
+            try:
+                quota, period = int(fields[0]), int(fields[1])
+            except ValueError:
+                return None
+            if quota > 0 and period > 0:
+                return max(1, -(-quota // period))
+        return None
+    quota_raw = _read_text(_CGROUP_V1_QUOTA)
+    period_raw = _read_text(_CGROUP_V1_PERIOD)
+    if quota_raw is None or period_raw is None:
+        return None
+    try:
+        quota, period = int(quota_raw), int(period_raw)
+    except ValueError:
+        return None
+    if quota > 0 and period > 0:
+        return max(1, -(-quota // period))
+    return None
+
+
+def usable_cores() -> int:
+    """CPU cores this process can actually use (always >= 1).
+
+    The scheduler affinity mask (where the platform exposes one) narrowed
+    by the cgroup CPU quota; plain ``os.cpu_count()`` when neither is
+    available.
+    """
+    affinity: int | None = None
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            affinity = len(getaffinity(0))
+        except OSError:
+            affinity = None
+    if affinity is None:
+        affinity = os.cpu_count() or 1
+    quota = cgroup_cpu_quota()
+    if quota is not None:
+        affinity = min(affinity, quota)
+    return max(1, affinity)

@@ -1,0 +1,36 @@
+"""Content-addressed extraction caching (see ``docs/PERFORMANCE.md``).
+
+Real form workloads are dominated by repeated token patterns -- the same
+hidden grammar rendered over and over.  This package gives every layer of
+the pipeline a way to recognize a form it has already parsed:
+
+* :func:`token_signature` / :func:`html_signature` -- canonical,
+  position-quantized content hashes (translation-invariant for tokens).
+* :class:`ExtractionCache` -- a bounded, thread-safe LRU from signature to
+  serialized extraction outcome, with an optional process-safe JSON-lines
+  disk backing shared by pool workers.
+* :class:`CacheEntry` / :class:`CacheStats` -- the stored plain-data
+  snapshot and the hit/miss accounting.
+"""
+
+from repro.cache.signature import (
+    SIGNATURE_QUANTUM,
+    html_signature,
+    token_signature,
+)
+from repro.cache.store import (
+    DEFAULT_CAPACITY,
+    CacheEntry,
+    CacheStats,
+    ExtractionCache,
+)
+
+__all__ = [
+    "SIGNATURE_QUANTUM",
+    "DEFAULT_CAPACITY",
+    "CacheEntry",
+    "CacheStats",
+    "ExtractionCache",
+    "html_signature",
+    "token_signature",
+]

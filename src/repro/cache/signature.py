@@ -1,0 +1,120 @@
+"""Content-addressed signatures for extraction inputs.
+
+The paper's premise is that query forms are sentences of a *shared* hidden
+grammar, so real workloads are dominated by repeated token patterns --
+often the very same form template rendered at a different page offset.
+:func:`token_signature` canonicalizes a token list into a stable hash that
+two such renderings share:
+
+* **Translation-invariant** -- positions are re-expressed relative to the
+  form's own top-left corner, so moving the whole form by any ``(dx, dy)``
+  leaves the signature unchanged.
+* **Position-quantized** -- relative coordinates are snapped to a small
+  quantum (default 1 px) before hashing, absorbing sub-pixel layout
+  jitter.  Quantization can only cause extra cache *misses* or (in theory)
+  collapse two forms whose geometry differs by less than the quantum; set
+  ``quantum=0`` for exact positions when that matters.
+* **Order- and content-sensitive** -- the token sequence order, every
+  terminal kind, and every terminal attribute (text, control names,
+  options, checked state...) feed the hash, so reordering tokens or
+  editing a label changes the signature.
+
+Signatures are plain ``"<space>:<hexdigest>"`` strings (``tok:`` /
+``html:`` namespaces), safe as dictionary keys and as JSON-lines disk-cache
+keys shared between processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Iterable
+
+from repro.tokens.model import Token
+
+#: Default position quantum in pixels.  Relative coordinates are snapped
+#: to multiples of this before hashing.
+SIGNATURE_QUANTUM = 1.0
+
+#: Version tag folded into every token signature: bump when the canonical
+#: form changes so stale disk caches miss instead of replaying garbage.
+_TOKEN_SIGNATURE_VERSION = "1"
+
+
+def _canonical(value: Any) -> Any:
+    """A deterministic, hash-stable view of one attribute value.
+
+    Handles the attribute payloads tokens actually carry -- primitives,
+    tuples/lists (select options), frozen dataclasses like
+    :class:`~repro.tokens.model.SelectOption`, and nested dicts -- and
+    falls back to ``repr`` for anything exotic.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, dict):
+        return tuple(
+            (str(key), _canonical(item))
+            for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            _canonical(getattr(value, spec.name))
+            for spec in dataclasses.fields(value)
+        )
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(repr(_canonical(item)) for item in value))
+    return repr(value)
+
+
+def _quantize(value: float, quantum: float) -> float:
+    if quantum <= 0:
+        return value
+    return round(value / quantum)
+
+
+def token_signature(
+    tokens: Iterable[Token], quantum: float = SIGNATURE_QUANTUM
+) -> str:
+    """Canonical content hash of a token list (see module docstring).
+
+    The hash covers, per token in sequence order: the terminal kind, the
+    canonicalized attributes, and the bounding box quantized *relative to
+    the whole form's top-left corner* -- which also fixes each token's
+    row band, so vertical reordering changes the signature even when the
+    attribute content is identical.
+    """
+    tokens = list(tokens)
+    if tokens:
+        origin_x = min(token.bbox.left for token in tokens)
+        origin_y = min(token.bbox.top for token in tokens)
+    else:
+        origin_x = origin_y = 0.0
+    parts: list[Any] = [_TOKEN_SIGNATURE_VERSION, quantum, len(tokens)]
+    for token in tokens:
+        box = token.bbox
+        parts.append(
+            (
+                token.terminal,
+                _quantize(box.left - origin_x, quantum),
+                _quantize(box.right - origin_x, quantum),
+                _quantize(box.top - origin_y, quantum),
+                _quantize(box.bottom - origin_y, quantum),
+                _canonical(token.attrs),
+            )
+        )
+    digest = hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+    return f"tok:{digest}"
+
+
+def html_signature(html: str) -> str:
+    """Exact content hash of a raw HTML source.
+
+    Coarser than :func:`token_signature` (no layout invariance -- two
+    byte-identical pages only), but computable without parsing, which is
+    what lets the batch engine dedupe inputs *before* dispatching them to
+    workers.
+    """
+    digest = hashlib.sha256(html.encode("utf-8", errors="replace")).hexdigest()
+    return f"html:{digest}"

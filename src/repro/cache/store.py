@@ -1,0 +1,300 @@
+"""The extraction cache: signature -> semantic model + parse statistics.
+
+:class:`ExtractionCache` is a bounded, thread-safe LRU map from a content
+signature (:mod:`repro.cache.signature`) to a :class:`CacheEntry` -- the
+plain-data residue of one extraction (serialized semantic model, parse
+statistic counters, pipeline warnings).  Entries are stored and returned
+as *data*, never as live objects: every hit deserializes a fresh
+:class:`~repro.semantics.condition.SemanticModel`, so cached results can
+never alias each other or be corrupted by a caller mutating its copy.
+
+An optional on-disk backing makes the cache process-safe: entries are
+appended to a JSON-lines file (one entry per line, ``flock``-guarded where
+available) and re-read incrementally whenever the file's size/mtime shows
+another process has appended -- pool workers sharing one path therefore
+share hits within and across batches.  The file is append-only; LRU
+eviction applies to the in-memory view only (the newest line for a
+signature wins on reload), so a long-lived cache directory trades disk for
+hit rate and can simply be deleted to invalidate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.parser.parser import ParseStats
+from repro.semantics.condition import SemanticModel
+from repro.semantics.serialize import model_from_dict, model_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.extractor import ExtractionResult
+
+try:  # POSIX only; the cache degrades to lock-free appends elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+#: Default bound on in-memory entries.
+DEFAULT_CAPACITY = 2048
+
+#: Disk format version; mismatched lines are skipped on load.
+DISK_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheEntry:
+    """Plain-data snapshot of one extraction outcome.
+
+    ``model`` is the :func:`~repro.semantics.serialize.model_to_dict` form;
+    ``stats`` the :class:`~repro.parser.parser.ParseStats` fields as a
+    dict (``None`` when the producer had no stats); ``warnings`` the
+    pipeline warnings recorded while producing the entry.
+    """
+
+    model: dict
+    stats: dict | None = None
+    warnings: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_result(
+        cls, result: "ExtractionResult", warnings: list[str] | None = None
+    ) -> "CacheEntry":
+        """Snapshot an extraction result (warnings default to none --
+        warnings recorded upstream of the cached stages replay live)."""
+        return cls(
+            model=model_to_dict(result.model),
+            stats=dataclasses.asdict(result.parse.stats),
+            warnings=list(warnings or ()),
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        model: SemanticModel,
+        stats: ParseStats | None,
+        warnings: list[str] | None = None,
+    ) -> "CacheEntry":
+        return cls(
+            model=model_to_dict(model),
+            stats=dataclasses.asdict(stats) if stats is not None else None,
+            warnings=list(warnings or ()),
+        )
+
+    def rebuild_model(self) -> SemanticModel:
+        """A fresh, independent semantic model (never a shared object)."""
+        return model_from_dict(self.model)
+
+    def rebuild_stats(self) -> ParseStats | None:
+        """A fresh ParseStats replaying the original counters.
+
+        Unknown fields (an entry written by a newer version) are dropped;
+        missing ones take their defaults -- a stale disk cache degrades to
+        slightly lossy counters, never to an exception.
+        """
+        if self.stats is None:
+            return None
+        known = {spec.name for spec in dataclasses.fields(ParseStats)}
+        return ParseStats(
+            **{name: value for name, value in self.stats.items() if name in known}
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "model": self.model,
+            "stats": self.stats,
+            "warnings": list(self.warnings),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CacheEntry":
+        return cls(
+            model=dict(payload.get("model", {})),
+            stats=payload.get("stats"),
+            warnings=list(payload.get("warnings", ())),
+        )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ExtractionCache:
+    """Bounded LRU ``signature -> CacheEntry``, optionally disk-backed.
+
+    Args:
+        capacity: Maximum in-memory entries; the least recently used entry
+            is evicted past it.  Must be >= 1.
+        path: Optional JSON-lines file shared between processes.  The file
+            (and missing parent directories) is created on first put;
+            loads are incremental and tolerate concurrent appends and
+            truncated trailing lines.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        path: str | os.PathLike | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._stats = CacheStats()
+        #: Bytes of the disk file already folded into ``_entries``.
+        self._disk_offset = 0
+        if self.path is not None:
+            with self._lock:
+                self._refresh_from_disk()
+
+    # -- core operations ---------------------------------------------------------
+
+    def get(self, signature: str) -> CacheEntry | None:
+        """The entry for *signature*, refreshed from disk, or ``None``."""
+        with self._lock:
+            if self.path is not None:
+                self._refresh_from_disk()
+            entry = self._entries.get(signature)
+            if entry is None:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(signature)
+            self._stats.hits += 1
+            return entry
+
+    def put(self, signature: str, entry: CacheEntry) -> None:
+        """Insert (or refresh) *signature*; evict LRU past capacity."""
+        with self._lock:
+            known = signature in self._entries
+            self._entries[signature] = entry
+            self._entries.move_to_end(signature)
+            self._stats.puts += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+            if self.path is not None and not known:
+                self._append_to_disk(signature, entry)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, signature: str) -> bool:
+        with self._lock:
+            return signature in self._entries
+
+    def clear(self) -> None:
+        """Drop the in-memory view (the disk file, if any, is kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._disk_offset = 0 if self.path is None else self._disk_offset
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._stats
+
+    # -- disk backing -------------------------------------------------------------
+
+    def _append_to_disk(self, signature: str, entry: CacheEntry) -> None:
+        assert self.path is not None
+        line = (
+            json.dumps(
+                {
+                    "v": DISK_FORMAT_VERSION,
+                    "sig": signature,
+                    "entry": entry.to_payload(),
+                },
+                ensure_ascii=False,
+                separators=(",", ":"),
+            )
+            + "\n"
+        ).encode("utf-8")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "ab") as fh:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                try:
+                    fh.write(line)
+                    fh.flush()
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+            # Our own append is now part of the on-disk tail; skip re-reading
+            # it on the next refresh when nobody else wrote meanwhile.
+            self._disk_offset = self.path.stat().st_size
+        except OSError:
+            # Disk trouble degrades the cache to memory-only, silently --
+            # caching is an optimization, never a correctness dependency.
+            pass
+
+    def _refresh_from_disk(self) -> None:
+        """Fold lines other processes appended since the last look."""
+        assert self.path is not None
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if size < self._disk_offset:
+            # Truncated/replaced file: reload from scratch.
+            self._disk_offset = 0
+        if size == self._disk_offset:
+            return
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(self._disk_offset)
+                blob = fh.read(size - self._disk_offset)
+        except OSError:
+            return
+        consumed = blob.rfind(b"\n")
+        if consumed < 0:
+            return  # a concurrent writer is mid-line; retry next refresh
+        for raw in blob[: consumed + 1].splitlines():
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue  # torn or corrupt line: skip, keep the rest
+            if record.get("v") != DISK_FORMAT_VERSION:
+                continue
+            signature = record.get("sig")
+            payload = record.get("entry")
+            if not isinstance(signature, str) or not isinstance(payload, dict):
+                continue
+            self._entries[signature] = CacheEntry.from_payload(payload)
+            self._entries.move_to_end(signature)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+        self._disk_offset += consumed + 1

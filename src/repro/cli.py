@@ -8,11 +8,17 @@ Commands:
   picks the N-th form (out-of-range indices are an error, not a guess).
 * ``evaluate``      -- run the Figure 15 evaluation over the four
   synthetic datasets (``--scale`` shrinks them for a quick look;
-  ``--jobs N`` fans extraction over N worker processes; ``--metrics
-  out.json`` dumps aggregated pipeline counters and per-stage span
-  histograms; ``--timeout``/``--retries`` set the batch engine's
-  fault-tolerance knobs; ``--trace`` prints the stage timing summary).
+  ``--jobs N`` fans extraction over N worker processes (``auto`` = usable
+  cores); ``--metrics out.json`` dumps aggregated pipeline counters and
+  per-stage span histograms; ``--timeout``/``--retries`` set the batch
+  engine's fault-tolerance knobs; ``--trace`` prints the stage timing
+  summary).
 * ``grammar``       -- print the derived global grammar.
+
+Both ``extract`` and ``evaluate`` take the caching trio: ``--cache``
+(in-memory extraction cache), ``--cache-dir DIR`` (disk-backed cache that
+persists across invocations and is shared by pool workers), and
+``--no-cache`` (force caching off, overriding the other two).
 
 Global flags: ``--log-level LEVEL`` enables structured logging to stderr,
 ``--log-json`` switches it to JSON lines.
@@ -31,7 +37,25 @@ from repro.observability.metrics import MetricsRegistry
 from repro.semantics.serialize import model_to_json
 
 
+def _resolve_cache(args: argparse.Namespace):
+    """The ``--cache/--cache-dir/--no-cache`` trio -> (cache, cache_dir).
+
+    ``--no-cache`` wins; ``--cache-dir`` implies caching on.
+    """
+    if args.no_cache:
+        return None, None
+    if args.cache_dir:
+        return True, args.cache_dir
+    if args.cache:
+        return True, None
+    return None, None
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.cache import ExtractionCache
+
     if args.file == "-":
         html = sys.stdin.read()
     else:
@@ -41,7 +65,13 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         except OSError as error:
             print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
             return 2
-    extractor = FormExtractor()
+    use_cache, cache_dir = _resolve_cache(args)
+    cache = None
+    if cache_dir is not None:
+        cache = ExtractionCache(path=Path(cache_dir) / "extraction-cache.jsonl")
+    elif use_cache:
+        cache = ExtractionCache()
+    extractor = FormExtractor(cache=cache)
     try:
         detail = extractor.extract_detailed(html, form_index=args.form)
     except FormNotFoundError as error:
@@ -90,11 +120,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
     registry = MetricsRegistry()
     datasets = standard_datasets(scale=args.scale)
+    use_cache, cache_dir = _resolve_cache(args)
     harness = EvaluationHarness(
         jobs=args.jobs,
         metrics=registry,
         timeout=args.timeout,
         retries=args.retries,
+        cache=use_cache,
+        cache_dir=cache_dir,
     )
     print("dataset       n     Pa      Ra    accuracy")
     for name, dataset in datasets.items():
@@ -143,11 +176,25 @@ def _cmd_grammar(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _job_count(value: str) -> int:
+def _job_count(value: str) -> int | str:
+    if value == "auto":
+        return value
     jobs = int(value)
     if jobs < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {jobs}")
     return jobs
+
+
+def _add_cache_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--cache", action="store_true",
+                         help="enable the in-memory extraction cache")
+    command.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="directory for a disk-backed extraction cache "
+                              "(persists across runs, shared by workers; "
+                              "implies --cache)")
+    command.add_argument("--no-cache", action="store_true",
+                         help="disable extraction caching (overrides "
+                              "--cache/--cache-dir)")
 
 
 def _positive_seconds(value: str) -> float:
@@ -195,6 +242,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     extract.add_argument("--render", action="store_true",
                          help="print an ASCII sketch of the rendered "
                               "tokens and the parse forest to stderr")
+    _add_cache_flags(extract)
     extract.set_defaults(func=_cmd_extract)
 
     evaluate = subparsers.add_parser(
@@ -204,7 +252,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                           help="dataset scale (1.0 = paper sizes)")
     evaluate.add_argument("--jobs", type=_job_count, default=1,
                           help="worker processes for extraction "
-                               "(default 1 = serial)")
+                               "(default 1 = serial; 'auto' = usable cores)")
     evaluate.add_argument("--metrics", metavar="PATH", default=None,
                           help="write aggregated pipeline metrics "
                                "(counters + span histograms) as JSON")
@@ -216,6 +264,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--retries", type=_retry_count, default=0,
                           help="extra attempts for failed forms "
                                "(default 0)")
+    _add_cache_flags(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
     grammar = subparsers.add_parser(

@@ -125,23 +125,33 @@ class EvaluationHarness:
             batch engine's watchdog (default-extractor path only).
         retries: Extra attempts for failed forms before their error
             record is final.
+        cache: Extraction cache for the batch engine (``True`` for a
+            private in-memory cache, or a shared
+            :class:`~repro.cache.ExtractionCache`).  Hit/miss/dedupe
+            counts surface as ``batch.cache.*`` metrics.
+        cache_dir: Directory for a disk-backed cache shared with pool
+            workers (implies caching on).
     """
 
     def __init__(
         self,
         extract: ExtractFn | None = None,
         matcher: ConditionMatcher | None = None,
-        jobs: int = 1,
+        jobs: int | str = 1,
         metrics: MetricsRegistry | None = None,
         timeout: float | None = None,
         retries: int = 0,
+        cache: object | bool | None = None,
+        cache_dir: str | None = None,
     ):
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if jobs != "auto" and (not isinstance(jobs, int) or jobs < 1):
+            raise ValueError(f"jobs must be >= 1 or 'auto', got {jobs!r}")
         self.jobs = jobs
         self.metrics = metrics
         self.timeout = timeout
         self.retries = retries
+        self.cache = cache
+        self.cache_dir = cache_dir
         self.custom_extract = extract is not None
         if extract is None:
             extractor = FormExtractor()
@@ -174,7 +184,11 @@ class EvaluationHarness:
             from repro.batch import BatchExtractor
 
             batch = BatchExtractor(
-                jobs=self.jobs, timeout=self.timeout, retries=self.retries
+                jobs=self.jobs,
+                timeout=self.timeout,
+                retries=self.retries,
+                cache=self.cache,
+                cache_dir=self.cache_dir,
             )
             stream = batch.iter_html(source.html for source in sources)
             for source, record in zip(sources, stream):
@@ -197,6 +211,12 @@ class EvaluationHarness:
                 self.metrics.inc("batch.pool_restarts", report.pool_restarts)
                 if report.degraded:
                     self.metrics.inc("batch.degraded_runs")
+                self.metrics.inc("batch.cache.hits", report.cache_hits)
+                self.metrics.inc("batch.cache.misses", report.cache_misses)
+                self.metrics.inc(
+                    "batch.dedupe.collapsed", report.dedupe_collapsed
+                )
+            batch.close()
             return result
         for source in sources:
             result.results.append(self.evaluate_source(source))

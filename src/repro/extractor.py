@@ -25,6 +25,7 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass, field
 
+from repro.cache import CacheEntry, ExtractionCache, token_signature
 from repro.grammar.cache import cached_standard_grammar
 from repro.grammar.grammar import TwoPGrammar
 from repro.html.dom import Document, Element
@@ -33,7 +34,12 @@ from repro.merger.merger import Merger, MergeReport
 from repro.observability.logs import get_logger, log_event
 from repro.observability.metrics import MetricsRegistry, get_global_registry
 from repro.observability.trace import Trace
-from repro.parser.parser import BestEffortParser, ParseResult, ParserConfig
+from repro.parser.parser import (
+    BestEffortParser,
+    ParseResult,
+    ParserConfig,
+    ParseStats,
+)
 from repro.semantics.condition import SemanticModel
 from repro.tokens.tokenizer import FormTokenizer
 from repro.tokens.model import Token
@@ -84,6 +90,12 @@ class FormExtractor:
         metrics: Registry receiving one trace per extraction.  ``None``
             (default) records into the process-wide global registry; pass
             a dedicated registry to isolate measurements.
+        cache: Optional :class:`~repro.cache.ExtractionCache`.  When set,
+            ``extract_from_tokens`` looks the token signature up before
+            parsing and replays the stored model/stats on a hit (the
+            parse and merge stages are skipped entirely); misses are
+            stored after extraction.  Cached replays rebuild fresh
+            objects -- a hit can never alias a previous result.
     """
 
     def __init__(
@@ -91,6 +103,7 @@ class FormExtractor:
         grammar: TwoPGrammar | None = None,
         parser_config: ParserConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        cache: ExtractionCache | None = None,
     ):
         # The cached grammar is shared across extractors (and with it the
         # cached schedule), so per-form extractor construction stays cheap.
@@ -98,6 +111,7 @@ class FormExtractor:
         self.parser = BestEffortParser(self.grammar, parser_config)
         self.merger = Merger()
         self.metrics = metrics if metrics is not None else get_global_registry()
+        self.cache = cache
 
     # -- main entry points --------------------------------------------------------
 
@@ -149,8 +163,21 @@ class FormExtractor:
     def extract_from_tokens(
         self, tokens: list[Token], trace: Trace | None = None
     ) -> ExtractionResult:
-        """Parse and merge an existing token set."""
+        """Parse and merge an existing token set.
+
+        With a :attr:`cache` configured, a token-signature hit replays the
+        stored outcome (recorded as a ``cache`` span tagged ``cache_hit``)
+        instead of parsing; a miss parses normally and stores the result.
+        """
         trace = trace if trace is not None else Trace()
+        signature: str | None = None
+        if self.cache is not None:
+            with trace.span("cache") as span:
+                signature = token_signature(tokens)
+                entry = self.cache.get(signature)
+                span.count("hit", 1 if entry is not None else 0)
+            if entry is not None:
+                return self._replay_cached(entry, tokens, trace)
         parse = self.parser.parse(tokens)
         stats = parse.stats
         construct = trace.add_span(
@@ -173,6 +200,8 @@ class FormExtractor:
             tokens=tokens,
             trace=trace,
         )
+        if self.cache is not None and signature is not None:
+            self.cache.put(signature, CacheEntry.from_result(result))
         self.metrics.record_trace(trace)
         log_event(
             _logger, logging.DEBUG, "extract.complete",
@@ -182,6 +211,43 @@ class FormExtractor:
             missing=len(report.missing_tokens),
             truncated=stats.truncated,
             seconds=round(trace.total_seconds, 6),
+        )
+        return result
+
+    def _replay_cached(
+        self, entry: CacheEntry, tokens: list[Token], trace: Trace
+    ) -> ExtractionResult:
+        """Rebuild an :class:`ExtractionResult` from a cache entry.
+
+        The model and stats are fresh deserialized objects; the parse
+        carries no trees or instances (they were never stored) but replays
+        the original counters so batch/benchmark stat sums are identical
+        to a full recompute.  Warnings stored with the entry are re-issued
+        on this trace.
+        """
+        trace.tags["cache_hit"] = True
+        for warning in entry.warnings:
+            trace.warn(warning)
+        model = entry.rebuild_model()
+        stats = entry.rebuild_stats()
+        parse = ParseResult(
+            trees=[],
+            tokens=tokens,
+            instances=[],
+            stats=stats if stats is not None else ParseStats(tokens=len(tokens)),
+        )
+        result = ExtractionResult(
+            model=model,
+            parse=parse,
+            report=MergeReport(model=model),
+            tokens=tokens,
+            trace=trace,
+        )
+        self.metrics.record_trace(trace)
+        log_event(
+            _logger, logging.DEBUG, "extract.cache_hit",
+            tokens=len(tokens),
+            conditions=len(model.conditions),
         )
         return result
 

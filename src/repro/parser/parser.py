@@ -89,12 +89,23 @@ class ParserConfig:
             scheduled after it.
         evaluation: Fix-point strategy, ``"seminaive"`` (default) or
             ``"naive"`` (see module docstring).
+        memoize_spatial: Memoize per-production spatial-constraint
+            evaluations during a symbol's fix-point (semi-naive mode
+            only).  The same ``(check, anchor, candidate)`` predicate and
+            the same band-index query recur across fix-point rounds and
+            pool plans; memo keys intern the instances by ``uid`` so each
+            predicate is evaluated at most once per fix-point.  Pure
+            memoization: verdicts are deterministic, so candidate lists,
+            combination order, and all ``combos_*`` counters are identical
+            with it on or off -- hits are reported separately in
+            :attr:`ParseStats.spatial_memo_hits`.
     """
 
     enable_preferences: bool = True
     max_instances: int = 200_000
     max_combos_per_instance: int = 60
     evaluation: str = "seminaive"
+    memoize_spatial: bool = True
 
     def __post_init__(self) -> None:
         if self.evaluation not in EVALUATION_MODES:
@@ -123,6 +134,12 @@ class ParseStats:
     #: Candidate components rejected by declarative spatial bounds before
     #: any combination containing them was examined (semi-naive mode only).
     combos_prefiltered: int = 0
+    #: Spatial predicate/band-index evaluations answered from the
+    #: per-symbol memo instead of being recomputed.  Reported separately
+    #: from the ``combos_*`` counters on purpose: memoization skips
+    #: *re-evaluation*, never enumeration, so the combo-reduction baseline
+    #: stays comparable with memoization on or off.
+    spatial_memo_hits: int = 0
     #: Symbols whose fix-point exhausted its per-symbol combination budget.
     symbol_truncations: int = 0
     truncated: bool = False
@@ -148,6 +165,7 @@ class ParseStats:
             "fixpoint_rounds": self.fixpoint_rounds,
             "combos_examined": self.combos_examined,
             "combos_prefiltered": self.combos_prefiltered,
+            "spatial_memo_hits": self.spatial_memo_hits,
             "symbol_truncations": self.symbol_truncations,
             "truncated": int(self.truncated),
         }
@@ -262,6 +280,31 @@ class _SymbolBudget:
         self.combos_left = combos_left
 
 
+class _SpatialMemo:
+    """Memoized spatial evaluations for one symbol's fix-point.
+
+    Two tables, both keyed on interned identities (instance ``uid`` ints
+    plus the ``id`` of the production-owned check tuple, which is alive for
+    the grammar's lifetime):
+
+    * ``pairs`` -- ``(id(check), anchor_uid, candidate_uid) -> bool``
+      verdicts of individual axis-envelope predicates;
+    * ``bands`` -- ``(id(check), anchor_uid) -> list`` results of a
+      :class:`BandIndex` query for a given anchor (the indexed pool is
+      frozen for the whole fix-point, so the query result is stable).
+
+    Scoped to one symbol's fix-point: component pools are frozen for its
+    duration, and discarding the memo afterwards keeps ``id()``-based keys
+    safe from address reuse across symbols.
+    """
+
+    __slots__ = ("pairs", "bands")
+
+    def __init__(self) -> None:
+        self.pairs: dict[tuple[int, int, int], bool] = {}
+        self.bands: dict[tuple[int, int], list[Instance]] = {}
+
+
 class BestEffortParser:
     """Parser for a 2P grammar over visual tokens."""
 
@@ -357,6 +400,7 @@ class BestEffortParser:
                         inst for inst in store.get(component, []) if inst.alive
                     ]
         indexes: dict[str, BandIndex] = {}
+        memo = _SpatialMemo() if self.config.memoize_spatial else None
         recursive = [p for p in productions if symbol in p.components]
         head_pool: list[Instance] = [
             inst for inst in store.get(symbol, []) if inst.alive
@@ -384,7 +428,7 @@ class BestEffortParser:
                         break
                     new_instances.extend(
                         self._apply_seminaive(
-                            production, pools, fixed_pools, indexes,
+                            production, pools, fixed_pools, indexes, memo,
                             state, cap, stats, remaining,
                         )
                     )
@@ -458,6 +502,7 @@ class BestEffortParser:
         pools: list[list[Instance]],
         fixed_pools: dict[str, list[Instance]],
         indexes: dict[str, BandIndex],
+        memo: _SpatialMemo | None,
         state: _ParseState,
         cap: _SymbolBudget,
         stats: ParseStats,
@@ -469,7 +514,9 @@ class BestEffortParser:
             if not pool:
                 return []
         created: list[Instance] = []
-        for combo in self._combos(production, pools, fixed_pools, indexes, stats):
+        for combo in self._combos(
+            production, pools, fixed_pools, indexes, memo, stats
+        ):
             if (
                 len(created) >= budget
                 or cap.combos_left <= 0
@@ -492,6 +539,7 @@ class BestEffortParser:
         pools: list[list[Instance]],
         fixed_pools: dict[str, list[Instance]],
         indexes: dict[str, BandIndex],
+        memo: _SpatialMemo | None,
         stats: ParseStats,
     ):
         """Enumerate candidate combinations, pre-filtered by the
@@ -501,7 +549,10 @@ class BestEffortParser:
         pool order), whether produced by a plain filtered scan or by a
         :class:`BandIndex` query, so the combination order matches the
         naive cartesian product with bound-violating combinations
-        removed.
+        removed.  With *memo* set, predicate verdicts and band queries
+        already evaluated this fix-point are reused instead of recomputed
+        (``ParseStats.spatial_memo_hits``); the selected candidates are
+        identical either way.
         """
         components = production.components
         bounds_by_target = production.bounds_by_target
@@ -514,6 +565,14 @@ class BestEffortParser:
             yield from itertools.product(*pools)
             return
         combo: list[Instance] = [None] * n  # type: ignore[list-item]
+        # Memoization only pays off for productions with >= 3 components:
+        # a pair verdict (or a band query for the same anchor) can only
+        # recur when a *third* position varies between two visits; with
+        # two components each anchor is visited exactly once per plan, so
+        # both tables would be pure dict overhead (measured as a ~10%
+        # slowdown on the standard grammar, where 2-component productions
+        # dominate and contribute zero memo hits).
+        pair_memo = memo if n >= 3 else None
 
         def candidates(position: int) -> list[Instance]:
             pool = pools[position]
@@ -540,16 +599,36 @@ class BestEffortParser:
                     index = BandIndex(fixed)
                     indexes[component] = index
                 anchor, h_spec, v_spec = primary
-                selected = index.near(combo[anchor].bbox, h_spec, v_spec)
+                anchor_inst = combo[anchor]
+                if pair_memo is not None:
+                    band_key = (id(primary), anchor_inst.uid)
+                    banded = pair_memo.bands.get(band_key)
+                    if banded is None:
+                        banded = index.near(anchor_inst.bbox, h_spec, v_spec)
+                        pair_memo.bands[band_key] = banded
+                    else:
+                        stats.spatial_memo_hits += 1
+                else:
+                    banded = index.near(anchor_inst.bbox, h_spec, v_spec)
                 if len(checks) > 1:
+                    # Build a fresh list: ``banded`` may be a memoized
+                    # object shared with later queries.
                     selected = [
-                        cand for cand in selected
-                        if self._passes(cand, checks, combo, skip=primary)
+                        cand for cand in banded
+                        if self._passes(
+                            cand, checks, combo, skip=primary,
+                            memo=pair_memo, stats=stats,
+                        )
                     ]
+                else:
+                    selected = banded
                 stats.combos_prefiltered += len(pool) - len(selected)
                 return selected
             selected = [
-                cand for cand in pool if self._passes(cand, checks, combo)
+                cand for cand in pool
+                if self._passes(
+                    cand, checks, combo, memo=pair_memo, stats=stats
+                )
             ]
             stats.combos_prefiltered += len(pool) - len(selected)
             return selected
@@ -570,13 +649,36 @@ class BestEffortParser:
         checks: tuple[tuple, ...],
         combo: list[Instance],
         skip: tuple | None = None,
+        memo: _SpatialMemo | None = None,
+        stats: ParseStats | None = None,
     ) -> bool:
         box = candidate.bbox
         for check in checks:
             if check is skip:
                 continue
             anchor, h_spec, v_spec = check
-            other = combo[anchor].bbox
+            anchor_inst = combo[anchor]
+            if memo is not None:
+                # Checks are tuples owned by the (frozen) production and
+                # instances are interned by uid, so identity keys are
+                # stable for the whole fix-point this memo spans.
+                pair_key = (id(check), anchor_inst.uid, candidate.uid)
+                verdict = memo.pairs.get(pair_key)
+                if verdict is not None:
+                    if stats is not None:
+                        stats.spatial_memo_hits += 1
+                    if verdict:
+                        continue
+                    return False
+                other = anchor_inst.bbox
+                verdict = h_allows(h_spec, other, box) and v_allows(
+                    v_spec, other, box
+                )
+                memo.pairs[pair_key] = verdict
+                if not verdict:
+                    return False
+                continue
+            other = anchor_inst.bbox
             if not h_allows(h_spec, other, box):
                 return False
             if not v_allows(v_spec, other, box):

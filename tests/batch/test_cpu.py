@@ -1,0 +1,84 @@
+"""Usable-core detection: affinity, cgroup quotas, fallbacks."""
+
+from __future__ import annotations
+
+import os
+
+from repro.batch import usable_cores
+from repro.batch import cpu as cpu_mod
+
+
+def _fake_cgroup_v2(monkeypatch, tmp_path, content):
+    path = tmp_path / "cpu.max"
+    path.write_text(content, encoding="ascii")
+    monkeypatch.setattr(cpu_mod, "_CGROUP_V2_CPU_MAX", str(path))
+
+
+def _no_cgroups(monkeypatch, tmp_path):
+    monkeypatch.setattr(
+        cpu_mod, "_CGROUP_V2_CPU_MAX", str(tmp_path / "absent-v2")
+    )
+    monkeypatch.setattr(
+        cpu_mod, "_CGROUP_V1_QUOTA", str(tmp_path / "absent-quota")
+    )
+    monkeypatch.setattr(
+        cpu_mod, "_CGROUP_V1_PERIOD", str(tmp_path / "absent-period")
+    )
+
+
+class TestUsableCores:
+    def test_at_least_one_core_and_bounded_by_cpu_count(self):
+        cores = usable_cores()
+        assert isinstance(cores, int)
+        assert 1 <= cores <= (os.cpu_count() or 1)
+
+    def test_matches_affinity_without_quota(self, monkeypatch, tmp_path):
+        _no_cgroups(monkeypatch, tmp_path)
+        expected = (
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count() or 1
+        )
+        assert cpu_mod.usable_cores() == expected
+
+    def test_quota_narrows_the_affinity_mask(self, monkeypatch, tmp_path):
+        _fake_cgroup_v2(monkeypatch, tmp_path, "100000 100000\n")
+        assert cpu_mod.usable_cores() == 1
+
+
+class TestCgroupQuota:
+    def test_v2_whole_cores(self, monkeypatch, tmp_path):
+        _fake_cgroup_v2(monkeypatch, tmp_path, "400000 100000")
+        assert cpu_mod.cgroup_cpu_quota() == 4
+
+    def test_v2_fractional_rounds_up(self, monkeypatch, tmp_path):
+        _fake_cgroup_v2(monkeypatch, tmp_path, "50000 100000")
+        assert cpu_mod.cgroup_cpu_quota() == 1
+        _fake_cgroup_v2(monkeypatch, tmp_path, "250000 100000")
+        assert cpu_mod.cgroup_cpu_quota() == 3
+
+    def test_v2_unlimited(self, monkeypatch, tmp_path):
+        _fake_cgroup_v2(monkeypatch, tmp_path, "max 100000")
+        assert cpu_mod.cgroup_cpu_quota() is None
+
+    def test_v2_garbage_is_ignored(self, monkeypatch, tmp_path):
+        _fake_cgroup_v2(monkeypatch, tmp_path, "pancakes waffles")
+        assert cpu_mod.cgroup_cpu_quota() is None
+
+    def test_v1_quota(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            cpu_mod, "_CGROUP_V2_CPU_MAX", str(tmp_path / "absent")
+        )
+        quota = tmp_path / "cpu.cfs_quota_us"
+        period = tmp_path / "cpu.cfs_period_us"
+        quota.write_text("200000")
+        period.write_text("100000")
+        monkeypatch.setattr(cpu_mod, "_CGROUP_V1_QUOTA", str(quota))
+        monkeypatch.setattr(cpu_mod, "_CGROUP_V1_PERIOD", str(period))
+        assert cpu_mod.cgroup_cpu_quota() == 2
+        quota.write_text("-1")  # v1 spelling of "unlimited"
+        assert cpu_mod.cgroup_cpu_quota() is None
+
+    def test_no_cgroup_files(self, monkeypatch, tmp_path):
+        _no_cgroups(monkeypatch, tmp_path)
+        assert cpu_mod.cgroup_cpu_quota() is None

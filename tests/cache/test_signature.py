@@ -1,0 +1,128 @@
+"""Content signatures: translation invariance, content sensitivity."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cache import SIGNATURE_QUANTUM, html_signature, token_signature
+from repro.layout.box import BBox
+from tests.conftest import make_token
+
+
+def _shift(tokens, dx, dy):
+    """The same tokens rendered at a different page offset."""
+    return [
+        dataclasses.replace(
+            token,
+            bbox=BBox(
+                token.bbox.left + dx,
+                token.bbox.right + dx,
+                token.bbox.top + dy,
+                token.bbox.bottom + dy,
+            ),
+        )
+        for token in tokens
+    ]
+
+
+def _form():
+    return [
+        make_token(0, "text", 10, 20, text="Author"),
+        make_token(1, "textbox", 80, 20, name="author"),
+        make_token(2, "text", 10, 50, text="Title"),
+        make_token(3, "textbox", 80, 50, name="title"),
+    ]
+
+
+class TestTokenSignature:
+    def test_deterministic(self):
+        assert token_signature(_form()) == token_signature(_form())
+        assert token_signature(_form()).startswith("tok:")
+
+    def test_invariant_to_whole_form_translation(self):
+        base = token_signature(_form())
+        for dx, dy in ((137.0, 0.0), (0.0, 512.5), (-10.0, 2_048.25)):
+            assert token_signature(_shift(_form(), dx, dy)) == base
+
+    def test_sensitive_to_token_reorder(self):
+        tokens = _form()
+        reordered = [tokens[1], tokens[0]] + tokens[2:]
+        assert token_signature(reordered) != token_signature(tokens)
+
+    def test_sensitive_to_vertical_reorder(self):
+        # Swap the two rows' y positions: same attribute content, the
+        # row bands differ -> different signature.
+        tokens = _form()
+        swapped = _shift(tokens[:2], 0, 30) + _shift(tokens[2:], 0, -30)
+        assert token_signature(swapped) != token_signature(tokens)
+
+    def test_sensitive_to_text_change(self):
+        edited = _form()
+        edited[0] = dataclasses.replace(edited[0], attrs={"text": "Writer"})
+        assert token_signature(edited) != token_signature(_form())
+
+    def test_sensitive_to_terminal_change(self):
+        edited = _form()
+        edited[1] = dataclasses.replace(edited[1], terminal="selectlist")
+        assert token_signature(edited) != token_signature(_form())
+
+    def test_sensitive_to_relative_geometry(self):
+        # Move one token (not the whole form) by several quanta.
+        edited = _form()
+        edited[3] = dataclasses.replace(
+            edited[3],
+            bbox=BBox(
+                edited[3].bbox.left + 5 * SIGNATURE_QUANTUM,
+                edited[3].bbox.right + 5 * SIGNATURE_QUANTUM,
+                edited[3].bbox.top,
+                edited[3].bbox.bottom,
+            ),
+        )
+        assert token_signature(edited) != token_signature(_form())
+
+    def test_quantization_absorbs_subpixel_jitter(self):
+        # Positions chosen away from rounding boundaries: +0.2px of
+        # layout jitter on one token snaps back to the same quantum.
+        tokens = _form()
+        jittered = list(tokens)
+        jittered[3] = dataclasses.replace(
+            tokens[3],
+            bbox=BBox(
+                tokens[3].bbox.left + 0.2,
+                tokens[3].bbox.right + 0.2,
+                tokens[3].bbox.top,
+                tokens[3].bbox.bottom,
+            ),
+        )
+        assert token_signature(jittered) == token_signature(tokens)
+        # quantum=0 asks for exact geometry: the jitter now matters.
+        assert token_signature(jittered, quantum=0) != token_signature(
+            tokens, quantum=0
+        )
+
+    def test_quantum_is_part_of_the_signature(self):
+        tokens = _form()
+        assert token_signature(tokens, quantum=1.0) != token_signature(
+            tokens, quantum=2.0
+        )
+
+    def test_empty_token_list(self):
+        assert token_signature([]) == token_signature([])
+        assert token_signature([]) != token_signature(_form())
+
+
+class TestHtmlSignature:
+    def test_exact_content_hash(self):
+        assert html_signature("<form></form>") == html_signature(
+            "<form></form>"
+        )
+        assert html_signature("<form></form>") != html_signature(
+            "<form> </form>"
+        )
+        assert html_signature("x").startswith("html:")
+
+    def test_distinct_from_token_namespace(self):
+        # The namespaces can never collide even on equal digests.
+        assert html_signature("").partition(":")[0] != token_signature(
+            []
+        ).partition(":")[0]

@@ -1,0 +1,174 @@
+"""The extraction cache store: LRU behavior and disk sharing."""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.cache import CacheEntry, ExtractionCache
+from repro.parser.parser import ParseStats
+from repro.semantics.condition import SemanticModel
+from repro.semantics.serialize import model_to_dict
+
+
+def _entry(tag: str) -> CacheEntry:
+    """A distinguishable entry (the tag rides in ``missing``)."""
+    return CacheEntry.from_parts(
+        SemanticModel(missing=[tag]),
+        ParseStats(tokens=len(tag), combos_examined=7),
+        warnings=[f"warn-{tag}"],
+    )
+
+
+class TestMemoryCache:
+    def test_round_trip_returns_fresh_objects(self):
+        cache = ExtractionCache()
+        cache.put("tok:a", _entry("a"))
+        first = cache.get("tok:a")
+        second = cache.get("tok:a")
+        assert first is not None and second is not None
+        model_a, model_b = first.rebuild_model(), second.rebuild_model()
+        assert model_a is not model_b
+        assert model_to_dict(model_a) == model_to_dict(model_b)
+        assert model_a.missing == ["a"]
+        stats = first.rebuild_stats()
+        assert stats.tokens == 1 and stats.combos_examined == 7
+        assert first.warnings == ["warn-a"]
+
+    def test_miss_returns_none_and_counts(self):
+        cache = ExtractionCache()
+        assert cache.get("tok:nope") is None
+        cache.put("tok:a", _entry("a"))
+        assert cache.get("tok:a") is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_past_capacity(self):
+        cache = ExtractionCache(capacity=2)
+        for tag in ("a", "b", "c"):
+            cache.put(f"tok:{tag}", _entry(tag))
+        assert len(cache) == 2
+        assert "tok:a" not in cache
+        assert "tok:b" in cache and "tok:c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ExtractionCache(capacity=2)
+        cache.put("tok:a", _entry("a"))
+        cache.put("tok:b", _entry("b"))
+        cache.get("tok:a")  # a is now the most recent
+        cache.put("tok:c", _entry("c"))
+        assert "tok:a" in cache
+        assert "tok:b" not in cache
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ExtractionCache(capacity=0)
+
+    def test_rebuild_stats_drops_unknown_fields(self):
+        entry = CacheEntry(
+            model=model_to_dict(SemanticModel()),
+            stats={"tokens": 3, "from_the_future": 99},
+        )
+        stats = entry.rebuild_stats()
+        assert stats.tokens == 3
+        assert not hasattr(stats, "from_the_future")
+
+    def test_entry_without_stats(self):
+        entry = CacheEntry(model=model_to_dict(SemanticModel()))
+        assert entry.rebuild_stats() is None
+
+
+class TestDiskBacking:
+    def test_round_trip_across_instances(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        writer = ExtractionCache(path=path)
+        writer.put("tok:a", _entry("a"))
+        reader = ExtractionCache(path=path)
+        entry = reader.get("tok:a")
+        assert entry is not None
+        assert entry.rebuild_model().missing == ["a"]
+        assert entry.warnings == ["warn-a"]
+
+    def test_sees_appends_from_a_live_sibling(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        first = ExtractionCache(path=path)
+        second = ExtractionCache(path=path)
+        assert second.get("tok:late") is None
+        first.put("tok:late", _entry("late"))
+        assert second.get("tok:late") is not None
+
+    def test_skips_torn_trailing_line(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        ExtractionCache(path=path).put("tok:a", _entry("a"))
+        with open(path, "ab") as fh:  # a writer died mid-line
+            fh.write(b'{"v":1,"sig":"tok:torn","entry"')
+        reader = ExtractionCache(path=path)
+        assert reader.get("tok:a") is not None
+        assert reader.get("tok:torn") is None
+
+    def test_skips_corrupt_and_wrong_version_lines(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        good = {
+            "v": 1, "sig": "tok:good", "entry": _entry("good").to_payload()
+        }
+        bad_version = {
+            "v": 999, "sig": "tok:vnext", "entry": _entry("v").to_payload()
+        }
+        path.write_text(
+            "this is not json\n"
+            + json.dumps(bad_version) + "\n"
+            + json.dumps(good) + "\n",
+            encoding="utf-8",
+        )
+        reader = ExtractionCache(path=path)
+        assert reader.get("tok:good") is not None
+        assert reader.get("tok:vnext") is None
+
+    def test_truncated_file_reloads_from_scratch(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ExtractionCache(path=path)
+        cache.put("tok:a", _entry("a"))
+        cache.put("tok:b", _entry("b"))
+        # Another process replaced the file with a shorter one.
+        line = json.dumps(
+            {"v": 1, "sig": "tok:new", "entry": _entry("new").to_payload()}
+        )
+        path.write_text(line + "\n", encoding="utf-8")
+        assert cache.get("tok:new") is not None
+
+    def test_missing_parent_directory_is_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "cache.jsonl"
+        ExtractionCache(path=path).put("tok:a", _entry("a"))
+        assert path.exists()
+        assert ExtractionCache(path=path).get("tok:a") is not None
+
+
+def _concurrent_put(args):
+    """Worker: write one entry through its own cache instance."""
+    path, tag = args
+    ExtractionCache(path=path).put(f"tok:{tag}", _entry(tag))
+    return tag
+
+
+class TestConcurrentWorkers:
+    def test_disk_round_trip_under_concurrent_writers(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        tags = [f"w{i}" for i in range(16)]
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            done = list(pool.map(_concurrent_put, [(path, t) for t in tags]))
+        assert sorted(done) == sorted(tags)
+        reader = ExtractionCache(path=path)
+        for tag in tags:
+            entry = reader.get(f"tok:{tag}")
+            assert entry is not None, tag
+            assert entry.rebuild_model().missing == [tag]
+        # flock-guarded appends: every line intact, one per entry.
+        with open(path, "rb") as fh:
+            lines = fh.read().splitlines()
+        assert len(lines) == len(tags)
+        for raw in lines:
+            json.loads(raw)

@@ -126,6 +126,51 @@ class TestEvaluate:
         assert "mean=" in err
 
 
+class TestCacheFlags:
+    def test_extract_with_cache_dir_persists_across_runs(
+        self, qam_file, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["extract", qam_file, "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "cache" / "extraction-cache.jsonl").exists()
+        assert main(["extract", qam_file, "--cache-dir", cache_dir]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_extract_cache_flag_accepted(self, qam_file, capsys):
+        # In-memory cache: one process, no hit to observe, but output is
+        # identical to the uncached run.
+        assert main(["extract", qam_file]) == 0
+        plain = capsys.readouterr().out
+        assert main(["extract", qam_file, "--cache"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_no_cache_overrides_cache_dir(self, qam_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "extract", qam_file, "--cache-dir", cache_dir, "--no-cache",
+        ]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "cache").exists()
+
+    def test_evaluate_cache_metrics(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert main([
+            "evaluate", "--scale", "0.05", "--cache",
+            "--metrics", str(out),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        counters = payload["counters"]
+        assert "batch.cache.misses" in counters
+        assert counters["batch.cache.misses"] > 0
+        assert counters.get("batch.cache.hits", 0) == 0
+
+    def test_evaluate_jobs_auto(self, capsys):
+        assert main(["evaluate", "--scale", "0.05", "--jobs", "auto"]) == 0
+        assert "Basic" in capsys.readouterr().out
+
+
 class TestGrammar:
     def test_grammar_listing(self, capsys):
         assert main(["grammar"]) == 0
