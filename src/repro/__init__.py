@@ -18,6 +18,7 @@ Quickstart::
 
 from repro.batch import (
     BatchExtractor,
+    BatchJournal,
     BatchRecord,
     BatchReport,
     BatchStream,
@@ -45,6 +46,13 @@ from repro.grammar import (
     build_standard_grammar,
 )
 from repro.merger import Merger, merge_parse_result
+from repro.resilience import (
+    BudgetExceeded,
+    DegradationReport,
+    ResilienceConfig,
+    ResourceGuard,
+    ResourceLimits,
+)
 from repro.parser import (
     BestEffortParser,
     ExhaustiveParser,
@@ -59,12 +67,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BatchExtractor",
+    "BatchJournal",
     "BatchRecord",
     "BatchReport",
     "BatchStream",
     "BestEffortParser",
+    "BudgetExceeded",
     "Condition",
     "ConditionMatcher",
+    "DegradationReport",
     "Domain",
     "ExhaustiveParser",
     "ExtractionResult",
@@ -79,6 +90,9 @@ __all__ = [
     "ParseResult",
     "ParserConfig",
     "ParseStats",
+    "ResilienceConfig",
+    "ResourceGuard",
+    "ResourceLimits",
     "Preference",
     "Production",
     "SemanticModel",

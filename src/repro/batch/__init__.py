@@ -17,12 +17,15 @@ from repro.batch.extractor import (
     BatchStream,
     ExtractionTimeout,
 )
+from repro.batch.journal import BatchJournal, job_key
 
 __all__ = [
     "BatchExtractor",
+    "BatchJournal",
     "BatchRecord",
     "BatchReport",
     "BatchStream",
     "ExtractionTimeout",
+    "job_key",
     "usable_cores",
 ]

@@ -78,6 +78,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.batch.cpu import usable_cores
+from repro.batch.journal import BatchJournal, job_key
 from repro.cache import (
     CacheEntry,
     ExtractionCache,
@@ -88,6 +89,8 @@ from repro.extractor import ExtractionResult, FormExtractor
 from repro.grammar.grammar import TwoPGrammar
 from repro.observability.logs import get_logger, log_event
 from repro.parser.parser import ParserConfig, ParseStats
+from repro.resilience.guard import BudgetExceeded, ResourceGuard, ResourceLimits
+from repro.resilience.ladder import ResilienceConfig
 from repro.semantics.condition import SemanticModel
 from repro.semantics.serialize import model_from_dict, model_to_dict
 from repro.tokens.model import Token
@@ -132,10 +135,71 @@ class BatchRecord:
     #: True when this record was replicated from an identical input's
     #: leader extraction (batch dedupe) instead of being dispatched.
     deduped: bool = False
+    #: True when this record was replayed from a resume journal written
+    #: by an earlier (crashed or interrupted) run instead of extracted.
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    def to_payload(self) -> dict:
+        """Plain-data form for the resume journal (JSON-serializable)."""
+        return {
+            "index": self.index,
+            "model": model_to_dict(self.model) if self.model is not None else None,
+            "stats": dataclasses.asdict(self.stats) if self.stats is not None else None,
+            "elapsed_seconds": self.elapsed_seconds,
+            "error": self.error,
+            "attempts": self.attempts,
+            "warnings": list(self.warnings),
+            "trace": self.trace,
+            "cached": self.cached,
+            "deduped": self.deduped,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, index: int) -> "BatchRecord":
+        """Rebuild a journaled record (fresh objects, marked ``resumed``).
+
+        Unknown stats fields from a newer writer are dropped; a payload
+        that cannot rebuild at all comes back as an error record so the
+        caller re-extracts rather than trusting a corrupt checkpoint.
+        """
+        try:
+            model_payload = payload.get("model")
+            stats_payload = payload.get("stats")
+            stats = None
+            if isinstance(stats_payload, dict):
+                known = {spec.name for spec in dataclasses.fields(ParseStats)}
+                stats = ParseStats(**{
+                    name: value
+                    for name, value in stats_payload.items()
+                    if name in known
+                })
+            return cls(
+                index=index,
+                model=(
+                    model_from_dict(model_payload)
+                    if isinstance(model_payload, dict)
+                    else None
+                ),
+                stats=stats,
+                elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+                error=payload.get("error"),
+                attempts=int(payload.get("attempts", 1)),
+                warnings=list(payload.get("warnings", ())),
+                trace=payload.get("trace"),
+                cached=bool(payload.get("cached", False)),
+                deduped=bool(payload.get("deduped", False)),
+                resumed=True,
+            )
+        except Exception as exc:  # noqa: BLE001 - corrupt checkpoint
+            return cls(
+                index=index,
+                error=f"ResumeError: journaled record unusable ({exc})",
+                resumed=True,
+            )
 
 
 @dataclass
@@ -156,6 +220,13 @@ class BatchReport:
     cache_misses: int = 0
     #: Inputs collapsed onto an identical leader input by batch dedupe.
     dedupe_collapsed: int = 0
+    #: Inputs replayed from the resume journal instead of extracted.
+    resume_skipped: int = 0
+    #: Corrupt journal lines quarantined while loading the resume journal.
+    journal_corrupt_lines: int = 0
+    #: Corrupt disk-cache records quarantined during this extractor's
+    #: cache reloads (parent-process view of the shared cache file).
+    cache_corrupt_records: int = 0
 
     @property
     def models(self) -> list[SemanticModel | None]:
@@ -219,6 +290,9 @@ class BatchReport:
             "cache.misses": self.cache_misses,
             "cache.hit_rate": round(self.cache_hit_rate, 4),
             "dedupe.collapsed": self.dedupe_collapsed,
+            "resume.skipped": self.resume_skipped,
+            "resume.corrupt_lines": self.journal_corrupt_lines,
+            "cache.corrupt_records": self.cache_corrupt_records,
         }
 
     def describe(self) -> str:
@@ -243,6 +317,8 @@ class BatchReport:
                 f"; {self.cache_hits} cache hit(s), "
                 f"{self.dedupe_collapsed} deduped"
             )
+        if self.resume_skipped:
+            text += f"; {self.resume_skipped} resumed from journal"
         if self.pool_restarts:
             text += (
                 f"; {self.pool_restarts} pool restart(s)"
@@ -262,6 +338,7 @@ class _RunInfo:
     __slots__ = (
         "started", "finished", "pool_restarts", "degraded",
         "cache_hits", "cache_misses", "dedupe_collapsed",
+        "resume_skipped", "journal_corrupt_lines",
     )
 
     def __init__(self) -> None:
@@ -272,6 +349,8 @@ class _RunInfo:
         self.cache_hits = 0
         self.cache_misses = 0
         self.dedupe_collapsed = 0
+        self.resume_skipped = 0
+        self.journal_corrupt_lines = 0
 
     @property
     def wall_seconds(self) -> float:
@@ -290,10 +369,17 @@ class BatchStream(Iterator[BatchRecord]):
     the run is still in flight.
     """
 
-    def __init__(self, generator: Iterator[BatchRecord], info: _RunInfo, jobs: int):
+    def __init__(
+        self,
+        generator: Iterator[BatchRecord],
+        info: _RunInfo,
+        jobs: int,
+        cache: "ExtractionCache | None" = None,
+    ):
         self._generator = generator
         self.info = info
         self.jobs = jobs
+        self.cache = cache
         self.records: list[BatchRecord] = []
 
     def __iter__(self) -> "BatchStream":
@@ -317,6 +403,13 @@ class BatchStream(Iterator[BatchRecord]):
             cache_hits=self.info.cache_hits,
             cache_misses=self.info.cache_misses,
             dedupe_collapsed=self.info.dedupe_collapsed,
+            resume_skipped=self.info.resume_skipped,
+            journal_corrupt_lines=self.info.journal_corrupt_lines,
+            cache_corrupt_records=(
+                self.cache.stats.corrupt_records
+                if self.cache is not None
+                else 0
+            ),
         )
 
 
@@ -350,11 +443,13 @@ def _init_worker(
     grammar_factory: GrammarFactory | None,
     parser_config: ParserConfig | None,
     cache_spec: CacheSpec = None,
+    resilience: ResilienceConfig | None = None,
 ) -> None:
     """Pool initializer: build the extractor once per worker process."""
     global _worker_extractor
     _worker_extractor = _build_extractor(
-        grammar_factory, parser_config, _cache_from_spec(cache_spec)
+        grammar_factory, parser_config, _cache_from_spec(cache_spec),
+        resilience,
     )
 
 
@@ -362,10 +457,12 @@ def _build_extractor(
     grammar_factory: GrammarFactory | None,
     parser_config: ParserConfig | None,
     cache: ExtractionCache | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> FormExtractor:
     grammar = grammar_factory() if grammar_factory is not None else None
     return FormExtractor(
-        grammar=grammar, parser_config=parser_config, cache=cache
+        grammar=grammar, parser_config=parser_config, cache=cache,
+        resilience=resilience,
     )
 
 
@@ -383,9 +480,12 @@ def _watchdog(timeout: float | None):
 
     Implemented with ``SIGALRM``/``setitimer``, which interrupts pure-
     Python work from inside the process -- the worker survives to take the
-    next form.  Where the signal is unavailable (non-main thread, non-Unix
-    platforms) the watchdog is a no-op; the pool-recovery layer still
-    bounds the damage a stuck worker can do.
+    next form.  Yields True when the timer is armed.  Where the signal
+    cannot be hosted (non-main thread, non-Unix platforms, or a handler
+    registration that loses a thread race) it yields False and the caller
+    falls back to a cooperative guard deadline instead of crashing with
+    ``ValueError``; the pool-recovery layer still bounds the damage a
+    truly stuck worker can do.
     """
     usable = (
         timeout is not None
@@ -394,19 +494,50 @@ def _watchdog(timeout: float | None):
         and threading.current_thread() is threading.main_thread()
     )
     if not usable:
-        yield
+        yield False
         return
 
     def _on_alarm(signum, frame):  # noqa: ARG001 - signal handler signature
         raise ExtractionTimeout()
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:
+        # signal.signal re-checks the thread; a main-thread check that
+        # passed above can still lose (embedded interpreters, exotic
+        # threading): degrade to the guard fallback rather than die.
+        yield False
+        return
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        yield
+        yield True
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+def _deadline_guard(
+    extractor: FormExtractor, timeout: float | None, armed: bool
+) -> ResourceGuard | None:
+    """The cooperative fallback when the SIGALRM watchdog is unavailable.
+
+    A raise-mode guard carrying only the wall-clock deadline (all other
+    budgets off, so behavior matches the signal watchdog as closely as a
+    cooperative check can).  Not used when the extractor runs the
+    resilience ladder -- the ladder's own degrade-mode guard already
+    bounds the form.
+    """
+    if armed or timeout is None or timeout <= 0:
+        return None
+    if extractor.resilience is not None:
+        return None
+    limits = ResourceLimits(
+        deadline_seconds=timeout,
+        max_input_bytes=None,
+        max_nodes=None,
+        max_tokens=None,
+    )
+    return ResourceGuard(limits=limits, mode="raise").start()
 
 
 def _extract_one(
@@ -419,11 +550,12 @@ def _extract_one(
     """Run one form through *extractor*; failures become error records."""
     started = time.perf_counter()
     try:
-        with _watchdog(timeout):
+        with _watchdog(timeout) as armed:
+            guard = _deadline_guard(extractor, timeout, armed)
             if kind == "html":
-                result = extractor.extract_detailed(payload)
+                result = extractor.extract_detailed(payload, guard=guard)
             elif kind == "tokens":
-                result = extractor.extract_from_tokens(payload)
+                result = extractor.extract_from_tokens(payload, guard=guard)
             else:  # "custom"
                 job_fn, arg = payload
                 result = job_fn(extractor, arg)
@@ -432,6 +564,13 @@ def _extract_one(
             index=index,
             elapsed_seconds=time.perf_counter() - started,
             error=f"Timeout: extraction exceeded {timeout:g}s",
+        )
+    except BudgetExceeded as exc:
+        return BatchRecord(
+            index=index,
+            elapsed_seconds=time.perf_counter() - started,
+            error=f"Timeout: extraction exceeded {timeout:g}s "
+                  f"(cooperative deadline: {exc})",
         )
     except Exception as exc:  # noqa: BLE001 - reported, not raised
         return BatchRecord(
@@ -565,6 +704,19 @@ class BatchExtractor:
             :func:`~repro.batch.cpu.usable_cores`.  Off by default:
             oversubscribed CPU-bound workers only add scheduling thrash
             (the 0.66x "speedup" this engine shipped with).
+        journal: Path to a resume journal (JSON-lines).  When set, every
+            finalized record is checkpointed so a crashed or killed run
+            can be resumed.
+        resume: Load *journal* before running and replay every
+            successfully journaled form (matching position **and**
+            content signature) instead of re-extracting it; failed forms
+            are re-attempted.  Requires *journal*.
+        resilience: Run worker extractions under the degradation ladder
+            (:meth:`FormExtractor.extract_resilient` semantics): ``True``
+            for the default :class:`~repro.resilience.ladder.
+            ResilienceConfig`, or a config instance (shipped to pool
+            workers, so it must stay plain data).  Pathological inputs
+            then come back as degraded models instead of error records.
     """
 
     def __init__(
@@ -580,6 +732,9 @@ class BatchExtractor:
         cache: ExtractionCache | bool | None = None,
         cache_dir: str | Path | None = None,
         oversubscribe: bool = False,
+        journal: str | Path | None = None,
+        resume: bool = False,
+        resilience: ResilienceConfig | bool | None = None,
     ):
         if jobs == "auto":
             jobs = usable_cores()
@@ -623,6 +778,22 @@ class BatchExtractor:
             self.cache = ExtractionCache()
         else:
             self.cache = None
+        if resume and journal is None:
+            raise ValueError("resume=True requires a journal path")
+        if resilience is True:
+            resilience = ResilienceConfig()
+        elif resilience is False:
+            resilience = None
+        self.resilience: ResilienceConfig | None = resilience
+        self.journal_path: Path | None = (
+            Path(journal) if journal is not None else None
+        )
+        self.resume = resume
+        self._journal: BatchJournal | None = (
+            BatchJournal(self.journal_path, resume=resume)
+            if self.journal_path is not None
+            else None
+        )
         self._serial_extractor: FormExtractor | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers = 0
@@ -684,7 +855,9 @@ class BatchExtractor:
 
     def _stream(self, items: list, kind: str) -> BatchStream:
         info = _RunInfo()
-        return BatchStream(self._iter(items, kind, info), info, self.jobs)
+        return BatchStream(
+            self._iter(items, kind, info), info, self.jobs, cache=self.cache
+        )
 
     def _iter(
         self, items: list, kind: str, info: _RunInfo
@@ -694,12 +867,56 @@ class BatchExtractor:
         info.started = time.perf_counter()
         try:
             jobs = list(enumerate(items))
-            if self.jobs == 1:
-                yield from self._iter_serial(jobs, kind, info)
-            else:
-                yield from self._iter_pool(jobs, kind, info)
+            keys, resumed = self._resolve_journal(jobs, kind, info)
+            source = (
+                self._iter_serial(jobs, kind, info, resumed)
+                if self.jobs == 1
+                else self._iter_pool(jobs, kind, info, resumed)
+            )
+            for record in source:
+                # Checkpointing is centralized here -- every final record
+                # crosses this yield, whichever path produced it.
+                if self._journal is not None and not record.resumed:
+                    self._journal.append(
+                        keys[record.index], record.to_payload()
+                    )
+                yield record
         finally:
             info.finished = time.perf_counter()
+
+    def _resolve_journal(
+        self, jobs: list[tuple[int, Any]], kind: str, info: _RunInfo
+    ) -> tuple[dict[int, str], dict[int, BatchRecord]]:
+        """Journal keys for every input, plus resume-replayed records.
+
+        Only records journaled as successful are replayed; failures (and
+        journal lines that fail to rebuild) stay in the work list.
+        """
+        if self._journal is None:
+            return {}, {}
+        keys = {
+            index: job_key(index, _signature_for(kind, payload))
+            for index, payload in jobs
+        }
+        resumed: dict[int, BatchRecord] = {}
+        if self.resume:
+            info.journal_corrupt_lines = self._journal.corrupt_lines
+            for index, key in keys.items():
+                payload = self._journal.completed_payload(key)
+                if payload is None:
+                    continue
+                record = BatchRecord.from_payload(payload, index)
+                if record.ok:
+                    resumed[index] = record
+                    info.resume_skipped += 1
+            if resumed or self._journal.corrupt_lines:
+                log_event(
+                    _logger, logging.INFO, "batch.resume",
+                    skipped=len(resumed),
+                    corrupt_lines=self._journal.corrupt_lines,
+                    total=len(jobs),
+                )
+        return keys, resumed
 
     # -- serial path --------------------------------------------------------------
 
@@ -707,15 +924,25 @@ class BatchExtractor:
         """The in-process extractor for ``jobs=1`` (never the worker global)."""
         if self._serial_extractor is None:
             self._serial_extractor = _build_extractor(
-                self.grammar_factory, self.parser_config, self.cache
+                self.grammar_factory, self.parser_config, self.cache,
+                self.resilience,
             )
         return self._serial_extractor
 
     def _iter_serial(
-        self, jobs: list[tuple[int, Any]], kind: str, info: _RunInfo
+        self,
+        jobs: list[tuple[int, Any]],
+        kind: str,
+        info: _RunInfo,
+        resumed: dict[int, BatchRecord] | None = None,
     ) -> Iterator[BatchRecord]:
         extractor = self._local_extractor()
+        resumed = resumed or {}
         for index, payload in jobs:
+            replay = resumed.get(index)
+            if replay is not None:
+                yield replay
+                continue
             attempts = 0
             while True:
                 attempts += 1
@@ -739,12 +966,16 @@ class BatchExtractor:
     # -- pooled path --------------------------------------------------------------
 
     def _iter_pool(
-        self, jobs: list[tuple[int, Any]], kind: str, info: _RunInfo
+        self,
+        jobs: list[tuple[int, Any]],
+        kind: str,
+        info: _RunInfo,
+        resumed: dict[int, BatchRecord] | None = None,
     ) -> Iterator[BatchRecord]:
         payloads = dict(jobs)
         attempts = {index: 0 for index in payloads}
-        results: dict[int, BatchRecord] = {}
-        remaining = set(payloads)
+        results: dict[int, BatchRecord] = dict(resumed or {})
+        remaining = set(payloads) - results.keys()
         next_emit = 0
 
         # -- dedupe / cache plan: hash inputs before any dispatch --------
@@ -761,6 +992,8 @@ class BatchExtractor:
         if kind in ("html", "tokens"):
             leader_by_sig: dict[str, int] = {}
             for index in sorted(payloads):
+                if index not in remaining:
+                    continue  # resumed from the journal: never dispatched
                 sig = _signature_for(kind, payloads[index])
                 if sig is None:
                     continue
@@ -904,6 +1137,7 @@ class BatchExtractor:
                     self.grammar_factory,
                     self.parser_config,
                     self._worker_cache_spec(),
+                    self.resilience,
                 ),
             )
             self._pool_workers = workers

@@ -24,6 +24,7 @@ import dataclasses
 import json
 import os
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,8 +45,19 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 #: Default bound on in-memory entries.
 DEFAULT_CAPACITY = 2048
 
-#: Disk format version; mismatched lines are skipped on load.
-DISK_FORMAT_VERSION = 1
+#: Disk format version; mismatched lines are skipped on load.  Version 2
+#: adds a per-line CRC-32 checksum over the signature + entry payload;
+#: version-1 lines (written by older builds) are still accepted, without
+#: validation.
+DISK_FORMAT_VERSION = 2
+
+
+def _line_checksum(signature: str, payload: dict) -> int:
+    """CRC-32 binding a disk line's signature to its entry payload."""
+    canonical = signature + "\n" + json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
 
 
 @dataclass
@@ -129,6 +141,12 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    #: Disk lines quarantined on reload: undecodable JSON, unknown format
+    #: version, malformed fields, or a failed checksum.  A nonzero count
+    #: means the backing file took damage (torn writes survive SIGKILL,
+    #: bit rot, concurrent non-cache writers) -- the damaged entries are
+    #: simply re-extracted on their next miss.
+    corrupt_records: int = 0
 
     @property
     def lookups(self) -> int:
@@ -146,6 +164,7 @@ class CacheStats:
             "puts": self.puts,
             "evictions": self.evictions,
             "hit_rate": round(self.hit_rate, 4),
+            "corrupt_records": self.corrupt_records,
         }
 
 
@@ -229,12 +248,14 @@ class ExtractionCache:
 
     def _append_to_disk(self, signature: str, entry: CacheEntry) -> None:
         assert self.path is not None
+        payload = entry.to_payload()
         line = (
             json.dumps(
                 {
                     "v": DISK_FORMAT_VERSION,
                     "sig": signature,
-                    "entry": entry.to_payload(),
+                    "sum": _line_checksum(signature, payload),
+                    "entry": payload,
                 },
                 ensure_ascii=False,
                 separators=(",", ":"),
@@ -282,15 +303,30 @@ class ExtractionCache:
         if consumed < 0:
             return  # a concurrent writer is mid-line; retry next refresh
         for raw in blob[: consumed + 1].splitlines():
+            if not raw.strip():
+                continue
             try:
                 record = json.loads(raw.decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
-                continue  # torn or corrupt line: skip, keep the rest
-            if record.get("v") != DISK_FORMAT_VERSION:
+                # Torn or corrupt line: quarantine (skip + count), keep
+                # the rest -- one damaged record must not void the file.
+                self._stats.corrupt_records += 1
+                continue
+            version = record.get("v") if isinstance(record, dict) else None
+            if version not in (1, DISK_FORMAT_VERSION):
+                self._stats.corrupt_records += 1
                 continue
             signature = record.get("sig")
             payload = record.get("entry")
             if not isinstance(signature, str) or not isinstance(payload, dict):
+                self._stats.corrupt_records += 1
+                continue
+            if version == DISK_FORMAT_VERSION and record.get(
+                "sum"
+            ) != _line_checksum(signature, payload):
+                # Checksum mismatch: the line is complete JSON but its
+                # content was altered (bit rot, interleaved writers).
+                self._stats.corrupt_records += 1
                 continue
             self._entries[signature] = CacheEntry.from_payload(payload)
             self._entries.move_to_end(signature)

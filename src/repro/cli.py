@@ -5,13 +5,17 @@ Commands:
 * ``extract FILE``  -- extract a query form's semantic model from an HTML
   file (``-`` reads stdin); ``--json`` emits the serialized model,
   ``--trace`` adds per-stage pipeline spans and statistics, ``--form N``
-  picks the N-th form (out-of-range indices are an error, not a guess).
+  picks the N-th form (out-of-range indices are an error, not a guess),
+  ``--resilient`` runs under the degradation ladder (always produces a
+  model, reporting downgrades as warnings).
 * ``evaluate``      -- run the Figure 15 evaluation over the four
   synthetic datasets (``--scale`` shrinks them for a quick look;
   ``--jobs N`` fans extraction over N worker processes (``auto`` = usable
   cores); ``--metrics out.json`` dumps aggregated pipeline counters and
   per-stage span histograms; ``--timeout``/``--retries`` set the batch
-  engine's fault-tolerance knobs; ``--trace`` prints the stage timing
+  engine's fault-tolerance knobs; ``--journal PATH`` checkpoints per-form
+  outcomes and ``--resume`` replays them after a crash; ``--resilient``
+  runs the degradation ladder; ``--trace`` prints the stage timing
   summary).
 * ``grammar``       -- print the derived global grammar.
 
@@ -19,6 +23,11 @@ Both ``extract`` and ``evaluate`` take the caching trio: ``--cache``
 (in-memory extraction cache), ``--cache-dir DIR`` (disk-backed cache that
 persists across invocations and is shared by pool workers), and
 ``--no-cache`` (force caching off, overriding the other two).
+
+Bad inputs fail with a one-line structured error (``error: code=<reason>
+file=<path>: <detail>``) and a distinct exit code -- 2 for an unreadable
+file (or other I/O trouble), 3 for an empty input, 4 for input that is
+not HTML -- never with a traceback.
 
 Global flags: ``--log-level LEVEL`` enables structured logging to stderr,
 ``--log-json`` switches it to JSON lines.
@@ -35,6 +44,48 @@ from repro.grammar.standard import build_standard_grammar
 from repro.observability.logs import configure_logging
 from repro.observability.metrics import MetricsRegistry
 from repro.semantics.serialize import model_to_json
+
+
+#: Exit codes for rejected inputs (0 = success; argparse usage errors
+#: also exit 2, matching the unreadable-input class).
+EXIT_UNREADABLE = 2
+EXIT_EMPTY_INPUT = 3
+EXIT_NOT_HTML = 4
+
+
+def _fail(code: int, reason: str, path: str, detail: str) -> int:
+    """One structured error line to stderr; returns the exit code."""
+    print(f"error: code={reason} file={path}: {detail}", file=sys.stderr)
+    return code
+
+
+def _read_html_input(path: str) -> tuple[str | None, int]:
+    """Read and validate one HTML input (``-`` = stdin).
+
+    Returns ``(html, 0)`` on success, or ``(None, exit_code)`` after
+    printing a one-line structured error: unreadable files exit 2, empty
+    inputs 3, inputs with no markup at all 4.
+    """
+    if path == "-":
+        html = sys.stdin.read()
+    else:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                html = fh.read()
+        except OSError as error:
+            return None, _fail(
+                EXIT_UNREADABLE, "unreadable", path, str(error)
+            )
+    if not html.strip():
+        return None, _fail(
+            EXIT_EMPTY_INPUT, "empty-input", path, "input is empty"
+        )
+    if "<" not in html:
+        return None, _fail(
+            EXIT_NOT_HTML, "not-html", path,
+            "input contains no markup (expected HTML)",
+        )
+    return html, 0
 
 
 def _resolve_cache(args: argparse.Namespace):
@@ -56,27 +107,20 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
     from repro.cache import ExtractionCache
 
-    if args.file == "-":
-        html = sys.stdin.read()
-    else:
-        try:
-            with open(args.file, encoding="utf-8", errors="replace") as fh:
-                html = fh.read()
-        except OSError as error:
-            print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
-            return 2
+    html, code = _read_html_input(args.file)
+    if html is None:
+        return code
     use_cache, cache_dir = _resolve_cache(args)
     cache = None
     if cache_dir is not None:
         cache = ExtractionCache(path=Path(cache_dir) / "extraction-cache.jsonl")
     elif use_cache:
         cache = ExtractionCache()
-    extractor = FormExtractor(cache=cache)
+    extractor = FormExtractor(cache=cache, resilience=args.resilient or None)
     try:
         detail = extractor.extract_detailed(html, form_index=args.form)
     except FormNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        return _fail(EXIT_UNREADABLE, "form-not-found", args.file, str(error))
     for warning in detail.warnings:
         print(f"warning: {warning}", file=sys.stderr)
     if args.json:
@@ -118,6 +162,10 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.datasets.repository import standard_datasets
 
+    if args.resume and not args.journal:
+        return _fail(
+            EXIT_UNREADABLE, "usage", "-", "--resume requires --journal"
+        )
     registry = MetricsRegistry()
     datasets = standard_datasets(scale=args.scale)
     use_cache, cache_dir = _resolve_cache(args)
@@ -128,6 +176,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         retries=args.retries,
         cache=use_cache,
         cache_dir=cache_dir,
+        journal=args.journal,
+        resume=args.resume,
+        resilience=args.resilient or None,
     )
     print("dataset       n     Pa      Ra    accuracy")
     for name, dataset in datasets.items():
@@ -155,10 +206,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                 fh.write(registry.to_json())
                 fh.write("\n")
         except OSError as error:
-            print(
-                f"error: cannot write {args.metrics}: {error}", file=sys.stderr
+            return _fail(
+                EXIT_UNREADABLE, "unwritable", args.metrics, str(error)
             )
-            return 2
         print(f"# metrics written to {args.metrics}", file=sys.stderr)
     return 0
 
@@ -242,6 +292,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     extract.add_argument("--render", action="store_true",
                          help="print an ASCII sketch of the rendered "
                               "tokens and the parse forest to stderr")
+    extract.add_argument("--resilient", action="store_true",
+                         help="extract under the degradation ladder: "
+                              "always produce a model, reporting "
+                              "downgrades as warnings")
     _add_cache_flags(extract)
     extract.set_defaults(func=_cmd_extract)
 
@@ -264,6 +318,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--retries", type=_retry_count, default=0,
                           help="extra attempts for failed forms "
                                "(default 0)")
+    evaluate.add_argument("--journal", metavar="PATH", default=None,
+                          help="checkpoint per-form outcomes to this "
+                               "JSONL journal")
+    evaluate.add_argument("--resume", action="store_true",
+                          help="replay completed forms from --journal "
+                               "instead of re-extracting them")
+    evaluate.add_argument("--resilient", action="store_true",
+                          help="extract under the degradation ladder: "
+                               "pathological forms degrade instead of "
+                               "erroring")
     _add_cache_flags(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 

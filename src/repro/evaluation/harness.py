@@ -131,6 +131,15 @@ class EvaluationHarness:
             counts surface as ``batch.cache.*`` metrics.
         cache_dir: Directory for a disk-backed cache shared with pool
             workers (implies caching on).
+        journal: Resume-journal path for the batch engine; finalized
+            per-form outcomes are checkpointed there.
+        resume: Replay successfully journaled forms instead of
+            re-extracting them (requires *journal*); ``batch.resume.*``
+            metrics report what was skipped.
+        resilience: Run extractions under the degradation ladder
+            (``True`` or a :class:`~repro.resilience.ladder.
+            ResilienceConfig`): pathological sources score as degraded
+            models instead of erroring, counted per ``degrade.<level>``.
     """
 
     def __init__(
@@ -143,6 +152,9 @@ class EvaluationHarness:
         retries: int = 0,
         cache: object | bool | None = None,
         cache_dir: str | None = None,
+        journal: str | None = None,
+        resume: bool = False,
+        resilience: object | bool | None = None,
     ):
         if jobs != "auto" and (not isinstance(jobs, int) or jobs < 1):
             raise ValueError(f"jobs must be >= 1 or 'auto', got {jobs!r}")
@@ -152,6 +164,9 @@ class EvaluationHarness:
         self.retries = retries
         self.cache = cache
         self.cache_dir = cache_dir
+        self.journal = journal
+        self.resume = resume
+        self.resilience = resilience
         self.custom_extract = extract is not None
         if extract is None:
             extractor = FormExtractor()
@@ -189,12 +204,20 @@ class EvaluationHarness:
                 retries=self.retries,
                 cache=self.cache,
                 cache_dir=self.cache_dir,
+                journal=self.journal,
+                resume=self.resume,
+                resilience=self.resilience,
             )
             stream = batch.iter_html(source.html for source in sources)
             for source, record in zip(sources, stream):
                 if self.metrics is not None:
                     if record.trace is not None:
                         self.metrics.record_trace(record.trace)
+                        level = (record.trace.get("tags") or {}).get(
+                            "degrade.level"
+                        )
+                        if level:
+                            self.metrics.inc(f"degrade.{level}")
                     if record.error is not None:
                         self.metrics.inc("evaluate.form_errors")
                 extracted = (
@@ -215,6 +238,13 @@ class EvaluationHarness:
                 self.metrics.inc("batch.cache.misses", report.cache_misses)
                 self.metrics.inc(
                     "batch.dedupe.collapsed", report.dedupe_collapsed
+                )
+                self.metrics.inc("batch.resume.skipped", report.resume_skipped)
+                self.metrics.inc(
+                    "batch.resume.corrupt_lines", report.journal_corrupt_lines
+                )
+                self.metrics.inc(
+                    "batch.cache.corrupt_records", report.cache_corrupt_records
                 )
             batch.close()
             return result

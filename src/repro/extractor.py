@@ -40,6 +40,16 @@ from repro.parser.parser import (
     ParserConfig,
     ParseStats,
 )
+from repro.resilience.guard import ResourceGuard
+from repro.resilience.ladder import (
+    LEVEL_CAPPED,
+    LEVEL_FULL,
+    LEVEL_HEURISTIC,
+    LEVEL_MINIMAL,
+    DegradationReport,
+    ResilienceConfig,
+    token_dump_model,
+)
 from repro.semantics.condition import SemanticModel
 from repro.tokens.tokenizer import FormTokenizer
 from repro.tokens.model import Token
@@ -74,11 +84,25 @@ class ExtractionResult:
     report: MergeReport
     tokens: list[Token]
     trace: Trace = field(default_factory=Trace)
+    #: Downgrades the resilient ladder recorded (empty on the full level
+    #: and for non-resilient extractions).
+    degradation: list[DegradationReport] = field(default_factory=list)
 
     @property
     def warnings(self) -> list[str]:
         """Non-fatal degradations recorded along the pipeline."""
         return self.trace.warnings
+
+    @property
+    def level(self) -> str:
+        """The ladder level this extraction landed on."""
+        worst = LEVEL_FULL
+        order = {LEVEL_FULL: 0, LEVEL_CAPPED: 1, LEVEL_HEURISTIC: 2,
+                 LEVEL_MINIMAL: 3}
+        for report in self.degradation:
+            if order.get(report.level, 0) > order[worst]:
+                worst = report.level
+        return worst
 
 
 class FormExtractor:
@@ -104,6 +128,7 @@ class FormExtractor:
         parser_config: ParserConfig | None = None,
         metrics: MetricsRegistry | None = None,
         cache: ExtractionCache | None = None,
+        resilience: ResilienceConfig | bool | None = None,
     ):
         # The cached grammar is shared across extractors (and with it the
         # cached schedule), so per-form extractor construction stays cheap.
@@ -112,6 +137,11 @@ class FormExtractor:
         self.merger = Merger()
         self.metrics = metrics if metrics is not None else get_global_registry()
         self.cache = cache
+        if resilience is True:
+            resilience = ResilienceConfig()
+        elif resilience is False:
+            resilience = None
+        self.resilience: ResilienceConfig | None = resilience
 
     # -- main entry points --------------------------------------------------------
 
@@ -119,19 +149,35 @@ class FormExtractor:
         """Extract the semantic model of the *form_index*-th form in *html*."""
         return self.extract_detailed(html, form_index).model
 
-    def extract_detailed(self, html: str, form_index: int = 0) -> ExtractionResult:
-        """Extract, returning the full pipeline trace."""
+    def extract_detailed(
+        self,
+        html: str,
+        form_index: int = 0,
+        guard: ResourceGuard | None = None,
+    ) -> ExtractionResult:
+        """Extract, returning the full pipeline trace.
+
+        A raise-mode *guard* (the batch engine's deadline fallback) is
+        threaded through every stage; with :attr:`resilience` configured
+        and no explicit guard, extraction routes through the degradation
+        ladder instead (see :meth:`extract_resilient`).
+        """
+        if self.resilience is not None and guard is None:
+            return self.extract_resilient(html, form_index)
         trace = Trace()
         with trace.span("html-parse") as span:
-            document = parse_html(html)
+            document = parse_html(html, guard=guard)
             span.count("chars", len(html))
-        return self.extract_from_document(document, form_index, trace=trace)
+        return self.extract_from_document(
+            document, form_index, trace=trace, guard=guard
+        )
 
     def extract_from_document(
         self,
         document: Document,
         form_index: int = 0,
         trace: Trace | None = None,
+        guard: ResourceGuard | None = None,
     ) -> ExtractionResult:
         """Extract from an already-parsed document.
 
@@ -144,7 +190,7 @@ class FormExtractor:
         """
         trace = trace if trace is not None else Trace()
         with trace.span("tokenize") as span:
-            tokenizer = FormTokenizer(document)
+            tokenizer = FormTokenizer(document, guard=guard)
             form = self._pick_form(document, form_index)
             if form is None:
                 trace.tags["form_fallback"] = True
@@ -158,17 +204,28 @@ class FormExtractor:
             tokens = tokenizer.tokenize(form)
             span.count("tokens", len(tokens))
             span.count("forms_on_page", len(document.forms))
-        return self.extract_from_tokens(tokens, trace=trace)
+        return self.extract_from_tokens(tokens, trace=trace, guard=guard)
 
     def extract_from_tokens(
-        self, tokens: list[Token], trace: Trace | None = None
+        self,
+        tokens: list[Token],
+        trace: Trace | None = None,
+        guard: ResourceGuard | None = None,
     ) -> ExtractionResult:
         """Parse and merge an existing token set.
 
         With a :attr:`cache` configured, a token-signature hit replays the
         stored outcome (recorded as a ``cache`` span tagged ``cache_hit``)
         instead of parsing; a miss parses normally and stores the result.
+        With :attr:`resilience` configured and no explicit guard, the
+        parse/merge stages run under the degradation ladder instead.
         """
+        if self.resilience is not None and guard is None:
+            cfg = self.resilience
+            ladder_guard = ResourceGuard(limits=cfg.limits, mode="degrade").start()
+            return self._ladder_from_tokens(
+                tokens, trace if trace is not None else Trace(), ladder_guard, cfg
+            )
         trace = trace if trace is not None else Trace()
         signature: str | None = None
         if self.cache is not None:
@@ -178,7 +235,7 @@ class FormExtractor:
                 span.count("hit", 1 if entry is not None else 0)
             if entry is not None:
                 return self._replay_cached(entry, tokens, trace)
-        parse = self.parser.parse(tokens)
+        parse = self.parser.parse(tokens, guard=guard)
         stats = parse.stats
         construct = trace.add_span(
             "parse.construct", stats.construction_seconds, counters=stats.counters()
@@ -191,7 +248,7 @@ class FormExtractor:
             counters={"trees": len(parse.trees)},
         )
         with trace.span("merge") as span:
-            report = self.merger.merge(parse)
+            report = self.merger.merge(parse, guard=guard)
             span.counters.update(report.counters())
         result = ExtractionResult(
             model=report.model,
@@ -249,6 +306,243 @@ class FormExtractor:
             tokens=len(tokens),
             conditions=len(model.conditions),
         )
+        return result
+
+    # -- the degradation ladder ---------------------------------------------------
+
+    def extract_resilient(
+        self,
+        html: str,
+        form_index: int = 0,
+        config: ResilienceConfig | None = None,
+    ) -> ExtractionResult:
+        """Extract under the degradation ladder: always return a model.
+
+        Runs the pipeline under a degrade-mode
+        :class:`~repro.resilience.guard.ResourceGuard` and steps down the
+        ladder (``full`` → ``capped`` → ``heuristic`` → ``minimal``) on
+        budget breaches or stage failures instead of raising.  Every
+        downgrade is a :class:`~repro.resilience.ladder.DegradationReport`
+        on :attr:`ExtractionResult.degradation`, mirrored into the trace
+        warnings/tags and counted as a ``degrade.<level>`` metric.
+
+        The only exception that escapes is :class:`FormNotFoundError`
+        (a caller error, not an input pathology).  Degraded results are
+        never cached.
+        """
+        cfg = config if config is not None else self.resilience
+        if cfg is None:
+            cfg = ResilienceConfig()
+        guard = ResourceGuard(limits=cfg.limits, mode="degrade").start()
+        trace = Trace()
+        tokens: list[Token] = []
+        structural: list[DegradationReport] = []
+        try:
+            with trace.span("html-parse") as span:
+                document = parse_html(html, guard=guard)
+                span.count("chars", len(html))
+                if document.truncated:
+                    span.tags["truncated"] = True
+                if document.depth_capped:
+                    span.tags["depth_capped"] = True
+                    structural.append(
+                        DegradationReport(
+                            level=LEVEL_CAPPED,
+                            stage="html-parse",
+                            reason="tree depth cap flattened deeply "
+                            "nested markup",
+                            resource="depth",
+                        )
+                    )
+        except Exception as exc:
+            trace.outcome = "ok"
+            return self._finish_ladder(
+                token_dump_model(tokens), None, None, tokens, trace, guard,
+                [self._stage_failure(LEVEL_MINIMAL, "html-parse", exc)],
+            )
+        try:
+            with trace.span("tokenize") as span:
+                tokenizer = FormTokenizer(document, guard=guard)
+                form = self._pick_form(document, form_index)
+                if form is None:
+                    trace.tags["form_fallback"] = True
+                    trace.warn(
+                        "document has no <form> element; "
+                        "tokenized the whole page"
+                    )
+                tokens = tokenizer.tokenize(form)
+                span.count("tokens", len(tokens))
+                span.count("forms_on_page", len(document.forms))
+        except FormNotFoundError:
+            raise
+        except Exception as exc:
+            trace.outcome = "ok"
+            return self._finish_ladder(
+                token_dump_model(tokens), None, None, tokens, trace, guard,
+                [self._stage_failure(LEVEL_MINIMAL, "tokenize", exc)],
+            )
+        return self._ladder_from_tokens(
+            tokens, trace, guard, cfg, prior=structural
+        )
+
+    def _ladder_from_tokens(
+        self,
+        tokens: list[Token],
+        trace: Trace,
+        guard: ResourceGuard,
+        cfg: ResilienceConfig,
+        prior: list[DegradationReport] | None = None,
+    ) -> ExtractionResult:
+        """Parse/merge rungs of the ladder (shared with token-level entry)."""
+        try:
+            parse = self.parser.parse(tokens, guard=guard)
+            stats = parse.stats
+            construct = trace.add_span(
+                "parse.construct",
+                stats.construction_seconds,
+                counters=stats.counters(),
+            )
+            if stats.truncated:
+                construct.tags["truncated"] = True
+            trace.add_span(
+                "parse.maximize",
+                stats.maximization_seconds,
+                counters={"trees": len(parse.trees)},
+            )
+            with trace.span("merge") as span:
+                report = self.merger.merge(parse, guard=guard)
+                span.counters.update(report.counters())
+        except Exception as exc:
+            trace.outcome = "ok"
+            return self._ladder_fallback(
+                tokens, trace, guard, cfg,
+                f"stage raised {type(exc).__name__}: {exc}",
+                prior=prior,
+            )
+        reports = list(prior or [])
+        reports += [
+            DegradationReport(
+                level=LEVEL_CAPPED,
+                stage=event.stage,
+                reason=event.describe(),
+                resource=event.resource,
+            )
+            for event in guard.events
+        ]
+        if parse.stats.truncated and not reports:
+            reports.append(
+                DegradationReport(
+                    level=LEVEL_CAPPED,
+                    stage="parse",
+                    reason="parser budget truncated the fix-point; "
+                    "best partial parses kept",
+                )
+            )
+        if reports and not report.model.conditions and tokens:
+            # A cap that left nothing behind is a failure in disguise --
+            # step down rather than hand back an empty "capped" model.
+            return self._ladder_fallback(
+                tokens, trace, guard, cfg,
+                "budget-capped parse produced no conditions",
+                prior=reports,
+            )
+        return self._finish_ladder(
+            report.model, parse, report, tokens, trace, guard, reports
+        )
+
+    def _ladder_fallback(
+        self,
+        tokens: list[Token],
+        trace: Trace,
+        guard: ResourceGuard,
+        cfg: ResilienceConfig,
+        reason: str,
+        prior: list[DegradationReport] | None = None,
+    ) -> ExtractionResult:
+        """Parse/merge gave nothing usable: step to heuristic, then minimal."""
+        reports = list(prior or [])
+        if cfg.heuristic_fallback:
+            try:
+                from repro.baseline.heuristic import HeuristicExtractor
+
+                model = HeuristicExtractor().extract_from_tokens(tokens)
+                reports.append(
+                    DegradationReport(LEVEL_HEURISTIC, "parse", reason)
+                )
+                return self._finish_ladder(
+                    model, None, None, tokens, trace, guard, reports
+                )
+            except Exception as heuristic_exc:
+                reports.append(
+                    DegradationReport(LEVEL_HEURISTIC, "parse", reason)
+                )
+                reports.append(
+                    self._stage_failure(
+                        LEVEL_MINIMAL, "heuristic", heuristic_exc
+                    )
+                )
+                return self._finish_ladder(
+                    token_dump_model(tokens), None, None, tokens, trace,
+                    guard, reports,
+                )
+        reports.append(DegradationReport(LEVEL_MINIMAL, "parse", reason))
+        return self._finish_ladder(
+            token_dump_model(tokens), None, None, tokens, trace, guard,
+            reports,
+        )
+
+    @staticmethod
+    def _stage_failure(
+        level: str, stage: str, exc: Exception
+    ) -> DegradationReport:
+        return DegradationReport(
+            level=level,
+            stage=stage,
+            reason=f"stage raised {type(exc).__name__}: {exc}",
+        )
+
+    def _finish_ladder(
+        self,
+        model: SemanticModel,
+        parse: ParseResult | None,
+        report: MergeReport | None,
+        tokens: list[Token],
+        trace: Trace,
+        guard: ResourceGuard,
+        reports: list[DegradationReport],
+    ) -> ExtractionResult:
+        """Assemble the result, surfacing every downgrade."""
+        if parse is None:
+            parse = ParseResult(
+                trees=[],
+                tokens=tokens,
+                instances=[],
+                stats=ParseStats(tokens=len(tokens)),
+            )
+        if report is None:
+            report = MergeReport(model=model)
+        result = ExtractionResult(
+            model=model,
+            parse=parse,
+            report=report,
+            tokens=tokens,
+            trace=trace,
+            degradation=list(reports),
+        )
+        for entry in reports:
+            trace.warn(entry.describe())
+        level = result.level
+        if level != LEVEL_FULL:
+            trace.tags["degrade.level"] = level
+            self.metrics.inc(f"degrade.{level}")
+            log_event(
+                _logger, logging.WARNING, "extract.degraded",
+                degrade_level=level,
+                reports=len(reports),
+                tokens=len(tokens),
+                conditions=len(model.conditions),
+            )
+        self.metrics.record_trace(trace)
         return result
 
     # -- helpers ---------------------------------------------------------------------

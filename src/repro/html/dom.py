@@ -93,11 +93,15 @@ class Node:
 class Document(Node):
     """The root of a parsed HTML tree."""
 
-    __slots__ = ("doctype",)
+    __slots__ = ("doctype", "truncated", "depth_capped")
 
     def __init__(self) -> None:
         super().__init__()
         self.doctype: str | None = None
+        #: True when the builder stopped early (input/node/deadline budget).
+        self.truncated: bool = False
+        #: True when elements beyond the depth cap were flattened.
+        self.depth_capped: bool = False
 
     def __repr__(self) -> str:
         return f"<Document children={len(self.children)}>"

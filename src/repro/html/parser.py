@@ -14,6 +14,8 @@ query forms in the wild:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.html.dom import Comment, Document, Element, Node, Text
 from repro.html.tokenizer import (
     CommentToken,
@@ -23,6 +25,17 @@ from repro.html.tokenizer import (
     StartTagToken,
     TextToken,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.guard import ResourceGuard
+
+#: Hard ceiling on the open-element stack.  Elements opened deeper than
+#: this are attached but not pushed (their content flattens onto the
+#: capped ancestor), which bounds DOM depth so the recursive layout
+#: engine can never blow the interpreter stack on 10k-deep nesting.
+#: Deliberately below the layout engine's own depth cap, so flattened
+#: content still renders instead of being dropped a second time.
+MAX_TREE_DEPTH = 120
 
 #: Elements that cannot have content.
 VOID_ELEMENTS = frozenset(
@@ -64,15 +77,36 @@ _CLOSE_BARRIERS: dict[str, frozenset[str]] = {
 class HTMLTreeBuilder:
     """Build a DOM tree from HTML text without ever rejecting the input."""
 
-    def __init__(self) -> None:
+    def __init__(self, max_depth: int = MAX_TREE_DEPTH) -> None:
         self._document = Document()
         self._stack: list[Element] = []
+        self._max_depth = max_depth
+        self._guard: ResourceGuard | None = None
+        self._stopped = False
 
     # -- public API -----------------------------------------------------------
 
-    def parse(self, html: str) -> Document:
-        """Parse *html* and return the resulting :class:`Document`."""
+    def parse(self, html: str, guard: ResourceGuard | None = None) -> Document:
+        """Parse *html* and return the resulting :class:`Document`.
+
+        With a *guard*, the builder cooperatively honors the input-size,
+        node, depth, and deadline budgets: in degrade mode a breach stops
+        consumption and marks ``document.truncated`` (the prefix tree is
+        returned); in raise mode it raises ``BudgetExceeded``.
+        """
+        self._guard = guard
+        if guard is not None:
+            admitted = guard.cap_input(len(html), "html-parse")
+            if admitted < len(html):
+                html = html[:admitted]
+                self._document.truncated = True
+            limit = guard.limits.max_depth
+            if limit is not None:
+                self._max_depth = min(self._max_depth, limit)
         for token in HTMLLexer(html).tokens():
+            if guard is not None and guard.tick("html-parse", stride=512):
+                self._document.truncated = True
+                break
             if isinstance(token, TextToken):
                 self._handle_text(token)
             elif isinstance(token, StartTagToken):
@@ -80,16 +114,28 @@ class HTMLTreeBuilder:
             elif isinstance(token, EndTagToken):
                 self._handle_end_tag(token)
             elif isinstance(token, CommentToken):
-                self._current().append_child(Comment(token.data))
+                if self._admit_node():
+                    self._current().append_child(Comment(token.data))
             elif isinstance(token, DoctypeToken):
                 if self._document.doctype is None:
                     self._document.doctype = token.data
+            if self._stopped:
+                self._document.truncated = True
+                break
         return self._document
 
     # -- token handlers ---------------------------------------------------------
 
     def _current(self) -> Node:
         return self._stack[-1] if self._stack else self._document
+
+    def _admit_node(self) -> bool:
+        if self._guard is None:
+            return True
+        if self._guard.admit_nodes(1, "html-parse"):
+            return True
+        self._stopped = True
+        return False
 
     def _handle_text(self, token: TextToken) -> None:
         if not token.data:
@@ -100,15 +146,26 @@ class HTMLTreeBuilder:
             last = parent.children[-1]
             last.data += token.data
             return
+        if not self._admit_node():
+            return
         parent.append_child(Text(token.data))
 
     def _handle_start_tag(self, token: StartTagToken) -> None:
         name = token.name
         self._close_open_select(name)
         self._apply_implicit_closes(name)
+        if not self._admit_node():
+            return
         element = Element(name, token.attributes)
         self._current().append_child(element)
         if name in VOID_ELEMENTS or token.self_closing:
+            return
+        if len(self._stack) >= self._max_depth:
+            # Too deep: attach but do not push -- deeper content flattens
+            # onto this level instead of growing the tree.
+            self._document.depth_capped = True
+            if self._guard is not None:
+                self._guard.admit_depth(len(self._stack) + 1, "html-parse")
             return
         self._stack.append(element)
 
@@ -156,6 +213,7 @@ class HTMLTreeBuilder:
         # Unmatched end tag: ignore, as browsers do.
 
 
-def parse_html(html: str) -> Document:
-    """Parse *html* into a :class:`Document` (never raises)."""
-    return HTMLTreeBuilder().parse(html)
+def parse_html(html: str, guard: ResourceGuard | None = None) -> Document:
+    """Parse *html* into a :class:`Document` (never raises without a
+    raise-mode *guard*)."""
+    return HTMLTreeBuilder().parse(html, guard=guard)

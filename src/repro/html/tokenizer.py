@@ -81,7 +81,12 @@ class HTMLLexer:
     begin a plausible tag is treated as literal text, as browsers do.
     """
 
-    def __init__(self, html: str):
+    def __init__(self, html: str, guard=None):
+        if guard is not None:
+            admitted = guard.cap_input(len(html), "html-lex")
+            if admitted < len(html):
+                html = html[:admitted]
+        self._guard = guard
         self._html = html
         self._length = len(html)
         self._pos = 0
@@ -90,8 +95,12 @@ class HTMLLexer:
         self._rawtext_tag: str | None = None
 
     def tokens(self) -> Iterator[LexToken]:
-        """Yield lexical tokens until the input is exhausted."""
+        """Yield lexical tokens until the input is exhausted (stopping
+        early when an attached guard's deadline passes)."""
+        guard = self._guard
         while self._pos < self._length:
+            if guard is not None and guard.tick("html-lex", stride=512):
+                break
             if self._rawtext_tag is not None:
                 token = self._lex_rawtext()
                 if token is not None:

@@ -18,8 +18,12 @@ test suite both assert exact topology.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.html.dom import Document, Element, Node, Text
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.guard import ResourceGuard
 from repro.layout.box import BBox
 from repro.layout.fonts import BOLD_FONT, DEFAULT_FONT, FontMetrics
 from repro.layout.style import (
@@ -40,6 +44,12 @@ BODY_MARGIN = 8
 
 #: Default viewport width, px.
 DEFAULT_VIEWPORT_WIDTH = 960
+
+#: Hard ceiling on layout recursion depth.  Elements nested deeper are
+#: laid out as empty leaves -- the engine recurses ~3 Python frames per
+#: DOM level (block > table > cell), so an uncapped 10k-deep tree would
+#: exhaust the interpreter stack long before producing useful geometry.
+MAX_LAYOUT_DEPTH = 150
 
 
 @dataclass(frozen=True)
@@ -82,6 +92,8 @@ class LayoutResult:
     elements_by_id: dict[int, Element] = field(default_factory=dict)
     viewport_width: int = DEFAULT_VIEWPORT_WIDTH
     height: float = 0.0
+    #: True when layout stopped early or skipped content (budget breach).
+    truncated: bool = False
 
     def box_of(self, element: Element) -> BBox | None:
         """Bounding box assigned to *element*, if it produced geometry."""
@@ -403,23 +415,61 @@ class LayoutEngine:
         self,
         viewport_width: int = DEFAULT_VIEWPORT_WIDTH,
         font: FontMetrics = DEFAULT_FONT,
+        max_depth: int = MAX_LAYOUT_DEPTH,
     ):
         self.viewport_width = viewport_width
         self.font = font
+        self.max_depth = max_depth
+        self._depth_cap = max_depth
+        self._guard: ResourceGuard | None = None
+        self._stopped = False
 
     # -- public API -------------------------------------------------------------
 
-    def layout(self, document: Document) -> LayoutResult:
-        """Lay out *document* and return all geometry."""
+    def layout(
+        self, document: Document, guard: ResourceGuard | None = None
+    ) -> LayoutResult:
+        """Lay out *document* and return all geometry.
+
+        With a *guard*, the engine checks the wall-clock deadline at
+        element boundaries and stops producing geometry once it passes
+        (``result.truncated`` is set); elements nested beyond the depth
+        cap are laid out as empty leaves either way.
+        """
+        self._guard = guard
+        self._stopped = False
+        depth_cap = self.max_depth
+        if guard is not None and guard.limits.max_depth is not None:
+            depth_cap = min(depth_cap, guard.limits.max_depth)
+        self._depth_cap = depth_cap
         result = LayoutResult(viewport_width=self.viewport_width)
         root: Node = document.body or document
         content_width = self.viewport_width - 2 * BODY_MARGIN
         bottom = self._layout_block_children(
-            root, BODY_MARGIN, BODY_MARGIN, content_width, result, bold=False
+            root, BODY_MARGIN, BODY_MARGIN, content_width, result, bold=False,
+            depth=0,
         )
         result.height = bottom
         self._assign_container_boxes(root, result)
+        if self._stopped:
+            result.truncated = True
         return result
+
+    def _over_depth(self, depth: int, result: LayoutResult) -> bool:
+        if depth <= self._depth_cap:
+            return False
+        result.truncated = True
+        if self._guard is not None:
+            self._guard.admit_depth(depth, "layout")
+        return True
+
+    def _deadline_hit(self) -> bool:
+        if self._stopped:
+            return True
+        if self._guard is not None and self._guard.tick("layout", stride=128):
+            self._stopped = True
+            return True
+        return False
 
     # -- block formatting ---------------------------------------------------------
 
@@ -431,8 +481,11 @@ class LayoutEngine:
         width: float,
         result: LayoutResult,
         bold: bool,
+        depth: int = 0,
     ) -> float:
         """Lay out *node*'s children in a block context; return the new y."""
+        if self._over_depth(depth, result):
+            return y
         inline_buffer: list[tuple[Node, bool]] = []
 
         def flush_inline(cursor_y: float) -> float:
@@ -441,11 +494,13 @@ class LayoutEngine:
                 return cursor_y
             flow = _InlineFlow(result, x, cursor_y, width, self.font)
             for item, item_bold in inline_buffer:
-                self._flow_inline(item, flow, item_bold, result)
+                self._flow_inline(item, flow, item_bold, result, depth + 1)
             inline_buffer = []
             return flow.finish()
 
         for child in node.children:
+            if self._deadline_hit():
+                break
             if isinstance(child, Text):
                 if child.data.strip():
                     inline_buffer.append((child, bold))
@@ -462,7 +517,9 @@ class LayoutEngine:
                 continue
             # Block-level child: flush pending inline content first.
             y = flush_inline(y)
-            y = self._layout_block_element(child, x, y, width, result, bold)
+            y = self._layout_block_element(
+                child, x, y, width, result, bold, depth + 1
+            )
         y = flush_inline(y)
         return y
 
@@ -474,6 +531,7 @@ class LayoutEngine:
         width: float,
         result: LayoutResult,
         bold: bool,
+        depth: int = 0,
     ) -> float:
         display = display_of(element)
         tag = element.tag
@@ -489,19 +547,21 @@ class LayoutEngine:
             return y + 2 + margin
 
         if display is Display.TABLE:
-            y = self._layout_table(element, x + indent, y, width - indent, result, child_bold)
+            y = self._layout_table(
+                element, x + indent, y, width - indent, result, child_bold, depth
+            )
         elif display in (Display.TABLE_ROW, Display.TABLE_CELL, Display.TABLE_ROW_GROUP):
             # Malformed table parts outside a table: treat as plain blocks.
             y = self._layout_block_children(
-                element, x + indent, y, width - indent, result, child_bold
+                element, x + indent, y, width - indent, result, child_bold, depth
             )
         elif display is Display.LIST_ITEM:
             y = self._layout_block_children(
-                element, x + 16, y, width - 16, result, child_bold
+                element, x + 16, y, width - 16, result, child_bold, depth
             )
         else:
             y = self._layout_block_children(
-                element, x + indent, y, width - indent, result, child_bold
+                element, x + indent, y, width - indent, result, child_bold, depth
             )
 
         if y > top:
@@ -510,9 +570,16 @@ class LayoutEngine:
         return y + margin
 
     def _flow_inline(
-        self, node: Node, flow: _InlineFlow, bold: bool, result: LayoutResult
+        self,
+        node: Node,
+        flow: _InlineFlow,
+        bold: bool,
+        result: LayoutResult,
+        depth: int = 0,
     ) -> None:
         """Feed an inline-level node (and descendants) into the line flow."""
+        if self._over_depth(depth, result):
+            return
         if isinstance(node, Text):
             flow.add_text(node, bold, _container_of(node),
                           _link_id_of(node), _label_for_of(node))
@@ -531,7 +598,7 @@ class LayoutEngine:
             return
         child_bold = bold or is_bold_context(node)
         for child in node.children:
-            self._flow_inline(child, flow, child_bold, result)
+            self._flow_inline(child, flow, child_bold, result, depth + 1)
 
     # -- table formatting -----------------------------------------------------
 
@@ -543,19 +610,26 @@ class LayoutEngine:
         available_width: float,
         result: LayoutResult,
         bold: bool,
+        depth: int = 0,
     ) -> float:
+        if self._over_depth(depth, result):
+            return y
         rows = self._table_rows(table)
         if not rows:
             return y
         padding = _int_attr(table, "cellpadding", DEFAULT_CELLPADDING)
         spacing = _int_attr(table, "cellspacing", DEFAULT_CELLSPACING)
 
-        column_widths = self._column_widths(rows, padding, available_width, spacing)
+        column_widths = self._column_widths(
+            rows, padding, available_width, spacing, depth
+        )
         column_count = len(column_widths)
         positioned = self._grid_positions(rows)
         top = y
         y += spacing
         for placed in positioned:
+            if self._deadline_hit():
+                break
             row_top = y
             cell_bottoms: list[float] = []
             for cell, column, span, rowspan in placed:
@@ -574,7 +648,8 @@ class LayoutEngine:
                 content_width = max(1.0, cell_width - 2 * padding)
                 cell_bold = bold or is_bold_context(cell)
                 bottom = self._layout_block_children(
-                    cell, content_x, row_top + padding, content_width, result, cell_bold
+                    cell, content_x, row_top + padding, content_width, result,
+                    cell_bold, depth + 1,
                 )
                 bottom += padding
                 if rowspan == 1:
@@ -649,6 +724,7 @@ class LayoutEngine:
         padding: int,
         available_width: float,
         spacing: int,
+        depth: int = 0,
     ) -> list[float]:
         positioned = self._grid_positions(rows)
         column_count = 0
@@ -661,7 +737,7 @@ class LayoutEngine:
         for placed in positioned:
             for cell, column, span, _rowspan in placed:
                 if span == 1 and column < column_count:
-                    need = self._intrinsic_width(cell) + 2 * padding
+                    need = self._intrinsic_width(cell, depth + 1) + 2 * padding
                     widths[column] = max(widths[column], need)
 
         # Second pass: column-spanning cells widen their columns if needed.
@@ -669,7 +745,7 @@ class LayoutEngine:
             for cell, column, span, _rowspan in placed:
                 if span > 1:
                     upper = min(column + span, column_count)
-                    need = self._intrinsic_width(cell) + 2 * padding
+                    need = self._intrinsic_width(cell, depth + 1) + 2 * padding
                     current = sum(widths[column:upper]) + (upper - column - 1) * spacing
                     if need > current and upper > column:
                         extra = (need - current) / (upper - column)
@@ -684,8 +760,10 @@ class LayoutEngine:
 
     # -- intrinsic (max-content) measurement ------------------------------------
 
-    def _intrinsic_width(self, node: Node) -> float:
+    def _intrinsic_width(self, node: Node, depth: int = 0) -> float:
         """Max-content width of *node* (no wrapping except at ``<br>``)."""
+        if depth > self._depth_cap:
+            return 0.0
         if isinstance(node, Text):
             lines = node.data.split("\n")
             return max(
@@ -705,7 +783,9 @@ class LayoutEngine:
             spacing = _int_attr(node, "cellspacing", DEFAULT_CELLSPACING)
             if not rows:
                 return 0.0
-            widths = self._column_widths(rows, padding, float("inf"), spacing)
+            widths = self._column_widths(
+                rows, padding, float("inf"), spacing, depth
+            )
             return sum(widths) + (len(widths) + 1) * spacing
 
         # Inline/block container: longest segment between explicit breaks.
@@ -713,8 +793,10 @@ class LayoutEngine:
         current = 0.0
         pending_space = False
 
-        def walk(element: Element, bold: bool) -> None:
+        def walk(element: Element, bold: bool, walk_depth: int) -> None:
             nonlocal best, current, pending_space
+            if walk_depth > self._depth_cap:
+                return
             font = BOLD_FONT if bold else self.font
             for child in element.children:
                 if isinstance(child, Text):
@@ -740,7 +822,10 @@ class LayoutEngine:
                     current = 0.0
                     pending_space = False
                     if child.tag != "br":
-                        best = max(best, self._intrinsic_width(child))
+                        best = max(
+                            best,
+                            self._intrinsic_width(child, depth + walk_depth + 1),
+                        )
                     continue
                 if is_control(child) or child.tag == "img":
                     if pending_space and current > 0:
@@ -748,10 +833,10 @@ class LayoutEngine:
                         pending_space = False
                     current += control_size(child, self.font)[0]
                     continue
-                walk(child, bold or is_bold_context(child))
+                walk(child, bold or is_bold_context(child), walk_depth + 1)
 
         if isinstance(node, Element):
-            walk(node, is_bold_context(node))
+            walk(node, is_bold_context(node), 1)
         best = max(best, current)
         return best
 
@@ -760,6 +845,9 @@ class LayoutEngine:
     def _assign_container_boxes(self, root: Node, result: LayoutResult) -> None:
         """Give forms and other containers the union box of their contents."""
         for element in root.iter_elements():
+            if self._guard is not None and self._guard.tick("layout", stride=128):
+                self._stopped = True
+                break
             if id(element) in result.element_boxes:
                 continue
             boxes = [
@@ -776,7 +864,9 @@ class LayoutEngine:
 
 
 def layout_document(
-    document: Document, viewport_width: int = DEFAULT_VIEWPORT_WIDTH
+    document: Document,
+    viewport_width: int = DEFAULT_VIEWPORT_WIDTH,
+    guard: ResourceGuard | None = None,
 ) -> LayoutResult:
     """Lay out *document* with the default engine configuration."""
-    return LayoutEngine(viewport_width=viewport_width).layout(document)
+    return LayoutEngine(viewport_width=viewport_width).layout(document, guard=guard)

@@ -15,11 +15,15 @@ needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.grammar.instance import Instance
 from repro.parser.parser import ParseResult
 from repro.semantics.condition import Condition, SemanticModel
 from repro.tokens.model import Token
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.guard import ResourceGuard
 
 
 @dataclass(frozen=True)
@@ -69,8 +73,19 @@ class Merger:
     #: CP instances carry their condition under this payload key.
     CONDITION_KEY = "condition"
 
-    def merge(self, result: ParseResult) -> MergeReport:
-        """Merge *result*'s maximal trees into one semantic model."""
+    def merge(
+        self, result: ParseResult, guard: ResourceGuard | None = None
+    ) -> MergeReport:
+        """Merge *result*'s maximal trees into one semantic model.
+
+        The merge is bounded by the (already budgeted) instance count, so
+        the *guard* is consulted once on entry: a raise-mode guard whose
+        deadline already passed aborts before any merge work; a
+        degrade-mode guard merely records the breach -- merging the trees
+        we have is precisely the best-effort answer.
+        """
+        if guard is not None:
+            guard.over_deadline("merge")
         extracted = self._collect_conditions(result.trees)
         conditions = self._dedupe([entry.condition for entry in extracted])
         conflict_tokens = self._conflicts(extracted, result.tokens)

@@ -63,6 +63,10 @@ from repro.parser.spatial_index import (
     v_allows,
 )
 from repro.tokens.model import Token
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.guard import ResourceGuard
 
 #: Recognised fix-point evaluation strategies.
 EVALUATION_MODES = ("seminaive", "naive")
@@ -143,6 +147,10 @@ class ParseStats:
     #: Symbols whose fix-point exhausted its per-symbol combination budget.
     symbol_truncations: int = 0
     truncated: bool = False
+    #: True when a :class:`~repro.resilience.guard.ResourceGuard` deadline
+    #: stopped construction early (a form of truncation: the partial trees
+    #: built so far are still maximized and merged).
+    deadline_exceeded: bool = False
     elapsed_seconds: float = 0.0
     #: Phase split of ``elapsed_seconds``: fix-point construction plus
     #: just-in-time pruning vs. partial-tree maximization.  Feeds the
@@ -168,6 +176,7 @@ class ParseStats:
             "spatial_memo_hits": self.spatial_memo_hits,
             "symbol_truncations": self.symbol_truncations,
             "truncated": int(self.truncated),
+            "deadline_exceeded": int(self.deadline_exceeded),
         }
 
 
@@ -317,21 +326,42 @@ class BestEffortParser:
 
     # -- public API -------------------------------------------------------------
 
-    def parse(self, tokens: list[Token]) -> ParseResult:
-        """Parse *tokens* into maximum partial trees (never raises on input)."""
+    def parse(
+        self, tokens: list[Token], guard: ResourceGuard | None = None
+    ) -> ParseResult:
+        """Parse *tokens* into maximum partial trees (never raises on input).
+
+        A degrade-mode *guard* deadline behaves exactly like budget
+        exhaustion: construction stops at a clean point, the trees built
+        so far are maximized, and ``stats.deadline_exceeded`` is set
+        alongside ``stats.truncated``.  (A raise-mode guard propagates
+        ``BudgetExceeded`` instead -- an explicit caller opt-out of the
+        never-raises contract.)
+        """
         started = time.perf_counter()
         stats = ParseStats(tokens=len(tokens))
+        combos_budget = self.config.max_combos
+        if guard is not None and guard.limits.max_combos is not None:
+            combos_budget = min(combos_budget, guard.limits.max_combos)
         state = _ParseState(
             instances_left=self.config.max_instances,
-            combos_left=self.config.max_combos,
+            combos_left=combos_budget,
         )
         for token in tokens:
             state.register(Instance.for_token(token))
 
         for symbol in self.schedule.order:
-            created = self._instantiate(symbol, state, stats)
+            if guard is not None and guard.over_deadline("parse"):
+                stats.truncated = True
+                stats.deadline_exceeded = True
+                break
+            created = self._instantiate(symbol, state, stats, guard)
             state.instances_left -= created
-            exhausted = state.instances_left <= 0 or state.combos_left <= 0
+            exhausted = (
+                state.instances_left <= 0
+                or state.combos_left <= 0
+                or stats.deadline_exceeded
+            )
             if exhausted:
                 stats.truncated = True
             if self.config.enable_preferences:
@@ -356,7 +386,11 @@ class BestEffortParser:
     # -- phase 1: fix-point instantiation ------------------------------------------
 
     def _instantiate(
-        self, symbol: str, state: _ParseState, stats: ParseStats
+        self,
+        symbol: str,
+        state: _ParseState,
+        stats: ParseStats,
+        guard: ResourceGuard | None = None,
     ) -> int:
         """Run ``instantiate(A)`` (paper Figure 11); return #created."""
         productions = self.grammar.productions_for(symbol)
@@ -369,10 +403,12 @@ class BestEffortParser:
             self.config.max_combos_per_instance * max(1, state.instances_left)
         )
         if self.config.evaluation == "naive":
-            created = self._instantiate_naive(symbol, productions, state, cap, stats)
+            created = self._instantiate_naive(
+                symbol, productions, state, cap, stats, guard
+            )
         else:
             created = self._instantiate_seminaive(
-                symbol, productions, state, cap, stats
+                symbol, productions, state, cap, stats, guard
             )
         if cap.combos_left <= 0:
             stats.symbol_truncations += 1
@@ -385,6 +421,7 @@ class BestEffortParser:
         state: _ParseState,
         cap: _SymbolBudget,
         stats: ParseStats,
+        guard: ResourceGuard | None = None,
     ) -> int:
         """Frontier-based fix-point: round *k* only enumerates combinations
         containing at least one instance created in round *k - 1*."""
@@ -429,10 +466,14 @@ class BestEffortParser:
                     new_instances.extend(
                         self._apply_seminaive(
                             production, pools, fixed_pools, indexes, memo,
-                            state, cap, stats, remaining,
+                            state, cap, stats, remaining, guard,
                         )
                     )
-                    if cap.combos_left <= 0 or state.combos_left <= 0:
+                    if (
+                        cap.combos_left <= 0
+                        or state.combos_left <= 0
+                        or stats.deadline_exceeded
+                    ):
                         stats.truncated = True
                         stop = True
                         break
@@ -507,6 +548,7 @@ class BestEffortParser:
         cap: _SymbolBudget,
         stats: ParseStats,
         budget: int,
+        guard: ResourceGuard | None = None,
     ) -> list[Instance]:
         """Apply one production over one pool plan, creating at most
         *budget* new instances."""
@@ -523,6 +565,10 @@ class BestEffortParser:
                 or state.combos_left <= 0
             ):
                 stats.truncated = True
+                break
+            if guard is not None and guard.tick("parse"):
+                stats.truncated = True
+                stats.deadline_exceeded = True
                 break
             cap.combos_left -= 1
             state.combos_left -= 1
@@ -694,6 +740,7 @@ class BestEffortParser:
         state: _ParseState,
         cap: _SymbolBudget,
         stats: ParseStats,
+        guard: ResourceGuard | None = None,
     ) -> int:
         """The original fix-point: full cartesian re-enumeration each round
         with a ``seen_keys`` dedup set and no spatial pre-filtering."""
@@ -713,10 +760,15 @@ class BestEffortParser:
                     break
                 new_instances.extend(
                     self._apply_naive(
-                        production, state, seen_keys, cap, stats, remaining
+                        production, state, seen_keys, cap, stats, remaining,
+                        guard,
                     )
                 )
-                if cap.combos_left <= 0 or state.combos_left <= 0:
+                if (
+                    cap.combos_left <= 0
+                    or state.combos_left <= 0
+                    or stats.deadline_exceeded
+                ):
                     stats.truncated = True
                     stop = True
                     break
@@ -734,6 +786,7 @@ class BestEffortParser:
         cap: _SymbolBudget,
         stats: ParseStats,
         budget: int,
+        guard: ResourceGuard | None = None,
     ) -> list[Instance]:
         """Apply one production against the current live instances,
         creating at most *budget* new instances."""
@@ -753,6 +806,10 @@ class BestEffortParser:
                 or state.combos_left <= 0
             ):
                 stats.truncated = True
+                break
+            if guard is not None and guard.tick("parse"):
+                stats.truncated = True
+                stats.deadline_exceeded = True
                 break
             key = (production.name, tuple(inst.uid for inst in combo))
             if key in seen_keys:

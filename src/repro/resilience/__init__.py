@@ -1,0 +1,51 @@
+"""Resilience: resource guarding and best-effort degradation.
+
+The paper's thesis is *best-effort* understanding -- "a parser that does
+not give up" -- but that promise has to hold for the whole pipeline, not
+just the 2P parser.  This package provides the two halves of that
+guarantee:
+
+* :class:`ResourceGuard` -- a cooperative budget (wall-clock deadline,
+  DOM node and depth caps, token and combo ceilings, max input size)
+  that every pipeline stage checks at loop boundaries.  In ``"raise"``
+  mode a breach aborts with a typed :class:`BudgetExceeded`; in
+  ``"degrade"`` mode stages truncate their output and record a
+  :class:`GuardEvent` instead, so callers can keep partial results.
+* The degradation ladder (:mod:`repro.resilience.ladder`) -- the ordered
+  quality levels ``full > capped > heuristic > minimal`` that
+  :meth:`repro.extractor.FormExtractor.extract_resilient` walks down,
+  emitting a :class:`DegradationReport` per downgrade so that quality
+  traded for termination is always surfaced, never silent.
+"""
+
+from repro.resilience.guard import (
+    BudgetExceeded,
+    GuardEvent,
+    ResourceGuard,
+    ResourceLimits,
+)
+from repro.resilience.ladder import (
+    LEVEL_CAPPED,
+    LEVEL_FULL,
+    LEVEL_HEURISTIC,
+    LEVEL_MINIMAL,
+    LEVELS,
+    DegradationReport,
+    ResilienceConfig,
+    token_dump_model,
+)
+
+__all__ = [
+    "BudgetExceeded",
+    "DegradationReport",
+    "GuardEvent",
+    "LEVELS",
+    "LEVEL_CAPPED",
+    "LEVEL_FULL",
+    "LEVEL_HEURISTIC",
+    "LEVEL_MINIMAL",
+    "ResilienceConfig",
+    "ResourceGuard",
+    "ResourceLimits",
+    "token_dump_model",
+]

@@ -1,0 +1,134 @@
+"""The degradation ladder: ordered quality levels and their reports.
+
+When a stage breaches its budget or fails outright, the extractor does
+not give up -- it steps down a ladder of progressively cheaper models:
+
+* ``full``      -- the complete 2P parse; nothing was traded.
+* ``capped``    -- the parse (or an upstream stage) was truncated by a
+  budget: the best partial parse trees found so far are merged as-is.
+* ``heuristic`` -- parse or merge failed entirely; the pairwise
+  proximity baseline (:mod:`repro.baseline.heuristic`) runs on whatever
+  tokens exist.
+* ``minimal``   -- even the heuristic is unavailable: a token-dump
+  model exposes one bare condition per input control (or an empty model
+  when tokenization itself failed), so a client always receives *some*
+  structured capability description.
+
+Every downgrade is a :class:`DegradationReport` -- recorded in the
+extraction warnings, tagged on the trace, and counted as a
+``degrade.<level>`` metric -- so lost quality is observable, never
+silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.guard import ResourceLimits
+from repro.semantics.condition import Condition, Domain, SemanticModel
+from repro.tokens.model import INPUT_TERMINALS, Token
+
+#: Ladder levels, best first.
+LEVEL_FULL = "full"
+LEVEL_CAPPED = "capped"
+LEVEL_HEURISTIC = "heuristic"
+LEVEL_MINIMAL = "minimal"
+LEVELS: tuple[str, ...] = (
+    LEVEL_FULL, LEVEL_CAPPED, LEVEL_HEURISTIC, LEVEL_MINIMAL,
+)
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """One recorded downgrade on the ladder.
+
+    Attributes:
+        level: The level the extraction landed on *because of* this event
+            (``capped``, ``heuristic``, or ``minimal`` -- never ``full``).
+        stage: Pipeline stage where the trigger occurred.
+        reason: Human-readable cause (budget breach, exception, ...).
+        resource: The breached budget name when the trigger was a
+            :class:`~repro.resilience.guard.GuardEvent`, else ``None``.
+    """
+
+    level: str
+    stage: str
+    reason: str
+    resource: str | None = None
+
+    def describe(self) -> str:
+        return f"degraded to {self.level} at {self.stage}: {self.reason}"
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tunables of :meth:`FormExtractor.extract_resilient`.
+
+    Plain-data and picklable so the batch engine can ship it to pool
+    workers via initargs.
+
+    Attributes:
+        limits: Budgets for the per-extraction
+            :class:`~repro.resilience.guard.ResourceGuard`.
+        heuristic_fallback: Allow the ``heuristic`` ladder level; when
+            False a parse/merge failure steps straight to ``minimal``.
+    """
+
+    limits: ResourceLimits = field(default_factory=ResourceLimits)
+    heuristic_fallback: bool = True
+
+
+def token_dump_model(tokens: list[Token] | None) -> SemanticModel:
+    """The ladder's last rung: one bare condition per input control.
+
+    No label association, no grouping beyond shared radio/checkbox
+    names -- just enough structure that a client sees which inputs the
+    form exposes.  ``None`` / empty tokens yield an empty model.
+    """
+    conditions: list[Condition] = []
+    seen_groups: set[str] = set()
+    for token in tokens or []:
+        if token.terminal not in INPUT_TERMINALS:
+            continue
+        name = token.name or ""
+        if token.terminal in ("radiobutton", "checkbox"):
+            group_key = f"{token.terminal}:{name}"
+            if name and group_key in seen_groups:
+                continue
+            seen_groups.add(group_key)
+            values = tuple(
+                str(other.attrs.get("value", ""))
+                for other in tokens or []
+                if other.terminal == token.terminal
+                and (other.name or "") == name
+            )
+            conditions.append(
+                Condition(
+                    attribute=name,
+                    operators=("in",) if token.terminal == "checkbox" else ("=",),
+                    domain=Domain("enum", values),
+                    fields=(name,) if name else (),
+                )
+            )
+        elif token.terminal in ("selectlist", "listbox"):
+            values = tuple(
+                option.label for option in token.options if option.label
+            )
+            conditions.append(
+                Condition(
+                    attribute=name,
+                    operators=("=",),
+                    domain=Domain("enum", values),
+                    fields=(name,) if name else (),
+                )
+            )
+        else:
+            conditions.append(
+                Condition(
+                    attribute=name,
+                    operators=("contains",),
+                    domain=Domain("text"),
+                    fields=(name,) if name else (),
+                )
+            )
+    return SemanticModel(conditions=conditions)

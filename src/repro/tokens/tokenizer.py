@@ -9,9 +9,12 @@ single token ``"Title:"``).
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.html.dom import Document, Element
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.guard import ResourceGuard
 from repro.html.parser import parse_html
 from repro.layout.box import BBox
 from repro.layout.engine import (
@@ -53,9 +56,17 @@ _INPUT_TERMINAL_BY_TYPE: dict[str, str] = {
 class FormTokenizer:
     """Convert one rendered query form into a token set."""
 
-    def __init__(self, document: Document, layout: LayoutResult | None = None):
+    def __init__(
+        self,
+        document: Document,
+        layout: LayoutResult | None = None,
+        guard: ResourceGuard | None = None,
+    ):
         self._document = document
-        self._layout = layout if layout is not None else layout_document(document)
+        self._guard = guard
+        self._layout = (
+            layout if layout is not None else layout_document(document, guard=guard)
+        )
 
     # -- public API -----------------------------------------------------------
 
@@ -99,6 +110,10 @@ class FormTokenizer:
             raw.append((box, "text", attrs))
 
         raw.sort(key=lambda item: (item[0].top, item[0].left, item[0].right))
+        if self._guard is not None:
+            # Token ceiling: keep the reading-order prefix so the parser
+            # sees a coherent (if incomplete) top-of-form token set.
+            raw = raw[: self._guard.cap_count("tokens", len(raw), "tokenize")]
         return [
             Token(id=index, terminal=terminal, bbox=box, attrs=attrs)
             for index, (box, terminal, attrs) in enumerate(raw)

@@ -1,0 +1,115 @@
+"""Unit tests for the resumable batch journal."""
+
+import json
+
+from repro.batch.journal import BatchJournal, job_key
+
+
+def _payload(name: str, error: str | None = None) -> dict:
+    return {"model": {"name": name}, "error": error}
+
+
+class TestJobKey:
+    def test_binds_position_and_signature(self):
+        assert job_key(3, "abc123") == "3:abc123"
+
+    def test_unsigned_inputs_fall_back_to_position(self):
+        assert job_key(0, None) == "0:unsigned"
+
+
+class TestRoundTrip:
+    def test_append_then_resume(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        writer = BatchJournal(path)
+        writer.append("0:a", _payload("first"))
+        writer.append("1:b", _payload("second"))
+        reader = BatchJournal(path, resume=True)
+        assert len(reader) == 2
+        assert reader.corrupt_lines == 0
+        assert reader.completed_payload("0:a") == _payload("first")
+        assert reader.completed_payload("2:c") is None
+
+    def test_write_only_mode_does_not_load(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        BatchJournal(path).append("0:a", _payload("first"))
+        fresh = BatchJournal(path)  # resume=False: checkpoint-only
+        assert len(fresh) == 0
+        assert fresh.completed_payload("0:a") is None
+
+    def test_missing_file_resumes_empty(self, tmp_path):
+        journal = BatchJournal(tmp_path / "absent.jsonl", resume=True)
+        assert len(journal) == 0
+        assert journal.corrupt_lines == 0
+
+    def test_newest_line_per_key_wins(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        writer = BatchJournal(path)
+        writer.append("0:a", _payload("stale"))
+        writer.append("0:a", _payload("fresh"))
+        reader = BatchJournal(path, resume=True)
+        assert reader.completed_payload("0:a") == _payload("fresh")
+
+    def test_error_records_are_not_resume_skippable(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        BatchJournal(path).append("0:a", _payload("broken", error="Boom"))
+        reader = BatchJournal(path, resume=True)
+        assert len(reader) == 1  # documented ...
+        assert reader.completed_payload("0:a") is None  # ... but re-run
+
+
+class TestDamageTolerance:
+    def test_torn_trailing_line_is_quarantined(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        writer = BatchJournal(path)
+        writer.append("0:a", _payload("kept"))
+        writer.append("1:b", _payload("torn"))
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-10])  # SIGKILL mid-write
+        reader = BatchJournal(path, resume=True)
+        assert reader.corrupt_lines == 1
+        assert reader.completed_payload("0:a") == _payload("kept")
+        assert reader.completed_payload("1:b") is None
+
+    def test_append_heals_a_torn_tail(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        writer = BatchJournal(path)
+        writer.append("0:a", _payload("kept"))
+        writer.append("1:b", _payload("torn"))
+        path.write_bytes(path.read_bytes()[:-10])
+        # A successor run appends more records after the torn tail; the
+        # new record must not fuse with the fragment.
+        BatchJournal(path).append("2:c", _payload("after"))
+        reader = BatchJournal(path, resume=True)
+        assert reader.corrupt_lines == 1
+        assert reader.completed_payload("0:a") == _payload("kept")
+        assert reader.completed_payload("2:c") == _payload("after")
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        BatchJournal(path).append("0:a", _payload("original"))
+        line = json.loads(path.read_text())
+        line["record"]["model"]["name"] = "tampered"
+        path.write_text(json.dumps(line) + "\n")
+        reader = BatchJournal(path, resume=True)
+        assert reader.corrupt_lines == 1
+        assert reader.completed_payload("0:a") is None
+
+    def test_foreign_lines_are_quarantined(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(
+            "not json at all\n"
+            '{"v": 99, "key": "0:a", "record": {}}\n'
+            '{"v": 1, "key": 7, "record": {}}\n'
+            "\n"
+        )
+        BatchJournal(path).append("0:a", _payload("good"))
+        reader = BatchJournal(path, resume=True)
+        assert reader.corrupt_lines == 3  # blank lines are not corruption
+        assert reader.completed_payload("0:a") == _payload("good")
+
+    def test_disk_trouble_is_swallowed(self, tmp_path):
+        # Checkpointing is best-effort: an unwritable journal must not
+        # fail the batch, and the in-memory view still advances.
+        journal = BatchJournal(tmp_path)  # a directory: open() fails
+        journal.append("0:a", _payload("memory-only"))
+        assert journal.completed_payload("0:a") == _payload("memory-only")

@@ -1,0 +1,116 @@
+"""Kill-and-resume: SIGKILL a batch mid-flight, resume, lose nothing.
+
+The worker subprocess extracts a fixed list of forms serially, pacing
+itself so the parent can observe the journal growing.  Once a few
+outcomes are checkpointed the worker is SIGKILLed -- no cleanup, no
+``atexit``, possibly mid-write.  A resume run must then skip the
+journaled forms, re-extract the rest, and produce the exact union an
+uninterrupted run produces.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.batch import BatchExtractor
+from repro.datasets.domains import DOMAINS
+from repro.datasets.generator import SourceGenerator
+
+FORM_COUNT = 8
+
+WORKER_SCRIPT = """\
+import json
+import sys
+import time
+
+from repro.batch import BatchExtractor
+
+htmls = json.load(open(sys.argv[1], encoding="utf-8"))
+batch = BatchExtractor(jobs=1, journal=sys.argv[2])
+for record in batch.iter_html(htmls):
+    # Pace the run so the parent can kill us with work still pending.
+    time.sleep(0.2)
+"""
+
+
+def _sources() -> list[str]:
+    generator = SourceGenerator(DOMAINS["Books"])
+    return [
+        source.html
+        for source in generator.generate_many(FORM_COUNT, base_seed=777)
+    ]
+
+
+def _journal_lines(path) -> int:
+    try:
+        return path.read_bytes().count(b"\n")
+    except OSError:
+        return 0
+
+
+@pytest.mark.slow
+def test_sigkill_then_resume_recovers_every_form(tmp_path):
+    htmls = _sources()
+    inputs = tmp_path / "inputs.json"
+    inputs.write_text(json.dumps(htmls), encoding="utf-8")
+    journal = tmp_path / "journal.jsonl"
+    script = tmp_path / "worker.py"
+    script.write_text(WORKER_SCRIPT, encoding="utf-8")
+
+    env = dict(os.environ)
+    repo_src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(repo_src)
+    worker = subprocess.Popen(
+        [sys.executable, str(script), str(inputs), str(journal)],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        while _journal_lines(journal) < 3:
+            if worker.poll() is not None:
+                pytest.fail(
+                    f"worker exited early with {worker.returncode} after "
+                    f"{_journal_lines(journal)} journal lines"
+                )
+            if time.monotonic() > deadline:
+                pytest.fail("worker never reached 3 journal lines")
+            time.sleep(0.05)
+        worker.send_signal(signal.SIGKILL)
+        worker.wait(timeout=30)
+    finally:
+        if worker.poll() is None:
+            worker.kill()
+            worker.wait(timeout=30)
+
+    checkpointed = _journal_lines(journal)
+    assert 3 <= checkpointed < FORM_COUNT
+
+    resumed = BatchExtractor(jobs=1, journal=str(journal), resume=True)
+    stream = resumed.iter_html(htmls)
+    records = list(stream)
+    report = stream.report()
+    baseline = [
+        record.model.describe()
+        for record in BatchExtractor(jobs=1).iter_html(htmls)
+    ]
+
+    assert [record.error for record in records] == [None] * FORM_COUNT
+    assert [record.model.describe() for record in records] == baseline
+    assert 1 <= report.resume_skipped <= checkpointed
+    assert sum(record.resumed for record in records) == report.resume_skipped
+    # A SIGKILL can tear at most the one line being written.
+    assert report.journal_corrupt_lines <= 1
+
+    # The resume run re-journals what it re-extracted: a third run skips
+    # everything.
+    third = BatchExtractor(jobs=1, journal=str(journal), resume=True)
+    stream = third.iter_html(htmls)
+    list(stream)
+    assert stream.report().resume_skipped == FORM_COUNT

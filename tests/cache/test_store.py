@@ -147,6 +147,46 @@ class TestDiskBacking:
         assert ExtractionCache(path=path).get("tok:a") is not None
 
 
+class TestChecksums:
+    def test_lines_carry_a_checksum(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        ExtractionCache(path=path).put("tok:a", _entry("a"))
+        line = json.loads(path.read_text())
+        assert line["v"] == 2
+        assert isinstance(line["sum"], int)
+
+    def test_tampered_line_is_quarantined(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        ExtractionCache(path=path).put("tok:a", _entry("a"))
+        line = json.loads(path.read_text())
+        line["entry"]["warnings"] = ["injected"]
+        path.write_text(json.dumps(line) + "\n", encoding="utf-8")
+        reader = ExtractionCache(path=path)
+        assert reader.get("tok:a") is None
+        assert reader.stats.corrupt_records == 1
+        assert reader.stats.as_dict()["corrupt_records"] == 1
+
+    def test_v1_lines_load_without_checksum(self, tmp_path):
+        # Files written before the checksum format must keep working.
+        path = tmp_path / "cache.jsonl"
+        line = {"v": 1, "sig": "tok:old", "entry": _entry("old").to_payload()}
+        path.write_text(json.dumps(line) + "\n", encoding="utf-8")
+        reader = ExtractionCache(path=path)
+        assert reader.get("tok:old") is not None
+        assert reader.stats.corrupt_records == 0
+
+    def test_corruption_counts_accumulate(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        ExtractionCache(path=path).put("tok:good", _entry("good"))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("garbage\n")
+            fh.write(json.dumps({"v": 99, "sig": "tok:x", "entry": {}}) + "\n")
+            fh.write(json.dumps({"v": 2, "sig": 7, "entry": {}}) + "\n")
+        reader = ExtractionCache(path=path)
+        assert reader.get("tok:good") is not None
+        assert reader.stats.corrupt_records == 3
+
+
 def _concurrent_put(args):
     """Worker: write one entry through its own cache instance."""
     path, tag = args

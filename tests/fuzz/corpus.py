@@ -1,0 +1,101 @@
+"""Seed corpus of malformed and adversarial HTML for the fuzz harness.
+
+Each seed is a named, hand-written document exercising one class of
+hostility the pipeline must survive: broken markup (unclosed or
+misnested tags, garbage attributes), resource attacks (deep nesting,
+entity bombs, huge token floods), layout pathologies (zero-area and
+overlapping boxes), and encoding trouble (mixed scripts, control
+characters, lone surrogates already replaced by U+FFFD).
+
+Seeds are plain strings so the mutator (:mod:`tests.fuzz.mutator`) can
+splice them deterministically.  Keep every seed small enough that the
+whole corpus extracts in well under a second on the happy path -- the
+point is shape, not size (the resource-attack seeds are the exception,
+and are still bounded).
+"""
+
+from __future__ import annotations
+
+#: name -> malformed HTML document.
+SEEDS: dict[str, str] = {
+    # -- broken markup ------------------------------------------------------------
+    "unclosed_tags": (
+        "<html><body><form><b>Title of Book <i>contains"
+        '<input type="text" name="title"><select name="fmt">'
+        "<option>Hardcover<option>Paperback</form>"
+    ),
+    "misnested_tags": (
+        "<form><b><i>Price</b></i> from <input name=min> to "
+        "<input name=max></i></b></form>"
+    ),
+    "orphan_closers": (
+        "</div></span></form><form></p>Author "
+        '<input type="text" name="author"></form></body></html>'
+    ),
+    "attribute_garbage": (
+        "<form action==\"'><input type=\"text\" name=title "
+        "value=\"a<b>c\" <=> data-x='unterminated>"
+        '<input type=submit x y z =></form>'
+    ),
+    "comment_soup": (
+        "<form><!-- <input name=ghost> --><!--->Keyword "
+        '<input name="kw"><!-- unterminated comment <input name=lost>'
+    ),
+    "cdata_and_pi": (
+        "<?php echo nope ?><form><![CDATA[<input name=trap>]]>"
+        'City <input name="city"></form><?xml version="1.0"?>'
+    ),
+    "script_with_markup": (
+        "<form><script>if (a<b) { document.write('<input name=js>'); }"
+        '</script>Departure <input name="depart"></form>'
+    ),
+    "no_form_element": (
+        "<html><body>Search by title <input type=text name=title>"
+        "<input type=submit value=Go></body></html>"
+    ),
+    # -- resource attacks ---------------------------------------------------------
+    "deep_nesting": (
+        "<form>" + "<div>" * 10_000 + '<input name="deep">'
+        + "</div>" * 10_000 + "</form>"
+    ),
+    "deep_font_stack": (
+        "<form>" + "<font size=1>" * 2_000 + "Title <input name=t>"
+        + "</font>" * 2_000 + "</form>"
+    ),
+    "entity_bomb": (
+        "<form>" + "&amp;" * 20_000 + "&#x26;&bogus;&#xFFFFFFF;&#55296;"
+        '<input name="q"></form>'
+    ),
+    "token_flood": (
+        "<form>"
+        + "".join(f"<option>choice {i}</option>" for i in range(3_000))
+        + '<select name="flood"><option>a</select></form>'
+    ),
+    "attribute_flood": (
+        "<form><input "
+        + " ".join(f"data-a{i}=v{i}" for i in range(5_000))
+        + " name=wide></form>"
+    ),
+    # -- layout pathologies -------------------------------------------------------
+    "zero_area_boxes": (
+        '<form><span style="width:0;height:0"></span><b></b><i></i>'
+        'Title <input name="title"><span></span></form>'
+    ),
+    "table_misuse": (
+        "<form><table><td>Author<table><tr><input name=a>"
+        "</table><th rowspan=0 colspan=9999><input name=b></table></form>"
+    ),
+    # -- encoding trouble ---------------------------------------------------------
+    "mixed_encodings": (
+        '<form>Tïtle 书名 كتاب '
+        '<input name="tïtle">��'
+        "Précio <input name=preço></form>"
+    ),
+    "control_characters": (
+        "<form>Ti\x00tle\x08 <input\x0bname=title>\x7f"
+        "<input name=\x01weird></form>"
+    ),
+    "empty_document": "",
+    "whitespace_only": "   \n\t\r\n   ",
+    "bare_angle": "< <christmas> > << >> <-3 <!>",
+}

@@ -1,0 +1,127 @@
+"""Deterministic mutation fuzzer over the seed corpus.
+
+:func:`mutations` derives documents from the seeds in
+:mod:`tests.fuzz.corpus` with a seeded :class:`random.Random` -- the same
+``seed`` always yields the same documents, so a failing mutation index
+reproduces exactly (``mutant(seed, index)`` rebuilds just that one).
+
+Mutation operators are the classic byte/structure set: delete, duplicate
+or swap a slice, flip characters, truncate mid-tag, splice two seeds
+together, inject hostile fragments (unterminated tags, null bytes,
+entity fragments), and wrap in extra nesting.  Operators are composed --
+each mutant applies 1..4 operators in sequence -- so shapes no single
+operator produces still appear.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from tests.fuzz.corpus import SEEDS
+
+#: Hostile fragments spliced into documents by ``_inject``.
+_PAYLOADS = [
+    "<form",
+    "</form><form>",
+    "<input name=",
+    "\x00\x00",
+    "&#x",
+    "<!--",
+    "]]>",
+    "<select><option",
+    "<table><td",
+    "��",
+    "<div " + "x" * 64,
+    "=>'\"<>",
+]
+
+
+def _delete(rng: random.Random, doc: str) -> str:
+    if len(doc) < 2:
+        return doc
+    start = rng.randrange(len(doc))
+    end = min(len(doc), start + rng.randrange(1, max(2, len(doc) // 4)))
+    return doc[:start] + doc[end:]
+
+
+def _duplicate(rng: random.Random, doc: str) -> str:
+    if not doc:
+        return doc
+    start = rng.randrange(len(doc))
+    end = min(len(doc), start + rng.randrange(1, 200))
+    at = rng.randrange(len(doc) + 1)
+    return doc[:at] + doc[start:end] + doc[at:]
+
+def _swap(rng: random.Random, doc: str) -> str:
+    if len(doc) < 4:
+        return doc
+    i, j = sorted(rng.randrange(len(doc)) for _ in range(2))
+    mid = (i + j) // 2
+    return doc[:i] + doc[mid:j] + doc[i:mid] + doc[j:]
+
+
+def _flip(rng: random.Random, doc: str) -> str:
+    if not doc:
+        return doc
+    chars = list(doc)
+    for _ in range(rng.randrange(1, 8)):
+        at = rng.randrange(len(chars))
+        chars[at] = chr(rng.choice((60, 62, 38, 34, 39, 0, 65, 0xFFFD)))
+    return "".join(chars)
+
+
+def _truncate(rng: random.Random, doc: str) -> str:
+    if not doc:
+        return doc
+    return doc[: rng.randrange(len(doc))]
+
+
+def _splice(rng: random.Random, doc: str) -> str:
+    other = SEEDS[rng.choice(sorted(SEEDS))]
+    if not other:
+        return doc
+    cut = rng.randrange(len(other))
+    at = rng.randrange(len(doc) + 1)
+    return doc[:at] + other[cut:] + doc[at:]
+
+
+def _inject(rng: random.Random, doc: str) -> str:
+    at = rng.randrange(len(doc) + 1)
+    return doc[:at] + rng.choice(_PAYLOADS) + doc[at:]
+
+
+def _wrap(rng: random.Random, doc: str) -> str:
+    depth = rng.randrange(1, 50)
+    tag = rng.choice(("div", "b", "form", "table", "font"))
+    return f"<{tag}>" * depth + doc + f"</{tag}>" * depth
+
+
+_OPERATORS = (
+    _delete, _duplicate, _swap, _flip,
+    _truncate, _splice, _inject, _wrap,
+)
+
+
+def mutant(seed: int, index: int) -> tuple[str, str]:
+    """The *index*-th mutant of the run seeded with *seed*.
+
+    Returns ``(label, document)``; the label names the base seed and the
+    operators applied, so failures read as e.g.
+    ``deep_nesting+_truncate+_inject#37``.
+    """
+    rng = random.Random(f"{seed}:{index}")
+    base = rng.choice(sorted(SEEDS))
+    doc = SEEDS[base]
+    names = [base]
+    for _ in range(rng.randrange(1, 5)):
+        op = rng.choice(_OPERATORS)
+        doc = op(rng, doc)
+        names.append(op.__name__)
+    return "+".join(names) + f"#{index}", doc
+
+
+def mutations(seed: int, count: int) -> Iterator[tuple[str, str]]:
+    """*count* deterministic mutants for *seed*, in index order."""
+    for index in range(count):
+        yield mutant(seed, index)

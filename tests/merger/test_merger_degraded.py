@@ -1,0 +1,88 @@
+"""Merger error reporting when the parse it merges was degraded.
+
+The paper's best-effort contract is that the merger *reports* what the
+parse failed to explain -- conflicts, missing content -- rather than
+hiding it.  These tests feed the merger deliberately crippled parses
+(truncated tree sets, budget-capped runs) and check the error report
+stays faithful.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.datasets.fixtures import QAA_VARIANT_HTML, QAM_HTML
+from repro.extractor import FormExtractor
+from repro.merger.merger import Merger
+from repro.resilience.guard import (
+    BudgetExceeded,
+    ResourceGuard,
+    ResourceLimits,
+)
+
+
+@pytest.fixture(scope="module")
+def full_parse():
+    return FormExtractor().extract_detailed(QAM_HTML).parse
+
+
+@pytest.fixture(scope="module")
+def forest_parse():
+    # The Figure 14-style variant parses into multiple competing trees,
+    # so dropping trees actually loses coverage.
+    parse = FormExtractor().extract_detailed(QAA_VARIANT_HTML).parse
+    assert len(parse.trees) > 1
+    return parse
+
+
+def _without_trees(parse, keep: int):
+    return dataclasses.replace(parse, trees=parse.trees[:keep])
+
+
+class TestDegradedParses:
+    def test_dropped_trees_surface_as_missing(self, forest_parse):
+        full = Merger().merge(forest_parse)
+        assert not full.missing_tokens
+        crippled = Merger().merge(_without_trees(forest_parse, keep=1))
+        # Whatever the surviving tree does not cover must be reported,
+        # not silently dropped.
+        assert len(crippled.model.conditions) < len(full.model.conditions)
+        assert crippled.missing_tokens
+        assert crippled.model.missing
+        assert crippled.counters()["missing"] == len(crippled.missing_tokens)
+
+    def test_empty_parse_reports_all_content_missing(self, full_parse):
+        report = Merger().merge(_without_trees(full_parse, keep=0))
+        assert report.model.conditions == []
+        assert report.missing_tokens
+        # Every input control of the form is unexplained now.
+        terminals = {token.terminal for token in report.missing_tokens}
+        assert "textbox" in terminals or "selectlist" in terminals
+
+    def test_counters_reflect_degradation(self, forest_parse):
+        full = Merger().merge(forest_parse).counters()
+        degraded = Merger().merge(
+            _without_trees(forest_parse, keep=1)
+        ).counters()
+        assert degraded["conditions"] < full["conditions"]
+        assert degraded["missing"] > full["missing"]
+
+
+class TestGuardedMerge:
+    def test_degrade_guard_records_but_merges(self, full_parse):
+        guard = ResourceGuard(
+            limits=ResourceLimits(deadline_seconds=0.0), mode="degrade"
+        ).start()
+        report = Merger().merge(full_parse, guard=guard)
+        # Best-effort: the trees already exist, merging them IS the
+        # answer -- the breach is recorded, the model still comes out.
+        assert report.model.conditions
+        assert guard.breached
+        assert guard.events[0].stage == "merge"
+
+    def test_raise_guard_aborts_merge(self, full_parse):
+        guard = ResourceGuard(
+            limits=ResourceLimits(deadline_seconds=0.0), mode="raise"
+        ).start()
+        with pytest.raises(BudgetExceeded):
+            Merger().merge(full_parse, guard=guard)

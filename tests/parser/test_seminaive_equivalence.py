@@ -152,9 +152,10 @@ class _BoundsAuditParser(BestEffortParser):
         super().__init__(grammar, ParserConfig(evaluation="naive"))
         self.audited = 0
 
-    def _apply_naive(self, production, state, seen_keys, cap, stats, budget):
+    def _apply_naive(self, production, state, seen_keys, cap, stats, budget,
+                     guard=None):
         created = super()._apply_naive(
-            production, state, seen_keys, cap, stats, budget
+            production, state, seen_keys, cap, stats, budget, guard
         )
         for instance in created:
             combo = instance.children

@@ -1,0 +1,127 @@
+"""Unit tests for the cooperative resource guard."""
+
+import time
+
+import pytest
+
+from repro.resilience.guard import (
+    BudgetExceeded,
+    GuardEvent,
+    ResourceGuard,
+    ResourceLimits,
+)
+
+
+def _unlimited(**overrides):
+    base = dict(
+        deadline_seconds=None,
+        max_input_bytes=None,
+        max_nodes=None,
+        max_depth=None,
+        max_tokens=None,
+        max_combos=None,
+    )
+    base.update(overrides)
+    return ResourceLimits(**base)
+
+
+class TestModes:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown guard mode"):
+            ResourceGuard(mode="panic")
+
+    def test_raise_mode_raises_typed_error(self):
+        guard = ResourceGuard(limits=_unlimited(max_nodes=10), mode="raise")
+        with pytest.raises(BudgetExceeded) as excinfo:
+            guard.admit_nodes(11, "html-parse")
+        error = excinfo.value
+        assert error.resource == "nodes"
+        assert error.stage == "html-parse"
+        assert error.limit == 10
+        assert error.observed == 11
+        assert "nodes budget exceeded in html-parse" in str(error)
+
+    def test_degrade_mode_records_instead(self):
+        guard = ResourceGuard(limits=_unlimited(max_nodes=10))
+        assert guard.admit_nodes(11, "html-parse") is False
+        assert guard.breached
+        assert guard.events == [GuardEvent("nodes", "html-parse", 10, 11)]
+
+
+class TestNoteOnce:
+    def test_one_event_per_resource_and_stage(self):
+        guard = ResourceGuard(limits=_unlimited(max_nodes=5))
+        guard.admit_nodes(6, "html-parse")
+        guard.admit_nodes(1, "html-parse")
+        guard.admit_nodes(1, "layout")
+        assert [(e.resource, e.stage) for e in guard.events] == [
+            ("nodes", "html-parse"),
+            ("nodes", "layout"),
+        ]
+
+
+class TestDeadline:
+    def test_unarmed_guard_never_breaches(self):
+        guard = ResourceGuard(limits=_unlimited())
+        guard.start()
+        assert guard.over_deadline("parse") is False
+        assert guard.remaining_seconds() is None
+
+    def test_expired_deadline_breaches(self):
+        guard = ResourceGuard(
+            limits=_unlimited(deadline_seconds=0.0)
+        ).start()
+        time.sleep(0.001)
+        assert guard.over_deadline("parse") is True
+        assert guard.events[0].resource == "deadline"
+        assert guard.remaining_seconds() == 0.0
+
+    def test_tick_is_strided(self):
+        guard = ResourceGuard(
+            limits=_unlimited(deadline_seconds=0.0)
+        ).start()
+        time.sleep(0.001)
+        # Clock only read every `stride` calls: the first stride-1 ticks
+        # cannot observe the breach.
+        assert [guard.tick("parse", stride=4) for _ in range(4)] == [
+            False, False, False, True,
+        ]
+
+    def test_tick_noop_when_unarmed(self):
+        guard = ResourceGuard(limits=_unlimited()).start()
+        assert all(not guard.tick("parse", stride=1) for _ in range(10))
+
+
+class TestCountableBudgets:
+    def test_nodes_accumulate_across_calls(self):
+        guard = ResourceGuard(limits=_unlimited(max_nodes=10))
+        assert guard.admit_nodes(6, "html-parse")
+        assert guard.admit_nodes(4, "html-parse")
+        assert not guard.admit_nodes(1, "html-parse")
+
+    def test_depth_ceiling(self):
+        guard = ResourceGuard(limits=_unlimited(max_depth=3))
+        assert guard.admit_depth(3, "html-parse")
+        assert not guard.admit_depth(4, "html-parse")
+        unlimited = ResourceGuard(limits=_unlimited())
+        assert unlimited.admit_depth(10_000, "html-parse")
+
+    def test_cap_count_truncates(self):
+        guard = ResourceGuard(limits=_unlimited(max_tokens=100))
+        assert guard.cap_count("tokens", 50, "tokenize") == 50
+        assert guard.cap_count("tokens", 500, "tokenize") == 100
+        assert guard.events[0].resource == "tokens"
+
+    def test_cap_input_truncates(self):
+        guard = ResourceGuard(limits=_unlimited(max_input_bytes=1_000))
+        assert guard.cap_input(999) == 999
+        assert guard.cap_input(5_000) == 1_000
+        assert guard.events[0].resource == "input-bytes"
+
+    def test_defaults_are_generous(self):
+        # The stock limits must not interfere with ordinary documents.
+        guard = ResourceGuard().start()
+        assert guard.admit_nodes(2_000, "html-parse")
+        assert guard.cap_count("tokens", 500, "tokenize") == 500
+        assert guard.cap_input(100_000) == 100_000
+        assert not guard.breached

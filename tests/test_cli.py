@@ -171,6 +171,88 @@ class TestCacheFlags:
         assert "Basic" in capsys.readouterr().out
 
 
+class TestStructuredInputErrors:
+    def test_unreadable_file_exits_2(self, capsys):
+        assert main(["extract", "/no/such/file.html"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: code=unreadable file=/no/such/file.html")
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_empty_input_exits_3(self, tmp_path, capsys):
+        path = tmp_path / "empty.html"
+        path.write_text("")
+        assert main(["extract", str(path)]) == 3
+        assert "code=empty-input" in capsys.readouterr().err
+
+    def test_whitespace_only_is_empty(self, tmp_path, capsys):
+        path = tmp_path / "blank.html"
+        path.write_text("   \n\t  \n")
+        assert main(["extract", str(path)]) == 3
+        assert "code=empty-input" in capsys.readouterr().err
+
+    def test_not_html_exits_4(self, tmp_path, capsys):
+        path = tmp_path / "notes.txt"
+        path.write_text("just some plain prose, no markup anywhere")
+        assert main(["extract", str(path)]) == 4
+        assert "code=not-html" in capsys.readouterr().err
+
+    def test_empty_stdin_exits_3(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["extract", "-"]) == 3
+        assert "code=empty-input file=-" in capsys.readouterr().err
+
+    def test_form_not_found_is_structured(self, qam_file, capsys):
+        assert main(["extract", qam_file, "--form", "7"]) == 2
+        err = capsys.readouterr().err
+        assert "code=form-not-found" in err
+        assert "out of range" in err
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(["evaluate", "--resume"]) == 2
+        assert "code=usage" in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    def test_extract_resilient_matches_plain_output(self, qam_file, capsys):
+        assert main(["extract", qam_file]) == 0
+        plain = capsys.readouterr().out
+        assert main(["extract", qam_file, "--resilient"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_resilient_survives_hostile_input(self, tmp_path, capsys):
+        path = tmp_path / "hostile.html"
+        path.write_text(
+            "<form>" + "<div>" * 5000 + "<input name=q>"
+            + "</div>" * 5000 + "</form>"
+        )
+        assert main(["extract", str(path), "--resilient", "--json"]) == 0
+        captured = capsys.readouterr()
+        document = json.loads(captured.out)
+        assert document["format"] == 1
+
+    def test_evaluate_journal_then_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "journal.jsonl")
+        out = tmp_path / "metrics.json"
+        assert main([
+            "evaluate", "--scale", "0.02", "--journal", journal,
+        ]) == 0
+        first = capsys.readouterr().out
+        assert main([
+            "evaluate", "--scale", "0.02", "--journal", journal,
+            "--resume", "--metrics", str(out),
+        ]) == 0
+        assert capsys.readouterr().out == first
+        counters = json.loads(out.read_text())["counters"]
+        assert counters["batch.resume.skipped"] > 0
+        assert counters["batch.resume.corrupt_lines"] == 0
+
+    def test_evaluate_resilient(self, capsys):
+        assert main(["evaluate", "--scale", "0.02", "--resilient"]) == 0
+        assert "Basic" in capsys.readouterr().out
+
+
 class TestGrammar:
     def test_grammar_listing(self, capsys):
         assert main(["grammar"]) == 0

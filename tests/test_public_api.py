@@ -16,6 +16,8 @@ PACKAGES = [
     "repro.apps",
     "repro.apps.navmenu",
     "repro.baseline",
+    "repro.batch",
+    "repro.cache",
     "repro.cli",
     "repro.datasets",
     "repro.debug",
@@ -29,9 +31,11 @@ PACKAGES = [
     "repro.learning",
     "repro.mediator",
     "repro.merger",
+    "repro.observability",
     "repro.parser",
     "repro.query",
     "repro.refine",
+    "repro.resilience",
     "repro.semantics",
     "repro.semantics.serialize",
     "repro.spatial",
