@@ -65,7 +65,23 @@ from repro.tokens import FormTokenizer, Token, tokenize_form, tokenize_html
 
 __version__ = "1.0.0"
 
+#: Static-analyzer names, resolved lazily (PEP 562) so importing the
+#: package never pays for the analyzer unless it is actually used.
+_ANALYSIS_EXPORTS = frozenset(
+    {"AnalysisReport", "Diagnostic", "GrammarDiagnosticsError",
+     "analyze_grammar"}
+)
+
+
+def __getattr__(name: str):
+    if name in _ANALYSIS_EXPORTS:
+        import repro.analysis
+
+        return getattr(repro.analysis, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "AnalysisReport",
     "BatchExtractor",
     "BatchJournal",
     "BatchRecord",
@@ -76,6 +92,7 @@ __all__ = [
     "Condition",
     "ConditionMatcher",
     "DegradationReport",
+    "Diagnostic",
     "Domain",
     "ExhaustiveParser",
     "ExtractionResult",
@@ -84,6 +101,7 @@ __all__ = [
     "FormNotFoundError",
     "FormTokenizer",
     "GrammarBuilder",
+    "GrammarDiagnosticsError",
     "Instance",
     "Merger",
     "MetricsRegistry",
@@ -100,6 +118,7 @@ __all__ = [
     "Token",
     "Trace",
     "TwoPGrammar",
+    "analyze_grammar",
     "build_standard_grammar",
     "configure_logging",
     "get_global_registry",

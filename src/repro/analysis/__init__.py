@@ -1,0 +1,50 @@
+"""Static analysis of 2P grammars ("grammalint").
+
+The parser is *best-effort by design* -- it never rejects input, so a
+broken grammar does not crash; it silently parses worse.  An undefined
+symbol means a production never fires; a contradictory preference pair
+means instances invalidate each other both ways; an empty spatial bound
+means a pattern can never assemble.  These defects are invisible at
+runtime and expensive to debug from extraction quality alone.
+
+This package finds them *without running the parser*: :func:`analyze_grammar`
+checks symbol hygiene, spatial-bound satisfiability, callable arity,
+preference coherence, and previews the schedule graph (d-edge cycles,
+r-edge transformations and relaxations) using the exact construction the
+runtime scheduler consumes.  Every finding is a :class:`Diagnostic` with a
+stable code -- ``G0xx`` grammar structure, ``P0xx`` preferences, ``S0xx``
+schedule -- documented in ``docs/GRAMMAR.md`` ("Diagnostics catalogue").
+
+Entry points:
+
+* ``repro lint`` -- CLI, human or ``--json`` output, exit 1 on errors;
+* ``BestEffortParser(grammar, validate_grammar=True)`` /
+  ``FormExtractor(validate_grammar=True)`` -- opt-in fast-fail raising
+  :class:`GrammarDiagnosticsError`;
+* :func:`analyze_grammar` -- the library API used by both.
+"""
+
+from repro.analysis.analyzer import analyze_grammar
+from repro.analysis.diagnostics import (
+    SEVERITIES,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    AnalysisReport,
+    Diagnostic,
+    GrammarDiagnosticsError,
+)
+from repro.analysis.view import GrammarView, as_view
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "GrammarDiagnosticsError",
+    "GrammarView",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_INFO",
+    "SEVERITY_WARNING",
+    "analyze_grammar",
+    "as_view",
+]

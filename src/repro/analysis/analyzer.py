@@ -1,0 +1,50 @@
+"""The analysis driver: run every pass, collect one report.
+
+The analyzer is purely static -- it never tokenizes input, never runs the
+fix-point, and never calls user constraint/constructor code.  It inspects
+the grammar's *declarations* (productions, preferences, spatial bounds,
+callable signatures) plus the schedule graph the parser would build, and
+reports everything suspicious as structured diagnostics.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.preferences import check_preferences
+from repro.analysis.productions import check_productions
+from repro.analysis.schedule import check_schedule
+from repro.analysis.symbols import check_symbols
+from repro.analysis.view import GrammarView, as_view
+from repro.grammar.dsl import GrammarBuilder
+from repro.grammar.grammar import TwoPGrammar
+
+#: The passes, in report-assembly order (the report re-sorts by severity,
+#: so this order only matters for tie-breaking identical sort keys).
+_PASSES = (
+    check_symbols,
+    check_productions,
+    check_preferences,
+    check_schedule,
+)
+
+
+def analyze_grammar(
+    grammar: TwoPGrammar | GrammarBuilder | GrammarView,
+    name: str | None = None,
+) -> AnalysisReport:
+    """Statically analyze *grammar* and return the full report.
+
+    Accepts a validated :class:`~repro.grammar.grammar.TwoPGrammar`, an
+    open :class:`~repro.grammar.dsl.GrammarBuilder` (lint before
+    ``build()`` raises), or a raw
+    :class:`~repro.analysis.view.GrammarView`.  *name* overrides the
+    grammar's own name in the report.
+    """
+    view = as_view(grammar)
+    diagnostics: list[Diagnostic] = []
+    for check in _PASSES:
+        diagnostics.extend(check(view))
+    return AnalysisReport(
+        grammar=name if name is not None else view.name,
+        diagnostics=tuple(diagnostics),
+    )

@@ -1,0 +1,209 @@
+"""Structured diagnostics: the analyzer's output vocabulary.
+
+Every grammar defect the static analyzer can detect is reported as a
+:class:`Diagnostic` with a **stable code** (``G0xx`` for grammar/symbol/
+production structure, ``P0xx`` for preferences, ``S0xx`` for the schedule
+graph), a severity, provenance (symbol, production, preference), a human
+message, and a machine-readable ``data`` payload.  A whole analysis run is
+an :class:`AnalysisReport`, which serializes to JSON for the ``repro lint
+--json`` CLI and the CI gate.
+
+The full catalogue (code -> severity -> trigger -> fix) is documented in
+``docs/GRAMMAR.md`` under "Diagnostics catalogue"; keep the two in sync.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Severities, in decreasing order of gravity.
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING, SEVERITY_INFO)
+_SEVERITY_RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer.
+
+    Attributes:
+        code: Stable identifier (``G0xx``/``P0xx``/``S0xx``); documented
+            in the diagnostics catalogue and asserted by tests -- never
+            renumber an existing code.
+        severity: ``"error"`` (the grammar will misbehave at runtime),
+            ``"warning"`` (suspicious; probably authoring drift), or
+            ``"info"`` (a cost preview, e.g. an r-edge transformation).
+        message: Human-readable, self-contained explanation.
+        symbol: The grammar symbol at fault, when one is identifiable.
+        production: Name of the offending production, when applicable.
+        preference: Name of the offending preference, when applicable.
+        data: Machine-readable details (cycle paths, bound tuples, parent
+            lists); JSON-serializable by construction.
+    """
+
+    code: str
+    severity: str
+    message: str
+    symbol: str | None = None
+    production: str | None = None
+    preference: str | None = None
+    data: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; expected one of "
+                f"{SEVERITIES}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready rendering (stable key order)."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "symbol": self.symbol,
+            "production": self.production,
+            "preference": self.preference,
+            "data": dict(self.data),
+        }
+
+    def sort_key(self) -> tuple[int, str, str, str, str, str]:
+        """Deterministic report order: gravest first, then provenance."""
+        return (
+            _SEVERITY_RANK[self.severity],
+            self.code,
+            self.symbol or "",
+            self.production or "",
+            self.preference or "",
+            self.message,
+        )
+
+    def __str__(self) -> str:
+        where = [
+            f"{label}={value}"
+            for label, value in (
+                ("symbol", self.symbol),
+                ("production", self.production),
+                ("preference", self.preference),
+            )
+            if value
+        ]
+        location = f" [{' '.join(where)}]" if where else ""
+        return f"{self.code} {self.severity}{location}: {self.message}"
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Every diagnostic one analysis run produced, ready to render.
+
+    Diagnostics are stored sorted (gravest first, then stable provenance
+    order) so reports are deterministic and diffable.
+    """
+
+    grammar: str
+    diagnostics: tuple[Diagnostic, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.diagnostics, key=Diagnostic.sort_key)
+        )
+        object.__setattr__(self, "diagnostics", ordered)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- selection ----------------------------------------------------------------
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(SEVERITY_ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(SEVERITY_WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(SEVERITY_INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def by_severity(self, severity: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == severity)
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        """Diagnostics with exactly *code* (tests key on this)."""
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def codes(self) -> set[str]:
+        """The distinct codes present (mutation tests assert membership)."""
+        return {d.code for d in self.diagnostics}
+
+    # -- rendering ----------------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        counts = {severity: 0 for severity in SEVERITIES}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.severity] += 1
+        return counts
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "grammar": self.grammar,
+            "summary": self.summary(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def describe(self) -> str:
+        """Human-readable multi-line rendering (the CLI's default)."""
+        counts = self.summary()
+        lines = [str(diagnostic) for diagnostic in self.diagnostics]
+        lines.append(
+            f"grammar {self.grammar}: {counts[SEVERITY_ERROR]} error(s), "
+            f"{counts[SEVERITY_WARNING]} warning(s), "
+            f"{counts[SEVERITY_INFO]} info(s)"
+        )
+        return "\n".join(lines)
+
+    # -- enforcement --------------------------------------------------------------
+
+    def raise_if_errors(self) -> "AnalysisReport":
+        """Raise :class:`GrammarDiagnosticsError` when any error is present.
+
+        Returns the report itself otherwise, so the call chains.
+        """
+        if self.has_errors:
+            raise GrammarDiagnosticsError(self)
+        return self
+
+
+class GrammarDiagnosticsError(ValueError):
+    """Fast-fail raised when a grammar carries error-severity diagnostics.
+
+    Carries the full :class:`AnalysisReport` so callers (and test
+    harnesses) can inspect every finding, not just the first.
+    """
+
+    def __init__(self, report: AnalysisReport):
+        self.report = report
+        errors = report.errors
+        preview = "; ".join(str(d) for d in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        super().__init__(
+            f"grammar {report.grammar} failed static analysis with "
+            f"{len(errors)} error(s): {preview}{more}"
+        )

@@ -1,0 +1,240 @@
+"""Production-level pass: spatial-bound satisfiability and callable arity.
+
+====  ========  ==============================================================
+code  severity  finding
+====  ========  ==============================================================
+G010  error     an axis spec is empty on its own (negative symmetric gap,
+                or a signed interval with ``lo > hi``)
+G011  error     the conjunction of bounds on one component pair and axis
+                is unsatisfiable (no geometry passes all of them)
+G012  error     constructor cannot accept one positional argument per
+                component
+G013  error     constraint cannot accept one positional argument per
+                component
+====  ========  ==============================================================
+
+Satisfiability follows the runtime semantics in
+:mod:`repro.parser.spatial_index`: a symmetric spec ``m`` admits axis gaps
+``<= m`` (a gap is never negative, so ``m < 0`` admits nothing); a pair
+``(lo, hi)`` brackets the *signed displacement* of the later component
+(``lo > hi`` admits nothing).  The conjunction of a symmetric ``m`` with a
+signed ``(lo, hi)`` is empty when ``lo > m``: a displacement of at least
+``lo > m >= 0`` forces an axis gap of at least ``lo``, exceeding ``m``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable
+
+from repro.analysis.diagnostics import SEVERITY_ERROR, Diagnostic
+from repro.analysis.view import GrammarView
+from repro.grammar.production import Production
+
+_AXES = ("horizontal", "vertical")
+
+
+def _spec_kind(spec: object) -> str:
+    """Classify an axis spec: ``"free"``, ``"symmetric"``, or ``"signed"``."""
+    if spec is None:
+        return "free"
+    if isinstance(spec, tuple):
+        return "signed"
+    return "symmetric"
+
+
+def _spec_empty(spec: object) -> str | None:
+    """Reason the spec alone admits no geometry, or ``None`` if satisfiable."""
+    kind = _spec_kind(spec)
+    if kind == "symmetric":
+        assert isinstance(spec, (int, float))
+        if spec < 0:
+            return (
+                f"symmetric gap bound {spec!r} is negative; axis gaps are "
+                "never negative, so no pair of boxes can satisfy it"
+            )
+    elif kind == "signed":
+        assert isinstance(spec, tuple)
+        lo, hi = spec
+        if lo is not None and hi is not None and lo > hi:
+            return (
+                f"signed displacement interval ({lo!r}, {hi!r}) is empty "
+                "(lower bound exceeds upper bound)"
+            )
+    return None
+
+
+def _conjunction_empty(specs: list[object]) -> str | None:
+    """Reason the *conjunction* of satisfiable specs is empty, or ``None``.
+
+    Callers filter out individually-empty specs first (those are G010).
+    """
+    min_sym: float | None = None
+    max_lo: float | None = None
+    min_hi: float | None = None
+    for spec in specs:
+        kind = _spec_kind(spec)
+        if kind == "symmetric":
+            assert isinstance(spec, (int, float))
+            value = float(spec)
+            min_sym = value if min_sym is None else min(min_sym, value)
+        elif kind == "signed":
+            assert isinstance(spec, tuple)
+            lo, hi = spec
+            if lo is not None:
+                lo = float(lo)
+                max_lo = lo if max_lo is None else max(max_lo, lo)
+            if hi is not None:
+                hi = float(hi)
+                min_hi = hi if min_hi is None else min(min_hi, hi)
+    if max_lo is not None and min_hi is not None and max_lo > min_hi:
+        return (
+            f"signed intervals intersect to ({max_lo!r}, {min_hi!r}), "
+            "which is empty"
+        )
+    if max_lo is not None and min_sym is not None and max_lo > min_sym:
+        return (
+            f"a displacement of at least {max_lo!r} forces an axis gap "
+            f"above the symmetric bound {min_sym!r}"
+        )
+    return None
+
+
+def _check_bounds(production: Production) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    # Group the satisfiable specs per (i, j, axis) for conjunction checks.
+    grouped: dict[tuple[int, int, str], list[object]] = {}
+    for i, j, h_spec, v_spec in production.bounds:
+        for axis, spec in zip(_AXES, (h_spec, v_spec)):
+            if _spec_kind(spec) == "free":
+                continue
+            reason = _spec_empty(spec)
+            if reason is not None:
+                diagnostics.append(
+                    Diagnostic(
+                        code="G010",
+                        severity=SEVERITY_ERROR,
+                        message=(
+                            f"production {production.name}: {axis} bound "
+                            f"on components ({i}, {j}) admits no geometry: "
+                            f"{reason}; the production can never apply"
+                        ),
+                        production=production.name,
+                        data={
+                            "components": [i, j],
+                            "axis": axis,
+                            "spec": list(spec)
+                            if isinstance(spec, tuple)
+                            else spec,
+                        },
+                    )
+                )
+                continue
+            grouped.setdefault((i, j, axis), []).append(spec)
+    for (i, j, axis), specs in grouped.items():
+        if len(specs) < 2:
+            continue
+        reason = _conjunction_empty(specs)
+        if reason is not None:
+            diagnostics.append(
+                Diagnostic(
+                    code="G011",
+                    severity=SEVERITY_ERROR,
+                    message=(
+                        f"production {production.name}: the {len(specs)} "
+                        f"{axis} bounds on components ({i}, {j}) are "
+                        f"jointly unsatisfiable: {reason}; the production "
+                        "can never apply"
+                    ),
+                    production=production.name,
+                    data={
+                        "components": [i, j],
+                        "axis": axis,
+                        "specs": [
+                            list(s) if isinstance(s, tuple) else s
+                            for s in specs
+                        ],
+                    },
+                )
+            )
+    return diagnostics
+
+
+def _arity_problem(callable_: Callable[..., object], arity: int) -> str | None:
+    """Reason *callable_* cannot be called with *arity* positional args.
+
+    Returns ``None`` when the call is fine -- or when the signature cannot
+    be introspected at all (C builtins, partials with odd wrappers), in
+    which case the analyzer gives the benefit of the doubt.
+    """
+    try:
+        signature = inspect.signature(callable_)
+    except (TypeError, ValueError):
+        return None
+    required = 0
+    optional = 0
+    variadic = False
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            if parameter.default is inspect.Parameter.empty:
+                required += 1
+            else:
+                optional += 1
+        elif parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            variadic = True
+        elif (
+            parameter.kind is inspect.Parameter.KEYWORD_ONLY
+            and parameter.default is inspect.Parameter.empty
+        ):
+            return (
+                f"requires keyword-only argument {parameter.name!r}, but "
+                "the parser passes arguments positionally"
+            )
+    if arity < required:
+        return (
+            f"requires at least {required} positional argument(s) but "
+            f"would be called with {arity}"
+        )
+    if not variadic and arity > required + optional:
+        return (
+            f"accepts at most {required + optional} positional "
+            f"argument(s) but would be called with {arity}"
+        )
+    return None
+
+
+def _check_arities(production: Production) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    arity = len(production.components)
+    for code, role, callable_ in (
+        ("G012", "constructor", production.constructor),
+        ("G013", "constraint", production.constraint),
+    ):
+        reason = _arity_problem(callable_, arity)
+        if reason is not None:
+            diagnostics.append(
+                Diagnostic(
+                    code=code,
+                    severity=SEVERITY_ERROR,
+                    message=(
+                        f"production {production.name}: {role} {reason}; "
+                        "every application would raise TypeError at parse "
+                        "time"
+                    ),
+                    production=production.name,
+                    data={"role": role, "arity": arity},
+                )
+            )
+    return diagnostics
+
+
+def check_productions(view: GrammarView) -> list[Diagnostic]:
+    """Run the production-level pass."""
+    diagnostics: list[Diagnostic] = []
+    for production in view.productions:
+        diagnostics.extend(_check_bounds(production))
+        diagnostics.extend(_check_arities(production))
+    return diagnostics

@@ -1,0 +1,107 @@
+"""Schedule-graph pass: preview what the runtime scheduler will do.
+
+====  ========  ==============================================================
+code  severity  finding
+====  ========  ==============================================================
+S001  error     the mandatory d-edges are cyclic; ``build_schedule`` will
+                raise :class:`~repro.parser.schedule.ScheduleError`
+S002  info      an r-edge will be *transformed* (winner ordered before the
+                loser's parents) -- a cost preview, not a defect
+S003  warning   an r-edge will be *relaxed* (dropped); its pruning relies
+                on rollback, the most expensive compensation path
+====  ========  ==============================================================
+
+The pass runs :func:`repro.parser.schedule.build_schedule_graph` -- the
+exact construction :func:`~repro.parser.schedule.build_schedule` consumes
+-- so the preview cannot drift from runtime behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+)
+from repro.analysis.view import GrammarView
+from repro.parser.schedule import (
+    ACTION_RELAXED,
+    ACTION_TRANSFORMED,
+    build_schedule_graph,
+)
+
+
+def check_schedule(view: GrammarView) -> list[Diagnostic]:
+    """Run the schedule-graph pass."""
+    diagnostics: list[Diagnostic] = []
+    graph = build_schedule_graph(view)
+
+    for cycle in graph.cycles:
+        diagnostics.append(
+            Diagnostic(
+                code="S001",
+                severity=SEVERITY_ERROR,
+                message=(
+                    "d-edge cycle makes the grammar unschedulable: "
+                    + graph.describe_cycle(cycle)
+                ),
+                symbol=cycle[0],
+                data={
+                    "cycle": list(cycle),
+                    "edges": [
+                        {
+                            "source": source,
+                            "target": target,
+                            "productions": list(
+                                graph.provenance.get((source, target), ())
+                            ),
+                        }
+                        for source, target in zip(cycle, cycle[1:])
+                    ],
+                },
+            )
+        )
+
+    for decision in graph.decisions:
+        preference = decision.preference
+        if decision.action == ACTION_TRANSFORMED:
+            diagnostics.append(
+                Diagnostic(
+                    code="S002",
+                    severity=SEVERITY_INFO,
+                    message=(
+                        f"preference {preference.name}: {decision.reason} "
+                        f"(winner {preference.winner_symbol!r} will run "
+                        "before "
+                        + ", ".join(repr(t) for t in decision.targets)
+                        + ")"
+                    ),
+                    preference=preference.name,
+                    data={
+                        "winner": preference.winner_symbol,
+                        "loser": preference.loser_symbol,
+                        "parents": list(decision.targets),
+                    },
+                )
+            )
+        elif decision.action == ACTION_RELAXED:
+            diagnostics.append(
+                Diagnostic(
+                    code="S003",
+                    severity=SEVERITY_WARNING,
+                    message=(
+                        f"preference {preference.name} will be relaxed "
+                        f"({decision.reason}); late pruning falls back to "
+                        "rollback, the most expensive compensation path"
+                    ),
+                    preference=preference.name,
+                    data={
+                        "winner": preference.winner_symbol,
+                        "loser": preference.loser_symbol,
+                        "reason": decision.reason,
+                    },
+                )
+            )
+
+    return diagnostics

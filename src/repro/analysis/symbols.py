@@ -1,0 +1,243 @@
+"""Symbol-hygiene pass: referential integrity, reachability, productivity.
+
+Codes (see the catalogue in ``docs/GRAMMAR.md``):
+
+====  ========  ==============================================================
+code  severity  finding
+====  ========  ==============================================================
+G001  error     production component references an undeclared symbol
+G002  error     start symbol is not a declared nonterminal
+G003  error     nonterminal is declared (or referenced) but has no productions
+G004  warning   nonterminal unreachable from the start symbol
+G005  warning   unproductive nonterminal (its fix-point can never bottom out
+                in terminals, so no instance of it is ever constructed)
+G006  warning   terminal declared but used by no production
+G007  warning   duplicate production name (ambiguous provenance in
+                schedules, caches, and diagnostics)
+G008  warning   dead production (a component can never be instantiated, so
+                the production can never apply)
+====  ========  ==============================================================
+
+Reachability and productivity are the classic fix-point computations over
+the production set; both run on the *declared* data only, so they work on
+unvalidated views.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Diagnostic,
+)
+from repro.analysis.view import GrammarView
+
+
+def productive_symbols(view: GrammarView) -> set[str]:
+    """Symbols that can derive at least one all-terminal instance.
+
+    Terminals are productive by definition; a nonterminal is productive
+    once some production of it has all-productive components (fix-point).
+    """
+    productive: set[str] = set(view.terminals)
+    changed = True
+    while changed:
+        changed = False
+        for production in view.productions:
+            if production.head in productive:
+                continue
+            if all(c in productive for c in production.components):
+                productive.add(production.head)
+                changed = True
+    return productive
+
+
+def reachable_symbols(view: GrammarView) -> set[str]:
+    """Symbols reachable from the start symbol through productions."""
+    reachable: set[str] = {view.start}
+    changed = True
+    while changed:
+        changed = False
+        for production in view.productions:
+            if production.head in reachable:
+                for component in production.components:
+                    if component not in reachable:
+                        reachable.add(component)
+                        changed = True
+    return reachable
+
+
+def check_symbols(view: GrammarView) -> list[Diagnostic]:
+    """Run the symbol-hygiene pass."""
+    diagnostics: list[Diagnostic] = []
+    alphabet = view.alphabet
+    heads = {production.head for production in view.productions}
+
+    # G001: undeclared component symbols.
+    seen_undeclared: set[tuple[str, str]] = set()
+    for production in view.productions:
+        for component in production.components:
+            key = (production.name, component)
+            if component not in alphabet and key not in seen_undeclared:
+                seen_undeclared.add(key)
+                diagnostics.append(
+                    Diagnostic(
+                        code="G001",
+                        severity=SEVERITY_ERROR,
+                        message=(
+                            f"production {production.name} references "
+                            f"undeclared symbol {component!r}"
+                        ),
+                        symbol=component,
+                        production=production.name,
+                    )
+                )
+
+    # G002: start symbol must be a nonterminal.
+    if view.start not in view.nonterminals:
+        hint = (
+            "it is a terminal"
+            if view.start in view.terminals
+            else "it is not declared at all"
+        )
+        diagnostics.append(
+            Diagnostic(
+                code="G002",
+                severity=SEVERITY_ERROR,
+                message=(
+                    f"start symbol {view.start!r} is not a declared "
+                    f"nonterminal ({hint})"
+                ),
+                symbol=view.start,
+            )
+        )
+
+    # G003: nonterminals that no production defines.  Declared-but-headless
+    # symbols silently produce empty instance pools at parse time -- every
+    # production referencing them is dead.
+    referenced = {
+        component
+        for production in view.productions
+        for component in production.components
+    }
+    for symbol in sorted(view.nonterminals - heads):
+        used = symbol in referenced or symbol == view.start
+        diagnostics.append(
+            Diagnostic(
+                code="G003",
+                severity=SEVERITY_ERROR,
+                message=(
+                    f"nonterminal {symbol!r} has no productions"
+                    + (
+                        "; every production or preference referencing it "
+                        "can never fire"
+                        if used
+                        else " and is never referenced"
+                    )
+                ),
+                symbol=symbol,
+            )
+        )
+
+    # G004: unreachable nonterminals (only meaningful with a valid start).
+    if view.start in view.nonterminals:
+        reachable = reachable_symbols(view)
+        for symbol in sorted(view.nonterminals - reachable):
+            diagnostics.append(
+                Diagnostic(
+                    code="G004",
+                    severity=SEVERITY_WARNING,
+                    message=(
+                        f"nonterminal {symbol!r} is unreachable from the "
+                        f"start symbol {view.start!r}; its parses can "
+                        "never join a maximal tree rooted in the start"
+                    ),
+                    symbol=symbol,
+                )
+            )
+
+    # G005: unproductive nonterminals.
+    productive = productive_symbols(view)
+    unproductive = sorted(
+        symbol for symbol in heads if symbol not in productive
+    )
+    for symbol in unproductive:
+        diagnostics.append(
+            Diagnostic(
+                code="G005",
+                severity=SEVERITY_WARNING,
+                message=(
+                    f"nonterminal {symbol!r} is unproductive: none of its "
+                    "productions can ever bottom out in terminals, so no "
+                    "instance of it is ever constructed"
+                ),
+                symbol=symbol,
+            )
+        )
+
+    # G006: unused terminals.
+    for symbol in sorted(view.terminals - referenced):
+        diagnostics.append(
+            Diagnostic(
+                code="G006",
+                severity=SEVERITY_WARNING,
+                message=(
+                    f"terminal {symbol!r} is declared but used by no "
+                    "production; its tokens can only ever be uncovered "
+                    "input"
+                ),
+                symbol=symbol,
+            )
+        )
+
+    # G007: duplicate production names.
+    by_name: dict[str, int] = {}
+    for production in view.productions:
+        by_name[production.name] = by_name.get(production.name, 0) + 1
+    for name in sorted(n for n, count in by_name.items() if count > 1):
+        diagnostics.append(
+            Diagnostic(
+                code="G007",
+                severity=SEVERITY_WARNING,
+                message=(
+                    f"production name {name!r} is declared "
+                    f"{by_name[name]} times; provenance in schedules and "
+                    "diagnostics becomes ambiguous"
+                ),
+                production=name,
+                data={"count": by_name[name]},
+            )
+        )
+
+    # G008: dead productions (components that can never be instantiated:
+    # headless nonterminals or unproductive symbols).  Undeclared symbols
+    # are already G001 errors; do not double-report them here.
+    for production in view.productions:
+        dead = sorted(
+            {
+                component
+                for component in production.components
+                if component in alphabet
+                and (
+                    (component in view.nonterminals and component not in heads)
+                    or (component in heads and component not in productive)
+                )
+            }
+        )
+        if dead:
+            diagnostics.append(
+                Diagnostic(
+                    code="G008",
+                    severity=SEVERITY_WARNING,
+                    message=(
+                        f"production {production.name} is dead: "
+                        f"component(s) {', '.join(repr(d) for d in dead)} "
+                        "can never be instantiated"
+                    ),
+                    production=production.name,
+                    symbol=dead[0],
+                    data={"components": list(dead)},
+                )
+            )
+
+    return diagnostics

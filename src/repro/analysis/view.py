@@ -1,0 +1,130 @@
+"""An *unvalidated* grammar snapshot for the analyzer.
+
+:class:`~repro.grammar.grammar.TwoPGrammar` refuses to construct a grammar
+with broken referential integrity -- which is correct for the runtime but
+useless for a linter, whose whole purpose is to describe broken grammars.
+:class:`GrammarView` is the analyzer's input type: the same five components
+``⟨Σ, N, s, Pd, Pf⟩``, no invariants enforced, buildable from a validated
+grammar, from an open :class:`~repro.grammar.dsl.GrammarBuilder` (lint
+*before* ``build()`` raises), or from raw parts (tests seed defects this
+way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.grammar.dsl import GrammarBuilder
+from repro.grammar.grammar import TwoPGrammar
+from repro.grammar.preference import Preference
+from repro.grammar.production import Production
+
+
+@dataclass(frozen=True)
+class GrammarView:
+    """The analyzer's read-only picture of a (possibly broken) grammar.
+
+    Satisfies :class:`~repro.parser.schedule.SchedulableGrammar`, so the
+    schedule pass runs on unvalidated views too.
+    """
+
+    terminals: frozenset[str]
+    nonterminals: frozenset[str]
+    start: str
+    productions: tuple[Production, ...]
+    preferences: tuple[Preference, ...]
+    name: str = "grammar"
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def from_grammar(cls, grammar: TwoPGrammar) -> "GrammarView":
+        """Snapshot a validated grammar."""
+        return cls(
+            terminals=grammar.terminals,
+            nonterminals=grammar.nonterminals,
+            start=grammar.start,
+            productions=grammar.productions,
+            preferences=grammar.preferences,
+            name=grammar.name,
+        )
+
+    @classmethod
+    def from_builder(cls, builder: GrammarBuilder) -> "GrammarView":
+        """Snapshot an open builder without validating (or closing) it.
+
+        Nonterminals are derived from production heads, exactly as
+        :meth:`GrammarBuilder.build` would.
+        """
+        terminals, productions, preferences = builder.declarations()
+        return cls(
+            terminals=frozenset(terminals),
+            nonterminals=frozenset(p.head for p in productions),
+            start=builder.start,
+            productions=tuple(productions),
+            preferences=tuple(preferences),
+            name=builder.name,
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        terminals: Iterable[str],
+        productions: Iterable[Production],
+        start: str,
+        preferences: Iterable[Preference] = (),
+        nonterminals: Iterable[str] | None = None,
+        name: str = "grammar",
+    ) -> "GrammarView":
+        """Assemble a view from raw parts, enforcing nothing.
+
+        ``nonterminals`` defaults to the production heads; pass it
+        explicitly to model declared-but-headless symbols.
+        """
+        production_tuple = tuple(productions)
+        if nonterminals is None:
+            nonterminal_set = frozenset(p.head for p in production_tuple)
+        else:
+            nonterminal_set = frozenset(nonterminals)
+        return cls(
+            terminals=frozenset(terminals),
+            nonterminals=nonterminal_set,
+            start=start,
+            productions=production_tuple,
+            preferences=tuple(preferences),
+            name=name,
+        )
+
+    # -- lookups ------------------------------------------------------------------
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return self.terminals | self.nonterminals
+
+    def productions_for(self, head: str) -> list[Production]:
+        return [p for p in self.productions if p.head == head]
+
+    def component_heads(self, symbol: str) -> set[str]:
+        """Heads of productions that use *symbol* as a component."""
+        return {
+            production.head
+            for production in self.productions
+            if symbol in production.components
+        }
+
+
+def as_view(
+    grammar: TwoPGrammar | GrammarBuilder | GrammarView,
+) -> GrammarView:
+    """Coerce any analyzer input into a :class:`GrammarView`."""
+    if isinstance(grammar, GrammarView):
+        return grammar
+    if isinstance(grammar, TwoPGrammar):
+        return GrammarView.from_grammar(grammar)
+    if isinstance(grammar, GrammarBuilder):
+        return GrammarView.from_builder(grammar)
+    raise TypeError(
+        "expected TwoPGrammar, GrammarBuilder, or GrammarView, got "
+        f"{type(grammar).__name__}"
+    )

@@ -18,6 +18,10 @@ Commands:
   runs the degradation ladder; ``--trace`` prints the stage timing
   summary).
 * ``grammar``       -- print the derived global grammar.
+* ``lint``          -- statically analyze the built-in grammars
+  (``--grammar standard|example|navmenu|all``, default ``all``) and print
+  every diagnostic; ``--json`` emits machine-readable reports.  Exits 1
+  when any error-severity diagnostic is found (the CI gate), 0 otherwise.
 
 Both ``extract`` and ``evaluate`` take the caching trio: ``--cache``
 (in-memory extraction cache), ``--cache-dir DIR`` (disk-backed cache that
@@ -213,6 +217,37 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The grammars ``repro lint`` knows how to build, by CLI name.
+def _lint_targets() -> dict:
+    from repro.apps.navmenu import build_menu_grammar
+    from repro.grammar.example_g import build_example_grammar
+
+    return {
+        "standard": build_standard_grammar,
+        "example": build_example_grammar,
+        "navmenu": build_menu_grammar,
+    }
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import analyze_grammar
+
+    targets = _lint_targets()
+    names = list(targets) if args.grammar == "all" else [args.grammar]
+    reports = []
+    for name in names:
+        grammar = targets[name]()
+        reports.append(analyze_grammar(grammar, name=name))
+    if args.json:
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.describe())
+    return 1 if any(report.has_errors for report in reports) else 0
+
+
 def _cmd_grammar(_args: argparse.Namespace) -> int:
     grammar = build_standard_grammar()
     print(grammar.describe())
@@ -335,6 +370,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "grammar", help="print the derived global grammar"
     )
     grammar.set_defaults(func=_cmd_grammar)
+
+    lint = subparsers.add_parser(
+        "lint", help="statically analyze the built-in grammars"
+    )
+    lint.add_argument(
+        "--grammar", default="all",
+        choices=["standard", "example", "navmenu", "all"],
+        help="which grammar to lint (default: all)",
+    )
+    lint.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON reports")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

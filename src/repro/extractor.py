@@ -120,6 +120,11 @@ class FormExtractor:
             parse and merge stages are skipped entirely); misses are
             stored after extraction.  Cached replays rebuild fresh
             objects -- a hit can never alias a previous result.
+        validate_grammar: When ``True``, run the static analyzer on the
+            grammar at construction time and raise
+            :class:`~repro.analysis.GrammarDiagnosticsError` on any
+            error-severity diagnostic (see ``repro lint``).  Off by
+            default; the default path never imports the analyzer.
     """
 
     def __init__(
@@ -129,11 +134,14 @@ class FormExtractor:
         metrics: MetricsRegistry | None = None,
         cache: ExtractionCache | None = None,
         resilience: ResilienceConfig | bool | None = None,
+        validate_grammar: bool = False,
     ):
         # The cached grammar is shared across extractors (and with it the
         # cached schedule), so per-form extractor construction stays cheap.
         self.grammar = grammar if grammar is not None else cached_standard_grammar()
-        self.parser = BestEffortParser(self.grammar, parser_config)
+        self.parser = BestEffortParser(
+            self.grammar, parser_config, validate_grammar=validate_grammar
+        )
         self.merger = Merger()
         self.metrics = metrics if metrics is not None else get_global_registry()
         self.cache = cache

@@ -18,11 +18,16 @@ Nonterminals are declared implicitly by appearing as production heads.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.grammar.grammar import GrammarError, TwoPGrammar
 from repro.grammar.preference import Predicate, Preference, always
-from repro.grammar.production import Constraint, Constructor, Production
+from repro.grammar.production import (
+    Constraint,
+    Constructor,
+    Production,
+    SpatialBound,
+)
 
 
 class GrammarBuilder:
@@ -34,6 +39,35 @@ class GrammarBuilder:
         self._terminals: set[str] = set()
         self._productions: list[Production] = []
         self._preferences: list[Preference] = []
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def start(self) -> str:
+        """The declared start symbol."""
+        return self._start
+
+    @property
+    def name(self) -> str:
+        """The grammar name ``build()`` will stamp."""
+        return self._name
+
+    def declarations(
+        self,
+    ) -> tuple[frozenset[str], tuple[Production, ...], tuple[Preference, ...]]:
+        """Snapshot the declarations accumulated so far.
+
+        Returns ``(terminals, productions, preferences)`` without
+        validating anything -- the static analyzer
+        (:func:`repro.analysis.analyze_grammar`) lints open builders
+        through this, so defects are reportable *before* ``build()``
+        raises on them.
+        """
+        return (
+            frozenset(self._terminals),
+            tuple(self._productions),
+            tuple(self._preferences),
+        )
 
     # -- declarations -------------------------------------------------------------
 
@@ -49,7 +83,7 @@ class GrammarBuilder:
         constraint: Constraint | None = None,
         constructor: Constructor | None = None,
         name: str = "",
-        bounds: Iterable[tuple[int, int, float | None, float | None]] = (),
+        bounds: Iterable[SpatialBound] = (),
     ) -> "GrammarBuilder":
         """Declare one production ``head -> components``.
 
@@ -57,7 +91,7 @@ class GrammarBuilder:
         between component positions (see :class:`Production`); the parser
         uses them to pre-filter candidate combinations.
         """
-        kwargs: dict = {}
+        kwargs: dict[str, Any] = {}
         if constraint is not None:
             kwargs["constraint"] = constraint
         if constructor is not None:

@@ -11,7 +11,7 @@ bounding box union is automatic and the constructor contributes semantics).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, TypeAlias
 
 from repro.grammar.instance import Instance
 from repro.layout.box import BBox
@@ -32,7 +32,7 @@ Constructor = Callable[..., "dict[str, Any] | None"]
 #:   ``j.left - i.right``; vertically it is ``j.top - i.bottom`` -- so a
 #:   pair encodes *ordering* ("j starts after i ends, within reach"),
 #:   which symmetric gaps cannot.
-AxisSpec = "float | tuple[float | None, float | None] | None"
+AxisSpec: TypeAlias = "float | tuple[float | None, float | None] | None"
 
 #: A declarative spatial envelope ``(i, j, h_spec, v_spec)`` over component
 #: positions ``i < j``: for a combination to possibly satisfy the
@@ -40,7 +40,7 @@ AxisSpec = "float | tuple[float | None, float | None] | None"
 #: :data:`AxisSpec` tests.  Bounds are *conservative* -- they may admit
 #: combinations the constraint later rejects, but must never exclude one
 #: it would accept.
-SpatialBound = "tuple[int, int, AxisSpec, AxisSpec]"
+SpatialBound: TypeAlias = "tuple[int, int, AxisSpec, AxisSpec]"
 
 
 def _always(*_: Instance) -> bool:
@@ -79,11 +79,11 @@ class Production:
     constraint: Constraint = _always
     constructor: Constructor = _empty_payload
     name: str = field(default="")
-    bounds: tuple[tuple, ...] = ()
+    bounds: tuple[SpatialBound, ...] = ()
     #: ``bounds_by_target[j]`` lists the ``(i, h_spec, v_spec)`` checks
     #: whose later component is position ``j`` (precomputed for the
     #: parser's enumeration hot path).
-    bounds_by_target: tuple[tuple[tuple, ...], ...] = field(
+    bounds_by_target: tuple[tuple[tuple[int, AxisSpec, AxisSpec], ...], ...] = field(
         init=False, repr=False, compare=False, default=()
     )
 
@@ -94,7 +94,7 @@ class Production:
             object.__setattr__(
                 self, "name", f"{self.head}<-{'+'.join(self.components)}"
             )
-        normalized: list[tuple] = []
+        normalized: list[SpatialBound] = []
         for i, j, h_spec, v_spec in self.bounds:
             # Signed axis specs are directional, so positions cannot be
             # silently swapped; declare bounds with i < j.

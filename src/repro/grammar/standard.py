@@ -44,12 +44,13 @@ interpretations, the one covering more of the form wins.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.grammar.dsl import GrammarBuilder
 from repro.grammar.grammar import TwoPGrammar
 from repro.grammar.instance import Instance
 from repro.grammar.preference import Predicate, subsumes
+from repro.grammar.production import SpatialBound
 from repro.grammar.text_heuristics import (
     clean_label,
     date_signature,
@@ -274,7 +275,9 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
     # same-row (vertical gap zero); ``above(a, b)`` is the transposed
     # statement.  Signed intervals encode the ordering, which is what
     # eliminates the bulk of the cartesian product.
-    def row_bound(i: int, j: int, config: SpatialConfig = spatial):
+    def row_bound(
+        i: int, j: int, config: SpatialConfig = spatial
+    ) -> SpatialBound:
         """Envelope of a ``left_of``-style constraint between i and j."""
         reach = (
             -(config.alignment_tolerance + _BOUND_SLACK),
@@ -282,7 +285,9 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
         )
         return (i, j, reach, _BOUND_SLACK)
 
-    def col_bound(i: int, j: int, config: SpatialConfig = spatial):
+    def col_bound(
+        i: int, j: int, config: SpatialConfig = spatial
+    ) -> SpatialBound:
         """Envelope of an ``above``-style constraint (i above j)."""
         reach = (
             -(config.alignment_tolerance + _BOUND_SLACK),
@@ -541,7 +546,7 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
 
     # -- condition patterns (CP) -------------------------------------------------------
 
-    def _textval(arrangement: str):
+    def _textval(arrangement: str) -> Callable[[Instance, Instance], dict[str, Any]]:
         def build(attr: Instance, val: Instance) -> dict[str, Any]:
             return _cp(
                 _attr_label(attr), ("contains",), Domain("text"), _fields(val),
@@ -600,7 +605,7 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
         bounds=[row_bound(0, 1), row_bound(1, 2, _VALUE_SPATIAL)],
     )
 
-    def _textop(arrangement: str):
+    def _textop(arrangement: str) -> Callable[[Instance, Instance, Instance], dict[str, Any]]:
         def build(attr: Instance, val: Instance, op: Instance) -> dict[str, Any]:
             return _cp(
                 _attr_label(attr),
@@ -650,7 +655,7 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
         bounds=[col_bound(0, 1, _ATTR_ABOVE_SPATIAL), col_bound(1, 2)],
     )
 
-    def _textopsel(arrangement: str):
+    def _textopsel(arrangement: str) -> Callable[[Instance, Instance, Instance], dict[str, Any]]:
         def build(attr: Instance, op: Instance, val: Instance) -> dict[str, Any]:
             return _cp(
                 _attr_label(attr),
@@ -691,7 +696,7 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
             if option.label
         )
 
-    def _selcp(arrangement: str):
+    def _selcp(arrangement: str) -> Callable[[Instance, Instance], dict[str, Any]]:
         def build(attr: Instance, sel: Instance) -> dict[str, Any]:
             return _cp(
                 _attr_label(attr),
@@ -730,7 +735,9 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
             ),
         ) | {"unit_count": len(lst.payload.get("labels", ()))}
 
-    def _enum_cp(multi: bool, arrangement: str):
+    def _enum_cp(
+        multi: bool, arrangement: str
+    ) -> Callable[[Instance, Instance], dict[str, Any]]:
         def build(attr: Instance, lst: Instance) -> dict[str, Any]:
             return _enum_payload(attr, lst, multi, arrangement)
 
@@ -780,7 +787,7 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
             (field, roles[index]) for index, field in enumerate(fields[:2])
         )
 
-    def _rangecp(arrangement: str):
+    def _rangecp(arrangement: str) -> Callable[[Instance, Instance], dict[str, Any]]:
         def build(attr: Instance, rng: Instance) -> dict[str, Any]:
             fields = _fields(rng)
             return _cp(
@@ -846,7 +853,7 @@ def standard_builder(spatial: SpatialConfig = DEFAULT_SPATIAL) -> GrammarBuilder
                 (1, 2, None, (-(6.0 + _BOUND_SLACK), 12.0 + _BOUND_SLACK))],
     )
 
-    def _datecp(arrangement: str):
+    def _datecp(arrangement: str) -> Callable[[Instance, Instance], dict[str, Any]]:
         def build(attr: Instance, date: Instance) -> dict[str, Any]:
             fields = _fields(date)
             parts = date.payload.get("parts", ())

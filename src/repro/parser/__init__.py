@@ -24,7 +24,14 @@ from repro.parser.parser import (
     ParseStats,
 )
 from repro.parser.maximization import maximal_roots
-from repro.parser.schedule import Schedule, ScheduleError, build_schedule
+from repro.parser.schedule import (
+    REdgeDecision,
+    Schedule,
+    ScheduleError,
+    ScheduleGraph,
+    build_schedule,
+    build_schedule_graph,
+)
 from repro.parser.spatial_index import BandIndex
 
 __all__ = [
@@ -34,8 +41,11 @@ __all__ = [
     "ParseResult",
     "ParserConfig",
     "ParseStats",
+    "REdgeDecision",
     "Schedule",
     "ScheduleError",
+    "ScheduleGraph",
     "build_schedule",
+    "build_schedule_graph",
     "maximal_roots",
 ]

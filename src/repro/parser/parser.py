@@ -315,11 +315,31 @@ class _SpatialMemo:
 
 
 class BestEffortParser:
-    """Parser for a 2P grammar over visual tokens."""
+    """Parser for a 2P grammar over visual tokens.
 
-    def __init__(self, grammar: TwoPGrammar, config: ParserConfig | None = None):
+    Args:
+        grammar: The 2P grammar to parse with.
+        config: Parser tunables (see :class:`ParserConfig`).
+        validate_grammar: When ``True``, run the static analyzer
+            (:func:`repro.analysis.analyze_grammar`) on *grammar* and
+            raise :class:`~repro.analysis.GrammarDiagnosticsError` if any
+            error-severity diagnostic is found -- fast-fail instead of
+            silently parsing worse.  Off by default: the analyzer is
+            imported lazily, so the default path carries zero overhead.
+    """
+
+    def __init__(
+        self,
+        grammar: TwoPGrammar,
+        config: ParserConfig | None = None,
+        validate_grammar: bool = False,
+    ):
         from repro.grammar.cache import cached_schedule
 
+        if validate_grammar:
+            from repro.analysis import analyze_grammar
+
+            analyze_grammar(grammar).raise_if_errors()
         self.grammar = grammar
         self.config = config or ParserConfig()
         self.schedule: Schedule = cached_schedule(grammar)
@@ -907,6 +927,15 @@ class ExhaustiveParser(BestEffortParser):
     amazon.com fragment.
     """
 
-    def __init__(self, grammar: TwoPGrammar, config: ParserConfig | None = None):
+    def __init__(
+        self,
+        grammar: TwoPGrammar,
+        config: ParserConfig | None = None,
+        validate_grammar: bool = False,
+    ):
         base = config or ParserConfig()
-        super().__init__(grammar, replace(base, enable_preferences=False))
+        super().__init__(
+            grammar,
+            replace(base, enable_preferences=False),
+            validate_grammar=validate_grammar,
+        )

@@ -16,18 +16,140 @@ before" edges over the grammar's symbols:
   of the loser, which still prevents false instances from breeding -- and
   if even the transformed edges close cycles, the r-edge is *relaxed*
   (dropped) and rollback compensates for the late pruning.
+
+The graph construction itself lives in :func:`build_schedule_graph`, a
+total function (it never raises) shared between the runtime scheduler
+(:func:`build_schedule`) and the static analyzer
+(:mod:`repro.analysis`), so the analyzer's preview of cycles,
+transformations, and relaxations cannot drift from what the parser will
+actually do.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Protocol
 
-from repro.grammar.grammar import TwoPGrammar
 from repro.grammar.preference import Preference
+from repro.grammar.production import Production
+
+#: How an r-edge was accommodated by the greedy scheduler.
+ACTION_DIRECT = "direct"
+ACTION_TRANSFORMED = "transformed"
+ACTION_RELAXED = "relaxed"
+ACTION_SELF = "self"
+
+#: Cap on enumerated elementary cycles (diagnostics stay readable even for
+#: adversarial grammars; the cap is far above anything a real grammar hits).
+MAX_REPORTED_CYCLES = 16
+
+
+class SchedulableGrammar(Protocol):
+    """The slice of a grammar the scheduler needs.
+
+    Satisfied by :class:`~repro.grammar.grammar.TwoPGrammar` and by the
+    analyzer's unvalidated :class:`~repro.analysis.view.GrammarView`.
+    """
+
+    @property
+    def productions(self) -> tuple[Production, ...]: ...
+
+    @property
+    def preferences(self) -> tuple[Preference, ...]: ...
+
+    def component_heads(self, symbol: str) -> set[str]: ...
 
 
 class ScheduleError(ValueError):
-    """Raised when the mandatory d-edges are cyclic."""
+    """Raised when the mandatory d-edges are cyclic.
+
+    Attributes:
+        cycles: Every elementary d-edge cycle found (up to
+            :data:`MAX_REPORTED_CYCLES`), each a node path whose first and
+            last element coincide.
+    """
+
+    def __init__(self, message: str, cycles: tuple[tuple[str, ...], ...] = ()):
+        super().__init__(message)
+        self.cycles = cycles
+
+
+@dataclass(frozen=True)
+class REdgeDecision:
+    """What the greedy scheduler decided for one preference's r-edge.
+
+    Attributes:
+        preference: The preference whose r-edge was processed.
+        action: One of ``"direct"`` (winner -> loser edge added),
+            ``"transformed"`` (winner ordered before the loser's parents
+            instead), ``"relaxed"`` (dropped; rollback compensates), or
+            ``"self"`` (winner == loser; self-cycles never affect
+            scheduling).
+        targets: The edge targets actually added (the loser for
+            ``direct``, the loser's parent heads for ``transformed``,
+            empty otherwise).
+        reason: Human-readable explanation for ``transformed``/``relaxed``
+            decisions.
+    """
+
+    preference: Preference
+    action: str
+    targets: tuple[str, ...] = ()
+    reason: str = ""
+
+
+@dataclass
+class ScheduleGraph:
+    """The full schedule-graph construction record.
+
+    Attributes:
+        nodes: Production heads in declaration order.
+        edges: Final "runs before" adjacency (d-edges plus the r-edges the
+            greedy pass admitted).  When :attr:`cycles` is non-empty the
+            adjacency holds the (cyclic) d-edges only and no r-edge was
+            processed.
+        cycles: Elementary d-edge cycles (empty for schedulable grammars).
+        decisions: One :class:`REdgeDecision` per preference, in
+            declaration order (empty when the d-edges are cyclic).
+        provenance: For every edge ``(source, target)``, the production
+            and preference names that put it there (diagnostics and error
+            messages).
+    """
+
+    nodes: tuple[str, ...]
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    cycles: tuple[tuple[str, ...], ...] = ()
+    decisions: tuple[REdgeDecision, ...] = ()
+    provenance: dict[tuple[str, str], tuple[str, ...]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def transformed(self) -> list[Preference]:
+        """Preferences whose r-edge the greedy pass transformed."""
+        return [
+            decision.preference
+            for decision in self.decisions
+            if decision.action == ACTION_TRANSFORMED
+        ]
+
+    @property
+    def relaxed(self) -> list[Preference]:
+        """Preferences whose r-edge the greedy pass dropped."""
+        return [
+            decision.preference
+            for decision in self.decisions
+            if decision.action == ACTION_RELAXED
+        ]
+
+    def describe_cycle(self, cycle: tuple[str, ...]) -> str:
+        """Render one cycle with per-edge provenance."""
+        parts: list[str] = []
+        for source, target in zip(cycle, cycle[1:]):
+            names = ", ".join(self.provenance.get((source, target), ()))
+            arrow = f"{source} -> {target}"
+            parts.append(f"{arrow} (via {names})" if names else arrow)
+        return "; ".join(parts)
 
 
 @dataclass
@@ -54,7 +176,7 @@ class Schedule:
         return self.order.index(symbol)
 
 
-def _has_path(edges: dict[str, set[str]], source: str, target: str) -> bool:
+def _has_path(edges: Mapping[str, set[str]], source: str, target: str) -> bool:
     """True when *target* is reachable from *source*."""
     if source == target:
         return True
@@ -71,13 +193,63 @@ def _has_path(edges: dict[str, set[str]], source: str, target: str) -> bool:
     return False
 
 
-def _would_cycle(edges: dict[str, set[str]], source: str, target: str) -> bool:
+def _would_cycle(edges: Mapping[str, set[str]], source: str, target: str) -> bool:
     """True when adding ``source -> target`` would create a cycle."""
     return _has_path(edges, target, source)
 
 
-def build_schedule(grammar: TwoPGrammar) -> Schedule:
-    """Build the 2P schedule graph and a topological instantiation order."""
+def _elementary_cycles(
+    nodes: tuple[str, ...],
+    edges: Mapping[str, set[str]],
+    limit: int = MAX_REPORTED_CYCLES,
+) -> tuple[tuple[str, ...], ...]:
+    """Enumerate elementary cycles, capped at *limit*.
+
+    Each cycle is reported exactly once, rooted at its
+    lowest-declaration-index node, as a node path ``(a, b, ..., a)``.
+    """
+    index = {node: position for position, node in enumerate(nodes)}
+
+    def successors(node: str) -> list[str]:
+        return sorted(edges.get(node, ()), key=lambda s: index.get(s, len(index)))
+
+    cycles: list[tuple[str, ...]] = []
+    for start in nodes:
+        if len(cycles) >= limit:
+            break
+        path = [start]
+        on_path = {start}
+        pending = [iter(successors(start))]
+        while pending and len(cycles) < limit:
+            try:
+                nxt = next(pending[-1])
+            except StopIteration:
+                pending.pop()
+                on_path.discard(path.pop())
+                continue
+            if index.get(nxt, -1) < index[start]:
+                continue  # rooted at an earlier node; already reported
+            if nxt == start:
+                cycles.append(tuple(path) + (start,))
+                continue
+            if nxt in on_path:
+                continue
+            path.append(nxt)
+            on_path.add(nxt)
+            pending.append(iter(successors(nxt)))
+    return tuple(cycles)
+
+
+def build_schedule_graph(grammar: SchedulableGrammar) -> ScheduleGraph:
+    """Build the schedule graph without raising.
+
+    Collects every d-edge (with production provenance), enumerates d-edge
+    cycles, and -- when the d-edges are acyclic -- replays the greedy
+    r-edge pass, recording a :class:`REdgeDecision` per preference.  Both
+    :func:`build_schedule` and the static analyzer consume this single
+    construction, so runtime behaviour and static preview agree by
+    definition.
+    """
     nodes: list[str] = []
     seen_nodes: set[str] = set()
     for production in grammar.productions:
@@ -86,6 +258,7 @@ def build_schedule(grammar: TwoPGrammar) -> Schedule:
             nodes.append(production.head)
 
     edges: dict[str, set[str]] = {node: set() for node in nodes}
+    provenance: dict[tuple[str, str], tuple[str, ...]] = {}
 
     # d-edges: component runs before head (self-recursion handled by the
     # per-symbol fix-point, so self-edges are omitted).
@@ -93,52 +266,144 @@ def build_schedule(grammar: TwoPGrammar) -> Schedule:
         head = production.head
         for component in production.components:
             if component in seen_nodes and component != head:
-                if _would_cycle(edges, component, head):
-                    raise ScheduleError(
-                        f"d-edges are cyclic: adding {component} -> {head} "
-                        f"(production {production.name}) closes a cycle"
-                    )
                 edges[component].add(head)
+                key = (component, head)
+                if production.name not in provenance.get(key, ()):
+                    provenance[key] = provenance.get(key, ()) + (
+                        production.name,
+                    )
 
-    transformed: list[Preference] = []
-    relaxed: list[Preference] = []
+    cycles = _elementary_cycles(tuple(nodes), edges)
+    if cycles:
+        return ScheduleGraph(
+            nodes=tuple(nodes),
+            edges=edges,
+            cycles=cycles,
+            provenance=provenance,
+        )
 
     # r-edges, added greedily in declaration order (paper Section 5.2).
+    decisions: list[REdgeDecision] = []
     for preference in grammar.preferences:
         winner = preference.winner_symbol
         loser = preference.loser_symbol
         if winner == loser:
-            continue  # self-cycles do not affect scheduling
+            # Self-cycles do not affect scheduling.
+            decisions.append(REdgeDecision(preference, ACTION_SELF))
+            continue
         if winner not in seen_nodes or loser not in seen_nodes:
-            relaxed.append(preference)
+            missing = [s for s in (winner, loser) if s not in seen_nodes]
+            decisions.append(
+                REdgeDecision(
+                    preference,
+                    ACTION_RELAXED,
+                    reason="no production instantiates "
+                    + " or ".join(repr(s) for s in missing),
+                )
+            )
             continue
         if not _would_cycle(edges, winner, loser):
             edges[winner].add(loser)
+            key = (winner, loser)
+            if preference.name not in provenance.get(key, ()):
+                provenance[key] = provenance.get(key, ()) + (
+                    f"preference {preference.name}",
+                )
+            decisions.append(
+                REdgeDecision(preference, ACTION_DIRECT, targets=(loser,))
+            )
             continue
         # Transformation: order the winner before every parent of the loser
         # instead; the loser's false instances then still cannot breed.
-        parent_heads = {
+        parent_heads = sorted(
             head
             for head in grammar.component_heads(loser)
             if head != winner and head != loser and head in seen_nodes
-        }
+        )
         if parent_heads and all(
             not _would_cycle(edges, winner, parent) for parent in parent_heads
         ):
             for parent in parent_heads:
                 edges[winner].add(parent)
-            transformed.append(preference)
+                key = (winner, parent)
+                tag = f"preference {preference.name} (transformed)"
+                if tag not in provenance.get(key, ()):
+                    provenance[key] = provenance.get(key, ()) + (tag,)
+            decisions.append(
+                REdgeDecision(
+                    preference,
+                    ACTION_TRANSFORMED,
+                    targets=tuple(parent_heads),
+                    reason=f"direct r-edge {winner} -> {loser} closes a "
+                    "cycle; winner ordered before the loser's parents "
+                    "instead",
+                )
+            )
         else:
-            relaxed.append(preference)
+            if not parent_heads:
+                reason = (
+                    f"direct r-edge {winner} -> {loser} closes a cycle and "
+                    f"{loser} has no other parent productions to transform "
+                    "through"
+                )
+            else:
+                reason = (
+                    f"direct r-edge {winner} -> {loser} closes a cycle and "
+                    "the transformed edges "
+                    + ", ".join(f"{winner} -> {p}" for p in parent_heads)
+                    + " would close cycles too"
+                )
+            decisions.append(
+                REdgeDecision(preference, ACTION_RELAXED, reason=reason)
+            )
 
-    order = _topological_order(nodes, edges)
-    return Schedule(order=order, transformed=transformed, relaxed=relaxed, edges=edges)
+    return ScheduleGraph(
+        nodes=tuple(nodes),
+        edges=edges,
+        cycles=(),
+        decisions=tuple(decisions),
+        provenance=provenance,
+    )
 
 
-def _topological_order(nodes: list[str], edges: dict[str, set[str]]) -> list[str]:
+def build_schedule(grammar: SchedulableGrammar) -> Schedule:
+    """Build the 2P schedule graph and a topological instantiation order.
+
+    Raises:
+        ScheduleError: the mandatory d-edges are cyclic.  The message
+            enumerates **every** elementary cycle (up to
+            :data:`MAX_REPORTED_CYCLES`) with the productions that
+            contribute each edge, and the error's :attr:`ScheduleError.cycles`
+            carries them structurally.
+    """
+    graph = build_schedule_graph(grammar)
+    if graph.cycles:
+        rendered = " | ".join(
+            graph.describe_cycle(cycle) for cycle in graph.cycles
+        )
+        count = len(graph.cycles)
+        suffix = "+" if count >= MAX_REPORTED_CYCLES else ""
+        raise ScheduleError(
+            f"d-edges are cyclic: {count}{suffix} cycle(s): {rendered}",
+            cycles=graph.cycles,
+        )
+    order = _topological_order(list(graph.nodes), graph.edges, graph)
+    return Schedule(
+        order=order,
+        transformed=graph.transformed,
+        relaxed=graph.relaxed,
+        edges=graph.edges,
+    )
+
+
+def _topological_order(
+    nodes: list[str],
+    edges: Mapping[str, set[str]],
+    graph: ScheduleGraph | None = None,
+) -> list[str]:
     """Kahn's algorithm, stable with respect to declaration order."""
     indegree: dict[str, int] = {node: 0 for node in nodes}
-    for source, targets in edges.items():
+    for targets in edges.values():
         for target in targets:
             indegree[target] += 1
     ready = [node for node in nodes if indegree[node] == 0]
@@ -151,5 +416,24 @@ def _topological_order(nodes: list[str], edges: dict[str, set[str]]) -> list[str
             if indegree[target] == 0:
                 ready.append(target)
     if len(order) != len(nodes):  # pragma: no cover - guarded by d-edge check
-        raise ScheduleError("schedule graph is cyclic after relaxation")
+        leftover = tuple(node for node in nodes if node not in order)
+        cycles = _elementary_cycles(leftover, dict(edges))
+        detail = (
+            " | ".join(graph.describe_cycle(cycle) for cycle in cycles)
+            if graph is not None and cycles
+            else ", ".join(leftover)
+        )
+        raise ScheduleError(
+            f"schedule graph is cyclic after relaxation: {detail}",
+            cycles=cycles,
+        )
     return order
+
+
+def edge_list(edges: Mapping[str, Iterable[str]]) -> list[tuple[str, str]]:
+    """Flatten an adjacency into sorted ``(source, target)`` pairs."""
+    return sorted(
+        (source, target)
+        for source, targets in edges.items()
+        for target in targets
+    )

@@ -1,0 +1,44 @@
+"""Regression: the shipped grammars lint clean (zero error diagnostics).
+
+The bar is *errors*, not warnings: the standard grammar legitimately
+carries a G006 (the ``hiddenfield`` terminal is tokenized but no pattern
+consumes it) and an S003 (preference R8's r-edge cannot be scheduled and
+relies on rollback) -- both documented behaviours, not defects.
+"""
+
+import pytest
+
+from repro.analysis import analyze_grammar
+from repro.apps.navmenu import build_menu_grammar
+from repro.grammar.example_g import build_example_grammar
+from repro.grammar.standard import build_standard_grammar
+
+GRAMMARS = {
+    "standard": build_standard_grammar,
+    "example": build_example_grammar,
+    "navmenu": build_menu_grammar,
+}
+
+
+class TestShippedGrammarsLintClean:
+    @pytest.mark.parametrize("name", sorted(GRAMMARS))
+    def test_no_error_diagnostics(self, name):
+        report = analyze_grammar(GRAMMARS[name]())
+        assert not report.has_errors, report.describe()
+
+    def test_example_grammar_is_fully_clean(self):
+        assert len(analyze_grammar(build_example_grammar())) == 0
+
+    def test_standard_grammar_known_warnings_are_stable(self):
+        report = analyze_grammar(build_standard_grammar())
+        assert report.codes() == {"G006", "S003"}
+        assert [d.symbol for d in report.by_code("G006")] == ["hiddenfield"]
+        assert [d.preference for d in report.by_code("S003")] == [
+            "R8-cp-over-attr"
+        ]
+
+    def test_analysis_accepts_open_builders(self):
+        from repro.grammar.standard import standard_builder
+
+        report = analyze_grammar(standard_builder())
+        assert not report.has_errors

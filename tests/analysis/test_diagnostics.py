@@ -1,0 +1,91 @@
+"""Tests for the diagnostics vocabulary (Diagnostic / AnalysisReport)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    Diagnostic,
+    GrammarDiagnosticsError,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+)
+
+
+def _diag(code, severity, **kwargs):
+    return Diagnostic(code=code, severity=severity, message=f"m-{code}", **kwargs)
+
+
+class TestDiagnostic:
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError, match="severity"):
+            Diagnostic(code="G001", severity="fatal", message="boom")
+
+    def test_str_includes_code_severity_and_provenance(self):
+        diagnostic = _diag("P003", SEVERITY_WARNING, symbol="RBList",
+                           preference="R2")
+        rendered = str(diagnostic)
+        assert "P003" in rendered
+        assert "warning" in rendered
+        assert "symbol=RBList" in rendered
+        assert "preference=R2" in rendered
+
+    def test_to_dict_is_json_serializable(self):
+        diagnostic = _diag(
+            "S001", SEVERITY_ERROR, symbol="A", data={"cycle": ["A", "B", "A"]}
+        )
+        payload = json.loads(json.dumps(diagnostic.to_dict()))
+        assert payload["code"] == "S001"
+        assert payload["data"]["cycle"] == ["A", "B", "A"]
+
+
+class TestAnalysisReport:
+    def test_sorted_gravest_first(self):
+        report = AnalysisReport(
+            grammar="g",
+            diagnostics=(
+                _diag("S002", SEVERITY_INFO),
+                _diag("G006", SEVERITY_WARNING),
+                _diag("G001", SEVERITY_ERROR),
+            ),
+        )
+        assert [d.severity for d in report] == ["error", "warning", "info"]
+
+    def test_selectors(self):
+        report = AnalysisReport(
+            grammar="g",
+            diagnostics=(
+                _diag("G001", SEVERITY_ERROR),
+                _diag("G001", SEVERITY_ERROR),
+                _diag("G006", SEVERITY_WARNING),
+            ),
+        )
+        assert len(report.errors) == 2
+        assert len(report.warnings) == 1
+        assert report.has_errors
+        assert report.codes() == {"G001", "G006"}
+        assert len(report.by_code("G001")) == 2
+        assert report.summary() == {"error": 2, "warning": 1, "info": 0}
+
+    def test_describe_mentions_counts(self):
+        report = AnalysisReport(grammar="g", diagnostics=(_diag("G001", "error"),))
+        assert "1 error(s)" in report.describe()
+
+    def test_to_json_round_trips(self):
+        report = AnalysisReport(grammar="g", diagnostics=(_diag("G006", "warning"),))
+        payload = json.loads(report.to_json())
+        assert payload["grammar"] == "g"
+        assert payload["diagnostics"][0]["code"] == "G006"
+
+    def test_raise_if_errors_raises_and_carries_report(self):
+        report = AnalysisReport(grammar="g", diagnostics=(_diag("G001", "error"),))
+        with pytest.raises(GrammarDiagnosticsError) as excinfo:
+            report.raise_if_errors()
+        assert excinfo.value.report is report
+        assert "G001" in str(excinfo.value)
+
+    def test_raise_if_errors_chains_when_clean(self):
+        report = AnalysisReport(grammar="g", diagnostics=(_diag("G006", "warning"),))
+        assert report.raise_if_errors() is report

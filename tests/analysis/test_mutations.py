@@ -1,0 +1,131 @@
+"""Property-style mutation tests: seed a defect into the *standard*
+grammar, assert the analyzer pins it with the documented code.
+
+Each mutation starts from the pristine standard grammar view (which has
+zero error diagnostics) and perturbs exactly one declaration, so any new
+error the report shows is attributable to the seeded defect.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import GrammarView, analyze_grammar
+from repro.grammar.preference import Preference, always
+from repro.grammar.standard import build_standard_grammar
+
+
+def standard_view():
+    return GrammarView.from_grammar(build_standard_grammar())
+
+
+def _mutate(view, productions=None, preferences=None, terminals=None):
+    return GrammarView.from_parts(
+        terminals=view.terminals if terminals is None else terminals,
+        productions=view.productions if productions is None else productions,
+        start=view.start,
+        preferences=view.preferences if preferences is None else preferences,
+        nonterminals=view.nonterminals,
+        name=view.name,
+    )
+
+
+_VIEW = standard_view()
+_HEADS = sorted({p.head for p in _VIEW.productions if p.head != _VIEW.start})
+_TRIVIAL = [
+    p for p in _VIEW.preferences
+    if p.condition is always and p.criteria is always
+    and p.winner_symbol != p.loser_symbol
+]
+_BOUNDED = [i for i, p in enumerate(_VIEW.productions) if p.bounds]
+
+
+class TestSeededMutations:
+    @given(st.sampled_from(_HEADS))
+    @settings(max_examples=20, deadline=None)
+    def test_dropping_all_productions_of_a_head_is_g003(self, head):
+        productions = tuple(
+            p for p in _VIEW.productions if p.head != head
+        )
+        report = analyze_grammar(_mutate(_VIEW, productions=productions))
+        assert head in {d.symbol for d in report.by_code("G003")}
+        assert report.has_errors
+
+    @given(st.integers(min_value=0, max_value=len(_VIEW.productions) - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_undefined_component_is_g001(self, index):
+        target = _VIEW.productions[index]
+        corrupted = replace(
+            target,
+            components=target.components[:-1] + ("ghost-symbol",),
+        )
+        productions = list(_VIEW.productions)
+        productions[index] = corrupted
+        report = analyze_grammar(_mutate(_VIEW, productions=tuple(productions)))
+        hits = report.by_code("G001")
+        assert any(
+            d.symbol == "ghost-symbol" and d.production == corrupted.name
+            for d in hits
+        )
+
+    @given(st.sampled_from(_BOUNDED))
+    @settings(max_examples=25, deadline=None)
+    def test_corrupted_bound_is_g010(self, index):
+        target = _VIEW.productions[index]
+        i, j, _h, _v = target.bounds[0]
+        corrupted = replace(
+            target,
+            bounds=((i, j, (9.0, 1.0), None),) + target.bounds[1:],
+        )
+        productions = list(_VIEW.productions)
+        productions[index] = corrupted
+        report = analyze_grammar(_mutate(_VIEW, productions=tuple(productions)))
+        assert any(
+            d.production == corrupted.name for d in report.by_code("G010")
+        )
+
+    @given(st.integers(min_value=0, max_value=len(_VIEW.productions) - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_nullary_constructor_is_g012(self, index):
+        target = _VIEW.productions[index]
+        corrupted = replace(target, constructor=lambda: {})
+        productions = list(_VIEW.productions)
+        productions[index] = corrupted
+        report = analyze_grammar(_mutate(_VIEW, productions=tuple(productions)))
+        assert any(
+            d.production == corrupted.name for d in report.by_code("G012")
+        )
+
+    @given(st.sampled_from(_TRIVIAL))
+    @settings(max_examples=10, deadline=None)
+    def test_inverted_trivial_preference_is_p004(self, preference):
+        inverted = Preference(
+            winner_symbol=preference.loser_symbol,
+            loser_symbol=preference.winner_symbol,
+            name="inverted",
+        )
+        report = analyze_grammar(
+            _mutate(_VIEW, preferences=_VIEW.preferences + (inverted,))
+        )
+        assert any(
+            d.preference == "inverted" for d in report.by_code("P004")
+        )
+
+    @given(st.sampled_from(_TRIVIAL))
+    @settings(max_examples=10, deadline=None)
+    def test_duplicated_trivial_preference_is_p005(self, preference):
+        duplicate = Preference(
+            winner_symbol=preference.winner_symbol,
+            loser_symbol=preference.loser_symbol,
+            name="duplicate",
+        )
+        report = analyze_grammar(
+            _mutate(_VIEW, preferences=_VIEW.preferences + (duplicate,))
+        )
+        assert any(
+            d.preference == "duplicate" for d in report.by_code("P005")
+        )
+
+    def test_pristine_view_is_error_free(self):
+        assert not analyze_grammar(_VIEW).has_errors

@@ -1,0 +1,140 @@
+"""Seeded-defect tests for the preference pass (P001-P007)."""
+
+from repro.analysis import GrammarView, analyze_grammar
+from repro.grammar.preference import Preference, subsumes
+from repro.grammar.production import Production
+
+
+def view(preferences, productions=None, terminals=("t",), nonterminals=None):
+    if productions is None:
+        productions = (Production("A", ("t",)), Production("B", ("t",)))
+    return GrammarView.from_parts(
+        terminals=terminals,
+        productions=productions,
+        start=productions[0].head,
+        preferences=preferences,
+        nonterminals=nonterminals,
+    )
+
+
+class TestPreferencePass:
+    def test_p001_undeclared_winner_and_loser(self):
+        report = analyze_grammar(view([Preference("X", "Y", name="xy")]))
+        hits = report.by_code("P001")
+        assert {(d.symbol, d.data["role"]) for d in hits} == {
+            ("X", "winner"), ("Y", "loser"),
+        }
+        assert all(d.severity == "error" for d in hits)
+
+    def test_p002_preference_between_terminals_never_fires(self):
+        report = analyze_grammar(
+            view([Preference("t", "u", name="tu")], terminals=("t", "u"))
+        )
+        hits = report.by_code("P002")
+        assert len(hits) == 1
+        assert hits[0].severity == "warning"
+
+    def test_p002_not_reported_when_one_side_is_a_head(self):
+        report = analyze_grammar(
+            view([Preference("A", "t", name="at")])
+        )
+        assert not report.by_code("P002")
+
+    def test_p002_not_stacked_on_p001(self):
+        # An undeclared symbol is P001; P002 only fires for declared pairs.
+        report = analyze_grammar(view([Preference("X", "t", name="xt")]))
+        assert report.by_code("P001")
+        assert not report.by_code("P002")
+
+    def test_p003_trivial_self_preference(self):
+        report = analyze_grammar(view([Preference("A", "A", name="aa")]))
+        hits = report.by_code("P003")
+        assert len(hits) == 1
+        assert hits[0].symbol == "A"
+
+    def test_p003_not_reported_with_nontrivial_criteria(self):
+        report = analyze_grammar(
+            view([Preference("A", "A", condition=subsumes, name="aa")])
+        )
+        assert not report.by_code("P003")
+
+    def test_p004_mutually_contradictory_trivial_pair(self):
+        report = analyze_grammar(
+            view([
+                Preference("A", "B", name="ab"),
+                Preference("B", "A", name="ba"),
+            ])
+        )
+        hits = report.by_code("P004")
+        assert len(hits) == 1
+        assert hits[0].preference == "ba"
+        assert hits[0].data["contradicts"] == "ab"
+
+    def test_p004_not_reported_for_conditional_reverse(self):
+        report = analyze_grammar(
+            view([
+                Preference("A", "B", name="ab"),
+                Preference("B", "A", condition=subsumes, name="ba"),
+            ])
+        )
+        assert not report.by_code("P004")
+
+    def test_p005_shadowed_by_earlier_trivial_same_pair(self):
+        report = analyze_grammar(
+            view([
+                Preference("A", "B", name="first"),
+                Preference("A", "B", condition=subsumes, name="second"),
+            ])
+        )
+        hits = report.by_code("P005")
+        assert len(hits) == 1
+        assert hits[0].preference == "second"
+        assert hits[0].data["shadowed_by"] == "first"
+
+    def test_p005_conditional_first_does_not_shadow(self):
+        report = analyze_grammar(
+            view([
+                Preference("A", "B", condition=subsumes, name="first"),
+                Preference("A", "B", name="second"),
+            ])
+        )
+        assert not report.by_code("P005")
+
+    def test_p006_duplicate_preference_name(self):
+        report = analyze_grammar(
+            view([
+                Preference("A", "B", name="dup"),
+                Preference("B", "A", condition=subsumes, name="dup"),
+            ])
+        )
+        hits = report.by_code("P006")
+        assert hits[0].preference == "dup"
+        assert hits[0].data["count"] == 2
+
+    def test_p007_non_binary_condition(self):
+        report = analyze_grammar(
+            view([Preference("A", "B", condition=lambda v: True, name="ab")])
+        )
+        hits = report.by_code("P007")
+        assert len(hits) == 1
+        assert hits[0].severity == "error"
+        assert hits[0].data["role"] == "condition"
+
+    def test_p007_non_binary_criteria(self):
+        report = analyze_grammar(
+            view([
+                Preference("A", "B", criteria=lambda a, b, c: True, name="ab"),
+            ])
+        )
+        assert report.by_code("P007")[0].data["role"] == "criteria"
+
+    def test_clean_preferences(self):
+        report = analyze_grammar(
+            view([
+                Preference("A", "B", name="ab"),
+                Preference("A", "A", condition=subsumes, name="aa"),
+            ])
+        )
+        preference_codes = {"P001", "P002", "P003", "P004", "P005", "P006",
+                            "P007"}
+        assert not (report.codes() & preference_codes)

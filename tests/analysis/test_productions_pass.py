@@ -1,0 +1,161 @@
+"""Seeded-defect tests for the production pass (G010-G013)."""
+
+from repro.analysis import GrammarView, analyze_grammar
+from repro.grammar.production import Production
+
+
+def view(*productions):
+    return GrammarView.from_parts(
+        terminals=("t", "u"),
+        productions=productions,
+        start=productions[0].head,
+    )
+
+
+class TestBoundSatisfiability:
+    def test_g010_negative_symmetric_gap(self):
+        report = analyze_grammar(
+            view(Production("A", ("t", "u"), bounds=((0, 1, -2.0, None),)))
+        )
+        hits = report.by_code("G010")
+        assert len(hits) == 1
+        assert hits[0].severity == "error"
+        assert hits[0].data["axis"] == "horizontal"
+
+    def test_g010_inverted_signed_interval(self):
+        report = analyze_grammar(
+            view(Production("A", ("t", "u"), bounds=((0, 1, None, (3.0, 1.0)),)))
+        )
+        hits = report.by_code("G010")
+        assert len(hits) == 1
+        assert hits[0].data["axis"] == "vertical"
+        assert hits[0].data["spec"] == [3.0, 1.0]
+
+    def test_g010_reports_each_empty_axis(self):
+        report = analyze_grammar(
+            view(
+                Production(
+                    "A", ("t", "u"), bounds=((0, 1, -1.0, (5.0, 2.0)),)
+                )
+            )
+        )
+        assert len(report.by_code("G010")) == 2
+
+    def test_satisfiable_bounds_are_clean(self):
+        report = analyze_grammar(
+            view(
+                Production(
+                    "A", ("t", "u"),
+                    bounds=(
+                        (0, 1, 4.0, (-2.0, 10.0)),
+                        (0, 1, (None, 3.0), None),
+                    ),
+                )
+            )
+        )
+        assert not report.by_code("G010")
+        assert not report.by_code("G011")
+
+    def test_g011_contradictory_signed_intervals(self):
+        report = analyze_grammar(
+            view(
+                Production(
+                    "A", ("t", "u"),
+                    bounds=(
+                        (0, 1, (5.0, None), None),
+                        (0, 1, (None, 2.0), None),
+                    ),
+                )
+            )
+        )
+        hits = report.by_code("G011")
+        assert len(hits) == 1
+        assert hits[0].severity == "error"
+        assert hits[0].data["axis"] == "horizontal"
+
+    def test_g011_displacement_floor_exceeds_symmetric_gap(self):
+        # displacement >= 10 forces a gap of >= 10, but the symmetric
+        # bound caps the gap at 4: jointly unsatisfiable.
+        report = analyze_grammar(
+            view(
+                Production(
+                    "A", ("t", "u"),
+                    bounds=((0, 1, 4.0, None), (0, 1, (10.0, None), None)),
+                )
+            )
+        )
+        assert len(report.by_code("G011")) == 1
+
+    def test_g011_compatible_conjunction_is_clean(self):
+        report = analyze_grammar(
+            view(
+                Production(
+                    "A", ("t", "u"),
+                    bounds=((0, 1, 8.0, None), (0, 1, (2.0, 6.0), None)),
+                )
+            )
+        )
+        assert not report.by_code("G011")
+
+    def test_different_pairs_never_conjoin(self):
+        report = analyze_grammar(
+            view(
+                Production(
+                    "A", ("t", "u", "t"),
+                    bounds=((0, 1, (5.0, None), None), (1, 2, (None, 2.0), None)),
+                )
+            )
+        )
+        assert not report.by_code("G011")
+
+
+class TestCallableArity:
+    def test_g012_constructor_takes_too_few(self):
+        report = analyze_grammar(
+            view(Production("A", ("t", "u"), constructor=lambda a: {}))
+        )
+        hits = report.by_code("G012")
+        assert len(hits) == 1
+        assert hits[0].severity == "error"
+        assert hits[0].data == {"role": "constructor", "arity": 2}
+
+    def test_g013_constraint_takes_too_many(self):
+        report = analyze_grammar(
+            view(Production("A", ("t",), constraint=lambda a, b: True))
+        )
+        assert len(report.by_code("G013")) == 1
+
+    def test_variadic_callables_accept_any_arity(self):
+        report = analyze_grammar(
+            view(
+                Production(
+                    "A", ("t", "u"),
+                    constraint=lambda *parts: True,
+                    constructor=lambda *parts: {},
+                )
+            )
+        )
+        assert not report.by_code("G012")
+        assert not report.by_code("G013")
+
+    def test_defaults_absorb_extra_components(self):
+        report = analyze_grammar(
+            view(Production("A", ("t", "u"), constraint=lambda a, b=None: True))
+        )
+        assert not report.by_code("G013")
+
+    def test_required_keyword_only_parameter_is_an_error(self):
+        def constructor(a, b, *, tag):
+            return {}
+
+        report = analyze_grammar(
+            view(Production("A", ("t", "u"), constructor=constructor))
+        )
+        hits = report.by_code("G012")
+        assert len(hits) == 1
+        assert "tag" in hits[0].message
+
+    def test_default_callables_are_clean(self):
+        report = analyze_grammar(view(Production("A", ("t", "u", "t"))))
+        assert not report.by_code("G012")
+        assert not report.by_code("G013")

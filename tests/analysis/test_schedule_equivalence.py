@@ -1,0 +1,66 @@
+"""The analyzer's schedule preview must agree with the runtime scheduler.
+
+Both consume :func:`build_schedule_graph`, so agreement holds by
+construction -- these tests guard that property against a future fork of
+the two code paths.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import GrammarView, analyze_grammar
+from repro.apps.navmenu import build_menu_grammar
+from repro.grammar.example_g import build_example_grammar
+from repro.grammar.standard import build_standard_grammar
+from repro.parser.schedule import (
+    ScheduleError,
+    build_schedule,
+    build_schedule_graph,
+    edge_list,
+)
+
+from tests.parser.test_schedule_properties import random_grammars
+
+GRAMMARS = {
+    "standard": build_standard_grammar,
+    "example": build_example_grammar,
+    "navmenu": build_menu_grammar,
+}
+
+
+def assert_preview_matches_runtime(grammar):
+    graph = build_schedule_graph(GrammarView.from_grammar(grammar))
+    report = analyze_grammar(grammar)
+    if graph.cycles:
+        with pytest.raises(ScheduleError):
+            build_schedule(grammar)
+        assert report.by_code("S001")
+        return
+    schedule = build_schedule(grammar)
+    assert edge_list(graph.edges) == edge_list(schedule.edges)
+    assert [p.name for p in graph.transformed] == [
+        p.name for p in schedule.transformed
+    ]
+    assert [p.name for p in graph.relaxed] == [
+        p.name for p in schedule.relaxed
+    ]
+    # Reports are sorted by provenance, schedules by declaration order;
+    # compare the sets of preference names.
+    assert sorted(d.preference for d in report.by_code("S002")) == sorted(
+        p.name for p in schedule.transformed
+    )
+    assert sorted(d.preference for d in report.by_code("S003")) == sorted(
+        p.name for p in schedule.relaxed
+    )
+    assert not report.by_code("S001")
+
+
+class TestScheduleEquivalence:
+    @pytest.mark.parametrize("name", sorted(GRAMMARS))
+    def test_shipped_grammars(self, name):
+        assert_preview_matches_runtime(GRAMMARS[name]())
+
+    @given(random_grammars())
+    @settings(max_examples=80, deadline=None)
+    def test_random_grammars(self, grammar):
+        assert_preview_matches_runtime(grammar)

@@ -1,0 +1,106 @@
+"""Seeded-defect tests for the schedule-graph pass (S001-S003)."""
+
+from repro.analysis import GrammarView, analyze_grammar
+from repro.grammar.dsl import GrammarBuilder
+from repro.grammar.preference import Preference
+from repro.grammar.production import Production
+
+
+class TestSchedulePass:
+    def test_s001_d_edge_cycle(self):
+        # A needs B and B needs A: unschedulable.
+        view = GrammarView.from_parts(
+            terminals=("t",),
+            productions=(
+                Production("A", ("B", "t"), name="pa"),
+                Production("B", ("A", "t"), name="pb"),
+            ),
+            start="A",
+        )
+        report = analyze_grammar(view)
+        hits = report.by_code("S001")
+        assert len(hits) == 1
+        assert hits[0].severity == "error"
+        cycle = hits[0].data["cycle"]
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"A", "B"}
+        # Edge provenance names the contributing productions.
+        productions = {
+            name for edge in hits[0].data["edges"] for name in edge["productions"]
+        }
+        assert productions == {"pa", "pb"}
+
+    def test_s001_reports_multiple_cycles(self):
+        view = GrammarView.from_parts(
+            terminals=("t",),
+            productions=(
+                Production("A", ("B",), name="p1"),
+                Production("B", ("A",), name="p2"),
+                Production("C", ("D",), name="p3"),
+                Production("D", ("C",), name="p4"),
+            ),
+            start="A",
+        )
+        report = analyze_grammar(view)
+        assert len(report.by_code("S001")) == 2
+
+    def test_s002_transformed_r_edge_preview(self):
+        # winner <- loser d-edge forces the direct r-edge into a cycle;
+        # the loser has another parent, so the edge is transformed.
+        g = GrammarBuilder(start="W")
+        g.terminals("t")
+        g.production("L", ["t"])
+        g.production("W", ["L"])
+        g.production("P", ["L", "t"])
+        g.prefer("W", over="L", name="r")
+        report = analyze_grammar(g)
+        hits = report.by_code("S002")
+        assert len(hits) == 1
+        assert hits[0].severity == "info"
+        assert hits[0].preference == "r"
+        assert hits[0].data["parents"] == ["P"]
+
+    def test_s003_relaxed_r_edge(self):
+        # The loser's only parent is the winner itself: nothing to
+        # transform through, so the r-edge is dropped.
+        g = GrammarBuilder(start="W")
+        g.terminals("t")
+        g.production("L", ["t"])
+        g.production("W", ["L"])
+        g.prefer("W", over="L", name="r")
+        report = analyze_grammar(g)
+        hits = report.by_code("S003")
+        assert len(hits) == 1
+        assert hits[0].severity == "warning"
+        assert "cycle" in hits[0].data["reason"]
+
+    def test_s003_missing_symbol_relaxation(self):
+        view = GrammarView.from_parts(
+            terminals=("t",),
+            productions=(Production("A", ("t",)),),
+            start="A",
+            preferences=(Preference("A", "Ghost", name="r"),),
+        )
+        report = analyze_grammar(view)
+        hits = report.by_code("S003")
+        assert len(hits) == 1
+        assert "Ghost" in hits[0].data["reason"]
+
+    def test_self_preferences_produce_no_schedule_diagnostics(self):
+        g = GrammarBuilder(start="A")
+        g.terminals("t")
+        g.production("A", ["t"])
+        g.prefer("A", over="A", name="self")
+        report = analyze_grammar(g)
+        assert not report.by_code("S002")
+        assert not report.by_code("S003")
+
+    def test_acyclic_grammar_with_honoured_preferences_is_clean(self):
+        g = GrammarBuilder(start="S")
+        g.terminals("t")
+        g.production("A", ["t"])
+        g.production("B", ["t"])
+        g.production("S", ["A", "B"])
+        g.prefer("A", over="B", name="ab")
+        report = analyze_grammar(g)
+        assert not (report.codes() & {"S001", "S002", "S003"})

@@ -1,0 +1,116 @@
+"""Seeded-defect tests for the symbol-hygiene pass (G001-G008)."""
+
+from repro.analysis import GrammarView, analyze_grammar
+from repro.grammar.production import Production
+
+
+def view(productions, terminals=("t",), start=None, nonterminals=None,
+         preferences=()):
+    productions = tuple(productions)
+    if start is None:
+        start = productions[0].head
+    return GrammarView.from_parts(
+        terminals=terminals,
+        productions=productions,
+        start=start,
+        preferences=preferences,
+        nonterminals=nonterminals,
+    )
+
+
+class TestSymbolHygiene:
+    def test_g001_undeclared_component(self):
+        report = analyze_grammar(view([Production("A", ("t", "ghost"))]))
+        hits = report.by_code("G001")
+        assert len(hits) == 1
+        assert hits[0].severity == "error"
+        assert hits[0].symbol == "ghost"
+        assert hits[0].production == "A<-t+ghost"
+
+    def test_g002_start_is_terminal(self):
+        report = analyze_grammar(view([Production("A", ("t",))], start="t"))
+        assert report.by_code("G002")[0].severity == "error"
+
+    def test_g002_start_undeclared(self):
+        report = analyze_grammar(view([Production("A", ("t",))], start="Z"))
+        assert "not declared" in report.by_code("G002")[0].message
+
+    def test_g003_headless_nonterminal(self):
+        report = analyze_grammar(
+            view(
+                [Production("A", ("t", "B"))],
+                nonterminals=("A", "B"),
+            )
+        )
+        hits = report.by_code("G003")
+        assert len(hits) == 1
+        assert hits[0].symbol == "B"
+        assert hits[0].severity == "error"
+
+    def test_g004_unreachable_nonterminal(self):
+        report = analyze_grammar(
+            view([Production("A", ("t",)), Production("Orphan", ("t",))])
+        )
+        hits = report.by_code("G004")
+        assert [d.symbol for d in hits] == ["Orphan"]
+        assert hits[0].severity == "warning"
+
+    def test_g005_unproductive_cycle(self):
+        # A and B only derive each other; neither bottoms out in terminals.
+        report = analyze_grammar(
+            view(
+                [
+                    Production("S", ("t",)),
+                    Production("A", ("B", "t")),
+                    Production("B", ("A", "t")),
+                ],
+                start="S",
+            )
+        )
+        assert {d.symbol for d in report.by_code("G005")} == {"A", "B"}
+
+    def test_g006_unused_terminal(self):
+        report = analyze_grammar(
+            view([Production("A", ("t",))], terminals=("t", "spare"))
+        )
+        hits = report.by_code("G006")
+        assert [d.symbol for d in hits] == ["spare"]
+        assert hits[0].severity == "warning"
+
+    def test_g007_duplicate_production_name(self):
+        report = analyze_grammar(
+            view(
+                [
+                    Production("A", ("t",), name="dup"),
+                    Production("A", ("t", "t"), name="dup"),
+                ]
+            )
+        )
+        hits = report.by_code("G007")
+        assert hits[0].production == "dup"
+        assert hits[0].data["count"] == 2
+
+    def test_g008_production_with_dead_component(self):
+        report = analyze_grammar(
+            view(
+                [Production("A", ("t", "B"))],
+                nonterminals=("A", "B"),
+            )
+        )
+        hits = report.by_code("G008")
+        assert len(hits) == 1
+        assert hits[0].data["components"] == ["B"]
+
+    def test_g008_not_reported_for_undeclared_symbols(self):
+        # 'ghost' is a G001 error; it must not double as a G008.
+        report = analyze_grammar(view([Production("A", ("t", "ghost"))]))
+        assert not report.by_code("G008")
+
+    def test_clean_grammar_has_no_symbol_diagnostics(self):
+        report = analyze_grammar(
+            view([Production("A", ("t",)), Production("S", ("A", "t"))],
+                 start="S")
+        )
+        symbol_codes = {"G001", "G002", "G003", "G004", "G005", "G006",
+                        "G007", "G008"}
+        assert not (report.codes() & symbol_codes)

@@ -1,0 +1,56 @@
+"""The ``validate_grammar`` opt-in on the parser and extractor."""
+
+import pytest
+
+from repro.analysis import GrammarDiagnosticsError
+from repro.extractor import FormExtractor
+from repro.grammar.dsl import GrammarBuilder
+from repro.grammar.standard import build_standard_grammar
+from repro.parser.parser import BestEffortParser, ExhaustiveParser
+
+
+def grammar_with_arity_defect():
+    """Builds fine (construction validates shape, not callables) but the
+    analyzer flags the nullary constructor as G012."""
+    g = GrammarBuilder(start="QI")
+    g.terminals("text")
+    g.production("QI", ["text"], constructor=lambda: {})
+    return g.build()
+
+
+class TestValidateGrammarWiring:
+    def test_parser_fast_fails_on_error_diagnostics(self):
+        bad = grammar_with_arity_defect()
+        with pytest.raises(GrammarDiagnosticsError) as excinfo:
+            BestEffortParser(bad, validate_grammar=True)
+        assert "G012" in excinfo.value.report.codes()
+
+    def test_exhaustive_parser_fast_fails_too(self):
+        bad = grammar_with_arity_defect()
+        with pytest.raises(GrammarDiagnosticsError):
+            ExhaustiveParser(bad, validate_grammar=True)
+
+    def test_extractor_fast_fails(self):
+        bad = grammar_with_arity_defect()
+        with pytest.raises(GrammarDiagnosticsError):
+            FormExtractor(grammar=bad, validate_grammar=True)
+
+    def test_default_is_permissive(self):
+        # Best-effort by design: a defective grammar still constructs a
+        # parser unless validation is requested.
+        parser = BestEffortParser(grammar_with_arity_defect())
+        assert parser is not None
+
+    def test_clean_grammar_passes_validation(self):
+        parser = BestEffortParser(
+            build_standard_grammar(), validate_grammar=True
+        )
+        assert parser is not None
+
+    def test_error_carries_full_report(self):
+        bad = grammar_with_arity_defect()
+        with pytest.raises(GrammarDiagnosticsError) as excinfo:
+            BestEffortParser(bad, validate_grammar=True)
+        report = excinfo.value.report
+        assert report.has_errors
+        assert report.grammar

@@ -261,6 +261,45 @@ class TestGrammar:
         assert "productions" in output
 
 
+class TestLint:
+    def test_lints_all_grammars_clean(self, capsys):
+        assert main(["lint"]) == 0
+        output = capsys.readouterr().out
+        for name in ("standard", "example", "navmenu"):
+            assert f"grammar {name}:" in output
+        assert "0 error(s)" in output
+
+    def test_single_grammar_selection(self, capsys):
+        assert main(["lint", "--grammar", "example"]) == 0
+        output = capsys.readouterr().out
+        assert "grammar example:" in output
+        assert "grammar standard:" not in output
+
+    def test_standard_grammar_warnings_are_printed(self, capsys):
+        assert main(["lint", "--grammar", "standard"]) == 0
+        output = capsys.readouterr().out
+        assert "G006 warning" in output
+
+    def test_json_reports(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert [report["grammar"] for report in reports] == [
+            "standard", "example", "navmenu",
+        ]
+        assert all(report["summary"]["error"] == 0 for report in reports)
+
+    def test_single_grammar_json(self, capsys):
+        assert main(["lint", "--grammar", "standard", "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert len(reports) == 1
+        codes = {d["code"] for d in reports[0]["diagnostics"]}
+        assert codes == {"G006", "S003"}
+
+    def test_rejects_unknown_grammar(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--grammar", "nonexistent"])
+
+
 class TestParserErrors:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

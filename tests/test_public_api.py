@@ -13,6 +13,7 @@ import repro
 
 PACKAGES = [
     "repro",
+    "repro.analysis",
     "repro.apps",
     "repro.apps.navmenu",
     "repro.baseline",
