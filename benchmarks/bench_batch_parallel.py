@@ -15,24 +15,49 @@ same models (and the same aggregate combo counts) as the serial cold
 run.  The wall-clock assertions are tiered on the machine's actual
 parallelism: >= 4 usable cores demands a 2x speedup, >= 2 cores demands
 1.2x, and a single core demands only that the pool does not *regress*
-past its overhead allowance -- that case is recorded in the metrics so
-the regression gate knows the speedup number is meaningless there.
+past its overhead allowance -- that case records
+``batch120.parallel.skipped: true`` and suppresses the speedup key
+entirely (a one-worker pool "speedup" is not a measurement), so the
+regression gate never compares speedups across differing core counts.
 """
 
 from __future__ import annotations
 
 from benchmarks.bench_parse_time import _token_sets
-from benchmarks.conftest import bench_batch_count, record_metric, record_table
+from benchmarks.conftest import (
+    bench_batch_count,
+    drop_metric,
+    record_metric,
+    record_table,
+)
 from repro.batch import BatchExtractor, usable_cores
+import os
 
-PARALLEL_JOBS = 4
+
+def _parallel_jobs() -> int:
+    """Pool width for the parallel leg (``REPRO_BENCH_JOBS``, default 4).
+
+    ``auto`` sizes the pool to the usable cores -- what the CI
+    ``bench-multicore`` job runs, so the speedup gate always measures the
+    runner's actual parallelism.
+    """
+    raw = os.environ.get("REPRO_BENCH_JOBS", "4")
+    if raw == "auto":
+        return max(1, usable_cores())
+    return max(1, int(raw))
+
+
+PARALLEL_JOBS = _parallel_jobs()
 
 #: Single-core allowance: a one-worker pool adds fork + IPC + chunk
 #: bookkeeping on top of the serial loop.  Multiplicative slack for the
 #: steady-state overhead plus a constant term for pool start-up, which
-#: does not shrink with the batch.
+#: does not shrink with the batch -- and now that the vector kernel cut
+#: the serial wall to well under a second, a cold pool spin-up (~0.3-0.5s
+#: on a loaded 1-core container) dominates the allowance, hence the
+#: constant carries most of it.
 SINGLE_CORE_SLACK = 1.35
-SINGLE_CORE_STARTUP_SECONDS = 0.25
+SINGLE_CORE_STARTUP_SECONDS = 0.5
 
 
 def test_batch_parallel_speedup(benchmark):
@@ -70,8 +95,15 @@ def test_batch_parallel_speedup(benchmark):
     record_metric(
         "batch120.parallel.wall_seconds", round(parallel.wall_seconds, 4)
     )
-    record_metric("batch120.parallel.speedup", round(speedup, 2))
     record_metric("batch120.parallel.worker_overlap", round(overlap, 2))
+    if cores >= 2:
+        # Only record a speedup where one was actually measured; a
+        # one-worker pool "speedup" is pool overhead wearing a costume.
+        record_metric("batch120.parallel.speedup", round(speedup, 2))
+        drop_metric("batch120.parallel.skipped")
+    else:
+        record_metric("batch120.parallel.skipped", True)
+        drop_metric("batch120.parallel.speedup")
     record_table(
         f"Batch extraction: serial vs {PARALLEL_JOBS}-job pool "
         f"({len(token_sets)} interfaces)",

@@ -17,35 +17,18 @@ from __future__ import annotations
 import time
 
 from benchmarks.conftest import bench_batch_count, record_metric, record_table
-from repro.datasets.domains import DOMAINS
-from repro.datasets.generator import GeneratorProfile, SourceGenerator
+from repro.bench import generate_token_sets
 from repro.grammar.standard import build_standard_grammar
-from repro.html.parser import parse_html
 from repro.parser.parser import BestEffortParser, ParserConfig
-from repro.tokens.tokenizer import FormTokenizer
 
 
 def _token_sets(target_count, size_low, size_high, base_seed):
-    """Tokenized forms whose sizes fall within the requested band."""
-    profile = GeneratorProfile(
-        min_conditions=3, max_conditions=7, rare_pattern_prob=0.0
-    )
-    token_sets = []
-    seed = base_seed
-    domains = sorted(DOMAINS)
-    while len(token_sets) < target_count:
-        domain = DOMAINS[domains[seed % len(domains)]]
-        source = SourceGenerator(domain, profile).generate(seed)
-        seed += 1
-        document = parse_html(source.html)
-        tokenizer = FormTokenizer(document)
-        forms = document.forms
-        tokens = tokenizer.tokenize(forms[0] if forms else None)
-        if size_low <= len(tokens) <= size_high:
-            token_sets.append(tokens)
-        if seed - base_seed > 40 * target_count:  # pragma: no cover
-            break
-    return token_sets
+    """Tokenized forms whose sizes fall within the requested band.
+
+    Delegates to :func:`repro.bench.generate_token_sets` so ``repro
+    bench`` and the pytest benchmarks measure the identical workload.
+    """
+    return generate_token_sets(target_count, size_low, size_high, base_seed)
 
 
 def test_parse_time_single_interface(benchmark):
@@ -105,30 +88,44 @@ def test_parse_time_scaling(benchmark):
 
 
 def test_parse_time_batch_120(benchmark):
-    """120 interfaces of average size ~22: the paper's '<100 s' case."""
+    """120 interfaces of average size ~22: the paper's '<100 s' case.
+
+    Best-of-3 rounds: wall-clock noise on shared hosts routinely exceeds
+    30%, so the recorded metric keeps the best round -- the number
+    closest to what the code costs, not what the neighbors cost.
+    """
     batch_count = bench_batch_count()
     token_sets = _token_sets(batch_count, 14, 32, base_seed=61_000)
     average_size = sum(len(t) for t in token_sets) / len(token_sets)
     parser = BestEffortParser(build_standard_grammar())
+    walls = []
 
     def parse_all():
         started = time.perf_counter()
         for tokens in token_sets:
             parser.parse(tokens)
-        return time.perf_counter() - started
+        walls.append(time.perf_counter() - started)
+        return walls[-1]
 
-    elapsed = benchmark.pedantic(parse_all, rounds=1, iterations=1)
+    benchmark.pedantic(parse_all, rounds=3, iterations=1)
+    elapsed = min(walls)
     record_table(
         "Section 5.1: batch parse time (120 interfaces)",
         f"interfaces: {len(token_sets)}, average size: {average_size:.1f} "
-        f"tokens\nmeasured: {elapsed:.2f} s total "
-        f"({1000 * elapsed / len(token_sets):.1f} ms/interface)\n"
+        f"tokens, {parser.kernel} kernel\n"
+        f"measured: {elapsed:.2f} s total "
+        f"({1000 * elapsed / len(token_sets):.1f} ms/interface, best of "
+        f"{len(walls)} rounds)\n"
         f"paper: < 100 s on 2003 hardware",
     )
     benchmark.extra_info["interfaces"] = len(token_sets)
     benchmark.extra_info["average_size"] = round(average_size, 1)
     benchmark.extra_info["total_seconds"] = round(elapsed, 3)
+    record_metric("batch120.kernel", parser.kernel)
     record_metric("batch120.seminaive.wall_seconds", round(elapsed, 4))
+    record_metric(
+        "batch120.seminaive.wall_rounds", [round(w, 4) for w in walls]
+    )
     record_metric("batch120.average_size", round(average_size, 1))
     record_metric("batch120.forms", len(token_sets))
     assert len(token_sets) == batch_count

@@ -32,6 +32,7 @@ from repro.datasets.repository import standard_datasets
 
 _TABLES: list[tuple[str, str]] = []
 _METRICS: dict[str, object] = {}
+_DROPPED: set[str] = set()
 
 
 def record_table(title: str, body: str) -> None:
@@ -42,6 +43,19 @@ def record_table(title: str, body: str) -> None:
 def record_metric(key: str, value: object) -> None:
     """Register one machine-readable number for ``BENCH_parse.json``."""
     _METRICS[key] = value
+    _DROPPED.discard(key)
+
+
+def drop_metric(key: str) -> None:
+    """Remove *key* from the merged report.
+
+    The JSON on disk is merged, not replaced, so a metric that this run
+    deliberately does *not* record (e.g. ``parallel.speedup`` on a
+    single-core box, where the number would be meaningless) must be
+    actively dropped or a stale value from an earlier run would survive.
+    """
+    _METRICS.pop(key, None)
+    _DROPPED.add(key)
 
 
 def _bench_json_path() -> Path:
@@ -53,7 +67,7 @@ def _bench_json_path() -> Path:
 
 def _flush_metrics() -> Path | None:
     """Merge this run's metrics into the JSON report on disk."""
-    if not _METRICS:
+    if not _METRICS and not _DROPPED:
         return None
     path = _bench_json_path()
     merged: dict[str, object] = {}
@@ -62,6 +76,8 @@ def _flush_metrics() -> Path | None:
             merged = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):  # unreadable/corrupt: start over
             merged = {}
+    for key in _DROPPED:
+        merged.pop(key, None)
     merged.update(_METRICS)
     path.write_text(
         json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8"

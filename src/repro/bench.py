@@ -1,0 +1,174 @@
+"""Parse-stage micro-benchmark and profiler (``repro bench``).
+
+The pytest benchmarks under ``benchmarks/`` regenerate the paper's
+tables; this module is the *developer* entry point for the single number
+that perf PRs optimize -- wall time of the parse stage over the standard
+120-interface corpus -- plus the profile behind it:
+
+* :func:`generate_token_sets` builds the deterministic synthetic corpus
+  (the same generator and seed the pytest benchmarks use, so numbers are
+  comparable across both harnesses);
+* :func:`run_parse_bench` parses the corpus ``repeats`` times and keeps
+  the best wall time (host noise on shared machines easily exceeds 30%,
+  so a single-shot number is close to meaningless);
+* :func:`profile_parse` runs the corpus under :mod:`cProfile` and
+  renders the top cumulative-time entries, so future perf PRs start
+  from data, not guesses.
+
+``repro bench --profile`` (or ``REPRO_BENCH_PROFILE=1``) writes the
+profile table to ``BENCH_profile.txt`` next to ``BENCH_parse.json``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from dataclasses import dataclass, field
+
+from repro.datasets.domains import DOMAINS
+from repro.datasets.generator import GeneratorProfile, SourceGenerator
+from repro.grammar.standard import build_standard_grammar
+from repro.html.parser import parse_html
+from repro.parser.parser import BestEffortParser, ParserConfig
+from repro.tokens.model import Token
+from repro.tokens.tokenizer import FormTokenizer
+
+#: Environment variable that forces ``--profile`` on.
+PROFILE_ENV = "REPRO_BENCH_PROFILE"
+
+#: Entries shown in the cProfile table.
+PROFILE_TOP = 20
+
+#: The standard corpus parameters (the paper's batch: 120 interfaces of
+#: average size ~22 tokens).  ``benchmarks/bench_parse_time.py`` uses the
+#: same values, so ``repro bench`` and the pytest benchmarks measure the
+#: identical workload.
+BATCH_FORMS = 120
+BATCH_SIZE_LOW = 14
+BATCH_SIZE_HIGH = 32
+BATCH_SEED = 61_000
+
+
+def generate_token_sets(
+    target_count: int,
+    size_low: int = BATCH_SIZE_LOW,
+    size_high: int = BATCH_SIZE_HIGH,
+    base_seed: int = BATCH_SEED,
+) -> list[list[Token]]:
+    """Tokenized synthetic forms whose sizes fall within the band.
+
+    Deterministic in ``base_seed``: the generator walks seeds upward and
+    keeps forms whose token count lands inside ``[size_low, size_high]``.
+    """
+    profile = GeneratorProfile(
+        min_conditions=3, max_conditions=7, rare_pattern_prob=0.0
+    )
+    token_sets: list[list[Token]] = []
+    seed = base_seed
+    domains = sorted(DOMAINS)
+    while len(token_sets) < target_count:
+        domain = DOMAINS[domains[seed % len(domains)]]
+        source = SourceGenerator(domain, profile).generate(seed)
+        seed += 1
+        document = parse_html(source.html)
+        tokenizer = FormTokenizer(document)
+        forms = document.forms
+        tokens = tokenizer.tokenize(forms[0] if forms else None)
+        if size_low <= len(tokens) <= size_high:
+            token_sets.append(tokens)
+        if seed - base_seed > 40 * target_count:  # pragma: no cover
+            break
+    return token_sets
+
+
+@dataclass
+class BenchResult:
+    """One ``repro bench`` measurement."""
+
+    forms: int
+    average_size: float
+    kernel: str
+    wall_seconds: float
+    rounds: list[float] = field(default_factory=list)
+    combos_examined: int = 0
+    instances_created: int = 0
+
+    def describe(self) -> str:
+        per_form = 1000.0 * self.wall_seconds / max(1, self.forms)
+        rounds = ", ".join(f"{wall:.3f}" for wall in self.rounds)
+        return (
+            f"parsed {self.forms} interfaces (avg {self.average_size:.1f} "
+            f"tokens) with the {self.kernel} kernel\n"
+            f"best wall time: {self.wall_seconds:.3f} s "
+            f"({per_form:.1f} ms/interface) over {len(self.rounds)} "
+            f"round(s): [{rounds}]\n"
+            f"combos examined: {self.combos_examined}, instances created: "
+            f"{self.instances_created}"
+        )
+
+
+def run_parse_bench(
+    token_sets: list[list[Token]],
+    kernel: str = "auto",
+    repeats: int = 3,
+) -> BenchResult:
+    """Parse the corpus ``repeats`` times; keep the best wall time.
+
+    The counters are identical across rounds (parsing is deterministic),
+    so only the final round's are kept.
+    """
+    parser = BestEffortParser(
+        build_standard_grammar(), ParserConfig(kernel=kernel)
+    )
+    rounds: list[float] = []
+    combos = instances = 0
+    for _ in range(max(1, repeats)):
+        combos = instances = 0
+        started = time.perf_counter()
+        for tokens in token_sets:
+            stats = parser.parse(tokens).stats
+            combos += stats.combos_examined
+            instances += stats.instances_created
+        rounds.append(time.perf_counter() - started)
+    average_size = (
+        sum(len(tokens) for tokens in token_sets) / len(token_sets)
+        if token_sets
+        else 0.0
+    )
+    return BenchResult(
+        forms=len(token_sets),
+        average_size=average_size,
+        kernel=parser.kernel,
+        wall_seconds=min(rounds),
+        rounds=rounds,
+        combos_examined=combos,
+        instances_created=instances,
+    )
+
+
+def profile_parse(
+    token_sets: list[list[Token]],
+    kernel: str = "auto",
+    top: int = PROFILE_TOP,
+) -> str:
+    """Render the parse stage's cProfile top-``top`` cumulative table."""
+    parser = BestEffortParser(
+        build_standard_grammar(), ParserConfig(kernel=kernel)
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        for tokens in token_sets:
+            parser.parse(tokens)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    header = (
+        f"# repro bench profile: {len(token_sets)} interfaces, "
+        f"{parser.kernel} kernel, top {top} by cumulative time\n"
+    )
+    return header + buffer.getvalue()

@@ -17,6 +17,11 @@ Commands:
   outcomes and ``--resume`` replays them after a crash; ``--resilient``
   runs the degradation ladder; ``--trace`` prints the stage timing
   summary).
+* ``bench``         -- time the parse stage over the standard synthetic
+  corpus (``--forms N``, ``--kernel auto|vector|scalar``, ``--repeats N``
+  keeps the best of N rounds; ``--profile`` or ``REPRO_BENCH_PROFILE=1``
+  additionally writes a cProfile top-20 cumulative table to
+  ``BENCH_profile.txt``/``--profile-out``).
 * ``grammar``       -- print the derived global grammar.
 * ``lint``          -- statically analyze the built-in grammars
   (``--grammar standard|example|navmenu|all``, default ``all``) and print
@@ -248,6 +253,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any(report.has_errors for report in reports) else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench import (
+        PROFILE_ENV,
+        generate_token_sets,
+        profile_parse,
+        run_parse_bench,
+    )
+
+    token_sets = generate_token_sets(args.forms)
+    result = run_parse_bench(
+        token_sets, kernel=args.kernel, repeats=args.repeats
+    )
+    print(result.describe())
+    profile_requested = args.profile or os.environ.get(
+        PROFILE_ENV, ""
+    ) not in ("", "0")
+    if profile_requested:
+        report = profile_parse(token_sets, kernel=args.kernel)
+        try:
+            with open(args.profile_out, "w", encoding="utf-8") as fh:
+                fh.write(report)
+        except OSError as error:
+            return _fail(
+                EXIT_UNREADABLE, "unwritable", args.profile_out, str(error)
+            )
+        print(f"# profile written to {args.profile_out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_grammar(_args: argparse.Namespace) -> int:
     grammar = build_standard_grammar()
     print(grammar.describe())
@@ -365,6 +401,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
                                "erroring")
     _add_cache_flags(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    bench = subparsers.add_parser(
+        "bench", help="benchmark the parse stage on the synthetic corpus"
+    )
+    bench.add_argument("--forms", type=int, default=120,
+                       help="corpus size (default 120, the paper's batch)")
+    bench.add_argument("--kernel", default="auto",
+                       choices=["auto", "vector", "scalar"],
+                       help="spatial kernel to benchmark (default auto)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="rounds to run; the best wall time is "
+                            "reported (default 3)")
+    bench.add_argument("--profile", action="store_true",
+                       help="also run the corpus under cProfile and write "
+                            "the top-20 cumulative table "
+                            "(REPRO_BENCH_PROFILE=1 does the same)")
+    bench.add_argument("--profile-out", metavar="PATH",
+                       default="BENCH_profile.txt",
+                       help="where to write the profile table "
+                            "(default BENCH_profile.txt)")
+    bench.set_defaults(func=_cmd_bench)
 
     grammar = subparsers.add_parser(
         "grammar", help="print the derived global grammar"

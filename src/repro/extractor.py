@@ -248,6 +248,8 @@ class FormExtractor:
         construct = trace.add_span(
             "parse.construct", stats.construction_seconds, counters=stats.counters()
         )
+        construct.tags["kernel"] = stats.kernel
+        self.metrics.inc(f"parse.kernel.{stats.kernel}")
         if stats.truncated:
             construct.tags["truncated"] = True
         trace.add_span(
@@ -410,6 +412,8 @@ class FormExtractor:
                 stats.construction_seconds,
                 counters=stats.counters(),
             )
+            construct.tags["kernel"] = stats.kernel
+            self.metrics.inc(f"parse.kernel.{stats.kernel}")
             if stats.truncated:
                 construct.tags["truncated"] = True
             trace.add_span(

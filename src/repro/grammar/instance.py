@@ -34,7 +34,8 @@ class Instance:
         "uid",
         "symbol",
         "children",
-        "coverage",
+        "_coverage",
+        "coverage_mask",
         "bbox",
         "payload",
         "token",
@@ -53,13 +54,29 @@ class Instance:
         payload: dict[str, Any] | None = None,
         token: Token | None = None,
         production: "Production | None" = None,
+        coverage_mask: int | None = None,
     ):
         self.uid: int = next(_instance_counter)
         self.symbol = symbol
         self.children = children
-        if coverage is None:
-            coverage = frozenset().union(*(c.coverage for c in children)) if children else frozenset()
-        self.coverage: frozenset[int] = coverage
+        if coverage_mask is None:
+            # Token ids are small per-form serials, so the coverage set
+            # doubles as an int bitmask -- disjointness and conflict tests
+            # become single machine-word (for typical forms) AND operations
+            # instead of frozenset intersections.
+            coverage_mask = 0
+            if coverage is not None:
+                for token_id in coverage:
+                    coverage_mask |= 1 << token_id
+            else:
+                for child in children:
+                    coverage_mask |= child.coverage_mask
+        self.coverage_mask: int = coverage_mask
+        # The frozenset view is decoded from the mask on first access:
+        # most instances are temporary (built, pruned, never reported), so
+        # eagerly materializing their coverage sets is wasted work on the
+        # parser's hottest path.
+        self._coverage: frozenset[int] | None = coverage
         self.bbox = bbox
         self.payload: dict[str, Any] = payload or {}
         self.token = token
@@ -84,6 +101,25 @@ class Instance:
     @property
     def is_terminal(self) -> bool:
         return self.token is not None
+
+    @property
+    def coverage(self) -> frozenset[int]:
+        """Ids of the tokens this instance covers.
+
+        Decoded lazily from :attr:`coverage_mask` (bit *i* set == token
+        ``i`` covered) and cached; the mask is the authoritative
+        representation.
+        """
+        coverage = self._coverage
+        if coverage is None:
+            mask = self.coverage_mask
+            ids = []
+            while mask:
+                low = mask & -mask
+                ids.append(low.bit_length() - 1)
+                mask ^= low
+            coverage = self._coverage = frozenset(ids)
+        return coverage
 
     # -- tree structure -----------------------------------------------------------
 
@@ -160,9 +196,17 @@ class Instance:
         """
         if other is self:
             return False
-        if not (self.coverage & other.coverage):
+        if not (self.coverage_mask & other.coverage_mask):
             return False
-        return not (self.is_ancestor_of(other) or other.is_ancestor_of(self))
+        mine = self._descendant_uids
+        if mine is None:
+            mine = self.descendant_uids()
+        if other.uid in mine:
+            return False
+        theirs = other._descendant_uids
+        if theirs is None:
+            theirs = other.descendant_uids()
+        return self.uid not in theirs
 
     # -- presentation --------------------------------------------------------------
 

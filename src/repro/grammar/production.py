@@ -137,28 +137,70 @@ class Production:
         Checks pairwise distinctness, coverage disjointness, and the
         declared constraint, then runs the constructor.
         """
-        seen: set[int] = set()
-        coverage: set[int] = set()
-        for component in components:
-            if component.uid in seen:
+        # Coverage disjointness via int bitmasks: parser-built instances
+        # always cover at least one token, so overlapping masks subsume the
+        # pairwise-distinctness test too (an instance overlaps itself).
+        # Empty-coverage instances (possible for hand-built inputs only)
+        # fall back to the explicit uid scan.  The head's coverage *set* is
+        # never materialized here -- the union mask is authoritative and
+        # the frozenset view decodes lazily on demand.
+        if len(components) == 2:
+            # Unrolled two-component case: binary productions dominate the
+            # standard grammar, so this branch is nearly every call.  The
+            # no-op default constraint/constructor are skipped by identity
+            # and the bbox union is computed inline -- together that keeps
+            # the accept path free of intermediate calls.
+            first, second = components
+            mask = first.coverage_mask
+            second_mask = second.coverage_mask
+            if mask and second_mask:
+                if mask & second_mask:
+                    return None
+                mask |= second_mask
+            elif first is second:
                 return None
-            seen.add(component.uid)
-            if coverage & component.coverage:
+            else:
+                mask |= second_mask
+            constraint = self.constraint
+            if constraint is not _always and not constraint(first, second):
                 return None
-            coverage |= component.coverage
-        if not self.constraint(*components):
-            return None
-        payload = self.constructor(*components)
-        if payload is None:
-            return None
-        bbox = _union_boxes(components)
+            constructor = self.constructor
+            if constructor is _empty_payload:
+                payload: dict[str, Any] | None = {}
+            else:
+                payload = constructor(first, second)
+                if payload is None:
+                    return None
+            a = first.bbox
+            b = second.bbox
+            bbox = BBox(
+                a.left if a.left <= b.left else b.left,
+                a.right if a.right >= b.right else b.right,
+                a.top if a.top <= b.top else b.top,
+                a.bottom if a.bottom >= b.bottom else b.bottom,
+            )
+        else:
+            mask = 0
+            for component in components:
+                component_mask = component.coverage_mask
+                if component_mask:
+                    if mask & component_mask:
+                        return None
+                    mask |= component_mask
+                else:
+                    seen: set[int] = set()
+                    for other in components:
+                        if other.uid in seen:
+                            return None
+                        seen.add(other.uid)
+            if not self.constraint(*components):
+                return None
+            payload = self.constructor(*components)
+            if payload is None:
+                return None
+            bbox = _union_boxes(components)
         instance = Instance(
-            symbol=self.head,
-            bbox=bbox,
-            children=components,
-            coverage=frozenset(coverage),
-            payload=payload,
-            production=self,
+            self.head, bbox, components, None, payload, None, self, mask
         )
         for component in components:
             component.parents.append(instance)
@@ -169,7 +211,24 @@ class Production:
 
 
 def _union_boxes(instances: tuple[Instance, ...]) -> BBox:
+    """Bounding box of the component boxes, built in one pass.
+
+    Skips the per-pair intermediate ``BBox`` objects (and their validity
+    re-checks) that chained :meth:`BBox.union` calls would create -- this
+    runs once per accepted combination, squarely on the parser's hot path.
+    """
     box = instances[0].bbox
+    if len(instances) == 1:
+        return box
+    left, right, top, bottom = box.left, box.right, box.top, box.bottom
     for instance in instances[1:]:
-        box = box.union(instance.bbox)
-    return box
+        other = instance.bbox
+        if other.left < left:
+            left = other.left
+        if other.right > right:
+            right = other.right
+        if other.top < top:
+            top = other.top
+        if other.bottom > bottom:
+            bottom = other.bottom
+    return BBox(left, right, top, bottom)

@@ -166,10 +166,43 @@ class BBox:
 
 
 def union_all(boxes: list[BBox]) -> BBox:
-    """Bounding box of a non-empty list of boxes."""
+    """Bounding box of a non-empty list of boxes (single pass, no
+    intermediate box objects)."""
     if not boxes:
         raise ValueError("union_all() requires at least one box")
-    result = boxes[0]
+    first = boxes[0]
+    if len(boxes) == 1:
+        return first
+    left, right, top, bottom = first.left, first.right, first.top, first.bottom
     for box in boxes[1:]:
-        result = result.union(box)
-    return result
+        if box.left < left:
+            left = box.left
+        if box.right > right:
+            right = box.right
+        if box.top < top:
+            top = box.top
+        if box.bottom > bottom:
+            bottom = box.bottom
+    return BBox(left, right, top, bottom)
+
+
+def columns_of(boxes: "list[BBox]") -> tuple[
+    list[float], list[float], list[float], list[float]
+]:
+    """Export *boxes* as four parallel coordinate columns.
+
+    The columnar form (``left``, ``right``, ``top``, ``bottom`` lists whose
+    row *i* describes ``boxes[i]``) is what the vectorized spatial kernel
+    consumes: row ids are stable by construction, so a mask over the
+    columns indexes straight back into the originating sequence.
+    """
+    left: list[float] = []
+    right: list[float] = []
+    top: list[float] = []
+    bottom: list[float] = []
+    for box in boxes:
+        left.append(box.left)
+        right.append(box.right)
+        top.append(box.top)
+        bottom.append(box.bottom)
+    return left, right, top, bottom

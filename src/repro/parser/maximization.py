@@ -36,15 +36,17 @@ def maximal_roots(instances: list[Instance]) -> list[Instance]:
     """
     candidates = candidate_roots(instances)
     # Sort once: larger coverage first, then richer interpretation, then
-    # earlier derivation.
+    # earlier derivation.  Coverage size and subsumption both run on the
+    # int bitmask (popcount / masked AND) so no coverage set is decoded.
     candidates.sort(
-        key=lambda inst: (-len(inst.coverage), -inst.size(), inst.uid)
+        key=lambda inst: (-inst.coverage_mask.bit_count(), -inst.size(), inst.uid)
     )
     kept: list[Instance] = []
     for candidate in candidates:
+        mask = candidate.coverage_mask
         subsumed = False
         for winner in kept:
-            if candidate.coverage <= winner.coverage:
+            if mask & winner.coverage_mask == mask:
                 subsumed = True
                 break
         if not subsumed:

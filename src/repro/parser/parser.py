@@ -46,30 +46,48 @@ parse forests, statistics invariants, and merger output are identical.
 
 from __future__ import annotations
 
+import gc
 import itertools
 import time
+from bisect import bisect_left
+from operator import attrgetter
 from dataclasses import dataclass, field, replace
 
 from repro.grammar.grammar import TwoPGrammar
 from repro.grammar.instance import Instance
-from repro.grammar.preference import Preference
+from repro.grammar.preference import Preference, subsumes
 from repro.grammar.production import Production
 from repro.parser.maximization import covered_tokens, maximal_roots
 from repro.parser.schedule import Schedule
 from repro.parser.spatial_index import (
+    KERNEL_MODES,
     MIN_INDEXED_POOL,
     BandIndex,
+    GeometryTable,
+    _load_numpy,
     h_allows,
+    resolve_kernel,
     v_allows,
 )
 from repro.tokens.model import Token
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.guard import ResourceGuard
 
 #: Recognised fix-point evaluation strategies.
 EVALUATION_MODES = ("seminaive", "naive")
+
+#: Winner-index buckets are append-only in ``uid`` order (and compaction
+#: preserves it), so incremental enforcement can binary-search straight to
+#: the first winner registered after a watermark.
+_uid_key = attrgetter("uid")
+
+#: Cell cap for materializing the full loser x winner candidacy matrix in
+#: masked enforcement.  The uint64 intermediates cost 8 bytes per cell, so
+#: this bounds the transient allocation to ~16 MiB; larger (degenerate)
+#: pools fall back to computing one row per alive loser instead.
+_MASKED_MATRIX_CELLS = 1 << 21
 
 
 @dataclass
@@ -93,6 +111,17 @@ class ParserConfig:
             scheduled after it.
         evaluation: Fix-point strategy, ``"seminaive"`` (default) or
             ``"naive"`` (see module docstring).
+        kernel: Spatial-kernel request: ``"auto"`` (default -- vectorized
+            when numpy is importable, scalar otherwise), ``"vector"``
+            (columnar numpy :class:`~repro.parser.spatial_index.GeometryTable`
+            path; raises at parser construction when numpy is absent), or
+            ``"scalar"`` (pure-Python :class:`BandIndex` path).  Both
+            kernels select identical candidates in identical order, so
+            models, warnings, and all ``combos_*`` counters are
+            byte-identical across kernels; only
+            :attr:`ParseStats.spatial_memo_hits` may differ (the two paths
+            memoize different units of work).  The kernel only affects
+            semi-naive evaluation; naive mode always runs scalar.
         memoize_spatial: Memoize per-production spatial-constraint
             evaluations during a symbol's fix-point (semi-naive mode
             only).  The same ``(check, anchor, candidate)`` predicate and
@@ -110,12 +139,27 @@ class ParserConfig:
     max_combos_per_instance: int = 60
     evaluation: str = "seminaive"
     memoize_spatial: bool = True
+    kernel: str = "auto"
+    #: Pause the cyclic garbage collector for the duration of each
+    #: ``parse()`` call.  A parse churns tens of thousands of short-lived
+    #: instances whose parent backrefs form reference cycles, so the
+    #: generational collector fires dozens of times mid-parse scanning
+    #: objects that are all still reachable; deferring collection to the
+    #: end of the call is worth ~20% wall time and changes no result.
+    #: Only toggled when the collector is enabled on entry, and always
+    #: restored on exit (including on exceptions).
+    pause_gc: bool = True
 
     def __post_init__(self) -> None:
         if self.evaluation not in EVALUATION_MODES:
             raise ValueError(
                 f"unknown evaluation mode {self.evaluation!r}; "
                 f"expected one of {EVALUATION_MODES}"
+            )
+        if self.kernel not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                f"expected one of {KERNEL_MODES}"
             )
 
     @property
@@ -129,6 +173,9 @@ class ParseStats:
     """Counters describing one parse (used by the ablation experiments)."""
 
     tokens: int = 0
+    #: Concrete spatial kernel this parse ran (``"vector"`` or
+    #: ``"scalar"``); naive-mode parses always record ``"scalar"``.
+    kernel: str = "scalar"
     instances_created: int = 0
     instances_pruned: int = 0
     rollback_kills: int = 0
@@ -241,33 +288,77 @@ class _ParseState:
 
     __slots__ = (
         "store",
-        "by_token",
         "all_instances",
+        "winner_symbols",
+        "winner_index",
+        "masked_enforcement",
+        "preference_watermark",
+        "dirty_symbols",
         "instances_left",
         "combos_left",
         "compacted_at_kills",
     )
 
-    def __init__(self, instances_left: int, combos_left: int):
+    def __init__(
+        self,
+        instances_left: int,
+        combos_left: int,
+        winner_symbols: frozenset[str] = frozenset(),
+    ):
         self.store: dict[str, list[Instance]] = {}
-        self.by_token: dict[int, list[Instance]] = {}
         self.all_instances: list[Instance] = []
+        #: Symbols that can win some preference: only their instances are
+        #: token-indexed, so ``_find_winner`` scans winner candidates only
+        #: and ``register`` skips the reverse index for everything else.
+        self.winner_symbols = winner_symbols
+        self.winner_index: dict[str, dict[int, list[Instance]]] = {}
+        #: When True every preference is enforced through vectorized
+        #: coverage-mask comparisons and no token index is maintained
+        #: (vector kernel with machine-word-sized masks only).
+        self.masked_enforcement = False
+        #: Per-preference enforcement watermark: the highest instance
+        #: ``uid`` registered when the preference was last enforced.
+        #: Winner/loser pairs that both predate the watermark were already
+        #: tested then (preference predicates are pure functions of the
+        #: immutable instance data, so a no-win verdict is permanent) and
+        #: are skipped on later passes.
+        self.preference_watermark: dict[int, int] = {}
+        #: Symbols whose store pool currently contains dead instances --
+        #: pool snapshots must filter those; clean pools can be aliased.
+        self.dirty_symbols: set[str] = set()
         self.instances_left = instances_left
         self.combos_left = combos_left
         self.compacted_at_kills = 0
 
     def register(self, instance: Instance) -> None:
-        self.store.setdefault(instance.symbol, []).append(instance)
+        symbol = instance.symbol
+        pool = self.store.get(symbol)
+        if pool is None:
+            self.store[symbol] = [instance]
+        else:
+            pool.append(instance)
         self.all_instances.append(instance)
-        for token_id in instance.coverage:
-            self.by_token.setdefault(token_id, []).append(instance)
+        if symbol in self.winner_symbols:
+            index = self.winner_index.get(instance.symbol)
+            if index is None:
+                index = self.winner_index[instance.symbol] = {}
+            mask = instance.coverage_mask
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                token_id = low.bit_length() - 1
+                bucket = index.get(token_id)
+                if bucket is None:
+                    index[token_id] = [instance]
+                else:
+                    bucket.append(instance)
 
     def compact(self) -> None:
         """Drop dead instances from the lookup lists.
 
         ``all_instances`` keeps everything (maximization and the result
         object need the dead for accounting); only the ``store`` pools and
-        the ``by_token`` reverse index -- the structures ``_find_winner``
+        the winner token index -- the structures preference enforcement
         and pool snapshots iterate -- are compacted.  Relative order is
         preserved, so enumeration order and winner selection are
         unaffected.
@@ -275,9 +366,11 @@ class _ParseState:
         for instances in self.store.values():
             if any(not instance.alive for instance in instances):
                 instances[:] = [i for i in instances if i.alive]
-        for instances in self.by_token.values():
-            if any(not instance.alive for instance in instances):
-                instances[:] = [i for i in instances if i.alive]
+        for index in self.winner_index.values():
+            for instances in index.values():
+                if any(not instance.alive for instance in instances):
+                    instances[:] = [i for i in instances if i.alive]
+        self.dirty_symbols.clear()
 
 
 class _SymbolBudget:
@@ -307,11 +400,15 @@ class _SpatialMemo:
     safe from address reuse across symbols.
     """
 
-    __slots__ = ("pairs", "bands")
+    __slots__ = ("pairs", "bands", "selections")
 
     def __init__(self) -> None:
         self.pairs: dict[tuple[int, int, int], bool] = {}
         self.bands: dict[tuple[int, int], list[Instance]] = {}
+        #: ``(id(checks), *anchor_uids) -> list`` -- full
+        #: :meth:`GeometryTable.select` results for one position's check
+        #: tuple against one anchor binding (vector kernel only).
+        self.selections: dict[tuple[int, ...], list[Instance]] = {}
 
 
 class BestEffortParser:
@@ -342,7 +439,29 @@ class BestEffortParser:
             analyze_grammar(grammar).raise_if_errors()
         self.grammar = grammar
         self.config = config or ParserConfig()
+        #: The concrete kernel (``"vector"``/``"scalar"``) this parser
+        #: runs -- resolved once at construction so a ``"vector"`` request
+        #: without numpy fails here, not mid-parse.
+        self.kernel: str = resolve_kernel(self.config.kernel)
         self.schedule: Schedule = cached_schedule(grammar)
+        self._winner_symbols = frozenset(
+            preference.winner_symbol for preference in grammar.preferences
+        )
+        #: Preferences whose condition is the well-known ``subsumes``
+        #: predicate get a dedicated enforcement fast path (see
+        #: ``_find_subsuming_winner``).
+        self._subsume_preferences = frozenset(
+            id(preference)
+            for preference in grammar.preferences
+            if preference.condition is subsumes
+        )
+        #: ``grammar.preferences_involving`` rebuilt per call scans every
+        #: preference; the schedule's symbol set is fixed, so snapshot the
+        #: answer per symbol once.
+        self._preferences_by_symbol: dict[str, tuple[Preference, ...]] = {
+            symbol: tuple(grammar.preferences_involving(symbol))
+            for symbol in self.schedule.order
+        }
 
     # -- public API -------------------------------------------------------------
 
@@ -360,41 +479,66 @@ class BestEffortParser:
         """
         started = time.perf_counter()
         stats = ParseStats(tokens=len(tokens))
+        if self.config.evaluation == "seminaive":
+            stats.kernel = self.kernel
         combos_budget = self.config.max_combos
         if guard is not None and guard.limits.max_combos is not None:
             combos_budget = min(combos_budget, guard.limits.max_combos)
+        # Mask-based preference enforcement needs every coverage mask to
+        # fit a numpy ``uint64``, i.e. all token ids below 64 -- true for
+        # every realistic form, checked explicitly so hand-built token
+        # streams with large ids fall back to the per-token winner index.
+        # When it applies, the per-token winner index is never built at
+        # all (``winner_symbols`` empty), which removes one index insert
+        # per covered token per winner-symbol instance from the hot path.
+        masked = self.kernel == "vector" and all(
+            token.id < 64 for token in tokens
+        )
         state = _ParseState(
             instances_left=self.config.max_instances,
             combos_left=combos_budget,
+            winner_symbols=(
+                frozenset() if masked else self._winner_symbols
+            ),
         )
-        for token in tokens:
-            state.register(Instance.for_token(token))
+        state.masked_enforcement = masked
+        gc_paused = self.config.pause_gc and gc.isenabled()
+        if gc_paused:
+            gc.disable()
+        try:
+            for token in tokens:
+                state.register(Instance.for_token(token))
 
-        for symbol in self.schedule.order:
-            if guard is not None and guard.over_deadline("parse"):
-                stats.truncated = True
-                stats.deadline_exceeded = True
-                break
-            created = self._instantiate(symbol, state, stats, guard)
-            state.instances_left -= created
-            exhausted = (
-                state.instances_left <= 0
-                or state.combos_left <= 0
-                or stats.deadline_exceeded
-            )
-            if exhausted:
-                stats.truncated = True
-            if self.config.enable_preferences:
-                for preference in self.grammar.preferences_involving(symbol):
-                    self._enforce(preference, state, stats)
-                self._maybe_compact(state, stats)
-            if exhausted:
-                break
+            for symbol in self.schedule.order:
+                if guard is not None and guard.over_deadline("parse"):
+                    stats.truncated = True
+                    stats.deadline_exceeded = True
+                    break
+                created = self._instantiate(symbol, state, stats, guard)
+                state.instances_left -= created
+                exhausted = (
+                    state.instances_left <= 0
+                    or state.combos_left <= 0
+                    or stats.deadline_exceeded
+                )
+                if exhausted:
+                    stats.truncated = True
+                if self.config.enable_preferences:
+                    for preference in self._preferences_by_symbol.get(
+                        symbol, ()
+                    ):
+                        self._enforce(preference, state, stats)
+                    self._maybe_compact(state, stats)
+                if exhausted:
+                    break
 
-        construction_done = time.perf_counter()
-        stats.construction_seconds = construction_done - started
-        trees = maximal_roots(state.all_instances)
-        stats.maximization_seconds = time.perf_counter() - construction_done
+            construction_done = time.perf_counter()
+            stats.construction_seconds = construction_done - started
+            trees = maximal_roots(state.all_instances)
+            stats.maximization_seconds = time.perf_counter() - construction_done
+        finally:
+            if gc_paused:
+                gc.enable()
         stats.elapsed_seconds = time.perf_counter() - started
         return ParseResult(
             trees=trees,
@@ -446,22 +590,37 @@ class BestEffortParser:
         """Frontier-based fix-point: round *k* only enumerates combinations
         containing at least one instance created in round *k - 1*."""
         store = state.store
+        dirty = state.dirty_symbols
         # Pools of non-head components are frozen for the whole fix-point:
         # no other symbol is instantiated and no preference is enforced
         # until this symbol completes, so snapshot (and index) them once.
+        # A store pool with no tombstones is aliased outright -- it cannot
+        # mutate until this fix-point ends (only the head symbol's pool
+        # grows, and compaction runs between symbols, never during one).
         fixed_pools: dict[str, list[Instance]] = {}
         for production in productions:
             for component in production.components:
                 if component != symbol and component not in fixed_pools:
-                    fixed_pools[component] = [
-                        inst for inst in store.get(component, []) if inst.alive
-                    ]
+                    pool = store.get(component)
+                    if pool is None:
+                        fixed_pools[component] = []
+                    elif component in dirty:
+                        fixed_pools[component] = [
+                            inst for inst in pool if inst.alive
+                        ]
+                    else:
+                        fixed_pools[component] = pool
         indexes: dict[str, BandIndex] = {}
+        tables: dict[str, GeometryTable] = {}
         memo = _SpatialMemo() if self.config.memoize_spatial else None
         recursive = [p for p in productions if symbol in p.components]
-        head_pool: list[Instance] = [
-            inst for inst in store.get(symbol, []) if inst.alive
-        ]
+        # The head pool grows during the fix-point, so it is always a copy.
+        head_store = store.get(symbol, [])
+        head_pool: list[Instance] = (
+            [inst for inst in head_store if inst.alive]
+            if symbol in dirty
+            else list(head_store)
+        )
         created_total = 0
         delta_len = 0
         first_round = True
@@ -485,8 +644,8 @@ class BestEffortParser:
                         break
                     new_instances.extend(
                         self._apply_seminaive(
-                            production, pools, fixed_pools, indexes, memo,
-                            state, cap, stats, remaining, guard,
+                            production, pools, fixed_pools, indexes, tables,
+                            memo, state, cap, stats, remaining, guard,
                         )
                     )
                     if (
@@ -563,6 +722,7 @@ class BestEffortParser:
         pools: list[list[Instance]],
         fixed_pools: dict[str, list[Instance]],
         indexes: dict[str, BandIndex],
+        tables: dict[str, GeometryTable],
         memo: _SpatialMemo | None,
         state: _ParseState,
         cap: _SymbolBudget,
@@ -576,27 +736,40 @@ class BestEffortParser:
             if not pool:
                 return []
         created: list[Instance] = []
-        for combo in self._combos(
-            production, pools, fixed_pools, indexes, memo, stats
-        ):
-            if (
-                len(created) >= budget
-                or cap.combos_left <= 0
-                or state.combos_left <= 0
+        tick = guard.tick if guard is not None else None
+        try_apply = production.try_apply
+        append = created.append
+        # Budget counters are mirrored into locals for the duration of the
+        # enumeration (one attribute store per *combination* adds up) and
+        # written back in ``finally`` so a raise-mode guard's exception
+        # still leaves the shared accounting exact.
+        budget_left = budget
+        cap_left = cap.combos_left
+        state_left = state.combos_left
+        examined = 0
+        try:
+            for combo in self._combos(
+                production, pools, fixed_pools, indexes, tables, memo, stats
             ):
-                stats.truncated = True
-                break
-            if guard is not None and guard.tick("parse"):
-                stats.truncated = True
-                stats.deadline_exceeded = True
-                break
-            cap.combos_left -= 1
-            state.combos_left -= 1
-            stats.combos_examined += 1
-            instance = production.try_apply(combo)
-            if instance is not None:
-                stats.instances_created += 1
-                created.append(instance)
+                if budget_left <= 0 or cap_left <= 0 or state_left <= 0:
+                    stats.truncated = True
+                    break
+                if tick is not None and tick("parse"):
+                    stats.truncated = True
+                    stats.deadline_exceeded = True
+                    break
+                cap_left -= 1
+                state_left -= 1
+                examined += 1
+                instance = try_apply(combo)
+                if instance is not None:
+                    budget_left -= 1
+                    append(instance)
+        finally:
+            cap.combos_left = cap_left
+            state.combos_left = state_left
+            stats.combos_examined += examined
+            stats.instances_created += len(created)
         return created
 
     def _combos(
@@ -605,20 +778,22 @@ class BestEffortParser:
         pools: list[list[Instance]],
         fixed_pools: dict[str, list[Instance]],
         indexes: dict[str, BandIndex],
+        tables: dict[str, GeometryTable],
         memo: _SpatialMemo | None,
         stats: ParseStats,
-    ):
+    ) -> Iterator[tuple[Instance, ...]]:
         """Enumerate candidate combinations, pre-filtered by the
         production's declarative spatial bounds.
 
         Candidates at every position are visited in ``uid`` order (the
-        pool order), whether produced by a plain filtered scan or by a
-        :class:`BandIndex` query, so the combination order matches the
+        pool order), whether produced by a plain filtered scan, a
+        :class:`BandIndex` query, or a vectorized
+        :meth:`GeometryTable.select`, so the combination order matches the
         naive cartesian product with bound-violating combinations
-        removed.  With *memo* set, predicate verdicts and band queries
-        already evaluated this fix-point are reused instead of recomputed
-        (``ParseStats.spatial_memo_hits``); the selected candidates are
-        identical either way.
+        removed.  With *memo* set, predicate verdicts, band queries, and
+        vector selections already evaluated this fix-point are reused
+        instead of recomputed (``ParseStats.spatial_memo_hits``); the
+        selected candidates are identical either way.
         """
         components = production.components
         bounds_by_target = production.bounds_by_target
@@ -631,6 +806,7 @@ class BestEffortParser:
             yield from itertools.product(*pools)
             return
         combo: list[Instance] = [None] * n  # type: ignore[list-item]
+        vector = self.kernel == "vector"
         # Memoization only pays off for productions with >= 3 components:
         # a pair verdict (or a band query for the same anchor) can only
         # recur when a *third* position varies between two visits; with
@@ -646,15 +822,36 @@ class BestEffortParser:
             if not checks:
                 return pool
             # Indexed path: the pool is the frozen full pool of a fixed
-            # component, large enough that banding beats a linear scan.
+            # component, large enough that indexing beats a linear scan.
             component = components[position]
             fixed = fixed_pools.get(component)
-            primary = None
-            if (
+            indexable = (
                 fixed is not None
                 and pool is fixed
                 and len(pool) >= MIN_INDEXED_POOL
-            ):
+            )
+            if vector and indexable:
+                # Columnar path: evaluate the whole check conjunction over
+                # the pool as vectorized interval masks.
+                table = tables.get(component)
+                if table is None:
+                    table = tables[component] = GeometryTable(pool)
+                if pair_memo is not None:
+                    selection_key = (id(checks),) + tuple(
+                        combo[check[0]].uid for check in checks
+                    )
+                    selected = pair_memo.selections.get(selection_key)
+                    if selected is None:
+                        selected = table.select(checks, combo)
+                        pair_memo.selections[selection_key] = selected
+                    else:
+                        stats.spatial_memo_hits += 1
+                else:
+                    selected = table.select(checks, combo)
+                stats.combos_prefiltered += len(pool) - len(selected)
+                return selected
+            primary = None
+            if indexable:
                 for check in checks:
                     if check[2] is not None:  # needs a vertical bound
                         primary = check
@@ -662,6 +859,7 @@ class BestEffortParser:
             if primary is not None:
                 index = indexes.get(component)
                 if index is None:
+                    assert fixed is not None  # implied by ``indexable``
                     index = BandIndex(fixed)
                     indexes[component] = index
                 anchor, h_spec, v_spec = primary
@@ -699,13 +897,52 @@ class BestEffortParser:
             stats.combos_prefiltered += len(pool) - len(selected)
             return selected
 
-        def expand(position: int):
+        def expand(position: int) -> Iterator[tuple[Instance, ...]]:
             if position == n:
                 yield tuple(combo)
                 return
             for candidate in candidates(position):
                 combo[position] = candidate
                 yield from expand(position + 1)
+
+        if n == 2:
+            # Binary productions dominate practical 2P grammars, so unroll
+            # the recursive expansion into two plain loops.  Position 0
+            # never carries checks (bounds require ``i < j``), and every
+            # check at position 1 anchors on position 0 -- which is what
+            # lets the vector kernel answer the whole plan with one
+            # batched ``select_rows`` matrix instead of one ``select``
+            # call per anchor.
+            pool0, pool1 = pools
+            checks1 = bounds_by_target[1]
+            component1 = components[1]
+            fixed1 = fixed_pools.get(component1)
+            if (
+                vector
+                and checks1
+                and fixed1 is not None
+                and pool1 is fixed1
+                and len(pool1) >= MIN_INDEXED_POOL
+            ):
+                table = tables.get(component1)
+                if table is None:
+                    table = tables[component1] = GeometryTable(pool1)
+                selections = table.select_rows(checks1, pool0)
+                base = len(pool1)
+                # Per-anchor accounting stays lazy (counted when the
+                # enumeration reaches the anchor), matching the scalar
+                # path under early budget breaks.
+                for row, anchor in enumerate(pool0):
+                    selected = selections[row]
+                    stats.combos_prefiltered += base - len(selected)
+                    for candidate in selected:
+                        yield (anchor, candidate)
+                return
+            for anchor in pool0:
+                combo[0] = anchor
+                for candidate in candidates(1):
+                    yield (anchor, candidate)
+            return
 
         yield from expand(0)
 
@@ -852,19 +1089,159 @@ class BestEffortParser:
         state: _ParseState,
         stats: ParseStats,
     ) -> None:
-        """Enforce one preference: invalidate losers, roll back ancestors."""
-        losers = [
-            inst
-            for inst in state.store.get(preference.loser_symbol, [])
-            if inst.alive
-        ]
+        """Enforce one preference: invalidate losers, roll back ancestors.
+
+        Winner candidates come from the incrementally-maintained
+        per-winner-symbol token index (buckets in registration order,
+        matching the old global reverse index), so each loser scans only
+        same-token *winner-symbol* instances instead of every instance
+        sharing a token.
+
+        Enforcement is additionally *incremental* across passes: a
+        winner/loser pair where both instances predate this preference's
+        watermark was already tested the last time the preference ran, and
+        a no-win verdict is permanent (predicates are pure, ancestry and
+        coverage are immutable, and dead instances never resurrect) -- so
+        old losers are only retested against winners registered since.
+        """
+        watermark = state.preference_watermark.get(id(preference), -1)
+        all_instances = state.all_instances
+        state.preference_watermark[id(preference)] = (
+            all_instances[-1].uid if all_instances else -1
+        )
+        loser_pool = state.store.get(preference.loser_symbol)
+        if not loser_pool:
+            return
+        winner_pool = state.store.get(preference.winner_symbol)
+        if not winner_pool:
+            return
+        if (
+            0 <= watermark
+            and loser_pool[-1].uid <= watermark
+            and winner_pool[-1].uid <= watermark
+        ):
+            # Neither pool has grown since the last pass (pools are
+            # uid-ordered, so the tail uid bounds everything): every
+            # surviving pair was already tested then, and no-win verdicts
+            # are permanent.
+            return
+        losers = [inst for inst in loser_pool if inst.alive]
+        if not losers:
+            return
+        subsume = id(preference) in self._subsume_preferences
+        if state.masked_enforcement:
+            self._enforce_masked(
+                preference, losers, winner_pool, watermark, stats, subsume,
+                state.dirty_symbols,
+            )
+            return
+        winners_by_token = state.winner_index.get(preference.winner_symbol)
+        if not winners_by_token:
+            return
         for loser in losers:
             if not loser.alive:
                 continue  # may have died from an earlier rollback this pass
-            winner = self._find_winner(preference, loser, state.by_token)
+            min_uid = watermark + 1 if loser.uid <= watermark else 0
+            if subsume:
+                winner = self._find_subsuming_winner(
+                    preference, loser, winners_by_token, min_uid
+                )
+            else:
+                winner = self._find_winner(
+                    preference, loser, winners_by_token, min_uid
+                )
             if winner is not None:
                 stats.preference_applications += 1
-                self._rollback(loser, stats)
+                self._rollback(loser, stats, state.dirty_symbols)
+
+    def _enforce_masked(
+        self,
+        preference: Preference,
+        losers: list[Instance],
+        winner_pool: list[Instance],
+        watermark: int,
+        stats: ParseStats,
+        subsume: bool,
+        dirty: set[str],
+    ) -> None:
+        """Vectorized preference enforcement over coverage bitmasks.
+
+        With the vector kernel no per-token winner index exists at all;
+        instead the loser x winner candidacy relation is evaluated as one
+        numpy boolean matrix over the ``uint64`` coverage masks -- strict
+        superset for ``subsumes`` preferences (the condition itself),
+        plain intersection for everything else (the shared-token join the
+        token index used to provide).  A kill only depends on *whether*
+        some candidate beats the loser, not on which one is found first,
+        so scanning candidates in uid order instead of bucket order
+        leaves the kill sequence -- and every counter -- identical to the
+        scalar path's.
+
+        Rows are only decoded for losers still alive when the scan
+        reaches them: each kill rolls back whole derivation chains, so
+        most rows die before their turn and their (potentially dense)
+        ancestor-chain hits are never materialized.  The full loser x
+        winner matrix is only materialized while it stays small;
+        degenerate forms (hundreds of thousands of instances in one
+        pool) instead compute each alive loser's hit row on demand,
+        keeping peak memory at O(winners) regardless of pool size.
+        """
+        numpy = _load_numpy()
+        winner_masks = numpy.fromiter(
+            (candidate.coverage_mask for candidate in winner_pool),
+            dtype=numpy.uint64,
+            count=len(winner_pool),
+        )
+        hits = None
+        if len(winner_pool) * len(losers) <= _MASKED_MATRIX_CELLS:
+            loser_masks = numpy.fromiter(
+                (loser.coverage_mask for loser in losers),
+                dtype=numpy.uint64,
+                count=len(losers),
+            ).reshape(-1, 1)
+            if subsume:
+                hits = (winner_masks & loser_masks) == loser_masks
+                hits &= winner_masks != loser_masks
+            else:
+                hits = (winner_masks & loser_masks) != 0
+        uint64 = numpy.uint64
+        flatnonzero = numpy.flatnonzero
+        condition = preference.condition
+        criteria = preference.criteria
+        for row, loser in enumerate(losers):
+            if not loser.alive:  # may have died from an earlier rollback
+                continue
+            min_uid = watermark + 1 if loser.uid <= watermark else 0
+            loser_uid = loser.uid
+            loser_descendants: frozenset[int] | None = None
+            if hits is not None:
+                row_hits = hits[row]
+            else:
+                mask = uint64(loser.coverage_mask)
+                if subsume:
+                    row_hits = (winner_masks & mask) == mask
+                    row_hits &= winner_masks != mask
+                else:
+                    row_hits = (winner_masks & mask) != 0
+            for col in flatnonzero(row_hits).tolist():
+                candidate = winner_pool[col]
+                if candidate.uid < min_uid or not candidate.alive:
+                    continue
+                if loser_descendants is None:
+                    loser_descendants = loser.descendant_uids()
+                if candidate.uid in loser_descendants:
+                    continue  # the loser derives from the candidate
+                candidate_descendants = candidate._descendant_uids
+                if candidate_descendants is None:
+                    candidate_descendants = candidate.descendant_uids()
+                if loser_uid in candidate_descendants:
+                    continue  # the candidate derives from the loser
+                if not subsume and not condition(candidate, loser):
+                    continue
+                if criteria(candidate, loser):
+                    stats.preference_applications += 1
+                    self._rollback(loser, stats, dirty)
+                    break
 
     def _maybe_compact(self, state: _ParseState, stats: ParseStats) -> None:
         """Compact the lookup lists once enough instances have died.
@@ -884,24 +1261,122 @@ class BestEffortParser:
     def _find_winner(
         preference: Preference,
         loser: Instance,
-        by_token: dict[int, list[Instance]],
+        winners_by_token: dict[int, list[Instance]],
+        min_uid: int = 0,
     ) -> Instance | None:
-        """A live winner-type instance that beats *loser*, if any."""
+        """A live winner-type instance that beats *loser*, if any.
+
+        *winners_by_token* holds only winner-symbol instances (indexed by
+        covered token, in registration order), so sharing a bucket already
+        implies sharing a token with *loser*.  Candidates with
+        ``uid < min_uid`` are skipped -- the caller guarantees those pairs
+        were tested (and lost) on an earlier enforcement pass.
+        """
         seen: set[int] = set()
+        loser_descendants: frozenset[int] | None = None
+        condition = preference.condition
+        criteria = preference.criteria
         for token_id in loser.coverage:
-            for candidate in by_token.get(token_id, ()):  # shares a token
-                if (
-                    candidate.alive
-                    and candidate.uid not in seen
-                    and candidate.symbol == preference.winner_symbol
-                ):
+            bucket = winners_by_token.get(token_id)
+            if not bucket:
+                continue
+            if min_uid > 0:
+                # Buckets are uid-sorted; jump over the already-tested
+                # prefix instead of filtering it one element at a time.
+                start = bisect_left(bucket, min_uid, key=_uid_key)
+                if start:
+                    bucket = bucket[start:]
+            for candidate in bucket:
+                if candidate.alive and candidate.uid not in seen:
                     seen.add(candidate.uid)
-                    if preference.applies(candidate, loser):
+                    # Inlined Preference.applies(): symbols are fixed by
+                    # the index and the shared token by the bucket join,
+                    # leaving the no-composition (ancestry) test -- with
+                    # the loser's descendant set hoisted out of the pair
+                    # loop -- and the rule's own predicates.
+                    if loser_descendants is None:
+                        loser_descendants = loser.descendant_uids()
+                    if candidate.uid in loser_descendants:
+                        continue  # the loser derives from the candidate
+                    candidate_descendants = candidate._descendant_uids
+                    if candidate_descendants is None:
+                        candidate_descendants = candidate.descendant_uids()
+                    if loser.uid in candidate_descendants:
+                        continue  # the candidate derives from the loser
+                    if condition(candidate, loser) and criteria(
+                        candidate, loser
+                    ):
                         return candidate
         return None
 
-    def _rollback(self, instance: Instance, stats: ParseStats) -> None:
-        """Invalidate *instance* and every live ancestor built from it."""
+    @staticmethod
+    def _find_subsuming_winner(
+        preference: Preference,
+        loser: Instance,
+        winners_by_token: dict[int, list[Instance]],
+        min_uid: int = 0,
+    ) -> Instance | None:
+        """`_find_winner` specialized for ``condition is subsumes``.
+
+        A subsuming winner covers *every* token the loser covers, so it
+        appears in every one of the loser's buckets -- scanning just the
+        smallest such bucket examines every possible winner exactly once
+        (no dedup set needed), and an empty bucket proves no winner
+        exists.  The subsumption condition itself runs as two int-mask
+        operations instead of a frozenset comparison.  Which winner is
+        *returned* may differ from the generic scan when several apply;
+        enforcement only uses the winner's existence, so the kill set is
+        identical.
+        """
+        bucket: list[Instance] | None = None
+        for token_id in loser.coverage:
+            candidates = winners_by_token.get(token_id)
+            if not candidates:
+                return None
+            if bucket is None or len(candidates) < len(bucket):
+                bucket = candidates
+        if bucket is None:
+            return None
+        if min_uid > 0:
+            # uid-sorted bucket: skip the watermark-cleared prefix outright.
+            start = bisect_left(bucket, min_uid, key=_uid_key)
+            if start:
+                bucket = bucket[start:]
+        loser_mask = loser.coverage_mask
+        loser_uid = loser.uid
+        loser_descendants: frozenset[int] | None = None
+        criteria = preference.criteria
+        for candidate in bucket:
+            candidate_mask = candidate.coverage_mask
+            if (
+                candidate_mask & loser_mask == loser_mask
+                and candidate_mask != loser_mask
+                and candidate.alive
+            ):
+                if loser_descendants is None:
+                    loser_descendants = loser.descendant_uids()
+                if candidate.uid in loser_descendants:
+                    continue
+                candidate_descendants = candidate._descendant_uids
+                if candidate_descendants is None:
+                    candidate_descendants = candidate.descendant_uids()
+                if loser_uid in candidate_descendants:
+                    continue
+                if criteria(candidate, loser):
+                    return candidate
+        return None
+
+    def _rollback(
+        self,
+        instance: Instance,
+        stats: ParseStats,
+        dirty: set[str] | None = None,
+    ) -> None:
+        """Invalidate *instance* and every live ancestor built from it.
+
+        *dirty* collects the symbols of killed instances so pool
+        snapshots know which store lists now contain tombstones.
+        """
         stack = [instance]
         first = True
         while stack:
@@ -909,6 +1384,8 @@ class BestEffortParser:
             if not node.alive or node.is_terminal:
                 continue
             node.alive = False
+            if dirty is not None:
+                dirty.add(node.symbol)
             if first:
                 stats.instances_pruned += 1
                 first = False

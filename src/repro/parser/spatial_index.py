@@ -1,29 +1,105 @@
-"""Spatial banding index for candidate-pool pre-filtering.
+"""Spatial indexing and the columnar geometry kernel.
 
 Every spatial relation of the grammar implies *adjacency* (paper Section
 4.1), so a production annotated with declarative bounds (see
 :mod:`repro.grammar.production`) only ever combines instances that sit
-within a bounded envelope of each other.  Instead of testing every pair in
-the cartesian product, the parser buckets each symbol's instances into
-horizontal *bands* (intervals of y) and fetches only the instances whose
-bands intersect the query envelope -- an indexed nested-loop join over the
-form's geometry.
+within a bounded envelope of each other.  This module supplies two
+interchangeable ways to exploit that:
 
-The index is conservative by construction: a query returns exactly the
-pool members satisfying the requested axis specs against the query box, so
-a production constraint is never starved of a combination it would accept.
+* :class:`BandIndex` -- the scalar path: one symbol's instances kept in
+  top-coordinate order (binary-searched with :mod:`bisect`, the stdlib
+  ``searchsorted``), so a vertically-bounded query scans only the
+  contiguous window of plausible rows before the exact per-pair interval
+  checks run.
+* :class:`GeometryTable` -- the vector path: the pool's bounding boxes
+  held as parallel numpy coordinate columns (``left``/``right``/``top``/
+  ``bottom``, one row per instance, row ids stable by construction), so a
+  production's whole interval conjunction evaluates as a handful of
+  vectorized comparisons producing one boolean mask over the entire pool
+  instead of N Python predicate calls.
+
+Both are conservative by construction and return exactly the pool members
+satisfying the requested axis specs against the query box in ``uid``
+(pool) order, so a production constraint is never starved of a
+combination it would accept and enumeration order is identical whichever
+path -- or neither -- runs.
+
+numpy is an **optional** dependency (the ``repro[fast]`` extra): kernel
+selection (:func:`resolve_kernel`) degrades ``"auto"`` to the scalar path
+when it is absent, and :class:`GeometryTable` refuses construction rather
+than half-working.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING, Any, Sequence
+
 from repro.grammar.instance import Instance
+from repro.grammar.production import AxisSpec
 from repro.layout.box import BBox
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    TargetCheck = tuple[int, AxisSpec, AxisSpec]
 
 #: Pools smaller than this are cheaper to scan than to index.
 MIN_INDEXED_POOL = 8
 
+#: Recognised kernel requests (``ParserConfig.kernel``).
+KERNEL_MODES = ("auto", "vector", "scalar")
 
-def h_allows(spec, anchor: BBox, candidate: BBox) -> bool:
+_NUMPY: Any = None
+_NUMPY_PROBED = False
+
+
+def _load_numpy() -> Any:
+    """The numpy module, or ``None`` when not installed (probed once)."""
+    global _NUMPY, _NUMPY_PROBED
+    if not _NUMPY_PROBED:
+        _NUMPY_PROBED = True
+        try:
+            import numpy
+        except ImportError:
+            _NUMPY = None
+        else:
+            _NUMPY = numpy
+    return _NUMPY
+
+
+def numpy_available() -> bool:
+    """True when the vectorized kernel can run in this interpreter."""
+    return _load_numpy() is not None
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Resolve a kernel request to the concrete kernel that will run.
+
+    ``"auto"`` picks ``"vector"`` when numpy is importable and
+    ``"scalar"`` otherwise; ``"vector"`` demands numpy (raising
+    ``RuntimeError`` with the install hint when absent); ``"scalar"``
+    always resolves to itself.
+    """
+    if kernel not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {KERNEL_MODES}"
+        )
+    if kernel == "scalar":
+        return "scalar"
+    if numpy_available():
+        return "vector"
+    if kernel == "vector":
+        raise RuntimeError(
+            "kernel='vector' requires numpy, which is not installed; "
+            "install the optional extra (pip install 'repro[fast]') or "
+            "use kernel='auto' to fall back to the scalar path"
+        )
+    return "scalar"
+
+
+# -- scalar axis predicates ---------------------------------------------------
+
+
+def h_allows(spec: AxisSpec, anchor: BBox, candidate: BBox) -> bool:
     """Does *candidate* satisfy the horizontal axis *spec* against *anchor*?
 
     *anchor* is the earlier component (position ``i``), *candidate* the
@@ -40,7 +116,7 @@ def h_allows(spec, anchor: BBox, candidate: BBox) -> bool:
     return anchor.horizontal_gap(candidate) <= spec
 
 
-def v_allows(spec, anchor: BBox, candidate: BBox) -> bool:
+def v_allows(spec: AxisSpec, anchor: BBox, candidate: BBox) -> bool:
     """Vertical-axis counterpart of :func:`h_allows`."""
     if spec is None:
         return True
@@ -53,80 +129,262 @@ def v_allows(spec, anchor: BBox, candidate: BBox) -> bool:
     return anchor.vertical_gap(candidate) <= spec
 
 
+# -- the scalar band index ----------------------------------------------------
+
+
 class BandIndex:
-    """Y-band bucketed index over one symbol's instance pool.
+    """Sorted-column index over one symbol's frozen instance pool.
 
     The pool is frozen at construction (the parser indexes only pools that
-    cannot grow during the current fix-point).  Queries return candidates
-    in ``uid`` order, matching plain pool iteration, so enumeration order
-    -- and therefore parse determinism -- is unaffected by indexing.
-
-    Each instance is stored in every band its y-span touches, so its *top*
-    band is always among them; both the span-intersection query (symmetric
-    specs) and the top-interval query (signed specs) therefore find every
-    qualifying instance by scanning a contiguous band range.
+    cannot grow during the current fix-point).  Rows are kept in
+    ``bbox.top`` order with the tops in a parallel sorted list, so a
+    vertical envelope query binary-searches (`bisect`, the stdlib
+    ``searchsorted``) down to the contiguous window of rows whose spans
+    can intersect it, then runs the exact axis predicates on that window
+    only.  Queries return candidates in ``uid`` order, matching plain pool
+    iteration, so enumeration order -- and therefore parse determinism --
+    is unaffected by indexing.
     """
 
-    __slots__ = ("band_height", "bands", "instances", "min_top", "max_bottom")
+    __slots__ = (
+        "instances",
+        "_by_top",
+        "_tops",
+        "_max_height",
+        "_min_top",
+        "_max_bottom",
+    )
 
-    def __init__(self, instances: list[Instance], band_height: float = 48.0):
-        self.band_height = band_height
+    def __init__(self, instances: list[Instance]) -> None:
         self.instances = instances
-        self.bands: dict[int, list[Instance]] = {}
+        by_top = sorted(instances, key=lambda inst: (inst.bbox.top, inst.uid))
+        self._by_top = by_top
+        self._tops = [inst.bbox.top for inst in by_top]
+        max_height = 0.0
         min_top = float("inf")
         max_bottom = float("-inf")
-        for instance in instances:
-            box = instance.bbox
-            min_top = min(min_top, box.top)
-            max_bottom = max(max_bottom, box.bottom)
-            first = int(box.top // band_height)
-            last = int(box.bottom // band_height)
-            for band in range(first, last + 1):
-                self.bands.setdefault(band, []).append(instance)
-        self.min_top = min_top
-        self.max_bottom = max_bottom
+        for inst in instances:
+            box = inst.bbox
+            height = box.bottom - box.top
+            if height > max_height:
+                max_height = height
+            if box.top < min_top:
+                min_top = box.top
+            if box.bottom > max_bottom:
+                max_bottom = box.bottom
+        self._max_height = max_height
+        self._min_top = min_top
+        self._max_bottom = max_bottom
 
     def __len__(self) -> int:
         return len(self.instances)
 
-    def near(self, box: BBox, h_spec, v_spec) -> list[Instance]:
+    def near(
+        self, box: BBox, h_spec: AxisSpec, v_spec: AxisSpec
+    ) -> list[Instance]:
         """Pool members satisfying both axis specs against *box*.
 
         Results are in ``uid`` order.  With ``v_spec`` ``None`` this
         degenerates to a filtered scan of the full pool (callers should
-        prefer a vertically-constrained spec as the banding key).
+        prefer a vertically-constrained spec as the windowing key).
         """
         if v_spec is None or not self.instances:
-            candidates: list[Instance] = self.instances
+            candidates: Sequence[Instance] = self.instances
+            presorted = True
         else:
-            if type(v_spec) is tuple:
+            signed = type(v_spec) is tuple
+            if signed:
                 # Signed: candidate.top must land in [bottom+lo, bottom+hi].
-                lo, hi = v_spec
-                top = self.min_top if lo is None else box.bottom + lo
-                bottom = self.max_bottom if hi is None else box.bottom + hi
+                lo, hi = v_spec  # type: ignore[misc]
+                top = self._min_top if lo is None else box.bottom + lo
+                bottom = self._max_bottom if hi is None else box.bottom + hi
             else:
                 # Symmetric: candidate span within v_spec of the query span.
-                top = box.top - v_spec
-                bottom = box.bottom + v_spec
-            if top > self.max_bottom or bottom < self.min_top:
+                top = box.top - v_spec  # type: ignore[operator]
+                bottom = box.bottom + v_spec  # type: ignore[operator]
+            if top > self._max_bottom or bottom < self._min_top:
                 return []
-            first = int(top // self.band_height)
-            last = int(bottom // self.band_height)
-            if last - first + 1 >= len(self.bands):
+            # Window of rows that can qualify: tops at most the envelope
+            # bottom; for span-intersection queries the row's *bottom*
+            # must also reach the envelope top, so widen the lower edge by
+            # the tallest row in the pool.
+            lower = top if signed else top - self._max_height
+            first = bisect_left(self._tops, lower)
+            last = bisect_right(self._tops, bottom, lo=first)
+            if last - first >= len(self.instances):
                 candidates = self.instances
+                presorted = True
             else:
-                seen: set[int] = set()
-                collected: list[Instance] = []
-                for band in range(first, last + 1):
-                    for instance in self.bands.get(band, ()):
-                        if instance.uid not in seen:
-                            seen.add(instance.uid)
-                            collected.append(instance)
-                collected.sort(key=lambda instance: instance.uid)
-                candidates = collected
-        return [
+                candidates = self._by_top[first:last]
+                presorted = False
+        selected = [
             instance
             for instance in candidates
             if h_allows(h_spec, box, instance.bbox)
             and v_allows(v_spec, box, instance.bbox)
         ]
+        if not presorted:
+            selected.sort(key=lambda instance: instance.uid)
+        return selected
+
+
+# -- the vectorized geometry table --------------------------------------------
+
+
+class GeometryTable:
+    """Columnar numpy geometry for one symbol's frozen instance pool.
+
+    One row per instance, in pool (``uid``) order; four float64 columns
+    ``left``/``right``/``top``/``bottom``.  A production's spatial checks
+    against a fixed candidate pool evaluate as vectorized interval
+    comparisons producing one boolean mask per axis spec; the conjunction
+    is materialized back to instances via the stable row ids, preserving
+    pool order exactly.
+    """
+
+    __slots__ = ("instances", "left", "right", "top", "bottom")
+
+    def __init__(self, instances: list[Instance]) -> None:
+        numpy = _load_numpy()
+        if numpy is None:  # pragma: no cover - guarded by resolve_kernel
+            raise RuntimeError(
+                "GeometryTable requires numpy (pip install 'repro[fast]')"
+            )
+        self.instances = instances
+        count = len(instances)
+        left = numpy.empty(count, dtype=numpy.float64)
+        right = numpy.empty(count, dtype=numpy.float64)
+        top = numpy.empty(count, dtype=numpy.float64)
+        bottom = numpy.empty(count, dtype=numpy.float64)
+        for row, instance in enumerate(instances):
+            box = instance.bbox
+            left[row] = box.left
+            right[row] = box.right
+            top[row] = box.top
+            bottom[row] = box.bottom
+        self.left = left
+        self.right = right
+        self.top = top
+        self.bottom = bottom
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    # Each mask method mirrors the scalar predicate exactly (same IEEE
+    # comparisons in the same orientation), so a row passes the mask iff
+    # the scalar predicate accepts the corresponding instance.  The anchor
+    # coordinates may be Python floats (one anchor -> a length-C mask) or
+    # ``(A, 1)`` column vectors (a whole anchor pool -> an ``A x C`` mask
+    # matrix); numpy broadcasting handles both identically.
+
+    def _h_mask(
+        self, spec: AxisSpec, a_left: Any, a_right: Any, numpy: Any
+    ) -> Any:
+        if type(spec) is tuple:
+            displacement = self.left - a_right
+            lo, hi = spec
+            if lo is None:
+                if hi is None:  # degenerate (None, None): unconstrained
+                    return numpy.ones(numpy.shape(displacement), dtype=bool)
+                return displacement <= hi
+            mask = displacement >= lo
+            if hi is not None:
+                mask &= displacement <= hi
+            return mask
+        gap = numpy.maximum(self.left - a_right, a_left - self.right)
+        numpy.maximum(gap, 0.0, out=gap)
+        return gap <= spec
+
+    def _v_mask(
+        self, spec: AxisSpec, a_top: Any, a_bottom: Any, numpy: Any
+    ) -> Any:
+        if type(spec) is tuple:
+            displacement = self.top - a_bottom
+            lo, hi = spec
+            if lo is None:
+                if hi is None:  # degenerate (None, None): unconstrained
+                    return numpy.ones(numpy.shape(displacement), dtype=bool)
+                return displacement <= hi
+            mask = displacement >= lo
+            if hi is not None:
+                mask &= displacement <= hi
+            return mask
+        gap = numpy.maximum(self.top - a_bottom, a_top - self.bottom)
+        numpy.maximum(gap, 0.0, out=gap)
+        return gap <= spec
+
+    def select(
+        self,
+        checks: "tuple[TargetCheck, ...]",
+        combo: "Sequence[Instance | None]",
+    ) -> list[Instance]:
+        """Pool members passing every ``(anchor, h_spec, v_spec)`` check.
+
+        *combo* supplies the already-bound anchor instances by position.
+        Equivalent to filtering the pool through :func:`h_allows` /
+        :func:`v_allows` for every check, in one vectorized pass; results
+        keep pool (``uid``) order.
+        """
+        numpy = _load_numpy()
+        mask: Any = None
+        for anchor_position, h_spec, v_spec in checks:
+            anchor_instance = combo[anchor_position]
+            assert anchor_instance is not None
+            anchor = anchor_instance.bbox
+            if h_spec is not None:
+                h_mask = self._h_mask(h_spec, anchor.left, anchor.right, numpy)
+                mask = h_mask if mask is None else mask & h_mask
+            if v_spec is not None:
+                v_mask = self._v_mask(v_spec, anchor.top, anchor.bottom, numpy)
+                mask = v_mask if mask is None else mask & v_mask
+        if mask is None:
+            return self.instances
+        instances = self.instances
+        return [instances[row] for row in numpy.flatnonzero(mask)]
+
+    def select_rows(
+        self,
+        checks: "tuple[TargetCheck, ...]",
+        anchors: "Sequence[Instance]",
+    ) -> list[list[Instance]]:
+        """Batched :meth:`select`: one selection list per anchor.
+
+        All *checks* must reference the same anchor position, bound to the
+        instances of *anchors* in turn (the binary-production case, where
+        every check anchors on component 0).  The whole ``A x C`` mask
+        matrix is computed in one broadcast pass, amortizing the fixed
+        per-call numpy cost over the entire anchor pool -- the batching
+        that makes vectorization viable on the small per-form pools this
+        parser sees.  ``result[row]`` equals ``select(checks, <anchors[row]>)``,
+        element for element.
+        """
+        numpy = _load_numpy()
+        count = len(anchors)
+        a_left = numpy.empty((count, 1), dtype=numpy.float64)
+        a_right = numpy.empty((count, 1), dtype=numpy.float64)
+        a_top = numpy.empty((count, 1), dtype=numpy.float64)
+        a_bottom = numpy.empty((count, 1), dtype=numpy.float64)
+        for row, anchor in enumerate(anchors):
+            box = anchor.bbox
+            a_left[row, 0] = box.left
+            a_right[row, 0] = box.right
+            a_top[row, 0] = box.top
+            a_bottom[row, 0] = box.bottom
+        mask: Any = None
+        for _, h_spec, v_spec in checks:
+            if h_spec is not None:
+                h_mask = self._h_mask(h_spec, a_left, a_right, numpy)
+                mask = h_mask if mask is None else mask & h_mask
+            if v_spec is not None:
+                v_mask = self._v_mask(v_spec, a_top, a_bottom, numpy)
+                mask = v_mask if mask is None else mask & v_mask
+        if mask is None:
+            return [self.instances] * count
+        result: list[list[Instance]] = [[] for _ in range(count)]
+        instances = self.instances
+        rows, cols = numpy.nonzero(mask)
+        # ``nonzero`` walks the matrix row-major, so columns come out
+        # ascending within each row -- pool (uid) order, as required.
+        for row, col in zip(rows.tolist(), cols.tolist()):
+            result[row].append(instances[col])
+        return result

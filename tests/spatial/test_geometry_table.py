@@ -1,0 +1,183 @@
+"""GeometryTable vs the scalar predicates: one oracle, two kernels.
+
+The columnar :class:`GeometryTable` is the vector kernel's only geometry
+primitive, so its contract is checked directly here, independent of any
+grammar: ``select`` must equal a plain pool scan through ``h_allows`` /
+``v_allows`` (same IEEE comparisons, same pool order), and the batched
+``select_rows`` must equal ``select`` called once per anchor.  The same
+oracle is pointed at :class:`BandIndex.near`, and the kernel-resolution
+rules (``auto``/``vector``/``scalar`` with and without numpy) are pinned
+down by forcing the module's numpy probe.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar.instance import Instance
+from repro.layout.box import BBox
+from repro.parser import spatial_index
+from repro.parser.spatial_index import (
+    BandIndex,
+    GeometryTable,
+    h_allows,
+    numpy_available,
+    resolve_kernel,
+    v_allows,
+)
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(),
+    reason="GeometryTable needs numpy (pip install 'repro[fast]')",
+)
+
+# Coordinates drawn from a small grid so boundary-equality cases (gap or
+# displacement exactly equal to a spec edge) occur often instead of never.
+_COORDS = st.integers(min_value=0, max_value=12).map(lambda n: n * 8.0)
+_EDGES = st.sampled_from(
+    (None, -24.0, -8.0, -4.0, 0.0, 4.0, 8.0, 24.0, 64.0)
+)
+
+
+@st.composite
+def boxes(draw):
+    left = draw(_COORDS)
+    top = draw(_COORDS)
+    width = draw(st.sampled_from((8.0, 24.0, 96.0)))
+    height = draw(st.sampled_from((8.0, 16.0, 24.0)))
+    return BBox(left, left + width, top, top + height)
+
+
+@st.composite
+def axis_specs(draw):
+    """None, a signed (lo, hi) displacement band, or a proximity radius."""
+    kind = draw(st.sampled_from(("none", "band", "proximity")))
+    if kind == "none":
+        return None
+    if kind == "proximity":
+        return draw(st.sampled_from((0.0, 4.0, 16.0, 48.0)))
+    return (draw(_EDGES), draw(_EDGES))
+
+
+@st.composite
+def pools(draw):
+    count = draw(st.integers(min_value=0, max_value=12))
+    return [Instance("Sym", draw(boxes())) for _ in range(count)]
+
+
+def _oracle(pool, checks, combo):
+    """The scalar definition of ``select``: a filtered pool scan."""
+    selected = []
+    for instance in pool:
+        ok = True
+        for anchor_position, h_spec, v_spec in checks:
+            anchor = combo[anchor_position].bbox
+            if not (
+                h_allows(h_spec, anchor, instance.bbox)
+                and v_allows(v_spec, anchor, instance.bbox)
+            ):
+                ok = False
+                break
+        if ok:
+            selected.append(instance)
+    return selected
+
+
+@requires_numpy
+class TestGeometryTable:
+    @given(pools(), boxes(), axis_specs(), axis_specs())
+    @settings(max_examples=120, deadline=None)
+    def test_select_matches_scalar_oracle(self, pool, anchor_box, h, v):
+        table = GeometryTable(pool)
+        anchor = Instance("Anchor", anchor_box)
+        checks = ((0, h, v),)
+        assert table.select(checks, (anchor,)) == _oracle(
+            pool, checks, (anchor,)
+        )
+
+    @given(pools(), boxes(), boxes(), axis_specs(), axis_specs(),
+           axis_specs())
+    @settings(max_examples=80, deadline=None)
+    def test_select_conjoins_multiple_checks(
+        self, pool, box_a, box_b, h1, v1, h2
+    ):
+        """Two checks against two different anchors AND together."""
+        table = GeometryTable(pool)
+        combo = (Instance("A", box_a), Instance("B", box_b))
+        checks = ((0, h1, v1), (1, h2, None))
+        assert table.select(checks, combo) == _oracle(pool, checks, combo)
+
+    @given(pools(), st.lists(boxes(), min_size=0, max_size=6),
+           axis_specs(), axis_specs())
+    @settings(max_examples=80, deadline=None)
+    def test_select_rows_matches_per_anchor_select(
+        self, pool, anchor_boxes, h, v
+    ):
+        """``select_rows`` is exactly ``select`` mapped over the anchors."""
+        table = GeometryTable(pool)
+        anchors = [Instance("Anchor", box) for box in anchor_boxes]
+        checks = ((0, h, v),)
+        batched = table.select_rows(checks, anchors)
+        assert len(batched) == len(anchors)
+        for anchor, selected in zip(anchors, batched):
+            assert selected == table.select(checks, (anchor,))
+
+    @given(pools())
+    @settings(max_examples=20, deadline=None)
+    def test_unconstrained_select_returns_whole_pool(self, pool):
+        table = GeometryTable(pool)
+        anchor = Instance("Anchor", BBox(0.0, 10.0, 0.0, 10.0))
+        assert table.select(((0, None, None),), (anchor,)) == pool
+        assert len(table) == len(pool)
+
+
+@given(pools(), boxes(), axis_specs(), axis_specs())
+@settings(max_examples=120, deadline=None)
+def test_band_index_near_matches_oracle(pool, box, h, v):
+    """The scalar kernel's windowed scan equals the unwindowed scan."""
+    index = BandIndex(pool)
+    expected = [
+        instance
+        for instance in pool
+        if h_allows(h, box, instance.bbox) and v_allows(v, box, instance.bbox)
+    ]
+    assert index.near(box, h, v) == expected
+
+
+class TestKernelResolution:
+    def test_known_modes(self):
+        assert resolve_kernel("scalar") == "scalar"
+        expected = "vector" if numpy_available() else "scalar"
+        assert resolve_kernel("auto") == expected
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("simd")
+
+    def test_without_numpy(self, monkeypatch):
+        """Force the probe to 'numpy absent' and pin the fallback rules."""
+        monkeypatch.setattr(spatial_index, "_NUMPY", None)
+        monkeypatch.setattr(spatial_index, "_NUMPY_PROBED", True)
+        assert not numpy_available()
+        assert resolve_kernel("auto") == "scalar"
+        assert resolve_kernel("scalar") == "scalar"
+        with pytest.raises(RuntimeError, match=r"repro\[fast\]"):
+            resolve_kernel("vector")
+        with pytest.raises(RuntimeError, match=r"repro\[fast\]"):
+            GeometryTable([])
+
+    def test_parser_construction_without_numpy(self, monkeypatch):
+        """``kernel='vector'`` fails fast at construction, not mid-parse."""
+        from repro.grammar.standard import build_standard_grammar
+        from repro.parser.parser import BestEffortParser, ParserConfig
+
+        monkeypatch.setattr(spatial_index, "_NUMPY", None)
+        monkeypatch.setattr(spatial_index, "_NUMPY_PROBED", True)
+        grammar = build_standard_grammar()
+        with pytest.raises(RuntimeError, match="numpy"):
+            BestEffortParser(grammar, ParserConfig(kernel="vector"))
+        parser = BestEffortParser(grammar, ParserConfig(kernel="auto"))
+        assert parser.kernel == "scalar"
+        assert parser.parse([]).stats.kernel == "scalar"
