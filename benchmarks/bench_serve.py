@@ -1,0 +1,209 @@
+"""Serving-tier benchmark: latency and throughput over real HTTP.
+
+Boots :class:`repro.server.ExtractionServer` in-process (event loop on a
+background thread, exactly the production stack including sockets and
+admission control) and drives it with persistent ``http.client``
+connections through three phases:
+
+* **cold** -- every document seen for the first time: the full
+  cache-miss path (signature, admission, pool, ladder, cache fill);
+* **warm** -- the same corpus again: every request replayed from the
+  content-addressed cache, no extraction work;
+* **saturation** -- more clients than workers hammering a small queue:
+  sustained throughput at full load, plus how much traffic the
+  admission gate sheds as 429.
+
+Results land in ``BENCH_serve.json`` (override with
+``REPRO_SERVE_BENCH_JSON``): per-phase p50/p99 latency in milliseconds
+and throughput in requests per second, plus the shed count.  Knobs:
+
+* ``REPRO_SERVE_BENCH_DOCS`` -- corpus size (default 16);
+* ``REPRO_SERVE_BENCH_CLIENTS`` -- client threads (default 4);
+* ``REPRO_SERVE_BENCH_ROUNDS`` -- saturation passes over the corpus
+  (default 3);
+* ``REPRO_SERVE_BENCH_JOBS`` -- worker processes (default ``auto``).
+
+Unlike the pytest benchmarks this is a standalone script (CI's
+serve-smoke job runs it directly): ``PYTHONPATH=src python
+benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import math
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.datasets.repository import build_random
+from repro.observability.prometheus import parse_prometheus
+from repro.server import ExtractionServer, ServerConfig
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(len(sorted_values) - 1, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[max(0, index)]
+
+
+class _Harness:
+    """The server on a background event-loop thread, plus HTTP helpers."""
+
+    def __init__(self, config: ServerConfig):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="bench-serve", daemon=True
+        )
+        self._thread.start()
+        self.server = ExtractionServer(config)
+        self.port = asyncio.run_coroutine_threadsafe(
+            self.server.start(), self._loop
+        ).result(timeout=120)
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop
+        ).result(timeout=120)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+    def scrape(self) -> dict[str, float]:
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=30)
+        try:
+            conn.request("GET", "/metrics")
+            return parse_prometheus(conn.getresponse().read().decode())
+        finally:
+            conn.close()
+
+
+def _drive(
+    port: int, documents: list[str], clients: int
+) -> tuple[list[float], int, float]:
+    """Fan *documents* over *clients* persistent connections.
+
+    Returns (per-request latencies for 200s, shed 429 count, wall time).
+    """
+    work: list[str] = list(documents)
+    cursor = {"next": 0}
+    lock = threading.Lock()
+    latencies: list[float] = []
+    shed = {"count": 0}
+    errors: list[str] = []
+
+    def worker() -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        try:
+            while True:
+                with lock:
+                    index = cursor["next"]
+                    if index >= len(work):
+                        return
+                    cursor["next"] = index + 1
+                body = json.dumps({"html": work[index]}).encode("utf-8")
+                started = time.perf_counter()
+                conn.request(
+                    "POST", "/extract", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                response.read()
+                elapsed = time.perf_counter() - started
+                with lock:
+                    if response.status == 200:
+                        latencies.append(elapsed)
+                    elif response.status == 429:
+                        shed["count"] += 1
+                    else:
+                        errors.append(f"HTTP {response.status}")
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=worker, name=f"client-{i}")
+        for i in range(clients)
+    ]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_started
+    if errors:
+        raise RuntimeError(f"unexpected responses: {errors[:5]}")
+    return latencies, shed["count"], wall
+
+
+def _phase_row(name: str, latencies: list[float], wall: float) -> dict:
+    ordered = sorted(latencies)
+    return {
+        f"serve.{name}.requests": len(latencies),
+        f"serve.{name}.p50_ms": round(_quantile(ordered, 0.50) * 1e3, 3),
+        f"serve.{name}.p99_ms": round(_quantile(ordered, 0.99) * 1e3, 3),
+        f"serve.{name}.throughput_rps": round(len(latencies) / wall, 2)
+        if wall > 0
+        else float("nan"),
+    }
+
+
+def main() -> int:
+    docs = int(os.environ.get("REPRO_SERVE_BENCH_DOCS", "16"))
+    clients = int(os.environ.get("REPRO_SERVE_BENCH_CLIENTS", "4"))
+    rounds = int(os.environ.get("REPRO_SERVE_BENCH_ROUNDS", "3"))
+    jobs_raw = os.environ.get("REPRO_SERVE_BENCH_JOBS", "auto")
+    jobs: int | str = jobs_raw if jobs_raw == "auto" else int(jobs_raw)
+    out_path = Path(os.environ.get("REPRO_SERVE_BENCH_JSON", "BENCH_serve.json"))
+
+    corpus = [source.html for source in build_random(count=docs, seed=7)]
+    report: dict[str, object] = {
+        "serve.docs": docs,
+        "serve.clients": clients,
+    }
+
+    # Cold + warm share one server so the warm phase hits the cold fill.
+    harness = _Harness(ServerConfig(port=0, jobs=jobs, max_queue=512))
+    try:
+        report["serve.workers"] = harness.server.service.workers
+        latencies, _, wall = _drive(harness.port, corpus, clients)
+        report.update(_phase_row("cold", latencies, wall))
+        latencies, _, wall = _drive(harness.port, corpus, clients)
+        report.update(_phase_row("warm", latencies, wall))
+        samples = harness.scrape()
+        hits = samples.get("repro_serve_cache_hits_total", 0.0)
+        report["serve.warm.hit_ratio"] = round(hits / max(1, docs), 3)
+    finally:
+        harness.stop()
+
+    # Saturation: a small queue, repeated corpus, more offered load than
+    # capacity -- sustained 200-throughput plus the shed count.
+    harness = _Harness(
+        ServerConfig(port=0, jobs=jobs, max_queue=8, cache=False)
+    )
+    try:
+        offered = corpus * rounds
+        latencies, shed, wall = _drive(
+            harness.port, offered, max(clients, 2)
+        )
+        row = _phase_row("saturation", latencies, wall)
+        row["serve.saturation.offered"] = len(offered)
+        row["serve.saturation.shed"] = shed
+        report.update(row)
+    finally:
+        harness.stop()
+
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    width = max(len(key) for key in report)
+    for key in sorted(report):
+        print(f"{key:<{width}}  {report[key]}")
+    print(f"\nwrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,12 +72,23 @@ _ANALYSIS_EXPORTS = frozenset(
      "analyze_grammar"}
 )
 
+#: Serving-tier names, also lazy -- the HTTP service drags in asyncio
+#: plumbing that library users never need.
+_SERVER_EXPORTS = frozenset(
+    {"ExtractionServer", "ExtractionService", "ServeResult", "ServerConfig",
+     "ServiceSaturated", "ServiceUnavailable", "run_server"}
+)
+
 
 def __getattr__(name: str):
     if name in _ANALYSIS_EXPORTS:
         import repro.analysis
 
         return getattr(repro.analysis, name)
+    if name in _SERVER_EXPORTS:
+        import repro.server
+
+        return getattr(repro.server, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -96,6 +107,8 @@ __all__ = [
     "Domain",
     "ExhaustiveParser",
     "ExtractionResult",
+    "ExtractionServer",
+    "ExtractionService",
     "ExtractionTimeout",
     "FormExtractor",
     "FormNotFoundError",
@@ -114,6 +127,10 @@ __all__ = [
     "Preference",
     "Production",
     "SemanticModel",
+    "ServeResult",
+    "ServerConfig",
+    "ServiceSaturated",
+    "ServiceUnavailable",
     "Span",
     "Token",
     "Trace",
@@ -124,6 +141,7 @@ __all__ = [
     "get_global_registry",
     "extract_capabilities",
     "merge_parse_result",
+    "run_server",
     "tokenize_form",
     "tokenize_html",
     "__version__",

@@ -807,6 +807,76 @@ class BatchExtractor:
             self._pool = None
             self._pool_workers = 0
 
+    def warm(self) -> int:
+        """Build the persistent pool (or the serial extractor) *now*.
+
+        Long-lived callers -- the serving tier above all -- pay the fork
+        and grammar/schedule warm-up once at startup instead of on the
+        first request.  Returns the number of pooled workers standing by
+        (0 for ``jobs=1``, where the warmed object is the in-process
+        extractor instead).
+        """
+        if self.jobs == 1:
+            self._local_extractor()
+            return 0
+        workers = self._effective_workers()
+        self._get_pool(workers)
+        return workers
+
+    def submit_custom(
+        self,
+        job_fn: CustomJob,
+        item: Any,
+        timeout: float | None = None,
+    ) -> "Future[BatchRecord]":
+        """Submit one custom job to the warm pool; resolve to its record.
+
+        The asynchronous bridge for services built on the pool: unlike
+        the ``iter_*``/``extract_*`` batch entry points this neither
+        blocks nor orders -- it hands back a
+        :class:`concurrent.futures.Future` the caller can await (e.g.
+        via :func:`asyncio.wrap_future`) while other submissions are in
+        flight.  The persistent pool is shared with the batch entry
+        points and reused across calls.
+
+        *timeout* overrides the extractor-level per-form timeout for this
+        submission (the worker-side ``SIGALRM`` watchdog backstop).
+
+        The future resolves to a :class:`BatchRecord` -- per-form
+        failures come back as records with ``error`` set, exactly like
+        the batch paths.  It *raises* only for infrastructure faults
+        (notably :class:`~concurrent.futures.process.BrokenProcessPool`
+        when a worker died); after :meth:`close`, the next submission
+        transparently rebuilds the pool.
+
+        Requires ``jobs >= 2``: the serial extractor is not a pool and
+        has no executor to bridge to.
+        """
+        if self.jobs == 1:
+            raise RuntimeError(
+                "submit_custom requires a pooled extractor (jobs >= 2); "
+                "run serial work through extract_custom instead"
+            )
+        pool = self._get_pool(self._effective_workers())
+        inner = pool.submit(
+            _extract_chunk, "custom", [(0, (job_fn, item))],
+            timeout if timeout is not None else self.timeout,
+        )
+        outer: "Future[BatchRecord]" = Future()
+
+        def _unwrap(done: "Future[list[BatchRecord]]") -> None:
+            if done.cancelled():
+                outer.cancel()
+                return
+            error = done.exception()
+            if error is not None:
+                outer.set_exception(error)
+            else:
+                outer.set_result(done.result()[0])
+
+        inner.add_done_callback(_unwrap)
+        return outer
+
     def __enter__(self) -> "BatchExtractor":
         return self
 

@@ -126,10 +126,35 @@ class CacheEntry:
 
     @classmethod
     def from_payload(cls, payload: dict) -> "CacheEntry":
+        """Rebuild an entry from its :meth:`to_payload` form.
+
+        Raises :class:`ValueError` when a field has the wrong shape
+        (``model`` not a dict, ``stats`` not a dict/None, ``warnings``
+        not a list of strings).  Disk lines -- including version-1 lines,
+        which carry no checksum -- pass through here on reload, so a
+        malformed field must fail *here*, where the loader quarantines
+        the line, rather than deep inside ``rebuild_stats()`` on the
+        "never fails" hit path.
+        """
+        model = payload.get("model", {})
+        if not isinstance(model, dict):
+            raise ValueError(
+                f"model must be a dict, got {type(model).__name__}"
+            )
+        stats = payload.get("stats")
+        if stats is not None and not isinstance(stats, dict):
+            raise ValueError(
+                f"stats must be a dict or null, got {type(stats).__name__}"
+            )
+        warnings = payload.get("warnings", ())
+        if not isinstance(warnings, (list, tuple)) or not all(
+            isinstance(item, str) for item in warnings
+        ):
+            raise ValueError("warnings must be a list of strings")
         return cls(
-            model=dict(payload.get("model", {})),
-            stats=payload.get("stats"),
-            warnings=list(payload.get("warnings", ())),
+            model=dict(model),
+            stats=dict(stats) if stats is not None else None,
+            warnings=list(warnings),
         )
 
 
@@ -194,6 +219,11 @@ class ExtractionCache:
         self._stats = CacheStats()
         #: Bytes of the disk file already folded into ``_entries``.
         self._disk_offset = 0
+        #: Signatures known to have a line in the current file generation.
+        #: Consulted by :meth:`put` so an LRU-evicted signature that comes
+        #: back is *not* appended again -- the file stays O(signatures),
+        #: not O(puts), under long-lived churn.
+        self._disk_signatures: set[str] = set()
         if self.path is not None:
             with self._lock:
                 self._refresh_from_disk()
@@ -216,14 +246,16 @@ class ExtractionCache:
     def put(self, signature: str, entry: CacheEntry) -> None:
         """Insert (or refresh) *signature*; evict LRU past capacity."""
         with self._lock:
-            known = signature in self._entries
             self._entries[signature] = entry
             self._entries.move_to_end(signature)
             self._stats.puts += 1
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._stats.evictions += 1
-            if self.path is not None and not known:
+            # Append at most once per signature per file generation: the
+            # in-memory map forgets evicted signatures, but the append-only
+            # file does not, so membership is tracked separately.
+            if self.path is not None and signature not in self._disk_signatures:
                 self._append_to_disk(signature, entry)
 
     def __len__(self) -> int:
@@ -235,10 +267,15 @@ class ExtractionCache:
             return signature in self._entries
 
     def clear(self) -> None:
-        """Drop the in-memory view (the disk file, if any, is kept)."""
+        """Drop the in-memory view (the disk file, if any, is kept).
+
+        The disk offset resets to zero so the next lookup refolds the
+        backing file -- a cleared disk-backed cache repopulates from disk
+        instead of missing every signature it once held.
+        """
         with self._lock:
             self._entries.clear()
-            self._disk_offset = 0 if self.path is None else self._disk_offset
+            self._disk_offset = 0
 
     @property
     def stats(self) -> CacheStats:
@@ -273,6 +310,7 @@ class ExtractionCache:
                 finally:
                     if fcntl is not None:
                         fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+            self._disk_signatures.add(signature)
             # Our own append is now part of the on-disk tail; skip re-reading
             # it on the next refresh when nobody else wrote meanwhile.
             self._disk_offset = self.path.stat().st_size
@@ -289,8 +327,10 @@ class ExtractionCache:
         except OSError:
             return
         if size < self._disk_offset:
-            # Truncated/replaced file: reload from scratch.
+            # Truncated/replaced file: a new generation -- reload from
+            # scratch and forget which signatures the old file held.
             self._disk_offset = 0
+            self._disk_signatures.clear()
         if size == self._disk_offset:
             return
         try:
@@ -328,7 +368,15 @@ class ExtractionCache:
                 # content was altered (bit rot, interleaved writers).
                 self._stats.corrupt_records += 1
                 continue
-            self._entries[signature] = CacheEntry.from_payload(payload)
+            try:
+                entry = CacheEntry.from_payload(payload)
+            except (ValueError, TypeError):
+                # Complete JSON, plausible envelope, malformed fields (a
+                # v1 line never had a checksum to catch this): quarantine.
+                self._stats.corrupt_records += 1
+                continue
+            self._entries[signature] = entry
+            self._disk_signatures.add(signature)
             self._entries.move_to_end(signature)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)

@@ -297,6 +297,27 @@ def _cmd_grammar(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import ServerConfig, run_server
+
+    use_cache, cache_dir = _resolve_cache(args)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        max_queue=args.queue,
+        default_deadline_seconds=args.deadline,
+        max_deadline_seconds=max(args.max_deadline, args.deadline),
+        # serve caches by default (the warm-hit path is the point of the
+        # service); only an explicit --no-cache turns it off.
+        cache=not args.no_cache,
+        cache_dir=cache_dir if use_cache else None,
+        drain_seconds=args.drain,
+    )
+    run_server(config)
+    return 0
+
+
 def _job_count(value: str) -> int | str:
     if value == "auto":
         return value
@@ -422,6 +443,33 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="where to write the profile table "
                             "(default BENCH_profile.txt)")
     bench.set_defaults(func=_cmd_bench)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the extraction HTTP service on the warmed pool"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 asks for an ephemeral port "
+                            "(default 8080)")
+    serve.add_argument("--jobs", type=_job_count, default="auto",
+                       help="worker processes (default 'auto' = usable "
+                            "cores; 1 = no pool, in-process worker thread)")
+    serve.add_argument("--queue", type=int, default=64,
+                       help="max requests admitted but unfinished before "
+                            "shedding with 429 (default 64)")
+    serve.add_argument("--deadline", type=_positive_seconds, default=10.0,
+                       help="default per-request deadline in seconds; "
+                            "breaches degrade the model, not the request "
+                            "(default 10)")
+    serve.add_argument("--max-deadline", type=_positive_seconds, default=30.0,
+                       help="ceiling on client-requested deadlines "
+                            "(default 30)")
+    serve.add_argument("--drain", type=_positive_seconds, default=10.0,
+                       help="graceful-shutdown allowance for in-flight "
+                            "requests (default 10)")
+    _add_cache_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     grammar = subparsers.add_parser(
         "grammar", help="print the derived global grammar"

@@ -28,15 +28,23 @@ from repro.observability.metrics import (
     get_global_registry,
     reset_global_registry,
 )
+from repro.observability.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
+)
 from repro.observability.trace import Span, Trace
 
 __all__ = [
     "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
     "Span",
     "Trace",
     "configure_logging",
     "get_global_registry",
     "get_logger",
     "log_event",
+    "parse_prometheus",
+    "render_prometheus",
     "reset_global_registry",
 ]

@@ -1,0 +1,99 @@
+"""Prometheus text exposition for :class:`MetricsRegistry`.
+
+:func:`render_prometheus` turns one registry snapshot into the Prometheus
+text format (version 0.0.4, what ``GET /metrics`` is expected to serve):
+
+* counters become ``counter`` samples named ``repro_<name>_total``;
+* histogram summaries become a ``summary`` pair (``_count``/``_sum``)
+  plus ``_min``/``_max`` gauges -- the registry keeps streaming
+  aggregates, not raw samples, so quantiles are the *client's* job
+  (rate + histogram_quantile do not apply; p50/p99 for the serving tier
+  come from ``benchmarks/bench_serve.py`` instead).
+
+Metric names are sanitized to the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` grammar:
+every other character (the registry's dotted names, hyphens in stage
+names like ``html-parse``) maps to ``_``.  Rendering never mutates the
+registry and holds no lock beyond the snapshot, so a scrape is safe
+against concurrent extraction traffic.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.observability.metrics import MetricsRegistry
+
+#: Content-Type for the exposition format, to be sent verbatim by HTTP
+#: handlers serving :func:`render_prometheus` output.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """A registry metric name mapped onto the Prometheus grammar."""
+    flat = _INVALID_CHARS.sub("_", name)
+    if _INVALID_FIRST.match(flat):
+        flat = "_" + flat
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integral floats without the trailing .0)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or (
+        isinstance(value, float) and value.is_integer()
+    ):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> str:
+    """One registry snapshot in Prometheus text format.
+
+    Counters sort before histograms, each block alphabetically -- the
+    output is deterministic for a given snapshot, which keeps scrapes
+    diffable and the format testable.
+    """
+    snapshot = registry.to_dict()
+    lines: list[str] = []
+    for name, value in snapshot["counters"].items():
+        flat = metric_name(name, prefix)
+        if not flat.endswith("_total"):
+            flat += "_total"
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {_format_value(value)}")
+    for name, summary in snapshot["histograms"].items():
+        flat = metric_name(name, prefix)
+        lines.append(f"# TYPE {flat} summary")
+        lines.append(f"{flat}_count {_format_value(summary['count'])}")
+        lines.append(f"{flat}_sum {_format_value(summary['total'])}")
+        for bound in ("min", "max"):
+            lines.append(f"# TYPE {flat}_{bound} gauge")
+            lines.append(
+                f"{flat}_{bound} {_format_value(summary[bound])}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse exposition text back into ``{sample_name: value}``.
+
+    The inverse of :func:`render_prometheus` for round-trip tests and the
+    serve benchmark; it understands exactly the subset this module emits
+    (no labels, no timestamps).
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, raw = line.partition(" ")
+        if not name or not raw:
+            raise ValueError(f"malformed sample line: {line!r}")
+        samples[name] = float(raw)
+    return samples

@@ -1,0 +1,44 @@
+"""Extraction-as-a-service: an async HTTP API on the warmed pool.
+
+The package turns the library's extraction substrate into a long-lived
+service.  ``POST /extract`` takes HTML and returns the serialized
+semantic model, warnings, and the degradation level the request landed
+on; ``POST /batch`` does the same for a list of documents; ``GET
+/metrics`` exposes the process registry as Prometheus text; ``GET
+/healthz`` reports pool and queue state.
+
+Layering (each module only knows the one below it):
+
+* :mod:`repro.server.app` -- routes, response encoding, access logs,
+  lifecycle (:class:`ExtractionServer`, :func:`run_server`).
+* :mod:`repro.server.service` -- admission control, the
+  cache → pool → ladder request path (:class:`ExtractionService`).
+* :mod:`repro.server.http` -- a minimal asyncio HTTP/1.1 transport
+  (stdlib only, keep-alive, Content-Length framing).
+* :mod:`repro.server.config` -- one frozen :class:`ServerConfig`.
+
+The whole stack is stdlib-only, like the rest of the repo.
+"""
+
+from repro.server.app import ExtractionServer, run_server
+from repro.server.config import ServerConfig
+from repro.server.http import HttpProtocolError, Request, Response
+from repro.server.service import (
+    ExtractionService,
+    ServeResult,
+    ServiceSaturated,
+    ServiceUnavailable,
+)
+
+__all__ = [
+    "ExtractionServer",
+    "ExtractionService",
+    "HttpProtocolError",
+    "Request",
+    "Response",
+    "ServeResult",
+    "ServerConfig",
+    "ServiceSaturated",
+    "ServiceUnavailable",
+    "run_server",
+]

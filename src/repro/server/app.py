@@ -1,0 +1,364 @@
+"""The HTTP application: routes, response encoding, and lifecycle.
+
+:class:`ExtractionServer` wires the transport layer
+(:class:`~repro.server.http.HttpServer`) to the admission-controlled
+:class:`~repro.server.service.ExtractionService` and owns the four
+routes of the API:
+
+================  =======  =====================================================
+route             method   behaviour
+================  =======  =====================================================
+``/extract``      POST     one document in (JSON ``{"html": ...}`` or a raw
+                           ``text/html`` body), serialized semantic model +
+                           warnings + ``degrade.level`` out.  Hostile payloads
+                           come back HTTP 200 with a degraded model; saturation
+                           is 429 + ``Retry-After``.
+``/batch``        POST     ``{"items": [...]}`` -- admitted (or shed)
+                           atomically, records returned in input order.
+``/metrics``      GET      the service registry in Prometheus text format.
+``/healthz``      GET      200 with pool/queue facts; 503 once draining.
+================  =======  =====================================================
+
+Every request gets a request id (threaded into the extraction
+:class:`~repro.observability.trace.Trace` and echoed in the response)
+and one structured ``serve.access`` log line -- with ``--log-json``
+those lines are machine-parseable JSON, the access log of the service.
+
+:func:`run_server` is the blocking entrypoint behind ``repro serve``:
+it installs SIGINT/SIGTERM handlers and performs the graceful-shutdown
+sequence (drain the queue, close the pool, flush cache/journal state,
+then close connections).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import math
+import signal
+import time
+
+from repro.observability.logs import get_logger, log_event
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
+from repro.server.config import ServerConfig
+from repro.server.http import HttpProtocolError, HttpServer, Request, Response
+from repro.server.service import (
+    ExtractionService,
+    ServeResult,
+    ServiceSaturated,
+    ServiceUnavailable,
+)
+
+_logger = get_logger("repro.server")
+
+#: Known routes and the methods they accept (anything else: 404/405).
+_ROUTES: dict[str, frozenset[str]] = {
+    "/extract": frozenset({"POST"}),
+    "/batch": frozenset({"POST"}),
+    "/metrics": frozenset({"GET"}),
+    "/healthz": frozenset({"GET"}),
+}
+
+
+def _result_payload(result: ServeResult) -> dict:
+    """The response-body form of one served extraction."""
+    record = result.record.to_payload()
+    return {
+        "request_id": result.request_id,
+        "model": record["model"],
+        "stats": record["stats"],
+        "warnings": record["warnings"],
+        "error": record["error"],
+        "degrade": {"level": result.degrade_level},
+        "cached": result.cached,
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+    }
+
+
+def _parse_form_index(value: object) -> int:
+    try:
+        index = int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise HttpProtocolError(
+            400, f"form_index must be an integer, got {value!r}"
+        ) from exc
+    if index < 0:
+        raise HttpProtocolError(400, f"form_index must be >= 0, got {index}")
+    return index
+
+
+def _parse_deadline(value: object) -> float | None:
+    if value is None:
+        return None
+    try:
+        deadline = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise HttpProtocolError(
+            400, f"deadline_seconds must be a number, got {value!r}"
+        ) from exc
+    if deadline <= 0:
+        raise HttpProtocolError(
+            400, f"deadline_seconds must be positive, got {deadline:g}"
+        )
+    return deadline
+
+
+class ExtractionServer:
+    """The whole serving stack: HTTP front + admission + warm pool.
+
+    Usage (tests embed it like this; the CLI goes through
+    :func:`run_server`)::
+
+        server = ExtractionServer(ServerConfig(port=0, jobs=1))
+        port = await server.start()   # pool warmed, socket bound
+        ...
+        await server.stop()           # drain, close pool, flush cache
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.config = config if config is not None else ServerConfig()
+        self.service = ExtractionService(self.config, metrics=metrics)
+        self._http = HttpServer(
+            self._handle,
+            host=self.config.host,
+            port=self.config.port,
+            max_body_bytes=self.config.max_body_bytes,
+        )
+        self._started = time.time()
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        return self._http.port
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.service.metrics
+
+    async def start(self) -> int:
+        """Warm the pool, bind the socket; returns the bound port."""
+        workers = self.service.warm()
+        port = await self._http.start()
+        self._started = time.time()
+        log_event(
+            _logger, logging.INFO, "serve.started",
+            host=self.config.host, port=port, workers=workers,
+            cache=self.service.cache is not None,
+        )
+        return port
+
+    async def stop(self) -> bool:
+        """Graceful shutdown; True when the queue drained in time.
+
+        Order matters: the service drains first (in-flight extractions
+        finish; new work is answered 503), then the HTTP layer waits for
+        those responses to flush before connections close.
+        """
+        drained = await self.service.drain()
+        await self._http.stop(grace_seconds=self.config.drain_seconds)
+        log_event(_logger, logging.INFO, "serve.stopped", drained=drained)
+        return drained
+
+    # -- request handling ---------------------------------------------------------
+
+    async def _handle(self, request: Request) -> Response:
+        """Route one request; every path ends in a response + access log."""
+        started = time.perf_counter()
+        request_id = self.service.next_request_id()
+        try:
+            response = await self._route(request, request_id)
+        except ServiceSaturated as exc:
+            response = Response.json(
+                {"error": exc.detail, "request_id": request_id},
+                status=429,
+                headers={
+                    "Retry-After": str(max(1, math.ceil(exc.retry_after)))
+                },
+            )
+        except ServiceUnavailable as exc:
+            response = Response.json(
+                {"error": exc.detail, "request_id": request_id}, status=503
+            )
+        except HttpProtocolError as exc:
+            response = Response.json(
+                {"error": exc.detail, "request_id": request_id},
+                status=exc.status,
+            )
+        except Exception as exc:  # noqa: BLE001 - the API answers 500, not EOF
+            log_event(
+                _logger, logging.ERROR, "serve.unhandled",
+                request_id=request_id, error=f"{type(exc).__name__}: {exc}",
+            )
+            response = Response.json(
+                {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "request_id": request_id,
+                },
+                status=500,
+            )
+        self.metrics.inc(f"serve.http.{response.status}")
+        log_event(
+            _logger, logging.INFO, "serve.access",
+            request_id=request_id, method=request.method, path=request.path,
+            status=response.status,
+            seconds=round(time.perf_counter() - started, 6),
+        )
+        return response
+
+    async def _route(self, request: Request, request_id: str) -> Response:
+        methods = _ROUTES.get(request.path)
+        if methods is None:
+            raise HttpProtocolError(404, f"no such route {request.path!r}")
+        if request.method not in methods:
+            raise HttpProtocolError(
+                405, f"{request.method} not allowed on {request.path}"
+            )
+        if request.path == "/healthz":
+            return self._healthz()
+        if request.path == "/metrics":
+            return Response.text(
+                render_prometheus(self.metrics),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+        if request.path == "/extract":
+            return await self._extract(request, request_id)
+        return await self._batch(request, request_id)
+
+    def _healthz(self) -> Response:
+        draining = self.service.draining
+        return Response.json(
+            {
+                "status": "draining" if draining else "ok",
+                "workers": self.service.workers,
+                "queue_depth": self.service.queue_depth,
+                "max_queue": self.config.max_queue,
+                "cache": self.service.cache is not None,
+                "uptime_seconds": round(time.time() - self._started, 3),
+            },
+            status=503 if draining else 200,
+        )
+
+    async def _extract(self, request: Request, request_id: str) -> Response:
+        html, form_index, deadline = self._extract_arguments(request)
+        result = await self.service.extract(
+            html,
+            form_index=form_index,
+            deadline_seconds=deadline,
+            request_id=request_id,
+        )
+        return Response.json(
+            _result_payload(result), status=self._extract_status(result)
+        )
+
+    @staticmethod
+    def _extract_status(result: ServeResult) -> int:
+        if result.ok:
+            return 200
+        error = result.record.error or ""
+        # A document with no such form is the client's mistake; anything
+        # else that survived the ladder and the retry is on the server.
+        if error.startswith("FormNotFoundError"):
+            return 404
+        return 500
+
+    def _extract_arguments(
+        self, request: Request
+    ) -> tuple[str, int, float | None]:
+        """(html, form_index, deadline) from either accepted body shape."""
+        if request.content_type == "application/json":
+            data = request.json()
+            if not isinstance(data, dict) or not isinstance(
+                data.get("html"), str
+            ):
+                raise HttpProtocolError(
+                    400, 'JSON body must be an object with an "html" string'
+                )
+            return (
+                data["html"],
+                _parse_form_index(data.get("form_index", 0)),
+                _parse_deadline(data.get("deadline_seconds")),
+            )
+        # Raw-HTML convenience form: the body is the document and the
+        # knobs ride in the query string.
+        return (
+            request.text(),
+            _parse_form_index(request.query.get("form_index", 0)),
+            _parse_deadline(request.query.get("deadline_seconds")),
+        )
+
+    async def _batch(self, request: Request, request_id: str) -> Response:
+        data = request.json()
+        if not isinstance(data, dict):
+            raise HttpProtocolError(400, "batch body must be a JSON object")
+        items = data.get("items")
+        if not isinstance(items, list) or not all(
+            isinstance(item, str) for item in items
+        ):
+            raise HttpProtocolError(
+                400, '"items" must be a list of HTML strings'
+            )
+        results = await self.service.extract_batch(
+            items,
+            form_index=_parse_form_index(data.get("form_index", 0)),
+            deadline_seconds=_parse_deadline(data.get("deadline_seconds")),
+            request_id=request_id,
+        )
+        records = []
+        for position, result in enumerate(results):
+            payload = _result_payload(result)
+            payload["index"] = position
+            records.append(payload)
+        return Response.json(
+            {
+                "request_id": request_id,
+                "count": len(records),
+                "records": records,
+            }
+        )
+
+
+async def _run_until_signalled(config: ServerConfig) -> None:
+    server = ExtractionServer(config)
+    port = await server.start()
+    print(
+        f"repro serve listening on http://{config.host}:{port} "
+        f"(workers={server.service.workers}, max_queue={config.max_queue})",
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed: list[signal.Signals] = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread or exotic platform: Ctrl-C still raises
+    try:
+        await stop.wait()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        print("repro serve shutting down (draining queue)", flush=True)
+        drained = await server.stop()
+        print(
+            "repro serve stopped"
+            + ("" if drained else " (queue did not fully drain)"),
+            flush=True,
+        )
+
+
+def run_server(config: ServerConfig | None = None) -> None:
+    """Run the server until SIGINT/SIGTERM (the ``repro serve`` loop)."""
+    try:
+        asyncio.run(_run_until_signalled(config or ServerConfig()))
+    except KeyboardInterrupt:
+        pass  # signal handler not installable: Ctrl-C lands here instead

@@ -1,0 +1,97 @@
+"""Configuration for the extraction service and its HTTP front.
+
+One frozen dataclass so a config can be shipped around (CLI → server →
+service) and compared in tests without aliasing surprises.  Every knob
+maps onto a piece of the substrate built in earlier PRs: *jobs* sizes the
+fork-warmed pool (:class:`~repro.batch.BatchExtractor`), *limits* seeds
+the per-request degradation-ladder budgets
+(:class:`~repro.resilience.guard.ResourceLimits`), and the cache knobs
+configure the content-addressed front
+(:class:`~repro.cache.ExtractionCache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.store import DEFAULT_CAPACITY
+from repro.resilience.guard import ResourceLimits
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of :class:`~repro.server.ExtractionServer`.
+
+    Attributes:
+        host: Bind address (loopback by default; a deployment fronts the
+            service with its own ingress).
+        port: Bind port; ``0`` asks the kernel for an ephemeral port (the
+            bound port is reported by :attr:`ExtractionServer.port`).
+        jobs: Worker processes for extraction.  ``"auto"`` (default)
+            sizes the pool to the usable cores; ``1`` runs extraction on
+            a single in-process worker thread -- no pool, the mode test
+            suites and tiny deployments use.
+        max_queue: Maximum requests admitted but not yet finished
+            (queued + in flight).  Admission past this depth is shed with
+            ``429`` and a ``Retry-After`` header.
+        default_deadline_seconds: Per-request wall-clock budget when the
+            request does not carry ``deadline_seconds`` itself.
+        max_deadline_seconds: Hard ceiling on client-requested deadlines.
+        watchdog_slack: Multiplier on the request deadline for the
+            worker-side ``SIGALRM`` backstop.  The cooperative ladder
+            guard should always fire first (HTTP 200, degraded model);
+            the watchdog only catches a worker wedged in non-cooperative
+            code.
+        max_body_bytes: Request bodies above this are refused with 413
+            before any parsing work happens.
+        max_batch_items: Ceiling on ``POST /batch`` list length.
+        cache: Serve repeated documents from the content-addressed cache
+            (keyed on the HTML signature + form index).  Degraded results
+            are never cached.
+        cache_capacity: In-memory entry bound for the serving cache.
+        cache_dir: Optional directory backing the serving cache with a
+            shared JSON-lines file that survives restarts.
+        limits: Base degradation-ladder budgets; each request runs under
+            a copy with ``deadline_seconds`` replaced by its own
+            deadline.
+        retry_after_seconds: Floor for the ``Retry-After`` hint on shed
+            responses (the live estimate, when higher, wins).
+        drain_seconds: Graceful-shutdown allowance for in-flight requests
+            before the pool is torn down anyway.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    jobs: int | str = "auto"
+    max_queue: int = 64
+    default_deadline_seconds: float = 10.0
+    max_deadline_seconds: float = 30.0
+    watchdog_slack: float = 3.0
+    max_body_bytes: int = 2_000_000
+    max_batch_items: int = 256
+    cache: bool = True
+    cache_capacity: int = DEFAULT_CAPACITY
+    cache_dir: str | None = None
+    limits: ResourceLimits = field(default_factory=ResourceLimits)
+    retry_after_seconds: float = 1.0
+    drain_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.jobs != "auto" and (
+            not isinstance(self.jobs, int) or self.jobs < 1
+        ):
+            raise ValueError(f"jobs must be >= 1 or 'auto', got {self.jobs!r}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.default_deadline_seconds <= 0:
+            raise ValueError("default_deadline_seconds must be positive")
+        if self.max_deadline_seconds < self.default_deadline_seconds:
+            raise ValueError(
+                "max_deadline_seconds must be >= default_deadline_seconds"
+            )
+        if self.watchdog_slack < 1.0:
+            raise ValueError("watchdog_slack must be >= 1.0")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+        if self.max_batch_items < 1:
+            raise ValueError("max_batch_items must be >= 1")

@@ -1,0 +1,320 @@
+"""A minimal asyncio HTTP/1.1 layer -- just enough server for the API.
+
+The repo has a zero-dependency contract, so instead of an ASGI framework
+this module speaks HTTP/1.1 directly over :mod:`asyncio` streams:
+request-line + headers + ``Content-Length`` bodies in, status + headers +
+body out, with keep-alive connection reuse (what the serve benchmark's
+persistent clients rely on).  It is deliberately *not* a general web
+server: no chunked transfer encoding (501), no TLS, no multipart -- the
+service behind it accepts small JSON/HTML bodies and returns JSON or
+Prometheus text, and a deployment that needs more fronts this with a real
+ingress.
+
+Malformed requests are answered with a structured error status (400
+protocol error, 413 oversized body, 501 unsupported framing) and the
+connection closed; a handler exception is a 500 with the exception type
+-- the connection loop itself never leaks an exception to the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+from urllib.parse import parse_qsl, urlsplit
+
+#: Practical ceilings on the request head -- far above anything the API
+#: needs, low enough that a hostile peer cannot balloon memory.
+MAX_REQUEST_LINE_BYTES = 8192
+MAX_HEADER_BYTES = 32768
+MAX_HEADER_COUNT = 100
+
+
+class HttpProtocolError(Exception):
+    """The peer sent something this server refuses to parse.
+
+    ``status`` is the HTTP status the connection loop answers with
+    before closing the connection.
+    """
+
+    def __init__(self, status: int, detail: str):
+        self.status = status
+        self.detail = detail
+        super().__init__(detail)
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("content-type", "").split(";")[0].strip().lower()
+
+    def json(self) -> object:
+        """The body decoded as JSON (raises HttpProtocolError 400 on rot)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpProtocolError(400, f"invalid JSON body: {exc}") from exc
+
+    def text(self) -> str:
+        """The body decoded as UTF-8 text (bad bytes replaced)."""
+        return self.body.decode("utf-8", errors="replace")
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    """One HTTP response to be encoded onto the wire."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(
+        cls,
+        payload: object,
+        status: int = 200,
+        headers: dict[str, str] | None = None,
+    ) -> "Response":
+        return cls(
+            status=status,
+            body=(json.dumps(payload, sort_keys=False) + "\n").encode("utf-8"),
+            content_type="application/json",
+            headers=dict(headers or {}),
+        )
+
+    @classmethod
+    def text(
+        cls,
+        body: str,
+        status: int = 200,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> "Response":
+        return cls(
+            status=status, body=body.encode("utf-8"), content_type=content_type
+        )
+
+
+#: The application seam: one async callable per request.
+Handler = Callable[[Request], Awaitable[Response]]
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    501: "Not Implemented", 503: "Service Unavailable",
+}
+
+
+def encode_response(response: Response, keep_alive: bool) -> bytes:
+    """Serialize one response, including framing headers."""
+    reason = _REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    headers = dict(response.headers)
+    headers.setdefault("Content-Type", response.content_type)
+    headers["Content-Length"] = str(len(response.body))
+    headers["Connection"] = "keep-alive" if keep_alive else "close"
+    head.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + response.body
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean EOF."""
+    try:
+        raw_line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # peer closed between requests: normal keep-alive end
+        raise HttpProtocolError(400, "truncated request line") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpProtocolError(400, "request line too long") from exc
+    if len(raw_line) > MAX_REQUEST_LINE_BYTES:
+        raise HttpProtocolError(400, "request line too long")
+    try:
+        method, target, version = raw_line.decode("ascii").split()
+    except ValueError as exc:
+        raise HttpProtocolError(400, "malformed request line") from exc
+    if not version.startswith("HTTP/1."):
+        raise HttpProtocolError(400, f"unsupported protocol {version}")
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+            raise HttpProtocolError(400, "truncated headers") from exc
+        if line == b"\r\n":
+            break
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES or len(headers) >= MAX_HEADER_COUNT:
+            raise HttpProtocolError(400, "headers too large")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpProtocolError(400, f"malformed header line {name!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpProtocolError(
+            501, "transfer-encoding is not supported; send Content-Length"
+        )
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpProtocolError(400, "malformed Content-Length") from exc
+        if length < 0:
+            raise HttpProtocolError(400, "negative Content-Length")
+        if length > max_body_bytes:
+            raise HttpProtocolError(
+                413, f"body of {length} bytes exceeds limit {max_body_bytes}"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpProtocolError(400, "truncated body") from exc
+
+    parts = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=parts.path or "/",
+        query=dict(parse_qsl(parts.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+class HttpServer:
+    """Serve *handler* over HTTP/1.1 with keep-alive.
+
+    The server owns only transport concerns; routing, backpressure, and
+    payload semantics live in the handler.  :meth:`start` binds (port 0
+    = ephemeral), :meth:`stop` closes the listening socket and waits for
+    open connections to finish their in-flight request.
+    """
+
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = 2_000_000,
+    ):
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._active = 0
+        self._quiescent = asyncio.Event()
+        self._quiescent.set()
+
+    async def start(self) -> int:
+        """Bind and listen; returns the actual bound port."""
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            host=self.host,
+            port=self.port,
+            limit=max(MAX_HEADER_BYTES, MAX_REQUEST_LINE_BYTES) * 2,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self, grace_seconds: float = 5.0) -> None:
+        """Stop accepting; let in-flight responses flush; close the rest.
+
+        The listener closes first (no new connections), then the server
+        waits up to *grace_seconds* for requests currently inside the
+        handler (or mid-write) to finish, and finally force-closes any
+        idle keep-alive connections still parked on a read.
+        """
+        if self._server is None:
+            return
+        self._server.close()
+        try:
+            await asyncio.wait_for(
+                self._quiescent.wait(), timeout=grace_seconds
+            )
+        except asyncio.TimeoutError:
+            pass  # a wedged handler loses its connection below
+        for writer in list(self._connections):
+            writer.close()
+        try:
+            await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+        except asyncio.TimeoutError:
+            pass
+        self._server = None
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, self.max_body_bytes)
+                except HttpProtocolError as exc:
+                    writer.write(encode_response(
+                        Response.json(
+                            {"error": exc.detail}, status=exc.status
+                        ),
+                        keep_alive=False,
+                    ))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                self._active += 1
+                self._quiescent.clear()
+                try:
+                    try:
+                        response = await self.handler(request)
+                    except HttpProtocolError as exc:
+                        response = Response.json(
+                            {"error": exc.detail}, status=exc.status
+                        )
+                    except Exception as exc:  # noqa: BLE001 - must answer
+                        response = Response.json(
+                            {"error": f"{type(exc).__name__}: {exc}"},
+                            status=500,
+                        )
+                    keep_alive = (
+                        request.keep_alive and response.status < 500
+                    )
+                    writer.write(
+                        encode_response(response, keep_alive=keep_alive)
+                    )
+                    await writer.drain()
+                finally:
+                    self._active -= 1
+                    if self._active == 0:
+                        self._quiescent.set()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # peer vanished or server shutting down: nothing to answer
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

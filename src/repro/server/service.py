@@ -1,0 +1,490 @@
+"""The extraction service: admission control + dispatch onto the pool.
+
+:class:`ExtractionService` is the asyncio-facing heart of the serving
+tier.  One request flows through::
+
+    cache lookup ──hit──────────────────────────► replayed result
+         │miss
+    admission (queue depth / deadline projection) ──shed──► 429
+         │admit
+    fork-warmed pool (jobs >= 2) or in-process worker thread (jobs = 1)
+         │
+    per-request degradation ladder (deadline → capped/heuristic/minimal)
+         │
+    result + metrics + cache fill (full-level results only)
+
+Everything below the admission gate is the substrate from PRs 1-4: the
+content-addressed :class:`~repro.cache.ExtractionCache`, the persistent
+:class:`~repro.batch.BatchExtractor` pool (reused via its
+:meth:`~repro.batch.BatchExtractor.submit_custom` bridge), and
+:meth:`~repro.extractor.FormExtractor.extract_resilient` with the
+request's own deadline mapped onto the guard limits -- a hostile payload
+degrades to a cheaper model and still returns HTTP 200, it never kills a
+worker or the event loop.
+
+Load shedding has two triggers, both answered as HTTP 429 upstream:
+
+* **queue depth** -- more than ``max_queue`` requests admitted but
+  unfinished;
+* **deadline projection** -- the ladder pre-check: with the queue ahead
+  of it, a request projected (EWMA of recent service times x queue
+  waves) to burn its whole deadline before starting would come back
+  below ``capped`` (an empty ``minimal`` token dump at best), so the
+  honest answer is "retry later", not a junk model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import logging
+import math
+import secrets
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.batch.cpu import usable_cores
+from repro.batch.extractor import BatchExtractor, BatchRecord, _extract_one
+from repro.cache import CacheEntry, ExtractionCache, html_signature
+from repro.extractor import ExtractionResult, FormExtractor
+from repro.observability.logs import get_logger, log_event
+from repro.observability.metrics import MetricsRegistry
+from repro.resilience.guard import ResourceLimits
+from repro.resilience.ladder import LEVEL_FULL, ResilienceConfig
+from repro.server.config import ServerConfig
+
+_logger = get_logger("repro.server")
+
+
+class ServiceSaturated(Exception):
+    """The service shed this request; retry after ``retry_after`` seconds."""
+
+    def __init__(self, detail: str, retry_after: float):
+        self.detail = detail
+        self.retry_after = retry_after
+        super().__init__(detail)
+
+
+class ServiceUnavailable(Exception):
+    """The service cannot take requests (draining, or the pool is gone)."""
+
+    def __init__(self, detail: str):
+        self.detail = detail
+        super().__init__(detail)
+
+
+def _serve_job(
+    extractor: FormExtractor, arg: tuple[str, int, ResourceLimits]
+) -> ExtractionResult:
+    """Worker-side job for one served request (module-level: pickles).
+
+    Runs the full degradation ladder with the *request's* limits -- the
+    per-request deadline arrives here as ``limits.deadline_seconds``, so
+    a breach degrades the model instead of erroring the record.
+    """
+    html, form_index, limits = arg
+    return extractor.extract_resilient(
+        html, form_index, config=ResilienceConfig(limits=limits)
+    )
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one served extraction, ready for the response encoder."""
+
+    record: BatchRecord
+    request_id: str
+    elapsed_seconds: float
+    cached: bool = False
+
+    @property
+    def degrade_level(self) -> str:
+        tags = (self.record.trace or {}).get("tags", {})
+        return str(tags.get("degrade.level", LEVEL_FULL))
+
+    @property
+    def ok(self) -> bool:
+        return self.record.ok
+
+
+class ExtractionService:
+    """Admission-controlled extraction on the warm pool (see module doc).
+
+    All coroutine methods must be called from one event loop; the heavy
+    lifting happens in worker processes (or the single worker thread for
+    ``jobs=1``), so the loop only ever runs bookkeeping.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.config = config if config is not None else ServerConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        jobs = self.config.jobs
+        if jobs == "auto":
+            jobs = usable_cores()
+        self.workers: int = max(1, int(jobs))
+        self.cache: ExtractionCache | None = None
+        if self.config.cache:
+            cache_path = (
+                Path(self.config.cache_dir) / "extraction-cache.jsonl"
+                if self.config.cache_dir is not None
+                else None
+            )
+            self.cache = ExtractionCache(
+                capacity=self.config.cache_capacity, path=cache_path
+            )
+        self._batch: BatchExtractor | None = (
+            BatchExtractor(jobs=self.workers) if self.workers > 1 else None
+        )
+        self._serial: FormExtractor | None = None
+        self._thread: ThreadPoolExecutor | None = None
+        if self.workers == 1:
+            # Extraction still leaves the event loop (one worker thread);
+            # the ladder's cooperative deadline bounds each request.  The
+            # extractor gets a throwaway registry -- traces are folded
+            # into the service registry centrally, like pooled records.
+            self._serial = FormExtractor(metrics=MetricsRegistry())
+            self._thread = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve"
+            )
+        self._inflight = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._ewma_seconds: float | None = None
+        self._session = secrets.token_hex(3)
+        self._sequence = itertools.count(1)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def warm(self) -> int:
+        """Fork and warm the worker pool now; returns the worker count."""
+        if self._batch is not None:
+            return self._batch.warm() or self.workers
+        assert self._serial is not None  # jobs=1: grammar is the warm state
+        return 1
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet finished (queued + running)."""
+        return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> bool:
+        """Graceful shutdown: stop admitting, wait for in-flight work.
+
+        Returns True when the queue drained inside ``drain_seconds``;
+        either way the pool and worker thread are torn down afterwards
+        and the service refuses new work.
+        """
+        self._draining = True
+        drained = True
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(), timeout=self.config.drain_seconds
+            )
+        except asyncio.TimeoutError:
+            drained = False
+        if self._batch is not None:
+            self._batch.close()
+        if self._thread is not None:
+            self._thread.shutdown(wait=drained, cancel_futures=True)
+        log_event(
+            _logger, logging.INFO, "serve.drained",
+            drained=drained, abandoned=self._inflight,
+        )
+        return drained
+
+    # -- request path -------------------------------------------------------------
+
+    def next_request_id(self) -> str:
+        return f"{self._session}-{next(self._sequence):06x}"
+
+    async def extract(
+        self,
+        html: str,
+        form_index: int = 0,
+        deadline_seconds: float | None = None,
+        request_id: str | None = None,
+    ) -> ServeResult:
+        """Serve one extraction (cache → admission → pool → ladder).
+
+        Raises :class:`ServiceSaturated` when shed and
+        :class:`ServiceUnavailable` while draining or after repeated
+        worker deaths; every other outcome -- including hostile payloads
+        -- resolves to a :class:`ServeResult`.
+        """
+        started = time.perf_counter()
+        request_id = request_id or self.next_request_id()
+        deadline = self._clamp_deadline(deadline_seconds)
+        self.metrics.inc("serve.requests")
+        signature = self._signature(html, form_index)
+        hit = self._cache_lookup(signature, request_id, started)
+        if hit is not None:
+            return hit
+        self._admit(deadline)
+        return await self._serve_admitted(
+            html, form_index, deadline, request_id, started, signature
+        )
+
+    async def _serve_admitted(
+        self,
+        html: str,
+        form_index: int,
+        deadline: float,
+        request_id: str,
+        started: float,
+        signature: str | None,
+    ) -> ServeResult:
+        """Dispatch one already-admitted request; always releases its slot."""
+        try:
+            record = await self._dispatch(html, form_index, deadline)
+        finally:
+            self._release()
+        elapsed = time.perf_counter() - started
+        self._note_service_time(elapsed)
+        result = ServeResult(
+            record=record, request_id=request_id, elapsed_seconds=elapsed
+        )
+        self._account(result, signature)
+        return result
+
+    def _cache_lookup(
+        self, signature: str | None, request_id: str, started: float
+    ) -> ServeResult | None:
+        """A replayed result on a cache hit (hits never queue), else None."""
+        if signature is None or self.cache is None:
+            return None
+        entry = self.cache.get(signature)
+        if entry is None:
+            self.metrics.inc("serve.cache.misses")
+            return None
+        self.metrics.inc("serve.cache.hits")
+        record = BatchRecord(
+            index=0,
+            model=entry.rebuild_model(),
+            stats=entry.rebuild_stats(),
+            warnings=list(entry.warnings),
+            cached=True,
+        )
+        elapsed = time.perf_counter() - started
+        self.metrics.observe("serve.latency.seconds", elapsed)
+        return ServeResult(
+            record=record,
+            request_id=request_id,
+            elapsed_seconds=elapsed,
+            cached=True,
+        )
+
+    async def extract_batch(
+        self,
+        items: list[str],
+        form_index: int = 0,
+        deadline_seconds: float | None = None,
+        request_id: str | None = None,
+    ) -> list[ServeResult]:
+        """Serve a list of documents concurrently, results in input order.
+
+        The whole batch is admitted (or shed) atomically: partial
+        admission would return a mix of records and 429s inside one
+        response body, which no client can retry sanely.
+        """
+        request_id = request_id or self.next_request_id()
+        if len(items) > self.config.max_batch_items:
+            raise ServiceSaturated(
+                f"batch of {len(items)} exceeds max_batch_items "
+                f"{self.config.max_batch_items}",
+                retry_after=self.config.retry_after_seconds,
+            )
+        deadline = self._clamp_deadline(deadline_seconds)
+        if self._draining:
+            raise ServiceUnavailable("service is draining")
+        if self._inflight + len(items) > self.config.max_queue:
+            self.metrics.inc("serve.shed", len(items))
+            raise ServiceSaturated(
+                f"queue depth {self._inflight} + batch {len(items)} exceeds "
+                f"max_queue {self.config.max_queue}",
+                retry_after=self._retry_after(),
+            )
+
+        async def _one(position: int, html: str) -> ServeResult:
+            started = time.perf_counter()
+            item_id = f"{request_id}.{position}"
+            self.metrics.inc("serve.requests")
+            signature = self._signature(html, form_index)
+            hit = self._cache_lookup(signature, item_id, started)
+            if hit is not None:
+                self._release()  # pre-admitted slot unused by a cache hit
+                return hit
+            return await self._serve_admitted(
+                html, form_index, deadline, item_id, started, signature
+            )
+
+        # Admit the whole batch up front so concurrent singles cannot
+        # wedge partial admission in between the items.
+        self._admit_bulk(len(items))
+        return list(
+            await asyncio.gather(*(
+                _one(position, item) for position, item in enumerate(items)
+            ))
+        )
+
+    # -- admission ----------------------------------------------------------------
+
+    def _clamp_deadline(self, requested: float | None) -> float:
+        if requested is None or requested <= 0:
+            return self.config.default_deadline_seconds
+        return min(requested, self.config.max_deadline_seconds)
+
+    def _retry_after(self) -> float:
+        estimate = (
+            self._ewma_seconds * max(1, self._inflight) / self.workers
+            if self._ewma_seconds is not None
+            else 0.0
+        )
+        return max(self.config.retry_after_seconds, estimate)
+
+    def _admit(self, deadline: float) -> None:
+        if self._draining:
+            raise ServiceUnavailable("service is draining")
+        if self._inflight >= self.config.max_queue:
+            self.metrics.inc("serve.shed")
+            raise ServiceSaturated(
+                f"queue depth {self._inflight} at max_queue "
+                f"{self.config.max_queue}",
+                retry_after=self._retry_after(),
+            )
+        if self._ewma_seconds is not None:
+            # Ladder pre-check: queue waves ahead of this request times
+            # the recent per-request cost.  A request that would spend
+            # its whole deadline waiting lands below `capped` -- shed it
+            # while the client can still do something useful.
+            projected_wait = (
+                math.floor(self._inflight / self.workers) * self._ewma_seconds
+            )
+            if projected_wait >= deadline:
+                self.metrics.inc("serve.shed")
+                raise ServiceSaturated(
+                    f"projected queue wait {projected_wait:.2f}s exceeds "
+                    f"request deadline {deadline:g}s",
+                    retry_after=self._retry_after(),
+                )
+        self._inflight += 1
+        self._idle.clear()
+        self.metrics.observe("serve.queue.depth", self._inflight)
+
+    def _admit_bulk(self, count: int) -> None:
+        """Reserve *count* queue slots at once (the /batch endpoint)."""
+        self._inflight += count
+        if count:
+            self._idle.clear()
+        self.metrics.observe("serve.queue.depth", self._inflight)
+
+    def _release(self) -> None:
+        self._inflight -= 1
+        if self._inflight <= 0:
+            self._idle.set()
+
+    def _note_service_time(self, seconds: float) -> None:
+        if self._ewma_seconds is None:
+            self._ewma_seconds = seconds
+        else:
+            self._ewma_seconds = 0.2 * seconds + 0.8 * self._ewma_seconds
+
+    # -- dispatch -----------------------------------------------------------------
+
+    async def _dispatch(
+        self, html: str, form_index: int, deadline: float
+    ) -> BatchRecord:
+        limits = dataclasses.replace(
+            self.config.limits, deadline_seconds=deadline
+        )
+        arg = (html, form_index, limits)
+        watchdog = deadline * self.config.watchdog_slack
+        if self._batch is None:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._thread,
+                _extract_one,
+                self._serial, "custom", 0, (_serve_job, arg), None,
+            )
+        try:
+            return await asyncio.wrap_future(
+                self._batch.submit_custom(_serve_job, arg, timeout=watchdog)
+            )
+        except BrokenProcessPool:
+            # A worker died under this request (or a neighbour's).  Tear
+            # the pool down and retry once on a fresh one -- extraction
+            # is deterministic, so a second death pins this payload.
+            self.metrics.inc("serve.pool_restarts")
+            log_event(
+                _logger, logging.WARNING, "serve.pool_died", retrying=True
+            )
+            self._batch.close()
+            try:
+                return await asyncio.wrap_future(
+                    self._batch.submit_custom(
+                        _serve_job, arg, timeout=watchdog
+                    )
+                )
+            except BrokenProcessPool as exc:
+                self.metrics.inc("serve.worker_crashes")
+                raise ServiceUnavailable(
+                    "worker process died twice extracting this payload"
+                ) from exc
+
+    # -- accounting ---------------------------------------------------------------
+
+    def _signature(self, html: str, form_index: int) -> str | None:
+        if self.cache is None:
+            return None
+        try:
+            signature = html_signature(html)
+        except Exception:  # noqa: BLE001 - unsignable input: just no caching
+            return None
+        return (
+            signature if form_index == 0 else f"{signature}|form={form_index}"
+        )
+
+    def _account(self, result: ServeResult, signature: str | None) -> None:
+        record = result.record
+        self.metrics.observe(
+            "serve.latency.seconds", result.elapsed_seconds
+        )
+        if record.trace is not None:
+            # Thread the request id into the trace before folding it into
+            # the registry -- log pipelines join access lines to span
+            # metrics on this tag.
+            record.trace.setdefault("tags", {})["request_id"] = (
+                result.request_id
+            )
+            self.metrics.record_trace(record.trace)
+        if not record.ok:
+            self.metrics.inc("serve.errors")
+            return
+        level = result.degrade_level
+        if level != LEVEL_FULL:
+            self.metrics.inc("serve.degraded")
+            self.metrics.inc(f"degrade.{level}")
+            return  # degraded results are never cached (PR 4 contract)
+        if (
+            signature is not None
+            and self.cache is not None
+            and record.model is not None
+        ):
+            self.cache.put(
+                signature,
+                CacheEntry.from_parts(
+                    record.model, record.stats, record.warnings
+                ),
+            )

@@ -187,6 +187,136 @@ class TestChecksums:
         assert reader.stats.corrupt_records == 3
 
 
+class TestClearWithDiskBacking:
+    """Regression: ``clear()`` must reset the disk offset (issue 7)."""
+
+    def test_clear_then_get_hits_from_disk(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ExtractionCache(path=path)
+        cache.put("tok:a", _entry("a"))
+        cache.clear()
+        assert len(cache) == 0
+        entry = cache.get("tok:a")  # must refold the kept disk file
+        assert entry is not None
+        assert entry.rebuild_model().missing == ["a"]
+
+    def test_clear_then_contains_after_get(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ExtractionCache(path=path)
+        for tag in ("a", "b"):
+            cache.put(f"tok:{tag}", _entry(tag))
+        cache.clear()
+        assert cache.get("tok:b") is not None
+        assert "tok:a" in cache
+
+    def test_clear_memory_only_cache_still_forgets(self):
+        cache = ExtractionCache()
+        cache.put("tok:a", _entry("a"))
+        cache.clear()
+        assert cache.get("tok:a") is None
+
+
+class TestDiskAppendDedup:
+    """Regression: re-``put`` of an evicted signature must not append a
+    duplicate JSONL line (issue 7) -- a long-lived disk cache under LRU
+    churn would otherwise grow without bound."""
+
+    def test_churn_keeps_file_line_count_bounded(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ExtractionCache(capacity=2, path=path)
+        signatures = ["tok:a", "tok:b", "tok:c"]
+        for _ in range(10):  # every put past the first 2 evicts one
+            for signature in signatures:
+                cache.put(signature, _entry(signature[-1]))
+        with open(path, "rb") as fh:
+            lines = fh.read().splitlines()
+        assert len(lines) == len(signatures)
+
+    def test_file_replacement_starts_a_new_generation(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ExtractionCache(capacity=1, path=path)
+        cache.put("tok:a", _entry("a"))
+        path.write_text("", encoding="utf-8")  # external invalidation
+        cache.get("tok:a")  # notices the truncation, resets generation
+        cache.put("tok:a", _entry("a"))
+        with open(path, "rb") as fh:
+            lines = fh.read().splitlines()
+        assert len(lines) == 1  # re-appended exactly once to the new file
+
+    def test_evicted_entry_still_served_from_disk(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ExtractionCache(capacity=2, path=path)
+        for tag in ("a", "b", "c"):
+            cache.put(f"tok:{tag}", _entry(tag))
+        assert "tok:a" not in cache  # evicted from memory, kept on disk
+        reader = ExtractionCache(capacity=8, path=path)
+        assert reader.get("tok:a") is not None
+
+
+class TestPayloadShapeValidation:
+    """Regression: malformed v1 fields must quarantine, not raise inside
+    the cache path (issue 7)."""
+
+    @pytest.mark.parametrize("stats", ["not-a-dict", [1, 2, 3], 7])
+    def test_v1_line_with_malformed_stats_is_quarantined(
+        self, tmp_path, stats
+    ):
+        path = tmp_path / "cache.jsonl"
+        payload = _entry("bad").to_payload()
+        payload["stats"] = stats
+        path.write_text(
+            json.dumps({"v": 1, "sig": "tok:bad", "entry": payload}) + "\n",
+            encoding="utf-8",
+        )
+        reader = ExtractionCache(path=path)
+        assert reader.get("tok:bad") is None
+        assert reader.stats.corrupt_records == 1
+
+    @pytest.mark.parametrize(
+        "field_name,value",
+        [("model", "oops"), ("model", [1]), ("warnings", "oops"),
+         ("warnings", [{"w": 1}])],
+    )
+    def test_v1_line_with_malformed_field_is_quarantined(
+        self, tmp_path, field_name, value
+    ):
+        path = tmp_path / "cache.jsonl"
+        payload = _entry("bad").to_payload()
+        payload[field_name] = value
+        path.write_text(
+            json.dumps({"v": 1, "sig": "tok:bad", "entry": payload}) + "\n",
+            encoding="utf-8",
+        )
+        reader = ExtractionCache(path=path)
+        assert reader.get("tok:bad") is None
+        assert reader.stats.corrupt_records == 1
+
+    def test_malformed_line_never_voids_its_neighbours(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        bad = _entry("bad").to_payload()
+        bad["stats"] = "broken"
+        path.write_text(
+            json.dumps({"v": 1, "sig": "tok:bad", "entry": bad}) + "\n"
+            + json.dumps(
+                {"v": 1, "sig": "tok:good", "entry": _entry("g").to_payload()}
+            ) + "\n",
+            encoding="utf-8",
+        )
+        reader = ExtractionCache(path=path)
+        good = reader.get("tok:good")
+        assert good is not None
+        assert good.rebuild_stats() is not None
+        assert reader.stats.corrupt_records == 1
+
+    def test_from_payload_raises_on_bad_shapes(self):
+        with pytest.raises(ValueError):
+            CacheEntry.from_payload({"model": "oops"})
+        with pytest.raises(ValueError):
+            CacheEntry.from_payload({"model": {}, "stats": [1]})
+        with pytest.raises(ValueError):
+            CacheEntry.from_payload({"model": {}, "warnings": 3})
+
+
 def _concurrent_put(args):
     """Worker: write one entry through its own cache instance."""
     path, tag = args

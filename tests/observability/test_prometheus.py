@@ -1,0 +1,95 @@
+"""Prometheus text exposition: naming, rendering, and the round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.observability.prometheus import metric_name
+
+
+class TestMetricName:
+    @pytest.mark.parametrize(
+        ("raw", "flat"),
+        [
+            ("serve.requests", "repro_serve_requests"),
+            ("stage.html-parse.seconds", "repro_stage_html_parse_seconds"),
+            ("degrade.capped", "repro_degrade_capped"),
+            ("a b/c", "repro_a_b_c"),
+        ],
+    )
+    def test_sanitizes_to_prometheus_grammar(self, raw, flat):
+        assert metric_name(raw) == flat
+
+    def test_prefix_is_optional(self):
+        assert metric_name("serve.requests", prefix="") == "serve_requests"
+
+    def test_leading_digit_without_prefix_is_escaped(self):
+        name = metric_name("2p.grammar", prefix="")
+        assert name == "_2p_grammar"
+
+
+class TestRender:
+    def test_counters_become_total_samples(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.requests", 3)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 3" in text.splitlines()
+
+    def test_counter_already_named_total_is_not_doubled(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.requests.total")
+        text = render_prometheus(registry)
+        assert "total_total" not in text
+
+    def test_histograms_become_summary_plus_min_max(self):
+        registry = MetricsRegistry()
+        registry.observe("serve.latency.seconds", 0.25)
+        registry.observe("serve.latency.seconds", 0.75)
+        samples = parse_prometheus(render_prometheus(registry))
+        assert samples["repro_serve_latency_seconds_count"] == 2
+        assert samples["repro_serve_latency_seconds_sum"] == 1.0
+        assert samples["repro_serve_latency_seconds_min"] == 0.25
+        assert samples["repro_serve_latency_seconds_max"] == 0.75
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_output_is_deterministic(self):
+        registry = MetricsRegistry()
+        for name in ("b.two", "a.one", "c.three"):
+            registry.inc(name)
+        registry.observe("z.seconds", 1.0)
+        assert render_prometheus(registry) == render_prometheus(registry)
+
+    def test_rendering_does_not_mutate_the_registry(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.requests")
+        before = registry.to_dict()
+        render_prometheus(registry)
+        assert registry.to_dict() == before
+
+
+class TestParse:
+    def test_round_trips_a_real_snapshot(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.requests", 7)
+        registry.inc("serve.shed")
+        registry.observe("serve.queue.depth", 3)
+        samples = parse_prometheus(render_prometheus(registry))
+        assert samples["repro_serve_requests_total"] == 7
+        assert samples["repro_serve_shed_total"] == 1
+        assert samples["repro_serve_queue_depth_count"] == 1
+
+    def test_comments_and_blanks_are_skipped(self):
+        samples = parse_prometheus("# HELP x\n\nfoo 1\n# TYPE foo counter\n")
+        assert samples == {"foo": 1.0}
+
+    def test_malformed_sample_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("just-a-name\n")

@@ -1,0 +1,143 @@
+"""Fixtures for the serving tier: a live server on a background loop.
+
+The e2e tests exercise the real stack -- sockets, HTTP framing, the
+admission gate, the extraction pipeline -- with the server's event loop
+running on a dedicated thread and plain :mod:`http.client` clients
+calling in from the test thread (and from extra threads for the
+concurrency tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.server import ExtractionServer, ServerConfig
+
+#: A small but non-trivial query form (several condition patterns).
+FORM_HTML = """<html><body><form action="/search" method="get">
+<b>Title</b> <select name="title_kind"><option>any words</option>
+<option>exact phrase</option></select>
+<input type="text" name="title">
+<b>Author</b> <input type="text" name="author">
+<b>Format</b>
+<input type="checkbox" name="fmt" value="hardcover">Hardcover
+<input type="checkbox" name="fmt" value="paperback">Paperback
+<b>Price</b> from <input type="text" name="lo"> to <input type="text" name="hi">
+<input type="submit" value="Search">
+</form></body></html>"""
+
+
+def heavy_form_html(fields: int = 80) -> str:
+    """A form big enough that extraction cannot finish in ~a millisecond."""
+    rows = []
+    for index in range(fields):
+        rows.append(
+            f"<b>Field {index}</b> "
+            f"<select name='kind{index}'><option>any</option>"
+            f"<option>all</option><option>exact</option></select> "
+            f"<input type='text' name='value{index}'><br>"
+        )
+    return (
+        "<html><body><form action='/q'>"
+        + "".join(rows)
+        + "<input type='submit' value='go'></form></body></html>"
+    )
+
+
+class LiveServer:
+    """An :class:`ExtractionServer` running on its own event-loop thread."""
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="live-server", daemon=True
+        )
+        self._thread.start()
+        self.server = ExtractionServer(config)
+        self.port: int = self.submit(self.server.start()).result(timeout=60)
+        self._stopped = False
+
+    def submit(self, coro):
+        """Schedule a coroutine on the server loop; returns its future."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    @property
+    def service(self):
+        return self.server.service
+
+    @property
+    def metrics(self):
+        return self.server.metrics
+
+    def stop(self) -> bool:
+        if self._stopped:
+            return True
+        self._stopped = True
+        drained = self.submit(self.server.stop()).result(timeout=60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+        return drained
+
+    # -- plain-HTTP client helpers -------------------------------------------------
+
+    def connection(self, timeout: float = 60.0) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            "127.0.0.1", self.port, timeout=timeout
+        )
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+        timeout: float = 60.0,
+    ):
+        """One request on a fresh connection -> (status, headers, body)."""
+        conn = self.connection(timeout=timeout)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = response.read()
+            return response.status, dict(response.getheaders()), payload
+        finally:
+            conn.close()
+
+    def post_json(self, path: str, payload: object, timeout: float = 60.0):
+        """POST JSON -> (status, headers, decoded JSON body)."""
+        status, headers, body = self.request(
+            "POST",
+            path,
+            body=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            timeout=timeout,
+        )
+        return status, headers, json.loads(body)
+
+    def get_json(self, path: str, timeout: float = 60.0):
+        status, headers, body = self.request("GET", path, timeout=timeout)
+        return status, headers, json.loads(body)
+
+
+@pytest.fixture()
+def live_server():
+    """Factory fixture: start servers with overrides, stop them at teardown."""
+    servers: list[LiveServer] = []
+
+    def _start(**overrides) -> LiveServer:
+        settings = {"port": 0, "jobs": 1}
+        settings.update(overrides)
+        server = LiveServer(ServerConfig(**settings))
+        servers.append(server)
+        return server
+
+    yield _start
+    for server in servers:
+        server.stop()

@@ -1,0 +1,211 @@
+"""Unit tests of the asyncio HTTP/1.1 transport layer."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.http import (
+    HttpProtocolError,
+    HttpServer,
+    Request,
+    Response,
+    encode_response,
+)
+
+
+async def _echo_handler(request: Request) -> Response:
+    return Response.json(
+        {
+            "method": request.method,
+            "path": request.path,
+            "query": request.query,
+            "body": request.text(),
+        }
+    )
+
+
+async def _read_one_response(reader: asyncio.StreamReader) -> tuple[int, dict, bytes]:
+    """Parse one framed response off the stream."""
+    head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=5)
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        if ":" in line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    body = await asyncio.wait_for(
+        reader.readexactly(int(headers.get("content-length", 0))), timeout=5
+    )
+    return status, headers, body
+
+
+class _Client:
+    """A raw-socket client against a transient HttpServer."""
+
+    def __init__(self, handler=_echo_handler, max_body_bytes: int = 4096):
+        self.server = HttpServer(handler, port=0, max_body_bytes=max_body_bytes)
+
+    async def __aenter__(self):
+        port = await self.server.start()
+        self.reader, self.writer = await asyncio.open_connection(
+            "127.0.0.1", port
+        )
+        return self
+
+    async def __aexit__(self, *exc):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        await self.server.stop()
+
+    async def send(self, raw: bytes) -> tuple[int, dict, bytes]:
+        self.writer.write(raw)
+        await self.writer.drain()
+        return await _read_one_response(self.reader)
+
+    async def at_eof(self) -> bool:
+        extra = await asyncio.wait_for(self.reader.read(1), timeout=5)
+        return extra == b""
+
+
+class TestRequestParsing:
+    def test_get_with_query_reaches_handler(self):
+        async def scenario():
+            async with _Client() as client:
+                status, _, body = await client.send(
+                    b"GET /extract?form_index=2 HTTP/1.1\r\n"
+                    b"Host: x\r\nConnection: close\r\n\r\n"
+                )
+                payload = json.loads(body)
+                assert status == 200
+                assert payload["method"] == "GET"
+                assert payload["path"] == "/extract"
+                assert payload["query"] == {"form_index": "2"}
+
+        asyncio.run(scenario())
+
+    def test_post_body_delivered_by_content_length(self):
+        async def scenario():
+            async with _Client() as client:
+                status, _, body = await client.send(
+                    b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n"
+                    b"Connection: close\r\n\r\nhello"
+                )
+                assert status == 200
+                assert json.loads(body)["body"] == "hello"
+
+        asyncio.run(scenario())
+
+    def test_keep_alive_serves_multiple_requests(self):
+        async def scenario():
+            async with _Client() as client:
+                for _ in range(3):
+                    status, headers, _ = await client.send(
+                        b"GET /ping HTTP/1.1\r\nHost: x\r\n\r\n"
+                    )
+                    assert status == 200
+                    assert headers["connection"] == "keep-alive"
+
+        asyncio.run(scenario())
+
+    def test_connection_close_is_honoured(self):
+        async def scenario():
+            async with _Client() as client:
+                _, headers, _ = await client.send(
+                    b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+                )
+                assert headers["connection"] == "close"
+                assert await client.at_eof()
+
+        asyncio.run(scenario())
+
+
+class TestProtocolErrors:
+    def test_malformed_request_line_is_400(self):
+        async def scenario():
+            async with _Client() as client:
+                status, _, _ = await client.send(b"NONSENSE\r\n\r\n")
+                assert status == 400
+                assert await client.at_eof()
+
+        asyncio.run(scenario())
+
+    def test_transfer_encoding_is_501(self):
+        async def scenario():
+            async with _Client() as client:
+                status, _, body = await client.send(
+                    b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                )
+                assert status == 501
+                assert "transfer-encoding" in json.loads(body)["error"]
+
+        asyncio.run(scenario())
+
+    def test_oversized_content_length_is_413_before_reading(self):
+        async def scenario():
+            async with _Client(max_body_bytes=64) as client:
+                status, _, _ = await client.send(
+                    b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"
+                )
+                assert status == 413
+
+        asyncio.run(scenario())
+
+    def test_negative_content_length_is_400(self):
+        async def scenario():
+            async with _Client() as client:
+                status, _, _ = await client.send(
+                    b"POST /x HTTP/1.1\r\nContent-Length: -4\r\n\r\n"
+                )
+                assert status == 400
+
+        asyncio.run(scenario())
+
+
+class TestHandlerFailure:
+    def test_handler_exception_becomes_500_and_closes(self):
+        async def boom(_request: Request) -> Response:
+            raise ValueError("kaput")
+
+        async def scenario():
+            async with _Client(handler=boom) as client:
+                status, headers, body = await client.send(
+                    b"GET / HTTP/1.1\r\n\r\n"
+                )
+                assert status == 500
+                assert headers["connection"] == "close"
+                assert "kaput" in json.loads(body)["error"]
+
+        asyncio.run(scenario())
+
+    def test_handler_protocol_error_uses_its_status(self):
+        async def refuse(_request: Request) -> Response:
+            raise HttpProtocolError(405, "not here")
+
+        async def scenario():
+            async with _Client(handler=refuse) as client:
+                status, _, _ = await client.send(b"GET / HTTP/1.1\r\n\r\n")
+                assert status == 405
+
+        asyncio.run(scenario())
+
+
+class TestMessageObjects:
+    def test_request_json_raises_protocol_error_on_rot(self):
+        request = Request(method="POST", path="/x", body=b"{nope")
+        with pytest.raises(HttpProtocolError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+    def test_encode_response_frames_body(self):
+        raw = encode_response(Response.json({"a": 1}), keep_alive=True)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: " + str(len(body)).encode() in head
+        assert json.loads(body) == {"a": 1}

@@ -1,0 +1,240 @@
+"""Admission control, dispatch recovery, and accounting in the service.
+
+These tests poke :class:`ExtractionService` directly on a local event
+loop; the dispatch stage is stubbed where a test is about queueing
+rather than extraction, and real (serial-mode) extraction is used where
+the contract under test is the cache/ladder interplay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.batch.extractor import BatchRecord
+from repro.server import ServerConfig
+from repro.server.service import (
+    ExtractionService,
+    ServiceSaturated,
+    ServiceUnavailable,
+)
+from tests.server.conftest import FORM_HTML, heavy_form_html
+
+
+def make_service(**overrides) -> ExtractionService:
+    settings = {"port": 0, "jobs": 1}
+    settings.update(overrides)
+    return ExtractionService(ServerConfig(**settings))
+
+
+class TestDeadlineClamp:
+    def test_missing_deadline_takes_default(self):
+        service = make_service(default_deadline_seconds=7.0)
+        assert service._clamp_deadline(None) == 7.0
+
+    def test_requested_deadline_is_capped(self):
+        service = make_service(max_deadline_seconds=30.0)
+        assert service._clamp_deadline(500.0) == 30.0
+
+    def test_nonpositive_deadline_takes_default(self):
+        service = make_service(default_deadline_seconds=7.0)
+        assert service._clamp_deadline(-1.0) == 7.0
+
+
+class TestAdmission:
+    def test_depth_overflow_sheds(self):
+        async def scenario():
+            service = make_service(max_queue=1, cache=False)
+            release = asyncio.Event()
+
+            async def parked(html, form_index, deadline):
+                await release.wait()
+                return BatchRecord(index=0)
+
+            service._dispatch = parked  # type: ignore[method-assign]
+            first = asyncio.create_task(service.extract("<form></form>"))
+            await asyncio.sleep(0.01)
+            assert service.queue_depth == 1
+            with pytest.raises(ServiceSaturated) as excinfo:
+                await service.extract("<form><input></form>")
+            assert excinfo.value.retry_after >= 1.0
+            release.set()
+            result = await first
+            assert result.ok
+            assert service.queue_depth == 0
+
+        asyncio.run(scenario())
+
+    def test_deadline_projection_sheds_doomed_requests(self):
+        async def scenario():
+            service = make_service(max_queue=100, cache=False)
+            service._ewma_seconds = 10.0
+            service._inflight = service.workers  # one full wave queued
+            with pytest.raises(ServiceSaturated) as excinfo:
+                service._admit(deadline=1.0)
+            assert "projected queue wait" in excinfo.value.detail
+            # The same queue is fine for a patient request.
+            service._admit(deadline=60.0)
+            assert service._inflight == service.workers + 1
+
+        asyncio.run(scenario())
+
+    def test_draining_service_is_unavailable(self):
+        async def scenario():
+            service = make_service(cache=False)
+            assert await service.drain() is True
+            with pytest.raises(ServiceUnavailable):
+                await service.extract(FORM_HTML)
+
+        asyncio.run(scenario())
+
+    def test_drain_times_out_on_stuck_work(self):
+        async def scenario():
+            service = make_service(cache=False, drain_seconds=0.05)
+            release = asyncio.Event()
+
+            async def parked(html, form_index, deadline):
+                await release.wait()
+                return BatchRecord(index=0)
+
+            service._dispatch = parked  # type: ignore[method-assign]
+            stuck = asyncio.create_task(service.extract("<form></form>"))
+            await asyncio.sleep(0.01)
+            assert await service.drain() is False
+            release.set()
+            await stuck
+
+        asyncio.run(scenario())
+
+    def test_cache_hit_bypasses_admission(self):
+        async def scenario():
+            service = make_service(max_queue=2)
+            primed = await service.extract(FORM_HTML)
+            assert primed.cached is False
+            service._inflight = service.config.max_queue  # saturate
+            hit = await service.extract(FORM_HTML)
+            assert hit.cached is True
+            service._inflight = 0
+
+        asyncio.run(scenario())
+
+    def test_batch_is_shed_atomically(self):
+        async def scenario():
+            service = make_service(max_queue=2, cache=False)
+            with pytest.raises(ServiceSaturated):
+                await service.extract_batch(["<form></form>"] * 3)
+            assert service.queue_depth == 0
+
+        asyncio.run(scenario())
+
+    def test_batch_cache_hits_release_their_slots(self):
+        async def scenario():
+            service = make_service(max_queue=1)
+            await service.extract(FORM_HTML)
+            results = await service.extract_batch([FORM_HTML])
+            assert results[0].cached is True
+            assert service.queue_depth == 0
+
+        asyncio.run(scenario())
+
+    def test_request_ids_are_unique_and_sessioned(self):
+        service = make_service()
+        first, second = service.next_request_id(), service.next_request_id()
+        assert first != second
+        assert first.split("-")[0] == second.split("-")[0]
+
+
+class TestAccounting:
+    def test_request_id_is_threaded_into_the_trace(self):
+        async def scenario():
+            service = make_service(cache=False)
+            result = await service.extract(FORM_HTML, request_id="riq-1")
+            assert result.record.trace["tags"]["request_id"] == "riq-1"
+            counters = service.metrics.to_dict()["counters"]
+            assert counters["serve.requests"] == 1
+            histograms = service.metrics.to_dict()["histograms"]
+            assert histograms["serve.latency.seconds"]["count"] == 1
+
+        asyncio.run(scenario())
+
+    def test_full_level_results_are_cached(self):
+        async def scenario():
+            service = make_service()
+            result = await service.extract(FORM_HTML)
+            assert result.degrade_level == "full"
+            signature = service._signature(FORM_HTML, 0)
+            assert service.cache.get(signature) is not None
+
+        asyncio.run(scenario())
+
+    def test_degraded_results_are_never_cached(self):
+        async def scenario():
+            service = make_service()
+            html = heavy_form_html()
+            result = await service.extract(html, deadline_seconds=0.005)
+            assert result.degrade_level != "full"
+            signature = service._signature(html, 0)
+            assert service.cache.get(signature) is None
+            counters = service.metrics.to_dict()["counters"]
+            assert counters["serve.degraded"] == 1
+            assert counters[f"degrade.{result.degrade_level}"] == 1
+
+        asyncio.run(scenario())
+
+    def test_form_index_is_part_of_the_cache_key(self):
+        service = make_service()
+        base = service._signature(FORM_HTML, 0)
+        other = service._signature(FORM_HTML, 1)
+        assert base != other
+        assert other.endswith("|form=1")
+
+
+class _CrashingPool:
+    """A stand-in pool whose futures always die of BrokenProcessPool."""
+
+    def __init__(self, recover_after: int | None = None):
+        self.calls = 0
+        self.closes = 0
+        self.recover_after = recover_after
+
+    def submit_custom(self, job_fn, item, timeout=None) -> Future:
+        self.calls += 1
+        future: Future = Future()
+        if self.recover_after is not None and self.calls > self.recover_after:
+            future.set_result(BatchRecord(index=0))
+        else:
+            future.set_exception(BrokenProcessPool("worker died"))
+        return future
+
+    def close(self) -> None:
+        self.closes += 1
+
+
+class TestPoolRecovery:
+    def test_one_crash_restarts_the_pool_and_retries(self):
+        async def scenario():
+            service = make_service(cache=False)
+            service._batch = _CrashingPool(recover_after=1)
+            record = await service._dispatch("<form></form>", 0, 1.0)
+            assert record.ok
+            assert service._batch.calls == 2
+            assert service._batch.closes == 1
+            counters = service.metrics.to_dict()["counters"]
+            assert counters["serve.pool_restarts"] == 1
+
+        asyncio.run(scenario())
+
+    def test_two_crashes_pin_the_payload_as_unavailable(self):
+        async def scenario():
+            service = make_service(cache=False)
+            service._batch = _CrashingPool()
+            with pytest.raises(ServiceUnavailable):
+                await service._dispatch("<form></form>", 0, 1.0)
+            assert service._batch.calls == 2
+            counters = service.metrics.to_dict()["counters"]
+            assert counters["serve.worker_crashes"] == 1
+
+        asyncio.run(scenario())
