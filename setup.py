@@ -1,3 +1,32 @@
+"""Build hook for the optional mypyc-compiled parser core.
+
+The default build (``pip install .``) is pure Python.  Setting
+``REPRO_COMPILE=1`` at build time compiles :mod:`repro.parser.core` --
+the fix-point inner loop -- ahead of time with mypyc:
+
+    pip install 'repro[compiled]'          # pulls mypy (ships mypyc)
+    REPRO_COMPILE=1 pip install --no-build-isolation .
+
+The compiled extension shadows ``core.py`` but the source stays
+installed next to it, so the interpreted twin remains importable
+(``repro.parser.parser.load_interpreted_core``) for differential
+testing, and a wheel built without mypyc behaves identically minus the
+speed.  When ``REPRO_COMPILE=1`` is set but mypyc is missing, the build
+fails loudly rather than silently producing an interpreted wheel.
+"""
+
+import os
+
 from setuptools import setup
 
-setup()
+ext_modules = []
+if os.environ.get("REPRO_COMPILE") == "1":
+    from mypyc.build import mypycify
+
+    ext_modules = mypycify(
+        ["src/repro/parser/core.py"],
+        opt_level="3",
+        strip_asserts=False,
+    )
+
+setup(ext_modules=ext_modules)

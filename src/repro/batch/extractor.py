@@ -445,12 +445,19 @@ def _init_worker(
     cache_spec: CacheSpec = None,
     resilience: ResilienceConfig | None = None,
 ) -> None:
-    """Pool initializer: build the extractor once per worker process."""
+    """Pool initializer: build and warm the extractor once per worker.
+
+    The warmup parse runs here, inside the initializer, so every worker
+    has already paid the schedule/kernel/core first-call costs before
+    the pool accepts its first job -- the serving tier's cold p50
+    measures the parse, not module imports.
+    """
     global _worker_extractor
     _worker_extractor = _build_extractor(
         grammar_factory, parser_config, _cache_from_spec(cache_spec),
         resilience,
     )
+    _worker_extractor.warmup()
 
 
 def _build_extractor(
@@ -817,7 +824,7 @@ class BatchExtractor:
         extractor instead).
         """
         if self.jobs == 1:
-            self._local_extractor()
+            self._local_extractor().warmup()
             return 0
         workers = self._effective_workers()
         self._get_pool(workers)
@@ -1196,7 +1203,11 @@ class BatchExtractor:
             if "fork" in multiprocessing.get_all_start_methods():
                 mp_context = multiprocessing.get_context("fork")
                 try:
-                    self._local_extractor()  # pre-warm before forking
+                    # Pre-warm before forking: children inherit the
+                    # grammar/schedule caches *and* the warmup parse's
+                    # import/alloc state (numpy, parser core) through
+                    # copy-on-write.
+                    self._local_extractor().warmup()
                 except Exception:  # noqa: BLE001 - workers surface the error
                     pass
             self._pool = ProcessPoolExecutor(

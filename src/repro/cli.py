@@ -261,9 +261,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         generate_token_sets,
         profile_parse,
         run_parse_bench,
+        run_scale_sweep,
     )
 
     token_sets = generate_token_sets(args.forms)
+    if args.scale:
+        sweep = run_scale_sweep(token_sets, repeats=args.repeats)
+        print(sweep.describe())
+        return 0
     result = run_parse_bench(
         token_sets, kernel=args.kernel, repeats=args.repeats
     )
@@ -434,6 +439,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3,
                        help="rounds to run; the best wall time is "
                             "reported (default 3)")
+    bench.add_argument("--scale", action="store_true",
+                       help="run the pool-size scaling sweep instead: "
+                            "small/x4/x16 token soups through the "
+                            "kernel x compilation matrix")
     bench.add_argument("--profile", action="store_true",
                        help="also run the corpus under cProfile and write "
                             "the top-20 cumulative table "

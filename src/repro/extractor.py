@@ -30,6 +30,7 @@ from repro.grammar.cache import cached_standard_grammar
 from repro.grammar.grammar import TwoPGrammar
 from repro.html.dom import Document, Element
 from repro.html.parser import parse_html
+from repro.layout.box import BBox
 from repro.merger.merger import Merger, MergeReport
 from repro.observability.logs import get_logger, log_event
 from repro.observability.metrics import MetricsRegistry, get_global_registry
@@ -151,6 +152,41 @@ class FormExtractor:
             resilience = None
         self.resilience: ResilienceConfig | None = resilience
 
+    def warmup(self) -> None:
+        """Pay every first-call cost now instead of on the first request.
+
+        Parses and merges one tiny synthetic form through the extractor's
+        own parser: the cached grammar and schedule, the spatial kernel
+        (including its lazy numpy import), the parser core's first-call
+        allocations, and the merger are all exercised once.  The result
+        is discarded and neither the extraction cache nor the metrics
+        registry is touched, so a warmed extractor is observably
+        identical to a cold one -- except that the first real request no
+        longer pays import/alloc latency (``repro serve`` calls this in
+        every worker's initializer).
+        """
+        tokens: list[Token] = []
+        # Four label+textbox rows plus a submit row: big enough that the
+        # instance pools cross MIN_INDEXED_POOL, so the band/geometry
+        # index paths (and their numpy allocations) run too.
+        for row in range(4):
+            top = 24.0 * row
+            tokens.append(Token(
+                id=len(tokens), terminal="text",
+                bbox=BBox(0.0, 60.0, top, top + 19.0),
+                attrs={"sval": f"Field {row}"},
+            ))
+            tokens.append(Token(
+                id=len(tokens), terminal="textbox",
+                bbox=BBox(70.0, 190.0, top, top + 19.0),
+                attrs={"name": f"f{row}"},
+            ))
+        tokens.append(Token(
+            id=len(tokens), terminal="submitbutton",
+            bbox=BBox(0.0, 60.0, 96.0, 115.0), attrs={"label": "Go"},
+        ))
+        self.merger.merge(self.parser.parse(tokens))
+
     # -- main entry points --------------------------------------------------------
 
     def extract(self, html: str, form_index: int = 0) -> SemanticModel:
@@ -249,7 +285,11 @@ class FormExtractor:
             "parse.construct", stats.construction_seconds, counters=stats.counters()
         )
         construct.tags["kernel"] = stats.kernel
+        construct.tags["compiled"] = stats.compiled
         self.metrics.inc(f"parse.kernel.{stats.kernel}")
+        self.metrics.inc(
+            f"parse.compiled.{'true' if stats.compiled else 'false'}"
+        )
         if stats.truncated:
             construct.tags["truncated"] = True
         trace.add_span(
@@ -413,7 +453,11 @@ class FormExtractor:
                 counters=stats.counters(),
             )
             construct.tags["kernel"] = stats.kernel
+            construct.tags["compiled"] = stats.compiled
             self.metrics.inc(f"parse.kernel.{stats.kernel}")
+            self.metrics.inc(
+                f"parse.compiled.{'true' if stats.compiled else 'false'}"
+            )
             if stats.truncated:
                 construct.tags["truncated"] = True
             trace.add_span(

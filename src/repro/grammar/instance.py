@@ -32,6 +32,7 @@ class Instance:
 
     __slots__ = (
         "uid",
+        "iid",
         "symbol",
         "children",
         "_coverage",
@@ -43,6 +44,7 @@ class Instance:
         "parents",
         "alive",
         "_descendant_uids",
+        "_descendant_iid_mask",
     )
 
     def __init__(
@@ -57,6 +59,12 @@ class Instance:
         coverage_mask: int | None = None,
     ):
         self.uid: int = next(_instance_counter)
+        # Dense per-parse intern id, assigned by the parse's
+        # :class:`InternTable` at registration (-1 until then).  Within one
+        # parse, iid order equals registration order equals uid order, so
+        # the parser's bookkeeping can swap the global uid for the dense
+        # iid without changing any ordering-dependent decision.
+        self.iid: int = -1
         self.symbol = symbol
         self.children = children
         if coverage_mask is None:
@@ -84,6 +92,7 @@ class Instance:
         self.parents: list["Instance"] = []
         self.alive = True
         self._descendant_uids: frozenset[int] | None = None
+        self._descendant_iid_mask: int | None = None
 
     # -- construction helpers ---------------------------------------------------
 
@@ -162,6 +171,47 @@ class Instance:
             stack.pop()
         return self._descendant_uids  # type: ignore[return-value]
 
+    def descendant_iid_mask(self) -> int:
+        """Bitmask of interned ids over this instance's subtree (cached).
+
+        Bit ``i`` is set when the node with intern id *i* (see :attr:`iid`
+        and :class:`InternTable`) occurs in the subtree rooted here, self
+        included.  The interned counterpart of :meth:`descendant_uids`:
+        dense ids make the set an arbitrary-precision int, so building it
+        is one ``|=`` per child instead of a hash insert per node, and an
+        ancestry test is a shift-and-mask instead of a set lookup.  Only
+        meaningful once every node of the subtree has been interned
+        (``iid >= 0``), which the parser guarantees -- components are
+        always registered before any production combines them.
+        """
+        cached = self._descendant_iid_mask
+        if cached is not None:
+            return cached
+        # Resolve bottom-up without recursion, mirroring descendant_uids.
+        stack: list[Instance] = [self]
+        while stack:
+            node = stack[-1]
+            if node._descendant_iid_mask is not None:
+                stack.pop()
+                continue
+            pending = [
+                child for child in node.children
+                if child._descendant_iid_mask is None
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            mask = 1 << node.iid
+            for child in node.children:
+                child_mask = child._descendant_iid_mask
+                assert child_mask is not None
+                mask |= child_mask
+            node._descendant_iid_mask = mask
+            stack.pop()
+        result = self._descendant_iid_mask
+        assert result is not None
+        return result
+
     def is_ancestor_of(self, other: "Instance") -> bool:
         """True when *other* occurs in this instance's subtree (strictly)."""
         if other is self:
@@ -231,3 +281,41 @@ class Instance:
             f"<Instance #{self.uid} {self.symbol} "
             f"cov={sorted(self.coverage)}{status}>"
         )
+
+
+class InternTable:
+    """Dense per-parse instance interning.
+
+    Every instance a parse registers gets the next dense id (``iid``),
+    stored on the instance and usable as an index into :attr:`instances`.
+    Dense ids are what let the parser core keep its bookkeeping in
+    id-keyed arrays and bitmasks instead of object sets: intern order is
+    registration order, so comparisons and watermarks over iids make the
+    same decisions the global ``uid`` serial would, while staying compact
+    (``iid`` ranges over ``[0, len(table))`` for one parse, however many
+    parses ran before).
+
+    One table serves exactly one parse; instances are never interned
+    twice (re-registering is a bug the ``assert`` below catches in
+    tests).
+    """
+
+    __slots__ = ("instances",)
+
+    def __init__(self) -> None:
+        self.instances: list[Instance] = []
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def add(self, instance: Instance) -> int:
+        """Intern *instance*, assigning and returning its dense id."""
+        assert instance.iid < 0, "instance interned twice"
+        iid = len(self.instances)
+        instance.iid = iid
+        self.instances.append(instance)
+        return iid
+
+    def get(self, iid: int) -> Instance:
+        """The instance interned as *iid*."""
+        return self.instances[iid]

@@ -16,12 +16,16 @@ incomplete, the parser cannot reject any input.  Instead it:
 "brute-force" baseline of Section 4.2.1 used in the ablation benchmarks.
 """
 
+from repro.parser.core import is_compiled
 from repro.parser.parser import (
     BestEffortParser,
     ExhaustiveParser,
     ParseResult,
     ParserConfig,
     ParseStats,
+    active_core,
+    load_interpreted_core,
+    use_core,
 )
 from repro.parser.maximization import maximal_roots
 from repro.parser.schedule import (
@@ -45,7 +49,11 @@ __all__ = [
     "Schedule",
     "ScheduleError",
     "ScheduleGraph",
+    "active_core",
     "build_schedule",
     "build_schedule_graph",
+    "is_compiled",
+    "load_interpreted_core",
     "maximal_roots",
+    "use_core",
 ]

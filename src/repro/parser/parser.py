@@ -29,8 +29,8 @@ Two interchangeable evaluation modes produce identical parse forests:
   combinations containing at least one instance created in round *k - 1*
   (the frontier), so no combination is ever examined twice and no dedup
   set is needed.  Productions additionally declare conservative spatial
-  ``bounds`` which, together with a per-symbol :class:`BandIndex`, pre-
-  filter candidate pools down to geometrically plausible neighbours before
+  ``bounds`` which, together with a per-symbol band index, pre-filter
+  candidate pools down to geometrically plausible neighbours before
   :meth:`Production.try_apply` runs.
 * ``"naive"`` -- the original loop: every round re-enumerates the full
   cartesian product of component pools and skips already-seen combinations
@@ -42,35 +42,44 @@ For every grammar whose self-recursive productions use their head symbol
 in at most one component position (all practical 2P grammars, including
 the standard one), the two modes create instances in the *same order*, so
 parse forests, statistics invariants, and merger output are identical.
+
+The compiled core
+-----------------
+
+The hot inner loop -- instance interning, frontier-delta joins,
+preference enforcement -- lives in :mod:`repro.parser.core`, a strict-mypy
+module compilable ahead-of-time with mypyc (the ``repro[compiled]`` extra;
+see ``setup.py``).  This module is the orchestration layer: it resolves
+kernels, walks the schedule, folds the core's counters into
+:class:`ParseStats`, and stamps :attr:`ParseStats.compiled` with which
+build actually ran.  :func:`use_core` swaps the core implementation
+process-wide (the equivalence suite runs compiled and interpreted cores
+side by side in one process via :func:`load_interpreted_core`); a parser
+binds its core at construction.
 """
 
 from __future__ import annotations
 
 import gc
+import importlib.util
 import itertools
+import os
+import sys
 import time
-from bisect import bisect_left
-from operator import attrgetter
+import types
 from dataclasses import dataclass, field, replace
 
 from repro.grammar.grammar import TwoPGrammar
 from repro.grammar.instance import Instance
 from repro.grammar.preference import Preference, subsumes
 from repro.grammar.production import Production
+from repro.parser import core as _core_module
+from repro.parser.core import CoreCounters, ParseCore, SymbolBudget
 from repro.parser.maximization import covered_tokens, maximal_roots
 from repro.parser.schedule import Schedule
-from repro.parser.spatial_index import (
-    KERNEL_MODES,
-    MIN_INDEXED_POOL,
-    BandIndex,
-    GeometryTable,
-    _load_numpy,
-    h_allows,
-    resolve_kernel,
-    v_allows,
-)
+from repro.parser.spatial_index import KERNEL_MODES, resolve_kernel
 from repro.tokens.model import Token
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.guard import ResourceGuard
@@ -78,16 +87,60 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Recognised fix-point evaluation strategies.
 EVALUATION_MODES = ("seminaive", "naive")
 
-#: Winner-index buckets are append-only in ``uid`` order (and compaction
-#: preserves it), so incremental enforcement can binary-search straight to
-#: the first winner registered after a watermark.
-_uid_key = attrgetter("uid")
+#: The core implementation new parsers bind (see :func:`use_core`).
+_active_core: types.ModuleType = _core_module
 
-#: Cell cap for materializing the full loser x winner candidacy matrix in
-#: masked enforcement.  The uint64 intermediates cost 8 bytes per cell, so
-#: this bounds the transient allocation to ~16 MiB; larger (degenerate)
-#: pools fall back to computing one row per alive loser instead.
-_MASKED_MATRIX_CELLS = 1 << 21
+#: Cache for :func:`load_interpreted_core`.
+_interpreted_core: types.ModuleType | None = None
+
+
+def active_core() -> types.ModuleType:
+    """The :mod:`repro.parser.core` implementation new parsers bind."""
+    return _active_core
+
+
+def use_core(module: types.ModuleType | None) -> types.ModuleType:
+    """Swap the core implementation bound by *subsequently constructed*
+    parsers; return the previous one.
+
+    ``None`` restores the default (the importable
+    :mod:`repro.parser.core`, compiled when the wheel was built with
+    mypyc).  Existing parsers keep the core they were constructed with --
+    the equivalence suite relies on that to run compiled and interpreted
+    parsers side by side in one process.
+    """
+    global _active_core
+    previous = _active_core
+    _active_core = module if module is not None else _core_module
+    return previous
+
+
+def load_interpreted_core() -> types.ModuleType:
+    """The always-interpreted twin of :mod:`repro.parser.core`.
+
+    On an interpreted install this is :mod:`repro.parser.core` itself.
+    On a compiled install (mypyc leaves ``core.py`` next to the extension
+    that shadows it) the source module is loaded under the distinct name
+    ``repro.parser._interpreted_core``, so compiled and interpreted cores
+    coexist in one process for differential testing.
+    """
+    global _interpreted_core
+    if not _core_module.is_compiled():
+        return _core_module
+    if _interpreted_core is not None:
+        return _interpreted_core
+    source = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "core.py"
+    )
+    spec = importlib.util.spec_from_file_location(
+        "repro.parser._interpreted_core", source
+    )
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["repro.parser._interpreted_core"] = module
+    spec.loader.exec_module(module)
+    _interpreted_core = module
+    return module
 
 
 @dataclass
@@ -115,7 +168,8 @@ class ParserConfig:
             when numpy is importable, scalar otherwise), ``"vector"``
             (columnar numpy :class:`~repro.parser.spatial_index.GeometryTable`
             path; raises at parser construction when numpy is absent), or
-            ``"scalar"`` (pure-Python :class:`BandIndex` path).  Both
+            ``"scalar"`` (pure-Python
+            :class:`~repro.parser.spatial_index.BandIndex` path).  Both
             kernels select identical candidates in identical order, so
             models, warnings, and all ``combos_*`` counters are
             byte-identical across kernels; only
@@ -126,7 +180,7 @@ class ParserConfig:
             evaluations during a symbol's fix-point (semi-naive mode
             only).  The same ``(check, anchor, candidate)`` predicate and
             the same band-index query recur across fix-point rounds and
-            pool plans; memo keys intern the instances by ``uid`` so each
+            pool plans; memo keys intern the instances by dense id so each
             predicate is evaluated at most once per fix-point.  Pure
             memoization: verdicts are deterministic, so candidate lists,
             combination order, and all ``combos_*`` counters are identical
@@ -176,6 +230,11 @@ class ParseStats:
     #: Concrete spatial kernel this parse ran (``"vector"`` or
     #: ``"scalar"``); naive-mode parses always record ``"scalar"``.
     kernel: str = "scalar"
+    #: True when the fix-point core ran as a mypyc-compiled extension
+    #: (the ``repro[compiled]`` build), False on the interpreted
+    #: fallback.  A stamp like :attr:`kernel`, not a counter: benches and
+    #: bug reports are never ambiguous about which binary produced them.
+    compiled: bool = False
     instances_created: int = 0
     instances_pruned: int = 0
     rollback_kills: int = 0
@@ -225,6 +284,22 @@ class ParseStats:
             "truncated": int(self.truncated),
             "deadline_exceeded": int(self.deadline_exceeded),
         }
+
+    def absorb(self, counters: CoreCounters) -> None:
+        """Fold one parse's :class:`CoreCounters` into this record."""
+        self.instances_created = counters.instances_created
+        self.instances_pruned = counters.instances_pruned
+        self.rollback_kills = counters.rollback_kills
+        self.preference_applications = counters.preference_applications
+        self.fixpoint_rounds = counters.fixpoint_rounds
+        self.combos_examined = counters.combos_examined
+        self.combos_prefiltered = counters.combos_prefiltered
+        self.spatial_memo_hits = counters.spatial_memo_hits
+        self.symbol_truncations = counters.symbol_truncations
+        self.truncated = self.truncated or counters.truncated
+        self.deadline_exceeded = (
+            self.deadline_exceeded or counters.deadline_exceeded
+        )
 
 
 @dataclass
@@ -283,134 +358,6 @@ class ParseResult:
         ]
 
 
-class _ParseState:
-    """Per-parse mutable bookkeeping shared by the construction phases."""
-
-    __slots__ = (
-        "store",
-        "all_instances",
-        "winner_symbols",
-        "winner_index",
-        "masked_enforcement",
-        "preference_watermark",
-        "dirty_symbols",
-        "instances_left",
-        "combos_left",
-        "compacted_at_kills",
-    )
-
-    def __init__(
-        self,
-        instances_left: int,
-        combos_left: int,
-        winner_symbols: frozenset[str] = frozenset(),
-    ):
-        self.store: dict[str, list[Instance]] = {}
-        self.all_instances: list[Instance] = []
-        #: Symbols that can win some preference: only their instances are
-        #: token-indexed, so ``_find_winner`` scans winner candidates only
-        #: and ``register`` skips the reverse index for everything else.
-        self.winner_symbols = winner_symbols
-        self.winner_index: dict[str, dict[int, list[Instance]]] = {}
-        #: When True every preference is enforced through vectorized
-        #: coverage-mask comparisons and no token index is maintained
-        #: (vector kernel with machine-word-sized masks only).
-        self.masked_enforcement = False
-        #: Per-preference enforcement watermark: the highest instance
-        #: ``uid`` registered when the preference was last enforced.
-        #: Winner/loser pairs that both predate the watermark were already
-        #: tested then (preference predicates are pure functions of the
-        #: immutable instance data, so a no-win verdict is permanent) and
-        #: are skipped on later passes.
-        self.preference_watermark: dict[int, int] = {}
-        #: Symbols whose store pool currently contains dead instances --
-        #: pool snapshots must filter those; clean pools can be aliased.
-        self.dirty_symbols: set[str] = set()
-        self.instances_left = instances_left
-        self.combos_left = combos_left
-        self.compacted_at_kills = 0
-
-    def register(self, instance: Instance) -> None:
-        symbol = instance.symbol
-        pool = self.store.get(symbol)
-        if pool is None:
-            self.store[symbol] = [instance]
-        else:
-            pool.append(instance)
-        self.all_instances.append(instance)
-        if symbol in self.winner_symbols:
-            index = self.winner_index.get(instance.symbol)
-            if index is None:
-                index = self.winner_index[instance.symbol] = {}
-            mask = instance.coverage_mask
-            while mask:
-                low = mask & -mask
-                mask ^= low
-                token_id = low.bit_length() - 1
-                bucket = index.get(token_id)
-                if bucket is None:
-                    index[token_id] = [instance]
-                else:
-                    bucket.append(instance)
-
-    def compact(self) -> None:
-        """Drop dead instances from the lookup lists.
-
-        ``all_instances`` keeps everything (maximization and the result
-        object need the dead for accounting); only the ``store`` pools and
-        the winner token index -- the structures preference enforcement
-        and pool snapshots iterate -- are compacted.  Relative order is
-        preserved, so enumeration order and winner selection are
-        unaffected.
-        """
-        for instances in self.store.values():
-            if any(not instance.alive for instance in instances):
-                instances[:] = [i for i in instances if i.alive]
-        for index in self.winner_index.values():
-            for instances in index.values():
-                if any(not instance.alive for instance in instances):
-                    instances[:] = [i for i in instances if i.alive]
-        self.dirty_symbols.clear()
-
-
-class _SymbolBudget:
-    """Combination allowance for one symbol's fix-point."""
-
-    __slots__ = ("combos_left",)
-
-    def __init__(self, combos_left: int):
-        self.combos_left = combos_left
-
-
-class _SpatialMemo:
-    """Memoized spatial evaluations for one symbol's fix-point.
-
-    Two tables, both keyed on interned identities (instance ``uid`` ints
-    plus the ``id`` of the production-owned check tuple, which is alive for
-    the grammar's lifetime):
-
-    * ``pairs`` -- ``(id(check), anchor_uid, candidate_uid) -> bool``
-      verdicts of individual axis-envelope predicates;
-    * ``bands`` -- ``(id(check), anchor_uid) -> list`` results of a
-      :class:`BandIndex` query for a given anchor (the indexed pool is
-      frozen for the whole fix-point, so the query result is stable).
-
-    Scoped to one symbol's fix-point: component pools are frozen for its
-    duration, and discarding the memo afterwards keeps ``id()``-based keys
-    safe from address reuse across symbols.
-    """
-
-    __slots__ = ("pairs", "bands", "selections")
-
-    def __init__(self) -> None:
-        self.pairs: dict[tuple[int, int, int], bool] = {}
-        self.bands: dict[tuple[int, int], list[Instance]] = {}
-        #: ``(id(checks), *anchor_uids) -> list`` -- full
-        #: :meth:`GeometryTable.select` results for one position's check
-        #: tuple against one anchor binding (vector kernel only).
-        self.selections: dict[tuple[int, ...], list[Instance]] = {}
-
-
 class BestEffortParser:
     """Parser for a 2P grammar over visual tokens.
 
@@ -443,23 +390,38 @@ class BestEffortParser:
         #: runs -- resolved once at construction so a ``"vector"`` request
         #: without numpy fails here, not mid-parse.
         self.kernel: str = resolve_kernel(self.config.kernel)
+        #: The fix-point core implementation this parser runs -- bound at
+        #: construction (see :func:`use_core`), so a parser's behaviour is
+        #: fixed even if the process-wide default is swapped later.
+        self._core = active_core()
         self.schedule: Schedule = cached_schedule(grammar)
         self._winner_symbols = frozenset(
             preference.winner_symbol for preference in grammar.preferences
         )
-        #: Preferences whose condition is the well-known ``subsumes``
-        #: predicate get a dedicated enforcement fast path (see
-        #: ``_find_subsuming_winner``).
-        self._subsume_preferences = frozenset(
-            id(preference)
-            for preference in grammar.preferences
-            if preference.condition is subsumes
-        )
+        #: Stable per-grammar preference ordinals key the core's
+        #: enforcement watermarks (a compiled module cannot rely on
+        #: ``id()`` stability the way the old in-class code did).
+        ordinals = {
+            id(preference): ordinal
+            for ordinal, preference in enumerate(grammar.preferences)
+        }
         #: ``grammar.preferences_involving`` rebuilt per call scans every
-        #: preference; the schedule's symbol set is fixed, so snapshot the
-        #: answer per symbol once.
-        self._preferences_by_symbol: dict[str, tuple[Preference, ...]] = {
-            symbol: tuple(grammar.preferences_involving(symbol))
+        #: preference; the schedule's symbol set is fixed, so snapshot per
+        #: symbol once: ``(ordinal, preference, subsume fast path?)``.
+        #: Preferences whose condition is the well-known ``subsumes``
+        #: predicate get the dedicated enforcement fast path (see
+        #: :func:`repro.parser.core.find_subsuming_winner`).
+        self._preferences_by_symbol: dict[
+            str, tuple[tuple[int, Preference, bool], ...]
+        ] = {
+            symbol: tuple(
+                (
+                    ordinals[id(preference)],
+                    preference,
+                    preference.condition is subsumes,
+                )
+                for preference in grammar.preferences_involving(symbol)
+            )
             for symbol in self.schedule.order
         }
 
@@ -477,8 +439,9 @@ class BestEffortParser:
         ``BudgetExceeded`` instead -- an explicit caller opt-out of the
         never-raises contract.)
         """
+        core = self._core
         started = time.perf_counter()
-        stats = ParseStats(tokens=len(tokens))
+        stats = ParseStats(tokens=len(tokens), compiled=core.is_compiled())
         if self.config.evaluation == "seminaive":
             stats.kernel = self.kernel
         combos_budget = self.config.max_combos
@@ -494,7 +457,7 @@ class BestEffortParser:
         masked = self.kernel == "vector" and all(
             token.id < 64 for token in tokens
         )
-        state = _ParseState(
+        state = core.ParseCore(
             instances_left=self.config.max_instances,
             combos_left=combos_budget,
             winner_symbols=(
@@ -502,6 +465,7 @@ class BestEffortParser:
             ),
         )
         state.masked_enforcement = masked
+        counters = core.CoreCounters()
         gc_paused = self.config.pause_gc and gc.isenabled()
         if gc_paused:
             gc.disable()
@@ -511,24 +475,26 @@ class BestEffortParser:
 
             for symbol in self.schedule.order:
                 if guard is not None and guard.over_deadline("parse"):
-                    stats.truncated = True
-                    stats.deadline_exceeded = True
+                    counters.truncated = True
+                    counters.deadline_exceeded = True
                     break
-                created = self._instantiate(symbol, state, stats, guard)
+                created = self._instantiate(symbol, state, counters, guard)
                 state.instances_left -= created
                 exhausted = (
                     state.instances_left <= 0
                     or state.combos_left <= 0
-                    or stats.deadline_exceeded
+                    or counters.deadline_exceeded
                 )
                 if exhausted:
-                    stats.truncated = True
+                    counters.truncated = True
                 if self.config.enable_preferences:
-                    for preference in self._preferences_by_symbol.get(
-                        symbol, ()
+                    for ordinal, preference, subsume in (
+                        self._preferences_by_symbol.get(symbol, ())
                     ):
-                        self._enforce(preference, state, stats)
-                    self._maybe_compact(state, stats)
+                        core.enforce(
+                            state, ordinal, preference, subsume, counters
+                        )
+                    core.maybe_compact(state, counters)
                 if exhausted:
                     break
 
@@ -539,6 +505,7 @@ class BestEffortParser:
         finally:
             if gc_paused:
                 gc.enable()
+        stats.absorb(counters)
         stats.elapsed_seconds = time.perf_counter() - started
         return ParseResult(
             trees=trees,
@@ -552,441 +519,39 @@ class BestEffortParser:
     def _instantiate(
         self,
         symbol: str,
-        state: _ParseState,
-        stats: ParseStats,
+        state: ParseCore,
+        counters: CoreCounters,
         guard: ResourceGuard | None = None,
     ) -> int:
         """Run ``instantiate(A)`` (paper Figure 11); return #created."""
         productions = self.grammar.productions_for(symbol)
         if not productions:
             return 0
+        core = self._core
         # Per-symbol combination allowance: proportional to the instance
         # budget remaining for this parse, so a pathological production
         # cannot burn the combination budget owed to later symbols.
-        cap = _SymbolBudget(
+        cap: SymbolBudget = core.SymbolBudget(
             self.config.max_combos_per_instance * max(1, state.instances_left)
         )
         if self.config.evaluation == "naive":
             created = self._instantiate_naive(
-                symbol, productions, state, cap, stats, guard
+                symbol, productions, state, cap, counters, guard
             )
         else:
-            created = self._instantiate_seminaive(
-                symbol, productions, state, cap, stats, guard
+            created = core.instantiate_symbol(
+                symbol,
+                productions,
+                state,
+                cap,
+                counters,
+                guard.tick if guard is not None else None,
+                self.kernel == "vector",
+                self.config.memoize_spatial,
             )
         if cap.combos_left <= 0:
-            stats.symbol_truncations += 1
+            counters.symbol_truncations += 1
         return created
-
-    def _instantiate_seminaive(
-        self,
-        symbol: str,
-        productions: list[Production],
-        state: _ParseState,
-        cap: _SymbolBudget,
-        stats: ParseStats,
-        guard: ResourceGuard | None = None,
-    ) -> int:
-        """Frontier-based fix-point: round *k* only enumerates combinations
-        containing at least one instance created in round *k - 1*."""
-        store = state.store
-        dirty = state.dirty_symbols
-        # Pools of non-head components are frozen for the whole fix-point:
-        # no other symbol is instantiated and no preference is enforced
-        # until this symbol completes, so snapshot (and index) them once.
-        # A store pool with no tombstones is aliased outright -- it cannot
-        # mutate until this fix-point ends (only the head symbol's pool
-        # grows, and compaction runs between symbols, never during one).
-        fixed_pools: dict[str, list[Instance]] = {}
-        for production in productions:
-            for component in production.components:
-                if component != symbol and component not in fixed_pools:
-                    pool = store.get(component)
-                    if pool is None:
-                        fixed_pools[component] = []
-                    elif component in dirty:
-                        fixed_pools[component] = [
-                            inst for inst in pool if inst.alive
-                        ]
-                    else:
-                        fixed_pools[component] = pool
-        indexes: dict[str, BandIndex] = {}
-        tables: dict[str, GeometryTable] = {}
-        memo = _SpatialMemo() if self.config.memoize_spatial else None
-        recursive = [p for p in productions if symbol in p.components]
-        # The head pool grows during the fix-point, so it is always a copy.
-        head_store = store.get(symbol, [])
-        head_pool: list[Instance] = (
-            [inst for inst in head_store if inst.alive]
-            if symbol in dirty
-            else list(head_store)
-        )
-        created_total = 0
-        delta_len = 0
-        first_round = True
-        stop = False
-        while True:
-            stats.fixpoint_rounds += 1
-            new_instances: list[Instance] = []
-            old_len = len(head_pool) - delta_len
-            for production in productions if first_round else recursive:
-                plans = self._round_plans(
-                    production, symbol, fixed_pools, head_pool, old_len,
-                    first_round,
-                )
-                for pools in plans:
-                    remaining = (
-                        state.instances_left - created_total - len(new_instances)
-                    )
-                    if remaining <= 0:
-                        stats.truncated = True
-                        stop = True
-                        break
-                    new_instances.extend(
-                        self._apply_seminaive(
-                            production, pools, fixed_pools, indexes, tables,
-                            memo, state, cap, stats, remaining, guard,
-                        )
-                    )
-                    if (
-                        cap.combos_left <= 0
-                        or state.combos_left <= 0
-                        or stats.deadline_exceeded
-                    ):
-                        stats.truncated = True
-                        stop = True
-                        break
-                if stop:
-                    break
-            for instance in new_instances:
-                state.register(instance)
-                head_pool.append(instance)
-            created_total += len(new_instances)
-            delta_len = len(new_instances)
-            first_round = False
-            if stop or not new_instances:
-                return created_total
-
-    @staticmethod
-    def _round_plans(
-        production: Production,
-        symbol: str,
-        fixed_pools: dict[str, list[Instance]],
-        head_pool: list[Instance],
-        old_len: int,
-        first_round: bool,
-    ) -> list[list[list[Instance]]]:
-        """Pool assignments enumerating this round's new combinations.
-
-        First round: one plan over the full pools.  Later rounds: the
-        frontier (instances created last round, the tail of *head_pool*)
-        must appear in at least one head-component position; the standard
-        semi-naive partition assigns, for each head position *d*, the
-        frontier to *d*, only pre-frontier instances to head positions
-        before *d*, and the full pool to head positions after *d* --
-        exactly the combinations not enumerated in any earlier round, each
-        exactly once.
-        """
-        components = production.components
-        if first_round:
-            return [
-                [
-                    head_pool if component == symbol else fixed_pools[component]
-                    for component in components
-                ]
-            ]
-        growing = [
-            index for index, component in enumerate(components)
-            if component == symbol
-        ]
-        old = head_pool[:old_len]
-        delta = head_pool[old_len:]
-        plans: list[list[list[Instance]]] = []
-        for d in growing:
-            pools: list[list[Instance]] = []
-            for index, component in enumerate(components):
-                if component != symbol:
-                    pools.append(fixed_pools[component])
-                elif index < d:
-                    pools.append(old)
-                elif index == d:
-                    pools.append(delta)
-                else:
-                    pools.append(head_pool)
-            plans.append(pools)
-        return plans
-
-    def _apply_seminaive(
-        self,
-        production: Production,
-        pools: list[list[Instance]],
-        fixed_pools: dict[str, list[Instance]],
-        indexes: dict[str, BandIndex],
-        tables: dict[str, GeometryTable],
-        memo: _SpatialMemo | None,
-        state: _ParseState,
-        cap: _SymbolBudget,
-        stats: ParseStats,
-        budget: int,
-        guard: ResourceGuard | None = None,
-    ) -> list[Instance]:
-        """Apply one production over one pool plan, creating at most
-        *budget* new instances."""
-        for pool in pools:
-            if not pool:
-                return []
-        created: list[Instance] = []
-        tick = guard.tick if guard is not None else None
-        try_apply = production.try_apply
-        append = created.append
-        # Budget counters are mirrored into locals for the duration of the
-        # enumeration (one attribute store per *combination* adds up) and
-        # written back in ``finally`` so a raise-mode guard's exception
-        # still leaves the shared accounting exact.
-        budget_left = budget
-        cap_left = cap.combos_left
-        state_left = state.combos_left
-        examined = 0
-        try:
-            for combo in self._combos(
-                production, pools, fixed_pools, indexes, tables, memo, stats
-            ):
-                if budget_left <= 0 or cap_left <= 0 or state_left <= 0:
-                    stats.truncated = True
-                    break
-                if tick is not None and tick("parse"):
-                    stats.truncated = True
-                    stats.deadline_exceeded = True
-                    break
-                cap_left -= 1
-                state_left -= 1
-                examined += 1
-                instance = try_apply(combo)
-                if instance is not None:
-                    budget_left -= 1
-                    append(instance)
-        finally:
-            cap.combos_left = cap_left
-            state.combos_left = state_left
-            stats.combos_examined += examined
-            stats.instances_created += len(created)
-        return created
-
-    def _combos(
-        self,
-        production: Production,
-        pools: list[list[Instance]],
-        fixed_pools: dict[str, list[Instance]],
-        indexes: dict[str, BandIndex],
-        tables: dict[str, GeometryTable],
-        memo: _SpatialMemo | None,
-        stats: ParseStats,
-    ) -> Iterator[tuple[Instance, ...]]:
-        """Enumerate candidate combinations, pre-filtered by the
-        production's declarative spatial bounds.
-
-        Candidates at every position are visited in ``uid`` order (the
-        pool order), whether produced by a plain filtered scan, a
-        :class:`BandIndex` query, or a vectorized
-        :meth:`GeometryTable.select`, so the combination order matches the
-        naive cartesian product with bound-violating combinations
-        removed.  With *memo* set, predicate verdicts, band queries, and
-        vector selections already evaluated this fix-point are reused
-        instead of recomputed (``ParseStats.spatial_memo_hits``); the
-        selected candidates are identical either way.
-        """
-        components = production.components
-        bounds_by_target = production.bounds_by_target
-        n = len(pools)
-        if n == 1:
-            for instance in pools[0]:
-                yield (instance,)
-            return
-        if not production.bounds:
-            yield from itertools.product(*pools)
-            return
-        combo: list[Instance] = [None] * n  # type: ignore[list-item]
-        vector = self.kernel == "vector"
-        # Memoization only pays off for productions with >= 3 components:
-        # a pair verdict (or a band query for the same anchor) can only
-        # recur when a *third* position varies between two visits; with
-        # two components each anchor is visited exactly once per plan, so
-        # both tables would be pure dict overhead (measured as a ~10%
-        # slowdown on the standard grammar, where 2-component productions
-        # dominate and contribute zero memo hits).
-        pair_memo = memo if n >= 3 else None
-
-        def candidates(position: int) -> list[Instance]:
-            pool = pools[position]
-            checks = bounds_by_target[position]
-            if not checks:
-                return pool
-            # Indexed path: the pool is the frozen full pool of a fixed
-            # component, large enough that indexing beats a linear scan.
-            component = components[position]
-            fixed = fixed_pools.get(component)
-            indexable = (
-                fixed is not None
-                and pool is fixed
-                and len(pool) >= MIN_INDEXED_POOL
-            )
-            if vector and indexable:
-                # Columnar path: evaluate the whole check conjunction over
-                # the pool as vectorized interval masks.
-                table = tables.get(component)
-                if table is None:
-                    table = tables[component] = GeometryTable(pool)
-                if pair_memo is not None:
-                    selection_key = (id(checks),) + tuple(
-                        combo[check[0]].uid for check in checks
-                    )
-                    selected = pair_memo.selections.get(selection_key)
-                    if selected is None:
-                        selected = table.select(checks, combo)
-                        pair_memo.selections[selection_key] = selected
-                    else:
-                        stats.spatial_memo_hits += 1
-                else:
-                    selected = table.select(checks, combo)
-                stats.combos_prefiltered += len(pool) - len(selected)
-                return selected
-            primary = None
-            if indexable:
-                for check in checks:
-                    if check[2] is not None:  # needs a vertical bound
-                        primary = check
-                        break
-            if primary is not None:
-                index = indexes.get(component)
-                if index is None:
-                    assert fixed is not None  # implied by ``indexable``
-                    index = BandIndex(fixed)
-                    indexes[component] = index
-                anchor, h_spec, v_spec = primary
-                anchor_inst = combo[anchor]
-                if pair_memo is not None:
-                    band_key = (id(primary), anchor_inst.uid)
-                    banded = pair_memo.bands.get(band_key)
-                    if banded is None:
-                        banded = index.near(anchor_inst.bbox, h_spec, v_spec)
-                        pair_memo.bands[band_key] = banded
-                    else:
-                        stats.spatial_memo_hits += 1
-                else:
-                    banded = index.near(anchor_inst.bbox, h_spec, v_spec)
-                if len(checks) > 1:
-                    # Build a fresh list: ``banded`` may be a memoized
-                    # object shared with later queries.
-                    selected = [
-                        cand for cand in banded
-                        if self._passes(
-                            cand, checks, combo, skip=primary,
-                            memo=pair_memo, stats=stats,
-                        )
-                    ]
-                else:
-                    selected = banded
-                stats.combos_prefiltered += len(pool) - len(selected)
-                return selected
-            selected = [
-                cand for cand in pool
-                if self._passes(
-                    cand, checks, combo, memo=pair_memo, stats=stats
-                )
-            ]
-            stats.combos_prefiltered += len(pool) - len(selected)
-            return selected
-
-        def expand(position: int) -> Iterator[tuple[Instance, ...]]:
-            if position == n:
-                yield tuple(combo)
-                return
-            for candidate in candidates(position):
-                combo[position] = candidate
-                yield from expand(position + 1)
-
-        if n == 2:
-            # Binary productions dominate practical 2P grammars, so unroll
-            # the recursive expansion into two plain loops.  Position 0
-            # never carries checks (bounds require ``i < j``), and every
-            # check at position 1 anchors on position 0 -- which is what
-            # lets the vector kernel answer the whole plan with one
-            # batched ``select_rows`` matrix instead of one ``select``
-            # call per anchor.
-            pool0, pool1 = pools
-            checks1 = bounds_by_target[1]
-            component1 = components[1]
-            fixed1 = fixed_pools.get(component1)
-            if (
-                vector
-                and checks1
-                and fixed1 is not None
-                and pool1 is fixed1
-                and len(pool1) >= MIN_INDEXED_POOL
-            ):
-                table = tables.get(component1)
-                if table is None:
-                    table = tables[component1] = GeometryTable(pool1)
-                selections = table.select_rows(checks1, pool0)
-                base = len(pool1)
-                # Per-anchor accounting stays lazy (counted when the
-                # enumeration reaches the anchor), matching the scalar
-                # path under early budget breaks.
-                for row, anchor in enumerate(pool0):
-                    selected = selections[row]
-                    stats.combos_prefiltered += base - len(selected)
-                    for candidate in selected:
-                        yield (anchor, candidate)
-                return
-            for anchor in pool0:
-                combo[0] = anchor
-                for candidate in candidates(1):
-                    yield (anchor, candidate)
-            return
-
-        yield from expand(0)
-
-    @staticmethod
-    def _passes(
-        candidate: Instance,
-        checks: tuple[tuple, ...],
-        combo: list[Instance],
-        skip: tuple | None = None,
-        memo: _SpatialMemo | None = None,
-        stats: ParseStats | None = None,
-    ) -> bool:
-        box = candidate.bbox
-        for check in checks:
-            if check is skip:
-                continue
-            anchor, h_spec, v_spec = check
-            anchor_inst = combo[anchor]
-            if memo is not None:
-                # Checks are tuples owned by the (frozen) production and
-                # instances are interned by uid, so identity keys are
-                # stable for the whole fix-point this memo spans.
-                pair_key = (id(check), anchor_inst.uid, candidate.uid)
-                verdict = memo.pairs.get(pair_key)
-                if verdict is not None:
-                    if stats is not None:
-                        stats.spatial_memo_hits += 1
-                    if verdict:
-                        continue
-                    return False
-                other = anchor_inst.bbox
-                verdict = h_allows(h_spec, other, box) and v_allows(
-                    v_spec, other, box
-                )
-                memo.pairs[pair_key] = verdict
-                if not verdict:
-                    return False
-                continue
-            other = anchor_inst.bbox
-            if not h_allows(h_spec, other, box):
-                return False
-            if not v_allows(v_spec, other, box):
-                return False
-        return True
 
     # -- naive baseline (the original loop, kept for equivalence) -------------------
 
@@ -994,9 +559,9 @@ class BestEffortParser:
         self,
         symbol: str,
         productions: list[Production],
-        state: _ParseState,
-        cap: _SymbolBudget,
-        stats: ParseStats,
+        state: ParseCore,
+        cap: SymbolBudget,
+        counters: CoreCounters,
         guard: ResourceGuard | None = None,
     ) -> int:
         """The original fix-point: full cartesian re-enumeration each round
@@ -1005,28 +570,28 @@ class BestEffortParser:
         created_total = 0
         stop = False
         while True:
-            stats.fixpoint_rounds += 1
+            counters.fixpoint_rounds += 1
             new_instances: list[Instance] = []
             for production in productions:
                 remaining = (
                     state.instances_left - created_total - len(new_instances)
                 )
                 if remaining <= 0:
-                    stats.truncated = True
+                    counters.truncated = True
                     stop = True
                     break
                 new_instances.extend(
                     self._apply_naive(
-                        production, state, seen_keys, cap, stats, remaining,
-                        guard,
+                        production, state, seen_keys, cap, counters,
+                        remaining, guard,
                     )
                 )
                 if (
                     cap.combos_left <= 0
                     or state.combos_left <= 0
-                    or stats.deadline_exceeded
+                    or counters.deadline_exceeded
                 ):
-                    stats.truncated = True
+                    counters.truncated = True
                     stop = True
                     break
             for instance in new_instances:
@@ -1038,10 +603,10 @@ class BestEffortParser:
     def _apply_naive(
         self,
         production: Production,
-        state: _ParseState,
+        state: ParseCore,
         seen_keys: set[tuple[str, tuple[int, ...]]],
-        cap: _SymbolBudget,
-        stats: ParseStats,
+        cap: SymbolBudget,
+        counters: CoreCounters,
         budget: int,
         guard: ResourceGuard | None = None,
     ) -> list[Instance]:
@@ -1062,11 +627,11 @@ class BestEffortParser:
                 or cap.combos_left <= 0
                 or state.combos_left <= 0
             ):
-                stats.truncated = True
+                counters.truncated = True
                 break
             if guard is not None and guard.tick("parse"):
-                stats.truncated = True
-                stats.deadline_exceeded = True
+                counters.truncated = True
+                counters.deadline_exceeded = True
                 break
             key = (production.name, tuple(inst.uid for inst in combo))
             if key in seen_keys:
@@ -1074,324 +639,12 @@ class BestEffortParser:
             seen_keys.add(key)
             cap.combos_left -= 1
             state.combos_left -= 1
-            stats.combos_examined += 1
+            counters.combos_examined += 1
             instance = production.try_apply(combo)
             if instance is not None:
-                stats.instances_created += 1
+                counters.instances_created += 1
                 created.append(instance)
         return created
-
-    # -- just-in-time pruning ---------------------------------------------------------
-
-    def _enforce(
-        self,
-        preference: Preference,
-        state: _ParseState,
-        stats: ParseStats,
-    ) -> None:
-        """Enforce one preference: invalidate losers, roll back ancestors.
-
-        Winner candidates come from the incrementally-maintained
-        per-winner-symbol token index (buckets in registration order,
-        matching the old global reverse index), so each loser scans only
-        same-token *winner-symbol* instances instead of every instance
-        sharing a token.
-
-        Enforcement is additionally *incremental* across passes: a
-        winner/loser pair where both instances predate this preference's
-        watermark was already tested the last time the preference ran, and
-        a no-win verdict is permanent (predicates are pure, ancestry and
-        coverage are immutable, and dead instances never resurrect) -- so
-        old losers are only retested against winners registered since.
-        """
-        watermark = state.preference_watermark.get(id(preference), -1)
-        all_instances = state.all_instances
-        state.preference_watermark[id(preference)] = (
-            all_instances[-1].uid if all_instances else -1
-        )
-        loser_pool = state.store.get(preference.loser_symbol)
-        if not loser_pool:
-            return
-        winner_pool = state.store.get(preference.winner_symbol)
-        if not winner_pool:
-            return
-        if (
-            0 <= watermark
-            and loser_pool[-1].uid <= watermark
-            and winner_pool[-1].uid <= watermark
-        ):
-            # Neither pool has grown since the last pass (pools are
-            # uid-ordered, so the tail uid bounds everything): every
-            # surviving pair was already tested then, and no-win verdicts
-            # are permanent.
-            return
-        losers = [inst for inst in loser_pool if inst.alive]
-        if not losers:
-            return
-        subsume = id(preference) in self._subsume_preferences
-        if state.masked_enforcement:
-            self._enforce_masked(
-                preference, losers, winner_pool, watermark, stats, subsume,
-                state.dirty_symbols,
-            )
-            return
-        winners_by_token = state.winner_index.get(preference.winner_symbol)
-        if not winners_by_token:
-            return
-        for loser in losers:
-            if not loser.alive:
-                continue  # may have died from an earlier rollback this pass
-            min_uid = watermark + 1 if loser.uid <= watermark else 0
-            if subsume:
-                winner = self._find_subsuming_winner(
-                    preference, loser, winners_by_token, min_uid
-                )
-            else:
-                winner = self._find_winner(
-                    preference, loser, winners_by_token, min_uid
-                )
-            if winner is not None:
-                stats.preference_applications += 1
-                self._rollback(loser, stats, state.dirty_symbols)
-
-    def _enforce_masked(
-        self,
-        preference: Preference,
-        losers: list[Instance],
-        winner_pool: list[Instance],
-        watermark: int,
-        stats: ParseStats,
-        subsume: bool,
-        dirty: set[str],
-    ) -> None:
-        """Vectorized preference enforcement over coverage bitmasks.
-
-        With the vector kernel no per-token winner index exists at all;
-        instead the loser x winner candidacy relation is evaluated as one
-        numpy boolean matrix over the ``uint64`` coverage masks -- strict
-        superset for ``subsumes`` preferences (the condition itself),
-        plain intersection for everything else (the shared-token join the
-        token index used to provide).  A kill only depends on *whether*
-        some candidate beats the loser, not on which one is found first,
-        so scanning candidates in uid order instead of bucket order
-        leaves the kill sequence -- and every counter -- identical to the
-        scalar path's.
-
-        Rows are only decoded for losers still alive when the scan
-        reaches them: each kill rolls back whole derivation chains, so
-        most rows die before their turn and their (potentially dense)
-        ancestor-chain hits are never materialized.  The full loser x
-        winner matrix is only materialized while it stays small;
-        degenerate forms (hundreds of thousands of instances in one
-        pool) instead compute each alive loser's hit row on demand,
-        keeping peak memory at O(winners) regardless of pool size.
-        """
-        numpy = _load_numpy()
-        winner_masks = numpy.fromiter(
-            (candidate.coverage_mask for candidate in winner_pool),
-            dtype=numpy.uint64,
-            count=len(winner_pool),
-        )
-        hits = None
-        if len(winner_pool) * len(losers) <= _MASKED_MATRIX_CELLS:
-            loser_masks = numpy.fromiter(
-                (loser.coverage_mask for loser in losers),
-                dtype=numpy.uint64,
-                count=len(losers),
-            ).reshape(-1, 1)
-            if subsume:
-                hits = (winner_masks & loser_masks) == loser_masks
-                hits &= winner_masks != loser_masks
-            else:
-                hits = (winner_masks & loser_masks) != 0
-        uint64 = numpy.uint64
-        flatnonzero = numpy.flatnonzero
-        condition = preference.condition
-        criteria = preference.criteria
-        for row, loser in enumerate(losers):
-            if not loser.alive:  # may have died from an earlier rollback
-                continue
-            min_uid = watermark + 1 if loser.uid <= watermark else 0
-            loser_uid = loser.uid
-            loser_descendants: frozenset[int] | None = None
-            if hits is not None:
-                row_hits = hits[row]
-            else:
-                mask = uint64(loser.coverage_mask)
-                if subsume:
-                    row_hits = (winner_masks & mask) == mask
-                    row_hits &= winner_masks != mask
-                else:
-                    row_hits = (winner_masks & mask) != 0
-            for col in flatnonzero(row_hits).tolist():
-                candidate = winner_pool[col]
-                if candidate.uid < min_uid or not candidate.alive:
-                    continue
-                if loser_descendants is None:
-                    loser_descendants = loser.descendant_uids()
-                if candidate.uid in loser_descendants:
-                    continue  # the loser derives from the candidate
-                candidate_descendants = candidate._descendant_uids
-                if candidate_descendants is None:
-                    candidate_descendants = candidate.descendant_uids()
-                if loser_uid in candidate_descendants:
-                    continue  # the candidate derives from the loser
-                if not subsume and not condition(candidate, loser):
-                    continue
-                if criteria(candidate, loser):
-                    stats.preference_applications += 1
-                    self._rollback(loser, stats, dirty)
-                    break
-
-    def _maybe_compact(self, state: _ParseState, stats: ParseStats) -> None:
-        """Compact the lookup lists once enough instances have died.
-
-        Amortized: a sweep costs O(live + dead) and only runs after the
-        dead amount to a quarter of everything registered, so
-        ``_find_winner`` and pool snapshots never scan long runs of
-        tombstones.
-        """
-        kills = stats.instances_pruned + stats.rollback_kills
-        dead_since = kills - state.compacted_at_kills
-        if dead_since * 4 >= max(64, len(state.all_instances)):
-            state.compact()
-            state.compacted_at_kills = kills
-
-    @staticmethod
-    def _find_winner(
-        preference: Preference,
-        loser: Instance,
-        winners_by_token: dict[int, list[Instance]],
-        min_uid: int = 0,
-    ) -> Instance | None:
-        """A live winner-type instance that beats *loser*, if any.
-
-        *winners_by_token* holds only winner-symbol instances (indexed by
-        covered token, in registration order), so sharing a bucket already
-        implies sharing a token with *loser*.  Candidates with
-        ``uid < min_uid`` are skipped -- the caller guarantees those pairs
-        were tested (and lost) on an earlier enforcement pass.
-        """
-        seen: set[int] = set()
-        loser_descendants: frozenset[int] | None = None
-        condition = preference.condition
-        criteria = preference.criteria
-        for token_id in loser.coverage:
-            bucket = winners_by_token.get(token_id)
-            if not bucket:
-                continue
-            if min_uid > 0:
-                # Buckets are uid-sorted; jump over the already-tested
-                # prefix instead of filtering it one element at a time.
-                start = bisect_left(bucket, min_uid, key=_uid_key)
-                if start:
-                    bucket = bucket[start:]
-            for candidate in bucket:
-                if candidate.alive and candidate.uid not in seen:
-                    seen.add(candidate.uid)
-                    # Inlined Preference.applies(): symbols are fixed by
-                    # the index and the shared token by the bucket join,
-                    # leaving the no-composition (ancestry) test -- with
-                    # the loser's descendant set hoisted out of the pair
-                    # loop -- and the rule's own predicates.
-                    if loser_descendants is None:
-                        loser_descendants = loser.descendant_uids()
-                    if candidate.uid in loser_descendants:
-                        continue  # the loser derives from the candidate
-                    candidate_descendants = candidate._descendant_uids
-                    if candidate_descendants is None:
-                        candidate_descendants = candidate.descendant_uids()
-                    if loser.uid in candidate_descendants:
-                        continue  # the candidate derives from the loser
-                    if condition(candidate, loser) and criteria(
-                        candidate, loser
-                    ):
-                        return candidate
-        return None
-
-    @staticmethod
-    def _find_subsuming_winner(
-        preference: Preference,
-        loser: Instance,
-        winners_by_token: dict[int, list[Instance]],
-        min_uid: int = 0,
-    ) -> Instance | None:
-        """`_find_winner` specialized for ``condition is subsumes``.
-
-        A subsuming winner covers *every* token the loser covers, so it
-        appears in every one of the loser's buckets -- scanning just the
-        smallest such bucket examines every possible winner exactly once
-        (no dedup set needed), and an empty bucket proves no winner
-        exists.  The subsumption condition itself runs as two int-mask
-        operations instead of a frozenset comparison.  Which winner is
-        *returned* may differ from the generic scan when several apply;
-        enforcement only uses the winner's existence, so the kill set is
-        identical.
-        """
-        bucket: list[Instance] | None = None
-        for token_id in loser.coverage:
-            candidates = winners_by_token.get(token_id)
-            if not candidates:
-                return None
-            if bucket is None or len(candidates) < len(bucket):
-                bucket = candidates
-        if bucket is None:
-            return None
-        if min_uid > 0:
-            # uid-sorted bucket: skip the watermark-cleared prefix outright.
-            start = bisect_left(bucket, min_uid, key=_uid_key)
-            if start:
-                bucket = bucket[start:]
-        loser_mask = loser.coverage_mask
-        loser_uid = loser.uid
-        loser_descendants: frozenset[int] | None = None
-        criteria = preference.criteria
-        for candidate in bucket:
-            candidate_mask = candidate.coverage_mask
-            if (
-                candidate_mask & loser_mask == loser_mask
-                and candidate_mask != loser_mask
-                and candidate.alive
-            ):
-                if loser_descendants is None:
-                    loser_descendants = loser.descendant_uids()
-                if candidate.uid in loser_descendants:
-                    continue
-                candidate_descendants = candidate._descendant_uids
-                if candidate_descendants is None:
-                    candidate_descendants = candidate.descendant_uids()
-                if loser_uid in candidate_descendants:
-                    continue
-                if criteria(candidate, loser):
-                    return candidate
-        return None
-
-    def _rollback(
-        self,
-        instance: Instance,
-        stats: ParseStats,
-        dirty: set[str] | None = None,
-    ) -> None:
-        """Invalidate *instance* and every live ancestor built from it.
-
-        *dirty* collects the symbols of killed instances so pool
-        snapshots know which store lists now contain tombstones.
-        """
-        stack = [instance]
-        first = True
-        while stack:
-            node = stack.pop()
-            if not node.alive or node.is_terminal:
-                continue
-            node.alive = False
-            if dirty is not None:
-                dirty.add(node.symbol)
-            if first:
-                stats.instances_pruned += 1
-                first = False
-            else:
-                stats.rollback_kills += 1
-            stack.extend(parent for parent in node.parents if parent.alive)
 
 
 class ExhaustiveParser(BestEffortParser):

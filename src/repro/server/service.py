@@ -168,7 +168,8 @@ class ExtractionService:
         """Fork and warm the worker pool now; returns the worker count."""
         if self._batch is not None:
             return self._batch.warm() or self.workers
-        assert self._serial is not None  # jobs=1: grammar is the warm state
+        assert self._serial is not None  # jobs=1: the extractor is the warm state
+        self._serial.warmup()
         return 1
 
     @property

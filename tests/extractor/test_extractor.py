@@ -194,3 +194,39 @@ class TestRobustness:
     ])
     def test_never_raises(self, extractor, html):
         extractor.extract(html)
+
+
+class TestWarmup:
+    """`warmup()` pays first-call costs without observable side effects
+    (the serve tier calls it in every worker initializer)."""
+
+    def test_warmup_is_silent(self):
+        from repro.cache import ExtractionCache
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = ExtractionCache(capacity=8)
+        extractor = FormExtractor(metrics=registry, cache=cache)
+        extractor.warmup()
+        assert registry.to_dict()["counters"] == {}
+        assert len(cache) == 0
+
+    def test_warmup_is_idempotent_and_extraction_unchanged(self):
+        warmed = FormExtractor()
+        warmed.warmup()
+        warmed.warmup()
+        cold = FormExtractor()
+        assert list(warmed.extract(QAM_HTML).conditions) == list(
+            cold.extract(QAM_HTML).conditions
+        )
+
+    def test_service_warm_reaches_the_serial_extractor(self):
+        from repro.server.config import ServerConfig
+        from repro.server.service import ExtractionService
+
+        service = ExtractionService(ServerConfig(jobs=1, cache=False))
+        calls = []
+        assert service._serial is not None
+        service._serial.warmup = lambda: calls.append(True)  # type: ignore[method-assign]
+        assert service.warm() == 1
+        assert calls == [True]
