@@ -75,8 +75,9 @@ _ANALYSIS_EXPORTS = frozenset(
 #: Serving-tier names, also lazy -- the HTTP service drags in asyncio
 #: plumbing that library users never need.
 _SERVER_EXPORTS = frozenset(
-    {"ExtractionServer", "ExtractionService", "ServeResult", "ServerConfig",
-     "ServiceSaturated", "ServiceUnavailable", "run_server"}
+    {"ChaosConfig", "ChaosMonkey", "CircuitBreaker", "ExtractionServer",
+     "ExtractionService", "FairnessGate", "FairnessLimited", "ServeResult",
+     "ServerConfig", "ServiceSaturated", "ServiceUnavailable", "run_server"}
 )
 
 
@@ -100,6 +101,9 @@ __all__ = [
     "BatchStream",
     "BestEffortParser",
     "BudgetExceeded",
+    "ChaosConfig",
+    "ChaosMonkey",
+    "CircuitBreaker",
     "Condition",
     "ConditionMatcher",
     "DegradationReport",
@@ -110,6 +114,8 @@ __all__ = [
     "ExtractionServer",
     "ExtractionService",
     "ExtractionTimeout",
+    "FairnessGate",
+    "FairnessLimited",
     "FormExtractor",
     "FormNotFoundError",
     "FormTokenizer",

@@ -15,6 +15,7 @@ the pipeline a way to recognize a form it has already parsed:
 
 from repro.cache.signature import (
     SIGNATURE_QUANTUM,
+    grammar_fingerprint,
     html_signature,
     token_signature,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "CacheEntry",
     "CacheStats",
     "ExtractionCache",
+    "grammar_fingerprint",
     "html_signature",
     "token_signature",
 ]

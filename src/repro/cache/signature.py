@@ -108,6 +108,24 @@ def token_signature(
     return f"tok:{digest}"
 
 
+def grammar_fingerprint(grammar: Any) -> str:
+    """Stable content hash of a grammar's structure (a cache generation).
+
+    Hashes the grammar's :meth:`describe` listing -- productions,
+    spatial bounds, and preferences in declaration order -- so any
+    change to the 2P grammar yields a new fingerprint.  The serving tier
+    folds this into every cache key as a *generation tag*: a grammar
+    change makes every previously cached signature miss logically,
+    without anyone deleting the cache directory by hand.
+
+    Accepts anything with a ``describe() -> str`` (a
+    :class:`~repro.grammar.grammar.TwoPGrammar`, an analyzer view, ...).
+    """
+    described = grammar.describe() if hasattr(grammar, "describe") else repr(grammar)
+    digest = hashlib.sha256(described.encode("utf-8")).hexdigest()
+    return f"g2p:{digest[:16]}"
+
+
 def html_signature(html: str) -> str:
     """Exact content hash of a raw HTML source.
 

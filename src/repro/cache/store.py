@@ -28,7 +28,7 @@ import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.parser.parser import ParseStats
 from repro.semantics.condition import SemanticModel
@@ -224,6 +224,11 @@ class ExtractionCache:
         #: back is *not* appended again -- the file stays O(signatures),
         #: not O(puts), under long-lived churn.
         self._disk_signatures: set[str] = set()
+        #: Fault-injection seam for the chaos harness: called at the top
+        #: of every disk append, inside the OSError-degradation scope.
+        #: A hook that raises OSError exercises the disk-full path
+        #: deterministically; the cache must degrade to memory-only.
+        self.write_fault_hook: Callable[[], None] | None = None
         if self.path is not None:
             with self._lock:
                 self._refresh_from_disk()
@@ -300,6 +305,8 @@ class ExtractionCache:
             + "\n"
         ).encode("utf-8")
         try:
+            if self.write_fault_hook is not None:
+                self.write_fault_hook()
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with open(self.path, "ab") as fh:
                 if fcntl is not None:

@@ -306,19 +306,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import ServerConfig, run_server
 
     use_cache, cache_dir = _resolve_cache(args)
-    config = ServerConfig(
-        host=args.host,
-        port=args.port,
-        jobs=args.jobs,
-        max_queue=args.queue,
-        default_deadline_seconds=args.deadline,
-        max_deadline_seconds=max(args.max_deadline, args.deadline),
-        # serve caches by default (the warm-hit path is the point of the
-        # service); only an explicit --no-cache turns it off.
-        cache=not args.no_cache,
-        cache_dir=cache_dir if use_cache else None,
-        drain_seconds=args.drain,
-    )
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            max_queue=args.queue,
+            default_deadline_seconds=args.deadline,
+            max_deadline_seconds=max(args.max_deadline, args.deadline),
+            # serve caches by default (the warm-hit path is the point of the
+            # service); only an explicit --no-cache turns it off.
+            cache=not args.no_cache,
+            cache_dir=cache_dir if use_cache else None,
+            cache_generation=args.cache_generation,
+            drain_seconds=args.drain,
+            client_max_inflight=args.client_slots,
+            client_rate=args.client_rate,
+            client_burst=args.client_burst,
+            max_connections=args.max_connections,
+            idle_timeout_seconds=args.idle_timeout,
+            header_timeout_seconds=args.header_timeout,
+            body_timeout_seconds=args.body_timeout,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_seconds=args.breaker_reset,
+        )
+    except ValueError as error:
+        return _fail(EXIT_UNREADABLE, "usage", "-", str(error))
     run_server(config)
     return 0
 
@@ -477,6 +490,40 @@ def build_arg_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain", type=_positive_seconds, default=10.0,
                        help="graceful-shutdown allowance for in-flight "
                             "requests (default 10)")
+    serve.add_argument("--client-slots", type=int, default=None,
+                       metavar="N",
+                       help="per-client cap on concurrent admitted requests "
+                            "(fairness; default: no cap)")
+    serve.add_argument("--client-rate", type=_positive_seconds, default=None,
+                       metavar="R",
+                       help="per-client sustained admissions per second "
+                            "(token bucket; default: unlimited)")
+    serve.add_argument("--client-burst", type=_positive_seconds, default=10.0,
+                       metavar="B",
+                       help="token-bucket burst capacity per client "
+                            "(default 10; only with --client-rate)")
+    serve.add_argument("--max-connections", type=int, default=512,
+                       help="open-socket ceiling; connections past it get a "
+                            "fast 503 (default 512)")
+    serve.add_argument("--idle-timeout", type=_positive_seconds, default=75.0,
+                       help="close keep-alive connections idle this long "
+                            "(default 75)")
+    serve.add_argument("--header-timeout", type=_positive_seconds,
+                       default=10.0,
+                       help="budget for reading a request head; slow peers "
+                            "get 408 (default 10)")
+    serve.add_argument("--body-timeout", type=_positive_seconds, default=20.0,
+                       help="budget for reading a request body (default 20)")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="pool failures in the window that open the "
+                            "circuit breaker (default 5)")
+    serve.add_argument("--breaker-reset", type=_positive_seconds, default=5.0,
+                       help="breaker cooldown before a half-open probe "
+                            "(default 5)")
+    serve.add_argument("--cache-generation", default=None, metavar="TAG",
+                       help="explicit cache generation tag (default: the "
+                            "grammar fingerprint; changing either "
+                            "invalidates old cache entries logically)")
     _add_cache_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 

@@ -5,24 +5,38 @@ service.  ``POST /extract`` takes HTML and returns the serialized
 semantic model, warnings, and the degradation level the request landed
 on; ``POST /batch`` does the same for a list of documents; ``GET
 /metrics`` exposes the process registry as Prometheus text; ``GET
-/healthz`` reports pool and queue state.
+/healthz``/``/readyz`` report readiness (queue, breaker, draining),
+``GET /livez`` liveness, and ``DELETE /cache`` bumps the cache
+generation (logical invalidation).
 
 Layering (each module only knows the one below it):
 
 * :mod:`repro.server.app` -- routes, response encoding, access logs,
   lifecycle (:class:`ExtractionServer`, :func:`run_server`).
 * :mod:`repro.server.service` -- admission control, the
-  cache → pool → ladder request path (:class:`ExtractionService`).
+  cache → breaker → fairness → pool → ladder request path
+  (:class:`ExtractionService`).
+* :mod:`repro.server.fairness` -- per-client concurrent-slot caps and
+  token-bucket rates (:class:`FairnessGate`).
+* :mod:`repro.server.breaker` -- the pool-health circuit breaker
+  (:class:`CircuitBreaker`).
 * :mod:`repro.server.http` -- a minimal asyncio HTTP/1.1 transport
-  (stdlib only, keep-alive, Content-Length framing).
+  (stdlib only, keep-alive, Content-Length framing, slow-client
+  timeouts, connection ceiling).
+* :mod:`repro.server.chaos` -- deterministic fault injection
+  (:class:`ChaosMonkey`) and slow-client attackers for resilience
+  rehearsal.
 * :mod:`repro.server.config` -- one frozen :class:`ServerConfig`.
 
 The whole stack is stdlib-only, like the rest of the repo.
 """
 
 from repro.server.app import ExtractionServer, run_server
+from repro.server.breaker import CircuitBreaker
+from repro.server.chaos import ChaosConfig, ChaosMonkey
 from repro.server.config import ServerConfig
-from repro.server.http import HttpProtocolError, Request, Response
+from repro.server.fairness import FairnessGate, FairnessLimited
+from repro.server.http import HttpProtocolError, HttpTimeoutError, Request, Response
 from repro.server.service import (
     ExtractionService,
     ServeResult,
@@ -31,9 +45,15 @@ from repro.server.service import (
 )
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosMonkey",
+    "CircuitBreaker",
     "ExtractionServer",
     "ExtractionService",
+    "FairnessGate",
+    "FairnessLimited",
     "HttpProtocolError",
+    "HttpTimeoutError",
     "Request",
     "Response",
     "ServeResult",

@@ -16,8 +16,20 @@ route             method   behaviour
 ``/batch``        POST     ``{"items": [...]}`` -- admitted (or shed)
                            atomically, records returned in input order.
 ``/metrics``      GET      the service registry in Prometheus text format.
-``/healthz``      GET      200 with pool/queue facts; 503 once draining.
+``/healthz``      GET      readiness (alias of ``/readyz``): 200 with
+                           pool/queue/breaker facts; 503 once draining or with
+                           the circuit breaker open.
+``/livez``        GET      liveness: 200 whenever the event loop answers.
+``/readyz``       GET      readiness proper (see ``/healthz``).
+``/cache``        DELETE   bump the cache generation -- every previously
+                           cached signature misses logically, the disk file is
+                           untouched.
 ================  =======  =====================================================
+
+Requests are attributed to a client (the ``X-Client-Id`` header when
+present, else the peer address) and run through the per-client fairness
+gate before global admission -- a greedy client sheds 429 while everyone
+else keeps their share.
 
 Every request gets a request id (threaded into the extraction
 :class:`~repro.observability.trace.Trace` and echoed in the response)
@@ -61,6 +73,9 @@ _ROUTES: dict[str, frozenset[str]] = {
     "/batch": frozenset({"POST"}),
     "/metrics": frozenset({"GET"}),
     "/healthz": frozenset({"GET"}),
+    "/livez": frozenset({"GET"}),
+    "/readyz": frozenset({"GET"}),
+    "/cache": frozenset({"DELETE"}),
 }
 
 
@@ -131,6 +146,12 @@ class ExtractionServer:
             host=self.config.host,
             port=self.config.port,
             max_body_bytes=self.config.max_body_bytes,
+            idle_timeout_seconds=self.config.idle_timeout_seconds,
+            header_timeout_seconds=self.config.header_timeout_seconds,
+            body_timeout_seconds=self.config.body_timeout_seconds,
+            write_timeout_seconds=self.config.body_timeout_seconds,
+            max_connections=self.config.max_connections,
+            metric_hook=self.service.metrics.inc,
         )
         self._started = time.time()
 
@@ -184,8 +205,15 @@ class ExtractionServer:
                 },
             )
         except ServiceUnavailable as exc:
+            headers = (
+                {"Retry-After": str(max(1, math.ceil(exc.retry_after)))}
+                if exc.retry_after is not None
+                else None
+            )
             response = Response.json(
-                {"error": exc.detail, "request_id": request_id}, status=503
+                {"error": exc.detail, "request_id": request_id},
+                status=503,
+                headers=headers,
             )
         except HttpProtocolError as exc:
             response = Response.json(
@@ -221,29 +249,86 @@ class ExtractionServer:
             raise HttpProtocolError(
                 405, f"{request.method} not allowed on {request.path}"
             )
-        if request.path == "/healthz":
-            return self._healthz()
+        if request.path == "/livez":
+            return self._livez()
+        if request.path in ("/healthz", "/readyz"):
+            return self._readyz()
         if request.path == "/metrics":
             return Response.text(
                 render_prometheus(self.metrics),
                 content_type=PROMETHEUS_CONTENT_TYPE,
             )
+        if request.path == "/cache":
+            return self._invalidate_cache(request_id)
         if request.path == "/extract":
             return await self._extract(request, request_id)
         return await self._batch(request, request_id)
 
-    def _healthz(self) -> Response:
-        draining = self.service.draining
+    def _client_key(self, request: Request) -> str:
+        """The fairness identity: declared client id, else peer address."""
+        declared = request.headers.get(self.config.client_id_header.lower())
+        return declared or request.peer or "anonymous"
+
+    def _health_body(self) -> dict:
+        """The shared liveness/readiness facts an ingress keys off."""
+        service = self.service
+        return {
+            "workers": service.workers,
+            "queue_depth": service.queue_depth,
+            "max_queue": self.config.max_queue,
+            "draining": service.draining,
+            "breaker": service.breaker.state,
+            "cache": service.cache is not None,
+            "cache_generation": (
+                service.cache_generation if service.cache is not None else None
+            ),
+            "fairness": service.fairness.snapshot().as_dict(),
+            "uptime_seconds": round(time.time() - self._started, 3),
+        }
+
+    def _livez(self) -> Response:
+        """Liveness: the event loop answered, so the process is alive.
+
+        Always 200 -- draining or a tripped breaker are *readiness*
+        facts; an ingress must not restart a pod for them.
+        """
+        body = self._health_body()
+        body["status"] = "alive"
+        return Response.json(body)
+
+    def _readyz(self) -> Response:
+        """Readiness (also served at /healthz for compatibility).
+
+        503 while draining or with the breaker open -- states in which
+        routed traffic would mostly shed -- with the queue/breaker facts
+        in the body so an ingress or autoscaler can act on *why*.
+        """
+        body = self._health_body()
+        ready = not self.service.draining and body["breaker"] != "open"
+        if self.service.draining:
+            body["status"] = "draining"
+        elif not ready:
+            body["status"] = "breaker-open"
+        else:
+            body["status"] = "ok"
+        return Response.json(body, status=200 if ready else 503)
+
+    def _invalidate_cache(self, request_id: str) -> Response:
+        """DELETE /cache: bump the generation; old keys miss logically."""
+        if self.service.cache is None:
+            raise HttpProtocolError(404, "cache is disabled on this server")
+        previous, generation = self.service.bump_cache_generation()
+        log_event(
+            _logger, logging.INFO, "serve.cache.bumped",
+            request_id=request_id, generation=generation,
+        )
         return Response.json(
             {
-                "status": "draining" if draining else "ok",
-                "workers": self.service.workers,
-                "queue_depth": self.service.queue_depth,
-                "max_queue": self.config.max_queue,
-                "cache": self.service.cache is not None,
-                "uptime_seconds": round(time.time() - self._started, 3),
-            },
-            status=503 if draining else 200,
+                "request_id": request_id,
+                "invalidated": True,
+                "previous_generation": previous,
+                "generation": generation,
+            }
         )
 
     async def _extract(self, request: Request, request_id: str) -> Response:
@@ -253,6 +338,7 @@ class ExtractionServer:
             form_index=form_index,
             deadline_seconds=deadline,
             request_id=request_id,
+            client=self._client_key(request),
         )
         return Response.json(
             _result_payload(result), status=self._extract_status(result)
@@ -310,6 +396,7 @@ class ExtractionServer:
             form_index=_parse_form_index(data.get("form_index", 0)),
             deadline_seconds=_parse_deadline(data.get("deadline_seconds")),
             request_id=request_id,
+            client=self._client_key(request),
         )
         records = []
         for position, result in enumerate(results):

@@ -1,0 +1,145 @@
+"""A circuit breaker over worker-pool health.
+
+Repeated :class:`~concurrent.futures.process.BrokenProcessPool` restarts
+are the service tier's most expensive failure mode: every crash pays a
+pool teardown + re-fork + re-warm, so a payload (or a sick host) that
+kills workers in a loop turns the whole service into a fork bomb.  The
+breaker converts that into the classic three-state machine:
+
+* **closed** -- normal operation; pool failures are counted within a
+  sliding window.
+* **open** -- ``threshold`` failures inside ``window_seconds`` trip it:
+  requests that would need the pool are fast-failed (503 + Retry-After)
+  without touching it, for ``reset_seconds``.
+* **half-open** -- after the cooldown, exactly one probe request is let
+  through.  Success closes the breaker; failure re-opens it for another
+  cooldown.
+
+Cache hits never consult the breaker (they do not need workers), so a
+service with a hot cache keeps answering even while its pool is sick.
+
+The breaker is event-loop-confined like the rest of the service (no
+locks) and takes an injectable clock for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-counting three-state breaker (see module docstring).
+
+    Args:
+        threshold: Pool failures within the window that trip the breaker.
+        window_seconds: Sliding window the failures must land in.
+        reset_seconds: Cooldown before a half-open probe is allowed.
+        clock: Monotonic time source (injectable for tests).
+        on_transition: Optional ``(old_state, new_state)`` callback --
+            the service hangs metrics/log events on it.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        window_seconds: float = 30.0,
+        reset_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if reset_seconds <= 0:
+            raise ValueError("reset_seconds must be positive")
+        self.threshold = threshold
+        self.window_seconds = window_seconds
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._on_transition = on_transition
+        self._state = STATE_CLOSED
+        self._failures: list[float] = []
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open when cooldown ends."""
+        if (
+            self._state == STATE_OPEN
+            and self._clock() - self._opened_at >= self.reset_seconds
+        ):
+            self._transition(STATE_HALF_OPEN)
+        return self._state
+
+    def allow(self) -> bool:
+        """May a pool-needing request proceed right now?
+
+        In half-open state exactly one caller gets True (the probe);
+        everyone else keeps fast-failing until the probe reports back.
+        """
+        state = self.state
+        if state == STATE_CLOSED:
+            return True
+        if state == STATE_HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe could run."""
+        if self._state != STATE_OPEN:
+            return 1.0
+        remaining = self.reset_seconds - (self._clock() - self._opened_at)
+        return max(1.0, remaining)
+
+    def abort_probe(self) -> None:
+        """Give back a half-open probe slot that never reached the pool.
+
+        A request can pass :meth:`allow` and then be shed by fairness or
+        the queue before dispatching; without this rollback the breaker
+        would wait forever on a probe nobody is running.
+        """
+        if self._state == STATE_HALF_OPEN:
+            self._probe_inflight = False
+
+    def record_success(self) -> None:
+        """A pool dispatch completed: close from half-open, decay history."""
+        if self._state == STATE_HALF_OPEN:
+            self._failures.clear()
+            self._probe_inflight = False
+            self._transition(STATE_CLOSED)
+        elif self._state == STATE_CLOSED and self._failures:
+            self._prune()
+
+    def record_failure(self) -> None:
+        """A pool dispatch died (BrokenProcessPool restart or give-up)."""
+        now = self._clock()
+        if self._state == STATE_HALF_OPEN:
+            # The probe failed: straight back to open, fresh cooldown.
+            self._probe_inflight = False
+            self._opened_at = now
+            self._transition(STATE_OPEN)
+            return
+        self._failures.append(now)
+        self._prune()
+        if self._state == STATE_CLOSED and len(self._failures) >= self.threshold:
+            self._opened_at = now
+            self._transition(STATE_OPEN)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _prune(self) -> None:
+        horizon = self._clock() - self.window_seconds
+        self._failures = [t for t in self._failures if t >= horizon]
+
+    def _transition(self, new_state: str) -> None:
+        old_state, self._state = self._state, new_state
+        if old_state != new_state and self._on_transition is not None:
+            self._on_transition(old_state, new_state)

@@ -51,6 +51,11 @@ class ServerConfig:
         cache_capacity: In-memory entry bound for the serving cache.
         cache_dir: Optional directory backing the serving cache with a
             shared JSON-lines file that survives restarts.
+        cache_generation: Generation tag folded into every serve cache
+            key.  ``None`` (default) derives it from the grammar
+            fingerprint, so a grammar change invalidates the cache
+            logically -- no ``rm -rf`` of the cache dir.  ``DELETE
+            /cache`` bumps the live generation the same way.
         limits: Base degradation-ladder budgets; each request runs under
             a copy with ``deadline_seconds`` replaced by its own
             deadline.
@@ -58,6 +63,25 @@ class ServerConfig:
             responses (the live estimate, when higher, wins).
         drain_seconds: Graceful-shutdown allowance for in-flight requests
             before the pool is torn down anyway.
+        client_max_inflight: Per-client cap on admitted-but-unfinished
+            requests (``None`` = no cap).  The fairness layer: one greedy
+            client sheds 429 while others keep their queue share.
+        client_rate: Per-client sustained admissions per second (token
+            bucket; ``None`` = unlimited).
+        client_burst: Token-bucket capacity when ``client_rate`` is set.
+        client_id_header: Request header carrying the client identity;
+            requests without it are keyed by peer address.
+        idle_timeout_seconds: Keep-alive connections quiet this long are
+            closed (no response -- the idle-peer convention).
+        header_timeout_seconds: Budget for reading the request head once
+            the request line arrived; a trickling peer gets 408.
+        body_timeout_seconds: Budget for reading the request body.
+        max_connections: Ceiling on concurrently open sockets; the
+            connection past it gets a fast 503 and a close.
+        breaker_threshold: Pool failures within the window that open the
+            circuit breaker (fast 503s instead of restart storms).
+        breaker_window_seconds: Sliding window for breaker failures.
+        breaker_reset_seconds: Breaker cooldown before a half-open probe.
     """
 
     host: str = "127.0.0.1"
@@ -72,9 +96,21 @@ class ServerConfig:
     cache: bool = True
     cache_capacity: int = DEFAULT_CAPACITY
     cache_dir: str | None = None
+    cache_generation: str | None = None
     limits: ResourceLimits = field(default_factory=ResourceLimits)
     retry_after_seconds: float = 1.0
     drain_seconds: float = 10.0
+    client_max_inflight: int | None = None
+    client_rate: float | None = None
+    client_burst: float = 10.0
+    client_id_header: str = "x-client-id"
+    idle_timeout_seconds: float = 75.0
+    header_timeout_seconds: float = 10.0
+    body_timeout_seconds: float = 20.0
+    max_connections: int = 512
+    breaker_threshold: int = 5
+    breaker_window_seconds: float = 30.0
+    breaker_reset_seconds: float = 5.0
 
     def __post_init__(self) -> None:
         if self.jobs != "auto" and (
@@ -95,3 +131,37 @@ class ServerConfig:
             raise ValueError("max_body_bytes must be >= 1")
         if self.max_batch_items < 1:
             raise ValueError("max_batch_items must be >= 1")
+        if self.client_max_inflight is not None and self.client_max_inflight < 1:
+            raise ValueError(
+                "client_max_inflight must be >= 1 or None, "
+                f"got {self.client_max_inflight}"
+            )
+        if self.client_rate is not None and self.client_rate <= 0:
+            raise ValueError(
+                f"client_rate must be positive or None, got {self.client_rate}"
+            )
+        if self.client_burst < 1:
+            raise ValueError(
+                f"client_burst must be >= 1, got {self.client_burst}"
+            )
+        if not self.client_id_header:
+            raise ValueError("client_id_header must be non-empty")
+        for name in (
+            "idle_timeout_seconds",
+            "header_timeout_seconds",
+            "body_timeout_seconds",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {self.max_connections}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_window_seconds <= 0:
+            raise ValueError("breaker_window_seconds must be positive")
+        if self.breaker_reset_seconds <= 0:
+            raise ValueError("breaker_reset_seconds must be positive")

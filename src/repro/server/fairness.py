@@ -1,0 +1,210 @@
+"""Per-client fairness: concurrent-slot caps and token-bucket rates.
+
+The global admission gate (queue depth + deadline projection) protects
+the *service*; it does nothing to protect clients from each other -- one
+greedy client can legally fill the whole queue and starve everyone.
+:class:`FairnessGate` adds the per-client layer in front of it:
+
+* **Concurrent slots** -- at most ``max_inflight`` admitted-but-unfinished
+  requests per client.  The greedy client's surplus is shed 429 while the
+  rest of the queue stays available to everyone else.
+* **Token bucket** -- a sustained-rate bound: each admission costs one
+  token; tokens refill at ``rate`` per second up to ``burst``.  Bursts up
+  to the bucket size pass untouched; a sustained flood sheds with a
+  ``Retry-After`` equal to the real token shortfall.
+
+Clients are identified by an opaque key the caller derives (the service
+uses the ``X-Client-Id`` header when present, else the peer address --
+spoofable ids only let a client *shrink* its own share, the per-peer
+fallback still fences unlabelled floods).  State per client is O(1) and
+idle clients are evicted once the table passes ``max_clients``, so a
+rotating-id attacker grows the table, not the process.
+
+The gate is synchronous and single-threaded by design: the service calls
+it from the event loop only, so admission decisions are atomic without a
+lock.  The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+class FairnessLimited(Exception):
+    """This client is over its share; retry after ``retry_after`` seconds.
+
+    ``reason`` is ``"slots"`` (concurrent cap) or ``"rate"`` (token
+    bucket) -- the metric and log-event discriminator.
+    """
+
+    def __init__(self, detail: str, retry_after: float, reason: str):
+        self.detail = detail
+        self.retry_after = retry_after
+        self.reason = reason
+        super().__init__(detail)
+
+
+@dataclass
+class _ClientState:
+    """Per-client bookkeeping: live slots + the token bucket."""
+
+    inflight: int = 0
+    tokens: float = 0.0
+    refilled_at: float = 0.0
+    last_seen: float = 0.0
+
+
+@dataclass(frozen=True)
+class FairnessSnapshot:
+    """Point-in-time view for /healthz and tests."""
+
+    clients: int
+    inflight: int
+    shed_slots: int
+    shed_rate: int
+
+    def as_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "inflight": self.inflight,
+            "shed_slots": self.shed_slots,
+            "shed_rate": self.shed_rate,
+        }
+
+
+class FairnessGate:
+    """Slot + rate admission per client key (see module docstring).
+
+    Args:
+        max_inflight: Concurrent admitted requests per client; ``None``
+            disables the slot cap.
+        rate: Sustained admissions per second per client; ``None``
+            disables the token bucket.
+        burst: Bucket capacity when *rate* is set (also the initial
+            balance a new client starts with).
+        max_clients: Table bound; idle clients (no slots held) are
+            evicted oldest-first past it.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        max_inflight: int | None = None,
+        rate: float | None = None,
+        burst: float = 5.0,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+        self.max_inflight = max_inflight
+        self.rate = rate
+        self.burst = float(burst)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._clients: dict[str, _ClientState] = {}
+        self._shed_slots = 0
+        self._shed_rate = 0
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one per-client bound is configured."""
+        return self.max_inflight is not None or self.rate is not None
+
+    # -- admission ----------------------------------------------------------------
+
+    def acquire(self, client: str, count: int = 1) -> None:
+        """Admit *count* requests for *client* or raise FairnessLimited.
+
+        All-or-nothing: a batch either gets all its slots/tokens or none
+        (partial admission of one HTTP request makes no sense).  On
+        success the client holds *count* slots until :meth:`release`.
+        """
+        if not self.enabled or count <= 0:
+            return
+        now = self._clock()
+        state = self._state(client, now)
+        if (
+            self.max_inflight is not None
+            and state.inflight + count > self.max_inflight
+        ):
+            self._shed_slots += 1
+            raise FairnessLimited(
+                f"client {client!r} holds {state.inflight} of "
+                f"{self.max_inflight} concurrent slots",
+                retry_after=1.0,
+                reason="slots",
+            )
+        if self.rate is not None:
+            self._refill(state, now)
+            if state.tokens < count:
+                self._shed_rate += 1
+                shortfall = count - state.tokens
+                raise FairnessLimited(
+                    f"client {client!r} exceeded {self.rate:g} requests/s "
+                    f"(burst {self.burst:g})",
+                    retry_after=shortfall / self.rate,
+                    reason="rate",
+                )
+            state.tokens -= count
+        state.inflight += count
+        state.last_seen = now
+
+    def release(self, client: str, count: int = 1) -> None:
+        """Return *count* slots (tokens are spent, not returned)."""
+        if not self.enabled or count <= 0:
+            return
+        state = self._clients.get(client)
+        if state is None:
+            return
+        state.inflight = max(0, state.inflight - count)
+
+    # -- bookkeeping --------------------------------------------------------------
+
+    def _state(self, client: str, now: float) -> _ClientState:
+        state = self._clients.get(client)
+        if state is None:
+            if len(self._clients) >= self.max_clients:
+                self._evict(now)
+            state = _ClientState(
+                tokens=self.burst, refilled_at=now, last_seen=now
+            )
+            self._clients[client] = state
+        return state
+
+    def _refill(self, state: _ClientState, now: float) -> None:
+        assert self.rate is not None
+        elapsed = max(0.0, now - state.refilled_at)
+        state.tokens = min(self.burst, state.tokens + elapsed * self.rate)
+        state.refilled_at = now
+
+    def _evict(self, now: float) -> None:
+        """Drop the longest-idle clients holding no slots (half the table
+        at once, so a rotating-id flood amortizes to O(1) per request)."""
+        idle = sorted(
+            (
+                (state.last_seen, client)
+                for client, state in self._clients.items()
+                if state.inflight == 0
+            ),
+        )
+        for _, client in idle[: max(1, len(idle) // 2)]:
+            del self._clients[client]
+
+    def snapshot(self) -> FairnessSnapshot:
+        return FairnessSnapshot(
+            clients=len(self._clients),
+            inflight=sum(s.inflight for s in self._clients.values()),
+            shed_slots=self._shed_slots,
+            shed_rate=self._shed_rate,
+        )

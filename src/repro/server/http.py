@@ -11,9 +11,22 @@ Prometheus text, and a deployment that needs more fronts this with a real
 ingress.
 
 Malformed requests are answered with a structured error status (400
-protocol error, 413 oversized body, 501 unsupported framing) and the
-connection closed; a handler exception is a 500 with the exception type
--- the connection loop itself never leaks an exception to the event loop.
+protocol error, 413 oversized body, 414/431 oversized head, 501
+unsupported framing) and the connection closed; a handler exception is a
+500 with the exception type -- the connection loop itself never leaks an
+exception to the event loop.
+
+Slow-client defenses (the slowloris budget): every read the peer controls
+is bounded.  A connection that trickles its request head costs one 408
+and a close (``header_timeout_seconds``), a body that stalls mid-read the
+same (``body_timeout_seconds``), and a keep-alive connection that goes
+quiet is closed without a response (``idle_timeout_seconds`` -- closing
+idle peers silently is what real ingresses do; an unsolicited 408 would
+desynchronize a pipelining client).  Writes are bounded too: a peer that
+stops reading its response loses the connection instead of parking the
+coroutine on ``drain()``.  ``max_connections`` caps concurrently open
+sockets -- the connection past it gets a fast 503 and a close, so an
+fd-exhaustion attack degrades into a shed, not an accept loop error.
 """
 
 from __future__ import annotations
@@ -30,6 +43,10 @@ MAX_REQUEST_LINE_BYTES = 8192
 MAX_HEADER_BYTES = 32768
 MAX_HEADER_COUNT = 100
 
+#: StreamReader buffer limit: one oversized head line must overrun the
+#: reader (LimitOverrunError -> 414/431) before it can balloon memory.
+STREAM_LIMIT = max(MAX_HEADER_BYTES, MAX_REQUEST_LINE_BYTES) * 2
+
 
 class HttpProtocolError(Exception):
     """The peer sent something this server refuses to parse.
@@ -44,6 +61,21 @@ class HttpProtocolError(Exception):
         super().__init__(detail)
 
 
+class HttpTimeoutError(HttpProtocolError):
+    """The peer was too slow; ``kind`` names which read timed out.
+
+    ``respond`` is False for the idle keep-alive case: between requests
+    there is nothing to answer, the connection is simply closed (an
+    unsolicited 408 could be mistaken for the response to the client's
+    *next* request).
+    """
+
+    def __init__(self, kind: str, detail: str, respond: bool = True):
+        self.kind = kind
+        self.respond = respond
+        super().__init__(408, detail)
+
+
 @dataclass
 class Request:
     """One parsed HTTP request."""
@@ -53,6 +85,8 @@ class Request:
     query: dict[str, str] = field(default_factory=dict)
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    #: Peer IP address (no port -- one client, many sockets, one key).
+    peer: str = ""
 
     @property
     def content_type(self) -> str:
@@ -112,10 +146,16 @@ class Response:
 #: The application seam: one async callable per request.
 Handler = Callable[[Request], Awaitable[Response]]
 
+#: Optional observability seam: ``metric_hook(name, amount)``.  The
+#: transport stays ignorant of the metrics registry above it.
+MetricHook = Callable[[str, float], None]
+
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 414: "URI Too Long",
+    429: "Too Many Requests", 431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
     501: "Not Implemented", 503: "Service Unavailable",
 }
 
@@ -132,20 +172,55 @@ def encode_response(response: Response, keep_alive: bool) -> bytes:
     return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + response.body
 
 
+class _Deadline:
+    """Remaining-time bookkeeping for a multi-read timeout budget."""
+
+    def __init__(self, seconds: float | None):
+        self._deadline = (
+            asyncio.get_running_loop().time() + seconds
+            if seconds is not None
+            else None
+        )
+
+    def remaining(self) -> float | None:
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - asyncio.get_running_loop().time())
+
+
 async def read_request(
-    reader: asyncio.StreamReader, max_body_bytes: int
+    reader: asyncio.StreamReader,
+    max_body_bytes: int,
+    idle_timeout: float | None = None,
+    header_timeout: float | None = None,
+    body_timeout: float | None = None,
 ) -> Request | None:
-    """Parse one request off the stream; ``None`` on clean EOF."""
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    *idle_timeout* bounds the wait for the request line (the keep-alive
+    parking spot), *header_timeout* the rest of the head once the request
+    line arrived, *body_timeout* the body read.  ``None`` disables the
+    respective bound (unit tests; production always sets them).
+    """
     try:
-        raw_line = await reader.readuntil(b"\r\n")
+        raw_line = await asyncio.wait_for(
+            reader.readuntil(b"\r\n"), timeout=idle_timeout
+        )
+    except asyncio.TimeoutError as exc:
+        # Could be a genuinely idle keep-alive peer or a slowloris
+        # trickling its request line -- either way the read never
+        # completed, so there is no request to answer.  Close silently.
+        raise HttpTimeoutError(
+            "idle", "connection idle past timeout", respond=False
+        ) from exc
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None  # peer closed between requests: normal keep-alive end
         raise HttpProtocolError(400, "truncated request line") from exc
     except asyncio.LimitOverrunError as exc:
-        raise HttpProtocolError(400, "request line too long") from exc
+        raise HttpProtocolError(414, "request line too long") from exc
     if len(raw_line) > MAX_REQUEST_LINE_BYTES:
-        raise HttpProtocolError(400, "request line too long")
+        raise HttpProtocolError(414, "request line too long")
     try:
         method, target, version = raw_line.decode("ascii").split()
     except ValueError as exc:
@@ -153,18 +228,30 @@ async def read_request(
     if not version.startswith("HTTP/1."):
         raise HttpProtocolError(400, f"unsupported protocol {version}")
 
+    head_deadline = _Deadline(header_timeout)
     headers: dict[str, str] = {}
     header_bytes = 0
     while True:
         try:
-            line = await reader.readuntil(b"\r\n")
-        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+            line = await asyncio.wait_for(
+                reader.readuntil(b"\r\n"), timeout=head_deadline.remaining()
+            )
+        except asyncio.TimeoutError as exc:
+            raise HttpTimeoutError(
+                "header", "timed out reading request headers"
+            ) from exc
+        except asyncio.LimitOverrunError as exc:
+            # A single header line overran the stream buffer (64 KiB+):
+            # without this clause the reader error would surface as an
+            # unhandled exception; RFC 6585 gives it a status instead.
+            raise HttpProtocolError(431, "header line too long") from exc
+        except asyncio.IncompleteReadError as exc:
             raise HttpProtocolError(400, "truncated headers") from exc
         if line == b"\r\n":
             break
         header_bytes += len(line)
         if header_bytes > MAX_HEADER_BYTES or len(headers) >= MAX_HEADER_COUNT:
-            raise HttpProtocolError(400, "headers too large")
+            raise HttpProtocolError(431, "headers too large")
         name, sep, value = line.decode("latin-1").partition(":")
         if not sep:
             raise HttpProtocolError(400, f"malformed header line {name!r}")
@@ -187,7 +274,13 @@ async def read_request(
                 413, f"body of {length} bytes exceeds limit {max_body_bytes}"
             )
         try:
-            body = await reader.readexactly(length)
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=body_timeout
+            )
+        except asyncio.TimeoutError as exc:
+            raise HttpTimeoutError(
+                "body", "timed out reading request body"
+            ) from exc
         except asyncio.IncompleteReadError as exc:
             raise HttpProtocolError(400, "truncated body") from exc
 
@@ -208,6 +301,12 @@ class HttpServer:
     payload semantics live in the handler.  :meth:`start` binds (port 0
     = ephemeral), :meth:`stop` closes the listening socket and waits for
     open connections to finish their in-flight request.
+
+    The timeout knobs (``None`` disables) and ``max_connections`` are the
+    slow-client defenses described in the module docstring; *metric_hook*
+    receives ``serve.timeout.{idle,header,body}`` and
+    ``serve.conn.rejected`` increments so the layer above can count sheds
+    without the transport importing the metrics registry.
     """
 
     def __init__(
@@ -216,16 +315,37 @@ class HttpServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_body_bytes: int = 2_000_000,
+        idle_timeout_seconds: float | None = None,
+        header_timeout_seconds: float | None = None,
+        body_timeout_seconds: float | None = None,
+        write_timeout_seconds: float | None = None,
+        max_connections: int | None = None,
+        metric_hook: MetricHook | None = None,
     ):
         self.handler = handler
         self.host = host
         self.port = port
         self.max_body_bytes = max_body_bytes
+        self.idle_timeout_seconds = idle_timeout_seconds
+        self.header_timeout_seconds = header_timeout_seconds
+        self.body_timeout_seconds = body_timeout_seconds
+        self.write_timeout_seconds = write_timeout_seconds
+        self.max_connections = max_connections
+        self.metric_hook = metric_hook
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._active = 0
         self._quiescent = asyncio.Event()
         self._quiescent.set()
+
+    @property
+    def open_connections(self) -> int:
+        """Currently open sockets (the no-leak invariant's witness)."""
+        return len(self._connections)
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        if self.metric_hook is not None:
+            self.metric_hook(name, amount)
 
     async def start(self) -> int:
         """Bind and listen; returns the actual bound port."""
@@ -233,7 +353,7 @@ class HttpServer:
             self._serve_connection,
             host=self.host,
             port=self.port,
-            limit=max(MAX_HEADER_BYTES, MAX_REQUEST_LINE_BYTES) * 2,
+            limit=STREAM_LIMIT,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         return self.port
@@ -263,25 +383,80 @@ class HttpServer:
             pass
         self._server = None
 
+    async def _write(
+        self, writer: asyncio.StreamWriter, payload: bytes
+    ) -> None:
+        """Write + drain, bounded: a peer that stops reading loses us."""
+        writer.write(payload)
+        try:
+            await asyncio.wait_for(
+                writer.drain(), timeout=self.write_timeout_seconds
+            )
+        except asyncio.TimeoutError as exc:
+            self._count("serve.timeout.write")
+            raise ConnectionError("peer stopped reading its response") from exc
+
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if (
+            self.max_connections is not None
+            and len(self._connections) >= self.max_connections
+        ):
+            # Past the socket ceiling: shed fast with a well-formed 503
+            # instead of letting the fd table (or memory) fill up.
+            self._count("serve.conn.rejected")
+            try:
+                writer.write(encode_response(
+                    Response.json(
+                        {"error": "connection limit reached"}, status=503
+                    ),
+                    keep_alive=False,
+                ))
+                await asyncio.wait_for(writer.drain(), timeout=5.0)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                pass
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            return
         self._connections.add(writer)
+        peername = writer.get_extra_info("peername")
+        peer = str(peername[0]) if isinstance(peername, tuple) else ""
         try:
             while True:
                 try:
-                    request = await read_request(reader, self.max_body_bytes)
+                    request = await read_request(
+                        reader,
+                        self.max_body_bytes,
+                        idle_timeout=self.idle_timeout_seconds,
+                        header_timeout=self.header_timeout_seconds,
+                        body_timeout=self.body_timeout_seconds,
+                    )
+                except HttpTimeoutError as exc:
+                    self._count(f"serve.timeout.{exc.kind}")
+                    if exc.respond:
+                        await self._write(writer, encode_response(
+                            Response.json(
+                                {"error": exc.detail}, status=exc.status
+                            ),
+                            keep_alive=False,
+                        ))
+                    return
                 except HttpProtocolError as exc:
-                    writer.write(encode_response(
+                    await self._write(writer, encode_response(
                         Response.json(
                             {"error": exc.detail}, status=exc.status
                         ),
                         keep_alive=False,
                     ))
-                    await writer.drain()
                     return
                 if request is None:
                     return
+                request.peer = peer
                 self._active += 1
                 self._quiescent.clear()
                 try:
@@ -299,10 +474,10 @@ class HttpServer:
                     keep_alive = (
                         request.keep_alive and response.status < 500
                     )
-                    writer.write(
-                        encode_response(response, keep_alive=keep_alive)
+                    await self._write(
+                        writer,
+                        encode_response(response, keep_alive=keep_alive),
                     )
-                    await writer.drain()
                 finally:
                     self._active -= 1
                     if self._active == 0:

@@ -5,6 +5,10 @@ tier.  One request flows through::
 
     cache lookup ──hit──────────────────────────► replayed result
          │miss
+    circuit breaker (pool health) ──open──► fast 503 + Retry-After
+         │closed
+    fairness gate (per-client slots + token bucket) ──over-share──► 429
+         │within share
     admission (queue depth / deadline projection) ──shed──► 429
          │admit
     fork-warmed pool (jobs >= 2) or in-process worker thread (jobs = 1)
@@ -12,6 +16,10 @@ tier.  One request flows through::
     per-request degradation ladder (deadline → capped/heuristic/minimal)
          │
     result + metrics + cache fill (full-level results only)
+
+Cache keys carry a *generation* tag (the grammar fingerprint by
+default), so a grammar change -- or ``DELETE /cache`` -- invalidates
+every cached signature logically without touching the disk file.
 
 Everything below the admission gate is the substrate from PRs 1-4: the
 content-addressed :class:`~repro.cache.ExtractionCache`, the persistent
@@ -49,13 +57,20 @@ from pathlib import Path
 
 from repro.batch.cpu import usable_cores
 from repro.batch.extractor import BatchExtractor, BatchRecord, _extract_one
-from repro.cache import CacheEntry, ExtractionCache, html_signature
+from repro.cache import (
+    CacheEntry,
+    ExtractionCache,
+    grammar_fingerprint,
+    html_signature,
+)
 from repro.extractor import ExtractionResult, FormExtractor
 from repro.observability.logs import get_logger, log_event
 from repro.observability.metrics import MetricsRegistry
 from repro.resilience.guard import ResourceLimits
 from repro.resilience.ladder import LEVEL_FULL, ResilienceConfig
+from repro.server.breaker import CircuitBreaker
 from repro.server.config import ServerConfig
+from repro.server.fairness import FairnessGate, FairnessLimited
 
 _logger = get_logger("repro.server")
 
@@ -70,10 +85,14 @@ class ServiceSaturated(Exception):
 
 
 class ServiceUnavailable(Exception):
-    """The service cannot take requests (draining, or the pool is gone)."""
+    """The service cannot take requests (draining, breaker open, or the
+    pool is gone).  ``retry_after`` (when set) rides on the response as a
+    ``Retry-After`` hint -- a breaker fast-fail tells the client when the
+    next probe could run."""
 
-    def __init__(self, detail: str):
+    def __init__(self, detail: str, retry_after: float | None = None):
         self.detail = detail
+        self.retry_after = retry_after
         super().__init__(detail)
 
 
@@ -161,6 +180,32 @@ class ExtractionService:
         self._ewma_seconds: float | None = None
         self._session = secrets.token_hex(3)
         self._sequence = itertools.count(1)
+        self.fairness = FairnessGate(
+            max_inflight=self.config.client_max_inflight,
+            rate=self.config.client_rate,
+            burst=self.config.client_burst,
+        )
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            window_seconds=self.config.breaker_window_seconds,
+            reset_seconds=self.config.breaker_reset_seconds,
+            on_transition=self._on_breaker_transition,
+        )
+        # Cache generation: explicit tag, else the grammar fingerprint --
+        # a grammar change re-keys every cached signature logically.
+        self._base_generation = (
+            self.config.cache_generation
+            if self.config.cache_generation is not None
+            else self._grammar_generation()
+        )
+        self._generation_serial = 0
+        self._cache_generation = self._base_generation
+
+    @staticmethod
+    def _grammar_generation() -> str:
+        from repro.grammar.standard import build_standard_grammar
+
+        return grammar_fingerprint(build_standard_grammar())
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -180,6 +225,40 @@ class ExtractionService:
     @property
     def draining(self) -> bool:
         return self._draining
+
+    @property
+    def cache_generation(self) -> str:
+        """The generation tag currently folded into every cache key."""
+        return self._cache_generation
+
+    def bump_cache_generation(self) -> tuple[str, str]:
+        """Invalidate the serve cache logically; returns (old, new) tags.
+
+        Every key the service writes or looks up is prefixed with the
+        generation, so bumping it makes all previously cached signatures
+        miss -- in memory *and* in the shared disk file -- without
+        touching the file itself.  Old-generation lines simply become
+        unreachable; the disk stays append-only and other processes on
+        the old generation are unaffected.
+        """
+        old = self._cache_generation
+        self._generation_serial += 1
+        self._cache_generation = (
+            f"{self._base_generation}#{self._generation_serial}"
+        )
+        self.metrics.inc("serve.cache.invalidations")
+        log_event(
+            _logger, logging.INFO, "serve.cache.invalidated",
+            previous=old, generation=self._cache_generation,
+        )
+        return old, self._cache_generation
+
+    def _on_breaker_transition(self, old_state: str, new_state: str) -> None:
+        self.metrics.inc(f"serve.breaker.{new_state.replace('-', '_')}")
+        log_event(
+            _logger, logging.WARNING, "serve.breaker.state",
+            previous=old_state, state=new_state,
+        )
 
     async def drain(self) -> bool:
         """Graceful shutdown: stop admitting, wait for in-flight work.
@@ -217,13 +296,18 @@ class ExtractionService:
         form_index: int = 0,
         deadline_seconds: float | None = None,
         request_id: str | None = None,
+        client: str | None = None,
     ) -> ServeResult:
-        """Serve one extraction (cache → admission → pool → ladder).
+        """Serve one extraction (cache → breaker → fairness → admission →
+        pool → ladder).
 
-        Raises :class:`ServiceSaturated` when shed and
-        :class:`ServiceUnavailable` while draining or after repeated
-        worker deaths; every other outcome -- including hostile payloads
-        -- resolves to a :class:`ServeResult`.
+        Raises :class:`ServiceSaturated` when shed (global queue *or*
+        this client's own share) and :class:`ServiceUnavailable` while
+        draining, with the breaker open, or after repeated worker
+        deaths; every other outcome -- including hostile payloads --
+        resolves to a :class:`ServeResult`.  *client* is the fairness
+        key (header or peer address); ``None`` bypasses per-client
+        bounds.
         """
         started = time.perf_counter()
         request_id = request_id or self.next_request_id()
@@ -232,10 +316,16 @@ class ExtractionService:
         signature = self._signature(html, form_index)
         hit = self._cache_lookup(signature, request_id, started)
         if hit is not None:
-            return hit
-        self._admit(deadline)
+            return hit  # hits need no workers: no breaker, no fairness
+        self._check_breaker()
+        self._acquire_client(client)
+        try:
+            self._admit(deadline)
+        except BaseException:
+            self._release_client(client)
+            raise
         return await self._serve_admitted(
-            html, form_index, deadline, request_id, started, signature
+            html, form_index, deadline, request_id, started, signature, client
         )
 
     async def _serve_admitted(
@@ -246,12 +336,14 @@ class ExtractionService:
         request_id: str,
         started: float,
         signature: str | None,
+        client: str | None = None,
     ) -> ServeResult:
         """Dispatch one already-admitted request; always releases its slot."""
         try:
             record = await self._dispatch(html, form_index, deadline)
         finally:
             self._release()
+            self._release_client(client)
         elapsed = time.perf_counter() - started
         self._note_service_time(elapsed)
         result = ServeResult(
@@ -293,12 +385,15 @@ class ExtractionService:
         form_index: int = 0,
         deadline_seconds: float | None = None,
         request_id: str | None = None,
+        client: str | None = None,
     ) -> list[ServeResult]:
         """Serve a list of documents concurrently, results in input order.
 
         The whole batch is admitted (or shed) atomically: partial
         admission would return a mix of records and 429s inside one
-        response body, which no client can retry sanely.
+        response body, which no client can retry sanely.  The fairness
+        gate treats the batch as ``len(items)`` admissions by *client* --
+        also all-or-nothing.
         """
         request_id = request_id or self.next_request_id()
         if len(items) > self.config.max_batch_items:
@@ -310,7 +405,10 @@ class ExtractionService:
         deadline = self._clamp_deadline(deadline_seconds)
         if self._draining:
             raise ServiceUnavailable("service is draining")
+        self._check_breaker()
+        self._acquire_client(client, count=len(items))
         if self._inflight + len(items) > self.config.max_queue:
+            self._release_client(client, count=len(items))
             self.metrics.inc("serve.shed", len(items))
             raise ServiceSaturated(
                 f"queue depth {self._inflight} + batch {len(items)} exceeds "
@@ -326,9 +424,10 @@ class ExtractionService:
             hit = self._cache_lookup(signature, item_id, started)
             if hit is not None:
                 self._release()  # pre-admitted slot unused by a cache hit
+                self._release_client(client)
                 return hit
             return await self._serve_admitted(
-                html, form_index, deadline, item_id, started, signature
+                html, form_index, deadline, item_id, started, signature, client
             )
 
         # Admit the whole batch up front so concurrent singles cannot
@@ -355,11 +454,49 @@ class ExtractionService:
         )
         return max(self.config.retry_after_seconds, estimate)
 
+    def _check_breaker(self) -> None:
+        """Fast-fail when the breaker is open (cache hits never get here)."""
+        if not self.breaker.allow():
+            self.metrics.inc("serve.breaker.fast_fail")
+            raise ServiceUnavailable(
+                "circuit breaker open: worker pool is unhealthy",
+                retry_after=self.breaker.retry_after(),
+            )
+
+    def _acquire_client(self, client: str | None, count: int = 1) -> None:
+        """Per-client fairness admission; sheds as :class:`ServiceSaturated`.
+
+        Also rolls back a half-open breaker probe on shed -- a request
+        that never dispatches must not consume the probe slot.
+        """
+        if client is None or not self.fairness.enabled:
+            return
+        try:
+            self.fairness.acquire(client, count)
+        except FairnessLimited as exc:
+            self.metrics.inc("serve.fairness.shed", count)
+            self.metrics.inc(f"serve.fairness.shed.{exc.reason}")
+            log_event(
+                _logger, logging.INFO, "serve.fairness.shed",
+                client=client, reason=exc.reason, count=count,
+            )
+            self.breaker.abort_probe()
+            raise ServiceSaturated(
+                exc.detail,
+                retry_after=max(exc.retry_after, self.config.retry_after_seconds),
+            ) from exc
+
+    def _release_client(self, client: str | None, count: int = 1) -> None:
+        if client is not None:
+            self.fairness.release(client, count)
+
     def _admit(self, deadline: float) -> None:
         if self._draining:
+            self.breaker.abort_probe()
             raise ServiceUnavailable("service is draining")
         if self._inflight >= self.config.max_queue:
             self.metrics.inc("serve.shed")
+            self.breaker.abort_probe()
             raise ServiceSaturated(
                 f"queue depth {self._inflight} at max_queue "
                 f"{self.config.max_queue}",
@@ -375,6 +512,7 @@ class ExtractionService:
             )
             if projected_wait >= deadline:
                 self.metrics.inc("serve.shed")
+                self.breaker.abort_probe()
                 raise ServiceSaturated(
                     f"projected queue wait {projected_wait:.2f}s exceeds "
                     f"request deadline {deadline:g}s",
@@ -412,6 +550,38 @@ class ExtractionService:
         )
         arg = (html, form_index, limits)
         watchdog = deadline * self.config.watchdog_slack
+        try:
+            record = await self._submit(arg, watchdog)
+        except BrokenProcessPool:
+            # A worker died under this request (or a neighbour's).  Tear
+            # the pool down and retry once on a fresh one -- extraction
+            # is deterministic, so a second death pins this payload.
+            self.metrics.inc("serve.pool_restarts")
+            self.breaker.record_failure()
+            log_event(
+                _logger, logging.WARNING, "serve.pool_died", retrying=True
+            )
+            self._restart_workers()
+            try:
+                record = await self._submit(arg, watchdog)
+            except BrokenProcessPool as exc:
+                self.metrics.inc("serve.worker_crashes")
+                self.breaker.record_failure()
+                raise ServiceUnavailable(
+                    "worker process died twice extracting this payload",
+                    retry_after=self.breaker.retry_after(),
+                ) from exc
+        self.breaker.record_success()
+        return record
+
+    async def _submit(self, arg: tuple, watchdog: float) -> BatchRecord:
+        """One raw submission to the workers (the chaos-injection seam).
+
+        Every path to the pool -- or the jobs=1 worker thread -- funnels
+        through here, so the chaos harness can wrap exactly this method
+        to inject :class:`BrokenProcessPool` and latency, exercising the
+        *real* restart/breaker recovery above it.
+        """
         if self._batch is None:
             loop = asyncio.get_running_loop()
             return await loop.run_in_executor(
@@ -419,30 +589,14 @@ class ExtractionService:
                 _extract_one,
                 self._serial, "custom", 0, (_serve_job, arg), None,
             )
-        try:
-            return await asyncio.wrap_future(
-                self._batch.submit_custom(_serve_job, arg, timeout=watchdog)
-            )
-        except BrokenProcessPool:
-            # A worker died under this request (or a neighbour's).  Tear
-            # the pool down and retry once on a fresh one -- extraction
-            # is deterministic, so a second death pins this payload.
-            self.metrics.inc("serve.pool_restarts")
-            log_event(
-                _logger, logging.WARNING, "serve.pool_died", retrying=True
-            )
+        return await asyncio.wrap_future(
+            self._batch.submit_custom(_serve_job, arg, timeout=watchdog)
+        )
+
+    def _restart_workers(self) -> None:
+        """Tear down a broken pool so the next submit re-forks it."""
+        if self._batch is not None:
             self._batch.close()
-            try:
-                return await asyncio.wrap_future(
-                    self._batch.submit_custom(
-                        _serve_job, arg, timeout=watchdog
-                    )
-                )
-            except BrokenProcessPool as exc:
-                self.metrics.inc("serve.worker_crashes")
-                raise ServiceUnavailable(
-                    "worker process died twice extracting this payload"
-                ) from exc
 
     # -- accounting ---------------------------------------------------------------
 
@@ -453,9 +607,11 @@ class ExtractionService:
             signature = html_signature(html)
         except Exception:  # noqa: BLE001 - unsignable input: just no caching
             return None
-        return (
-            signature if form_index == 0 else f"{signature}|form={form_index}"
-        )
+        # The generation prefix namespaces every key: bumping the
+        # generation (grammar change, DELETE /cache) re-keys the whole
+        # cache without touching the disk file.
+        keyed = f"{self._cache_generation}|{signature}"
+        return keyed if form_index == 0 else f"{keyed}|form={form_index}"
 
     def _account(self, result: ServeResult, signature: str | None) -> None:
         record = result.record

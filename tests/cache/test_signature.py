@@ -126,3 +126,36 @@ class TestHtmlSignature:
         assert html_signature("").partition(":")[0] != token_signature(
             []
         ).partition(":")[0]
+
+
+class TestGrammarFingerprint:
+    def test_deterministic_for_the_standard_grammar(self):
+        from repro.cache import grammar_fingerprint
+        from repro.grammar import build_standard_grammar
+
+        first = grammar_fingerprint(build_standard_grammar())
+        second = grammar_fingerprint(build_standard_grammar())
+        assert first == second
+        assert first.startswith("g2p:")
+        assert len(first) == len("g2p:") + 16
+
+    def test_sensitive_to_grammar_content(self):
+        from repro.cache import grammar_fingerprint
+
+        class _FakeGrammar:
+            def __init__(self, description: str):
+                self._description = description
+
+            def describe(self) -> str:
+                return self._description
+
+        assert grammar_fingerprint(_FakeGrammar("A -> B C")) != (
+            grammar_fingerprint(_FakeGrammar("A -> B D"))
+        )
+
+    def test_duck_types_on_describe_with_repr_fallback(self):
+        from repro.cache import grammar_fingerprint
+
+        # No describe() at all: repr() keeps the function total.
+        tag = grammar_fingerprint(object())
+        assert tag.startswith("g2p:")

@@ -1,0 +1,141 @@
+"""Unit tests of the worker-pool circuit breaker (injectable clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+
+
+class _Clock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(clock, threshold=3, window=30.0, reset=5.0, transitions=None):
+    return CircuitBreaker(
+        threshold=threshold,
+        window_seconds=window,
+        reset_seconds=reset,
+        clock=clock,
+        on_transition=(
+            (lambda old, new: transitions.append((old, new)))
+            if transitions is not None
+            else None
+        ),
+    )
+
+
+class TestConfiguration:
+    def test_bad_knobs_are_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(window_seconds=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_seconds=0)
+
+
+class TestTrip:
+    def test_trips_at_threshold(self):
+        clock = _Clock()
+        breaker = make_breaker(clock)
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == STATE_CLOSED
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow()
+
+    def test_failures_outside_the_window_do_not_count(self):
+        clock = _Clock()
+        breaker = make_breaker(clock, threshold=3, window=10.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(11.0)  # both age out
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+
+    def test_retry_after_tracks_the_cooldown(self):
+        clock = _Clock()
+        breaker = make_breaker(clock, threshold=1, reset=5.0)
+        breaker.record_failure()
+        assert breaker.retry_after() == pytest.approx(5.0)
+        clock.advance(3.0)
+        assert breaker.retry_after() == pytest.approx(2.0)
+
+
+class TestHalfOpen:
+    def test_cooldown_admits_exactly_one_probe(self):
+        clock = _Clock()
+        breaker = make_breaker(clock, threshold=1, reset=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.state == STATE_HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else keeps fast-failing
+
+    def test_probe_success_closes(self):
+        clock = _Clock()
+        transitions = []
+        breaker = make_breaker(
+            clock, threshold=1, reset=5.0, transitions=transitions
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+        assert transitions == [
+            (STATE_CLOSED, STATE_OPEN),
+            (STATE_OPEN, STATE_HALF_OPEN),
+            (STATE_HALF_OPEN, STATE_CLOSED),
+        ]
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        clock = _Clock()
+        breaker = make_breaker(clock, threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        clock.advance(4.9)
+        assert breaker.state == STATE_OPEN  # the cooldown restarted
+        clock.advance(0.1)
+        assert breaker.state == STATE_HALF_OPEN
+
+    def test_abort_probe_frees_the_slot(self):
+        clock = _Clock()
+        breaker = make_breaker(clock, threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        # The probe request got shed before dispatch: without the
+        # rollback the breaker would wait forever on it.
+        breaker.abort_probe()
+        assert breaker.allow()
+
+    def test_success_after_close_prunes_history(self):
+        clock = _Clock()
+        breaker = make_breaker(clock, threshold=3, window=10.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(11.0)
+        breaker.record_success()  # prunes the aged-out failures
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED

@@ -1,0 +1,276 @@
+"""The chaos harness: injected faults must never wedge the service.
+
+The invariants under test, per the survival contract:
+
+* every response on the wire is well-formed HTTP with a known status --
+  an injected fault never surfaces as a protocol violation or an
+  unhandled exception;
+* a worker-crash storm trips the circuit breaker into fast 503s (with
+  ``Retry-After``) instead of a restart loop, and the half-open probe
+  recovers the service once the storm passes;
+* disk-full cache writes degrade the cache to memory-only while requests
+  keep succeeding;
+* slowloris / half-open clients cost one 408 (or a silent close), and
+  no connection leaks: ``open_connections`` returns to zero.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.server import ChaosConfig, ChaosMonkey
+from repro.server.chaos import drip_request, half_open_request
+from tests.server.conftest import FORM_HTML
+
+
+def _wait_until(predicate, timeout: float = 30.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def _distinct_form(index: int) -> str:
+    return FORM_HTML.replace("/search", f"/chaos{index}")
+
+
+class TestChaosConfig:
+    def test_bad_schedules_are_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(crash_every=0)
+        with pytest.raises(ValueError):
+            ChaosConfig(disk_full_every=0)
+        with pytest.raises(ValueError):
+            ChaosConfig(delay_seconds=-1)
+
+    def test_install_is_exclusive_and_uninstall_restores(self, live_server):
+        live = live_server(cache=False)
+        monkey = ChaosMonkey(ChaosConfig(crash_every=1))
+        real_submit = live.service._submit
+        monkey.install(live.service)
+        with pytest.raises(RuntimeError):
+            monkey.install(live.service)
+        monkey.uninstall()
+        assert live.service._submit == real_submit
+        monkey.uninstall()  # idempotent
+
+
+class TestCrashInjection:
+    def test_every_nth_dispatch_dies_and_recovers_via_restart(
+        self, live_server
+    ):
+        live = live_server(cache=False, breaker_threshold=100)
+        monkey = ChaosMonkey(ChaosConfig(crash_every=2))
+        monkey.install(live.service)
+        try:
+            statuses = [
+                live.post_json(
+                    "/extract", {"html": _distinct_form(index)}, timeout=120
+                )[0]
+                for index in range(6)
+            ]
+        finally:
+            monkey.uninstall()
+        # Every second submission dies; the retry-on-fresh-pool path
+        # absorbs each crash, so the client still sees all 200s.
+        assert statuses == [200] * 6
+        assert monkey.counters.crashes_injected >= 2
+        counters = live.metrics.to_dict()["counters"]
+        assert counters["serve.pool_restarts"] == (
+            monkey.counters.crashes_injected
+        )
+
+    def test_crash_storm_trips_the_breaker_then_recovers(self, live_server):
+        live = live_server(
+            cache=False, breaker_threshold=2, breaker_reset_seconds=0.5
+        )
+        monkey = ChaosMonkey(ChaosConfig(crash_every=1))
+        monkey.install(live.service)
+        try:
+            # Every dispatch dies twice (submit + retry): one request is
+            # enough to land 2 failures and trip the breaker.
+            status, headers, _ = live.post_json(
+                "/extract", {"html": _distinct_form(0)}, timeout=120
+            )
+            assert status == 503
+            assert live.service.breaker.state == "open"
+            # While open: fast 503 + Retry-After, the pool never touched.
+            submissions = monkey.counters.submissions
+            status, headers, _ = live.post_json(
+                "/extract", {"html": _distinct_form(1)}
+            )
+            assert status == 503
+            assert int(headers["Retry-After"]) >= 1
+            assert monkey.counters.submissions == submissions
+        finally:
+            monkey.uninstall()
+        # Storm over: after the cooldown the half-open probe succeeds and
+        # the service is healthy again.
+        assert _wait_until(
+            lambda: live.service.breaker.state == "half-open", timeout=10
+        )
+        status, _, _ = live.post_json(
+            "/extract", {"html": _distinct_form(2)}, timeout=120
+        )
+        assert status == 200
+        assert live.service.breaker.state == "closed"
+        assert live.get_json("/healthz")[0] == 200
+
+
+class TestDiskFullInjection:
+    def test_cache_degrades_to_memory_and_requests_succeed(
+        self, live_server, tmp_path
+    ):
+        live = live_server(cache_dir=str(tmp_path))
+        monkey = ChaosMonkey(ChaosConfig(disk_full_every=1))
+        monkey.install(live.service)
+        try:
+            first = live.post_json(
+                "/extract", {"html": FORM_HTML}, timeout=120
+            )
+            assert first[0] == 200
+            assert monkey.counters.disk_errors_injected == 1
+            # The memory tier still took the entry: a repeat is a hit.
+            again = live.post_json("/extract", {"html": FORM_HTML})
+            assert again[0] == 200
+            assert again[2]["cached"] is True
+        finally:
+            monkey.uninstall()
+        # Every disk write failed: the backing file never materialized.
+        assert not (tmp_path / "extraction-cache.jsonl").exists()
+
+
+class TestInvariantMatrix:
+    """Crashes + disk-full + hostile clients at once: never a wedge."""
+
+    @pytest.mark.parametrize(
+        "crash_every,disk_full_every", [(2, None), (None, 2), (3, 2)]
+    )
+    def test_mixed_faults_yield_only_well_formed_responses(
+        self, live_server, tmp_path, crash_every, disk_full_every
+    ):
+        live = live_server(
+            cache_dir=str(tmp_path / f"c{crash_every}-{disk_full_every}"),
+            breaker_threshold=100,  # this matrix is about the fault paths
+            header_timeout_seconds=0.5,
+            idle_timeout_seconds=0.5,
+        )
+        monkey = ChaosMonkey(
+            ChaosConfig(
+                crash_every=crash_every, disk_full_every=disk_full_every
+            )
+        )
+        monkey.install(live.service)
+        statuses: list[int] = []
+        lock = threading.Lock()
+
+        def post(index: int) -> None:
+            status, _, payload = live.post_json(
+                "/extract", {"html": _distinct_form(index)}, timeout=120
+            )
+            with lock:
+                statuses.append(status)
+            assert "request_id" in payload
+
+        attacks: list = []
+
+        def attack() -> None:
+            report = half_open_request(
+                "127.0.0.1", live.port, b"GET /healthz HTTP/1.1\r\nX-",
+                timeout=30,
+            )
+            with lock:
+                attacks.append(report)
+
+        threads = [
+            threading.Thread(target=post, args=(index,)) for index in range(8)
+        ] + [threading.Thread(target=attack) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        monkey.uninstall()
+        # Traffic under chaos: every answer well-formed, statuses known.
+        assert len(statuses) == 8
+        assert set(statuses) <= {200, 503}
+        # The hostile clients cost one 408 each and were closed out.
+        assert len(attacks) == 2
+        for report in attacks:
+            assert report.status == 408
+            assert report.closed
+        # The service is healthy afterwards: answers, and leaks nothing.
+        assert live.get_json("/healthz")[0] == 200
+        assert _wait_until(
+            lambda: live.server._http.open_connections == 0, timeout=10
+        )
+
+    def test_slowloris_is_cut_off_while_normal_traffic_flows(
+        self, live_server
+    ):
+        live = live_server(
+            cache=False,
+            header_timeout_seconds=0.5,
+            idle_timeout_seconds=0.5,
+        )
+        outcome: dict = {}
+
+        def attack() -> None:
+            outcome["attack"] = drip_request(
+                "127.0.0.1",
+                live.port,
+                b"GET /healthz HTTP/1.1\r\nX-Drip: "
+                + b"a" * 4096
+                + b"\r\n\r\n",
+                # Big enough chunks that the request line lands inside the
+                # idle budget -- the *headers* are what trickles, so the
+                # defense under test is the header-read deadline (408),
+                # not the silent idle close.
+                chunk_size=24,
+                pause_seconds=0.05,
+                timeout=30,
+            )
+
+        thread = threading.Thread(target=attack)
+        thread.start()
+        # Normal clients are served while the attacker trickles.
+        for _ in range(3):
+            assert live.get_json("/healthz")[0] == 200
+        thread.join(timeout=120)
+        report = outcome["attack"]
+        # The trickle never finished its head: one 408, then the close.
+        assert report.status == 408
+        assert report.closed
+        counters = live.metrics.to_dict()["counters"]
+        assert counters["serve.timeout.header"] >= 1
+        assert _wait_until(
+            lambda: live.server._http.open_connections == 0, timeout=10
+        )
+
+    def test_injected_latency_builds_queue_pressure(self, live_server):
+        live = live_server(cache=False, max_queue=1)
+        monkey = ChaosMonkey(ChaosConfig(delay_seconds=0.5))
+        monkey.install(live.service)
+        try:
+            result: dict = {}
+
+            def post() -> None:
+                result["first"] = live.post_json(
+                    "/extract", {"html": _distinct_form(0)}, timeout=120
+                )[0]
+
+            thread = threading.Thread(target=post)
+            thread.start()
+            assert _wait_until(lambda: live.service.queue_depth == 1)
+            status, _, _ = live.post_json(
+                "/extract", {"html": _distinct_form(1)}
+            )
+            assert status == 429  # the delayed request holds the queue
+            thread.join(timeout=120)
+            assert result["first"] == 200
+        finally:
+            monkey.uninstall()

@@ -1,0 +1,164 @@
+"""Unit tests of the per-client fairness gate (injectable clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.fairness import FairnessGate, FairnessLimited
+
+
+class _Clock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestConfiguration:
+    def test_disabled_gate_admits_everything(self):
+        gate = FairnessGate()
+        assert not gate.enabled
+        for _ in range(1000):
+            gate.acquire("greedy")
+        assert gate.snapshot().clients == 0
+
+    def test_bad_knobs_are_rejected(self):
+        with pytest.raises(ValueError):
+            FairnessGate(max_inflight=0)
+        with pytest.raises(ValueError):
+            FairnessGate(rate=0)
+        with pytest.raises(ValueError):
+            FairnessGate(rate=1.0, burst=0)
+        with pytest.raises(ValueError):
+            FairnessGate(max_clients=0)
+
+
+class TestConcurrentSlots:
+    def test_cap_sheds_the_surplus_only(self):
+        gate = FairnessGate(max_inflight=2)
+        gate.acquire("a")
+        gate.acquire("a")
+        with pytest.raises(FairnessLimited) as excinfo:
+            gate.acquire("a")
+        assert excinfo.value.reason == "slots"
+        # Another client is unaffected by a's saturation.
+        gate.acquire("b")
+
+    def test_release_frees_the_slot(self):
+        gate = FairnessGate(max_inflight=1)
+        gate.acquire("a")
+        gate.release("a")
+        gate.acquire("a")  # no raise
+
+    def test_release_never_goes_negative(self):
+        gate = FairnessGate(max_inflight=1)
+        gate.release("ghost")
+        gate.release("ghost")
+        gate.acquire("ghost")
+        with pytest.raises(FairnessLimited):
+            gate.acquire("ghost")
+
+    def test_batch_acquire_is_all_or_nothing(self):
+        gate = FairnessGate(max_inflight=3)
+        gate.acquire("a", count=2)
+        with pytest.raises(FairnessLimited):
+            gate.acquire("a", count=2)  # 2 held + 2 > 3
+        # The failed batch consumed nothing: one more still fits.
+        gate.acquire("a", count=1)
+
+
+class TestTokenBucket:
+    def test_burst_passes_then_rate_sheds(self):
+        clock = _Clock()
+        gate = FairnessGate(rate=1.0, burst=3.0, clock=clock)
+        for _ in range(3):
+            gate.acquire("a")
+            gate.release("a")
+        with pytest.raises(FairnessLimited) as excinfo:
+            gate.acquire("a")
+        assert excinfo.value.reason == "rate"
+
+    def test_retry_after_is_the_token_shortfall(self):
+        clock = _Clock()
+        gate = FairnessGate(rate=2.0, burst=1.0, clock=clock)
+        gate.acquire("a")
+        gate.release("a")
+        with pytest.raises(FairnessLimited) as excinfo:
+            gate.acquire("a")
+        # 1 token short at 2 tokens/s -> 0.5 s.
+        assert excinfo.value.retry_after == pytest.approx(0.5)
+
+    def test_tokens_refill_with_time(self):
+        clock = _Clock()
+        gate = FairnessGate(rate=1.0, burst=1.0, clock=clock)
+        gate.acquire("a")
+        gate.release("a")
+        with pytest.raises(FairnessLimited):
+            gate.acquire("a")
+        clock.advance(1.0)
+        gate.acquire("a")  # refilled
+
+    def test_refill_caps_at_burst(self):
+        clock = _Clock()
+        gate = FairnessGate(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(3600.0)  # an hour idle does not bank 36k tokens
+        gate.acquire("a", count=2)
+        gate.release("a", count=2)
+        with pytest.raises(FairnessLimited):
+            gate.acquire("a")
+
+    def test_rate_shed_does_not_consume_slots(self):
+        clock = _Clock()
+        gate = FairnessGate(max_inflight=5, rate=1.0, burst=1.0, clock=clock)
+        gate.acquire("a")
+        with pytest.raises(FairnessLimited):
+            gate.acquire("a")
+        assert gate.snapshot().inflight == 1
+
+
+class TestEviction:
+    def test_idle_clients_are_evicted_past_the_bound(self):
+        clock = _Clock()
+        gate = FairnessGate(max_inflight=2, max_clients=4, clock=clock)
+        for index in range(4):
+            gate.acquire(f"c{index}")
+            gate.release(f"c{index}")
+            clock.advance(1.0)
+        assert gate.snapshot().clients == 4
+        gate.acquire("c4")  # 5th client forces an eviction sweep
+        assert gate.snapshot().clients <= 4
+
+    def test_clients_holding_slots_are_never_evicted(self):
+        clock = _Clock()
+        gate = FairnessGate(max_inflight=2, max_clients=2, clock=clock)
+        gate.acquire("busy")
+        clock.advance(10.0)
+        gate.acquire("other")
+        gate.release("other")
+        clock.advance(10.0)
+        gate.acquire("third")
+        # "busy" still holds its slot: its state must have survived.
+        with pytest.raises(FairnessLimited):
+            gate.acquire("busy", count=2)
+
+
+class TestSnapshot:
+    def test_snapshot_counts_sheds_by_kind(self):
+        clock = _Clock()
+        gate = FairnessGate(max_inflight=1, rate=1.0, burst=1.0, clock=clock)
+        gate.acquire("a")
+        with pytest.raises(FairnessLimited):
+            gate.acquire("a")  # slots
+        gate.release("a")
+        with pytest.raises(FairnessLimited):
+            gate.acquire("a")  # rate (bucket drained by the first acquire)
+        snap = gate.snapshot().as_dict()
+        assert snap["shed_slots"] == 1
+        assert snap["shed_rate"] == 1
+        assert snap["clients"] == 1

@@ -46,8 +46,12 @@ async def _read_one_response(reader: asyncio.StreamReader) -> tuple[int, dict, b
 class _Client:
     """A raw-socket client against a transient HttpServer."""
 
-    def __init__(self, handler=_echo_handler, max_body_bytes: int = 4096):
-        self.server = HttpServer(handler, port=0, max_body_bytes=max_body_bytes)
+    def __init__(
+        self, handler=_echo_handler, max_body_bytes: int = 4096, **server_kwargs
+    ):
+        self.server = HttpServer(
+            handler, port=0, max_body_bytes=max_body_bytes, **server_kwargs
+        )
 
     async def __aenter__(self):
         port = await self.server.start()
@@ -164,6 +168,145 @@ class TestProtocolErrors:
                     b"POST /x HTTP/1.1\r\nContent-Length: -4\r\n\r\n"
                 )
                 assert status == 400
+
+        asyncio.run(scenario())
+
+
+class TestOversizedHead:
+    def test_oversized_header_line_is_431_not_a_crash(self):
+        """Regression: a single huge header line must get a handled 431."""
+        async def scenario():
+            async with _Client() as client:
+                # Past the 64 KiB stream buffer (-> LimitOverrunError)
+                # but below the reader's pause threshold, so the server
+                # ingests it all and its close is a clean FIN, not an RST.
+                status, _, body = await client.send(
+                    b"GET / HTTP/1.1\r\nX-Bloat: " + b"a" * 70_000 + b"\r\n\r\n"
+                )
+                assert status == 431
+                assert "header line" in json.loads(body)["error"]
+                assert await client.at_eof()
+
+        asyncio.run(scenario())
+
+    def test_many_header_bytes_is_431(self):
+        async def scenario():
+            async with _Client() as client:
+                bloat = b"".join(
+                    b"X-Pad-%d: %s\r\n" % (index, b"v" * 1000)
+                    for index in range(40)
+                )
+                status, _, body = await client.send(
+                    b"GET / HTTP/1.1\r\n" + bloat + b"\r\n"
+                )
+                assert status == 431
+                assert "headers too large" in json.loads(body)["error"]
+
+        asyncio.run(scenario())
+
+    def test_oversized_request_line_is_414(self):
+        async def scenario():
+            async with _Client() as client:
+                status, _, _ = await client.send(
+                    b"GET /" + b"q" * 70_000 + b" HTTP/1.1\r\n\r\n"
+                )
+                assert status == 414
+                assert await client.at_eof()
+
+        asyncio.run(scenario())
+
+
+class TestSlowClientDefenses:
+    def test_idle_keep_alive_is_closed_silently(self):
+        """An idle peer is cut off with no response bytes at all."""
+        async def scenario():
+            async with _Client(idle_timeout_seconds=0.2) as client:
+                # Never send anything: the idle timer must close us.
+                data = await asyncio.wait_for(client.reader.read(), timeout=5)
+                assert data == b""
+                assert client.server.open_connections == 0
+
+        asyncio.run(scenario())
+
+    def test_trickled_header_times_out_with_408(self):
+        async def scenario():
+            async with _Client(header_timeout_seconds=0.2) as client:
+                client.writer.write(b"GET / HTTP/1.1\r\nX-Slow: dri")
+                await client.writer.drain()
+                # ... and go silent mid-head: the header budget expires.
+                status, _, body = await _read_one_response(client.reader)
+                assert status == 408
+                assert "header" in json.loads(body)["error"]
+                assert await client.at_eof()
+
+        asyncio.run(scenario())
+
+    def test_stalled_body_times_out_with_408(self):
+        async def scenario():
+            async with _Client(body_timeout_seconds=0.2) as client:
+                client.writer.write(
+                    b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\npart"
+                )
+                await client.writer.drain()
+                status, _, body = await _read_one_response(client.reader)
+                assert status == 408
+                assert "body" in json.loads(body)["error"]
+
+        asyncio.run(scenario())
+
+    def test_timeout_metrics_are_counted(self):
+        counts: dict[str, float] = {}
+
+        async def scenario():
+            async with _Client(header_timeout_seconds=0.2) as client:
+                client.server.metric_hook = (
+                    lambda name, amount: counts.__setitem__(
+                        name, counts.get(name, 0) + amount
+                    )
+                )
+                client.writer.write(b"GET / HTTP/1.1\r\nX-")
+                await client.writer.drain()
+                await _read_one_response(client.reader)
+
+        asyncio.run(scenario())
+        assert counts.get("serve.timeout.header") == 1
+
+    def test_connection_ceiling_sheds_with_503(self):
+        async def scenario():
+            async with _Client(max_connections=1) as client:
+                # The _Client connection holds the single slot; the next
+                # socket must get a fast 503 and a close.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", client.server.port
+                )
+                try:
+                    status, headers, body = await _read_one_response(reader)
+                    assert status == 503
+                    assert headers["connection"] == "close"
+                    assert "connection limit" in json.loads(body)["error"]
+                    assert await asyncio.wait_for(reader.read(1), timeout=5) == b""
+                finally:
+                    writer.close()
+                # The surviving connection still works.
+                status, _, _ = await client.send(
+                    b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+                )
+                assert status == 200
+
+        asyncio.run(scenario())
+
+    def test_fast_clients_are_untouched_by_timeouts(self):
+        async def scenario():
+            async with _Client(
+                idle_timeout_seconds=5.0,
+                header_timeout_seconds=5.0,
+                body_timeout_seconds=5.0,
+            ) as client:
+                for _ in range(3):
+                    status, _, _ = await client.send(
+                        b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nok"
+                    )
+                    assert status == 200
 
         asyncio.run(scenario())
 

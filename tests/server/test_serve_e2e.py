@@ -299,3 +299,223 @@ class TestPooledMode:
         assert all(
             record["error"] is None for record in payload["records"]
         )
+
+
+class TestHealthEndpoints:
+    def test_livez_is_alive_and_readyz_is_ok(self, live_server):
+        live = live_server()
+        status, _, payload = live.get_json("/livez")
+        assert status == 200
+        assert payload["status"] == "alive"
+        status, _, payload = live.get_json("/readyz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["breaker"] == "closed"
+        assert payload["draining"] is False
+        assert payload["cache_generation"].startswith("g2p:")
+        assert payload["fairness"]["clients"] == 0
+
+    def test_readyz_is_503_while_draining_but_livez_stays_200(
+        self, live_server
+    ):
+        live = live_server()
+
+        async def set_draining(value: bool) -> None:
+            live.service._draining = value
+
+        live.submit(set_draining(True)).result(timeout=10)
+        try:
+            status, _, payload = live.get_json("/readyz")
+            assert status == 503
+            assert payload["status"] == "draining"
+            status, _, payload = live.get_json("/livez")
+            assert status == 200
+            assert payload["status"] == "alive"
+        finally:
+            live.submit(set_draining(False)).result(timeout=10)
+
+    def test_readyz_is_503_with_the_breaker_open(self, live_server):
+        live = live_server(breaker_threshold=1, breaker_reset_seconds=60.0)
+
+        async def trip() -> None:
+            live.service.breaker.record_failure()
+
+        live.submit(trip()).result(timeout=10)
+        status, _, payload = live.get_json("/readyz")
+        assert status == 503
+        assert payload["status"] == "breaker-open"
+        assert payload["breaker"] == "open"
+        # Liveness is not the breaker's business.
+        assert live.get_json("/livez")[0] == 200
+
+
+class TestCacheInvalidation:
+    def test_delete_cache_makes_cached_signatures_miss(self, live_server):
+        live = live_server()
+        assert live.post_json("/extract", {"html": FORM_HTML})[2][
+            "cached"
+        ] is False
+        assert live.post_json("/extract", {"html": FORM_HTML})[2][
+            "cached"
+        ] is True
+        status, _, payload = live.request("DELETE", "/cache")
+        body = json.loads(payload)
+        assert status == 200
+        assert body["invalidated"] is True
+        assert body["generation"] != body["previous_generation"]
+        # The very same document misses now: its old key is unreachable.
+        assert live.post_json("/extract", {"html": FORM_HTML})[2][
+            "cached"
+        ] is False
+        status, _, payload = live.get_json("/healthz")
+        assert payload["cache_generation"] == body["generation"]
+
+    def test_delete_cache_leaves_the_disk_file_untouched(
+        self, live_server, tmp_path
+    ):
+        live = live_server(cache_dir=str(tmp_path))
+        live.post_json("/extract", {"html": FORM_HTML})
+        cache_file = tmp_path / "extraction-cache.jsonl"
+        before = cache_file.read_bytes()
+        assert live.request("DELETE", "/cache")[0] == 200
+        assert cache_file.read_bytes() == before
+
+    def test_delete_cache_is_404_when_caching_is_off(self, live_server):
+        live = live_server(cache=False)
+        status, _, _ = live.request("DELETE", "/cache")
+        assert status == 404
+
+
+class TestFairnessE2E:
+    def test_greedy_client_sheds_while_the_polite_one_completes(
+        self, live_server
+    ):
+        live = live_server(client_max_inflight=2, max_queue=8, cache=False)
+        # Park the single worker so admitted requests stay in the queue:
+        # admission decisions are then fully deterministic.
+        blocker = live.service._thread.submit(time.sleep, 1.5)
+        results: list[int] = []
+        lock = threading.Lock()
+
+        def greedy_post(index: int) -> None:
+            html = FORM_HTML.replace("/search", f"/greedy{index}")
+            status, _, _ = live.request(
+                "POST",
+                "/extract",
+                body=json.dumps({"html": html}).encode(),
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Client-Id": "greedy",
+                },
+            )
+            with lock:
+                results.append(status)
+
+        threads = [
+            threading.Thread(target=greedy_post, args=(index,))
+            for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        # All 8 decisions resolve immediately: 2 slots admit, 6 shed 429.
+        assert _wait_until(
+            lambda: len([s for s in results if s == 429]) == 6, timeout=10
+        )
+        assert live.service.queue_depth == 2
+        # The polite client is untouched by greedy's saturation and its
+        # request completes well inside the deadline.
+        started = time.perf_counter()
+        status, _, payload = live.request(
+            "POST",
+            "/extract",
+            body=json.dumps({"html": FORM_HTML}).encode(),
+            headers={
+                "Content-Type": "application/json",
+                "X-Client-Id": "polite",
+            },
+            timeout=120,
+        )
+        assert status == 200
+        assert time.perf_counter() - started < 60
+        blocker.result(timeout=10)
+        for thread in threads:
+            thread.join(timeout=120)
+        assert sorted(results) == [200, 200, 429, 429, 429, 429, 429, 429]
+        samples = parse_prometheus(
+            live.request("GET", "/metrics")[2].decode()
+        )
+        assert samples["repro_serve_fairness_shed_total"] == 6
+        assert samples["repro_serve_fairness_shed_slots_total"] == 6
+
+    def test_rate_limited_client_gets_retry_after(self, live_server):
+        live = live_server(client_rate=0.001, client_burst=1.0)
+        headers = {
+            "Content-Type": "application/json",
+            "X-Client-Id": "chatty",
+        }
+        body = json.dumps({"html": FORM_HTML}).encode()
+        assert live.request("POST", "/extract", body=body, headers=headers)[
+            0
+        ] == 200
+        # Token spent; at 0.001/s the refill is far away: shed with the
+        # real shortfall as Retry-After.
+        html2 = FORM_HTML.replace("/search", "/other")
+        status, response_headers, _ = live.request(
+            "POST",
+            "/extract",
+            body=json.dumps({"html": html2}).encode(),
+            headers=headers,
+        )
+        assert status == 429
+        assert int(response_headers["Retry-After"]) >= 60
+
+
+class TestDrainWithParkedConnections:
+    def test_drain_completes_with_an_idle_keep_alive_connection(
+        self, live_server
+    ):
+        import socket
+
+        live = live_server()
+        sock = socket.create_connection(("127.0.0.1", live.port), timeout=10)
+        try:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            first = sock.recv(65536)
+            assert first.startswith(b"HTTP/1.1 200")
+            # The connection now sits idle in keep-alive, parked on the
+            # server's request-line read.  Drain must not wait for it.
+            started = time.perf_counter()
+            assert live.stop() is True
+            assert time.perf_counter() - started < live.config.drain_seconds
+            # The parked connection is closed out, not leaked.
+            sock.settimeout(10)
+            rest = sock.recv(65536)
+            assert rest == b""
+        finally:
+            sock.close()
+
+    def test_drain_completes_with_a_half_sent_request_in_flight(
+        self, live_server
+    ):
+        import socket
+
+        live = live_server()
+        sock = socket.create_connection(("127.0.0.1", live.port), timeout=10)
+        try:
+            # Half a request head, then silence: the server is mid-read.
+            sock.sendall(b"POST /extract HTTP/1.1\r\nContent-Le")
+            time.sleep(0.1)
+            started = time.perf_counter()
+            assert live.stop() is True
+            assert time.perf_counter() - started < live.config.drain_seconds
+            sock.settimeout(10)
+            # Whatever arrives (nothing or an error response), the
+            # connection must reach EOF -- no wedge, no leak.
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+        finally:
+            sock.close()

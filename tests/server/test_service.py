@@ -238,3 +238,173 @@ class TestPoolRecovery:
             assert counters["serve.worker_crashes"] == 1
 
         asyncio.run(scenario())
+
+
+class TestCacheGenerations:
+    def test_signature_carries_the_generation_prefix(self):
+        service = make_service()
+        signature = service._signature(FORM_HTML, 0)
+        assert signature.startswith(service.cache_generation + "|")
+
+    def test_default_generation_is_the_grammar_fingerprint(self):
+        service = make_service()
+        assert service.cache_generation.startswith("g2p:")
+        # Deterministic: two services agree, so a shared disk cache works.
+        assert make_service().cache_generation == service.cache_generation
+
+    def test_explicit_generation_overrides_the_fingerprint(self):
+        service = make_service(cache_generation="v42")
+        assert service.cache_generation == "v42"
+        assert service._signature(FORM_HTML, 0).startswith("v42|")
+
+    def test_bump_rekeys_every_cached_signature(self):
+        async def scenario():
+            service = make_service()
+            first = await service.extract(FORM_HTML)
+            assert not first.cached
+            assert (await service.extract(FORM_HTML)).cached
+            old, new = service.bump_cache_generation()
+            assert old != new
+            assert service._signature(FORM_HTML, 0).startswith(new + "|")
+            miss = await service.extract(FORM_HTML)
+            assert not miss.cached  # the old entry is unreachable
+            counters = service.metrics.to_dict()["counters"]
+            assert counters["serve.cache.invalidations"] == 1
+
+        asyncio.run(scenario())
+
+    def test_bump_leaves_the_disk_file_untouched(self, tmp_path):
+        async def scenario():
+            service = make_service(cache_dir=str(tmp_path))
+            await service.extract(FORM_HTML)
+            cache_file = tmp_path / "extraction-cache.jsonl"
+            before = cache_file.read_bytes()
+            service.bump_cache_generation()
+            assert (await service.extract(FORM_HTML)).cached is False
+            # Logical invalidation: old lines still on disk, just unreachable.
+            assert before in cache_file.read_bytes()
+
+        asyncio.run(scenario())
+
+
+class TestBreakerIntegration:
+    def test_crash_storm_trips_the_breaker_to_fast_503(self):
+        async def scenario():
+            service = make_service(
+                cache=False, breaker_threshold=2, breaker_reset_seconds=60.0
+            )
+            service._batch = _CrashingPool()
+            # One doomed request = 2 failures (restart + give-up): trips.
+            with pytest.raises(ServiceUnavailable):
+                await service.extract(FORM_HTML)
+            assert service.breaker.state == "open"
+            calls_before = service._batch.calls
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                await service.extract(FORM_HTML)
+            assert service._batch.calls == calls_before  # pool untouched
+            assert excinfo.value.retry_after is not None
+            counters = service.metrics.to_dict()["counters"]
+            assert counters["serve.breaker.fast_fail"] == 1
+            assert counters["serve.breaker.open"] == 1
+
+        asyncio.run(scenario())
+
+    def test_cache_hits_answer_while_the_breaker_is_open(self):
+        async def scenario():
+            service = make_service(breaker_threshold=1)
+            await service.extract(FORM_HTML)  # fills the cache
+            service.breaker.record_failure()
+            assert service.breaker.state == "open"
+            hit = await service.extract(FORM_HTML)
+            assert hit.cached
+
+        asyncio.run(scenario())
+
+
+class TestFairnessIntegration:
+    def test_greedy_client_sheds_while_others_are_admitted(self):
+        async def scenario():
+            service = make_service(
+                cache=False, max_queue=10, client_max_inflight=1
+            )
+            release = asyncio.Event()
+
+            async def parked(html, form_index, deadline):
+                await release.wait()
+                return BatchRecord(index=0)
+
+            service._dispatch = parked  # type: ignore[method-assign]
+            first = asyncio.create_task(
+                service.extract("<form></form>", client="greedy")
+            )
+            await asyncio.sleep(0.01)
+            with pytest.raises(ServiceSaturated):
+                await service.extract("<form></form>", client="greedy")
+            # The queue has room: another client is admitted immediately.
+            other = asyncio.create_task(
+                service.extract("<form></form>", client="polite")
+            )
+            await asyncio.sleep(0.01)
+            assert service.queue_depth == 2
+            release.set()
+            assert (await first).ok and (await other).ok
+            counters = service.metrics.to_dict()["counters"]
+            assert counters["serve.fairness.shed"] == 1
+            assert counters["serve.fairness.shed.slots"] == 1
+
+        asyncio.run(scenario())
+
+    def test_shed_requests_release_their_fairness_slots(self):
+        async def scenario():
+            service = make_service(
+                cache=False, max_queue=1, client_max_inflight=5
+            )
+            release = asyncio.Event()
+
+            async def parked(html, form_index, deadline):
+                await release.wait()
+                return BatchRecord(index=0)
+
+            service._dispatch = parked  # type: ignore[method-assign]
+            first = asyncio.create_task(
+                service.extract("<form></form>", client="a")
+            )
+            await asyncio.sleep(0.01)
+            # Shed by the *global* queue: the client slot must roll back.
+            with pytest.raises(ServiceSaturated):
+                await service.extract("<form></form>", client="b")
+            assert service.fairness.snapshot().inflight == 1
+            release.set()
+            await first
+            assert service.fairness.snapshot().inflight == 0
+
+        asyncio.run(scenario())
+
+    def test_anonymous_requests_bypass_the_gate(self):
+        async def scenario():
+            service = make_service(cache=False, client_max_inflight=1)
+
+            async def instant(html, form_index, deadline):
+                return BatchRecord(index=0)
+
+            service._dispatch = instant  # type: ignore[method-assign]
+            for _ in range(5):
+                await service.extract("<form></form>", client=None)
+
+        asyncio.run(scenario())
+
+    def test_batch_counts_against_the_client_share(self):
+        async def scenario():
+            service = make_service(
+                cache=False, max_queue=50, client_max_inflight=3
+            )
+            with pytest.raises(ServiceSaturated) as excinfo:
+                await service.extract_batch(
+                    ["<form></form>"] * 4, client="bulk"
+                )
+            assert "slots" in excinfo.value.detail or "concurrent" in (
+                excinfo.value.detail
+            )
+            assert service.fairness.snapshot().inflight == 0
+
+        asyncio.run(scenario())
