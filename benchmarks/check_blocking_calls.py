@@ -1,0 +1,41 @@
+"""Gate: no blocking primitives inside async code in the serving tier.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/check_blocking_calls.py
+
+Flags ``time.sleep`` / ``open()`` / ``socket.*`` / ``subprocess.*``
+calls inside ``async def`` bodies under ``src/repro/server/`` (see
+:mod:`repro.analysis.codelint`): one such call stalls the event loop
+for every connected client.  Deliberate exceptions carry a
+``# blocking-ok`` comment on the offending line.  Exits 1 with one
+``path:line`` finding per violation.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.codelint import check_blocking_calls  # noqa: E402
+
+
+def main() -> int:
+    findings = check_blocking_calls(REPO_ROOT / "src" / "repro" / "server")
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"blocking-call check: {len(findings)} blocking call(s) in "
+            "async code under src/repro/server"
+        )
+        return 1
+    print("blocking-call check: async code is clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

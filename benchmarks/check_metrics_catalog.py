@@ -1,0 +1,45 @@
+"""Gate: every emitted metric/event name is documented, and vice versa.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/check_metrics_catalog.py
+
+Cross-checks the metric/event names emitted under ``src/repro/``
+(``MetricsRegistry.inc``/``.observe``, the HTTP layer's ``_count`` hook,
+and ``log_event`` call sites) against the catalogue in
+``docs/OBSERVABILITY.md`` (see :mod:`repro.analysis.codelint`).  Exits 1
+with one ``path:line`` finding per mismatch -- an undocumented name is a
+dashboard nobody can find, an orphaned one a dashboard that flatlined
+after a rename.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.codelint import check_metrics_catalog  # noqa: E402
+
+
+def main() -> int:
+    findings = check_metrics_catalog(
+        REPO_ROOT / "src" / "repro",
+        REPO_ROOT / "docs" / "OBSERVABILITY.md",
+    )
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"metrics-catalog check: {len(findings)} mismatch(es) between "
+            "src/repro and docs/OBSERVABILITY.md"
+        )
+        return 1
+    print("metrics-catalog check: code and catalogue agree")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,25 +7,52 @@ means instances invalidate each other both ways; an empty spatial bound
 means a pattern can never assemble.  These defects are invisible at
 runtime and expensive to debug from extraction quality alone.
 
-This package finds them *without running the parser*: :func:`analyze_grammar`
-checks symbol hygiene, spatial-bound satisfiability, callable arity,
-preference coherence, and previews the schedule graph (d-edge cycles,
-r-edge transformations and relaxations) using the exact construction the
-runtime scheduler consumes.  Every finding is a :class:`Diagnostic` with a
-stable code -- ``G0xx`` grammar structure, ``P0xx`` preferences, ``S0xx``
-schedule -- documented in ``docs/GRAMMAR.md`` ("Diagnostics catalogue").
+This package finds them *without running the parser*.  Two tiers:
+
+* **syntactic hygiene** -- :func:`analyze_grammar` checks symbol hygiene,
+  spatial-bound satisfiability, callable arity, preference coherence, and
+  previews the schedule graph (d-edge cycles, r-edge transformations and
+  relaxations) using the exact construction the runtime scheduler
+  consumes;
+* **semantic analysis** -- abstract interpretation over the grammar: a
+  bounded terminal-yield engine (:mod:`repro.analysis.yields`) feeds the
+  ambiguity/overlap pass (G02x: productions that can fire on the same
+  tokens), the preference-totality pass (P01x: is every possible conflict
+  arbitrated?), and the coverage pass (C00x: the paper's §6.4
+  incompleteness argument, statically); interval-algebra propagation
+  through production chains (G03x) finds spatial dead ends the per-pair
+  checks cannot see.
+
+Every finding is a :class:`Diagnostic` with a stable code -- ``G0xx``
+grammar structure, ``P0xx`` preferences, ``S0xx`` schedule, ``C0xx``
+coverage -- documented in ``docs/GRAMMAR.md`` ("Diagnostics catalogue")
+and in :data:`repro.analysis.catalog.CATALOG` (``repro lint --explain``).
 
 Entry points:
 
 * ``repro lint`` -- CLI, human or ``--json`` output, exit 1 on errors;
+  ``--coverage`` adds the tokenizer-relative coverage matrix,
+  ``--candidate FILE.json`` runs the admission gate, ``--explain CODE``
+  prints catalogue entries;
 * ``BestEffortParser(grammar, validate_grammar=True)`` /
-  ``FormExtractor(validate_grammar=True)`` -- opt-in fast-fail raising
-  :class:`GrammarDiagnosticsError`;
-* :func:`analyze_grammar` -- the library API used by both.
+  ``FormExtractor(validate_grammar=True)`` / ``repro serve`` startup --
+  opt-in fast-fail raising :class:`GrammarDiagnosticsError`;
+* :func:`analyze_grammar` -- the library API used by all of the above;
+* :func:`admit_production` -- the admission gate for machine-proposed
+  productions (the learning roadmap's gatekeeper).
 """
 
+from repro.analysis.admit import (
+    AdmissionReport,
+    CandidateError,
+    CandidateProduction,
+    admit_production,
+)
 from repro.analysis.analyzer import analyze_grammar
+from repro.analysis.catalog import CATALOG, CatalogEntry, explain
+from repro.analysis.coverage import coverage_matrix, render_coverage_matrix
 from repro.analysis.diagnostics import (
+    REPORT_SCHEMA_VERSION,
     SEVERITIES,
     SEVERITY_ERROR,
     SEVERITY_INFO,
@@ -35,16 +62,29 @@ from repro.analysis.diagnostics import (
     GrammarDiagnosticsError,
 )
 from repro.analysis.view import GrammarView, as_view
+from repro.analysis.yields import YieldSummary, compute_yields
 
 __all__ = [
+    "AdmissionReport",
     "AnalysisReport",
+    "CATALOG",
+    "CandidateError",
+    "CandidateProduction",
+    "CatalogEntry",
     "Diagnostic",
     "GrammarDiagnosticsError",
     "GrammarView",
+    "REPORT_SCHEMA_VERSION",
     "SEVERITIES",
     "SEVERITY_ERROR",
     "SEVERITY_INFO",
     "SEVERITY_WARNING",
+    "YieldSummary",
+    "admit_production",
     "analyze_grammar",
     "as_view",
+    "compute_yields",
+    "coverage_matrix",
+    "explain",
+    "render_coverage_matrix",
 ]

@@ -1,0 +1,401 @@
+"""The admission gate for machine-proposed productions.
+
+The roadmap's grammar-learning loop proposes new productions from parse
+failures (the paper's §6.4 argument: the grammar is necessarily
+incomplete, so it must grow).  A machine-proposed production must not be
+admitted blindly -- a bad one silently degrades *every* extraction, and
+the damage only shows up in end-to-end quality metrics days later.
+
+:func:`admit_production` is the gatekeeper.  It runs the full analyzer
+twice -- once on the base grammar, once on the base grammar *plus* the
+candidate -- and judges the candidate purely on the **delta**: the
+diagnostics that appear only when the candidate is present.  Pre-existing
+warnings never count against a candidate; a candidate that introduces no
+new findings is admitted even into a noisy grammar.
+
+Verdicts:
+
+* ``accept`` -- no new diagnostics beyond informational ones;
+* ``accept-with-warnings`` -- new warnings, but nothing blocking;
+* ``reject`` -- at least one *blocking* finding: any new error-severity
+  diagnostic, or a new instance of the codes in :data:`BLOCKING_CODES`
+  (guaranteed double-fire ambiguity ``G020``, unarbitrated overlap
+  ``P010``, spatially-unplaceable production ``G031``) -- defects that
+  are harmless-looking warnings for a hand-audited grammar but are
+  exactly how a machine-proposed rule poisons the merger.
+
+Candidates arrive as JSON (the learning loop is a separate process); see
+:meth:`CandidateProduction.from_dict` for the schema.  Opaque Python
+callables cannot cross that boundary, so constraints default to "always"
+and preferences name their criteria from the standard library
+(``subsumes``, ``covers_more``, ``tighter``, ``always``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.analyzer import analyze_grammar
+from repro.analysis.diagnostics import (
+    REPORT_SCHEMA_VERSION,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    AnalysisReport,
+    Diagnostic,
+)
+from repro.analysis.view import GrammarView
+from repro.grammar.preference import (
+    Predicate,
+    Preference,
+    always,
+    covers_more,
+    subsumes,
+    tighter,
+)
+from repro.grammar.production import AxisSpec, Production, SpatialBound
+
+#: Diagnostic codes that block admission even though they are warnings
+#: for hand-written grammars (see module docstring).
+BLOCKING_CODES = frozenset({"G020", "P010", "G031"})
+
+#: Named winning criteria a candidate preference may reference.
+_CRITERIA: dict[str, Predicate] = {
+    "always": always,
+    "subsumes": subsumes,
+    "covers_more": covers_more,
+    "tighter": tighter,
+}
+
+_VERDICT_ACCEPT = "accept"
+_VERDICT_WARN = "accept-with-warnings"
+_VERDICT_REJECT = "reject"
+
+
+class CandidateError(ValueError):
+    """A candidate payload is malformed (bad JSON shape, not bad grammar).
+
+    Grammar-level problems are *diagnostics*, reported through the
+    admission verdict; this exception means the payload itself could not
+    be understood.
+    """
+
+
+def _fail(message: str) -> CandidateError:
+    return CandidateError(f"invalid candidate: {message}")
+
+
+def _parse_axis(raw: object, where: str) -> AxisSpec:
+    if raw is None:
+        return None
+    if isinstance(raw, bool):
+        raise _fail(f"{where}: axis spec must be null, a number, or [lo, hi]")
+    if isinstance(raw, (int, float)):
+        return float(raw)
+    if isinstance(raw, (list, tuple)) and len(raw) == 2:
+        ends: list[float | None] = []
+        for end in raw:
+            if end is None:
+                ends.append(None)
+            elif isinstance(end, (int, float)) and not isinstance(end, bool):
+                ends.append(float(end))
+            else:
+                raise _fail(
+                    f"{where}: interval ends must be numbers or null"
+                )
+        return (ends[0], ends[1])
+    raise _fail(f"{where}: axis spec must be null, a number, or [lo, hi]")
+
+
+def _parse_bounds(raw: object) -> tuple[SpatialBound, ...]:
+    if not isinstance(raw, list):
+        raise _fail('"bounds" must be a list of [i, j, h, v] entries')
+    bounds: list[SpatialBound] = []
+    for index, entry in enumerate(raw):
+        where = f"bounds[{index}]"
+        if not isinstance(entry, (list, tuple)) or len(entry) != 4:
+            raise _fail(f"{where}: expected [i, j, h_spec, v_spec]")
+        i_raw, j_raw, h_raw, v_raw = entry
+        if (
+            isinstance(i_raw, bool)
+            or isinstance(j_raw, bool)
+            or not isinstance(i_raw, int)
+            or not isinstance(j_raw, int)
+        ):
+            raise _fail(f"{where}: positions must be integers")
+        bounds.append(
+            (
+                i_raw,
+                j_raw,
+                _parse_axis(h_raw, where),
+                _parse_axis(v_raw, where),
+            )
+        )
+    return tuple(bounds)
+
+
+def _parse_preferences(
+    raw: object,
+) -> tuple[tuple[str, str, str, str], ...]:
+    """Parse ``"preferences"`` into ``(winner, loser, when, name)`` rows."""
+    if not isinstance(raw, list):
+        raise _fail('"preferences" must be a list of objects')
+    rows: list[tuple[str, str, str, str]] = []
+    for index, entry in enumerate(raw):
+        where = f"preferences[{index}]"
+        if not isinstance(entry, dict):
+            raise _fail(f"{where}: expected an object")
+        winner = entry.get("winner")
+        loser = entry.get("loser")
+        if not isinstance(winner, str) or not isinstance(loser, str):
+            raise _fail(f'{where}: "winner" and "loser" must be strings')
+        when = entry.get("when", "always")
+        if not isinstance(when, str) or when not in _CRITERIA:
+            raise _fail(
+                f'{where}: "when" must be one of '
+                f"{sorted(_CRITERIA)}, got {when!r}"
+            )
+        name = entry.get("name", "")
+        if not isinstance(name, str):
+            raise _fail(f'{where}: "name" must be a string')
+        rows.append((winner, loser, when, name))
+    return tuple(rows)
+
+
+@dataclass(frozen=True)
+class CandidateProduction:
+    """A machine-proposed production, decoded from its JSON payload.
+
+    Schema (JSON object)::
+
+        {
+          "head": "CP",                      // required nonterminal
+          "components": ["Attr", "Val"],     // required, non-empty
+          "name": "cand-cp",                 // optional
+          "bounds": [[0, 1, 12.0, [0, 5]]],  // optional SpatialBounds;
+                                             // axis = null | gap | [lo, hi]
+          "terminals": ["newclass"],         // optional new terminal decls
+          "preferences": [                   // optional companion rules
+            {"winner": "CP", "loser": "CP",
+             "when": "subsumes",             // always | subsumes |
+                                             // covers_more | tighter
+             "name": "cand-cp-self"}
+          ]
+        }
+
+    Constraints and constructors are opaque callables and cannot cross the
+    JSON boundary; a candidate production always uses the defaults
+    (constraint "always", empty payload).  That makes the gate strictly
+    *harsher* than reality: an implementation may later add a narrowing
+    constraint, which can only remove overlaps, never add them.
+    """
+
+    head: str
+    components: tuple[str, ...]
+    name: str = ""
+    bounds: tuple[SpatialBound, ...] = ()
+    terminals: frozenset[str] = frozenset()
+    preferences: tuple[tuple[str, str, str, str], ...] = ()
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "CandidateProduction":
+        if not isinstance(payload, dict):
+            raise _fail("payload must be a JSON object")
+        known = {
+            "head",
+            "components",
+            "name",
+            "bounds",
+            "terminals",
+            "preferences",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise _fail(f"unknown key(s): {', '.join(unknown)}")
+        head = payload.get("head")
+        if not isinstance(head, str) or not head:
+            raise _fail('"head" must be a non-empty string')
+        components_raw = payload.get("components")
+        if (
+            not isinstance(components_raw, list)
+            or not components_raw
+            or not all(
+                isinstance(c, str) and c for c in components_raw
+            )
+        ):
+            raise _fail(
+                '"components" must be a non-empty list of symbol names'
+            )
+        name = payload.get("name", "")
+        if not isinstance(name, str):
+            raise _fail('"name" must be a string')
+        terminals_raw = payload.get("terminals", [])
+        if not isinstance(terminals_raw, list) or not all(
+            isinstance(t, str) and t for t in terminals_raw
+        ):
+            raise _fail('"terminals" must be a list of class names')
+        return cls(
+            head=head,
+            components=tuple(components_raw),
+            name=name,
+            bounds=_parse_bounds(payload.get("bounds", [])),
+            terminals=frozenset(terminals_raw),
+            preferences=_parse_preferences(payload.get("preferences", [])),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CandidateProduction":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise _fail(f"not valid JSON ({error})") from error
+        return cls.from_dict(payload)
+
+    def display_name(self) -> str:
+        return self.name or f"{self.head}<-{'+'.join(self.components)}"
+
+
+@dataclass(frozen=True)
+class AdmissionReport:
+    """The gate's verdict on one candidate, with full evidence.
+
+    ``new_diagnostics`` is the delta -- findings present with the
+    candidate but absent without it; ``blocking`` is the subset that
+    forced a rejection (empty unless ``verdict == "reject"``).
+    """
+
+    candidate: str
+    grammar: str
+    verdict: str
+    new_diagnostics: tuple[Diagnostic, ...] = ()
+    blocking: tuple[Diagnostic, ...] = ()
+    base_report: AnalysisReport = field(
+        default_factory=lambda: AnalysisReport(grammar="grammar")
+    )
+    extended_report: AnalysisReport = field(
+        default_factory=lambda: AnalysisReport(grammar="grammar")
+    )
+
+    @property
+    def admitted(self) -> bool:
+        return self.verdict != _VERDICT_REJECT
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "candidate": self.candidate,
+            "grammar": self.grammar,
+            "verdict": self.verdict,
+            "admitted": self.admitted,
+            "new_diagnostics": [d.to_dict() for d in self.new_diagnostics],
+            "blocking": [d.to_dict() for d in self.blocking],
+            "base_summary": self.base_report.summary(),
+            "extended_summary": self.extended_report.summary(),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def describe(self) -> str:
+        lines = [
+            f"candidate {self.candidate} against grammar "
+            f"{self.grammar}: {self.verdict}"
+        ]
+        if self.blocking:
+            lines.append("blocking:")
+            lines.extend(f"  {d}" for d in self.blocking)
+        rest = [d for d in self.new_diagnostics if d not in self.blocking]
+        if rest:
+            lines.append("new diagnostics:")
+            lines.extend(f"  {d}" for d in rest)
+        if not self.new_diagnostics:
+            lines.append("no new diagnostics")
+        return "\n".join(lines)
+
+
+def _extended_view(
+    view: GrammarView, candidate: CandidateProduction
+) -> GrammarView:
+    production = Production(
+        head=candidate.head,
+        components=candidate.components,
+        name=candidate.display_name(),
+        bounds=candidate.bounds,
+    )
+    preferences = tuple(
+        # Condition stays "always": the framework-level conflict test is
+        # built into Preference.applies.
+        _make_preference(winner, loser, when, name)
+        for winner, loser, when, name in candidate.preferences
+    )
+    return GrammarView(
+        terminals=view.terminals | candidate.terminals,
+        nonterminals=view.nonterminals | {candidate.head},
+        start=view.start,
+        productions=view.productions + (production,),
+        preferences=view.preferences + preferences,
+        name=view.name,
+    )
+
+
+def _make_preference(
+    winner: str, loser: str, when: str, name: str
+) -> Preference:
+    return Preference(
+        winner_symbol=winner,
+        loser_symbol=loser,
+        criteria=_CRITERIA[when],
+        name=name or f"{winner}>{loser}",
+    )
+
+
+def admit_production(
+    grammar_view: GrammarView,
+    candidate: CandidateProduction,
+) -> AdmissionReport:
+    """Judge *candidate* against *grammar_view* (see module docstring).
+
+    The candidate's ``bounds`` are validated structurally first (the
+    :class:`~repro.grammar.production.Production` constructor enforces
+    ``0 <= i < j < arity``); violations surface as :class:`CandidateError`
+    because they are payload defects, not grammar defects.
+    """
+    try:
+        extended = _extended_view(grammar_view, candidate)
+    except ValueError as error:
+        if isinstance(error, CandidateError):
+            raise
+        raise _fail(str(error)) from error
+
+    base_report = analyze_grammar(grammar_view)
+    extended_report = analyze_grammar(extended)
+
+    seen = {
+        json.dumps(d.to_dict(), sort_keys=True)
+        for d in base_report.diagnostics
+    }
+    delta = tuple(
+        d
+        for d in extended_report.diagnostics
+        if json.dumps(d.to_dict(), sort_keys=True) not in seen
+    )
+    blocking = tuple(
+        d
+        for d in delta
+        if d.severity == SEVERITY_ERROR or d.code in BLOCKING_CODES
+    )
+    if blocking:
+        verdict = _VERDICT_REJECT
+    elif any(d.severity == SEVERITY_WARNING for d in delta):
+        verdict = _VERDICT_WARN
+    else:
+        verdict = _VERDICT_ACCEPT
+    return AdmissionReport(
+        candidate=candidate.display_name(),
+        grammar=grammar_view.name,
+        verdict=verdict,
+        new_diagnostics=delta,
+        blocking=blocking,
+        base_report=base_report,
+        extended_report=extended_report,
+    )

@@ -3,34 +3,55 @@
 The analyzer is purely static -- it never tokenizes input, never runs the
 fix-point, and never calls user constraint/constructor code.  It inspects
 the grammar's *declarations* (productions, preferences, spatial bounds,
-callable signatures) plus the schedule graph the parser would build, and
-reports everything suspicious as structured diagnostics.
+callable signatures), the schedule graph the parser would build, and a
+bounded abstract interpretation of what token multisets each symbol can
+cover (the yield engine), and reports everything suspicious as structured
+diagnostics.
+
+Pass families:
+
+* syntactic hygiene -- symbols (G00x), per-production bounds/arities
+  (G01x), preferences (P00x), schedule preview (S00x);
+* semantic analysis -- ambiguity/overlap (G02x), cross-production spatial
+  chains (G03x), preference totality (P01x), coverage (C00x).
+
+The overlap and totality passes share one
+:class:`~repro.analysis.overlap.OverlapAnalysis` so "who can compete" and
+"is the competition arbitrated" can never disagree.
 """
 
 from __future__ import annotations
 
+from repro.analysis.coverage import check_coverage
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.overlap import analyze_overlaps, check_overlaps
 from repro.analysis.preferences import check_preferences
 from repro.analysis.productions import check_productions
 from repro.analysis.schedule import check_schedule
+from repro.analysis.spatial_chain import check_spatial_chains
 from repro.analysis.symbols import check_symbols
+from repro.analysis.totality import check_totality
 from repro.analysis.view import GrammarView, as_view
+from repro.analysis.yields import compute_yields
 from repro.grammar.dsl import GrammarBuilder
 from repro.grammar.grammar import TwoPGrammar
+from repro.grammar.vocabulary import TokenVocabulary
 
-#: The passes, in report-assembly order (the report re-sorts by severity,
-#: so this order only matters for tie-breaking identical sort keys).
+#: The structural passes, in report-assembly order (the report re-sorts by
+#: severity, so this order only matters for tie-breaking identical keys).
 _PASSES = (
     check_symbols,
     check_productions,
     check_preferences,
     check_schedule,
+    check_spatial_chains,
 )
 
 
 def analyze_grammar(
     grammar: TwoPGrammar | GrammarBuilder | GrammarView,
     name: str | None = None,
+    vocabulary: TokenVocabulary | None = None,
 ) -> AnalysisReport:
     """Statically analyze *grammar* and return the full report.
 
@@ -38,12 +59,21 @@ def analyze_grammar(
     open :class:`~repro.grammar.dsl.GrammarBuilder` (lint before
     ``build()`` raises), or a raw
     :class:`~repro.analysis.view.GrammarView`.  *name* overrides the
-    grammar's own name in the report.
+    grammar's own name in the report.  *vocabulary* enables the
+    tokenizer-relative coverage checks (C001/C003/C004/C005); without it
+    only the grammar-internal coverage check (C002) runs.
     """
     view = as_view(grammar)
     diagnostics: list[Diagnostic] = []
     for check in _PASSES:
         diagnostics.extend(check(view))
+    summary = compute_yields(view)
+    overlaps = analyze_overlaps(view, summary)
+    diagnostics.extend(check_overlaps(view, overlaps))
+    diagnostics.extend(check_totality(view, overlaps))
+    diagnostics.extend(
+        check_coverage(view, summary, vocabulary=vocabulary)
+    )
     return AnalysisReport(
         grammar=name if name is not None else view.name,
         diagnostics=tuple(diagnostics),

@@ -1,0 +1,333 @@
+"""Code-side lint: keep the code and the observability contract in sync.
+
+Two checkers, both AST-driven and dependency-free, both run as CI steps
+(see ``benchmarks/check_metrics_catalog.py`` and
+``benchmarks/check_blocking_calls.py``):
+
+* :func:`check_metrics_catalog` -- cross-checks every metric and event
+  name *emitted* by the code (``MetricsRegistry.inc``/``.observe`` and
+  ``log_event`` call sites under ``src/repro/``) against the catalogue
+  *documented* in ``docs/OBSERVABILITY.md``.  An undocumented name is a
+  dashboard nobody can find; an orphaned documented name is a dashboard
+  that silently flatlined after a rename.  F-string names become
+  ``<dyn>`` wildcard segments (``f"degrade.{level}"`` ->
+  ``degrade.<dyn>``), matching the doc's own ``<level>``-style
+  placeholders segment-wise.
+
+* :func:`check_blocking_calls` -- flags blocking primitives
+  (``time.sleep``, ``open``, ``socket.*``, ``subprocess.*``) inside
+  ``async def`` bodies under ``src/repro/server/``: one such call stalls
+  the event loop for every connected client.  Deliberate uses (a
+  metrics-endpoint read of a tiny local file, say) are annotated with a
+  ``# blocking-ok`` comment on the offending line; nested *sync*
+  functions are skipped -- they are executor targets, not loop code.
+
+Findings are plain data (:class:`CodeLintFinding`); the wrappers print
+them one per line and exit non-zero, mirroring ``repro lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Documented dotted names that are trace/span *vocabulary*, not emitted
+#: metric or event names -- the catalogue explains them (span stage
+#: names, trace tags), so the orphan check must not demand a literal
+#: ``inc``/``log_event`` call site for them.
+DOC_VOCABULARY = frozenset(
+    {
+        "parse.construct",  # span stage names (Trace), folded via
+        "parse.maximize",  # record_trace's span.<stage>.* f-strings
+        "degrade.level",  # trace *tag*, not a counter
+        "cache.signature",  # trace tag on cached extractions
+        "json.dumps",  # stdlib API mention, not a metric
+    }
+)
+
+#: The allowlist marker for deliberate blocking calls in async code.
+BLOCKING_OK_MARKER = "# blocking-ok"
+
+_NAME_PATTERN = re.compile(r"`([A-Za-z0-9_./<>*-]+)`")
+_VALID_NAME = re.compile(r"^[a-z0-9_<>*-]+(\.[a-z0-9_<>*-]+)+$")
+
+#: Backticked mentions ending in these are files, not catalogue names.
+_FILE_SUFFIXES = (".py", ".md", ".json", ".yml", ".yaml", ".txt", ".log")
+
+#: Module roots whose attribute calls block the loop.
+_BLOCKING_MODULES = frozenset({"socket", "subprocess"})
+
+
+@dataclass(frozen=True)
+class CodeLintFinding:
+    """One code-lint finding, formatted ``path:line: message``."""
+
+    path: str
+    line: int
+    kind: str
+    name: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.kind}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# metrics-catalogue cross-check
+# ---------------------------------------------------------------------------
+
+
+def _fstring_name(node: ast.JoinedStr) -> str | None:
+    """Render an f-string as a name with ``<dyn>`` wildcard segments."""
+    parts: list[str] = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        else:
+            parts.append("<dyn>")
+    return "".join(parts) or None
+
+
+def _literal_name(node: ast.expr) -> str | None:
+    """The string a call-site name argument evaluates to, if static."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        return _fstring_name(node)
+    return None  # computed name: out of the checker's reach
+
+
+@dataclass(frozen=True)
+class _UsedName:
+    name: str
+    path: str
+    line: int
+
+
+def _collect_used_names(src_root: Path) -> list[_UsedName]:
+    """Every metric/event name emitted under *src_root* (see module doc)."""
+    used: list[_UsedName] = []
+    for path in sorted(src_root.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name_arg: ast.expr | None = None
+            if (
+                isinstance(node.func, ast.Attribute)
+                # _count is the HTTP layer's metric hook; same contract.
+                and node.func.attr in ("inc", "observe", "_count")
+                and node.args
+            ):
+                name_arg = node.args[0]
+            elif (
+                (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "log_event"
+                )
+                or (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "log_event"
+                )
+            ) and len(node.args) >= 3:
+                name_arg = node.args[2]
+            if name_arg is None:
+                continue
+            name = _literal_name(name_arg)
+            # Dotless strings are not catalogue names (e.g. a Summary
+            # observed under a payload-derived key); skip them.
+            if name is None or "." not in name:
+                continue
+            used.append(
+                _UsedName(name=name, path=str(path), line=node.lineno)
+            )
+    return used
+
+
+def _collect_documented_names(doc_path: Path) -> dict[str, int]:
+    """Backticked dotted names in the observability doc, with lines."""
+    documented: dict[str, int] = {}
+    for lineno, line in enumerate(
+        doc_path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in _NAME_PATTERN.finditer(line):
+            name = match.group(1)
+            if not _VALID_NAME.match(name):
+                continue  # module paths, CamelCase APIs
+            if name.endswith(_FILE_SUFFIXES):
+                continue  # file names, not catalogue names
+            if name.startswith("repro.") or name in DOC_VOCABULARY:
+                continue
+            documented.setdefault(name, lineno)
+    return documented
+
+
+def _is_wild(segment: str) -> bool:
+    return segment == "*" or (
+        segment.startswith("<") and segment.endswith(">")
+    )
+
+
+def _seglists_match(pattern: list[str], used: list[str]) -> bool:
+    if not pattern and not used:
+        return True
+    if not pattern or not used:
+        return False
+    if _is_wild(pattern[0]):
+        return _seglists_match(pattern[1:], used[1:]) or _seglists_match(
+            pattern, used[1:]
+        )
+    if _is_wild(used[0]):
+        return _seglists_match(pattern[1:], used[1:]) or _seglists_match(
+            pattern[1:], used
+        )
+    return pattern[0] == used[0] and _seglists_match(
+        pattern[1:], used[1:]
+    )
+
+
+def _names_match(pattern: str, used: str) -> bool:
+    """Segment-wise match; either side's wildcards match 1+ segments.
+
+    Wildcards must absorb *multiple* segments because span stage names
+    themselves contain dots: the emitted ``span.<dyn>.<dyn>``
+    (``f"span.{name}.{counter}"``) must match the documented
+    ``span.parse.construct.instances_created``.  The doc's trailing
+    ``serve.*`` shorthand works the same way.
+    """
+    return _seglists_match(pattern.split("."), used.split("."))
+
+
+def check_metrics_catalog(
+    src_root: Path, doc_path: Path
+) -> list[CodeLintFinding]:
+    """Cross-check emitted metric/event names against the catalogue.
+
+    Returns one ``undocumented-name`` finding per call site whose name
+    no documented entry matches, and one ``orphaned-name`` finding per
+    documented entry no call site can produce.
+    """
+    used = _collect_used_names(src_root)
+    documented = _collect_documented_names(doc_path)
+    findings: list[CodeLintFinding] = []
+
+    reported: set[tuple[str, str, int]] = set()
+    for site in used:
+        if any(_names_match(doc, site.name) for doc in documented):
+            continue
+        key = (site.name, site.path, site.line)
+        if key in reported:
+            continue
+        reported.add(key)
+        findings.append(
+            CodeLintFinding(
+                path=site.path,
+                line=site.line,
+                kind="undocumented-name",
+                name=site.name,
+                message=(
+                    f"metric/event {site.name!r} is emitted here but "
+                    f"not documented in {doc_path.name}"
+                ),
+            )
+        )
+
+    used_names = {site.name for site in used}
+    for doc_name, lineno in sorted(documented.items()):
+        if any(_names_match(doc_name, name) for name in used_names):
+            continue
+        findings.append(
+            CodeLintFinding(
+                path=str(doc_path),
+                line=lineno,
+                kind="orphaned-name",
+                name=doc_name,
+                message=(
+                    f"documented name {doc_name!r} matches no metric/"
+                    "event call site under src/repro (stale after a "
+                    "rename?)"
+                ),
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# blocking-call detector
+# ---------------------------------------------------------------------------
+
+
+def _blocking_reason(node: ast.Call) -> str | None:
+    """Why this call blocks the event loop, or ``None`` if it doesn't."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "open() performs blocking file I/O"
+    if isinstance(func, ast.Attribute):
+        root = func.value
+        if (
+            isinstance(root, ast.Name)
+            and root.id == "time"
+            and func.attr == "sleep"
+        ):
+            return "time.sleep() stalls the event loop"
+        if isinstance(root, ast.Name) and root.id in _BLOCKING_MODULES:
+            return f"{root.id}.{func.attr}() is a blocking call"
+    return None
+
+
+def _async_blocking_calls(
+    tree: ast.AST, source_lines: list[str], path: str
+) -> list[CodeLintFinding]:
+    findings: list[CodeLintFinding] = []
+
+    def visit(node: ast.AST, in_async: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.AsyncFunctionDef):
+                visit(child, True)
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.Lambda)):
+                # A nested sync function is an executor/callback target;
+                # it runs off-loop (or is somebody else's problem).
+                visit(child, False)
+                continue
+            if in_async and isinstance(child, ast.Call):
+                reason = _blocking_reason(child)
+                if reason is not None:
+                    line_text = (
+                        source_lines[child.lineno - 1]
+                        if 0 < child.lineno <= len(source_lines)
+                        else ""
+                    )
+                    if BLOCKING_OK_MARKER not in line_text:
+                        findings.append(
+                            CodeLintFinding(
+                                path=path,
+                                line=child.lineno,
+                                kind="blocking-call",
+                                name=ast.unparse(child.func),
+                                message=(
+                                    f"{reason} inside an async def; "
+                                    "hop to an executor, or annotate "
+                                    f"with {BLOCKING_OK_MARKER!r} if "
+                                    "deliberate"
+                                ),
+                            )
+                        )
+            visit(child, in_async)
+
+    visit(tree, False)
+    return findings
+
+
+def check_blocking_calls(root: Path) -> list[CodeLintFinding]:
+    """Find blocking primitives inside ``async def`` bodies under *root*."""
+    findings: list[CodeLintFinding] = []
+    for path in sorted(root.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        findings.extend(
+            _async_blocking_calls(tree, text.splitlines(), str(path))
+        )
+    return findings

@@ -1,0 +1,282 @@
+"""Coverage/derivability pass: §6.4's incompleteness argument, statically.
+
+====  ========  ==============================================================
+code  severity  finding
+====  ========  ==============================================================
+C001  warning   the tokenizer emits a token class the grammar does not even
+                declare -- those tokens can only ever be uncovered input
+C002  warning   a token class is consumed *only* by productions whose heads
+                are unreachable from the start symbol; its tokens reach the
+                fix-point but never a maximal tree
+C003  info      an attribute-pattern shape (input control with 0-2 label
+                texts) has no derivation by any symbol: forms using that
+                arrangement fall outside the grammar, the §6.4 failure mode
+C004  info      a shape is derivable only through assembly-level recursion
+                (row/column chaining or the start symbol), never as one
+                pattern-level instance -- the tokens parse as *disjoint*
+                conditions and the merger reports missing elements
+C005  info      the yield enumeration was truncated; the coverage verdicts
+                are best-effort for the affected symbols
+====  ========  ==============================================================
+
+C001/C003/C004/C005 need a tokenizer vocabulary
+(:class:`repro.grammar.vocabulary.TokenVocabulary`) and only run when one
+is supplied -- ``repro lint --coverage`` passes the form tokenizer's; a
+plain :func:`~repro.analysis.analyzer.analyze_grammar` call does not, so
+grammars over private alphabets (navmenu) are not spammed.  C002 is a pure
+grammar property and always runs.
+
+The *shapes* enumerated are the paper's attribute-pattern skeletons: one
+input control plus zero, one, or two label texts --
+``(a)``, ``(text, a)``, ``(text, a, a)``, ``(text, text, a)`` for every
+input class ``a``.  This is deliberately the vocabulary of Figure 12's
+pattern tier, not arbitrary multisets: it keeps the matrix small, readable,
+and aligned with what §6.4 counted.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+)
+from repro.analysis.symbols import reachable_symbols
+from repro.analysis.view import GrammarView
+from repro.analysis.yields import (
+    Multiset,
+    YieldSummary,
+    compute_yields,
+    derives_relation,
+)
+from repro.grammar.vocabulary import TokenVocabulary
+
+
+def pattern_shapes(
+    view: GrammarView, vocabulary: TokenVocabulary
+) -> list[Multiset]:
+    """The attribute-pattern skeletons the coverage matrix enumerates."""
+    shapes: list[Multiset] = []
+    has_text = "text" in view.terminals
+    for input_class in sorted(vocabulary.input_classes):
+        if input_class not in view.terminals:
+            continue  # C001's territory: the class is not even declared
+        shapes.append((input_class,))
+        if has_text:
+            shapes.append(tuple(sorted(("text", input_class))))
+            shapes.append(
+                tuple(sorted(("text", input_class, input_class)))
+            )
+            shapes.append(tuple(sorted(("text", "text", input_class))))
+    return shapes
+
+
+def _assembly_symbols(view: GrammarView) -> set[str]:
+    """Symbols that chain instances rather than form one pattern:
+    directly-or-transitively self-recursive heads, plus the start."""
+    derives = derives_relation(view)
+    recursive = {
+        head for head, reached in derives.items() if head in reached
+    }
+    recursive.add(view.start)
+    return recursive
+
+
+def coverage_matrix(
+    view: GrammarView,
+    vocabulary: TokenVocabulary,
+    summary: YieldSummary | None = None,
+) -> dict[str, object]:
+    """The machine-readable coverage matrix behind ``repro lint --coverage``.
+
+    One row per pattern shape: ``covered`` (a pattern-level symbol derives
+    it), ``assembly-only`` (only recursive assembly symbols derive it), or
+    ``uncovered`` (nothing derives it).
+    """
+    if summary is None:
+        summary = compute_yields(view)
+    assembly = _assembly_symbols(view)
+    rows: list[dict[str, object]] = []
+    for shape in pattern_shapes(view, vocabulary):
+        derivers = sorted(
+            symbol
+            for symbol in view.nonterminals
+            if shape in summary.yields.get(symbol, frozenset())
+        )
+        pattern_level = [s for s in derivers if s not in assembly]
+        if pattern_level:
+            status = "covered"
+        elif derivers:
+            status = "assembly-only"
+        else:
+            status = "uncovered"
+        rows.append(
+            {
+                "shape": list(shape),
+                "status": status,
+                "symbols": pattern_level if pattern_level else derivers,
+            }
+        )
+    return {
+        "grammar": view.name,
+        "vocabulary": sorted(vocabulary.classes),
+        "input_classes": sorted(vocabulary.input_classes),
+        "undeclared_classes": sorted(
+            vocabulary.classes - view.terminals
+        ),
+        "shapes": rows,
+        "truncated_symbols": sorted(summary.truncated),
+    }
+
+
+def render_coverage_matrix(matrix: dict[str, object]) -> str:
+    """Human-readable rendering of :func:`coverage_matrix`."""
+    lines = [f"coverage matrix for grammar {matrix['grammar']}:"]
+    shapes = matrix["shapes"]
+    assert isinstance(shapes, list)
+    for row in shapes:
+        shape = "+".join(row["shape"])
+        symbols = ", ".join(row["symbols"]) or "-"
+        lines.append(f"  {row['status']:13s} {shape:40s} {symbols}")
+    undeclared = matrix["undeclared_classes"]
+    assert isinstance(undeclared, list)
+    if undeclared:
+        lines.append(
+            "  undeclared token classes: " + ", ".join(undeclared)
+        )
+    truncated = matrix["truncated_symbols"]
+    assert isinstance(truncated, list)
+    if truncated:
+        lines.append(
+            "  (yield enumeration truncated for: "
+            + ", ".join(truncated)
+            + ")"
+        )
+    counts: dict[str, int] = {}
+    for row in shapes:
+        status = row["status"]
+        counts[status] = counts.get(status, 0) + 1
+    lines.append(
+        "  total: "
+        + ", ".join(
+            f"{counts.get(s, 0)} {s}"
+            for s in ("covered", "assembly-only", "uncovered")
+        )
+    )
+    return "\n".join(lines)
+
+
+def check_coverage(
+    view: GrammarView,
+    summary: YieldSummary | None = None,
+    vocabulary: TokenVocabulary | None = None,
+) -> list[Diagnostic]:
+    """Run the coverage pass (C001-C005; see module doc for gating)."""
+    if summary is None:
+        summary = compute_yields(view)
+    diagnostics: list[Diagnostic] = []
+
+    # C002: token classes feeding only unreachable heads.  Needs a valid
+    # start (otherwise reachability is meaningless -- G002's problem).
+    if view.start in view.nonterminals:
+        reachable = reachable_symbols(view)
+        consumers: dict[str, set[str]] = {}
+        for production in view.productions:
+            for component in production.components:
+                if component in view.terminals:
+                    consumers.setdefault(component, set()).add(
+                        production.head
+                    )
+        for terminal in sorted(consumers):
+            heads = consumers[terminal]
+            if heads and not heads & reachable:
+                diagnostics.append(
+                    Diagnostic(
+                        code="C002",
+                        severity=SEVERITY_WARNING,
+                        message=(
+                            f"token class {terminal!r} is consumed only "
+                            "by productions of unreachable head(s) "
+                            f"{', '.join(sorted(heads))}; its tokens can "
+                            "never join a maximal tree"
+                        ),
+                        symbol=terminal,
+                        data={"heads": sorted(heads)},
+                    )
+                )
+
+    if vocabulary is None:
+        return diagnostics
+
+    # C001: classes the tokenizer emits but the grammar never declared.
+    for missing in sorted(vocabulary.classes - view.terminals):
+        diagnostics.append(
+            Diagnostic(
+                code="C001",
+                severity=SEVERITY_WARNING,
+                message=(
+                    f"the tokenizer emits token class {missing!r} but "
+                    "the grammar does not declare it; those tokens can "
+                    "only ever be uncovered input"
+                ),
+                symbol=missing,
+            )
+        )
+
+    # C003/C004: the shape matrix.
+    matrix = coverage_matrix(view, vocabulary, summary)
+    rows = matrix["shapes"]
+    assert isinstance(rows, list)
+    for row in rows:
+        shape = row["shape"]
+        assert isinstance(shape, list)
+        label = "+".join(shape)
+        if row["status"] == "uncovered":
+            diagnostics.append(
+                Diagnostic(
+                    code="C003",
+                    severity=SEVERITY_INFO,
+                    message=(
+                        f"attribute-pattern shape ({label}) has no "
+                        "derivation: forms arranging tokens this way "
+                        "fall outside the grammar (the §6.4 "
+                        "incompleteness failure mode)"
+                    ),
+                    data={"shape": shape},
+                )
+            )
+        elif row["status"] == "assembly-only":
+            symbols = row["symbols"]
+            assert isinstance(symbols, list)
+            diagnostics.append(
+                Diagnostic(
+                    code="C004",
+                    severity=SEVERITY_INFO,
+                    message=(
+                        f"attribute-pattern shape ({label}) is derivable "
+                        "only through assembly recursion "
+                        f"({', '.join(symbols)}); the tokens parse as "
+                        "disjoint items and the merger will report "
+                        "missing elements instead of one condition"
+                    ),
+                    data={"shape": shape, "symbols": symbols},
+                )
+            )
+
+    # C005: honesty about the caps.
+    if summary.truncated:
+        truncated = sorted(summary.truncated)
+        diagnostics.append(
+            Diagnostic(
+                code="C005",
+                severity=SEVERITY_INFO,
+                message=(
+                    "coverage verdicts are best-effort: yield "
+                    f"enumeration was truncated for {len(truncated)} "
+                    "symbol(s); a shape reported uncovered could still "
+                    "be derivable past the enumeration caps"
+                ),
+                data={"symbols": truncated},
+            )
+        )
+    return diagnostics

@@ -18,6 +18,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterator
 
+#: Version stamp on every serialized report.  Schema 2 added the
+#: ``"schema"`` key itself plus the semantic pass families
+#: (G02x/G03x/P01x/C00x); the report shape is otherwise unchanged, so
+#: schema-1 consumers keep working.
+REPORT_SCHEMA_VERSION = 2
+
 #: Severities, in decreasing order of gravity.
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
@@ -160,6 +166,7 @@ class AnalysisReport:
 
     def to_dict(self) -> dict[str, object]:
         return {
+            "schema": REPORT_SCHEMA_VERSION,
             "grammar": self.grammar,
             "summary": self.summary(),
             "diagnostics": [d.to_dict() for d in self.diagnostics],

@@ -1,0 +1,302 @@
+"""Ambiguity/overlap pass: productions that can fire on the same tokens.
+
+====  ========  ==============================================================
+code  severity  finding
+====  ========  ==============================================================
+G020  warning   two same-head productions with identical component lists,
+                jointly satisfiable spatial bounds, and **no** constraints
+                -- every qualifying combination fires both, guaranteeing
+                duplicate instances and merger conflicts
+G021  info      two same-head productions share a derivable token multiset
+                and their bounds are jointly satisfiable; only opaque
+                constraints (which the analyzer cannot inspect) keep them
+                apart
+G022  info      two productions with *different* heads share a multi-token
+                multiset -- the classic merger-conflict setup (paper §5.2):
+                both symbols can claim the same token run
+G023  info      two leaf-level symbols compete for the same single token
+                class (e.g. several roles all derive one ``text`` token)
+G024  info      the yield enumeration was truncated for some symbols; the
+                overlap analysis is incomplete for them
+====  ========  ==============================================================
+
+Overlap means **multiset unification**: the two productions can cover
+exactly the same set of tokens, so if both fire the parser must arbitrate
+(preferences, else maximization, else iteration order -- see the totality
+pass).  Pairs where one head derives the other are excluded: a ``QI``
+covering the same tokens as its own ``HQI`` child is the normal shape of a
+derivation chain, not an ambiguity.
+
+The pass is *witnessed*: every diagnostic carries a concrete token
+multiset both productions can cover, because the yield engine
+under-approximates (see :mod:`repro.analysis.yields`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import (
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+)
+from repro.analysis.productions import (
+    _conjunction_empty,
+    _spec_empty,
+    _spec_kind,
+)
+from repro.analysis.view import GrammarView
+from repro.analysis.yields import (
+    Multiset,
+    YieldSummary,
+    compute_yields,
+    derives_relation,
+    production_yields,
+)
+from repro.grammar.production import Production, _always
+
+_AXES = ("horizontal", "vertical")
+
+
+@dataclass(frozen=True)
+class OverlapPair:
+    """Two productions that can fire on the same token configuration."""
+
+    left: Production
+    right: Production
+    witness: Multiset
+    jointly_satisfiable: bool
+
+    @property
+    def same_head(self) -> bool:
+        return self.left.head == self.right.head
+
+    @property
+    def heads(self) -> tuple[str, str]:
+        first, second = sorted((self.left.head, self.right.head))
+        return (first, second)
+
+
+@dataclass(frozen=True)
+class OverlapAnalysis:
+    """Everything the overlap *and* totality passes need, computed once."""
+
+    pairs: tuple[OverlapPair, ...]
+    summary: YieldSummary
+
+    def head_pairs(self) -> dict[tuple[str, str], OverlapPair]:
+        """One representative overlapping pair per unordered head pair
+        (same-head pairs included, keyed ``(H, H)``)."""
+        representatives: dict[tuple[str, str], OverlapPair] = {}
+        for pair in self.pairs:
+            representatives.setdefault(pair.heads, pair)
+        return representatives
+
+
+def _bounds_jointly_satisfiable(
+    left: Production, right: Production
+) -> bool:
+    """Can one component combination satisfy both productions' bounds?
+
+    Only decidable (conservatively) when the component lists are
+    identical: the bounds then talk about the same positions, and the
+    per-pair-per-axis conjunction must be non-empty.  Differing component
+    lists are treated as satisfiable.
+    """
+    if left.components != right.components:
+        return True
+    grouped: dict[tuple[int, int, str], list[object]] = {}
+    for production in (left, right):
+        for i, j, h_spec, v_spec in production.bounds:
+            for axis, spec in zip(_AXES, (h_spec, v_spec)):
+                if _spec_kind(spec) == "free" or _spec_empty(spec):
+                    continue
+                grouped.setdefault((i, j, axis), []).append(spec)
+    for specs in grouped.values():
+        if len(specs) >= 2 and _conjunction_empty(specs) is not None:
+            return False
+    return True
+
+
+def analyze_overlaps(
+    view: GrammarView, summary: YieldSummary | None = None
+) -> OverlapAnalysis:
+    """Find every overlapping production pair (see module doc)."""
+    if summary is None:
+        summary = compute_yields(view)
+    derives = derives_relation(view)
+    productions = view.productions
+    prod_yields: list[frozenset[Multiset]] = []
+    for production in productions:
+        multisets, _ = production_yields(production, summary)
+        prod_yields.append(multisets)
+
+    pairs: list[OverlapPair] = []
+    for a in range(len(productions)):
+        left = productions[a]
+        if not prod_yields[a]:
+            continue
+        for b in range(a + 1, len(productions)):
+            right = productions[b]
+            if not prod_yields[b]:
+                continue
+            if left.head != right.head and (
+                right.head in derives.get(left.head, set())
+                or left.head in derives.get(right.head, set())
+            ):
+                continue  # derivation chain, not ambiguity
+            shared = prod_yields[a] & prod_yields[b]
+            if not shared:
+                continue
+            witness = min(shared, key=lambda m: (len(m), m))
+            pairs.append(
+                OverlapPair(
+                    left=left,
+                    right=right,
+                    witness=witness,
+                    jointly_satisfiable=_bounds_jointly_satisfiable(
+                        left, right
+                    ),
+                )
+            )
+    return OverlapAnalysis(pairs=tuple(pairs), summary=summary)
+
+
+def _has_opaque_constraint(production: Production) -> bool:
+    return production.constraint is not _always
+
+
+def check_overlaps(
+    view: GrammarView, analysis: OverlapAnalysis | None = None
+) -> list[Diagnostic]:
+    """Run the overlap pass (G020-G024)."""
+    if analysis is None:
+        analysis = analyze_overlaps(view)
+    diagnostics: list[Diagnostic] = []
+
+    cross_head_reported: set[tuple[str, str]] = set()
+    for pair in analysis.pairs:
+        if not pair.jointly_satisfiable:
+            continue
+        left, right = pair.left, pair.right
+        names = sorted((left.name, right.name))
+        witness = list(pair.witness)
+        if pair.same_head:
+            unconstrained = not (
+                _has_opaque_constraint(left)
+                or _has_opaque_constraint(right)
+            )
+            if unconstrained and left.components == right.components:
+                diagnostics.append(
+                    Diagnostic(
+                        code="G020",
+                        severity=SEVERITY_WARNING,
+                        message=(
+                            f"productions {names[0]} and {names[1]} of "
+                            f"{left.head!r} have identical components, "
+                            "compatible bounds, and no constraints: every "
+                            "qualifying combination fires both, producing "
+                            "duplicate instances that conflict at merge "
+                            "time"
+                        ),
+                        symbol=left.head,
+                        production=names[0],
+                        data={
+                            "other": names[1],
+                            "witness": witness,
+                        },
+                    )
+                )
+            else:
+                separator = (
+                    "only their opaque constraints keep them apart"
+                    if left.components == right.components
+                    else "their differing components derive the same "
+                    "token classes"
+                )
+                diagnostics.append(
+                    Diagnostic(
+                        code="G021",
+                        severity=SEVERITY_INFO,
+                        message=(
+                            f"productions {names[0]} and {names[1]} of "
+                            f"{left.head!r} can cover the same tokens "
+                            f"({', '.join(witness)}); {separator} -- a "
+                            "self-preference on the head arbitrates "
+                            "double fires"
+                        ),
+                        symbol=left.head,
+                        production=names[0],
+                        data={
+                            "other": names[1],
+                            "witness": witness,
+                        },
+                    )
+                )
+        else:
+            heads = pair.heads
+            if heads in cross_head_reported:
+                continue
+            cross_head_reported.add(heads)
+            if len(pair.witness) == 1:
+                diagnostics.append(
+                    Diagnostic(
+                        code="G023",
+                        severity=SEVERITY_INFO,
+                        message=(
+                            f"symbols {heads[0]!r} and {heads[1]!r} both "
+                            f"derive a single {pair.witness[0]!r} token "
+                            f"(e.g. {names[0]} vs {names[1]}); every such "
+                            "token is ambiguous between the two roles "
+                            "until a preference or context decides"
+                        ),
+                        symbol=heads[0],
+                        production=names[0],
+                        data={
+                            "other_symbol": heads[1],
+                            "other": names[1],
+                            "witness": witness,
+                        },
+                    )
+                )
+            else:
+                diagnostics.append(
+                    Diagnostic(
+                        code="G022",
+                        severity=SEVERITY_INFO,
+                        message=(
+                            f"symbols {heads[0]!r} and {heads[1]!r} can "
+                            "claim the same token run "
+                            f"({', '.join(witness)}) via {names[0]} and "
+                            f"{names[1]}; if both fire, the merger must "
+                            "resolve the conflict"
+                        ),
+                        symbol=heads[0],
+                        production=names[0],
+                        data={
+                            "other_symbol": heads[1],
+                            "other": names[1],
+                            "witness": witness,
+                        },
+                    )
+                )
+
+    if analysis.summary.truncated:
+        truncated = sorted(analysis.summary.truncated)
+        diagnostics.append(
+            Diagnostic(
+                code="G024",
+                severity=SEVERITY_INFO,
+                message=(
+                    "yield enumeration was truncated for "
+                    f"{len(truncated)} symbol(s) "
+                    f"({', '.join(truncated[:6])}"
+                    + (", ..." if len(truncated) > 6 else "")
+                    + "); overlap findings for them are incomplete, not "
+                    "absent"
+                ),
+                data={"symbols": truncated},
+            )
+        )
+    return diagnostics

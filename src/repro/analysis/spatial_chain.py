@@ -1,0 +1,281 @@
+"""Cross-production spatial pass: interval algebra through derivation chains.
+
+====  ========  ==============================================================
+code  severity  finding
+====  ========  ==============================================================
+G030  error     a production's spatial bounds are jointly infeasible once
+                chained through shared components and the components'
+                *minimum extents* -- even though every per-pair conjunction
+                is satisfiable (G010/G011 cannot see this)
+G031  warning   a production is locally satisfiable, but the instances it
+                builds are too large to fit **any** parent context's
+                bounds; the production is dead weight for the start symbol
+====  ========  ==============================================================
+
+Both checks run a difference-constraint system per axis, the standard
+encoding: each component ``k`` gets a start variable ``S_k`` (left / top)
+and an end variable ``E_k`` (right / bottom);
+
+* a signed bound ``(lo, hi)`` on ``(i, j)`` says ``lo <= S_j - E_i <= hi``;
+* a symmetric bound ``m`` relaxes to ``S_j - E_i <= m`` and
+  ``S_i - E_j <= m`` (the axis gap dominates both differences);
+* a component's minimum extent ``w_k`` says ``E_k - S_k >= w_k``.
+
+Every constraint is *implied* by the runtime semantics
+(:mod:`repro.parser.spatial_index`), so an infeasible system -- a negative
+cycle under Bellman-Ford -- proves no real geometry exists: the checks are
+sound, never speculative.
+
+Minimum extents come from a fix-point over the grammar: a terminal's
+minimum extent is 0 (a box can be arbitrarily thin), and a production's is
+``max(max_k w_k, max over signed bounds of lo + w_i + w_j)`` -- chaining
+``j after i by at least lo`` stretches the head.  A symbol takes the
+*minimum* over its productions (sound lower bound); the iteration cap
+keeps divergent purely-recursive heads (already G005) from spinning.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Diagnostic,
+)
+from repro.analysis.productions import _check_bounds, _spec_kind
+from repro.analysis.view import GrammarView
+from repro.grammar.production import AxisSpec, Production
+
+_AXES = ("horizontal", "vertical")
+
+#: Iteration cap for the min-extent fix-point (divergence guard; see
+#: module doc).
+_EXTENT_ROUNDS = 32
+
+
+def _axis_spec(
+    bound: tuple[int, int, AxisSpec, AxisSpec], axis: str
+) -> AxisSpec:
+    return bound[2] if axis == "horizontal" else bound[3]
+
+
+def _production_extent(
+    production: Production, extents: dict[str, float], axis: str
+) -> float:
+    """Lower bound on the head's axis extent via this production."""
+    best = 0.0
+    for component in production.components:
+        best = max(best, extents.get(component, 0.0))
+    for bound in production.bounds:
+        spec = _axis_spec(bound, axis)
+        if _spec_kind(spec) != "signed":
+            continue
+        assert isinstance(spec, tuple)
+        lo = spec[0]
+        if lo is None:
+            continue
+        i, j = bound[0], bound[1]
+        chained = (
+            float(lo)
+            + extents.get(production.components[i], 0.0)
+            + extents.get(production.components[j], 0.0)
+        )
+        best = max(best, chained)
+    return best
+
+
+def min_extents(view: GrammarView) -> dict[str, dict[str, float]]:
+    """Per-axis minimum extents for every symbol (``axis -> symbol -> w``)."""
+    result: dict[str, dict[str, float]] = {}
+    for axis in _AXES:
+        extents: dict[str, float] = {t: 0.0 for t in view.terminals}
+        for production in view.productions:
+            extents.setdefault(production.head, 0.0)
+        for _ in range(_EXTENT_ROUNDS):
+            changed = False
+            by_head: dict[str, float] = {}
+            for production in view.productions:
+                value = _production_extent(production, extents, axis)
+                head = production.head
+                if head not in by_head or value < by_head[head]:
+                    by_head[head] = value
+            for head, value in by_head.items():
+                if value > extents.get(head, 0.0):
+                    extents[head] = value
+                    changed = True
+            if not changed:
+                break
+        result[axis] = extents
+    return result
+
+
+def _axis_feasible(
+    production: Production,
+    axis: str,
+    widths: dict[int, float],
+) -> bool:
+    """Difference-constraint feasibility of one production on one axis.
+
+    *widths* maps component position -> minimum extent.  Returns ``True``
+    when some assignment of starts/ends satisfies every bound and width.
+    """
+    arity = len(production.components)
+    # Node ids: S_k = 2k, E_k = 2k + 1.  Edge (u, v, c) encodes the
+    # constraint  x_v - x_u <= c.
+    edges: list[tuple[int, int, float]] = []
+    for k in range(arity):
+        width = widths.get(k, 0.0)
+        # S_k - E_k <= -width
+        edges.append((2 * k + 1, 2 * k, -width))
+    constrained = False
+    for bound in production.bounds:
+        spec = _axis_spec(bound, axis)
+        kind = _spec_kind(spec)
+        if kind == "free":
+            continue
+        i, j = bound[0], bound[1]
+        s_i, e_i = 2 * i, 2 * i + 1
+        s_j, e_j = 2 * j, 2 * j + 1
+        if kind == "symmetric":
+            assert isinstance(spec, (int, float))
+            m = float(spec)
+            edges.append((e_i, s_j, m))  # S_j - E_i <= m
+            edges.append((e_j, s_i, m))  # S_i - E_j <= m
+            constrained = True
+        else:
+            assert isinstance(spec, tuple)
+            lo, hi = spec
+            if hi is not None:
+                edges.append((e_i, s_j, float(hi)))  # S_j - E_i <= hi
+            if lo is not None:
+                edges.append((s_j, e_i, -float(lo)))  # E_i - S_j <= -lo
+            constrained = True
+    if not constrained:
+        return True
+    nodes = 2 * arity
+    distance = [0.0] * nodes
+    for _ in range(nodes):
+        updated = False
+        for u, v, c in edges:
+            if distance[u] + c < distance[v]:
+                distance[v] = distance[u] + c
+                updated = True
+        if not updated:
+            return True
+    # One extra relaxation round still improved a distance: negative cycle.
+    return False
+
+
+def check_spatial_chains(view: GrammarView) -> list[Diagnostic]:
+    """Run the cross-production spatial pass (G030-G031)."""
+    diagnostics: list[Diagnostic] = []
+    extents = min_extents(view)
+
+    def widths_for(production: Production, axis: str) -> dict[int, float]:
+        table = extents[axis]
+        return {
+            k: table.get(component, 0.0)
+            for k, component in enumerate(production.components)
+        }
+
+    locally_broken: set[int] = set()
+    for index, production in enumerate(view.productions):
+        if not production.bounds:
+            continue
+        if _check_bounds(production):
+            # Per-pair defects are already G010/G011 errors; re-deriving
+            # them through the chain solver would double-report.
+            locally_broken.add(index)
+            continue
+        bad_axes = [
+            axis
+            for axis in _AXES
+            if not _axis_feasible(
+                production, axis, widths_for(production, axis)
+            )
+        ]
+        if bad_axes:
+            locally_broken.add(index)
+            diagnostics.append(
+                Diagnostic(
+                    code="G030",
+                    severity=SEVERITY_ERROR,
+                    message=(
+                        f"production {production.name}: the "
+                        f"{' and '.join(bad_axes)} bounds are jointly "
+                        "infeasible once chained through the components' "
+                        "minimum extents; no geometry satisfies them all "
+                        "and the production can never apply"
+                    ),
+                    production=production.name,
+                    symbol=production.head,
+                    data={"axes": bad_axes},
+                )
+            )
+
+    # G031: locally fine, but the instances cannot fit any parent bound.
+    parents: dict[str, list[tuple[Production, int]]] = {}
+    for production in view.productions:
+        for position, component in enumerate(production.components):
+            parents.setdefault(component, []).append(
+                (production, position)
+            )
+    for index, production in enumerate(view.productions):
+        if index in locally_broken:
+            continue
+        head = production.head
+        if head == view.start:
+            continue
+        occurrences = parents.get(head, [])
+        if not occurrences:
+            continue
+        own_extent = {
+            axis: _production_extent(production, extents[axis], axis)
+            for axis in _AXES
+        }
+        if all(
+            own_extent[axis] <= extents[axis].get(head, 0.0)
+            for axis in _AXES
+        ):
+            continue  # this production is (one of) the smallest shapes
+        dead_everywhere = True
+        blocked_parents: list[str] = []
+        for parent, position in occurrences:
+            fits = True
+            for axis in _AXES:
+                widths = widths_for(parent, axis)
+                if not _axis_feasible(parent, axis, widths):
+                    # The parent is broken on its own; do not blame P.
+                    continue
+                widths[position] = max(
+                    widths[position], own_extent[axis]
+                )
+                if not _axis_feasible(parent, axis, widths):
+                    fits = False
+            if fits:
+                dead_everywhere = False
+                break
+            blocked_parents.append(parent.name)
+        if dead_everywhere and blocked_parents:
+            diagnostics.append(
+                Diagnostic(
+                    code="G031",
+                    severity=SEVERITY_WARNING,
+                    message=(
+                        f"production {production.name} is locally "
+                        "satisfiable, but the instances it builds are "
+                        "too large for every parent context "
+                        f"({', '.join(sorted(set(blocked_parents)))}); "
+                        f"no {head!r} built this way can join a larger "
+                        "pattern"
+                    ),
+                    production=production.name,
+                    symbol=head,
+                    data={
+                        "parents": sorted(set(blocked_parents)),
+                        "min_extent": {
+                            axis: own_extent[axis] for axis in _AXES
+                        },
+                    },
+                )
+            )
+    return diagnostics

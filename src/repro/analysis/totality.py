@@ -1,0 +1,227 @@
+"""Preference-totality pass: is every *possible* conflict arbitrated?
+
+====  ========  ==============================================================
+code  severity  finding
+====  ========  ==============================================================
+P010  warning   a head has overlapping productions but **no**
+                self-preference: when two of its instances fire on the same
+                tokens, the surviving one is decided by fix-point iteration
+                order, not grammar policy
+P011  info      two distinct symbols can cover the same tokens but no
+                preference path (in either direction, transitively) orders
+                them; resolution falls through to maximization
+P012  warning   a preference's winner and loser can never cover a common
+                token class, so its conflicting condition can never hold --
+                the rule is dead weight (a semantic refinement of P002)
+P013  warning   the preference relation is cyclic across distinct symbols
+                (``A > B > ... > A``): arbitration is not a priority order
+                and the outcome depends on enforcement order
+====  ========  ==============================================================
+
+This is the analysis the paper leaves implicit: conflict resolution
+(Section 5) silently assumes the hand-ranked preferences are *total over
+the pairs that actually compete*.  The overlap pass computes who competes;
+this pass checks that the preference relation covers them.
+
+P012 skips symbols whose yield enumeration was truncated (their class
+sets are incomplete -- a disjointness verdict would be unsound) and
+symbols with no derivation at all (P002/G005 already report those).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+)
+from repro.analysis.overlap import OverlapAnalysis, analyze_overlaps
+from repro.analysis.view import GrammarView
+
+
+def _preference_reach(view: GrammarView) -> dict[str, set[str]]:
+    """Transitive winner -> losers closure of the preference graph."""
+    direct: dict[str, set[str]] = {}
+    for preference in view.preferences:
+        direct.setdefault(preference.winner_symbol, set()).add(
+            preference.loser_symbol
+        )
+    closure = {winner: set(losers) for winner, losers in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for winner, losers in closure.items():
+            extra: set[str] = set()
+            for loser in losers:
+                extra |= closure.get(loser, set())
+            if not extra <= losers:
+                losers |= extra
+                changed = True
+    return closure
+
+
+def _find_cycle(view: GrammarView) -> list[str] | None:
+    """A shortest-ish preference cycle through distinct symbols, if any."""
+    edges: dict[str, set[str]] = {}
+    for preference in view.preferences:
+        if preference.winner_symbol == preference.loser_symbol:
+            continue  # self-preferences are arbitration, not ordering
+        edges.setdefault(preference.winner_symbol, set()).add(
+            preference.loser_symbol
+        )
+    # DFS with a path stack; first back-edge wins.
+    visited: set[str] = set()
+
+    def walk(node: str, path: list[str], on_path: set[str]) -> list[str] | None:
+        visited.add(node)
+        path.append(node)
+        on_path.add(node)
+        for target in sorted(edges.get(node, set())):
+            if target in on_path:
+                return path[path.index(target):] + [target]
+            if target not in visited:
+                found = walk(target, path, on_path)
+                if found is not None:
+                    return found
+        path.pop()
+        on_path.discard(node)
+        return None
+
+    for source in sorted(edges):
+        if source not in visited:
+            found = walk(source, [], set())
+            if found is not None:
+                return found
+    return None
+
+
+def check_totality(
+    view: GrammarView, analysis: OverlapAnalysis | None = None
+) -> list[Diagnostic]:
+    """Run the preference-totality pass (P010-P013)."""
+    if analysis is None:
+        analysis = analyze_overlaps(view)
+    diagnostics: list[Diagnostic] = []
+    summary = analysis.summary
+
+    self_preferred = {
+        preference.winner_symbol
+        for preference in view.preferences
+        if preference.winner_symbol == preference.loser_symbol
+    }
+    reach = _preference_reach(view)
+
+    seen_heads: set[str] = set()
+    seen_pairs: set[tuple[str, str]] = set()
+    for pair in analysis.pairs:
+        if not pair.jointly_satisfiable:
+            continue
+        if pair.same_head:
+            head = pair.left.head
+            if head in self_preferred or head in seen_heads:
+                continue
+            seen_heads.add(head)
+            names = sorted((pair.left.name, pair.right.name))
+            diagnostics.append(
+                Diagnostic(
+                    code="P010",
+                    severity=SEVERITY_WARNING,
+                    message=(
+                        f"{head!r} has overlapping productions (e.g. "
+                        f"{names[0]} vs {names[1]}) but no "
+                        "self-preference; when two instances fire on the "
+                        "same tokens the survivor is fix-point iteration "
+                        "order, not grammar policy -- add a preference "
+                        f"such as prefer({head!r}, over={head!r}, "
+                        "when=subsumes)"
+                    ),
+                    symbol=head,
+                    data={
+                        "productions": names,
+                        "witness": list(pair.witness),
+                    },
+                )
+            )
+        else:
+            heads = pair.heads
+            if heads in seen_pairs:
+                continue
+            seen_pairs.add(heads)
+            first, second = heads
+            ordered = (
+                second in reach.get(first, set())
+                or first in reach.get(second, set())
+            )
+            if ordered:
+                continue
+            names = sorted((pair.left.name, pair.right.name))
+            diagnostics.append(
+                Diagnostic(
+                    code="P011",
+                    severity=SEVERITY_INFO,
+                    message=(
+                        f"symbols {first!r} and {second!r} can compete "
+                        "for the same tokens but no preference path "
+                        "orders them (either direction); resolution "
+                        "falls through to partial-tree maximization"
+                    ),
+                    symbol=first,
+                    data={
+                        "other_symbol": second,
+                        "productions": names,
+                        "witness": list(pair.witness),
+                    },
+                )
+            )
+
+    # P012: preferences whose symbols can never share a token class.
+    for preference in view.preferences:
+        winner = preference.winner_symbol
+        loser = preference.loser_symbol
+        if winner in summary.truncated or loser in summary.truncated:
+            continue
+        winner_classes = summary.classes(winner)
+        loser_classes = summary.classes(loser)
+        if not winner_classes or not loser_classes:
+            continue  # no derivation at all: P002/G005 territory
+        if winner_classes & loser_classes:
+            continue
+        diagnostics.append(
+            Diagnostic(
+                code="P012",
+                severity=SEVERITY_WARNING,
+                message=(
+                    f"preference {preference.name} can never fire: "
+                    f"{winner!r} instances cover only "
+                    f"{{{', '.join(sorted(winner_classes))}}} and "
+                    f"{loser!r} only "
+                    f"{{{', '.join(sorted(loser_classes))}}}, so the two "
+                    "can never compete for a token"
+                ),
+                preference=preference.name,
+                data={
+                    "winner_classes": sorted(winner_classes),
+                    "loser_classes": sorted(loser_classes),
+                },
+            )
+        )
+
+    # P013: cyclic arbitration among distinct symbols.
+    cycle = _find_cycle(view)
+    if cycle is not None:
+        diagnostics.append(
+            Diagnostic(
+                code="P013",
+                severity=SEVERITY_WARNING,
+                message=(
+                    "the preference relation is cyclic: "
+                    + " > ".join(cycle)
+                    + "; arbitration is not a priority order, so the "
+                    "outcome of a three-way conflict depends on "
+                    "enforcement order"
+                ),
+                symbol=cycle[0],
+                data={"cycle": cycle},
+            )
+        )
+    return diagnostics

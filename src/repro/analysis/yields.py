@@ -1,0 +1,201 @@
+"""Bounded terminal-yield abstraction: what token multisets can a symbol cover?
+
+The semantic passes (overlap, coverage, preference totality) all need the
+same abstract question answered: *which multisets of token classes can an
+instance of symbol ``S`` cover?*  This module computes a **bounded
+under-approximation** of that set by abstract interpretation over the
+production set -- the classic fix-point, with three caps so recursive
+grammars terminate:
+
+* multisets larger than ``max_tokens`` are dropped (and the head marked
+  truncated);
+* a symbol keeps at most ``max_variants`` distinct multisets (excess
+  marked truncated);
+* one production examines at most ``max_combos`` component combinations
+  per fix-point round (excess marked truncated).
+
+Because the result is an under-approximation, every multiset reported is
+genuinely derivable (modulo spatial constraints and opaque predicates) --
+so overlap findings built on shared multisets are *witnessed*, never
+speculative.  Truncation is surfaced explicitly (G024/C005) rather than
+silently narrowing the analysis.
+
+A multiset is represented as a sorted tuple of terminal names, e.g.
+``("radiobutton", "radiobutton", "text")``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.analysis.view import GrammarView
+from repro.grammar.production import Production
+
+#: One abstract token configuration: a sorted tuple of terminal classes.
+Multiset = tuple[str, ...]
+
+#: Default caps.  Chosen so the standard grammar (~70 productions, four
+#: recursive heads) converges in well under 100ms while still yielding
+#: multi-token witnesses for every pattern-level symbol.
+MAX_TOKENS = 6
+MAX_VARIANTS = 48
+MAX_COMBOS = 4096
+
+
+@dataclass(frozen=True)
+class YieldSummary:
+    """Per-symbol bounded yield sets plus the truncation ledger.
+
+    Attributes:
+        yields: symbol -> the set of token-class multisets instances of
+            the symbol can cover (bounded; see module doc).  Terminals map
+            to their singleton multiset.  Symbols with no derivation
+            (unproductive heads, headless nonterminals) map to the empty
+            set.
+        truncated: symbols whose yield enumeration hit a cap; their sets
+            are incomplete and negative conclusions about them are unsafe.
+    """
+
+    yields: dict[str, frozenset[Multiset]]
+    truncated: frozenset[str]
+
+    def classes(self, symbol: str) -> frozenset[str]:
+        """Union of token classes across the symbol's known multisets."""
+        return frozenset(
+            terminal
+            for multiset in self.yields.get(symbol, frozenset())
+            for terminal in multiset
+        )
+
+
+def production_yields(
+    production: Production,
+    summary: YieldSummary,
+    *,
+    max_tokens: int = MAX_TOKENS,
+    max_combos: int = MAX_COMBOS,
+) -> tuple[frozenset[Multiset], bool]:
+    """Yield multisets one production can construct, given *summary*.
+
+    Returns ``(multisets, truncated)`` where *truncated* is true when a
+    component's own enumeration was truncated or a cap fired here.
+    """
+    component_sets: list[tuple[Multiset, ...]] = []
+    truncated = any(
+        component in summary.truncated for component in production.components
+    )
+    for component in production.components:
+        variants = summary.yields.get(component, frozenset())
+        if not variants:
+            return frozenset(), truncated
+        component_sets.append(tuple(sorted(variants)))
+    results: set[Multiset] = set()
+    examined = 0
+    for combo in itertools.product(*component_sets):
+        examined += 1
+        if examined > max_combos:
+            truncated = True
+            break
+        total = sum(len(part) for part in combo)
+        if total > max_tokens:
+            truncated = True
+            continue
+        merged: list[str] = []
+        for part in combo:
+            merged.extend(part)
+        merged.sort()
+        results.add(tuple(merged))
+    return frozenset(results), truncated
+
+
+def compute_yields(
+    view: GrammarView,
+    *,
+    max_tokens: int = MAX_TOKENS,
+    max_variants: int = MAX_VARIANTS,
+    max_combos: int = MAX_COMBOS,
+) -> YieldSummary:
+    """Run the bounded yield fix-point over *view*'s productions."""
+    yields: dict[str, set[Multiset]] = {
+        terminal: {(terminal,)} for terminal in view.terminals
+    }
+    for symbol in view.nonterminals:
+        yields.setdefault(symbol, set())
+    for production in view.productions:
+        yields.setdefault(production.head, set())
+    truncated: set[str] = set()
+
+    # Version counters let a round skip productions whose component sets
+    # did not change since the production last ran -- the bulk of the
+    # grammar converges in one round, so this keeps the fix-point linear
+    # in practice.
+    versions: dict[str, int] = {symbol: 1 for symbol in yields}
+    seen_versions: dict[int, int] = {}
+
+    changed = True
+    while changed:
+        changed = False
+        for index, production in enumerate(view.productions):
+            key = index
+            stamp = sum(
+                versions.get(component, 0)
+                for component in production.components
+            )
+            if seen_versions.get(key) == stamp:
+                continue
+            seen_versions[key] = stamp
+            head = production.head
+            head_set = yields.setdefault(head, set())
+            interim = YieldSummary(
+                yields={s: frozenset(v) for s, v in yields.items()},
+                truncated=frozenset(truncated),
+            )
+            produced, was_truncated = production_yields(
+                production,
+                interim,
+                max_tokens=max_tokens,
+                max_combos=max_combos,
+            )
+            if was_truncated and head not in truncated:
+                truncated.add(head)
+            before = len(head_set)
+            for multiset in produced:
+                if multiset in head_set:
+                    continue
+                if len(head_set) >= max_variants:
+                    truncated.add(head)
+                    break
+                head_set.add(multiset)
+            if len(head_set) != before:
+                changed = True
+                versions[head] = versions.get(head, 0) + 1
+    return YieldSummary(
+        yields={symbol: frozenset(v) for symbol, v in yields.items()},
+        truncated=frozenset(truncated),
+    )
+
+
+def derives_relation(view: GrammarView) -> dict[str, set[str]]:
+    """Transitive symbol-level derivation: head -> every symbol reachable
+    through its productions' components (the head itself excluded unless
+    it is genuinely recursive)."""
+    direct: dict[str, set[str]] = {}
+    for production in view.productions:
+        direct.setdefault(production.head, set()).update(
+            production.components
+        )
+    closure: dict[str, set[str]] = {
+        head: set(components) for head, components in direct.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for head, reached in closure.items():
+            extra: set[str] = set()
+            for symbol in reached:
+                extra |= closure.get(symbol, set())
+            if not extra <= reached:
+                reached |= extra
+                changed = True
+    return closure

@@ -25,8 +25,13 @@ Commands:
 * ``grammar``       -- print the derived global grammar.
 * ``lint``          -- statically analyze the built-in grammars
   (``--grammar standard|example|navmenu|all``, default ``all``) and print
-  every diagnostic; ``--json`` emits machine-readable reports.  Exits 1
-  when any error-severity diagnostic is found (the CI gate), 0 otherwise.
+  every diagnostic; ``--json`` emits machine-readable reports (schema 2).
+  Exits 1 when any error-severity diagnostic is found (the CI gate), 0
+  otherwise.  ``--coverage`` adds the tokenizer-relative coverage matrix
+  (which attribute-pattern shapes the grammar can derive);
+  ``--candidate FILE.json`` runs the admission gate on a machine-proposed
+  production against ``--grammar`` (exit 0 admitted, 1 rejected, 2 for an
+  unusable payload); ``--explain CODE`` prints one catalogue entry.
 
 Both ``extract`` and ``evaluate`` take the caching trio: ``--cache``
 (in-memory extraction cache), ``--cache-dir DIR`` (disk-backed cache that
@@ -237,20 +242,94 @@ def _lint_targets() -> dict:
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
-    from repro.analysis import analyze_grammar
+    from repro.analysis import analyze_grammar, explain
+
+    if args.explain is not None:
+        entry = explain(args.explain)
+        if entry is None:
+            return _fail(
+                EXIT_UNREADABLE, "unknown-code", "-",
+                f"no diagnostic code {args.explain!r} in the catalogue",
+            )
+        print(entry.describe())
+        return 0
+
+    if args.candidate is not None:
+        return _lint_candidate(args)
+
+    vocabulary = None
+    if args.coverage:
+        from repro.grammar.vocabulary import tokenizer_vocabulary
+
+        vocabulary = tokenizer_vocabulary()
 
     targets = _lint_targets()
     names = list(targets) if args.grammar == "all" else [args.grammar]
     reports = []
+    matrices = []
     for name in names:
         grammar = targets[name]()
-        reports.append(analyze_grammar(grammar, name=name))
+        reports.append(
+            analyze_grammar(grammar, name=name, vocabulary=vocabulary)
+        )
+        if vocabulary is not None:
+            from repro.analysis import coverage_matrix
+
+            matrices.append(coverage_matrix(grammar, vocabulary))
     if args.json:
-        print(json.dumps([report.to_dict() for report in reports], indent=2))
+        payload = [report.to_dict() for report in reports]
+        if matrices:
+            for entry_dict, matrix in zip(payload, matrices):
+                entry_dict["coverage"] = matrix
+        print(json.dumps(payload, indent=2))
     else:
-        for report in reports:
+        for index, report in enumerate(reports):
             print(report.describe())
+            if matrices:
+                from repro.analysis import render_coverage_matrix
+
+                print(render_coverage_matrix(matrices[index]))
     return 1 if any(report.has_errors for report in reports) else 0
+
+
+def _cmd_lint_candidate_load(path: str) -> "tuple[object | None, int]":
+    """Read and parse one candidate JSON payload (``-`` = stdin)."""
+    from repro.analysis import CandidateError, CandidateProduction
+
+    try:
+        if path == "-":
+            text = sys.stdin.read()
+        else:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+    except OSError as error:
+        return None, _fail(EXIT_UNREADABLE, "unreadable", path, str(error))
+    try:
+        return CandidateProduction.from_json(text), 0
+    except CandidateError as error:
+        return None, _fail(EXIT_UNREADABLE, "bad-candidate", path, str(error))
+
+
+def _lint_candidate(args: argparse.Namespace) -> int:
+    """``repro lint --candidate FILE``: run the admission gate.
+
+    Exits 0 when the candidate is admitted (with or without warnings),
+    1 when it is rejected, 2 when the payload itself is unusable.
+    """
+    from repro.analysis import admit_production, as_view
+
+    candidate, code = _cmd_lint_candidate_load(args.candidate)
+    if candidate is None:
+        return code
+    # The gate needs one concrete grammar; "all" means the default one.
+    name = "standard" if args.grammar == "all" else args.grammar
+    grammar = _lint_targets()[name]()
+    report = admit_production(as_view(grammar), candidate)  # type: ignore[arg-type]
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.describe())
+    return 0 if report.admitted else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -329,6 +408,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             body_timeout_seconds=args.body_timeout,
             breaker_threshold=args.breaker_threshold,
             breaker_reset_seconds=args.breaker_reset,
+            validate_grammar=not args.no_grammar_check,
         )
     except ValueError as error:
         return _fail(EXIT_UNREADABLE, "usage", "-", str(error))
@@ -520,6 +600,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     serve.add_argument("--breaker-reset", type=_positive_seconds, default=5.0,
                        help="breaker cooldown before a half-open probe "
                             "(default 5)")
+    serve.add_argument("--no-grammar-check", action="store_true",
+                       help="skip the startup grammar lint (by default a "
+                            "grammar with error-severity diagnostics "
+                            "kills the server before the port binds)")
     serve.add_argument("--cache-generation", default=None, metavar="TAG",
                        help="explicit cache generation tag (default: the "
                             "grammar fingerprint; changing either "
@@ -541,7 +625,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="which grammar to lint (default: all)",
     )
     lint.add_argument("--json", action="store_true",
-                      help="emit machine-readable JSON reports")
+                      help="emit machine-readable JSON reports "
+                           "(schema 2)")
+    lint.add_argument("--coverage", action="store_true",
+                      help="additionally check and render the "
+                           "tokenizer-relative coverage matrix "
+                           "(attribute-pattern shapes vs derivability)")
+    lint.add_argument("--candidate", metavar="FILE.json", default=None,
+                      help="run the admission gate on a machine-proposed "
+                           "production (JSON payload; '-' reads stdin) "
+                           "against --grammar (default standard); exits "
+                           "0 admitted / 1 rejected")
+    lint.add_argument("--explain", metavar="CODE", default=None,
+                      help="print the catalogue entry for one diagnostic "
+                           "code (e.g. G020) and exit")
     lint.set_defaults(func=_cmd_lint)
     return parser
 

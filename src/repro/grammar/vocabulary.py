@@ -1,0 +1,48 @@
+"""Token-class vocabulary: what the tokenizer can emit, for the analyzer.
+
+The coverage pass (C001-C005) replays the paper's §6.4 incompleteness
+argument statically: given the token classes the *tokenizer* produces,
+which attribute-pattern shapes have no derivation in the grammar?  That
+question needs the vocabulary as an input distinct from the grammar's own
+terminal declarations -- a grammar can forget a class the tokenizer emits,
+which is exactly the defect C001 reports.
+
+This module is the single export point; it sources the class sets from
+:mod:`repro.tokens.model` so the analyzer can never drift from the
+tokenizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tokens.model import INPUT_TERMINALS, TERMINALS
+
+
+@dataclass(frozen=True)
+class TokenVocabulary:
+    """The token classes a tokenizer emits.
+
+    Attributes:
+        classes: every terminal class the tokenizer can produce.
+        input_classes: the subset that accepts user input and can anchor a
+            query condition (the paper's attribute patterns are built
+            around exactly these).
+    """
+
+    classes: frozenset[str]
+    input_classes: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.input_classes <= self.classes:
+            raise ValueError(
+                "input_classes must be a subset of classes; extra: "
+                f"{sorted(self.input_classes - self.classes)}"
+            )
+
+
+def tokenizer_vocabulary() -> TokenVocabulary:
+    """The form tokenizer's vocabulary (the 16 classes of paper §6)."""
+    return TokenVocabulary(
+        classes=TERMINALS, input_classes=INPUT_TERMINALS
+    )

@@ -82,6 +82,14 @@ class ServerConfig:
             circuit breaker (fast 503s instead of restart storms).
         breaker_window_seconds: Sliding window for breaker failures.
         breaker_reset_seconds: Breaker cooldown before a half-open probe.
+        validate_grammar: Statically analyze the serving grammar during
+            service construction -- *before* the port binds -- and die
+            with the full lint report
+            (:class:`~repro.analysis.GrammarDiagnosticsError`) if any
+            error-severity diagnostic is present.  A grammar defect
+            should kill the deploy at startup, not degrade every
+            extraction silently.  ``repro serve --no-grammar-check``
+            turns it off.
     """
 
     host: str = "127.0.0.1"
@@ -111,6 +119,7 @@ class ServerConfig:
     breaker_threshold: int = 5
     breaker_window_seconds: float = 30.0
     breaker_reset_seconds: float = 5.0
+    validate_grammar: bool = True
 
     def __post_init__(self) -> None:
         if self.jobs != "auto" and (

@@ -145,6 +145,11 @@ class ExtractionService:
     ):
         self.config = config if config is not None else ServerConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Fast-fail on a defective grammar before any pool forks or the
+        # port binds: a bad grammar should kill the deploy loudly, not
+        # degrade every extraction quietly.
+        if self.config.validate_grammar:
+            self._validate_startup_grammar()
         jobs = self.config.jobs
         if jobs == "auto":
             jobs = usable_cores()
@@ -206,6 +211,33 @@ class ExtractionService:
         from repro.grammar.standard import build_standard_grammar
 
         return grammar_fingerprint(build_standard_grammar())
+
+    @staticmethod
+    def _validate_startup_grammar() -> None:
+        """Lint the serving grammar; raise on error-severity findings.
+
+        Raises :class:`repro.analysis.GrammarDiagnosticsError`, which
+        carries the full report -- the operator sees every defect in the
+        startup traceback, not just the first.  Imports are deliberately
+        lazy (and re-resolved per call) so deployments that never
+        validate don't pay for the analyzer, and tests can monkeypatch
+        ``repro.grammar.standard.build_standard_grammar``.
+        """
+        import repro.grammar.standard as standard_module
+        from repro.analysis import analyze_grammar
+
+        report = analyze_grammar(
+            standard_module.build_standard_grammar(), name="serving"
+        )
+        log_event(
+            _logger,
+            logging.INFO,
+            "serve.grammar.validated",
+            errors=len(report.errors),
+            warnings=len(report.warnings),
+            infos=len(report.infos),
+        )
+        report.raise_if_errors()
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -1,0 +1,340 @@
+"""Tests for the admission gate (repro.analysis.admit)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AdmissionReport,
+    CandidateError,
+    CandidateProduction,
+    GrammarView,
+    admit_production,
+    as_view,
+)
+from repro.grammar.production import Production
+from repro.grammar.standard import build_standard_grammar
+
+CANDIDATES_DIR = (
+    Path(__file__).resolve().parent.parent.parent
+    / "examples"
+    / "candidates"
+)
+
+
+def view(*productions, terminals=("t", "u"), preferences=(), start=None):
+    return GrammarView.from_parts(
+        terminals=terminals,
+        productions=productions,
+        start=start if start is not None else productions[0].head,
+        preferences=preferences,
+    )
+
+
+class TestCandidateParsing:
+    def test_minimal_payload(self):
+        candidate = CandidateProduction.from_dict(
+            {"head": "A", "components": ["t"]}
+        )
+        assert candidate.head == "A"
+        assert candidate.components == ("t",)
+        assert candidate.display_name() == "A<-t"
+
+    def test_full_payload(self):
+        candidate = CandidateProduction.from_dict(
+            {
+                "head": "CP",
+                "components": ["Attr", "Val"],
+                "name": "cand-cp",
+                "bounds": [[0, 1, 12.0, [0, 5]], [0, 1, None, [None, 8]]],
+                "terminals": ["newclass"],
+                "preferences": [
+                    {"winner": "CP", "loser": "CP", "when": "subsumes"}
+                ],
+            }
+        )
+        assert candidate.display_name() == "cand-cp"
+        assert candidate.bounds == (
+            (0, 1, 12.0, (0.0, 5.0)),
+            (0, 1, None, (None, 8.0)),
+        )
+        assert candidate.terminals == frozenset({"newclass"})
+        assert candidate.preferences == (
+            ("CP", "CP", "subsumes", ""),
+        )
+
+    def test_from_json_round_trip(self):
+        payload = {"head": "A", "components": ["t"], "name": "n"}
+        assert CandidateProduction.from_json(
+            json.dumps(payload)
+        ) == CandidateProduction.from_dict(payload)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {"components": ["t"]},                        # no head
+            {"head": "", "components": ["t"]},            # empty head
+            {"head": "A"},                                # no components
+            {"head": "A", "components": []},              # empty components
+            {"head": "A", "components": ["t", 3]},        # non-string comp
+            {"head": "A", "components": ["t"], "zoo": 1},  # unknown key
+            {"head": "A", "components": ["t"], "name": 7},
+            {"head": "A", "components": ["t"], "terminals": "x"},
+            {"head": "A", "components": ["t"], "bounds": "x"},
+            {"head": "A", "components": ["t"], "bounds": [[0, 1, 2]]},
+            {"head": "A", "components": ["t"],
+             "bounds": [[0.5, 1, None, None]]},           # float position
+            {"head": "A", "components": ["t"],
+             "bounds": [[True, 1, None, None]]},          # bool position
+            {"head": "A", "components": ["t", "u"],
+             "bounds": [[0, 1, True, None]]},             # bool axis
+            {"head": "A", "components": ["t", "u"],
+             "bounds": [[0, 1, [1, 2, 3], None]]},        # 3-long interval
+            {"head": "A", "components": ["t", "u"],
+             "bounds": [[0, 1, ["lo", 2], None]]},        # non-number end
+            {"head": "A", "components": ["t"], "preferences": "x"},
+            {"head": "A", "components": ["t"], "preferences": [[]]},
+            {"head": "A", "components": ["t"],
+             "preferences": [{"winner": "A"}]},           # no loser
+            {"head": "A", "components": ["t"],
+             "preferences": [
+                 {"winner": "A", "loser": "B", "when": "sometimes"}
+             ]},                                          # unknown criteria
+        ],
+    )
+    def test_malformed_payloads_raise_candidate_error(self, payload):
+        with pytest.raises(CandidateError):
+            CandidateProduction.from_dict(payload)
+
+    def test_bad_json_text_raises_candidate_error(self):
+        with pytest.raises(CandidateError, match="not valid JSON"):
+            CandidateProduction.from_json("{nope")
+
+    def test_bad_bound_positions_surface_as_candidate_error(self):
+        # 0 <= i < j is a Production invariant; through the gate it is a
+        # payload defect, not a crash.
+        candidate = CandidateProduction.from_dict(
+            {
+                "head": "A",
+                "components": ["t", "u"],
+                "bounds": [[1, 0, 5.0, None]],
+            }
+        )
+        with pytest.raises(CandidateError):
+            admit_production(
+                view(Production("S", ("t",)), start="S"), candidate
+            )
+
+
+class TestVerdicts:
+    def _base(self):
+        return view(
+            Production("S", ("A",)),
+            Production("A", ("t",)),
+            start="S",
+        )
+
+    def test_accept_when_no_new_findings(self):
+        report = admit_production(
+            self._base(),
+            CandidateProduction.from_dict(
+                {"head": "B", "components": ["u"], "name": "cand-b"}
+            ),
+        )
+        # B <- u introduces only info-severity findings (an unreachable
+        # head is a warning -- checked below -- but u's consumer *is*
+        # this new head, so here it is C002-free only if reachable).
+        assert isinstance(report, AdmissionReport)
+        assert report.verdict in ("accept", "accept-with-warnings")
+        assert report.admitted
+
+    def test_accept_with_warnings_on_new_warning(self):
+        # The candidate head is unreachable from the start symbol: a new
+        # G00x-family warning, but nothing blocking.
+        report = admit_production(
+            self._base(),
+            CandidateProduction.from_dict(
+                {"head": "B", "components": ["u"]}
+            ),
+        )
+        assert report.verdict == "accept-with-warnings"
+        assert report.admitted
+        assert not report.blocking
+        assert any(
+            d.severity == "warning" for d in report.new_diagnostics
+        )
+
+    def test_reject_on_duplicate_fire(self):
+        # An exact copy of an existing unconstrained production: G020 is
+        # in BLOCKING_CODES even though its severity is warning.
+        report = admit_production(
+            self._base(),
+            CandidateProduction.from_dict(
+                {"head": "A", "components": ["t"]}
+            ),
+        )
+        assert report.verdict == "reject"
+        assert not report.admitted
+        assert {d.code for d in report.blocking} >= {"G020"}
+
+    def test_companion_self_preference_lifts_p010(self):
+        # Overlapping same-head variants need arbitration; a candidate
+        # that ships its own self-preference clears P010 (G020 still
+        # rejects exact duplicates, so use differing components).
+        base = view(
+            Production("S", ("A",)),
+            Production("A", ("B",)),
+            Production("B", ("t",)),
+            start="S",
+        )
+        bare = admit_production(
+            base,
+            CandidateProduction.from_dict(
+                {"head": "A", "components": ["C"],
+                 "terminals": [], "name": "cand"}
+            ),
+        )
+        # A <- C with C undefined: C is underivable -- error territory.
+        assert bare.verdict == "reject"
+
+    def test_delta_excludes_preexisting_diagnostics(self):
+        # The base grammar already carries a G023 (two roles on 't');
+        # a candidate touching only 'u' must not be charged for it.
+        base = view(
+            Production("S", ("A", "B")),
+            Production("A", ("t",)),
+            Production("B", ("t",)),
+            start="S",
+        )
+        report = admit_production(
+            base,
+            CandidateProduction.from_dict(
+                {"head": "S", "components": ["A", "B", "A"],
+                 "name": "cand-wide"}
+            ),
+        )
+        base_codes = {d.code for d in report.base_report.diagnostics}
+        assert "G023" in base_codes
+        for diagnostic in report.new_diagnostics:
+            assert (
+                json.dumps(diagnostic.to_dict(), sort_keys=True)
+                not in {
+                    json.dumps(d.to_dict(), sort_keys=True)
+                    for d in report.base_report.diagnostics
+                }
+            )
+
+    def test_new_terminals_are_declared(self):
+        # Declaring the terminal with the candidate avoids the
+        # unknown-symbol error an undeclared class would trigger.
+        report = admit_production(
+            self._base(),
+            CandidateProduction.from_dict(
+                {
+                    "head": "S",
+                    "components": ["newclass"],
+                    "terminals": ["newclass"],
+                }
+            ),
+        )
+        undeclared = admit_production(
+            self._base(),
+            CandidateProduction.from_dict(
+                {"head": "S", "components": ["newclass"]}
+            ),
+        )
+        assert report.admitted
+        assert not undeclared.admitted
+
+
+class TestReportShape:
+    def _report(self):
+        return admit_production(
+            view(
+                Production("S", ("A",)),
+                Production("A", ("t",)),
+                start="S",
+            ),
+            CandidateProduction.from_dict(
+                {"head": "A", "components": ["t"], "name": "dup"}
+            ),
+        )
+
+    def test_to_dict_schema(self):
+        payload = self._report().to_dict()
+        assert payload["schema"] == 2
+        assert payload["candidate"] == "dup"
+        assert payload["verdict"] == "reject"
+        assert payload["admitted"] is False
+        assert isinstance(payload["new_diagnostics"], list)
+        assert isinstance(payload["blocking"], list)
+        assert "base_summary" in payload
+        assert "extended_summary" in payload
+
+    def test_to_json_is_valid(self):
+        payload = json.loads(self._report().to_json())
+        assert payload["schema"] == 2
+
+    def test_describe_names_the_blocking_findings(self):
+        text = self._report().describe()
+        assert "reject" in text
+        assert "blocking:" in text
+        assert "G020" in text
+
+    def test_describe_clean_candidate(self):
+        report = admit_production(
+            view(
+                Production("S", ("A",)),
+                Production("A", ("t",)),
+                start="S",
+            ),
+            CandidateProduction.from_dict(
+                {"head": "S", "components": ["A", "A"], "name": "pair"}
+            ),
+        )
+        assert report.verdict in ("accept", "accept-with-warnings")
+        assert "pair" in report.describe()
+
+
+class TestVendoredCandidates:
+    """The CI smoke pair under examples/candidates/ must keep working."""
+
+    def _standard_view(self):
+        return as_view(build_standard_grammar())
+
+    def test_good_candidate_is_admitted(self):
+        candidate = CandidateProduction.from_json(
+            (CANDIDATES_DIR / "good_candidate.json").read_text()
+        )
+        report = admit_production(self._standard_view(), candidate)
+        assert report.verdict == "accept"
+        assert report.admitted
+        # Every delta finding is informational.
+        assert all(
+            d.severity == "info" for d in report.new_diagnostics
+        )
+
+    def test_bad_candidate_is_rejected(self):
+        candidate = CandidateProduction.from_json(
+            (CANDIDATES_DIR / "bad_candidate.json").read_text()
+        )
+        report = admit_production(self._standard_view(), candidate)
+        assert report.verdict == "reject"
+        codes = {d.code for d in report.blocking}
+        # The duplicate of the unconstrained P-note double-fires (G020)
+        # and the new overlap has no arbitration (P010).
+        assert codes == {"G020", "P010"}
+
+    def test_gate_leaves_the_base_grammar_clean(self):
+        # Pre-existing standard-grammar findings never count against a
+        # candidate: the bad candidate's delta must not include the
+        # long-known G006/S003 warnings.
+        candidate = CandidateProduction.from_json(
+            (CANDIDATES_DIR / "bad_candidate.json").read_text()
+        )
+        report = admit_production(self._standard_view(), candidate)
+        delta_codes = {d.code for d in report.new_diagnostics}
+        assert "G006" not in delta_codes
+        assert "S003" not in delta_codes

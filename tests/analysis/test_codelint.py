@@ -1,0 +1,265 @@
+"""Tests for the code-side lint (metrics catalogue + blocking calls)."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.codelint import (
+    CodeLintFinding,
+    _names_match,
+    check_blocking_calls,
+    check_metrics_catalog,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _tree(tmp_path, sources, doc=""):
+    """Build a throwaway src tree + doc file; return (src_root, doc_path)."""
+    src_root = tmp_path / "src"
+    for rel, text in sources.items():
+        target = src_root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text))
+    doc_path = tmp_path / "OBSERVABILITY.md"
+    doc_path.write_text(textwrap.dedent(doc))
+    return src_root, doc_path
+
+
+class TestNameMatching:
+    def test_exact_match(self):
+        assert _names_match("serve.requests", "serve.requests")
+        assert not _names_match("serve.requests", "serve.errors")
+
+    def test_doc_placeholder_matches_dynamic_segment(self):
+        assert _names_match("degrade.<level>", "degrade.<dyn>")
+        assert _names_match("degrade.<level>", "degrade.full")
+
+    def test_wildcard_absorbs_multiple_segments(self):
+        # Span stage names contain dots: the emitted span.<dyn>.<dyn>
+        # must cover a four-segment documented name.
+        assert _names_match(
+            "span.parse.construct.instances_created", "span.<dyn>.<dyn>"
+        )
+        assert _names_match("serve.*", "serve.timeout.header")
+
+    def test_wildcard_matches_at_least_one_segment(self):
+        assert not _names_match("serve.<x>", "serve")
+        assert not _names_match("serve", "serve.<dyn>")
+
+    def test_segment_count_still_matters_without_wildcards(self):
+        assert not _names_match("a.b", "a.b.c")
+
+
+class TestMetricsCatalog:
+    def test_clean_tree(self, tmp_path):
+        src, doc = _tree(
+            tmp_path,
+            {"m.py": 'metrics.inc("serve.requests")\n'},
+            doc="The counter `serve.requests` counts requests.\n",
+        )
+        assert check_metrics_catalog(src, doc) == []
+
+    def test_undocumented_metric_is_flagged(self, tmp_path):
+        src, doc = _tree(
+            tmp_path,
+            {"m.py": 'metrics.inc("serve.sneaky")\n'},
+            doc="The counter `serve.requests` counts requests.\n"
+                'Plus `serve.requests` emitted elsewhere.\n',
+        )
+        findings = check_metrics_catalog(src, doc)
+        kinds = {(f.kind, f.name) for f in findings}
+        assert ("undocumented-name", "serve.sneaky") in kinds
+
+    def test_orphaned_doc_entry_is_flagged(self, tmp_path):
+        src, doc = _tree(
+            tmp_path,
+            {"m.py": 'metrics.inc("serve.requests")\n'},
+            doc="`serve.requests` and the stale `serve.renamed_away`.\n",
+        )
+        findings = check_metrics_catalog(src, doc)
+        orphans = [f for f in findings if f.kind == "orphaned-name"]
+        assert [f.name for f in orphans] == ["serve.renamed_away"]
+        assert orphans[0].path.endswith("OBSERVABILITY.md")
+
+    def test_fstring_names_become_dyn_wildcards(self, tmp_path):
+        src, doc = _tree(
+            tmp_path,
+            {"m.py": 'metrics.inc(f"degrade.{level}")\n'},
+            doc="Gauge `degrade.<level>` tracks the degrade level.\n",
+        )
+        assert check_metrics_catalog(src, doc) == []
+
+    def test_log_event_third_arg_is_collected(self, tmp_path):
+        src, doc = _tree(
+            tmp_path,
+            {"m.py": 'log_event(logger, logging.INFO, "serve.started")\n'},
+            doc="",
+        )
+        findings = check_metrics_catalog(src, doc)
+        assert [(f.kind, f.name) for f in findings] == [
+            ("undocumented-name", "serve.started")
+        ]
+
+    def test_observe_and_count_hooks_are_collected(self, tmp_path):
+        src, doc = _tree(
+            tmp_path,
+            {
+                "m.py": 'metrics.observe("lat.ms", 3)\n'
+                        'self._count("conn.rejected")\n',
+            },
+            doc="",
+        )
+        names = {f.name for f in check_metrics_catalog(src, doc)}
+        assert names == {"lat.ms", "conn.rejected"}
+
+    def test_dotless_and_computed_names_are_skipped(self, tmp_path):
+        src, doc = _tree(
+            tmp_path,
+            {"m.py": 'metrics.inc("plain")\nmetrics.inc(key)\n'},
+            doc="",
+        )
+        assert check_metrics_catalog(src, doc) == []
+
+    def test_non_name_backticks_in_doc_are_ignored(self, tmp_path):
+        src, doc = _tree(
+            tmp_path,
+            {"m.py": "x = 1\n"},
+            doc="See `repro.server.http` and `MetricsRegistry` and "
+                "`serve.py` -- none are catalogue names.\n",
+        )
+        assert check_metrics_catalog(src, doc) == []
+
+    def test_finding_str_is_path_line_message(self, tmp_path):
+        src, doc = _tree(
+            tmp_path, {"m.py": 'metrics.inc("a.b")\n'}, doc=""
+        )
+        (finding,) = check_metrics_catalog(src, doc)
+        assert isinstance(finding, CodeLintFinding)
+        assert str(finding).startswith(f"{finding.path}:{finding.line}:")
+        assert "[undocumented-name]" in str(finding)
+
+
+class TestBlockingCalls:
+    def test_sleep_in_async_def_is_flagged(self, tmp_path):
+        src, _ = _tree(
+            tmp_path,
+            {
+                "s.py": """\
+                import time
+
+                async def handler():
+                    time.sleep(1)
+                """
+            },
+        )
+        (finding,) = check_blocking_calls(src)
+        assert finding.kind == "blocking-call"
+        assert finding.name == "time.sleep"
+        assert finding.line == 4
+
+    def test_open_socket_subprocess_are_flagged(self, tmp_path):
+        src, _ = _tree(
+            tmp_path,
+            {
+                "s.py": """\
+                async def handler():
+                    open("f")
+                    socket.create_connection(("h", 1))
+                    subprocess.run(["ls"])
+                """
+            },
+        )
+        names = {f.name for f in check_blocking_calls(src)}
+        assert names == {
+            "open", "socket.create_connection", "subprocess.run",
+        }
+
+    def test_blocking_ok_marker_suppresses(self, tmp_path):
+        src, _ = _tree(
+            tmp_path,
+            {
+                "s.py": """\
+                async def handler():
+                    open("f")  # blocking-ok: tiny local read
+                """
+            },
+        )
+        assert check_blocking_calls(src) == []
+
+    def test_sync_functions_are_not_flagged(self, tmp_path):
+        src, _ = _tree(
+            tmp_path,
+            {
+                "s.py": """\
+                import time
+
+                def worker():
+                    time.sleep(1)
+                """
+            },
+        )
+        assert check_blocking_calls(src) == []
+
+    def test_nested_sync_def_is_an_executor_target(self, tmp_path):
+        src, _ = _tree(
+            tmp_path,
+            {
+                "s.py": """\
+                import time
+
+                async def handler(loop):
+                    def work():
+                        time.sleep(1)
+                    await loop.run_in_executor(None, work)
+                """
+            },
+        )
+        assert check_blocking_calls(src) == []
+
+    def test_nested_async_def_is_still_loop_code(self, tmp_path):
+        src, _ = _tree(
+            tmp_path,
+            {
+                "s.py": """\
+                import time
+
+                def factory():
+                    async def handler():
+                        time.sleep(1)
+                    return handler
+                """
+            },
+        )
+        (finding,) = check_blocking_calls(src)
+        assert finding.name == "time.sleep"
+
+    def test_lambda_inside_async_is_skipped(self, tmp_path):
+        src, _ = _tree(
+            tmp_path,
+            {
+                "s.py": """\
+                async def handler(loop):
+                    await loop.run_in_executor(
+                        None, lambda: open("f")
+                    )
+                """
+            },
+        )
+        assert check_blocking_calls(src) == []
+
+
+class TestRealTreeIsClean:
+    """The CI wrappers' exact invocations, pinned as tests."""
+
+    def test_metrics_catalog_is_in_sync(self):
+        findings = check_metrics_catalog(
+            REPO_ROOT / "src" / "repro",
+            REPO_ROOT / "docs" / "OBSERVABILITY.md",
+        )
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_server_tier_has_no_blocking_calls(self):
+        findings = check_blocking_calls(
+            REPO_ROOT / "src" / "repro" / "server"
+        )
+        assert findings == [], "\n".join(str(f) for f in findings)

@@ -1,0 +1,216 @@
+"""Seeded-defect tests for the coverage pass (C001-C005) + the matrix."""
+
+from repro.analysis import (
+    GrammarView,
+    analyze_grammar,
+    coverage_matrix,
+    render_coverage_matrix,
+)
+from repro.grammar.production import Production
+from repro.grammar.vocabulary import TokenVocabulary, tokenizer_vocabulary
+
+
+def view(*productions, terminals, start):
+    return GrammarView.from_parts(
+        terminals=terminals, productions=productions, start=start
+    )
+
+
+def vocab(classes, inputs):
+    return TokenVocabulary(
+        classes=frozenset(classes), input_classes=frozenset(inputs)
+    )
+
+
+def _pattern_grammar():
+    """V <- textbox; CP <- text V; S <- CP: covers (textbox), (text,textbox)."""
+    return view(
+        Production("S", ("CP",)),
+        Production("CP", ("text", "V")),
+        Production("V", ("textbox",)),
+        terminals=("text", "textbox"),
+        start="S",
+    )
+
+
+VOCAB = vocab(("text", "textbox"), ("textbox",))
+
+
+class TestC001UndeclaredClass:
+    def test_c001_tokenizer_class_not_declared(self):
+        report = analyze_grammar(
+            _pattern_grammar(),
+            vocabulary=vocab(
+                ("text", "textbox", "filebox"), ("textbox", "filebox")
+            ),
+        )
+        hits = report.by_code("C001")
+        assert len(hits) == 1
+        assert hits[0].symbol == "filebox"
+
+    def test_no_vocabulary_means_no_c001(self):
+        report = analyze_grammar(_pattern_grammar())
+        assert not report.by_code("C001")
+
+
+class TestC002UnreachableConsumer:
+    def test_c002_terminal_feeds_only_unreachable_head(self):
+        report = analyze_grammar(
+            view(
+                Production("S", ("t",)),
+                Production("X", ("u",)),
+                terminals=("t", "u"),
+                start="S",
+            )
+        )
+        hits = report.by_code("C002")
+        assert len(hits) == 1
+        assert hits[0].symbol == "u"
+        assert hits[0].data["heads"] == ["X"]
+
+    def test_c002_runs_without_vocabulary(self):
+        # C002 is a pure grammar property; it must not be gated on the
+        # tokenizer vocabulary.
+        report = analyze_grammar(
+            view(
+                Production("S", ("t",)),
+                Production("X", ("u",)),
+                terminals=("t", "u"),
+                start="S",
+            )
+        )
+        assert report.by_code("C002")
+
+    def test_reachable_consumer_is_clean(self):
+        report = analyze_grammar(_pattern_grammar())
+        assert not report.by_code("C002")
+
+
+class TestC003UncoveredShape:
+    def test_c003_missing_two_label_shapes(self):
+        report = analyze_grammar(_pattern_grammar(), vocabulary=VOCAB)
+        shapes = {
+            tuple(d.data["shape"]) for d in report.by_code("C003")
+        }
+        # (textbox) and (text, textbox) are covered; the two-label and
+        # two-control skeletons are not.
+        assert shapes == {
+            ("text", "textbox", "textbox"),
+            ("text", "text", "textbox"),
+        }
+
+    def test_full_pattern_tier_has_no_c003(self):
+        full = view(
+            Production("S", ("CP",)),
+            Production("CP", ("text", "V")),
+            Production("CP", ("text", "V", "V")),
+            Production("CP", ("text", "text", "V")),
+            Production("V", ("textbox",)),
+            terminals=("text", "textbox"),
+            start="S",
+        )
+        report = analyze_grammar(full, vocabulary=VOCAB)
+        assert not report.by_code("C003")
+
+
+class TestC004AssemblyOnlyShape:
+    def test_c004_shape_reached_only_by_recursion(self):
+        # T and V are pattern-level singletons; only the recursive L
+        # can assemble {text, textbox} -- so that shape parses as
+        # disjoint items, never as one condition.
+        grammar = view(
+            Production("S", ("L",)),
+            Production("L", ("T", "V"), name="seed"),
+            Production("L", ("L", "V"), name="grow"),
+            Production("T", ("text",)),
+            Production("V", ("textbox",)),
+            terminals=("text", "textbox"),
+            start="S",
+        )
+        report = analyze_grammar(grammar, vocabulary=VOCAB)
+        shapes = {
+            tuple(d.data["shape"]) for d in report.by_code("C004")
+        }
+        assert ("text", "textbox") in shapes
+        for diagnostic in report.by_code("C004"):
+            assert "L" in diagnostic.data["symbols"]
+
+    def test_pattern_level_derivation_beats_assembly(self):
+        report = analyze_grammar(_pattern_grammar(), vocabulary=VOCAB)
+        assert not report.by_code("C004")
+
+
+class TestC005Truncation:
+    def test_c005_on_truncated_yields(self):
+        grammar = view(
+            Production("S", ("V",), name="seed"),
+            Production("S", ("S", "V"), name="grow"),
+            Production("V", ("textbox",)),
+            terminals=("text", "textbox"),
+            start="S",
+        )
+        report = analyze_grammar(grammar, vocabulary=VOCAB)
+        hits = report.by_code("C005")
+        assert len(hits) == 1
+        assert "S" in hits[0].data["symbols"]
+
+    def test_finite_grammar_has_no_c005(self):
+        report = analyze_grammar(_pattern_grammar(), vocabulary=VOCAB)
+        assert not report.by_code("C005")
+
+
+class TestCoverageMatrix:
+    def test_matrix_statuses(self):
+        matrix = coverage_matrix(_pattern_grammar(), VOCAB)
+        by_shape = {
+            tuple(row["shape"]): row["status"]
+            for row in matrix["shapes"]
+        }
+        assert by_shape[("textbox",)] == "covered"
+        assert by_shape[("text", "textbox")] == "covered"
+        assert by_shape[("text", "textbox", "textbox")] == "uncovered"
+        assert by_shape[("text", "text", "textbox")] == "uncovered"
+
+    def test_matrix_lists_pattern_level_symbols(self):
+        matrix = coverage_matrix(_pattern_grammar(), VOCAB)
+        row = next(
+            row
+            for row in matrix["shapes"]
+            if row["shape"] == ["text", "textbox"]
+        )
+        assert row["symbols"] == ["CP"]
+
+    def test_render_is_human_readable(self):
+        rendered = render_coverage_matrix(
+            coverage_matrix(_pattern_grammar(), VOCAB)
+        )
+        assert "covered" in rendered
+        assert "uncovered" in rendered
+        assert "total:" in rendered
+
+    def test_standard_grammar_matrix_is_pinned(self):
+        # The paper-scale regression: the standard grammar's coverage
+        # against the real tokenizer vocabulary.  Changing the grammar
+        # or the tokenizer moves these totals -- deliberately visible.
+        from repro.grammar.standard import build_standard_grammar
+        from repro.analysis import as_view
+
+        matrix = coverage_matrix(
+            as_view(build_standard_grammar()), tokenizer_vocabulary()
+        )
+        counts = {"covered": 0, "assembly-only": 0, "uncovered": 0}
+        for row in matrix["shapes"]:
+            counts[row["status"]] += 1
+        assert counts == {
+            "covered": 23, "assembly-only": 0, "uncovered": 9,
+        }
+        uncovered = {
+            tuple(row["shape"])
+            for row in matrix["shapes"]
+            if row["status"] == "uncovered"
+        }
+        # The known §6.4 gaps: bare radio/checkbox groups, filebox
+        # patterns, and a few two-label skeletons.
+        assert ("radiobutton",) in uncovered
+        assert ("checkbox",) in uncovered
+        assert ("filebox", "text") in uncovered

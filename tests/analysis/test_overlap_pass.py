@@ -1,0 +1,190 @@
+"""Seeded-defect tests for the ambiguity/overlap pass (G020-G024)."""
+
+from repro.analysis import GrammarView, analyze_grammar
+from repro.grammar.preference import Preference
+from repro.grammar.production import Production
+
+
+def view(*productions, terminals=("t", "u"), preferences=(), start=None):
+    return GrammarView.from_parts(
+        terminals=terminals,
+        productions=productions,
+        start=start if start is not None else productions[0].head,
+        preferences=preferences,
+    )
+
+
+def _opaque(*_args):
+    return False
+
+
+class TestG020DuplicateFires:
+    def test_g020_identical_unconstrained_productions(self):
+        report = analyze_grammar(
+            view(
+                Production("A", ("t", "u"), name="first"),
+                Production("A", ("t", "u"), name="second"),
+            )
+        )
+        hits = report.by_code("G020")
+        assert len(hits) == 1
+        assert hits[0].severity == "warning"
+        assert hits[0].symbol == "A"
+        assert hits[0].data["other"] == "second"
+        assert sorted(hits[0].data["witness"]) == ["t", "u"]
+
+    def test_opaque_constraint_downgrades_to_g021(self):
+        report = analyze_grammar(
+            view(
+                Production("A", ("t", "u"), name="first"),
+                Production(
+                    "A", ("t", "u"), constraint=_opaque, name="second"
+                ),
+            )
+        )
+        assert not report.by_code("G020")
+        assert len(report.by_code("G021")) == 1
+
+    def test_contradictory_bounds_suppress_the_pair(self):
+        # Jointly unsatisfiable bounds mean the two can never fire on
+        # one combination: no ambiguity to report.
+        report = analyze_grammar(
+            view(
+                Production(
+                    "A", ("t", "u"),
+                    bounds=((0, 1, (5.0, 10.0), None),),
+                    name="first",
+                ),
+                Production(
+                    "A", ("t", "u"),
+                    bounds=((0, 1, (-10.0, -5.0), None),),
+                    name="second",
+                ),
+            )
+        )
+        assert not report.by_code("G020")
+        assert not report.by_code("G021")
+
+
+class TestG021SameHeadOverlap:
+    def test_g021_differing_components_same_yield(self):
+        # A <- B and A <- C where B and C both derive a 't': the two A
+        # productions can cover the same token via different routes.
+        report = analyze_grammar(
+            view(
+                Production("A", ("B",), name="via-b"),
+                Production("A", ("C",), name="via-c"),
+                Production("B", ("t",)),
+                Production("C", ("t",)),
+            )
+        )
+        hits = report.by_code("G021")
+        assert len(hits) == 1
+        assert hits[0].symbol == "A"
+        assert "differing components" in hits[0].message
+
+    def test_disjoint_yields_are_clean(self):
+        report = analyze_grammar(
+            view(
+                Production("A", ("t",), name="first"),
+                Production("A", ("u",), name="second"),
+            )
+        )
+        assert not report.by_code("G020")
+        assert not report.by_code("G021")
+
+
+class TestG022CrossHeadOverlap:
+    def test_g022_multi_token_witness(self):
+        report = analyze_grammar(
+            view(
+                Production("A", ("t", "u")),
+                Production("B", ("t", "u")),
+            )
+        )
+        hits = report.by_code("G022")
+        assert len(hits) == 1
+        assert hits[0].symbol == "A"
+        assert hits[0].data["other_symbol"] == "B"
+        assert sorted(hits[0].data["witness"]) == ["t", "u"]
+
+    def test_g022_deduped_per_head_pair(self):
+        # Four overlapping production pairs, one head pair: one finding.
+        report = analyze_grammar(
+            view(
+                Production("A", ("t", "u"), name="a1"),
+                Production("A", ("u", "t"), name="a2"),
+                Production("B", ("t", "u"), name="b1"),
+                Production("B", ("u", "t"), name="b2"),
+            )
+        )
+        assert len(report.by_code("G022")) == 1
+
+    def test_derivation_chains_are_not_ambiguity(self):
+        # QI <- HQI covers whatever HQI covers -- the normal shape of a
+        # grammar, not a conflict.
+        report = analyze_grammar(
+            view(
+                Production("QI", ("HQI",)),
+                Production("HQI", ("t",)),
+                start="QI",
+            )
+        )
+        assert not report.by_code("G022")
+        assert not report.by_code("G023")
+
+
+class TestG023SingleTokenCompetition:
+    def test_g023_two_roles_one_token(self):
+        report = analyze_grammar(
+            view(
+                Production("Attr", ("t",)),
+                Production("Note", ("t",)),
+            )
+        )
+        hits = report.by_code("G023")
+        assert len(hits) == 1
+        assert {hits[0].symbol, hits[0].data["other_symbol"]} == {
+            "Attr", "Note",
+        }
+        assert hits[0].data["witness"] == ["t"]
+
+
+class TestG024Truncation:
+    def test_g024_recursive_symbol_truncates(self):
+        report = analyze_grammar(
+            view(
+                Production("A", ("t",), name="seed"),
+                Production("A", ("A", "t"), name="grow"),
+            )
+        )
+        hits = report.by_code("G024")
+        assert len(hits) == 1
+        assert "A" in hits[0].data["symbols"]
+
+    def test_finite_grammars_do_not_truncate(self):
+        report = analyze_grammar(
+            view(
+                Production("A", ("t", "u")),
+                Production("B", ("A",)),
+                start="B",
+            )
+        )
+        assert not report.by_code("G024")
+
+
+class TestArbitratedOverlapStillReported:
+    def test_self_preference_does_not_hide_g021(self):
+        # G021 is the *overlap* fact; P010 is the missing-arbitration
+        # fact.  A self-preference removes the latter, never the former.
+        report = analyze_grammar(
+            view(
+                Production("A", ("t", "u"), name="first"),
+                Production(
+                    "A", ("t", "u"), constraint=_opaque, name="second"
+                ),
+                preferences=(Preference("A", "A"),),
+            )
+        )
+        assert len(report.by_code("G021")) == 1
+        assert not report.by_code("P010")

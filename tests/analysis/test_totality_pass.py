@@ -1,0 +1,182 @@
+"""Seeded-defect tests for the preference-totality pass (P010-P013)."""
+
+from repro.analysis import GrammarView, analyze_grammar
+from repro.grammar.preference import Preference, subsumes
+from repro.grammar.production import Production
+
+
+def view(*productions, terminals=("t", "u"), preferences=(), start=None):
+    return GrammarView.from_parts(
+        terminals=terminals,
+        productions=productions,
+        start=start if start is not None else productions[0].head,
+        preferences=preferences,
+    )
+
+
+def _opaque(*_args):
+    return False
+
+
+def _overlapping_head(preferences=()):
+    return view(
+        Production("A", ("t", "u"), name="first"),
+        Production("A", ("t", "u"), constraint=_opaque, name="second"),
+        preferences=preferences,
+    )
+
+
+class TestP010MissingSelfPreference:
+    def test_p010_overlap_without_self_preference(self):
+        report = analyze_grammar(_overlapping_head())
+        hits = report.by_code("P010")
+        assert len(hits) == 1
+        assert hits[0].severity == "warning"
+        assert hits[0].symbol == "A"
+
+    def test_self_preference_clears_p010(self):
+        report = analyze_grammar(
+            _overlapping_head(
+                preferences=(Preference("A", "A", criteria=subsumes),)
+            )
+        )
+        assert not report.by_code("P010")
+
+    def test_p010_deduped_per_head(self):
+        report = analyze_grammar(
+            view(
+                Production("A", ("t", "u"), name="p1"),
+                Production("A", ("t", "u"), constraint=_opaque, name="p2"),
+                Production("A", ("t", "u"), constraint=_opaque, name="p3"),
+            )
+        )
+        assert len(report.by_code("P010")) == 1
+
+    def test_non_overlapping_head_needs_no_self_preference(self):
+        report = analyze_grammar(
+            view(
+                Production("A", ("t",), name="first"),
+                Production("A", ("u",), name="second"),
+            )
+        )
+        assert not report.by_code("P010")
+
+
+class TestP011UnorderedCompetitors:
+    def _competitors(self, preferences=()):
+        return view(
+            Production("A", ("t",)),
+            Production("B", ("t",)),
+            preferences=preferences,
+        )
+
+    def test_p011_no_preference_path(self):
+        report = analyze_grammar(self._competitors())
+        hits = report.by_code("P011")
+        assert len(hits) == 1
+        assert {hits[0].symbol, hits[0].data.get("other", hits[0].symbol)}
+
+    def test_direct_preference_clears_p011(self):
+        report = analyze_grammar(
+            self._competitors(preferences=(Preference("A", "B"),))
+        )
+        assert not report.by_code("P011")
+
+    def test_transitive_preference_path_clears_p011(self):
+        # A > C and C > B orders A before B through the closure.
+        report = analyze_grammar(
+            view(
+                Production("A", ("t",)),
+                Production("B", ("t",)),
+                Production("C", ("u",)),
+                preferences=(
+                    Preference("A", "C"),
+                    Preference("C", "B"),
+                ),
+            )
+        )
+        assert not report.by_code("P011")
+
+
+class TestP012DeadPreference:
+    def test_p012_disjoint_yield_classes(self):
+        report = analyze_grammar(
+            view(
+                Production("A", ("t",)),
+                Production("B", ("u",)),
+                preferences=(Preference("A", "B"),),
+            )
+        )
+        hits = report.by_code("P012")
+        assert len(hits) == 1
+        assert hits[0].severity == "warning"
+        assert hits[0].preference == "A>B"
+
+    def test_sharing_a_class_is_alive(self):
+        report = analyze_grammar(
+            view(
+                Production("A", ("t",)),
+                Production("B", ("t",)),
+                preferences=(Preference("A", "B"),),
+            )
+        )
+        assert not report.by_code("P012")
+
+    def test_truncated_symbols_are_skipped(self):
+        # A's yields truncate (recursive); the checker must treat its
+        # class set as unknown, not empty -- no dead-rule claim.
+        report = analyze_grammar(
+            view(
+                Production("A", ("t",), name="seed"),
+                Production("A", ("A", "t"), name="grow"),
+                Production("B", ("u",)),
+                preferences=(Preference("A", "B"),),
+            )
+        )
+        assert not report.by_code("P012")
+
+
+class TestP013PreferenceCycle:
+    def test_p013_three_cycle(self):
+        report = analyze_grammar(
+            view(
+                Production("A", ("t",)),
+                Production("B", ("t",)),
+                Production("C", ("t",)),
+                preferences=(
+                    Preference("A", "B"),
+                    Preference("B", "C"),
+                    Preference("C", "A"),
+                ),
+            )
+        )
+        hits = report.by_code("P013")
+        assert len(hits) == 1
+        cycle = hits[0].data["cycle"]
+        assert set(cycle) >= {"A", "B", "C"}
+
+    def test_self_loops_are_not_cycles(self):
+        # prefer(A, over=A, when=subsumes) is the standard arbitration
+        # idiom, not a cycle.
+        report = analyze_grammar(
+            view(
+                Production("A", ("t", "u"), name="p1"),
+                Production("A", ("t", "u"), constraint=_opaque, name="p2"),
+                preferences=(Preference("A", "A", criteria=subsumes),),
+            )
+        )
+        assert not report.by_code("P013")
+
+    def test_acyclic_chain_is_clean(self):
+        report = analyze_grammar(
+            view(
+                Production("A", ("t",)),
+                Production("B", ("t",)),
+                Production("C", ("t",)),
+                preferences=(
+                    Preference("A", "B"),
+                    Preference("B", "C"),
+                ),
+            )
+        )
+        assert not report.by_code("P013")

@@ -1,0 +1,88 @@
+"""Startup grammar validation: fail fast before the service comes up.
+
+``repro serve`` lints the serving grammar during
+:class:`ExtractionService` construction -- before the worker pool forks
+and before any port binds -- so a defective grammar is a one-line
+refusal at boot, not a 500 on the first request.  ``--no-grammar-check``
+(``validate_grammar=False``) opts out.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+import repro.grammar.standard as standard_module
+from repro.analysis import GrammarDiagnosticsError
+from repro.grammar.dsl import GrammarBuilder
+from repro.server import ServerConfig
+from repro.server.service import ExtractionService
+
+
+def _broken_grammar_builder(*_args, **_kwargs):
+    # "Missing" is not declared anywhere: a G001 error.
+    builder = GrammarBuilder("QI", name="broken")
+    builder.terminals("text")
+    builder.production("QI", ("Missing",))
+    return builder
+
+
+class TestStartupValidation:
+    def test_default_config_validates(self):
+        assert ServerConfig(port=0, jobs=1).validate_grammar is True
+
+    def test_clean_grammar_boots_and_logs(self, caplog):
+        with caplog.at_level(logging.INFO):
+            ExtractionService(ServerConfig(port=0, jobs=1))
+        assert "serve.grammar.validated" in caplog.text
+
+    def test_defective_grammar_refuses_to_boot(self, monkeypatch):
+        monkeypatch.setattr(
+            standard_module,
+            "build_standard_grammar",
+            _broken_grammar_builder,
+        )
+        with pytest.raises(GrammarDiagnosticsError) as excinfo:
+            ExtractionService(ServerConfig(port=0, jobs=1))
+        assert "G001" in str(excinfo.value)
+        assert "failed static analysis" in str(excinfo.value)
+
+    def test_validation_runs_before_pool_construction(self, monkeypatch):
+        # The fast-fail contract: with a defective grammar, construction
+        # must stop before any pool/thread machinery spins up.
+        from repro.server import service as service_module
+
+        def unexpected_pool(*args, **kwargs):  # pragma: no cover
+            raise AssertionError(
+                "pool constructed despite a defective grammar"
+            )
+
+        monkeypatch.setattr(
+            standard_module,
+            "build_standard_grammar",
+            _broken_grammar_builder,
+        )
+        monkeypatch.setattr(
+            service_module, "WarmPool", unexpected_pool, raising=False
+        )
+        with pytest.raises(GrammarDiagnosticsError):
+            ExtractionService(ServerConfig(port=0, jobs=1))
+
+    def test_opt_out_skips_validation(self, monkeypatch):
+        monkeypatch.setattr(
+            standard_module,
+            "build_standard_grammar",
+            _broken_grammar_builder,
+        )
+        service = ExtractionService(
+            ServerConfig(port=0, jobs=1, validate_grammar=False)
+        )
+        assert service is not None
+
+    def test_opt_out_emits_no_validation_event(self, caplog):
+        with caplog.at_level(logging.INFO):
+            ExtractionService(
+                ServerConfig(port=0, jobs=1, validate_grammar=False)
+            )
+        assert "serve.grammar.validated" not in caplog.text

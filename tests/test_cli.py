@@ -286,6 +286,7 @@ class TestLint:
         assert [report["grammar"] for report in reports] == [
             "standard", "example", "navmenu",
         ]
+        assert all(report["schema"] == 2 for report in reports)
         assert all(report["summary"]["error"] == 0 for report in reports)
 
     def test_single_grammar_json(self, capsys):
@@ -293,11 +294,77 @@ class TestLint:
         reports = json.loads(capsys.readouterr().out)
         assert len(reports) == 1
         codes = {d["code"] for d in reports[0]["diagnostics"]}
-        assert codes == {"G006", "S003"}
+        # Hygiene findings plus the semantic passes' pinned families
+        # (tests/analysis/test_clean_grammars.py pins the exact counts).
+        assert codes == {"G006", "S003", "G021", "G023", "G024", "P011"}
 
     def test_rejects_unknown_grammar(self):
         with pytest.raises(SystemExit):
             main(["lint", "--grammar", "nonexistent"])
+
+    def test_coverage_matrix_human(self, capsys):
+        assert main(
+            ["lint", "--grammar", "standard", "--coverage"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "coverage" in output
+        assert "uncovered" in output
+        assert "total:" in output
+
+    def test_coverage_matrix_json(self, capsys):
+        assert main(
+            ["lint", "--grammar", "standard", "--coverage", "--json"]
+        ) == 0
+        reports = json.loads(capsys.readouterr().out)
+        matrix = reports[0]["coverage"]
+        statuses = {row["status"] for row in matrix["shapes"]}
+        assert statuses <= {"covered", "assembly-only", "uncovered"}
+
+    def test_explain_known_code(self, capsys):
+        assert main(["lint", "--explain", "G020"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("G020")
+        assert "fix:" in output
+
+    def test_explain_unknown_code_exits_2(self, capsys):
+        assert main(["lint", "--explain", "Z999"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_candidate_good_is_admitted(self, capsys):
+        assert main(
+            ["lint", "--candidate",
+             "examples/candidates/good_candidate.json"]
+        ) == 0
+        assert "accept" in capsys.readouterr().out
+
+    def test_candidate_bad_is_rejected(self, capsys):
+        assert main(
+            ["lint", "--candidate",
+             "examples/candidates/bad_candidate.json"]
+        ) == 1
+        assert "reject" in capsys.readouterr().out
+
+    def test_candidate_json_output(self, capsys):
+        assert main(
+            ["lint", "--json", "--candidate",
+             "examples/candidates/bad_candidate.json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 2
+        assert payload["verdict"] == "reject"
+        assert payload["admitted"] is False
+
+    def test_candidate_unreadable_exits_2(self, capsys, tmp_path):
+        assert main(
+            ["lint", "--candidate", str(tmp_path / "missing.json")]
+        ) == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_candidate_malformed_exits_2(self, capsys, tmp_path):
+        payload = tmp_path / "cand.json"
+        payload.write_text('{"head": "A"}')
+        assert main(["lint", "--candidate", str(payload)]) == 2
+        assert "invalid candidate" in capsys.readouterr().err
 
 
 class TestParserErrors:
